@@ -1,0 +1,54 @@
+// Ablation: sensitivity to the modeled HTM write-set capacity.
+//
+// The TSX model bounds transactions at max_write_lines (DESIGN.md SS5b).
+// Smaller capacities abort more transactions and push the adaptive policy
+// to demote more sites; the recovery guarantees are unaffected.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace fir;
+using namespace fir::bench;
+
+int main() {
+  quiet_logs();
+  std::printf(
+      "Ablation: HTM write-set capacity (lines) on miniginx under load.\n\n");
+
+  TextTable table;
+  table.set_header({"capacity (lines)", "HTM aborts", "sites demoted",
+                    "overhead vs vanilla"});
+  double previous_aborts = 1e9;
+  bool pass = true;
+  for (const std::size_t lines : {32u, 64u, 128u, 256u, 512u}) {
+    TxManagerConfig config = firestarter_config();
+    config.htm.max_write_lines = lines;
+
+    auto server = make_server("miniginx", config);
+    if (server == nullptr) return 1;
+    measure_throughput(*server, 6000, 8, 42);
+    const HtmStats& htm = server->fx().mgr().htm_stats();
+    const double abort_pct =
+        htm.begun == 0 ? 0.0
+                       : 100.0 * static_cast<double>(htm.aborted_total()) /
+                             static_cast<double>(htm.begun);
+    int demoted = 0;
+    for (const Site& site : server->fx().mgr().sites().all())
+      demoted += site.gate.sticky_stm ? 1 : 0;
+    server->stop();
+
+    const double overhead_pct =
+        100.0 * median_overhead("miniginx", config, 6000, 8, 5);
+    table.add_row({std::to_string(lines),
+                   format_double(abort_pct, 3) + "%",
+                   std::to_string(demoted),
+                   format_double(overhead_pct, 1) + "%"});
+    // Monotonicity: more capacity can only reduce capacity aborts.
+    pass &= abort_pct <= previous_aborts + 0.05;
+    previous_aborts = abort_pct;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Shape check (abort rate non-increasing in capacity): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,219 @@
+// Shared utilities for the per-table / per-figure experiment binaries.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apachette.h"
+#include "apps/littlehttpd.h"
+#include "apps/minikv.h"
+#include "apps/minipg.h"
+#include "apps/miniginx.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "workload/campaign.h"
+#include "workload/drivers.h"
+
+namespace fir::bench {
+
+/// The evaluated server fleet, paper order.
+inline const std::vector<std::string>& server_names() {
+  static const std::vector<std::string> names = {
+      "miniginx", "apachette", "littlehttpd", "minikv", "minipg"};
+  return names;
+}
+
+inline const std::vector<std::string>& web_server_names() {
+  static const std::vector<std::string> names = {"miniginx", "apachette",
+                                                 "littlehttpd"};
+  return names;
+}
+
+/// Paper-name for each mini server (table headers).
+inline std::string paper_name(const std::string& server) {
+  if (server == "miniginx") return "Nginx";
+  if (server == "apachette") return "Apache";
+  if (server == "littlehttpd") return "Lighttpd";
+  if (server == "minikv") return "Redis";
+  if (server == "minipg") return "PostgreSQL";
+  return server;
+}
+
+/// Builds a started server by name.
+inline std::unique_ptr<Server> make_server(const std::string& name,
+                                           const TxManagerConfig& config) {
+  std::unique_ptr<Server> server;
+  if (name == "miniginx") server = std::make_unique<Miniginx>(config);
+  if (name == "apachette") server = std::make_unique<Apachette>(config);
+  if (name == "littlehttpd") server = std::make_unique<Littlehttpd>(config);
+  if (name == "minikv") server = std::make_unique<Minikv>(config);
+  if (name == "minipg") server = std::make_unique<Minipg>(config);
+  if (server != nullptr) {
+    const Status status = server->start(0);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "bench: cannot start %s: %s\n", name.c_str(),
+                   status.to_string().c_str());
+      server.reset();
+    }
+  }
+  return server;
+}
+
+inline ServerFactory factory_for(const std::string& name,
+                                 const TxManagerConfig& config) {
+  return [name, config] { return make_server(name, config); };
+}
+
+/// Named policy configurations of the evaluation.
+inline TxManagerConfig vanilla_config() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kUnprotected;
+  return c;
+}
+inline TxManagerConfig htm_only_config() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kHtmOnly;
+  c.htm.interrupt_abort_per_store = 1e-4;
+  return c;
+}
+inline TxManagerConfig stm_only_config() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+inline TxManagerConfig naive_htm_config() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kNaiveHtm;
+  c.htm.interrupt_abort_per_store = 1e-4;
+  return c;
+}
+inline TxManagerConfig manual_config() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kManual;
+  c.policy.manual_stm_functions = {"malloc", "calloc", "posix_memalign",
+                                   "fcntl64", "pread"};
+  c.htm.interrupt_abort_per_store = 1e-4;
+  return c;
+}
+inline TxManagerConfig firestarter_config(double threshold = 0.01,
+                                          std::uint32_t sample = 4) {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kAdaptive;
+  c.policy.abort_threshold = threshold;
+  c.policy.sample_size = sample;
+  c.htm.interrupt_abort_per_store = 1e-4;
+  return c;
+}
+
+/// Measured throughput of `server` under its saturation load.
+inline double measure_throughput(Server& server, int total_ops,
+                                 int concurrency, std::uint64_t seed) {
+  Rng rng(seed);
+  const WorkloadResult result =
+      run_load_for(server, total_ops, concurrency, rng);
+  if (result.server_died) {
+    std::fprintf(stderr, "bench: %s died during load: %s\n", server.name(),
+                 result.death_reason.c_str());
+    return 0.0;
+  }
+  return result.throughput_rps();
+}
+
+/// Repeats a throughput measurement and returns the best-of-N (standard
+/// practice to suppress scheduler noise on shared machines). One warm-up
+/// round is discarded.
+inline double best_throughput(const std::string& name,
+                              const TxManagerConfig& config, int total_ops,
+                              int concurrency, int repeats = 5) {
+  double best = 0.0;
+  for (int r = 0; r <= repeats; ++r) {
+    auto server = make_server(name, config);
+    if (server == nullptr) return 0.0;
+    const double rps =
+        measure_throughput(*server, total_ops, concurrency, 42 + r);
+    if (r > 0 && rps > best) best = rps;  // round 0 is warm-up
+    server->stop();
+  }
+  return best;
+}
+
+/// Measures several configurations with interleaved rounds so slow phases
+/// of a shared machine hit all variants equally. Returns best-of-rounds
+/// per configuration (round 0 per config is warm-up).
+inline std::vector<double> interleaved_throughput(
+    const std::string& name, const std::vector<TxManagerConfig>& configs,
+    int total_ops, int concurrency, int rounds = 7) {
+  std::vector<double> best(configs.size(), 0.0);
+  for (int r = 0; r <= rounds; ++r) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      auto server = make_server(name, configs[c]);
+      if (server == nullptr) return best;
+      const double rps =
+          measure_throughput(*server, total_ops, concurrency, 42 + r);
+      if (r > 0 && rps > best[c]) best[c] = rps;
+      server->stop();
+    }
+  }
+  return best;
+}
+
+/// Paired-ratio overhead measurement, robust against the frequency drift
+/// of shared machines: each round measures the vanilla baseline and the
+/// variant back-to-back (alternating order to cancel slow trends) and
+/// contributes one ratio; the result is the MEDIAN ratio minus one.
+/// Also returns the median vanilla throughput via `base_out` if non-null.
+inline double median_overhead(const std::string& name,
+                              const TxManagerConfig& config, int total_ops,
+                              int concurrency, int rounds = 7,
+                              double* base_out = nullptr) {
+  std::vector<double> ratios;
+  std::vector<double> bases;
+  auto run_one = [&](const TxManagerConfig& cfg, int round) {
+    auto server = make_server(name, cfg);
+    if (server == nullptr) return 0.0;
+    const double rps =
+        measure_throughput(*server, total_ops, concurrency, 42 + round);
+    server->stop();
+    return rps;
+  };
+  // Warm-up pair (discarded).
+  run_one(vanilla_config(), 0);
+  run_one(config, 0);
+  for (int r = 1; r <= rounds; ++r) {
+    double base, variant;
+    if (r % 2 == 0) {
+      base = run_one(vanilla_config(), r);
+      variant = run_one(config, r);
+    } else {
+      variant = run_one(config, r);
+      base = run_one(vanilla_config(), r);
+    }
+    if (base <= 0.0 || variant <= 0.0) continue;
+    ratios.push_back(base / variant);
+    bases.push_back(base);
+  }
+  if (ratios.empty()) return 0.0;
+  std::sort(ratios.begin(), ratios.end());
+  std::sort(bases.begin(), bases.end());
+  if (base_out != nullptr) *base_out = bases[bases.size() / 2];
+  return ratios[ratios.size() / 2] - 1.0;
+}
+
+/// Fractional overhead of `rps` versus baseline `base` (0.17 = 17% slower).
+inline double overhead(double base, double rps) {
+  return (rps <= 0.0 || base <= 0.0) ? 0.0 : base / rps - 1.0;
+}
+
+inline void quiet_logs() { Logger::instance().set_level(LogLevel::kOff); }
+
+/// Load size per server: the line-protocol servers handle an order of
+/// magnitude more ops/s than the web servers, so they need proportionally
+/// longer runs for stable timing.
+inline int scaled_ops(const std::string& name, int web_ops) {
+  return (name == "minikv" || name == "minipg") ? web_ops * 10 : web_ops;
+}
+
+}  // namespace fir::bench

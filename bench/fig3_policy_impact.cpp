@@ -1,0 +1,112 @@
+// Figure 3: impact of adaptive transaction policies on HTM abort percentage
+// and throughput degradation (Nginx / miniginx).
+//
+// Policies, as in the paper:
+//   * naive      — always attempt HTM first (paper: 20% aborts, 69% degr.)
+//   * manual     — hand-marked abort-prone sites go straight to STM
+//                  (paper: ~0% aborts, 18% degradation)
+//   * FIRestarter — dynamic adaptation, threshold 1%, sample size 128
+//                  (paper: 21% degradation)
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace fir;
+using namespace fir::bench;
+
+namespace {
+constexpr int kRequests = 10000;
+constexpr int kConcurrency = 8;
+
+struct PolicyRun {
+  const char* label;
+  TxManagerConfig config;
+  const char* paper;
+};
+
+struct Measurement {
+  double abort_pct = 0.0;
+  double degradation = 0.0;
+  std::string hot_sites;
+};
+
+Measurement measure(const TxManagerConfig& config) {
+  Measurement m;
+  m.degradation =
+      100.0 * median_overhead("miniginx", config, kRequests, kConcurrency);
+  // Abort accounting from a dedicated run (deterministic given the seed).
+  auto server = make_server("miniginx", config);
+  if (server == nullptr) return m;
+  measure_throughput(*server, kRequests, kConcurrency, 42);
+  const HtmStats& htm = server->fx().mgr().htm_stats();
+  m.abort_pct = htm.begun == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(htm.aborted_total()) /
+                          static_cast<double>(htm.begun);
+  // Per-site abort rates (the paper quotes malloc 82%, posix_memalign 47%,
+  // fcntl64 15% under the naive policy).
+  for (const Site& site : server->fx().mgr().sites().all()) {
+    if (site.gate.executions < 16 || site.gate.htm_aborts == 0) continue;
+    const double rate = 100.0 * static_cast<double>(site.gate.htm_aborts) /
+                        static_cast<double>(site.gate.executions);
+    if (rate > 1.0) {
+      m.hot_sites += site.function + "(" + site.location + ") " +
+                     format_double(rate, 0) + "%  ";
+    }
+  }
+  server->stop();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  std::printf(
+      "Figure 3: adaptive transaction policies on miniginx — HTM abort %%\n"
+      "and throughput degradation vs vanilla.\n\n");
+
+  const PolicyRun runs[] = {
+      {"naive (always-HTM)", naive_htm_config(),
+       "20% aborts, 69% degradation"},
+      {"manual marking", manual_config(), "~0% aborts, 18% degradation"},
+      {"FIRestarter (thr=1%, N=128)", firestarter_config(0.01, 128),
+       "21% degradation"},
+  };
+
+  TextTable table;
+  table.set_header({"Policy", "HTM aborts", "Throughput degradation",
+                    "paper"});
+  double naive_aborts = 0.0, naive_degr = 0.0;
+  double adaptive_aborts = 0.0, adaptive_degr = 0.0;
+  for (const PolicyRun& run : runs) {
+    const Measurement m = measure(run.config);
+    table.add_row({run.label, format_double(m.abort_pct, 2) + "%",
+                   format_double(m.degradation, 1) + "%", run.paper});
+    if (std::string_view(run.label).starts_with("naive")) {
+      naive_aborts = m.abort_pct;
+      naive_degr = m.degradation;
+      if (!m.hot_sites.empty()) {
+        std::printf("abort-prone sites under naive policy: %s\n\n",
+                    m.hot_sites.c_str());
+      }
+    }
+    if (std::string_view(run.label).starts_with("FIRestarter")) {
+      adaptive_aborts = m.abort_pct;
+      adaptive_degr = m.degradation;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Primary claim: adaptation eliminates the aborts. Secondary: it does
+  // not cost throughput versus naive — checked within the +/-4-point
+  // paired-median noise floor of this host (the abort-rate effect itself
+  // is sub-point at this workload's 0.4% abort share; see EXPERIMENTS.md).
+  const bool pass =
+      adaptive_aborts < naive_aborts && adaptive_degr <= naive_degr + 4.0;
+  std::printf("Shape check (adaptation cuts aborts and does not degrade\n"
+              "throughput vs naive): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

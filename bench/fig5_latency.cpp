@@ -1,0 +1,74 @@
+// Figure 5: recovery latency across fault-triggered executions.
+//
+// For every fail-stop experiment of the Table IV campaign the runtime
+// records the time from crash entry (the signal-handler moment) to handing
+// execution back to the application. The paper reports tens of
+// milliseconds with sub-second outliers on real hardware; the simulated
+// environment recovers in microseconds — the figure reports the measured
+// distribution and its shape (STM undo-log depth drives the tail).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+
+using namespace fir;
+using namespace fir::bench;
+
+namespace {
+
+Histogram collect_latencies(const std::string& name) {
+  Histogram all;
+  const ServerFactory factory = factory_for(name, firestarter_config());
+  const std::vector<Marker> targets = profile_markers(factory);
+  for (const Marker& target : targets) {
+    auto server = factory();
+    if (server == nullptr) continue;
+    run_suite_for(*server, 1);
+    MarkerId id = kInvalidMarker;
+    for (const Marker& m : server->fx().hsfi().markers())
+      if (m.name == target.name && m.location == target.location) id = m.id;
+    if (id == kInvalidMarker) continue;
+    server->fx().mgr().reset_stats();
+    server->fx().hsfi().arm(
+        FaultPlan{id, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+    run_suite_for(*server, 1);
+    all.merge(server->fx().mgr().recovery_latency());
+    server->fx().hsfi().disarm();
+    server->stop();
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  std::printf(
+      "Figure 5: recovery latency distribution per server (microseconds).\n"
+      "Paper shape: typical latencies tens of ms on real hardware, outliers\n"
+      "below 1 s; the simulated substrate recovers in the us range — the\n"
+      "property reproduced is the SHAPE: tight distribution, bounded tail,\n"
+      "all recoveries far below one second.\n\n");
+
+  TextTable table;
+  table.set_header({"Server", "recoveries", "mean us", "p50 us", "p95 us",
+                    "max us"});
+  bool pass = true;
+  for (const std::string& name : web_server_names()) {
+    const Histogram h = collect_latencies(name);
+    if (h.empty()) {
+      table.add_row({paper_name(name), "0", "-", "-", "-", "-"});
+      pass = false;
+      continue;
+    }
+    auto us = [](double seconds) { return format_double(seconds * 1e6, 1); };
+    table.add_row({paper_name(name), std::to_string(h.count()),
+                   us(h.mean()), us(h.percentile(50)), us(h.percentile(95)),
+                   us(h.max())});
+    pass &= h.max() < 1.0;  // every recovery under a second
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Shape check (all recoveries < 1 s): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the checkpointing substrate:
+// per-gate cost by mode, store-tracking cost (HTM fast path vs STM
+// word-granular logging), rollback primitives, and stack snapshots.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/stack_snapshot.h"
+#include "htm/htm.h"
+#include "interpose/fir.h"
+#include "mem/tracked.h"
+#include "mem/undo_log.h"
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+void BM_UndoLogAppendSmall(benchmark::State& state) {
+  UndoLog log;
+  std::uint64_t word = 0;
+  for (auto _ : state) {
+    log.record(&word, sizeof(word));
+    if (log.entry_count() >= 4096) log.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UndoLogAppendSmall);
+
+void BM_UndoLogRollback(benchmark::State& state) {
+  const std::size_t entries = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> region(entries);
+  UndoLog log;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < entries; ++i)
+      log.record(&region[i], sizeof(region[i]));
+    state.ResumeTiming();
+    log.rollback();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(entries));
+}
+BENCHMARK(BM_UndoLogRollback)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_HtmStoreSameLine(benchmark::State& state) {
+  HtmConfig config;
+  config.interrupt_abort_per_store = 0.0;
+  HtmContext htm(config);
+  htm.begin();
+  alignas(kCacheLineBytes) std::uint64_t word = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htm.record_store(&word, sizeof(word)));
+  }
+  htm.commit();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HtmStoreSameLine);
+
+void BM_HtmStoreNewLines(benchmark::State& state) {
+  HtmConfig config;
+  config.interrupt_abort_per_store = 0.0;
+  config.max_write_lines = 4096;
+  config.max_lines_per_set = 4096;
+  HtmContext htm(config);
+  std::vector<char> region(2048 * kCacheLineBytes);
+  std::size_t at = 0;
+  htm.begin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htm.record_store(&region[at], 1));
+    at += kCacheLineBytes;
+    if (at >= region.size()) {
+      htm.commit();
+      htm.begin();
+      at = 0;
+    }
+  }
+  htm.commit();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HtmStoreNewLines);
+
+void BM_StmStoreWord(benchmark::State& state) {
+  StmContext stm;
+  stm.begin();
+  std::uint64_t word = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stm.record_store(&word, sizeof(word)));
+    if (stm.log_entries() >= 4096) {
+      stm.commit();
+      stm.begin();
+    }
+  }
+  stm.commit();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StmStoreWord);
+
+void BM_StmStoreBulk16K(benchmark::State& state) {
+  StmContext stm;
+  std::vector<char> buf(16 * 1024);
+  for (auto _ : state) {
+    stm.begin();
+    stm.record_store(buf.data(), buf.size());
+    stm.commit();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_StmStoreBulk16K);
+
+void BM_StackSnapshot(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::vector<char> fake_stack(depth + 64);
+  StackSnapshot snapshot;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        snapshot.capture(fake_stack.data(), fake_stack.data() + depth));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_StackSnapshot)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_GateRoundTrip(benchmark::State& state) {
+  // Full gate cost: pre_call + env call + begin (snapshot + recorder).
+  const PolicyKind kind = static_cast<PolicyKind>(state.range(0));
+  TxManagerConfig config;
+  config.policy.kind = kind;
+  config.htm.interrupt_abort_per_store = 0.0;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  tracked<std::uint64_t> counter;
+  for (auto _ : state) {
+    const int rc = FIR_SETSOCKOPT(fx, -1, 0);  // EBADF: no fd churn
+    benchmark::DoNotOptimize(rc);
+    counter += 1;
+  }
+  FIR_QUIESCE(fx);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(policy_kind_name(kind));
+}
+BENCHMARK(BM_GateRoundTrip)
+    ->Arg(static_cast<int>(PolicyKind::kUnprotected))
+    ->Arg(static_cast<int>(PolicyKind::kHtmOnly))
+    ->Arg(static_cast<int>(PolicyKind::kStmOnly))
+    ->Arg(static_cast<int>(PolicyKind::kAdaptive));
+
+void BM_CrashRecoveryRoundTrip(benchmark::State& state) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  for (auto _ : state) {
+    const int fd = FIR_SOCKET(fx);
+    if (fd >= 0) raise_crash(CrashKind::kSegv);  // retry, then divert
+    benchmark::DoNotOptimize(fd);
+  }
+  FIR_QUIESCE(fx);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CrashRecoveryRoundTrip);
+
+}  // namespace
+}  // namespace fir
+
+BENCHMARK_MAIN();

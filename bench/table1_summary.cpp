@@ -1,0 +1,96 @@
+// Table I: comparison of software crash recovery techniques.
+//
+// The related-work rows are the paper's (literature values); the
+// FIRestarter row is MEASURED on this reproduction: recovery surface from
+// the Table III analysis, recovery latency from the Fig. 5 campaigns,
+// performance overhead from the Fig. 7 protocol.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "core/analyzer.h"
+
+using namespace fir;
+using namespace fir::bench;
+
+int main() {
+  quiet_logs();
+
+  // Measured recovery surface: worst case across the web servers.
+  double min_surface = 1.0;
+  for (const std::string& name : web_server_names()) {
+    auto server = make_server(name, firestarter_config());
+    if (server == nullptr) return 1;
+    run_suite_for(*server, 3);
+    const SurfaceReport report = analyze_surface(server->fx().mgr().sites());
+    min_surface = std::min(min_surface, report.recoverable_fraction());
+    server->stop();
+  }
+
+  // Measured recovery latency: pooled over miniginx fail-stop experiments.
+  Histogram latency;
+  {
+    const ServerFactory factory = factory_for("miniginx",
+                                              firestarter_config());
+    for (const Marker& target : profile_markers(factory)) {
+      auto server = factory();
+      if (server == nullptr) continue;
+      run_suite_for(*server, 1);
+      MarkerId id = kInvalidMarker;
+      for (const Marker& m : server->fx().hsfi().markers())
+        if (m.name == target.name && m.location == target.location)
+          id = m.id;
+      if (id != kInvalidMarker) {
+        server->fx().mgr().reset_stats();
+        server->fx().hsfi().arm(
+            FaultPlan{id, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+        run_suite_for(*server, 1);
+        latency.merge(server->fx().mgr().recovery_latency());
+      }
+      server->stop();
+    }
+  }
+
+  // Measured performance overhead: worst across servers (Fig. 7 protocol,
+  // fewer rounds — this is a summary row).
+  double max_overhead = 0.0;
+  for (const std::string& name : server_names()) {
+    const double ov = median_overhead(name, firestarter_config(),
+                                      scaled_ops(name, 6000), 8, 5);
+    max_overhead = std::max(max_overhead, ov);
+  }
+
+  std::printf("Table I: comparison of software crash recovery techniques\n"
+              "(related-work rows from the paper; FIRestarter row measured\n"
+              "on this reproduction).\n\n");
+  TextTable table;
+  table.set_header({"Technique", "Persistent faults?", "No annotation?",
+                    "Recovery surface", "Latency", "Overhead"});
+  table.add_row({"Nooks", "no", "yes", "Kernel extns.", "-", "<60%"});
+  table.add_row({"Microreboot", "no", "yes", "Managed code", "<1s", ">2%"});
+  table.add_row({"Shadow drivers", "no", "yes", "Drivers", "-", "<3%"});
+  table.add_row({"Recovery Domains", "no", "yes", "Kernel:34-97%", "-",
+                 "8-560%"});
+  table.add_row({"Rx", "yes", "no", "ENV influenced", "~0.5s", "<5%"});
+  table.add_row({"ASSURE", "yes", "no", "Rescue-pointed", "~0.1s", "<7.6%"});
+  table.add_row({"REASSURE", "yes", "no", "Rescue-pointed", "<1s", "<115%"});
+  table.add_row({"HAFT", "no", "yes", "90.2%", "<1s", "200%"});
+  table.add_row({"OSIRIS", "yes", "yes", "OS units: ~60%", "<1s", "~5%"});
+  table.add_separator();
+  char surface[32], lat[32], ov[32];
+  std::snprintf(surface, sizeof(surface), ">%0.f%%",
+                min_surface * 100.0 - 1.0);
+  std::snprintf(lat, sizeof(lat), "%.0fus p95",
+                latency.empty() ? 0.0 : latency.percentile(95) * 1e6);
+  std::snprintf(ov, sizeof(ov), "<%.0f%%", max_overhead * 100.0 + 1.0);
+  table.add_row({"FIRestarter (measured)", "yes", "yes", surface, lat, ov});
+  table.add_row({"FIRestarter (paper)", "yes", "yes", ">77%", "~0.1s",
+                 "<17%"});
+  std::printf("%s\n", table.render().c_str());
+
+  const bool pass = min_surface > 0.77 && !latency.empty() &&
+                    latency.max() < 1.0;
+  std::printf("Shape check (surface > 77%%, every recovery < 1 s): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Table II: recoverability classes of the modeled standard-library
+// functions and their fault-injection divertibility, plus the subset each
+// evaluated server actually exercises.
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "libmodel/catalog.h"
+
+using namespace fir;
+using namespace fir::bench;
+
+int main() {
+  quiet_logs();
+  const auto& catalog = LibraryCatalog::instance();
+
+  std::printf("Table II: library functions classified by recoverability and\n"
+              "ability to divert (faulty) execution via fault injection.\n\n");
+  TextTable table;
+  table.set_header({"Recoverability", "divert possible", "divert NOT possible",
+                    "Total", "paper"});
+  struct Row {
+    Recoverability r;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {Recoverability::kReversible, "23 / 0 / 23"},
+      {Recoverability::kIdempotent, "9 / 26 / 35"},
+      {Recoverability::kDeferrable, "5 / 2 / 7"},
+      {Recoverability::kStateRestore, "12 / 8 / 20"},
+      {Recoverability::kIrrecoverable, "12 / 4 / 16"},
+  };
+  int total_yes = 0, total_no = 0;
+  for (const Row& row : rows) {
+    const int yes = catalog.count(row.r, true);
+    const int no = catalog.count(row.r, false);
+    total_yes += yes;
+    total_no += no;
+    table.add_row({std::string(recoverability_name(row.r)),
+                   std::to_string(yes), std::to_string(no),
+                   std::to_string(yes + no), row.paper});
+  }
+  table.add_separator();
+  table.add_row({"Total", std::to_string(total_yes), std::to_string(total_no),
+                 std::to_string(total_yes + total_no), "61 / 40 / 101"});
+  std::printf("%s\n", table.render().c_str());
+
+  // Per-server usage: which modeled functions each server's test-suite run
+  // actually exercises (gated sites + embedded calls).
+  std::printf("Library functions exercised per server (standard suite):\n\n");
+  TextTable usage;
+  usage.set_header({"Server", "functions used", "divertible",
+                    "irrecoverable"});
+  std::set<std::string> union_used;
+  for (const std::string& name : server_names()) {
+    auto server = make_server(name, firestarter_config());
+    if (server == nullptr) return 1;
+    run_suite_for(*server, 1);
+    std::set<std::string> used;
+    int divertible = 0, irrecoverable = 0;
+    for (const Site& site : server->fx().mgr().sites().all()) {
+      if (site.stats.transactions == 0 && site.stats.embedded_calls == 0)
+        continue;
+      if (!used.insert(site.function).second) continue;
+      union_used.insert(site.function);
+      const LibFunctionSpec* spec = catalog.find(site.function);
+      if (spec != nullptr && spec->divertible) ++divertible;
+      if (spec != nullptr &&
+          spec->recoverability == Recoverability::kIrrecoverable)
+        ++irrecoverable;
+    }
+    usage.add_row({paper_name(name), std::to_string(used.size()),
+                   std::to_string(divertible),
+                   std::to_string(irrecoverable)});
+    server->stop();
+  }
+  usage.add_separator();
+  usage.add_row({"Union", std::to_string(union_used.size()), "", ""});
+  std::printf("%s", usage.render().c_str());
+  return 0;
+}

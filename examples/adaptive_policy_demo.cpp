@@ -1,0 +1,32 @@
+// Adaptive-policy demo: watch the per-site tx_gate[] state evolve — sites
+// whose transactions overflow the HTM write-set get demoted to STM while
+// the rest keep using cheap hardware transactions (SIV-C).
+#include <cstdio>
+
+#include "apps/miniginx.h"
+#include "report/report.h"
+#include "workload/drivers.h"
+
+using namespace fir;
+
+int main() {
+  TxManagerConfig config;  // adaptive, threshold 1%, sample 4
+  config.htm.interrupt_abort_per_store = 1e-4;
+  Miniginx server(config);
+  if (!server.start(0).is_ok()) return 1;
+
+  Rng rng(7);
+  run_http_load(server, 3000, 8, rng);
+
+  std::printf("%s", report::site_table(server.fx().mgr().sites()).c_str());
+
+  int sticky = 0;
+  for (const Site& site : server.fx().mgr().sites().all())
+    sticky += site.gate.sticky_stm ? 1 : 0;
+  const HtmStats& htm = server.fx().mgr().htm_stats();
+  std::printf("\n%d site(s) permanently demoted to STM; "
+              "HTM: %llu begun, %llu aborted\n",
+              sticky, static_cast<unsigned long long>(htm.begun),
+              static_cast<unsigned long long>(htm.aborted_total()));
+  return sticky >= 1 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Quickstart: protect a tiny application with FIRestarter.
+//
+// Shows the core loop in ~60 lines: library calls through the FIR_* gates,
+// tracked application state, a persistent crash, and the automatic
+// rollback -> retry -> fault-injection recovery that turns the crash into
+// an error the application already handles.
+#include <cstdio>
+
+#include "interpose/fir.h"
+#include "mem/tracked.h"
+
+int main() {
+  // An Fx bundles the virtual OS and the recovery runtime. StmOnly keeps
+  // the demo deterministic; the default adaptive policy mixes HTM and STM.
+  fir::TxManagerConfig config;
+  config.policy.kind = fir::PolicyKind::kStmOnly;
+  fir::Fx fx(config);
+
+  // Mark this frame as the protected region's anchor (in a server this is
+  // the event-loop frame).
+  FIR_ANCHOR(fx);
+
+  // Application state that must survive rollbacks lives in tracked memory.
+  fir::tracked<int> sockets_opened;
+  sockets_opened.init(0);
+
+  std::puts("1) a library call opens a crash transaction:");
+  const int fd = FIR_SOCKET(fx);
+  if (fd >= 0) {
+    sockets_opened += 1;
+    std::printf("   socket() = %d, state updated to %d\n", fd,
+                sockets_opened.get());
+
+    std::puts("2) the code after it hits a persistent bug (NULL deref):");
+    // This crash re-fires on every re-execution — a deterministic bug.
+    fir::raise_crash(fir::CrashKind::kSegv);
+  }
+
+  // Execution resumes HERE: FIRestarter rolled the state back, retried
+  // once (transient-fault hypothesis), saw the crash again, ran socket()'s
+  // compensation action (closing the fd) and injected the documented
+  // error: socket() "returned" -1 with errno = EMFILE.
+  std::puts("3) recovery diverted execution into the error handler:");
+  std::printf("   socket() = %d, errno = %d (EMFILE), state rolled back "
+              "to %d\n",
+              fd, fx.err(), sockets_opened.get());
+  std::printf("   open fds in the process: %zu (compensation closed it)\n",
+              fx.env().open_fd_count());
+
+  FIR_QUIESCE(fx);
+  const auto& log = fx.mgr().recovery_log();
+  std::printf("4) recovery log: %zu episodes (retry then divert), "
+              "last latency %.1f us\n",
+              log.size(), log.back().latency_seconds * 1e6);
+  return fd == -1 && sockets_opened.get() == 0 ? 0 : 1;
+}

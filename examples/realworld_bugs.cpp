@@ -1,0 +1,79 @@
+// SVI-F reproduction: the two production bugs the paper demonstrates.
+//
+//  * nginx 1.11.0 ticket #1263 — NULL pointer dereference in
+//    ngx_http_ssi_get_variable(): an SSI page referencing an uninitialized
+//    variable crashes the worker. Recovery rolls back to the pread()
+//    transaction, injects -1/EINVAL, and the server answers an empty
+//    error response.
+//  * lighttpd 1.4.44 bug #2780 — mod_webdav_connection_reset() misses a
+//    cleanup; a WebDAV request mixed with others on one keep-alive
+//    connection leaves a dangling handle whose next use crashes. Recovery
+//    diverts at the open64() transaction and the server answers
+//    "403 - Forbidden".
+#include <cstdio>
+
+#include "apps/littlehttpd.h"
+#include "apps/miniginx.h"
+#include "workload/http_client.h"
+
+using namespace fir;
+
+namespace {
+template <typename ServerT>
+HttpClient::Response do_http(ServerT& server, HttpClient& client,
+                          const char* method, const char* target) {
+  if (!client.connected()) client.connect();
+  client.send_request(method, target);
+  HttpClient::Response response;
+  for (int i = 0; i < 16; ++i) {
+    server.run_once();
+    if (client.try_read_response(response) == 1) break;
+  }
+  return response;
+}
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  std::puts("=== nginx ticket #1263: SSI NULL dereference ===");
+  {
+    Miniginx server;
+    if (!server.start(0).is_ok()) return 1;
+    server.enable_ssi_null_bug(true);
+    HttpClient client(server.fx().env(), server.port());
+    const auto crash_page = do_http(server, client, "GET", "/broken.shtml");
+    std::printf("GET /broken.shtml -> %d (body %zu bytes) — crash became "
+                "an empty error response\n",
+                crash_page.status, crash_page.body.size());
+    const auto healthy = do_http(server, client, "GET", "/index.html");
+    std::printf("GET /index.html   -> %d — worker survived\n",
+                healthy.status);
+    ok &= crash_page.status == 500 && crash_page.body.empty() &&
+          healthy.status == 200;
+  }
+
+  std::puts("\n=== lighttpd bug #2780: WebDAV use-after-free ===");
+  {
+    Littlehttpd server;
+    if (!server.start(0).is_ok()) return 1;
+    server.enable_webdav_uaf_bug(true);
+    HttpClient client(server.fx().env(), server.port());
+    const auto dav = do_http(server, client, "PROPFIND", "/dav/notes.txt");
+    std::printf("PROPFIND /dav/notes.txt -> %d\n", dav.status);
+    const auto mixed = do_http(server, client, "GET", "/index.html");
+    std::printf("GET /index.html (same keep-alive conn) -> %d \"%s\" — "
+                "crash became a 403\n",
+                mixed.status,
+                mixed.body.substr(0, 32).c_str());
+    HttpClient fresh(server.fx().env(), server.port());
+    const auto after = do_http(server, fresh, "GET", "/readme.txt");
+    std::printf("GET /readme.txt (fresh conn) -> %d — server survived\n",
+                after.status);
+    ok &= dav.status == 207 && mixed.status == 403 && after.status == 200;
+  }
+
+  std::printf("\n%s\n", ok ? "both production crashes survived" :
+                             "reproduction FAILED");
+  return ok ? 0 : 1;
+}

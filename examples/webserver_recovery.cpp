@@ -1,0 +1,68 @@
+// Web-server recovery demo: a persistent fault in miniginx's SSI feature
+// crashes every /page.shtml request; FIRestarter keeps the server alive and
+// every other page served.
+#include <cstdio>
+
+#include "apps/miniginx.h"
+#include "common/log.h"
+#include "workload/http_client.h"
+
+using namespace fir;
+
+namespace {
+HttpClient::Response fetch(Miniginx& server, HttpClient& client,
+                           const char* target) {
+  if (!client.connected()) client.connect();
+  client.send_request("GET", target);
+  HttpClient::Response response;
+  for (int i = 0; i < 16; ++i) {
+    server.run_once();
+    if (client.try_read_response(response) == 1) break;
+  }
+  return response;
+}
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kInfo);  // show recovery decisions
+  Miniginx server;
+  if (!server.start(0).is_ok()) return 1;
+  HttpClient client(server.fx().env(), server.port());
+
+  std::puts("-- warm up: every page healthy --");
+  std::printf("GET /index.html  -> %d\n",
+              fetch(server, client, "/index.html").status);
+  std::printf("GET /page.shtml  -> %d\n",
+              fetch(server, client, "/page.shtml").status);
+
+  // Plant a persistent fatal fault in the SSI expansion block.
+  MarkerId target = kInvalidMarker;
+  for (const Marker& m : server.fx().hsfi().markers())
+    if (m.name == "ssi_expand") target = m.id;
+  if (target == kInvalidMarker) return 1;
+  server.fx().hsfi().arm(
+      FaultPlan{target, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+  std::puts("\n-- persistent fault armed in the SSI feature --");
+
+  for (int round = 0; round < 3; ++round) {
+    const auto ssi = fetch(server, client, "/page.shtml");
+    const auto ok = fetch(server, client, "/index.html");
+    std::printf("GET /page.shtml -> %d   GET /index.html -> %d\n",
+                ssi.status, ok.status);
+  }
+
+  std::uint64_t diversions = 0, retries = 0;
+  for (const Site& s : server.fx().mgr().sites().all()) {
+    diversions += s.stats.diversions;
+    retries += s.stats.retries;
+  }
+  std::printf("\nserver survived: %llu retries, %llu diversions; "
+              "accepted=%llu closed=%llu\n",
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(diversions),
+              static_cast<unsigned long long>(
+                  server.counters().connections_accepted.get()),
+              static_cast<unsigned long long>(
+                  server.counters().connections_closed.get()));
+  return diversions >= 3 ? 0 : 1;
+}

@@ -1,0 +1,426 @@
+#include "apps/apachette.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace fir {
+namespace {
+constexpr std::uint32_t kOptReuseAddr = 0x1;
+constexpr int kMaxEvents = 32;
+constexpr std::int32_t kNoWorker = -1;
+}  // namespace
+
+Apachette::Apachette(TxManagerConfig config)
+    : Server(config), fd_worker_(1024, kNoWorker) {}
+
+Apachette::~Apachette() { stop(); }
+
+void Apachette::install_default_docroot() {
+  Vfs& vfs = fx_.env().vfs();
+  vfs.put_file("/htdocs/index.html",
+               "<html><body><h1>apachette</h1></body></html>");
+  vfs.put_file("/htdocs/manual.txt",
+               "apachette reference manual (abridged)\n");
+  vfs.put_file("/htdocs/private/secret.txt", "top secret\n");
+  vfs.put_file("/htdocs/private/.htaccess", "Require all denied\n");
+  std::string listing(4000, 'd');
+  vfs.put_file("/htdocs/data.bin", listing);
+}
+
+Status Apachette::start(std::uint16_t port) {
+  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
+  port_ = port != 0 ? port : kDefaultPort;
+  install_default_docroot();
+
+  const int s = FIR_SOCKET(fx_);
+  if (s < 0) return Status(ErrorCode::kResourceExhausted, "socket");
+  if (FIR_SETSOCKOPT(fx_, s, kOptReuseAddr) == -1 ||
+      FIR_BIND(fx_, s, port_) == -1 || FIR_LISTEN(fx_, s, 128) == -1 ||
+      FIR_FCNTL_NONBLOCK(fx_, s, true) == -1) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "listener setup");
+  }
+  const int ep = FIR_EPOLL_CREATE1(fx_);
+  if (ep < 0 || FIR_EPOLL_CTL(fx_, ep, kEpollAdd, s, kPollIn) == -1) {
+    if (ep >= 0) FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "epoll setup");
+  }
+  const int log_fd =
+      FIR_OPEN(fx_, "/logs/access.log", kCreat | kWrOnly | kAppend);
+  if (log_fd < 0) {
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "access log");
+  }
+  FIR_QUIESCE(fx_);
+  listen_fd_ = s;
+  epfd_ = ep;
+  access_log_fd_ = log_fd;
+  running_ = true;
+  return Status::ok();
+}
+
+void Apachette::stop() {
+  if (!running_) return;
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+  for (std::size_t fd = 0; fd < fd_worker_.size(); ++fd) {
+    if (fd_worker_[fd] != kNoWorker) {
+      fx_.env().close(static_cast<int>(fd));
+      fd_worker_[fd] = kNoWorker;
+    }
+  }
+  fx_.env().close(access_log_fd_);
+  fx_.env().close(epfd_);
+  fx_.env().close(listen_fd_);
+  access_log_fd_ = epfd_ = listen_fd_ = -1;
+  running_ = false;
+}
+
+void Apachette::run_once() {
+  if (!running_) return;
+  FIR_ANCHOR(fx_);
+  PollEvent events[kMaxEvents];
+  const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
+  if (n < 0) {
+    HSFI_POINT(fx_.hsfi(), "mpm_event_retry", /*critical=*/true);
+    FIR_QUIESCE(fx_);
+    fx_.mgr().clear_anchor();
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (events[i].fd == listen_fd_) {
+      // Worker model: accept and immediately assign a worker slot.
+      for (;;) {
+        const int c = FIR_ACCEPT(fx_, listen_fd_);
+        if (c < 0) {
+          if (fx_.err() != EAGAIN) {
+            HSFI_HANDLER_POINT(fx_.hsfi(), "accept_failed");
+            FIR_LOG(kWarn) << "apachette: accept failed errno=" << fx_.err();
+          }
+          break;
+        }
+        Worker* w = workers_.alloc();
+        if (w == nullptr) {
+          HSFI_HANDLER_POINT(fx_.hsfi(), "maxclients_reached");
+          FIR_CLOSE(fx_, c);
+          continue;
+        }
+        tx_store(w->fd, c);
+        tx_store(w->in_use, static_cast<std::uint8_t>(1));
+        tx_store(w->keep_alive, static_cast<std::uint8_t>(1));
+        tx_store(fd_worker_[c],
+                 static_cast<std::int32_t>(workers_.index_of(w)));
+        if (FIR_EPOLL_CTL(fx_, epfd_, kEpollAdd, c, kPollIn) == -1) {
+          FIR_CLOSE(fx_, c);
+          tx_store(fd_worker_[c], kNoWorker);
+          workers_.release(w);
+          continue;
+        }
+        counters_.connections_accepted += 1;
+      }
+      continue;
+    }
+    const std::int32_t idx = fd_worker_[events[i].fd];
+    if (idx == kNoWorker) {
+      FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, events[i].fd, 0);
+      FIR_CLOSE(fx_, events[i].fd);
+      continue;
+    }
+    serve_connection(events[i].fd, workers_.at(static_cast<std::size_t>(idx)));
+  }
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+}
+
+bool Apachette::send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t w = FIR_SEND(fx_, fd, data + off, len - off);
+    if (w < 0) {
+      if (fx_.err() == EAGAIN) continue;  // blocking-worker style: spin
+      HSFI_HANDLER_POINT(fx_.hsfi(), "send_failed");
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void Apachette::serve_connection(int fd, Worker* w) {
+  // Blocking-worker style: read until a full request or would-block.
+  const std::uint32_t space =
+      static_cast<std::uint32_t>(sizeof(w->rx)) - w->rx_len;
+  if (space == 0) {
+    counters_.protocol_errors += 1;
+    goto teardown;
+  }
+  {
+    const ssize_t r = FIR_RECV(fx_, fd, w->rx + w->rx_len, space);
+    if (r < 0) {
+      if (fx_.err() == EAGAIN) return;
+      HSFI_POINT(fx_.hsfi(), "recv_failed", /*critical=*/false);
+      goto teardown;
+    }
+    if (r == 0) goto teardown;
+    tx_store(w->rx_len, w->rx_len + static_cast<std::uint32_t>(r));
+  }
+
+  for (;;) {
+    http::Request req;
+    const auto result = http::parse_request({w->rx, w->rx_len}, req);
+    if (result == http::ParseResult::kIncomplete) return;
+    if (result == http::ParseResult::kBad) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "protocol_error");
+      counters_.responses_4xx += 1;
+      counters_.protocol_errors += 1;
+      char out[256];
+      const std::size_t n = http::format_response(
+          out, sizeof(out), 400, "Bad Request", "text/html",
+          "<h1>400</h1>", false);
+      send_all(fd, out, n);
+      goto teardown;
+    }
+
+    const std::size_t n =
+        run_modules(req, response_buf_, sizeof(response_buf_));
+    if (n == 0 || !send_all(fd, response_buf_, n)) goto teardown;
+    tx_store(w->requests, w->requests + 1);
+
+    const std::uint32_t consumed = static_cast<std::uint32_t>(
+        req.header_bytes + req.content_length);
+    const std::uint32_t rest = w->rx_len - consumed;
+    if (rest > 0) {
+      StoreGate::record(w->rx, rest);
+      std::memmove(w->rx, w->rx + consumed, rest);
+    }
+    tx_store(w->rx_len, rest);
+    if (!req.keep_alive) goto teardown;
+    if (rest == 0) return;  // wait for the next request
+  }
+
+teardown:
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, fd, 0);
+  FIR_CLOSE(fx_, fd);
+  tx_store(fd_worker_[fd], kNoWorker);
+  workers_.release(w);
+  counters_.connections_closed += 1;
+}
+
+std::size_t Apachette::run_modules(const http::Request& req, char* out,
+                                   std::size_t cap) {
+  HSFI_POINT(fx_.hsfi(), "module_pipeline", /*critical=*/false);
+  // Apache-style helper-call density: request fixups touch many tiny libc
+  // helpers per request.
+  const std::size_t target_len = FIR_STRLEN(fx_, "/htdocs");
+  (void)target_len;
+  (void)FIR_GETPID(fx_);
+  (void)FIR_TIME_NS(fx_);
+
+  if (!module_access_check(req)) {
+    HSFI_POINT(fx_.hsfi(), "access_denied", /*critical=*/false);
+    counters_.responses_4xx += 1;
+    module_logger(req, 403);
+    return http::format_response(out, cap, 403, "Forbidden", "text/html",
+                                 "<h1>Forbidden</h1>", req.keep_alive);
+  }
+  std::size_t n;
+  if (req.path == "/server-status") {
+    n = module_status(req, out, cap);
+    module_logger(req, n > 0 ? 200 : 500);
+  } else if (req.query.size() >= 4 &&
+             FIR_MEMCMP(fx_, req.query.data(), "cgi=", 4) == 0) {
+    n = module_cgi_echo(req, out, cap);
+    module_logger(req, n > 0 ? 200 : 500);
+  } else {
+    n = module_handler(req, out, cap);
+  }
+  return n;
+}
+
+bool Apachette::module_access_check(const http::Request& req) {
+  (void)FIR_STRLEN(fx_, "Require all denied");
+  if (http::path_is_unsafe(req.path)) return false;
+  // .htaccess probe in the target directory (stat-based, Apache-style).
+  char htaccess[1100];
+  const std::size_t dir_end = req.path.rfind('/');
+  std::snprintf(htaccess, sizeof(htaccess), "/htdocs%.*s/.htaccess",
+                static_cast<int>(dir_end == std::string_view::npos
+                                     ? 0
+                                     : dir_end),
+                req.path.data());
+  std::size_t sz = 0;
+  if (FIR_ACCESS(fx_, htaccess) == 0 &&
+      FIR_STAT_SIZE(fx_, htaccess, &sz) == 0 && sz > 0) {
+    return false;  // "Require all denied"
+  }
+  return true;
+}
+
+std::size_t Apachette::module_handler(const http::Request& req, char* out,
+                                      std::size_t cap) {
+  if (req.method != http::Method::kGet && req.method != http::Method::kHead) {
+    counters_.responses_4xx += 1;
+    module_logger(req, 405);
+    return http::format_response(out, cap, 405, "Method Not Allowed",
+                                 "text/html", "<h1>405</h1>",
+                                 req.keep_alive);
+  }
+  char full[1100];
+  std::snprintf(full, sizeof(full), "/htdocs%.*s%s",
+                static_cast<int>(req.path.size()), req.path.data(),
+                req.path.ends_with("/") ? "index.html" : "");
+  (void)FIR_STRLEN(fx_, full);
+
+  std::size_t fsize = 0;
+  if (FIR_STAT_SIZE(fx_, full, &fsize) == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "handler_404");
+    counters_.responses_4xx += 1;
+    module_logger(req, 404);
+    return http::format_response(out, cap, 404, "Not Found", "text/html",
+                                 "<h1>Not Found</h1>", req.keep_alive);
+  }
+  const int ffd = FIR_OPEN(fx_, full, kRdOnly);
+  if (ffd < 0) {
+    counters_.responses_5xx += 1;
+    module_logger(req, 500);
+    return http::format_response(out, cap, 500, "Internal Server Error",
+                                 "text/html", "", req.keep_alive);
+  }
+  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, fsize + 1));
+  if (scratch == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "handler_oom");
+    counters_.responses_5xx += 1;
+    FIR_CLOSE(fx_, ffd);
+    module_logger(req, 500);
+    return http::format_response(out, cap, 500, "Internal Server Error",
+                                 "text/html", "<h1>500</h1>",
+                                 req.keep_alive);
+  }
+  const ssize_t got = FIR_PREAD(fx_, ffd, scratch, fsize, 0);
+  std::size_t n = 0;
+  if (got < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "handler_read_error");
+    counters_.responses_5xx += 1;
+    module_logger(req, 500);
+    n = http::format_response(out, cap, 500, "Internal Server Error",
+                              "text/html", "", req.keep_alive);
+  } else {
+    counters_.requests_ok += 1;
+    module_logger(req, 200);
+    const std::string_view mime = http::mime_type(full);
+    char mime_buf[64];
+    std::snprintf(mime_buf, sizeof(mime_buf), "%.*s",
+                  static_cast<int>(mime.size()), mime.data());
+    n = http::format_response(
+        out, cap, 200, "OK", mime_buf,
+        {scratch, req.method == http::Method::kHead
+                      ? 0
+                      : static_cast<std::size_t>(got)},
+        req.keep_alive);
+  }
+  FIR_FREE(fx_, scratch);
+  FIR_CLOSE(fx_, ffd);
+  return n;
+}
+
+std::size_t Apachette::module_cgi_echo(const http::Request& req, char* out,
+                                       std::size_t cap) {
+  // Apache-style per-request pool allocation: the CGI bridge builds its
+  // environment in request-scoped memory. This is also the handler's crash
+  // transaction anchor — an OOM (real or injected) aborts just this request
+  // with a 500.
+  char* pool = static_cast<char*>(FIR_MALLOC(fx_, 1024));
+  if (pool == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "cgi_oom");
+    counters_.responses_5xx += 1;
+    module_logger(req, 500);
+    return http::format_response(out, cap, 500, "Internal Server Error",
+                                 "text/html", "<h1>500</h1>",
+                                 req.keep_alive);
+  }
+  HSFI_POINT(fx_.hsfi(), "cgi_echo", /*critical=*/false);
+  const std::size_t dlen =
+      http::url_decode(req.query.substr(4), pool, 512);
+  char body[600];
+  const int blen = std::snprintf(body, sizeof(body),
+                                 "cgi-echo: %.*s (pid %d)\n",
+                                 static_cast<int>(dlen), pool,
+                                 FIR_GETPID(fx_));
+  counters_.requests_ok += 1;
+  const std::size_t n = http::format_response(
+      out, cap, 200, "OK", "text/plain",
+      {body, static_cast<std::size_t>(blen)}, req.keep_alive);
+  FIR_FREE(fx_, pool);
+  return n;
+}
+
+std::size_t Apachette::module_status(const http::Request& req, char* out,
+                                     std::size_t cap) {
+  // mod_status assembles its scoreboard in an aligned scratch buffer
+  // (posix_memalign, like Apache's bucket allocator) — the paper names
+  // posix_memalign among the abort-prone allocation sites.
+  void* scratch = nullptr;
+  const int rc = FIR_POSIX_MEMALIGN(fx_, &scratch, 4096);
+  if (rc != 0 || scratch == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "mod_status_oom");
+    counters_.responses_5xx += 1;
+    return http::format_response(out, cap, 503, "Service Unavailable",
+                                 "text/plain", "busy\n", req.keep_alive);
+  }
+  // Scoreboard assembly runs inside the posix_memalign transaction; a
+  // persistent crash here diverts at that gate (ENOMEM -> 503 handler).
+  HSFI_POINT(fx_.hsfi(), "mod_status", /*critical=*/false);
+  char* page = static_cast<char*>(scratch);
+  const int len = std::snprintf(
+      page, 4096,
+      "apachette status\n"
+      "requests-ok: %llu\n4xx: %llu\n5xx: %llu\n"
+      "connections: %llu accepted, %llu closed\nworkers-live: %zu\n",
+      static_cast<unsigned long long>(counters_.requests_ok.get()),
+      static_cast<unsigned long long>(counters_.responses_4xx.get()),
+      static_cast<unsigned long long>(counters_.responses_5xx.get()),
+      static_cast<unsigned long long>(
+          counters_.connections_accepted.get()),
+      static_cast<unsigned long long>(counters_.connections_closed.get()),
+      workers_.live());
+  counters_.requests_ok += 1;
+  const std::size_t n = http::format_response(
+      out, cap, 200, "OK", "text/plain",
+      {page, static_cast<std::size_t>(len)}, req.keep_alive);
+  FIR_FREE(fx_, scratch);
+  return n;
+}
+
+void Apachette::module_logger(const http::Request& req, int status) {
+  // The logger serves error-reporting paths too; a fault here is a fault
+  // in (shared) error-handling code — out of recovery scope (§VII).
+  HSFI_HANDLER_POINT(fx_.hsfi(), "access_log_format");
+  char line[512];
+  const int len = std::snprintf(
+      line, sizeof(line), "%llu \"%s %.*s\" %d\n",
+      static_cast<unsigned long long>(FIR_TIME_NS(fx_)),
+      http::method_name(req.method).data(),
+      static_cast<int>(req.target.size()), req.target.data(), status);
+  if (len > 0) {
+    // Buffered-logger style: write is irrecoverable (Table II), so this is
+    // one of the transactions Table III counts as irrecoverable.
+    const ssize_t w = FIR_WRITE(fx_, access_log_fd_, line,
+                                static_cast<std::size_t>(len));
+    if (w < 0) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "log_write_failed");
+      FIR_LOG(kWarn) << "apachette: access log write failed";
+    }
+  }
+}
+
+
+std::size_t Apachette::resident_state_bytes() const {
+  return workers_.footprint_bytes() +
+         fd_worker_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+}
+
+}  // namespace fir

@@ -1,0 +1,277 @@
+#include "apps/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace fir::http {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+Method parse_method(std::string_view m) {
+  if (m == "GET") return Method::kGet;
+  if (m == "HEAD") return Method::kHead;
+  if (m == "POST") return Method::kPost;
+  if (m == "PUT") return Method::kPut;
+  if (m == "DELETE") return Method::kDelete;
+  if (m == "PROPFIND") return Method::kPropfind;
+  if (m == "OPTIONS") return Method::kOptions;
+  if (m == "MKCOL") return Method::kMkcol;
+  return Method::kUnknown;
+}
+
+}  // namespace
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kPropfind: return "PROPFIND";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kMkcol: return "MKCOL";
+    case Method::kUnknown: break;
+  }
+  return "UNKNOWN";
+}
+
+ParseResult parse_request(std::string_view data, Request& out) {
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // Reject pathological header floods before they fill buffers.
+    return data.size() > 16 * 1024 ? ParseResult::kBad
+                                   : ParseResult::kIncomplete;
+  }
+  out = Request{};
+  out.header_bytes = head_end + 4;
+
+  // Request line.
+  const std::size_t line_end = data.find("\r\n");
+  std::string_view line = data.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return ParseResult::kBad;
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp2 == sp1) return ParseResult::kBad;
+  out.method = parse_method(line.substr(0, sp1));
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = line.substr(sp2 + 1);
+  if (out.target.empty() || out.target[0] != '/') return ParseResult::kBad;
+  if (!out.version.starts_with("HTTP/")) return ParseResult::kBad;
+
+  const std::size_t q = out.target.find('?');
+  if (q == std::string_view::npos) {
+    out.path = out.target;
+  } else {
+    out.path = out.target.substr(0, q);
+    out.query = out.target.substr(q + 1);
+  }
+
+  // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+  out.keep_alive = out.version == "HTTP/1.1";
+
+  // Headers.
+  std::string_view headers = data.substr(line_end + 2, head_end - line_end - 2);
+  while (!headers.empty()) {
+    const std::size_t eol = headers.find("\r\n");
+    std::string_view header =
+        eol == std::string_view::npos ? headers : headers.substr(0, eol);
+    headers.remove_prefix(eol == std::string_view::npos ? headers.size()
+                                                        : eol + 2);
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view key = trim(header.substr(0, colon));
+    const std::string_view value = trim(header.substr(colon + 1));
+    if (iequals(key, "connection")) {
+      if (iequals(value, "close")) out.keep_alive = false;
+      if (iequals(value, "keep-alive")) out.keep_alive = true;
+    } else if (iequals(key, "host")) {
+      out.host = value;
+    } else if (iequals(key, "range")) {
+      out.range = value;
+    } else if (iequals(key, "content-length")) {
+      std::size_t n = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return ParseResult::kBad;
+        n = n * 10 + static_cast<std::size_t>(c - '0');
+        if (n > 1 * 1024 * 1024) return ParseResult::kBad;
+      }
+      out.content_length = n;
+    }
+  }
+
+  if (data.size() < out.header_bytes + out.content_length)
+    return ParseResult::kIncomplete;
+  out.body = data.substr(out.header_bytes, out.content_length);
+  return ParseResult::kComplete;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 207: return "Multi-Status";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::size_t format_response(char* buf, std::size_t cap, int status,
+                            std::string_view reason,
+                            std::string_view content_type,
+                            std::string_view body, bool keep_alive) {
+  const int head = std::snprintf(
+      buf, cap,
+      "HTTP/1.1 %d %.*s\r\n"
+      "Content-Type: %.*s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: %s\r\n"
+      "\r\n",
+      status, static_cast<int>(reason.size()), reason.data(),
+      static_cast<int>(content_type.size()), content_type.data(), body.size(),
+      keep_alive ? "keep-alive" : "close");
+  if (head < 0 || static_cast<std::size_t>(head) >= cap) return 0;
+  if (static_cast<std::size_t>(head) + body.size() > cap) return 0;
+  std::memcpy(buf + head, body.data(), body.size());
+  return static_cast<std::size_t>(head) + body.size();
+}
+
+std::string_view mime_type(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return "application/octet-stream";
+  const std::string_view ext = path.substr(dot + 1);
+  if (ext == "html" || ext == "htm" || ext == "shtml") return "text/html";
+  if (ext == "txt") return "text/plain";
+  if (ext == "css") return "text/css";
+  if (ext == "js") return "application/javascript";
+  if (ext == "json") return "application/json";
+  if (ext == "xml") return "application/xml";
+  if (ext == "png") return "image/png";
+  if (ext == "jpg" || ext == "jpeg") return "image/jpeg";
+  if (ext == "gif") return "image/gif";
+  if (ext == "svg") return "image/svg+xml";
+  if (ext == "ico") return "image/x-icon";
+  return "application/octet-stream";
+}
+
+bool path_is_unsafe(std::string_view path) {
+  if (path.find('\0') != std::string_view::npos) return true;
+  // Reject any dot-dot segment.
+  std::string_view rest = path;
+  while (!rest.empty()) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view segment =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    if (segment == "..") return true;
+    if (slash == std::string_view::npos) break;
+    rest.remove_prefix(slash + 1);
+  }
+  return false;
+}
+
+ByteRange parse_range(std::string_view value) {
+  ByteRange range;
+  if (!value.starts_with("bytes=")) return range;
+  value.remove_prefix(6);
+  if (value.find(',') != std::string_view::npos) return range;  // multi
+  const std::size_t dash = value.find('-');
+  if (dash == std::string_view::npos) return range;
+  auto parse_num = [](std::string_view s, std::size_t& out_num) {
+    if (s.empty()) return false;
+    std::size_t n = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + static_cast<std::size_t>(c - '0');
+      if (n > (std::size_t{1} << 40)) return false;
+    }
+    out_num = n;
+    return true;
+  };
+  const std::string_view first_str = value.substr(0, dash);
+  const std::string_view last_str = value.substr(dash + 1);
+  if (first_str.empty()) {
+    // Suffix form: "-N".
+    if (!parse_num(last_str, range.last) || range.last == 0) return range;
+    range.suffix = true;
+    range.valid = true;
+    return range;
+  }
+  if (!parse_num(first_str, range.first)) return range;
+  if (last_str.empty()) {
+    range.last = static_cast<std::size_t>(-1);  // open-ended
+  } else if (!parse_num(last_str, range.last) || range.last < range.first) {
+    return range;
+  }
+  range.valid = true;
+  return range;
+}
+
+bool resolve_range(ByteRange& range, std::size_t size) {
+  if (!range.valid || size == 0) return false;
+  if (range.suffix) {
+    const std::size_t n = range.last > size ? size : range.last;
+    range.first = size - n;
+    range.last = size - 1;
+    return true;
+  }
+  if (range.first >= size) return false;
+  if (range.last >= size) range.last = size - 1;
+  return true;
+}
+
+std::size_t url_decode(std::string_view in, char* out, std::size_t cap) {
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (len >= cap) return 0;
+    const char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size()) return 0;
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi < 0 || lo < 0) return 0;
+      out[len++] = static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else if (c == '+') {
+      out[len++] = ' ';
+    } else {
+      out[len++] = c;
+    }
+  }
+  return len;
+}
+
+}  // namespace fir::http

@@ -1,0 +1,84 @@
+// Allocation-free HTTP/1.x parsing and formatting shared by the mini web
+// servers.
+//
+// Everything here works on caller-provided buffers and string_views. The
+// discipline is load-bearing: code running inside a crash transaction must
+// not create locals with non-trivial destructors, because a rollback longjmp
+// does not unwind them (exactly the constraint FIRestarter's instrumented C
+// targets live under).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fir::http {
+
+enum class Method : std::uint8_t { kGet = 0, kHead, kPost, kPut, kDelete,
+                                   kPropfind, kOptions, kMkcol, kUnknown };
+
+std::string_view method_name(Method m);
+
+/// A parsed request line + the headers the servers care about. All views
+/// point into the caller's receive buffer.
+struct Request {
+  Method method = Method::kUnknown;
+  std::string_view target;       // "/index.html?q=1"
+  std::string_view path;         // "/index.html"
+  std::string_view query;        // "q=1"
+  std::string_view version;      // "HTTP/1.1"
+  std::string_view host;
+  std::string_view range;  // raw Range header value ("bytes=0-99")
+  std::string_view body;
+  bool keep_alive = true;
+  std::size_t header_bytes = 0;  // request-line + headers + blank line
+  std::size_t content_length = 0;
+};
+
+enum class ParseResult : std::uint8_t {
+  kComplete = 0,   // a full request was parsed
+  kIncomplete,     // need more bytes
+  kBad,            // malformed: respond 400 and close
+};
+
+/// Parses one request from `data`. On kComplete the request consumed
+/// `out.header_bytes + out.content_length` bytes.
+ParseResult parse_request(std::string_view data, Request& out);
+
+/// Formats a response head + body into `buf`; returns bytes written, or 0
+/// when it does not fit. `body` may be empty (e.g. HEAD, 204).
+std::size_t format_response(char* buf, std::size_t cap, int status,
+                            std::string_view reason,
+                            std::string_view content_type,
+                            std::string_view body, bool keep_alive);
+
+/// Reason phrase for the status codes the servers emit.
+std::string_view reason_phrase(int status);
+
+/// Content type from a path's extension ("text/html", "text/plain", ...).
+std::string_view mime_type(std::string_view path);
+
+/// True when `path` escapes the document root ("..", embedded NUL).
+bool path_is_unsafe(std::string_view path);
+
+/// Decodes %XX escapes in-place-free: writes into out (cap bytes); returns
+/// decoded length or 0 on malformed escape / overflow.
+std::size_t url_decode(std::string_view in, char* out, std::size_t cap);
+
+/// A parsed "Range: bytes=a-b" request (single range only).
+struct ByteRange {
+  std::size_t first = 0;
+  std::size_t last = 0;  // inclusive
+  bool valid = false;
+  bool suffix = false;  // "bytes=-N": last N bytes
+};
+
+/// Parses a Range header value ("bytes=0-99", "bytes=100-", "bytes=-50").
+/// Multi-range and non-byte units yield valid=false.
+ByteRange parse_range(std::string_view value);
+
+/// Clamps a parsed range against a resource of `size` bytes. Returns false
+/// when the range is unsatisfiable (RFC 7233: respond 416).
+bool resolve_range(ByteRange& range, std::size_t size);
+
+}  // namespace fir::http

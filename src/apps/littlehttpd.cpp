@@ -1,0 +1,502 @@
+#include "apps/littlehttpd.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace fir {
+namespace {
+constexpr std::uint32_t kOptReuseAddr = 0x1;
+constexpr int kMaxEvents = 64;
+constexpr std::int32_t kNone = -1;
+constexpr std::size_t kSendChunk = 1024;  // chunked writer: many small sends
+}  // namespace
+
+Littlehttpd::Littlehttpd(TxManagerConfig config)
+    : Server(config), fd_conn_(1024, kNone) {}
+
+Littlehttpd::~Littlehttpd() { stop(); }
+
+void Littlehttpd::install_default_docroot() {
+  Vfs& vfs = fx_.env().vfs();
+  vfs.put_file("/srv/index.html",
+               "<html><body><h1>littlehttpd</h1></body></html>");
+  vfs.put_file("/srv/readme.txt", "littlehttpd: small and fast\n");
+  std::string payload(6000, 'l');
+  vfs.put_file("/srv/blob.bin", payload);
+  vfs.put_file("/srv/dav/notes.txt", "dav-managed notes\n");
+}
+
+Status Littlehttpd::start(std::uint16_t port) {
+  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
+  port_ = port != 0 ? port : kDefaultPort;
+  install_default_docroot();
+
+  const int s = FIR_SOCKET(fx_);
+  if (s < 0) return Status(ErrorCode::kResourceExhausted, "socket");
+  if (FIR_SETSOCKOPT(fx_, s, kOptReuseAddr) == -1 ||
+      FIR_BIND(fx_, s, port_) == -1 || FIR_LISTEN(fx_, s, 64) == -1 ||
+      FIR_FCNTL_NONBLOCK(fx_, s, true) == -1) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "listener setup");
+  }
+  const int ep = FIR_EPOLL_CREATE1(fx_);
+  if (ep < 0 || FIR_EPOLL_CTL(fx_, ep, kEpollAdd, s, kPollIn) == -1) {
+    if (ep >= 0) FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "epoll setup");
+  }
+  const int elog = FIR_OPEN(fx_, "/logs/error.log", kCreat | kWrOnly);
+  if (elog < 0) {
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "error log");
+  }
+  FIR_QUIESCE(fx_);
+  listen_fd_ = s;
+  epfd_ = ep;
+  error_log_fd_ = elog;
+  running_ = true;
+  return Status::ok();
+}
+
+void Littlehttpd::stop() {
+  if (!running_) return;
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+  for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
+    if (fd_conn_[fd] != kNone) {
+      fx_.env().close(static_cast<int>(fd));
+      fd_conn_[fd] = kNone;
+    }
+  }
+  fx_.env().close(error_log_fd_);
+  fx_.env().close(epfd_);
+  fx_.env().close(listen_fd_);
+  error_log_fd_ = epfd_ = listen_fd_ = -1;
+  running_ = false;
+}
+
+Littlehttpd::Conn* Littlehttpd::conn_of(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fd_conn_.size())
+    return nullptr;
+  const std::int32_t idx = fd_conn_[fd];
+  return idx == kNone ? nullptr : conns_.at(static_cast<std::size_t>(idx));
+}
+
+void Littlehttpd::run_once() {
+  if (!running_) return;
+  FIR_ANCHOR(fx_);
+  PollEvent events[kMaxEvents];
+  const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
+  if (n < 0) {
+    HSFI_POINT(fx_.hsfi(), "fdevent_poll_retry", /*critical=*/true);
+    FIR_QUIESCE(fx_);
+    fx_.mgr().clear_anchor();
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (events[i].fd == listen_fd_) {
+      accept_one();
+      continue;
+    }
+    Conn* conn = conn_of(events[i].fd);
+    if (conn == nullptr) {
+      FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, events[i].fd, 0);
+      FIR_CLOSE(fx_, events[i].fd);
+      continue;
+    }
+    if (conn->state == kWriting) {
+      conn_writable(events[i].fd, conn);
+      conn = conn_of(events[i].fd);
+    }
+    if (conn != nullptr && conn->state == kReading) {
+      conn_readable(events[i].fd, conn);
+    }
+  }
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+}
+
+void Littlehttpd::accept_one() {
+  for (;;) {
+    const int c = FIR_ACCEPT(fx_, listen_fd_);
+    if (c < 0) {
+      if (fx_.err() != EAGAIN) {
+        HSFI_HANDLER_POINT(fx_.hsfi(), "accept_error");
+        FIR_LOG(kWarn) << "littlehttpd: accept failed";
+      }
+      return;
+    }
+    if (FIR_FCNTL_NONBLOCK(fx_, c, true) == -1) {
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    Conn* conn = conns_.alloc();
+    if (conn == nullptr) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "conn_table_full");
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    tx_store(conn->fd, c);
+    tx_store(conn->state, static_cast<std::uint8_t>(kReading));
+    tx_store(conn->keep_alive, static_cast<std::uint8_t>(1));
+    tx_store(conn->dav_state_idx, kNone);
+    tx_store(fd_conn_[c], static_cast<std::int32_t>(conns_.index_of(conn)));
+    if (FIR_EPOLL_CTL(fx_, epfd_, kEpollAdd, c, kPollIn) == -1) {
+      close_conn(c, conn);
+      continue;
+    }
+    counters_.connections_accepted += 1;
+  }
+}
+
+void Littlehttpd::close_conn(int fd, Conn* conn) {
+  if (conn->dav_state_idx != kNone) {
+    DavState* dav =
+        dav_pool_.at(static_cast<std::size_t>(conn->dav_state_idx));
+    tx_store(dav->magic, 0u);
+    dav_pool_.release(dav);
+    tx_store(conn->dav_state_idx, kNone);
+  }
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, fd, 0);
+  FIR_CLOSE(fx_, fd);
+  tx_store(fd_conn_[fd], kNone);
+  conns_.release(conn);
+  counters_.connections_closed += 1;
+}
+
+void Littlehttpd::conn_readable(int fd, Conn* conn) {
+  const std::uint32_t space =
+      static_cast<std::uint32_t>(sizeof(conn->rx)) - conn->rx_len;
+  if (space == 0) {
+    counters_.protocol_errors += 1;
+    close_conn(fd, conn);
+    return;
+  }
+  const ssize_t r = FIR_READ(fx_, fd, conn->rx + conn->rx_len, space);
+  if (r < 0) {
+    if (fx_.err() == EAGAIN) return;
+    HSFI_HANDLER_POINT(fx_.hsfi(), "read_error");
+    close_conn(fd, conn);
+    return;
+  }
+  if (r == 0) {
+    close_conn(fd, conn);
+    return;
+  }
+  tx_store(conn->rx_len, conn->rx_len + static_cast<std::uint32_t>(r));
+
+  http::Request req;
+  const auto result = http::parse_request({conn->rx, conn->rx_len}, req);
+  HSFI_POINT(fx_.hsfi(), "request_parse", /*critical=*/false);
+  if (result == http::ParseResult::kIncomplete) return;
+  if (result == http::ParseResult::kBad) {
+    counters_.responses_4xx += 1;
+    counters_.protocol_errors += 1;
+    queue_response(conn, 400, "text/html", "<h1>400</h1>", 12, false);
+  } else {
+    dispatch_request(fd, conn, req);
+    // Consume the request; keep pipelined bytes.
+    const std::uint32_t consumed = static_cast<std::uint32_t>(
+        req.header_bytes + req.content_length);
+    const std::uint32_t rest =
+        consumed <= conn->rx_len ? conn->rx_len - consumed : 0;
+    if (rest > 0) {
+      StoreGate::record(conn->rx, rest);
+      std::memmove(conn->rx, conn->rx + consumed, rest);
+    }
+    tx_store(conn->rx_len, rest);
+    tx_store(conn->keep_alive, static_cast<std::uint8_t>(req.keep_alive));
+  }
+  tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollOut);
+  conn_writable(fd, conn);
+}
+
+void Littlehttpd::touch_dav_state(Conn* conn) {
+  if (conn->dav_state_idx == kNone) return;
+  DavState* dav =
+      dav_pool_.at(static_cast<std::size_t>(conn->dav_state_idx));
+  // Bug #2780's crash site: the handle was released but the connection kept
+  // the pointer; lighttpd dereferences freed memory here. The magic check
+  // models the MMU fault on the poisoned allocation.
+  if (dav->magic != kDavMagic) raise_crash(CrashKind::kSegv);
+  (void)dav->lock_serial;
+}
+
+void Littlehttpd::dispatch_request(int fd, Conn* conn,
+                                   const http::Request& req) {
+  (void)fd;
+  HSFI_POINT(fx_.hsfi(), "dispatch", /*critical=*/false);
+  if (http::path_is_unsafe(req.path)) {
+    HSFI_POINT(fx_.hsfi(), "unsafe_path", /*critical=*/false);
+    counters_.responses_4xx += 1;
+    queue_response(conn, 403, "text/html", "<h1>403</h1>", 12,
+                   req.keep_alive);
+    return;
+  }
+  if (req.method == http::Method::kOptions) {
+    // Capability discovery (lighttpd answers from static config).
+    HSFI_POINT(fx_.hsfi(), "options_probe", /*critical=*/false);
+    counters_.requests_ok += 1;
+    queue_response(conn, 204, "text/plain", "", 0, req.keep_alive);
+    return;
+  }
+  if (req.method == http::Method::kPropfind ||
+      req.method == http::Method::kPut ||
+      req.method == http::Method::kDelete ||
+      req.method == http::Method::kMkcol) {
+    handle_webdav(conn, req);
+    webdav_connection_reset(conn);
+    return;
+  }
+  handle_static(conn, req);
+}
+
+void Littlehttpd::webdav_connection_reset(Conn* conn) {
+  HSFI_POINT(fx_.hsfi(), "webdav_connection_reset", /*critical=*/false);
+  if (conn->dav_state_idx == kNone) return;
+  DavState* dav =
+      dav_pool_.at(static_cast<std::size_t>(conn->dav_state_idx));
+  tx_store(dav->magic, 0u);
+  dav_pool_.release(dav);
+  if (!webdav_uaf_bug_) {
+    tx_store(conn->dav_state_idx, kNone);  // the cleanup bug #2780 skips
+  }
+}
+
+void Littlehttpd::handle_webdav(Conn* conn, const http::Request& req) {
+  HSFI_POINT(fx_.hsfi(), "webdav_enter", /*critical=*/false);
+  // Allocate the per-connection DAV handle.
+  if (conn->dav_state_idx == kNone) {
+    DavState* dav = dav_pool_.alloc();
+    if (dav == nullptr) {
+      counters_.responses_5xx += 1;
+      queue_response(conn, 503, "text/plain", "busy\n", 5, req.keep_alive);
+      return;
+    }
+    tx_store(dav->magic, kDavMagic);
+    tx_store(dav->lock_serial, dav->lock_serial + 1u);
+    tx_store(conn->dav_state_idx,
+             static_cast<std::int32_t>(dav_pool_.index_of(dav)));
+  } else {
+    touch_dav_state(conn);
+  }
+
+  char full[1100];
+  std::snprintf(full, sizeof(full), "/srv%.*s",
+                static_cast<int>(req.path.size()), req.path.data());
+
+  if (req.method == http::Method::kPut) {
+    const int ffd = FIR_OPEN64(fx_, full, kCreat | kWrOnly | kTrunc);
+    if (ffd < 0) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "dav_put_open_failed");
+      counters_.responses_4xx += 1;
+      queue_response(conn, 403, "text/html", "<h1>403 - Forbidden</h1>", 24,
+                     req.keep_alive);
+      return;
+    }
+    const ssize_t w =
+        FIR_PWRITE(fx_, ffd, req.body.data(), req.body.size(), 0);
+    if (w < 0) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "dav_put_write_failed");
+      counters_.responses_5xx += 1;
+      queue_response(conn, 500, "text/html", "", 0, req.keep_alive);
+      FIR_CLOSE(fx_, ffd);
+      return;
+    }
+    FIR_CLOSE(fx_, ffd);
+    counters_.requests_ok += 1;
+    queue_response(conn, 201, "text/plain", "created\n", 8, req.keep_alive);
+    return;
+  }
+
+  if (req.method == http::Method::kMkcol) {
+    // Collections are modeled as marker files ("<dir>/.collection").
+    HSFI_POINT(fx_.hsfi(), "dav_mkcol", /*critical=*/false);
+    char marker[1150];
+    std::snprintf(marker, sizeof(marker), "%s/.collection", full);
+    if (fx_.env().vfs().exists(marker)) {
+      counters_.responses_4xx += 1;
+      queue_response(conn, 405, "text/html", "<h1>405</h1>", 12,
+                     req.keep_alive);
+      return;
+    }
+    const int cfd = FIR_OPEN64(fx_, marker, kCreat | kWrOnly);
+    if (cfd < 0) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "dav_mkcol_failed");
+      counters_.responses_4xx += 1;
+      queue_response(conn, 403, "text/html", "<h1>403 - Forbidden</h1>", 24,
+                     req.keep_alive);
+      return;
+    }
+    FIR_CLOSE(fx_, cfd);
+    counters_.requests_ok += 1;
+    queue_response(conn, 201, "text/plain", "created\n", 8, req.keep_alive);
+    return;
+  }
+
+  if (req.method == http::Method::kDelete) {
+    // The deferred unlink runs at this transaction's commit, after this
+    // frame may be gone — the path must live in stable storage.
+    std::memcpy(unlink_path_, full, sizeof(unlink_path_));
+    if (FIR_UNLINK(fx_, unlink_path_) == -1) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "dav_delete_missing");
+      counters_.responses_4xx += 1;
+      queue_response(conn, 404, "text/html", "<h1>404</h1>", 12,
+                     req.keep_alive);
+      return;
+    }
+    counters_.requests_ok += 1;
+    queue_response(conn, 204, "text/plain", "", 0, req.keep_alive);
+    return;
+  }
+
+  // PROPFIND.
+  std::size_t fsize = 0;
+  if (FIR_STAT_SIZE(fx_, full, &fsize) == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "dav_propfind_missing");
+    counters_.responses_4xx += 1;
+    queue_response(conn, 404, "text/html", "<h1>404</h1>", 12,
+                   req.keep_alive);
+    return;
+  }
+  char body[512];
+  const int blen = std::snprintf(
+      body, sizeof(body),
+      "<?xml version=\"1.0\"?><d:multistatus><d:response>"
+      "<d:href>%.*s</d:href><d:propstat><d:prop>"
+      "<d:getcontentlength>%zu</d:getcontentlength></d:prop>"
+      "</d:propstat></d:response></d:multistatus>",
+      static_cast<int>(req.path.size()), req.path.data(), fsize);
+  counters_.requests_ok += 1;
+  queue_response(conn, 207, "application/xml", body,
+                 static_cast<std::size_t>(blen), req.keep_alive);
+}
+
+void Littlehttpd::handle_static(Conn* conn, const http::Request& req) {
+  HSFI_POINT(fx_.hsfi(), "static_enter", /*critical=*/false);
+  if (req.method != http::Method::kGet &&
+      req.method != http::Method::kHead) {
+    counters_.responses_4xx += 1;
+    queue_response(conn, 405, "text/html", "<h1>405</h1>", 12,
+                   req.keep_alive);
+    return;
+  }
+  char full[1100];
+  std::snprintf(full, sizeof(full), "/srv%.*s%s",
+                static_cast<int>(req.path.size()), req.path.data(),
+                req.path.ends_with("/") ? "index.html" : "");
+
+  const int ffd = FIR_OPEN64(fx_, full, kRdOnly);
+  if (ffd < 0) {
+    // §VI-F: the WebDAV UAF crash (inside touch_dav_state below on the
+    // re-executed path, or inside this handler) diverts at this open64
+    // gate; the error path answers "403 - Forbidden", as the paper reports.
+    HSFI_HANDLER_POINT(fx_.hsfi(), "static_open_failed");
+    counters_.responses_4xx += 1;
+    queue_response(conn, 403, "text/html", "<h1>403 - Forbidden</h1>", 24,
+                   req.keep_alive);
+    return;
+  }
+  // The missing-cleanup bug fires here: a mixed (non-DAV) request touches
+  // the stale DAV handle while preparing the response.
+  touch_dav_state(conn);
+
+  std::size_t fsize = 0;
+  if (FIR_FSTAT_SIZE(fx_, ffd, &fsize) == -1) {
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, req.keep_alive);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, fsize + 1));
+  if (scratch == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "static_oom");
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12,
+                   req.keep_alive);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  const ssize_t got = FIR_PREAD(fx_, ffd, scratch, fsize, 0);
+  if (got < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "static_read_failed");
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, req.keep_alive);
+  } else {
+    counters_.requests_ok += 1;
+    const std::string_view mime = http::mime_type(full);
+    char mime_buf[64];
+    std::snprintf(mime_buf, sizeof(mime_buf), "%.*s",
+                  static_cast<int>(mime.size()), mime.data());
+    queue_response(conn, 200, mime_buf, scratch,
+                   req.method == http::Method::kHead
+                       ? 0
+                       : static_cast<std::size_t>(got),
+                   req.keep_alive);
+  }
+  FIR_FREE(fx_, scratch);
+  FIR_CLOSE(fx_, ffd);
+}
+
+void Littlehttpd::queue_response(Conn* conn, int status,
+                                 const char* content_type, const char* body,
+                                 std::size_t len, bool keep_alive) {
+  char buf[sizeof(Conn::tx)];
+  const std::size_t n = http::format_response(
+      buf, sizeof(buf), status, http::reason_phrase(status), content_type,
+      {body, len}, keep_alive);
+  tx_memcpy(conn->tx, buf, n);
+  tx_store(conn->tx_len, static_cast<std::uint32_t>(n));
+  tx_store(conn->tx_off, 0u);
+  if (status >= 400) {
+    char line[128];
+    const int llen = std::snprintf(line, sizeof(line),
+                                   "littlehttpd: response status %d\n",
+                                   status);
+    // Error-log write: its own (irrecoverable) transaction per event,
+    // lighttpd-style.
+    if (FIR_WRITE(fx_, error_log_fd_, line,
+                  static_cast<std::size_t>(llen)) < 0) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "errorlog_write_failed");
+    }
+  }
+}
+
+void Littlehttpd::conn_writable(int fd, Conn* conn) {
+  while (conn->tx_off < conn->tx_len) {
+    // Chunked writer: at most kSendChunk bytes per send() — many small
+    // irrecoverable transactions, lighttpd's signature shape in Table III.
+    const std::size_t remaining = conn->tx_len - conn->tx_off;
+    const std::size_t chunk =
+        remaining < kSendChunk ? remaining : kSendChunk;
+    const ssize_t w = FIR_SEND(fx_, fd, conn->tx + conn->tx_off, chunk);
+    if (w < 0) {
+      if (fx_.err() == EAGAIN) return;
+      HSFI_HANDLER_POINT(fx_.hsfi(), "write_chunk_failed");
+      close_conn(fd, conn);
+      return;
+    }
+    tx_store(conn->tx_off, conn->tx_off + static_cast<std::uint32_t>(w));
+    HSFI_POINT(fx_.hsfi(), "write_chunk_done", /*critical=*/false);
+  }
+  tx_store(conn->tx_len, 0u);
+  tx_store(conn->tx_off, 0u);
+  if (conn->keep_alive != 0) {
+    tx_store(conn->state, static_cast<std::uint8_t>(kReading));
+    FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollIn);
+  } else {
+    close_conn(fd, conn);
+  }
+}
+
+
+std::size_t Littlehttpd::resident_state_bytes() const {
+  return conns_.footprint_bytes() + dav_pool_.footprint_bytes() +
+         fd_conn_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+}
+
+}  // namespace fir

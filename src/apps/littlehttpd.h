@@ -1,0 +1,101 @@
+// littlehttpd: a lighttpd-shaped web server.
+//
+// lighttpd chops request processing into many small plugin stages, which is
+// why the paper's Table III measures it at 136 unique transactions with only
+// 17 embedded library calls: nearly every stage performs its own library
+// call. littlehttpd mirrors that: a fine-grained state machine where each
+// stage opens its own crash transaction, a chunked writer (several send()
+// transactions per response — send is irrecoverable, giving lighttpd the
+// largest irrecoverable share of the three web servers), and a WebDAV module
+// with lighttpd bug #2780 (§VI-F): mod_webdav_connection_reset() misses a
+// cleanup, so a WebDAV request mixed with other requests on one keep-alive
+// connection leaves a stale per-connection handle behind; the next request
+// dereferences it and crashes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/http.h"
+#include "apps/server.h"
+#include "mem/tracked_pool.h"
+
+namespace fir {
+
+class Littlehttpd final : public Server {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 8082;
+
+  explicit Littlehttpd(TxManagerConfig config = {});
+  ~Littlehttpd() override;
+
+  const char* name() const override { return "littlehttpd"; }
+  Status start(std::uint16_t port) override;
+  void run_once() override;
+  void stop() override;
+  std::uint16_t port() const override { return port_; }
+  std::size_t resident_state_bytes() const override;
+
+  /// Enables lighttpd bug #2780: the WebDAV connection-reset cleanup is
+  /// skipped, leaving a dangling per-connection DAV handle.
+  void enable_webdav_uaf_bug(bool on) { webdav_uaf_bug_ = on; }
+
+  void install_default_docroot();
+
+ private:
+  /// Per-connection WebDAV scratch state (lock token etc.), pool-allocated
+  /// so stale references are detectable (magic check models the UAF crash).
+  struct DavState {
+    std::uint32_t magic;
+    std::uint32_t lock_serial;
+    char lock_token[64];
+  };
+  static constexpr std::uint32_t kDavMagic = 0xDA57A7E5;
+
+  struct Conn {
+    std::int32_t fd;
+    std::uint8_t state;
+    std::uint8_t keep_alive;
+    std::uint16_t padding;
+    std::int32_t dav_state_idx;  // index into dav_pool_, -1 when none
+    std::uint32_t rx_len;
+    std::uint32_t tx_len;
+    std::uint32_t tx_off;
+    char rx[4096];
+    char tx[16384];
+  };
+  enum ConnState : std::uint8_t { kReading = 1, kWriting = 2 };
+
+  void accept_one();
+  void conn_readable(int fd, Conn* conn);
+  void conn_writable(int fd, Conn* conn);
+  void dispatch_request(int fd, Conn* conn, const http::Request& req);
+  void handle_static(Conn* conn, const http::Request& req);
+  void handle_webdav(Conn* conn, const http::Request& req);
+  /// lighttpd's mod_webdav_connection_reset(): supposed to drop the DAV
+  /// handle at request end. With the bug enabled it forgets.
+  void webdav_connection_reset(Conn* conn);
+  /// Touches the connection's DAV handle; a stale (released) handle models
+  /// the use-after-free crash.
+  void touch_dav_state(Conn* conn);
+  void queue_response(Conn* conn, int status, const char* content_type,
+                      const char* body, std::size_t len, bool keep_alive);
+  void close_conn(int fd, Conn* conn);
+  Conn* conn_of(int fd);
+
+  std::uint16_t port_ = kDefaultPort;
+  int listen_fd_ = -1;
+  int epfd_ = -1;
+  int error_log_fd_ = -1;
+  bool running_ = false;
+  bool webdav_uaf_bug_ = false;
+
+  TrackedPool<Conn> conns_{64};
+  TrackedPool<DavState> dav_pool_{32};
+  std::vector<std::int32_t> fd_conn_;
+  /// Stable storage for the deferred-unlink path (must outlive the
+  /// transaction the DELETE handler opens).
+  char unlink_path_[1100] = {};
+};
+
+}  // namespace fir

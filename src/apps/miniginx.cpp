@@ -1,0 +1,629 @@
+#include "apps/miniginx.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "apps/http.h"
+#include "common/log.h"
+
+namespace fir {
+namespace {
+constexpr std::uint32_t kOptReuseAddr = 0x1;
+constexpr std::uint32_t kOptNodelay = 0x2;
+constexpr int kMaxEvents = 64;
+constexpr std::int32_t kNoConn = -1;
+}  // namespace
+
+Miniginx::Miniginx(TxManagerConfig config)
+    : Server(config), fd_conn_(1024, kNoConn) {}
+
+Miniginx::~Miniginx() { stop(); }
+
+void Miniginx::install_default_docroot() {
+  Vfs& vfs = fx_.env().vfs();
+  vfs.put_file("/www/index.html",
+               "<html><body><h1>miniginx</h1><p>it works</p></body></html>");
+  vfs.put_file("/www/about.txt", "miniginx: an nginx-shaped mini server\n");
+  std::string big(16000, 'x');
+  vfs.put_file("/www/large.bin", big);
+  vfs.put_file("/www/page.shtml",
+               "<html><body>host=<!--#echo var=\"HOST\" --> "
+               "date=<!--#echo var=\"DATE\" --></body></html>");
+  vfs.put_file("/www/broken.shtml",
+               "<html><body>oops=<!--#echo var=\"NO_SUCH_VAR\" -->"
+               "</body></html>");
+  vfs.put_file("/www/style.css", "body { color: #222; }\n");
+  vfs.put_file("/www/api.json", "{\"server\":\"miniginx\",\"ok\":true}\n");
+}
+
+Status Miniginx::start(std::uint16_t port) {
+  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
+  port_ = port != 0 ? port : kDefaultPort;
+  install_default_docroot();
+
+  // Init phase: unprotected (no anchor), mirroring the paper's protocol of
+  // injecting faults only after startup. The calls still register sites.
+  const int s = FIR_SOCKET(fx_);
+  if (s < 0) return Status(ErrorCode::kResourceExhausted, "socket");
+  // The paper's Listing 1 interval: setsockopt -> error handler closes the
+  // socket -> bind with EADDRINUSE special case.
+  const int ret_s = FIR_SETSOCKOPT(fx_, s, kOptReuseAddr);
+  if (ret_s == -1) {
+    FIR_LOG(kError) << "miniginx: setsockopt() failed";
+    if (FIR_CLOSE(fx_, s) == -1)
+      FIR_LOG(kError) << "miniginx: close_socket failed";
+    return Status(ErrorCode::kInternal, "setsockopt");
+  }
+  const int ret_b = FIR_BIND(fx_, s, port_);
+  if (ret_b == -1) {
+    const int err = fx_.err();
+    FIR_LOG(kError) << "miniginx: bind() failed";
+    if (FIR_CLOSE(fx_, s) == -1)
+      FIR_LOG(kError) << "miniginx: close_socket failed";
+    return err == EADDRINUSE
+               ? Status(ErrorCode::kAddressInUse, "bind")
+               : Status(ErrorCode::kInternal, "bind");
+  }
+  if (FIR_LISTEN(fx_, s, 64) == -1) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "listen");
+  }
+  if (FIR_FCNTL_NONBLOCK(fx_, s, true) == -1) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "fcntl");
+  }
+  const int ep = FIR_EPOLL_CREATE1(fx_);
+  if (ep < 0) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kResourceExhausted, "epoll_create1");
+  }
+  if (FIR_EPOLL_CTL(fx_, ep, kEpollAdd, s, kPollIn) == -1) {
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "epoll_ctl");
+  }
+  const int alog =
+      FIR_OPEN(fx_, "/logs/miniginx.access.log", kCreat | kWrOnly | kAppend);
+  if (alog < 0) {
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "access log");
+  }
+  FIR_QUIESCE(fx_);
+  listen_fd_ = s;
+  epfd_ = ep;
+  access_log_fd_ = alog;
+  running_ = true;
+  return Status::ok();
+}
+
+void Miniginx::stop() {
+  if (!running_) return;
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+  for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
+    if (fd_conn_[fd] != kNoConn) {
+      fx_.env().close(static_cast<int>(fd));
+      fd_conn_[fd] = kNoConn;
+    }
+  }
+  fx_.env().close(access_log_fd_);
+  fx_.env().close(epfd_);
+  fx_.env().close(listen_fd_);
+  access_log_fd_ = epfd_ = listen_fd_ = -1;
+  running_ = false;
+}
+
+Miniginx::Conn* Miniginx::conn_of(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fd_conn_.size())
+    return nullptr;
+  const std::int32_t idx = fd_conn_[fd];
+  return idx == kNoConn ? nullptr : conns_.at(static_cast<std::size_t>(idx));
+}
+
+void Miniginx::run_once() {
+  if (!running_) return;
+  FIR_ANCHOR(fx_);
+  PollEvent events[kMaxEvents];
+  const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
+  if (n < 0) {
+    // Critical path: nothing to do but try again next iteration — the
+    // paper's epoll_wait example of a retrying error handler (§V-B).
+    HSFI_POINT(fx_.hsfi(), "event_loop_retry", /*critical=*/true);
+    FIR_QUIESCE(fx_);
+    fx_.mgr().clear_anchor();
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    HSFI_POINT(fx_.hsfi(), "event_dispatch", /*critical=*/true);
+    if (events[i].fd == listen_fd_) {
+      accept_new_connections();
+      continue;
+    }
+    Conn* conn = conn_of(events[i].fd);
+    if (conn == nullptr) {
+      // Stale event for an fd we already tore down.
+      FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, events[i].fd, 0);
+      FIR_CLOSE(fx_, events[i].fd);
+      continue;
+    }
+    if (conn->state == kWriting || (events[i].events & kPollOut) != 0) {
+      handle_writable(events[i].fd, conn);
+      conn = conn_of(events[i].fd);  // may have been closed
+    }
+    if (conn != nullptr && conn->state == kReading &&
+        (events[i].events & (kPollIn | kPollHup)) != 0) {
+      handle_readable(events[i].fd, conn);
+    }
+  }
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+}
+
+void Miniginx::accept_new_connections() {
+  for (;;) {
+    const int c = FIR_ACCEPT(fx_, listen_fd_);
+    if (c < 0) {
+      if (fx_.err() == EAGAIN) break;
+      // Non-critical error handler: log and move on (divert target).
+      FIR_LOG(kWarn) << "miniginx: accept() failed errno=" << fx_.err();
+      HSFI_HANDLER_POINT(fx_.hsfi(), "accept_error_path");
+      break;
+    }
+    HSFI_POINT(fx_.hsfi(), "accept_setup", /*critical=*/false);
+    if (FIR_FCNTL_NONBLOCK(fx_, c, true) == -1) {
+      FIR_LOG(kWarn) << "miniginx: fcntl(O_NONBLOCK) failed";
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    if (FIR_SETSOCKOPT(fx_, c, kOptNodelay) == -1) {
+      FIR_LOG(kWarn) << "miniginx: setsockopt(TCP_NODELAY) failed";
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    Conn* conn = conns_.alloc();
+    if (conn == nullptr) {
+      // Connection table exhausted: shed load.
+      HSFI_POINT(fx_.hsfi(), "overload_shed", /*critical=*/false);
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    tx_store(conn->fd, c);
+    tx_store(conn->state, static_cast<std::uint8_t>(kReading));
+    tx_store(conn->keep_alive, static_cast<std::uint8_t>(1));
+    tx_store(fd_conn_[c],
+             static_cast<std::int32_t>(conns_.index_of(conn)));
+    if (FIR_EPOLL_CTL(fx_, epfd_, kEpollAdd, c, kPollIn) == -1) {
+      FIR_LOG(kWarn) << "miniginx: epoll_ctl(ADD) failed";
+      close_conn(c, conn);
+      continue;
+    }
+    counters_.connections_accepted += 1;
+  }
+}
+
+void Miniginx::close_conn(int fd, Conn* conn) {
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, fd, 0);
+  FIR_CLOSE(fx_, fd);
+  tx_store(fd_conn_[fd], kNoConn);
+  conns_.release(conn);
+  counters_.connections_closed += 1;
+}
+
+void Miniginx::handle_readable(int fd, Conn* conn) {
+  const std::uint32_t space =
+      static_cast<std::uint32_t>(sizeof(conn->rx)) - conn->rx_len;
+  if (space == 0) {
+    // Request larger than the buffer: protocol error.
+    counters_.protocol_errors += 1;
+    close_conn(fd, conn);
+    return;
+  }
+  const ssize_t r = FIR_RECV(fx_, fd, conn->rx + conn->rx_len, space);
+  if (r < 0) {
+    if (fx_.err() == EAGAIN) return;
+    // recv failure (incl. an injected ECONNRESET): drop the connection —
+    // the non-critical error-handling path the fault injector exploits.
+    HSFI_HANDLER_POINT(fx_.hsfi(), "recv_error_path");
+    FIR_LOG(kInfo) << "miniginx: recv failed errno=" << fx_.err();
+    close_conn(fd, conn);
+    return;
+  }
+  if (r == 0) {  // orderly client close
+    close_conn(fd, conn);
+    return;
+  }
+  tx_store(conn->rx_len, conn->rx_len + static_cast<std::uint32_t>(r));
+  process_request(fd, conn);
+}
+
+void Miniginx::process_request(int fd, Conn* conn) {
+  http::Request req;
+  const auto result =
+      http::parse_request({conn->rx, conn->rx_len}, req);
+  HSFI_POINT(fx_.hsfi(), "parse_request", /*critical=*/false);
+  if (result == http::ParseResult::kIncomplete) return;
+  if (result == http::ParseResult::kBad) {
+    counters_.responses_4xx += 1;
+    counters_.protocol_errors += 1;
+    queue_response(conn, 400, "text/html", "<h1>400 Bad Request</h1>", 24,
+                   false);
+    tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
+    FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollOut);
+    handle_writable(fd, conn);
+    return;
+  }
+
+  // Method dispatch index: the kind of small table index HSFI's latent
+  // faults corrupt. The bounds check converts a corrupted index into a
+  // fail-stop crash (defensive coding, paper SSII) that the enclosing
+  // transaction absorbs.
+  static constexpr const char* kMethodTag[6] = {"GET",  "HEAD", "POST",
+                                                "PUT",  "DEL",  "PFND"};
+  std::uint8_t method_idx = static_cast<std::uint8_t>(req.method);
+  if (method_idx > 5) method_idx = 0;
+  HSFI_POINT_DATA(fx_.hsfi(), "method_dispatch_index", /*critical=*/false,
+                  &method_idx, sizeof(method_idx));
+  check_bounds(method_idx, 6);
+  (void)kMethodTag[method_idx];
+
+  // Decode the URL (non-critical feature path).
+  char decoded[1024];
+  const std::size_t dlen = http::url_decode(req.path, decoded, sizeof(decoded));
+  HSFI_POINT_DATA(fx_.hsfi(), "url_decode", /*critical=*/false, decoded,
+                  dlen < 16 ? dlen : 16);
+  if (dlen == 0) {
+    counters_.responses_4xx += 1;
+    queue_response(conn, 400, "text/html", "<h1>400 Bad Request</h1>", 24,
+                   req.keep_alive);
+  } else if (http::path_is_unsafe({decoded, dlen})) {
+    HSFI_POINT(fx_.hsfi(), "reject_unsafe_path", /*critical=*/false);
+    counters_.responses_4xx += 1;
+    queue_response(conn, 403, "text/html", "<h1>403 Forbidden</h1>", 22,
+                   req.keep_alive);
+  } else if (req.method != http::Method::kGet &&
+             req.method != http::Method::kHead) {
+    counters_.responses_4xx += 1;
+    queue_response(conn, 405, "text/html", "<h1>405 Method Not Allowed</h1>",
+                   31, req.keep_alive);
+  } else {
+    char full_path[1100];
+    const int len = std::snprintf(full_path, sizeof(full_path), "/www%.*s%s",
+                                  static_cast<int>(dlen), decoded,
+                                  (dlen > 0 && decoded[dlen - 1] == '/')
+                                      ? "index.html"
+                                      : "");
+    (void)len;
+    serve_file(conn, full_path, req.keep_alive,
+               req.method == http::Method::kHead, req.range);
+  }
+
+  // nginx-style buffered access log: one write() per request (its own —
+  // irrecoverable — transaction, part of Table III's irrecoverable share).
+  access_log(req, last_status_);
+
+  // Consume the request bytes; pipeline leftovers stay buffered.
+  const std::uint32_t consumed = static_cast<std::uint32_t>(
+      req.header_bytes + req.content_length);
+  const std::uint32_t used =
+      result == http::ParseResult::kComplete && consumed <= conn->rx_len
+          ? consumed
+          : conn->rx_len;
+  const std::uint32_t rest = conn->rx_len - used;
+  if (rest > 0) {
+    StoreGate::record(conn->rx, rest);
+    std::memmove(conn->rx, conn->rx + used, rest);
+  }
+  tx_store(conn->rx_len, rest);
+  tx_store(conn->served, conn->served + 1);
+  tx_store(conn->keep_alive, static_cast<std::uint8_t>(req.keep_alive));
+  tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollOut);
+  handle_writable(fd, conn);
+}
+
+const char* Miniginx::ssi_get_variable(const char* name, std::size_t len) {
+  const std::string_view v(name, len);
+  if (v == "HOST") return "miniginx";
+  if (v == "DATE") return "2026-07-04";
+  if (v == "SERVER_SOFTWARE") return "miniginx/1.0";
+  // nginx 1.11.0 ticket #1263: ngx_http_ssi_get_variable() returns NULL for
+  // a variable that was never initialized by the (sub)request.
+  if (ssi_null_bug_) return nullptr;
+  return "(none)";
+}
+
+std::size_t Miniginx::ssi_expand(const char* src, std::size_t len, char* dst,
+                                 std::size_t cap) {
+  static constexpr std::string_view kOpen = "<!--#echo var=\"";
+  static constexpr std::string_view kClose = "\" -->";
+  std::size_t out = 0;
+  std::string_view rest(src, len);
+  while (!rest.empty()) {
+    const std::size_t at = rest.find(kOpen);
+    const std::size_t copy = at == std::string_view::npos ? rest.size() : at;
+    if (out + copy > cap) return 0;
+    std::memcpy(dst + out, rest.data(), copy);
+    out += copy;
+    if (at == std::string_view::npos) break;
+    rest.remove_prefix(at + kOpen.size());
+    const std::size_t end = rest.find(kClose);
+    if (end == std::string_view::npos) break;  // unterminated: drop directive
+    const char* value = ssi_get_variable(rest.data(), end);
+    // The real bug dereferences the NULL result while copying the value.
+    check_ptr(value);
+    const std::size_t vlen = std::strlen(value);
+    if (out + vlen > cap) return 0;
+    std::memcpy(dst + out, value, vlen);
+    out += vlen;
+    rest.remove_prefix(end + kClose.size());
+  }
+  return out;
+}
+
+void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
+                          bool head_only, std::string_view range_header) {
+  std::size_t fsize = 0;
+  if (FIR_STAT_SIZE(fx_, full_path, &fsize) == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "build_404");
+    counters_.responses_4xx += 1;
+    queue_response(conn, 404, "text/html", "<h1>404 Not Found</h1>", 22,
+                   keep_alive);
+    return;
+  }
+  // Range requests take the partial-content path (nginx: ngx_http_range
+  // module), a distinct feature with its own transactions.
+  if (!range_header.empty()) {
+    http::ByteRange range = http::parse_range(range_header);
+    serve_range(conn, full_path, fsize, range, keep_alive);
+    return;
+  }
+  if (fsize > kBigFileBytes) {
+    // Large responses take their own code path (nginx's output-chain /
+    // sendfile split), and therefore their own transaction sites: the
+    // adaptive policy can demote exactly these without touching the small-
+    // file hot path — the per-site behaviour behind Fig. 3.
+    serve_big_file(conn, full_path, fsize, keep_alive, head_only);
+    return;
+  }
+  const int ffd = FIR_OPEN(fx_, full_path, kRdOnly);
+  if (ffd < 0) {
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    return;
+  }
+  // Per-request scratch: the paper's malloc -> OOM -> internal-server-error
+  // example (§V-B). Sized for the file plus SSI expansion headroom.
+  const std::size_t scratch_size = fsize + 512;
+  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, scratch_size));
+  if (scratch == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "oom_abort_request");
+    FIR_LOG(kInfo) << "miniginx: out of memory serving request";
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  // SSI pages need their expansion buffer up front: the expansion pass runs
+  // inside the pread() transaction (the paper's §VI-F scenario — the SSI
+  // NULL-dereference rolls back to the pread checkpoint).
+  const std::string_view path_view(full_path);
+  const bool is_ssi = path_view.ends_with(".shtml");
+  char* expanded = nullptr;
+  if (is_ssi) {
+    expanded = static_cast<char*>(FIR_MALLOC(fx_, scratch_size + 512));
+    if (expanded == nullptr) {
+      counters_.responses_5xx += 1;
+      queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+      FIR_FREE(fx_, scratch);
+      FIR_CLOSE(fx_, ffd);
+      return;
+    }
+  }
+
+  const ssize_t got = FIR_PREAD(fx_, ffd, scratch, fsize, 0);
+  if (got < 0) {
+    // §VI-F: the SSI crash diverts here — pread "fails" with EINVAL and the
+    // server answers with an empty response instead of crashing.
+    HSFI_HANDLER_POINT(fx_.hsfi(), "pread_error_path");
+    FIR_LOG(kInfo) << "miniginx: pread failed errno=" << fx_.err();
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    if (expanded != nullptr) FIR_FREE(fx_, expanded);
+    FIR_FREE(fx_, scratch);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+
+  const char* body = scratch;
+  std::size_t body_len = static_cast<std::size_t>(got);
+  if (is_ssi) {
+    HSFI_POINT(fx_.hsfi(), "ssi_expand", /*critical=*/false);
+    body_len = ssi_expand(scratch, body_len, expanded, scratch_size + 512);
+    body = expanded;
+  }
+
+  HSFI_POINT(fx_.hsfi(), "build_response_headers", /*critical=*/false);
+  const std::string_view mime = http::mime_type(path_view);
+  counters_.requests_ok += 1;
+  char mime_buf[64];
+  const std::size_t mlen = mime.size() < sizeof(mime_buf) - 1
+                               ? mime.size()
+                               : sizeof(mime_buf) - 1;
+  std::memcpy(mime_buf, mime.data(), mlen);
+  mime_buf[mlen] = '\0';
+  queue_response(conn, 200, mime_buf, body, head_only ? 0 : body_len,
+                 keep_alive);
+  if (expanded != nullptr) FIR_FREE(fx_, expanded);
+  FIR_FREE(fx_, scratch);
+  FIR_CLOSE(fx_, ffd);
+}
+
+void Miniginx::serve_big_file(Conn* conn, const char* full_path,
+                              std::size_t fsize, bool keep_alive,
+                              bool head_only) {
+  const int ffd = FIR_OPEN(fx_, full_path, kRdOnly);
+  if (ffd < 0) {
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    return;
+  }
+  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, fsize));
+  if (scratch == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "bigfile_oom");
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  const ssize_t got = FIR_PREAD(fx_, ffd, scratch, fsize, 0);
+  if (got < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "bigfile_read_error");
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    FIR_FREE(fx_, scratch);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  HSFI_POINT(fx_.hsfi(), "bigfile_response", /*critical=*/false);
+  const std::string_view mime = http::mime_type(full_path);
+  char mime_buf[64];
+  std::snprintf(mime_buf, sizeof(mime_buf), "%.*s",
+                static_cast<int>(mime.size()), mime.data());
+  counters_.requests_ok += 1;
+  queue_response(conn, 200, mime_buf, scratch,
+                 head_only ? 0 : static_cast<std::size_t>(got), keep_alive);
+  FIR_FREE(fx_, scratch);
+  FIR_CLOSE(fx_, ffd);
+}
+
+void Miniginx::serve_range(Conn* conn, const char* full_path,
+                           std::size_t fsize, http::ByteRange range,
+                           bool keep_alive) {
+  HSFI_POINT(fx_.hsfi(), "range_request", /*critical=*/false);
+  if (!http::resolve_range(range, fsize)) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "range_unsatisfiable");
+    counters_.responses_4xx += 1;
+    last_status_ = 416;
+    char head[128];
+    const int hlen = std::snprintf(
+        head, sizeof(head),
+        "HTTP/1.1 416 Range Not Satisfiable\r\n"
+        "Content-Range: bytes */%zu\r\nContent-Length: 0\r\n"
+        "Connection: %s\r\n\r\n",
+        fsize, keep_alive ? "keep-alive" : "close");
+    tx_memcpy(conn->tx, head, static_cast<std::size_t>(hlen));
+    tx_store(conn->tx_len, static_cast<std::uint32_t>(hlen));
+    tx_store(conn->tx_off, 0u);
+    return;
+  }
+  const std::size_t span = range.last - range.first + 1;
+  const int ffd = FIR_OPEN(fx_, full_path, kRdOnly);
+  if (ffd < 0) {
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    return;
+  }
+  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, span));
+  if (scratch == nullptr) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "range_oom");
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  const ssize_t got = FIR_PREAD(fx_, ffd, scratch, span,
+                                static_cast<std::int64_t>(range.first));
+  if (got < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "range_read_error");
+    counters_.responses_5xx += 1;
+    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    FIR_FREE(fx_, scratch);
+    FIR_CLOSE(fx_, ffd);
+    return;
+  }
+  HSFI_POINT(fx_.hsfi(), "range_response", /*critical=*/false);
+  counters_.requests_ok += 1;
+  last_status_ = 206;
+  char head[256];
+  const std::string_view mime = http::mime_type(full_path);
+  const int hlen = std::snprintf(
+      head, sizeof(head),
+      "HTTP/1.1 206 Partial Content\r\nContent-Type: %.*s\r\n"
+      "Content-Range: bytes %zu-%zu/%zu\r\nContent-Length: %zd\r\n"
+      "Connection: %s\r\n\r\n",
+      static_cast<int>(mime.size()), mime.data(), range.first, range.last,
+      fsize, got, keep_alive ? "keep-alive" : "close");
+  tx_memcpy(conn->tx, head, static_cast<std::size_t>(hlen));
+  tx_memcpy(conn->tx + hlen, scratch, static_cast<std::size_t>(got));
+  tx_store(conn->tx_len,
+           static_cast<std::uint32_t>(hlen + got));
+  tx_store(conn->tx_off, 0u);
+  FIR_FREE(fx_, scratch);
+  FIR_CLOSE(fx_, ffd);
+}
+
+void Miniginx::access_log(const http::Request& req, int status) {
+  HSFI_POINT(fx_.hsfi(), "access_log", /*critical=*/false);
+  char line[512];
+  const int len = std::snprintf(
+      line, sizeof(line), "- \"%s %.*s %.*s\" %d\n",
+      http::method_name(req.method).data(),
+      static_cast<int>(req.target.size()), req.target.data(),
+      static_cast<int>(req.version.size()), req.version.data(), status);
+  if (len <= 0) return;
+  if (FIR_WRITE(fx_, access_log_fd_, line, static_cast<std::size_t>(len)) <
+      0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "access_log_failed");
+    FIR_LOG(kWarn) << "miniginx: access log write failed";
+  }
+}
+
+void Miniginx::queue_response(Conn* conn, int status,
+                              const char* content_type, const char* body,
+                              std::size_t body_len, bool keep_alive) {
+  char buf[sizeof(Conn::tx)];
+  const std::size_t n = http::format_response(
+      buf, sizeof(buf), status, http::reason_phrase(status), content_type,
+      {body, body_len}, keep_alive);
+  HSFI_HANDLER_POINT(fx_.hsfi(), "queue_response");
+  last_status_ = status;
+  tx_memcpy(conn->tx, buf, n);
+  tx_store(conn->tx_len, static_cast<std::uint32_t>(n));
+  tx_store(conn->tx_off, 0u);
+}
+
+void Miniginx::handle_writable(int fd, Conn* conn) {
+  while (conn->tx_off < conn->tx_len) {
+    const ssize_t w = FIR_SEND(fx_, fd, conn->tx + conn->tx_off,
+                               conn->tx_len - conn->tx_off);
+    if (w < 0) {
+      if (fx_.err() == EAGAIN) return;  // wait for EPOLLOUT
+      HSFI_HANDLER_POINT(fx_.hsfi(), "send_error_path");
+      FIR_LOG(kInfo) << "miniginx: send failed errno=" << fx_.err();
+      close_conn(fd, conn);
+      return;
+    }
+    tx_store(conn->tx_off, conn->tx_off + static_cast<std::uint32_t>(w));
+  }
+  // Response complete.
+  HSFI_POINT(fx_.hsfi(), "response_complete", /*critical=*/false);
+  tx_store(conn->tx_len, 0u);
+  tx_store(conn->tx_off, 0u);
+  if (conn->keep_alive != 0) {
+    tx_store(conn->state, static_cast<std::uint8_t>(kReading));
+    FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollIn);
+    // Pipelined request already buffered? Serve it now.
+    if (conn->rx_len > 0) process_request(fd, conn);
+  } else {
+    close_conn(fd, conn);
+  }
+}
+
+
+std::size_t Miniginx::resident_state_bytes() const {
+  return conns_.footprint_bytes() +
+         fd_conn_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+}
+
+}  // namespace fir

@@ -1,0 +1,100 @@
+// miniginx: an nginx-shaped event-driven web server.
+//
+// Structure mirrors the paper's running example and evaluation target:
+// epoll event loop, non-blocking sockets, per-request heap scratch
+// (malloc -> 500-on-OOM, the paper's §V-B example), static file serving via
+// open/pread/close, keep-alive connections, and a Server Side Includes
+// (SSI) substitution pass with an optional NULL-pointer-dereference bug
+// reproducing nginx 1.11.0 ticket #1263 (§VI-F).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "apps/http.h"
+#include "apps/server.h"
+#include "mem/tracked_pool.h"
+
+namespace fir {
+
+class Miniginx final : public Server {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 8080;
+
+  explicit Miniginx(TxManagerConfig config = {});
+  ~Miniginx() override;
+
+  const char* name() const override { return "miniginx"; }
+  Status start(std::uint16_t port) override;
+  void run_once() override;
+  void stop() override;
+  std::uint16_t port() const override { return port_; }
+  std::size_t resident_state_bytes() const override;
+
+  /// Enables the §VI-F NULL-deref bug: SSI substitution of an unknown
+  /// variable dereferences the NULL lookup result.
+  void enable_ssi_null_bug(bool on) { ssi_null_bug_ = on; }
+
+  /// Populates the document root with the default test-suite content.
+  void install_default_docroot();
+
+ private:
+  struct Conn {
+    std::int32_t fd;
+    std::uint8_t state;  // ConnState
+    std::uint8_t keep_alive;
+    std::uint16_t padding;
+    std::uint32_t rx_len;
+    std::uint32_t tx_len;
+    std::uint32_t tx_off;
+    std::uint64_t served;
+    char rx[4096];
+    char tx[16384];
+  };
+  enum ConnState : std::uint8_t { kReading = 1, kWriting = 2 };
+
+  void accept_new_connections();
+  void handle_readable(int fd, Conn* conn);
+  void handle_writable(int fd, Conn* conn);
+  /// Processes one complete request in conn->rx; fills conn->tx.
+  void process_request(int fd, Conn* conn);
+  /// Serves a static file (with optional SSI pass) into conn->tx.
+  void serve_file(Conn* conn, const char* full_path, bool keep_alive,
+                  bool head_only, std::string_view range);
+  /// Dedicated large-file path (distinct transaction sites; see Fig. 3).
+  void serve_big_file(Conn* conn, const char* full_path, std::size_t fsize,
+                      bool keep_alive, bool head_only);
+  /// SSI variable lookup; returns nullptr for unknown variables when the
+  /// §VI-F bug is enabled, "(none)" otherwise.
+  const char* ssi_get_variable(const char* name, std::size_t len);
+  /// Expands <!--#echo var="..." --> directives from src into dst.
+  std::size_t ssi_expand(const char* src, std::size_t len, char* dst,
+                         std::size_t cap);
+  void queue_response(Conn* conn, int status, const char* content_type,
+                      const char* body, std::size_t body_len,
+                      bool keep_alive);
+  /// Serves a byte range of a file (206 Partial Content / 416).
+  void serve_range(Conn* conn, const char* full_path, std::size_t fsize,
+                   http::ByteRange range, bool keep_alive);
+  /// Appends one access-log line (buffered write, nginx-style).
+  void access_log(const http::Request& req, int status);
+  void close_conn(int fd, Conn* conn);
+  Conn* conn_of(int fd);
+
+  std::uint16_t port_ = kDefaultPort;
+  int listen_fd_ = -1;
+  int epfd_ = -1;
+  int access_log_fd_ = -1;
+  /// Status of the most recently queued response (access-log input).
+  int last_status_ = 0;
+  bool running_ = false;
+  bool ssi_null_bug_ = false;
+  /// Responses above this take the dedicated large-file path.
+  static constexpr std::size_t kBigFileBytes = 8 * 1024;
+
+  TrackedPool<Conn> conns_{64};
+  std::vector<std::int32_t> fd_conn_;  // fd -> pool index, tracked stores
+};
+
+}  // namespace fir

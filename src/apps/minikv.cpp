@@ -1,0 +1,662 @@
+#include "apps/minikv.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace fir {
+namespace {
+constexpr std::uint32_t kOptReuseAddr = 0x1;
+constexpr int kMaxEvents = 32;
+constexpr std::int32_t kNone = -1;
+}  // namespace
+
+Minikv::Minikv(TxManagerConfig config)
+    : Server(config), fd_conn_(1024, kNone) {}
+
+Minikv::~Minikv() { stop(); }
+
+Status Minikv::start(std::uint16_t port) {
+  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
+  port_ = port != 0 ? port : kDefaultPort;
+
+  const int s = FIR_SOCKET(fx_);
+  if (s < 0) return Status(ErrorCode::kResourceExhausted, "socket");
+  if (FIR_SETSOCKOPT(fx_, s, kOptReuseAddr) == -1 ||
+      FIR_BIND(fx_, s, port_) == -1 || FIR_LISTEN(fx_, s, 64) == -1 ||
+      FIR_FCNTL_NONBLOCK(fx_, s, true) == -1) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "listener setup");
+  }
+  const int ep = FIR_EPOLL_CREATE1(fx_);
+  if (ep < 0 || FIR_EPOLL_CTL(fx_, ep, kEpollAdd, s, kPollIn) == -1) {
+    if (ep >= 0) FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "epoll setup");
+  }
+  if (aof_enabled_) {
+    replay_aof();
+    const int aof =
+        FIR_OPEN(fx_, "/data/appendonly.aof", kCreat | kWrOnly | kAppend);
+    if (aof < 0) {
+      FIR_CLOSE(fx_, ep);
+      FIR_CLOSE(fx_, s);
+      return Status(ErrorCode::kInternal, "aof open");
+    }
+    aof_fd_ = aof;
+  }
+  FIR_QUIESCE(fx_);
+  listen_fd_ = s;
+  epfd_ = ep;
+  running_ = true;
+  return Status::ok();
+}
+
+void Minikv::stop() {
+  if (!running_) return;
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+  for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
+    if (fd_conn_[fd] != kNone) {
+      fx_.env().close(static_cast<int>(fd));
+      fd_conn_[fd] = kNone;
+    }
+  }
+  if (aof_fd_ >= 0) {
+    fx_.env().close(aof_fd_);
+    aof_fd_ = -1;
+  }
+  fx_.env().close(epfd_);
+  fx_.env().close(listen_fd_);
+  epfd_ = listen_fd_ = -1;
+  running_ = false;
+}
+
+Minikv::Conn* Minikv::conn_of(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fd_conn_.size())
+    return nullptr;
+  const std::int32_t idx = fd_conn_[fd];
+  return idx == kNone ? nullptr : conns_.at(static_cast<std::size_t>(idx));
+}
+
+void Minikv::run_once() {
+  if (!running_) return;
+  FIR_ANCHOR(fx_);
+  PollEvent events[kMaxEvents];
+  const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
+  if (n < 0) {
+    HSFI_POINT(fx_.hsfi(), "ae_loop_retry", /*critical=*/true);
+    FIR_QUIESCE(fx_);
+    fx_.mgr().clear_anchor();
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (events[i].fd == listen_fd_) {
+      accept_clients();
+      continue;
+    }
+    Conn* conn = conn_of(events[i].fd);
+    if (conn == nullptr) {
+      FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, events[i].fd, 0);
+      FIR_CLOSE(fx_, events[i].fd);
+      continue;
+    }
+    client_readable(events[i].fd, conn);
+  }
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+}
+
+void Minikv::accept_clients() {
+  for (;;) {
+    const int c = FIR_ACCEPT(fx_, listen_fd_);
+    if (c < 0) {
+      if (fx_.err() != EAGAIN) {
+        HSFI_HANDLER_POINT(fx_.hsfi(), "accept_error");
+        FIR_LOG(kWarn) << "minikv: accept failed";
+      }
+      return;
+    }
+    if (FIR_FCNTL_NONBLOCK(fx_, c, true) == -1) {
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    Conn* conn = conns_.alloc();
+    if (conn == nullptr) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "maxclients");
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    tx_store(conn->fd, c);
+    tx_store(conn->in_use, static_cast<std::uint8_t>(1));
+    tx_store(fd_conn_[c], static_cast<std::int32_t>(conns_.index_of(conn)));
+    if (FIR_EPOLL_CTL(fx_, epfd_, kEpollAdd, c, kPollIn) == -1) {
+      close_conn(c, conn);
+      continue;
+    }
+    counters_.connections_accepted += 1;
+  }
+}
+
+void Minikv::close_conn(int fd, Conn* conn) {
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, fd, 0);
+  FIR_CLOSE(fx_, fd);
+  tx_store(fd_conn_[fd], kNone);
+  conns_.release(conn);
+  counters_.connections_closed += 1;
+}
+
+void Minikv::client_readable(int fd, Conn* conn) {
+  const std::uint32_t space =
+      static_cast<std::uint32_t>(sizeof(conn->rx)) - conn->rx_len;
+  if (space == 0) {
+    counters_.protocol_errors += 1;
+    close_conn(fd, conn);
+    return;
+  }
+  const ssize_t r = FIR_RECV(fx_, fd, conn->rx + conn->rx_len, space);
+  if (r < 0) {
+    if (fx_.err() == EAGAIN) return;
+    HSFI_HANDLER_POINT(fx_.hsfi(), "recv_error");
+    close_conn(fd, conn);
+    return;
+  }
+  if (r == 0) {
+    close_conn(fd, conn);
+    return;
+  }
+  tx_store(conn->rx_len, conn->rx_len + static_cast<std::uint32_t>(r));
+
+  // Process complete lines (inline protocol).
+  for (;;) {
+    const std::string_view view(conn->rx, conn->rx_len);
+    const std::size_t eol = view.find('\n');
+    if (eol == std::string_view::npos) return;
+    char line[2048];
+    std::size_t len = eol;
+    if (len > 0 && view[len - 1] == '\r') --len;
+    std::memcpy(line, conn->rx, len);
+    line[len] = '\0';
+
+    const std::uint32_t rest =
+        conn->rx_len - static_cast<std::uint32_t>(eol + 1);
+    if (rest > 0) {
+      StoreGate::record(conn->rx, rest);
+      std::memmove(conn->rx, conn->rx + eol + 1, rest);
+    }
+    tx_store(conn->rx_len, rest);
+    tx_store(conn->commands, conn->commands + 1);
+    if (len > 0) execute(fd, conn, line, len);
+    if (conn_of(fd) != conn) return;  // command closed the connection
+  }
+}
+
+void Minikv::execute(int fd, Conn* conn, char* line, std::size_t len) {
+  (void)conn;
+  HSFI_POINT_DATA(fx_.hsfi(), "command_parse", /*critical=*/false, line,
+                  len < 8 ? len : 8);
+  std::string_view input(line, len);
+  auto next_token = [&input]() -> std::string_view {
+    while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+    const std::size_t sp = input.find(' ');
+    std::string_view token = sp == std::string_view::npos
+                                 ? input
+                                 : input.substr(0, sp);
+    input.remove_prefix(token.size());
+    return token;
+  };
+  const std::string_view cmd = next_token();
+
+  if (cmd == "PING") {
+    reply(fd, "+PONG\r\n", 7);
+    counters_.requests_ok += 1;
+  } else if (cmd == "SET") {
+    const std::string_view key = next_token();
+    while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+    cmd_set(fd, key, input);
+  } else if (cmd == "GET") {
+    cmd_get(fd, next_token());
+  } else if (cmd == "DEL") {
+    cmd_del(fd, next_token());
+  } else if (cmd == "INCR") {
+    cmd_incr(fd, next_token());
+  } else if (cmd == "APPEND") {
+    const std::string_view key = next_token();
+    while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+    cmd_append(fd, key, input);
+  } else if (cmd == "MGET") {
+    while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+    cmd_mget(fd, input);
+  } else if (cmd == "EXPIRE") {
+    const std::string_view key = next_token();
+    cmd_expire(fd, key, next_token());
+  } else if (cmd == "TTL") {
+    cmd_ttl(fd, next_token());
+  } else if (cmd == "PERSIST") {
+    cmd_persist(fd, next_token());
+  } else if (cmd == "EXISTS") {
+    const std::string_view key = next_token();
+    purge_if_expired(key);
+    const bool has = db_.contains(key);
+    reply(fd, has ? ":1\r\n" : ":0\r\n", 4);
+    counters_.requests_ok += 1;
+  } else if (cmd == "DBSIZE") {
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), ":%zu\r\n", db_.size());
+    reply(fd, buf, static_cast<std::size_t>(n));
+    counters_.requests_ok += 1;
+  } else if (cmd == "KEYS") {
+    cmd_keys(fd);
+  } else if (cmd == "SAVE") {
+    cmd_save(fd);
+  } else if (cmd == "FLUSHALL") {
+    // Rebuild-free flush: erase every key (tracked, rollback-safe).
+    HSFI_POINT(fx_.hsfi(), "flushall", /*critical=*/false);
+    std::vector<Key> keys;
+    db_.for_each([&keys](const Key& k, const Value&) { keys.push_back(k); });
+    for (const Key& k : keys) db_.erase(k.view());
+    dirty_ = 0;
+    reply(fd, "+OK\r\n", 5);
+    counters_.requests_ok += 1;
+  } else {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "unknown_command");
+    counters_.protocol_errors += 1;
+    reply(fd, "-ERR unknown command\r\n", 22);
+  }
+}
+
+bool Minikv::apply_set(std::string_view key, std::string_view value) {
+  const auto k = Key::make(key);
+  const auto v = Value::make(value);
+  if (!k || !v || key.empty()) return false;
+  return db_.put(key, *k, *v);
+}
+
+bool Minikv::aof_append(std::string_view line) {
+  if (!aof_enabled_ || aof_fd_ < 0) return true;
+  HSFI_POINT(fx_.hsfi(), "aof_write", /*critical=*/false);
+  char record[256];
+  const int n = std::snprintf(record, sizeof(record), "%.*s\n",
+                              static_cast<int>(line.size()), line.data());
+  if (n <= 0) return false;
+  // AOF durability write: write() — irrecoverable transaction, like the
+  // real Redis appendfsync path.
+  if (FIR_WRITE(fx_, aof_fd_, record, static_cast<std::size_t>(n)) < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "aof_write_failed");
+    FIR_LOG(kWarn) << "minikv: AOF append failed";
+    return false;
+  }
+  return true;
+}
+
+void Minikv::replay_aof() {
+  aof_replayed_ = 0;
+  auto aof = fx_.env().vfs().lookup("/data/appendonly.aof");
+  if (aof == nullptr || aof->data.empty()) return;
+  std::string_view rest(aof->data.data(), aof->data.size());
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string_view verb = line.substr(0, sp);
+    line.remove_prefix(sp + 1);
+    if (verb == "SET") {
+      const std::size_t ksp = line.find(' ');
+      if (ksp == std::string_view::npos) continue;
+      if (apply_set(line.substr(0, ksp), line.substr(ksp + 1)))
+        ++aof_replayed_;
+    } else if (verb == "DEL") {
+      if (db_.erase(line)) ++aof_replayed_;
+    }
+  }
+  FIR_LOG(kInfo) << "minikv: replayed " << aof_replayed_
+                 << " AOF records on startup";
+}
+
+void Minikv::cmd_set(int fd, std::string_view key, std::string_view value) {
+  HSFI_POINT(fx_.hsfi(), "cmd_set", /*critical=*/false);
+  const auto k = Key::make(key);
+  const auto v = Value::make(value);
+  if (!k || !v || key.empty()) {
+    counters_.protocol_errors += 1;
+    reply(fd, "-ERR invalid argument\r\n", 23);
+    return;
+  }
+  char record[224];
+  const int rlen = std::snprintf(record, sizeof(record), "SET %.*s %.*s",
+                                 static_cast<int>(key.size()), key.data(),
+                                 static_cast<int>(value.size()),
+                                 value.data());
+  if (rlen <= 0 ||
+      !aof_append({record, static_cast<std::size_t>(rlen)})) {
+    reply(fd, "-ERR persistence failure\r\n", 26);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  if (!db_.put(key, *k, *v)) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "db_full");
+    reply(fd, "-OOM keyspace full\r\n", 20);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  dirty_ += 1;
+  counters_.requests_ok += 1;
+  reply(fd, "+OK\r\n", 5);
+}
+
+bool Minikv::purge_if_expired(std::string_view key) {
+  const Expiry* expiry = expires_.get(key);
+  if (expiry == nullptr) return false;
+  if (fx_.env().clock().now_ns() < expiry->at_ns) return false;
+  HSFI_POINT(fx_.hsfi(), "lazy_expire", /*critical=*/false);
+  db_.erase(key);
+  expires_.erase(key);
+  dirty_ += 1;
+  return true;
+}
+
+void Minikv::cmd_append(int fd, std::string_view key,
+                        std::string_view value) {
+  HSFI_POINT(fx_.hsfi(), "cmd_append", /*critical=*/false);
+  purge_if_expired(key);
+  const Value* existing = db_.get(key);
+  char combined[sizeof(Value::data)];
+  std::size_t len = 0;
+  if (existing != nullptr) {
+    len = existing->len;
+    std::memcpy(combined, existing->data, len);
+  }
+  if (len + value.size() > sizeof(combined) || key.empty()) {
+    counters_.protocol_errors += 1;
+    reply(fd, "-ERR value too long\r\n", 21);
+    return;
+  }
+  std::memcpy(combined + len, value.data(), value.size());
+  len += value.size();
+  const auto k = Key::make(key);
+  const auto v = Value::make({combined, len});
+  if (!k || !v || !db_.put(key, *k, *v)) {
+    reply(fd, "-OOM keyspace full\r\n", 20);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  dirty_ += 1;
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), ":%zu\r\n", len);
+  reply(fd, buf, static_cast<std::size_t>(n));
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_mget(int fd, std::string_view keys) {
+  HSFI_POINT(fx_.hsfi(), "cmd_mget", /*critical=*/false);
+  // Count keys first (array header needs the count).
+  std::string_view scan = keys;
+  int count = 0;
+  while (!scan.empty()) {
+    while (!scan.empty() && scan.front() == ' ') scan.remove_prefix(1);
+    if (scan.empty()) break;
+    ++count;
+    const std::size_t sp = scan.find(' ');
+    scan.remove_prefix(sp == std::string_view::npos ? scan.size() : sp);
+  }
+  char buf[4096];
+  int n = std::snprintf(buf, sizeof(buf), "*%d\r\n", count);
+  std::string_view rest = keys;
+  while (!rest.empty()) {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty()) break;
+    const std::size_t sp = rest.find(' ');
+    const std::string_view key =
+        sp == std::string_view::npos ? rest : rest.substr(0, sp);
+    rest.remove_prefix(key.size());
+    purge_if_expired(key);
+    const Value* v = db_.get(key);
+    int m;
+    if (v == nullptr) {
+      m = std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                        "$-1\r\n");
+    } else {
+      m = std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                        "$%u\r\n%.*s\r\n", v->len,
+                        static_cast<int>(v->len), v->data);
+    }
+    if (m < 0 || static_cast<std::size_t>(n + m) >= sizeof(buf)) {
+      reply(fd, "-ERR reply too large\r\n", 22);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    n += m;
+  }
+  reply(fd, buf, static_cast<std::size_t>(n));
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_expire(int fd, std::string_view key,
+                        std::string_view seconds) {
+  HSFI_POINT(fx_.hsfi(), "cmd_expire", /*critical=*/false);
+  purge_if_expired(key);
+  std::uint64_t secs = 0;
+  for (char c : seconds) {
+    if (c < '0' || c > '9') {
+      counters_.protocol_errors += 1;
+      reply(fd, "-ERR not an integer\r\n", 21);
+      return;
+    }
+    secs = secs * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (!db_.contains(key)) {
+    reply(fd, ":0\r\n", 4);
+    counters_.requests_ok += 1;
+    return;
+  }
+  const auto k = Key::make(key);
+  const Expiry e{fx_.env().clock().now_ns() + secs * 1000000000ull};
+  if (!k || !expires_.put(key, *k, e)) {
+    reply(fd, "-OOM too many expirations\r\n", 27);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  reply(fd, ":1\r\n", 4);
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_ttl(int fd, std::string_view key) {
+  HSFI_POINT(fx_.hsfi(), "cmd_ttl", /*critical=*/false);
+  purge_if_expired(key);
+  char buf[32];
+  int n;
+  if (!db_.contains(key)) {
+    n = std::snprintf(buf, sizeof(buf), ":-2\r\n");
+  } else {
+    const Expiry* expiry = expires_.get(key);
+    if (expiry == nullptr) {
+      n = std::snprintf(buf, sizeof(buf), ":-1\r\n");
+    } else {
+      const std::uint64_t now = fx_.env().clock().now_ns();
+      const std::uint64_t remaining_s =
+          expiry->at_ns > now ? (expiry->at_ns - now) / 1000000000ull : 0;
+      n = std::snprintf(buf, sizeof(buf), ":%llu\r\n",
+                        static_cast<unsigned long long>(remaining_s));
+    }
+  }
+  reply(fd, buf, static_cast<std::size_t>(n));
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_persist(int fd, std::string_view key) {
+  HSFI_POINT(fx_.hsfi(), "cmd_persist", /*critical=*/false);
+  purge_if_expired(key);
+  const bool removed = expires_.erase(key);
+  reply(fd, removed ? ":1\r\n" : ":0\r\n", 4);
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_get(int fd, std::string_view key) {
+  HSFI_POINT(fx_.hsfi(), "cmd_get", /*critical=*/false);
+  purge_if_expired(key);
+  const Value* v = db_.get(key);
+  if (v == nullptr) {
+    reply(fd, "$-1\r\n", 5);
+  } else {
+    char buf[192];
+    const int n = std::snprintf(buf, sizeof(buf), "$%u\r\n%.*s\r\n", v->len,
+                                static_cast<int>(v->len), v->data);
+    reply(fd, buf, static_cast<std::size_t>(n));
+  }
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_del(int fd, std::string_view key) {
+  HSFI_POINT(fx_.hsfi(), "cmd_del", /*critical=*/false);
+  if (db_.contains(key)) {
+    char record[96];
+    const int rlen = std::snprintf(record, sizeof(record), "DEL %.*s",
+                                   static_cast<int>(key.size()), key.data());
+    if (rlen > 0 &&
+        !aof_append({record, static_cast<std::size_t>(rlen)})) {
+      reply(fd, "-ERR persistence failure\r\n", 26);
+      counters_.responses_5xx += 1;
+      return;
+    }
+  }
+  const bool erased = db_.erase(key);
+  expires_.erase(key);
+  if (erased) dirty_ += 1;
+  reply(fd, erased ? ":1\r\n" : ":0\r\n", 4);
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_incr(int fd, std::string_view key) {
+  HSFI_POINT(fx_.hsfi(), "cmd_incr", /*critical=*/false);
+  std::int64_t current = 0;
+  const Value* v = db_.get(key);
+  if (v != nullptr) {
+    for (char c : v->view()) {
+      if (c < '0' || c > '9') {
+        counters_.protocol_errors += 1;
+        reply(fd, "-ERR not an integer\r\n", 21);
+        return;
+      }
+      current = current * 10 + (c - '0');
+    }
+  }
+  ++current;
+  char num[32];
+  const int nlen = std::snprintf(num, sizeof(num), "%lld",
+                                 static_cast<long long>(current));
+  const auto k = Key::make(key);
+  const auto nv = Value::make({num, static_cast<std::size_t>(nlen)});
+  if (!k || !nv || !db_.put(key, *k, *nv)) {
+    reply(fd, "-OOM keyspace full\r\n", 20);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  dirty_ += 1;
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), ":%lld\r\n",
+                              static_cast<long long>(current));
+  reply(fd, buf, static_cast<std::size_t>(n));
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_keys(int fd) {
+  HSFI_POINT(fx_.hsfi(), "cmd_keys", /*critical=*/false);
+  char buf[4096];
+  int n = std::snprintf(buf, sizeof(buf), "*%zu\r\n", db_.size());
+  bool overflow = false;
+  db_.for_each([&](const Key& k, const Value&) {
+    if (overflow) return;
+    const int m =
+        std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                      "$%u\r\n%.*s\r\n", k.len, static_cast<int>(k.len),
+                      k.data);
+    if (m < 0 ||
+        static_cast<std::size_t>(n + m) >= sizeof(buf)) {
+      overflow = true;
+      return;
+    }
+    n += m;
+  });
+  if (overflow) {
+    reply(fd, "-ERR reply too large\r\n", 22);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  reply(fd, buf, static_cast<std::size_t>(n));
+  counters_.requests_ok += 1;
+}
+
+void Minikv::cmd_save(int fd) {
+  HSFI_POINT(fx_.hsfi(), "rdb_save", /*critical=*/false);
+  // RDB-style snapshot: write to a temp file, fsync, rename over the old
+  // dump — the classic atomic-save sequence.
+  const int rdb = FIR_OPEN(fx_, "/data/dump.rdb.tmp",
+                           kCreat | kWrOnly | kTrunc);
+  if (rdb < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "rdb_open_failed");
+    reply(fd, "-ERR save failed\r\n", 18);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  char record[256];
+  std::int64_t off = 0;
+  bool failed = false;
+  db_.for_each([&](const Key& k, const Value& v) {
+    if (failed) return;
+    const int n = std::snprintf(record, sizeof(record), "%.*s=%.*s\n",
+                                static_cast<int>(k.len), k.data,
+                                static_cast<int>(v.len), v.data);
+    const ssize_t w =
+        FIR_PWRITE(fx_, rdb, record, static_cast<std::size_t>(n), off);
+    if (w < 0) {
+      failed = true;
+      return;
+    }
+    off += w;
+  });
+  if (failed || FIR_FSYNC(fx_, rdb) == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "rdb_write_failed");
+    FIR_CLOSE(fx_, rdb);
+    reply(fd, "-ERR save failed\r\n", 18);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  FIR_CLOSE(fx_, rdb);
+  if (FIR_RENAME(fx_, "/data/dump.rdb.tmp", "/data/dump.rdb") == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "rdb_rename_failed");
+    reply(fd, "-ERR save failed\r\n", 18);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  dirty_ = 0;
+  reply(fd, "+OK\r\n", 5);
+  counters_.requests_ok += 1;
+}
+
+void Minikv::reply(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t w = FIR_SEND(fx_, fd, data + off, len - off);
+    if (w < 0) {
+      if (fx_.err() == EAGAIN) continue;
+      HSFI_HANDLER_POINT(fx_.hsfi(), "reply_send_failed");
+      Conn* conn = conn_of(fd);
+      if (conn != nullptr) close_conn(fd, conn);
+      return;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+
+std::size_t Minikv::resident_state_bytes() const {
+  return db_.footprint_bytes() + expires_.footprint_bytes() +
+         conns_.footprint_bytes() +
+         fd_conn_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+}
+
+}  // namespace fir

@@ -1,0 +1,105 @@
+// minikv: a Redis-shaped in-memory key-value server.
+//
+// Single-threaded event loop (like Redis, which "does not require
+// multithreading for parallelism" — paper §VI-B), an inline text protocol
+// (SET/GET/DEL/INCR/EXISTS/KEYS/SAVE/FLUSHALL), a tracked open-addressing
+// keyspace so crashes mid-command roll back to a consistent map, and an
+// RDB-style SAVE path (open -> pwrite -> fsync -> rename) whose fsync/rename
+// transactions exercise the irrecoverable and state-restore catalog classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/server.h"
+#include "mem/tracked_map.h"
+#include "mem/tracked_pool.h"
+
+namespace fir {
+
+class Minikv final : public Server {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 6379;
+
+  explicit Minikv(TxManagerConfig config = {});
+  ~Minikv() override;
+
+  const char* name() const override { return "minikv"; }
+  Status start(std::uint16_t port) override;
+  void run_once() override;
+  void stop() override;
+  std::uint16_t port() const override { return port_; }
+  std::size_t resident_state_bytes() const override;
+
+  using Key = FixedString<48>;
+  using Value = FixedString<128>;
+
+  /// Keyspace introspection for tests.
+  std::size_t db_size() const { return db_.size(); }
+  const TrackedHashMap<Key, Value>& db() const { return db_; }
+
+  /// Enables AOF persistence (Redis "appendonly yes"): every mutating
+  /// command is appended to /data/appendonly.aof before it is applied, and
+  /// an existing AOF is replayed at start(). Call before start().
+  void enable_aof(bool on) { aof_enabled_ = on; }
+  std::size_t aof_records_replayed() const { return aof_replayed_; }
+
+ private:
+  struct Conn {
+    std::int32_t fd;
+    std::uint8_t in_use;
+    std::uint8_t padding[3];
+    std::uint32_t rx_len;
+    std::uint64_t commands;
+    char rx[2048];
+  };
+
+  void accept_clients();
+  void client_readable(int fd, Conn* conn);
+  /// Executes one command line; writes the reply via reply()/reply_err().
+  void execute(int fd, Conn* conn, char* line, std::size_t len);
+  void cmd_set(int fd, std::string_view key, std::string_view value);
+  void cmd_get(int fd, std::string_view key);
+  void cmd_del(int fd, std::string_view key);
+  void cmd_incr(int fd, std::string_view key);
+  void cmd_append(int fd, std::string_view key, std::string_view value);
+  void cmd_mget(int fd, std::string_view keys);
+  void cmd_expire(int fd, std::string_view key, std::string_view seconds);
+  void cmd_ttl(int fd, std::string_view key);
+  void cmd_persist(int fd, std::string_view key);
+  void cmd_keys(int fd);
+  void cmd_save(int fd);
+  /// Lazy expiration: drops the key if its TTL has passed. Returns true
+  /// when the key was expired (and is now gone).
+  bool purge_if_expired(std::string_view key);
+  void reply(int fd, const char* data, std::size_t len);
+  void close_conn(int fd, Conn* conn);
+  /// Appends one mutation record to the AOF (no-op when AOF is off).
+  /// Returns false when the append failed (callers reply -ERR).
+  bool aof_append(std::string_view line);
+  /// Replays an existing AOF into the keyspace (init phase).
+  void replay_aof();
+  /// Applies one already-parsed mutation without replying or re-logging
+  /// (shared by execution and replay).
+  bool apply_set(std::string_view key, std::string_view value);
+  Conn* conn_of(int fd);
+
+  std::uint16_t port_ = kDefaultPort;
+  int listen_fd_ = -1;
+  int epfd_ = -1;
+  bool running_ = false;
+
+  struct Expiry {
+    std::uint64_t at_ns;
+  };
+  TrackedHashMap<Key, Value> db_{4096};
+  TrackedHashMap<Key, Expiry> expires_{1024};
+  TrackedPool<Conn> conns_{32};
+  std::vector<std::int32_t> fd_conn_;
+  tracked<std::uint64_t> dirty_;  // writes since last SAVE
+  bool aof_enabled_ = false;
+  int aof_fd_ = -1;
+  std::size_t aof_replayed_ = 0;
+};
+
+}  // namespace fir

@@ -1,0 +1,657 @@
+#include "apps/minipg.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace fir {
+namespace {
+constexpr std::uint32_t kOptReuseAddr = 0x1;
+constexpr int kMaxEvents = 32;
+constexpr std::int32_t kNone = -1;
+
+std::string_view next_token(std::string_view& input) {
+  while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+  const std::size_t sp = input.find(' ');
+  std::string_view token =
+      sp == std::string_view::npos ? input : input.substr(0, sp);
+  input.remove_prefix(token.size());
+  return token;
+}
+
+}  // namespace
+
+Minipg::Minipg(TxManagerConfig config)
+    : Server(config), fd_conn_(1024, kNone) {
+  tables_.reserve(kMaxTables);
+  for (std::size_t i = 0; i < kMaxTables; ++i) tables_.emplace_back(1024);
+  table_names_.resize(kMaxTables);
+}
+
+Minipg::~Minipg() { stop(); }
+
+std::size_t Minipg::total_rows() const {
+  std::size_t total = 0;
+  for (const Table& t : tables_) total += t.size();
+  return total;
+}
+
+Status Minipg::start(std::uint16_t port) {
+  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
+  port_ = port != 0 ? port : kDefaultPort;
+
+  const int s = FIR_SOCKET(fx_);
+  if (s < 0) return Status(ErrorCode::kResourceExhausted, "socket");
+  if (FIR_SETSOCKOPT(fx_, s, kOptReuseAddr) == -1 ||
+      FIR_BIND(fx_, s, port_) == -1 || FIR_LISTEN(fx_, s, 32) == -1 ||
+      FIR_FCNTL_NONBLOCK(fx_, s, true) == -1) {
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "listener setup");
+  }
+  const int ep = FIR_EPOLL_CREATE1(fx_);
+  if (ep < 0 || FIR_EPOLL_CTL(fx_, ep, kEpollAdd, s, kPollIn) == -1) {
+    if (ep >= 0) FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "epoll setup");
+  }
+  // Crash-restart recovery: a surviving WAL (imported data directory)
+  // is replayed before the server accepts connections.
+  replay_wal();
+  const int wal = FIR_OPEN(fx_, "/pg/pg_wal/000000010000000000000001",
+                           kCreat | kWrOnly | kAppend);
+  if (wal < 0) {
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "wal open");
+  }
+  const int shm = FIR_OPEN(fx_, "/pg/shm/stats", kCreat | kRdWr);
+  if (shm < 0) {
+    FIR_CLOSE(fx_, wal);
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "shm open");
+  }
+  if (FIR_FTRUNCATE(fx_, shm, 4096) == -1) {
+    FIR_CLOSE(fx_, shm);
+    FIR_CLOSE(fx_, wal);
+    FIR_CLOSE(fx_, ep);
+    FIR_CLOSE(fx_, s);
+    return Status(ErrorCode::kInternal, "shm size");
+  }
+  FIR_QUIESCE(fx_);
+  listen_fd_ = s;
+  epfd_ = ep;
+  wal_fd_ = wal;
+  shm_fd_ = shm;
+  running_ = true;
+  return Status::ok();
+}
+
+void Minipg::stop() {
+  if (!running_) return;
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+  for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
+    if (fd_conn_[fd] != kNone) {
+      fx_.env().close(static_cast<int>(fd));
+      fd_conn_[fd] = kNone;
+    }
+  }
+  fx_.env().close(shm_fd_);
+  fx_.env().close(wal_fd_);
+  fx_.env().close(epfd_);
+  fx_.env().close(listen_fd_);
+  shm_fd_ = wal_fd_ = epfd_ = listen_fd_ = -1;
+  running_ = false;
+}
+
+Minipg::Conn* Minipg::conn_of(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fd_conn_.size())
+    return nullptr;
+  const std::int32_t idx = fd_conn_[fd];
+  return idx == kNone ? nullptr : conns_.at(static_cast<std::size_t>(idx));
+}
+
+void Minipg::run_once() {
+  if (!running_) return;
+  FIR_ANCHOR(fx_);
+  PollEvent events[kMaxEvents];
+  const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
+  if (n < 0) {
+    HSFI_POINT(fx_.hsfi(), "postmaster_retry", /*critical=*/true);
+    FIR_QUIESCE(fx_);
+    fx_.mgr().clear_anchor();
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (events[i].fd == listen_fd_) {
+      accept_clients();
+      continue;
+    }
+    Conn* conn = conn_of(events[i].fd);
+    if (conn == nullptr) {
+      FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, events[i].fd, 0);
+      FIR_CLOSE(fx_, events[i].fd);
+      continue;
+    }
+    client_readable(events[i].fd, conn);
+  }
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+}
+
+void Minipg::accept_clients() {
+  for (;;) {
+    const int c = FIR_ACCEPT(fx_, listen_fd_);
+    if (c < 0) {
+      if (fx_.err() != EAGAIN) {
+        HSFI_HANDLER_POINT(fx_.hsfi(), "accept_error");
+        FIR_LOG(kWarn) << "minipg: accept failed";
+      }
+      return;
+    }
+    if (FIR_FCNTL_NONBLOCK(fx_, c, true) == -1) {
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    Conn* conn = conns_.alloc();
+    if (conn == nullptr) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "max_connections");
+      FIR_CLOSE(fx_, c);
+      continue;
+    }
+    tx_store(conn->fd, c);
+    tx_store(fd_conn_[c], static_cast<std::int32_t>(conns_.index_of(conn)));
+    if (FIR_EPOLL_CTL(fx_, epfd_, kEpollAdd, c, kPollIn) == -1) {
+      close_conn(c, conn);
+      continue;
+    }
+    counters_.connections_accepted += 1;
+  }
+}
+
+void Minipg::close_conn(int fd, Conn* conn) {
+  FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, fd, 0);
+  FIR_CLOSE(fx_, fd);
+  tx_store(fd_conn_[fd], kNone);
+  conns_.release(conn);
+  counters_.connections_closed += 1;
+}
+
+void Minipg::client_readable(int fd, Conn* conn) {
+  const std::uint32_t space =
+      static_cast<std::uint32_t>(sizeof(conn->rx)) - conn->rx_len;
+  if (space == 0) {
+    counters_.protocol_errors += 1;
+    close_conn(fd, conn);
+    return;
+  }
+  const ssize_t r = FIR_RECV(fx_, fd, conn->rx + conn->rx_len, space);
+  if (r < 0) {
+    if (fx_.err() == EAGAIN) return;
+    HSFI_HANDLER_POINT(fx_.hsfi(), "backend_recv_error");
+    close_conn(fd, conn);
+    return;
+  }
+  if (r == 0) {
+    close_conn(fd, conn);
+    return;
+  }
+  tx_store(conn->rx_len, conn->rx_len + static_cast<std::uint32_t>(r));
+
+  for (;;) {
+    const std::string_view view(conn->rx, conn->rx_len);
+    const std::size_t eol = view.find('\n');
+    if (eol == std::string_view::npos) return;
+    char line[2048];
+    std::size_t len = eol;
+    if (len > 0 && view[len - 1] == '\r') --len;
+    std::memcpy(line, conn->rx, len);
+    line[len] = '\0';
+    const std::uint32_t rest =
+        conn->rx_len - static_cast<std::uint32_t>(eol + 1);
+    if (rest > 0) {
+      StoreGate::record(conn->rx, rest);
+      std::memmove(conn->rx, conn->rx + eol + 1, rest);
+    }
+    tx_store(conn->rx_len, rest);
+    tx_store(conn->queries, conn->queries + 1);
+    if (len > 0) execute_sql(fd, conn, line, len);
+    if (conn_of(fd) != conn) return;
+  }
+}
+
+Minipg::Table* Minipg::create_table_slot(std::string_view name) {
+  if (name.empty() || name.size() >= 48) return nullptr;
+  for (std::size_t i = 0; i < kMaxTables; ++i) {
+    if (table_names_[i].used != 0) continue;
+    char name_buf[48] = {};
+    std::memcpy(name_buf, name.data(), name.size());
+    tx_memcpy(table_names_[i].name, name_buf, sizeof(name_buf));
+    tx_store(table_names_[i].used, static_cast<std::uint8_t>(1));
+    return &tables_[i];
+  }
+  return nullptr;
+}
+
+void Minipg::replay_wal() {
+  wal_replayed_ = 0;
+  auto wal = fx_.env().vfs().lookup("/pg/pg_wal/000000010000000000000001");
+  if (wal == nullptr || wal->data.empty()) return;
+  // Records: "xid=N op=<op> rel=<t> key=<k> val=<v>\n".
+  std::string_view rest(wal->data.data(), wal->data.size());
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
+
+    auto field = [&line](std::string_view tag) -> std::string_view {
+      const std::size_t at = line.find(tag);
+      if (at == std::string_view::npos) return {};
+      std::string_view v = line.substr(at + tag.size());
+      // `val=` runs to end of line; other fields end at the next space.
+      if (tag != "val=") {
+        const std::size_t sp = v.find(' ');
+        if (sp != std::string_view::npos) v = v.substr(0, sp);
+      }
+      return v;
+    };
+    const std::string_view op = field("op=");
+    const std::string_view rel = field("rel=");
+    const std::string_view key = field("key=");
+    const std::string_view value = field("val=");
+    if (op.empty() || rel.empty()) continue;
+
+    if (op == "create") {
+      if (find_table(rel) == nullptr) create_table_slot(rel);
+    } else if (op == "drop") {
+      for (std::size_t i = 0; i < kMaxTables; ++i) {
+        if (table_names_[i].used != 0 &&
+            std::string_view(table_names_[i].name) == rel) {
+          std::vector<Key> keys;
+          tables_[i].for_each(
+              [&keys](const Key& k, const Value&) { keys.push_back(k); });
+          for (const Key& k : keys) tables_[i].erase(k.view());
+          tx_store(table_names_[i].used, static_cast<std::uint8_t>(0));
+        }
+      }
+    } else if (op == "insert" || op == "update") {
+      Table* table = find_table(rel);
+      const auto k = Key::make(key);
+      const auto v = Value::make(value);
+      if (table != nullptr && k && v) table->put(key, *k, *v);
+    } else if (op == "delete") {
+      Table* table = find_table(rel);
+      if (table != nullptr) table->erase(key);
+    } else {
+      continue;
+    }
+    ++wal_replayed_;
+  }
+  FIR_LOG(kInfo) << "minipg: replayed " << wal_replayed_
+                 << " WAL records on startup";
+}
+
+Minipg::Table* Minipg::find_table(std::string_view name) {
+  for (std::size_t i = 0; i < kMaxTables; ++i) {
+    if (table_names_[i].used != 0 &&
+        std::string_view(table_names_[i].name) == name) {
+      return &tables_[i];
+    }
+  }
+  return nullptr;
+}
+
+bool Minipg::wal_append(const char* op, std::string_view table,
+                        std::string_view key, std::string_view value) {
+  char record[320];
+  const int n = std::snprintf(
+      record, sizeof(record), "xid=%llu op=%s rel=%.*s key=%.*s val=%.*s\n",
+      static_cast<unsigned long long>(xid_.get()), op,
+      static_cast<int>(table.size()), table.data(),
+      static_cast<int>(key.size()), key.data(),
+      static_cast<int>(value.size()), value.data());
+  // WAL append: write() — irrecoverable transaction (data may be on disk).
+  const ssize_t w =
+      FIR_WRITE(fx_, wal_fd_, record, static_cast<std::size_t>(n));
+  if (w < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "wal_write_failed");
+    FIR_LOG(kWarn) << "minipg: WAL write failed errno=" << fx_.err();
+    return false;
+  }
+  wal_offset_ += static_cast<std::uint64_t>(w);
+  return true;
+}
+
+void Minipg::shm_stats_bump(std::uint32_t counter_index) {
+  // Shared-memory statistics: visible to other backends immediately —
+  // irrecoverable (§VII). Modeled as a pwrite into the stats region.
+  std::uint64_t bump = 1;
+  const ssize_t w = FIR_PWRITE(fx_, shm_fd_, &bump, sizeof(bump),
+                               static_cast<std::int64_t>(counter_index) * 8);
+  if (w < 0) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "shm_update_failed");
+  }
+}
+
+void Minipg::execute_sql(int fd, Conn* conn, const char* line,
+                         std::size_t len) {
+  std::string_view input(line, len);
+  const std::string_view verb = next_token(input);
+  HSFI_POINT(fx_.hsfi(), "sql_dispatch", /*critical=*/false);
+
+  if (verb == "CREATE") {
+    const std::string_view kw = next_token(input);    // TABLE
+    const std::string_view name = next_token(input);
+    HSFI_POINT(fx_.hsfi(), "ddl_create", /*critical=*/false);
+    if (kw != "TABLE" || name.empty() || name.size() >= 48) {
+      counters_.protocol_errors += 1;
+      reply(fd, "ERROR: syntax error\n", 20);
+      return;
+    }
+    if (find_table(name) != nullptr) {
+      reply(fd, "ERROR: relation exists\n", 23);
+      counters_.responses_4xx += 1;
+      return;
+    }
+    if (!wal_append("create", name, "", "")) {
+      reply(fd, "ERROR: wal failure\n", 19);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    if (create_table_slot(name) == nullptr) {
+      reply(fd, "ERROR: too many relations\n", 26);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    shm_stats_bump(0);
+    counters_.requests_ok += 1;
+    reply(fd, "CREATE TABLE\n", 13);
+    return;
+  }
+
+  if (verb == "BEGIN") {
+    tx_store(conn->in_txn, static_cast<std::uint8_t>(1));
+    xid_ += 1;
+    reply(fd, "BEGIN\n", 6);
+    counters_.requests_ok += 1;
+    return;
+  }
+  if (verb == "COMMIT") {
+    HSFI_POINT(fx_.hsfi(), "commit_fsync", /*critical=*/false);
+    // Commit durability: fsync the WAL (irrecoverable transaction).
+    if (FIR_FSYNC(fx_, wal_fd_) == -1) {
+      reply(fd, "ERROR: fsync failed\n", 20);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    tx_store(conn->in_txn, static_cast<std::uint8_t>(0));
+    reply(fd, "COMMIT\n", 7);
+    counters_.requests_ok += 1;
+    return;
+  }
+  if (verb == "CHECKPOINT") {
+    HSFI_POINT(fx_.hsfi(), "checkpointer", /*critical=*/false);
+    // Flush table heaps to the data directory.
+    const int heap = FIR_OPEN(fx_, "/pg/base/heap.dat",
+                              kCreat | kWrOnly | kTrunc);
+    if (heap < 0) {
+      reply(fd, "ERROR: checkpoint failed\n", 25);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    char record[256];
+    std::int64_t off = 0;
+    bool failed = false;
+    for (std::size_t i = 0; i < kMaxTables; ++i) {
+      if (table_names_[i].used == 0) continue;
+      tables_[i].for_each([&](const Key& k, const Value& v) {
+        if (failed) return;
+        const int n = std::snprintf(record, sizeof(record), "%s:%.*s=%.*s\n",
+                                    table_names_[i].name,
+                                    static_cast<int>(k.len), k.data,
+                                    static_cast<int>(v.len), v.data);
+        if (FIR_PWRITE(fx_, heap, record, static_cast<std::size_t>(n), off) <
+            0) {
+          failed = true;
+          return;
+        }
+        off += n;
+      });
+    }
+    if (failed || FIR_FSYNC(fx_, heap) == -1) {
+      FIR_CLOSE(fx_, heap);
+      reply(fd, "ERROR: checkpoint failed\n", 25);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    FIR_CLOSE(fx_, heap);
+    counters_.requests_ok += 1;
+    reply(fd, "CHECKPOINT\n", 11);
+    return;
+  }
+
+  if (verb == "DROP") {
+    const std::string_view kw = next_token(input);  // TABLE
+    const std::string_view name = next_token(input);
+    HSFI_POINT(fx_.hsfi(), "ddl_drop", /*critical=*/false);
+    if (kw != "TABLE" || name.empty()) {
+      counters_.protocol_errors += 1;
+      reply(fd, "ERROR: syntax error\n", 20);
+      return;
+    }
+    for (std::size_t i = 0; i < kMaxTables; ++i) {
+      if (table_names_[i].used == 0 ||
+          std::string_view(table_names_[i].name) != name)
+        continue;
+      if (!wal_append("drop", name, "", "")) {
+        reply(fd, "ERROR: wal failure\n", 19);
+        counters_.responses_5xx += 1;
+        return;
+      }
+      // Truncate the relation (tracked, rollback-safe) and free the slot.
+      std::vector<Key> keys;
+      tables_[i].for_each(
+          [&keys](const Key& k, const Value&) { keys.push_back(k); });
+      for (const Key& k : keys) tables_[i].erase(k.view());
+      tx_store(table_names_[i].used, static_cast<std::uint8_t>(0));
+      shm_stats_bump(4);
+      counters_.requests_ok += 1;
+      reply(fd, "DROP TABLE\n", 11);
+      return;
+    }
+    counters_.responses_4xx += 1;
+    reply(fd, "ERROR: relation does not exist\n", 31);
+    return;
+  }
+
+  if (verb == "VACUUM") {
+    // Compacts tombstones by rewriting every relation's live rows — the
+    // autovacuum worker's bulk-write pattern (a long transaction full of
+    // tracked stores).
+    HSFI_POINT(fx_.hsfi(), "vacuum", /*critical=*/false);
+    std::size_t rewritten = 0;
+    for (std::size_t i = 0; i < kMaxTables; ++i) {
+      if (table_names_[i].used == 0) continue;
+      std::vector<std::pair<Key, Value>> rows;
+      tables_[i].for_each([&rows](const Key& k, const Value& v) {
+        rows.emplace_back(k, v);
+      });
+      for (const auto& [k, v] : rows) {
+        tables_[i].erase(k.view());
+        tables_[i].put(k.view(), k, v);
+        ++rewritten;
+      }
+    }
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "VACUUM %zu\n", rewritten);
+    counters_.requests_ok += 1;
+    reply(fd, buf, static_cast<std::size_t>(n));
+    return;
+  }
+
+  if (verb == "SCAN") {
+    const std::string_view name = next_token(input);
+    Table* scan_table = find_table(name);
+    HSFI_POINT(fx_.hsfi(), "executor_seqscan", /*critical=*/false);
+    if (scan_table == nullptr) {
+      counters_.responses_4xx += 1;
+      reply(fd, "ERROR: relation does not exist\n", 31);
+      return;
+    }
+    char buf[4096];
+    int n = 0;
+    std::size_t rows = 0;
+    bool overflow = false;
+    scan_table->for_each([&](const Key& k, const Value& v) {
+      if (overflow) return;
+      const int m = std::snprintf(
+          buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+          "%.*s=%.*s\n", static_cast<int>(k.len), k.data,
+          static_cast<int>(v.len), v.data);
+      if (m < 0 || static_cast<std::size_t>(n + m) >= sizeof(buf) - 32) {
+        overflow = true;
+        return;
+      }
+      n += m;
+      ++rows;
+    });
+    shm_stats_bump(1);
+    if (overflow) {
+      counters_.responses_5xx += 1;
+      reply(fd, "ERROR: result too large\n", 24);
+      return;
+    }
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       "(%zu rows)\n", rows);
+    counters_.requests_ok += 1;
+    reply(fd, buf, static_cast<std::size_t>(n));
+    return;
+  }
+
+  // DML verbs all address "<verb> <table> <key> [value...]".
+  const std::string_view table_name = next_token(input);
+  Table* table = find_table(table_name);
+  if (verb == "INSERT" || verb == "UPDATE" || verb == "SELECT" ||
+      verb == "DELETE") {
+    if (table == nullptr) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "missing_relation");
+      counters_.responses_4xx += 1;
+      reply(fd, "ERROR: relation does not exist\n", 31);
+      return;
+    }
+  } else {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "parser_reject");
+    counters_.protocol_errors += 1;
+    reply(fd, "ERROR: syntax error\n", 20);
+    return;
+  }
+
+  const std::string_view key = next_token(input);
+  while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+  const std::string_view value = input;
+
+  if (verb == "SELECT") {
+    HSFI_POINT(fx_.hsfi(), "executor_select", /*critical=*/false);
+    const Value* v = table->get(key);
+    shm_stats_bump(1);
+    // After the shared-memory stats update (pwrite): irrecoverable.
+    HSFI_POINT(fx_.hsfi(), "select_row_format", /*critical=*/false);
+    if (v == nullptr) {
+      reply(fd, "(0 rows)\n", 9);
+    } else {
+      char buf[192];
+      const int n = std::snprintf(buf, sizeof(buf), "%.*s\n(1 row)\n",
+                                  static_cast<int>(v->len), v->data);
+      reply(fd, buf, static_cast<std::size_t>(n));
+    }
+    counters_.requests_ok += 1;
+    return;
+  }
+
+  if (verb == "DELETE") {
+    HSFI_POINT(fx_.hsfi(), "executor_delete", /*critical=*/false);
+    if (!wal_append("delete", table_name, key, "")) {
+      reply(fd, "ERROR: wal failure\n", 19);
+      counters_.responses_5xx += 1;
+      return;
+    }
+    // Past the WAL write: this transaction opened at write() and cannot
+    // divert — minipg's irrecoverable share (paper: 22/27 recovered).
+    HSFI_POINT(fx_.hsfi(), "heap_delete_apply", /*critical=*/false);
+    const bool erased = table->erase(key);
+    shm_stats_bump(2);
+    reply(fd, erased ? "DELETE 1\n" : "DELETE 0\n", 9);
+    counters_.requests_ok += 1;
+    return;
+  }
+
+  // INSERT / UPDATE.
+  HSFI_POINT(fx_.hsfi(), "executor_write", /*critical=*/false);
+  const auto k = Key::make(key);
+  const auto v = Value::make(value);
+  if (!k || !v || key.empty()) {
+    counters_.protocol_errors += 1;
+    reply(fd, "ERROR: value too long\n", 22);
+    return;
+  }
+  if (verb == "INSERT" && table->contains(key)) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "unique_violation");
+    counters_.responses_4xx += 1;
+    reply(fd, "ERROR: duplicate key\n", 21);
+    return;
+  }
+  if (verb == "UPDATE" && !table->contains(key)) {
+    reply(fd, "UPDATE 0\n", 9);
+    counters_.requests_ok += 1;
+    return;
+  }
+  if (!wal_append(verb == "INSERT" ? "insert" : "update", table_name, key,
+                  value)) {
+    reply(fd, "ERROR: wal failure\n", 19);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  // Past the WAL write: irrecoverable transaction (see heap_delete_apply).
+  HSFI_POINT(fx_.hsfi(), "heap_write_apply", /*critical=*/false);
+  if (!table->put(key, *k, *v)) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "relation_full");
+    counters_.responses_5xx += 1;
+    reply(fd, "ERROR: relation full\n", 21);
+    return;
+  }
+  shm_stats_bump(3);
+  counters_.requests_ok += 1;
+  reply(fd, verb == "INSERT" ? "INSERT 0 1\n" : "UPDATE 1\n",
+        verb == "INSERT" ? 11 : 9);
+}
+
+void Minipg::reply(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t w = FIR_SEND(fx_, fd, data + off, len - off);
+    if (w < 0) {
+      if (fx_.err() == EAGAIN) continue;
+      HSFI_HANDLER_POINT(fx_.hsfi(), "send_failed");
+      Conn* conn = conn_of(fd);
+      if (conn != nullptr) close_conn(fd, conn);
+      return;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+
+std::size_t Minipg::resident_state_bytes() const {
+  std::size_t tables = 0;
+  for (const Table& t : tables_) tables += t.footprint_bytes();
+  return tables + conns_.footprint_bytes() +
+         table_names_.capacity() * sizeof(TableSlot) +
+         fd_conn_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+}
+
+}  // namespace fir

@@ -1,0 +1,100 @@
+// minipg: a PostgreSQL-shaped relational store.
+//
+// Models the parts of PostgreSQL that shape its FIRestarter profile in the
+// paper's evaluation:
+//   * write-ahead logging — every mutation appends a WAL record (write())
+//     and transaction commit fsync()s it: both irrecoverable catalog
+//     classes, so a large share of minipg's transactions cannot divert
+//     (matching the paper's 22/27 recovery rate and the smaller HTM-failure
+//     reduction of Fig. 8);
+//   * shared-memory statistics updates (§VII lists PostgreSQL's shared
+//     memory interactions as irrecoverable) — modeled as pwrite()s into a
+//     stats region;
+//   * a tiny SQL dialect (CREATE TABLE / INSERT / SELECT / UPDATE / DELETE /
+//     BEGIN / COMMIT / CHECKPOINT) over tracked heap tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/server.h"
+#include "mem/tracked_map.h"
+#include "mem/tracked_pool.h"
+
+namespace fir {
+
+class Minipg final : public Server {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 5432;
+  static constexpr std::size_t kMaxTables = 8;
+
+  explicit Minipg(TxManagerConfig config = {});
+  ~Minipg() override;
+
+  const char* name() const override { return "minipg"; }
+  Status start(std::uint16_t port) override;
+  void run_once() override;
+  void stop() override;
+  std::uint16_t port() const override { return port_; }
+  std::size_t resident_state_bytes() const override;
+
+  using Key = FixedString<48>;
+  using Value = FixedString<128>;
+  using Table = TrackedHashMap<Key, Value>;
+
+  /// Rows across all tables (test introspection).
+  std::size_t total_rows() const;
+
+  /// Rows recovered from the WAL during the last start() (0 on a fresh
+  /// data directory).
+  std::size_t wal_records_replayed() const { return wal_replayed_; }
+
+ private:
+  struct Conn {
+    std::int32_t fd;
+    std::uint8_t in_txn;  // BEGIN..COMMIT block open
+    std::uint8_t padding[3];
+    std::uint32_t rx_len;
+    std::uint64_t queries;
+    char rx[2048];
+  };
+
+  struct TableSlot {
+    char name[48];
+    std::uint8_t used;
+  };
+
+  void accept_clients();
+  void client_readable(int fd, Conn* conn);
+  /// Crash-restart recovery: replays an existing WAL into the tables
+  /// before serving (runs in the unprotected init phase).
+  void replay_wal();
+  Table* create_table_slot(std::string_view name);
+  void execute_sql(int fd, Conn* conn, const char* line, std::size_t len);
+  Table* find_table(std::string_view name);
+  /// Appends one WAL record; returns false when the write failed.
+  bool wal_append(const char* op, std::string_view table,
+                  std::string_view key, std::string_view value);
+  /// Shared-memory stats bump (irrecoverable interaction).
+  void shm_stats_bump(std::uint32_t counter_index);
+  void reply(int fd, const char* data, std::size_t len);
+  void close_conn(int fd, Conn* conn);
+  Conn* conn_of(int fd);
+
+  std::uint16_t port_ = kDefaultPort;
+  int listen_fd_ = -1;
+  int epfd_ = -1;
+  int wal_fd_ = -1;
+  int shm_fd_ = -1;
+  bool running_ = false;
+
+  std::vector<Table> tables_;
+  std::vector<TableSlot> table_names_;
+  TrackedPool<Conn> conns_{32};
+  std::vector<std::int32_t> fd_conn_;
+  tracked<std::uint64_t> wal_offset_;
+  tracked<std::uint64_t> xid_;
+  std::size_t wal_replayed_ = 0;
+};
+
+}  // namespace fir

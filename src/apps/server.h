@@ -1,0 +1,68 @@
+// Common surface of the five mini-servers.
+//
+// Each server owns an Fx (virtual OS + recovery runtime) and runs
+// cooperatively: the workload driver pushes client bytes into the virtual
+// network, then calls run_once() to let the server process everything
+// currently ready. start() is the unprotected init phase (the paper's
+// campaigns inject only "after the server starts up"); run_once() is the
+// protected event loop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "interpose/fir.h"
+#include "mem/tracked.h"
+
+namespace fir {
+
+/// Per-server service counters. Tracked: a rolled-back transaction must
+/// also roll back its accounting.
+struct ServerCounters {
+  tracked<std::uint64_t> requests_ok;
+  tracked<std::uint64_t> responses_4xx;
+  tracked<std::uint64_t> responses_5xx;
+  tracked<std::uint64_t> connections_accepted;
+  tracked<std::uint64_t> connections_closed;
+  tracked<std::uint64_t> protocol_errors;
+};
+
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// Binds and initializes (unprotected phase). Port 0 uses the server's
+  /// default.
+  virtual Status start(std::uint16_t port) = 0;
+
+  /// One protected event-loop pass: drains everything currently ready.
+  /// May throw FatalCrashError when an injected fault is unrecoverable.
+  virtual void run_once() = 0;
+
+  /// Releases all server resources.
+  virtual void stop() = 0;
+
+  virtual std::uint16_t port() const = 0;
+
+  /// Resident bytes of the server's own long-lived state (connection
+  /// pools, fd maps, keyspaces) — the application half of the Fig. 9 RSS
+  /// accounting. Excludes Env-heap scratch (counted by EnvStats) and
+  /// recovery-runtime state (counted by TxManager::instrumentation_bytes).
+  virtual std::size_t resident_state_bytes() const = 0;
+
+  Fx& fx() { return fx_; }
+  const ServerCounters& counters() const { return counters_; }
+
+ protected:
+  explicit Server(TxManagerConfig config) : fx_(config) {}
+
+  Fx fx_;
+  ServerCounters counters_;
+};
+
+}  // namespace fir

@@ -1,0 +1,30 @@
+// Cache geometry constants for the simulated HTM (Intel TSX model).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fir {
+
+/// x86 cache line size; the TSX write-set is tracked at this granularity.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Skylake-era L1D: 32 KiB, 8-way. TSX write capacity is bounded by L1D;
+/// in practice the usable write-set is a fraction of this because of
+/// associativity conflicts. These defaults drive the HtmConfig.
+inline constexpr std::size_t kL1DataCacheBytes = 32 * 1024;
+inline constexpr std::size_t kL1Associativity = 8;
+inline constexpr std::size_t kL1Sets =
+    kL1DataCacheBytes / (kCacheLineBytes * kL1Associativity);
+
+/// Rounds an address down to its cache-line base.
+inline std::uintptr_t line_base(std::uintptr_t addr) {
+  return addr & ~static_cast<std::uintptr_t>(kCacheLineBytes - 1);
+}
+
+/// Index of the L1 set an address maps to.
+inline std::size_t line_set_index(std::uintptr_t addr) {
+  return (addr / kCacheLineBytes) % kL1Sets;
+}
+
+}  // namespace fir

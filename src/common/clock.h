@@ -1,0 +1,68 @@
+// Time sources.
+//
+// The virtual OS (src/env) runs on VirtualClock so simulations are
+// deterministic; the benchmark harness measures real elapsed time with
+// StopWatch.
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+#include <cstdint>
+
+namespace fir {
+
+/// Monotonic simulated time in nanoseconds, advanced explicitly by the
+/// environment (e.g. each virtual syscall costs a few hundred ns, each
+/// poller wait advances to the next readiness event).
+class VirtualClock {
+ public:
+  std::uint64_t now_ns() const { return now_ns_; }
+  void advance_ns(std::uint64_t delta) { now_ns_ += delta; }
+  void reset() { now_ns_ = 0; }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+/// Process-CPU-time stopwatch (CLOCK_PROCESS_CPUTIME_ID): the throughput
+/// experiments run on shared machines, and CPU time excludes interference
+/// from other tenants that wall time would charge to the server under test.
+class CpuStopWatch {
+ public:
+  CpuStopWatch() : start_(now()) {}
+  void restart() { start_ = now(); }
+  double elapsed_seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fir

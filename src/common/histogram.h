@@ -1,0 +1,45 @@
+// Latency / size histogram with percentile queries.
+//
+// Used by the benchmark harness (recovery-latency distribution of Fig. 5,
+// throughput summaries) and by the runtime's self-metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fir {
+
+/// Records non-negative samples; answers count/mean/min/max/percentile.
+/// Exact (stores all samples); fine for the sample counts our experiments
+/// produce (<= a few million).
+class Histogram {
+ public:
+  void add(double sample);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// p in [0, 100]. Linear interpolation between order statistics.
+  /// Precondition: !empty().
+  double percentile(double p) const;
+
+  /// All recorded samples in insertion order (for scatter plots like Fig. 5).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace fir

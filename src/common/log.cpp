@@ -1,0 +1,43 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace fir {
+namespace {
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger() { reset_sink(); }
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::reset_sink() {
+  sink_ = [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[fir %s] %.*s\n", level_tag(level).data(),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  if (!enabled(level)) return;
+  sink_(level, msg);
+}
+
+}  // namespace fir

@@ -1,0 +1,77 @@
+// Minimal leveled logger.
+//
+// The recovery runtime logs diversion / rollback decisions at kInfo; the
+// mini-servers log their own application-level errors (mirroring nginx's
+// LOG_ERROR idiom) through the same sink so tests can assert on them.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fir {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide logging configuration. Not thread-safe by design: the
+/// FIRestarter runtime is single-threaded per protected process (paper §VII,
+/// "Multithreading" limitation).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  /// Messages below this level are dropped before formatting.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Tests install a capturing
+  /// sink to assert on recovery decisions.
+  void set_sink(Sink sink);
+
+  /// Restores the default stderr sink.
+  void reset_sink();
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::instance().write(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+// for-loop form avoids dangling-else ambiguity at unbraced call sites.
+#define FIR_LOG(level)                                                     \
+  for (bool fir_log_once =                                                 \
+           ::fir::Logger::instance().enabled(::fir::LogLevel::level);      \
+       fir_log_once; fir_log_once = false)                                 \
+  ::fir::detail::LogMessage(::fir::LogLevel::level)
+
+}  // namespace fir

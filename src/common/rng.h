@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (HTM interrupt aborts, fault
+// placement, workload request mixes) draws from an explicitly seeded Rng so
+// that experiments are exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fir {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Not cryptographic; fine for simulation.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give uncorrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  /// rejection method to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Fisher-Yates index helper: random index into a container of `size`.
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(next_below(size));
+  }
+
+  /// Splits off an independent generator (for per-site / per-worker streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fir

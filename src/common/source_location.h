@@ -1,0 +1,8 @@
+// FIR_HERE: a compile-time "file:line" literal identifying a call site.
+// Used by the interposition gates (site identity) and the fault injector
+// (marker identity).
+#pragma once
+
+#define FIR_DETAIL_STR2(x) #x
+#define FIR_DETAIL_STR(x) FIR_DETAIL_STR2(x)
+#define FIR_HERE __FILE__ ":" FIR_DETAIL_STR(__LINE__)

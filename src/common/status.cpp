@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace fir {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kConnectionReset: return "CONNECTION_RESET";
+    case ErrorCode::kAddressInUse: return "ADDRESS_IN_USE";
+    case ErrorCode::kBadFileDescriptor: return "BAD_FILE_DESCRIPTOR";
+    case ErrorCode::kNotConnected: return "NOT_CONNECTED";
+    case ErrorCode::kBrokenPipe: return "BROKEN_PIPE";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace fir

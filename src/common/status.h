@@ -1,0 +1,136 @@
+// Lightweight error-handling vocabulary used across the FIRestarter code base.
+//
+// We deliberately avoid exceptions on hot paths: the transaction machinery
+// longjmp()s across frames (mirroring the paper's signal-handler + register
+// restore mechanism), and C++ exceptions may not unwind across such jumps.
+// All fallible library-style interfaces therefore return Status / Result<T>.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace fir {
+
+/// Error categories roughly mirroring POSIX errno classes plus
+/// FIRestarter-internal conditions.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // EINVAL
+  kNotFound,          // ENOENT
+  kAlreadyExists,     // EEXIST
+  kPermissionDenied,  // EACCES
+  kResourceExhausted, // ENOMEM / EMFILE
+  kUnavailable,       // EAGAIN / EWOULDBLOCK
+  kConnectionReset,   // ECONNRESET
+  kAddressInUse,      // EADDRINUSE
+  kBadFileDescriptor, // EBADF
+  kNotConnected,      // ENOTCONN
+  kBrokenPipe,        // EPIPE
+  kOutOfRange,        // index / offset outside object bounds
+  kFailedPrecondition,// operation not valid in current state
+  kAborted,           // transaction aborted
+  kInternal,          // invariant violation inside FIRestarter itself
+  kUnimplemented,
+};
+
+/// Human-readable name of an ErrorCode ("kOk" -> "OK", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on success (no allocation);
+/// carries a message only on error.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status. `code` must not be kOk.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "error Status requires non-OK code");
+  }
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. A minimal std::expected
+/// stand-in (we target toolchains where <expected> may be absent).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value: `return 42;`.
+  Result(T value) : repr_(std::move(value)) {}
+  /// Implicit from error: `return Status(...)`. Must be non-OK.
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).is_ok() &&
+           "Result error must carry a non-OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Precondition: is_ok().
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  /// OK status if holding a value, the error otherwise.
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(repr_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagate-on-error helper: `FIR_RETURN_IF_ERROR(do_thing());`
+#define FIR_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::fir::Status fir_status_ = (expr);             \
+    if (!fir_status_.is_ok()) return fir_status_;   \
+  } while (0)
+
+/// `FIR_ASSIGN_OR_RETURN(auto v, compute());`
+#define FIR_ASSIGN_OR_RETURN(decl, expr)               \
+  auto fir_result_##__LINE__ = (expr);                 \
+  if (!fir_result_##__LINE__.is_ok())                  \
+    return fir_result_##__LINE__.status();             \
+  decl = std::move(fir_result_##__LINE__).value()
+
+}  // namespace fir

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fir {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() {
+  if (!rows_.empty()) rows_.back().separator_after = true;
+}
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.cells.size());
+  if (columns == 0) return "";
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row.cells);
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+  auto separator = [&]() {
+    std::string line = "+";
+    for (std::size_t i = 0; i < columns; ++i)
+      line += std::string(widths[i] + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+
+  std::string out = separator();
+  if (!header_.empty()) {
+    out += render_line(header_);
+    out += separator();
+  }
+  for (const auto& row : rows_) {
+    out += render_line(row.cells);
+    if (row.separator_after) out += separator();
+  }
+  out += separator();
+  return out;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace fir

@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one paper table/figure and prints it in a
+// layout comparable side-by-side with the paper's. This helper keeps the
+// formatting consistent across binaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fir {
+
+/// Builds an aligned ASCII table. Columns are sized to their widest cell.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the most recently added row.
+  void add_separator();
+
+  /// Renders with single-space padding and `|` column separators.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_after = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// printf-style float formatting helpers used by bench binaries.
+std::string format_double(double v, int decimals);
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace fir

@@ -1,0 +1,34 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+
+namespace fir {
+
+SurfaceReport analyze_surface(const SiteRegistry& sites) {
+  SurfaceReport report;
+  for (const Site& site : sites.all()) {
+    if (site.stats.transactions > 0) {
+      ++report.unique_transactions;
+      if (!site.recoverable()) ++report.irrecoverable_transactions;
+    }
+    if (site.stats.embedded_calls > 0) ++report.embedded_libcall_sites;
+  }
+  return report;
+}
+
+std::vector<SiteReportRow> site_report(const SiteRegistry& sites) {
+  std::vector<SiteReportRow> rows;
+  for (const Site& site : sites.all()) {
+    if (site.stats.transactions == 0 && site.stats.embedded_calls == 0)
+      continue;
+    rows.push_back(SiteReportRow{site.function, site.location,
+                                 site.recoverable(), site.stats});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SiteReportRow& a, const SiteReportRow& b) {
+              return a.stats.transactions > b.stats.transactions;
+            });
+  return rows;
+}
+
+}  // namespace fir

@@ -1,0 +1,51 @@
+// Recoverable-surface analysis (§VI-A, Table III).
+//
+// After a workload has driven a protected application, the site registry
+// holds which transaction sites actually executed. The analyzer condenses
+// that into the paper's recoverable-surface metrics: how many unique
+// transactions ran, how many library calls were folded into enclosing
+// transactions, and what fraction of the executed transactions could both
+// restore state and divert execution on a persistent crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/site.h"
+
+namespace fir {
+
+/// One Table III column.
+struct SurfaceReport {
+  /// Unique transaction sites that began at least one transaction.
+  std::uint64_t unique_transactions = 0;
+  /// Unique non-divertible call sites embedded within transactions.
+  std::uint64_t embedded_libcall_sites = 0;
+  /// Executed transaction sites whose opening call cannot support
+  /// fault-injection recovery (irrecoverable or error-ignored).
+  std::uint64_t irrecoverable_transactions = 0;
+
+  double recoverable_fraction() const {
+    return unique_transactions == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(irrecoverable_transactions) /
+                           static_cast<double>(unique_transactions);
+  }
+};
+
+/// Computes the surface over every site that executed under the workload.
+SurfaceReport analyze_surface(const SiteRegistry& sites);
+
+/// Per-site detail row for diagnostics and the bench binaries.
+struct SiteReportRow {
+  std::string function;
+  std::string location;
+  bool recoverable = false;
+  SiteStats stats;
+};
+
+/// All executed sites, most-active first.
+std::vector<SiteReportRow> site_report(const SiteRegistry& sites);
+
+}  // namespace fir

@@ -1,0 +1,34 @@
+#include "core/crash.h"
+
+namespace fir {
+namespace {
+CrashHandler* g_handler = nullptr;
+}  // namespace
+
+const char* crash_kind_name(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kSegv: return "SIGSEGV";
+    case CrashKind::kAbort: return "SIGABRT";
+    case CrashKind::kIllegal: return "SIGILL";
+    case CrashKind::kBus: return "SIGBUS";
+    case CrashKind::kFpe: return "SIGFPE";
+  }
+  return "?";
+}
+
+CrashHandler* set_crash_handler(CrashHandler* handler) {
+  CrashHandler* prev = g_handler;
+  g_handler = handler;
+  return prev;
+}
+
+CrashHandler* crash_handler() { return g_handler; }
+
+void raise_crash(CrashKind kind) {
+  if (g_handler != nullptr) g_handler->handle_crash(kind);
+  throw FatalCrashError(
+      kind, std::string("fatal ") + crash_kind_name(kind) +
+                " with no recovery runtime installed");
+}
+
+}  // namespace fir

@@ -1,0 +1,78 @@
+// Crash channel: how fatal faults reach the recovery runtime.
+//
+// The paper deploys signal handlers that proxy fatal signals (SIGSEGV, ...)
+// into crash recovery. In this reproduction faults are raised synchronously:
+// injected faults (src/hsfi) and application invariant checks call
+// raise_crash(), which transfers control to the active TxManager — the same
+// rollback → compensate → inject → resume sequence a signal handler would
+// start, minus the asynchronous hop (DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fir {
+
+/// What kind of fatal event occurred (maps onto the fatal signals the
+/// paper's handler proxies).
+enum class CrashKind : std::uint8_t {
+  kSegv = 0,    // invalid memory access (SIGSEGV)
+  kAbort,       // failed assertion / abort() (SIGABRT)
+  kIllegal,     // corrupted control flow (SIGILL)
+  kBus,         // misaligned/unbacked access (SIGBUS)
+  kFpe,         // divide by zero etc. (SIGFPE)
+};
+
+const char* crash_kind_name(CrashKind kind);
+
+/// Thrown (on the normal application stack, after state rollback) when a
+/// crash cannot be recovered: no active transaction, a crash inside an
+/// already-diverted error handler, or a transaction whose opening call is
+/// irrecoverable. The process hosting a real FIRestarter would terminate
+/// here; the simulation unwinds to the harness instead so campaigns can
+/// continue.
+class FatalCrashError : public std::runtime_error {
+ public:
+  FatalCrashError(CrashKind kind, std::string what)
+      : std::runtime_error(std::move(what)), kind_(kind) {}
+  CrashKind kind() const { return kind_; }
+
+ private:
+  CrashKind kind_;
+};
+
+/// Handler interface the TxManager registers with the crash channel.
+class CrashHandler {
+ public:
+  virtual ~CrashHandler() = default;
+  /// Either longjmps back into the active transaction's entry gate (and
+  /// therefore does not return), or throws FatalCrashError.
+  [[noreturn]] virtual void handle_crash(CrashKind kind) = 0;
+};
+
+/// Installs the process-wide crash handler (nullptr to uninstall).
+/// Returns the previously installed handler.
+CrashHandler* set_crash_handler(CrashHandler* handler);
+CrashHandler* crash_handler();
+
+/// Raises a fatal fault. Control flow does not continue past this call:
+/// either the handler longjmps into a recovery gate, or FatalCrashError is
+/// thrown.
+[[noreturn]] void raise_crash(CrashKind kind);
+
+/// Defensive dereference guard: modeling what the MMU does to a NULL (or
+/// corrupted-to-NULL) pointer access. Applications call this where the real
+/// server would dereference.
+inline void check_ptr(const void* p) {
+  if (p == nullptr) raise_crash(CrashKind::kSegv);
+}
+
+/// Bounds guard: modeling a sanitizer/assert tripping on a corrupted index
+/// (the fail-stop conversion of fail-silent faults, §II).
+inline void check_bounds(std::size_t index, std::size_t size) {
+  if (index >= size) raise_crash(CrashKind::kAbort);
+}
+
+}  // namespace fir

@@ -1,0 +1,71 @@
+#include "core/policy.h"
+
+#include <algorithm>
+
+namespace fir {
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAdaptive: return "adaptive";
+    case PolicyKind::kNaiveHtm: return "naive-htm";
+    case PolicyKind::kStmOnly: return "stm-only";
+    case PolicyKind::kHtmOnly: return "htm-only";
+    case PolicyKind::kManual: return "manual";
+    case PolicyKind::kUnprotected: return "unprotected";
+  }
+  return "?";
+}
+
+AdaptivePolicy::AdaptivePolicy(PolicyConfig config)
+    : config_(std::move(config)) {}
+
+bool AdaptivePolicy::manual_stm(const Site& site) const {
+  return std::find(config_.manual_stm_functions.begin(),
+                   config_.manual_stm_functions.end(),
+                   site.function) != config_.manual_stm_functions.end();
+}
+
+TxMode AdaptivePolicy::choose_mode(Site& site) {
+  GateState& gate = site.gate;
+  ++gate.executions;
+
+  switch (config_.kind) {
+    case PolicyKind::kUnprotected:
+      return TxMode::kNone;
+    case PolicyKind::kStmOnly:
+      return TxMode::kStm;
+    case PolicyKind::kHtmOnly:
+    case PolicyKind::kNaiveHtm:
+      return TxMode::kHtm;
+    case PolicyKind::kManual:
+      return manual_stm(site) ? TxMode::kStm : TxMode::kHtm;
+    case PolicyKind::kAdaptive: {
+      if (gate.sticky_stm) return TxMode::kStm;
+      // Periodic threshold check: every sample_size executions, compare the
+      // lifetime abort ratio against the tolerance (§IV-C / §VI-D).
+      if (++gate.window_executions >= config_.sample_size) {
+        gate.window_executions = 0;
+        const double ratio =
+            gate.executions == 0
+                ? 0.0
+                : static_cast<double>(gate.htm_aborts) /
+                      static_cast<double>(gate.executions);
+        if (ratio > config_.abort_threshold && gate.htm_aborts > 0) {
+          gate.sticky_stm = true;
+          return TxMode::kStm;
+        }
+      }
+      return TxMode::kHtm;
+    }
+  }
+  return TxMode::kStm;
+}
+
+TxMode AdaptivePolicy::on_htm_abort(Site& site) {
+  ++site.gate.htm_aborts;
+  ++site.stats.htm_aborts;
+  if (config_.kind == PolicyKind::kHtmOnly) return TxMode::kNone;
+  return TxMode::kStm;
+}
+
+}  // namespace fir

@@ -1,0 +1,72 @@
+// Checkpoint-mechanism selection policies (§IV-C, Fig. 3, Fig. 6).
+//
+// The policy answers one question per transaction begin: HTM or STM? and one
+// per HTM abort: keep trying HTM at this site, or demote it permanently?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/site.h"
+
+namespace fir {
+
+/// The policy variants evaluated in the paper.
+enum class PolicyKind : std::uint8_t {
+  /// Dynamic transaction adaptivity: per-site abort accounting with an
+  /// abort-ratio threshold checked every `sample_size` executions; sites
+  /// exceeding the threshold switch to STM permanently. The paper's default
+  /// (threshold 1%, sample size 4-128).
+  kAdaptive = 0,
+  /// Always attempt HTM first; fall back to STM per-invocation after an
+  /// abort, but never demote a site. (Fig. 3 "naive".)
+  kNaiveHtm,
+  /// Every transaction uses STM. Full protection, maximum overhead.
+  kStmOnly,
+  /// Every transaction uses HTM; on abort, fall back to UNPROTECTED
+  /// re-execution (the HAFT-style comparator — no recovery guarantee).
+  kHtmOnly,
+  /// Like kNaiveHtm but sites on a hand-written list go straight to STM
+  /// (Fig. 3 "manual marking").
+  kManual,
+  /// No transactions at all (vanilla baseline).
+  kUnprotected,
+};
+
+const char* policy_kind_name(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kAdaptive;
+  /// Maximum tolerated HTM-abort ratio before a site is demoted (kAdaptive).
+  double abort_threshold = 0.01;
+  /// Executions between threshold checks (kAdaptive).
+  std::uint32_t sample_size = 4;
+  /// Library functions whose sites are hand-marked STM (kManual). The
+  /// paper's manual experiment marks the sites following malloc(),
+  /// posix_memalign() and fcntl64().
+  std::vector<std::string> manual_stm_functions;
+};
+
+/// Stateless decision logic over per-site GateState.
+class AdaptivePolicy {
+ public:
+  explicit AdaptivePolicy(PolicyConfig config = {});
+
+  const PolicyConfig& config() const { return config_; }
+
+  /// Mode for a transaction about to begin at `site`. Updates execution
+  /// accounting and (kAdaptive) runs the periodic threshold check.
+  TxMode choose_mode(Site& site);
+
+  /// Records an HTM abort at `site`. Returns the mode to re-execute under:
+  /// kStm for recovering policies, kNone for kHtmOnly (unprotected fallback).
+  TxMode on_htm_abort(Site& site);
+
+ private:
+  bool manual_stm(const Site& site) const;
+
+  PolicyConfig config_;
+};
+
+}  // namespace fir

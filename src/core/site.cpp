@@ -1,0 +1,27 @@
+#include "core/site.h"
+
+namespace fir {
+
+SiteId SiteRegistry::intern(std::string_view function,
+                            std::string_view location) {
+  for (const Site& site : sites_) {
+    if (site.function == function && site.location == location)
+      return site.id;
+  }
+  Site site;
+  site.id = static_cast<SiteId>(sites_.size());
+  site.function = std::string(function);
+  site.location = std::string(location);
+  site.spec = LibraryCatalog::instance().find(function);
+  sites_.push_back(std::move(site));
+  return sites_.back().id;
+}
+
+void SiteRegistry::reset_runtime_state() {
+  for (Site& site : sites_) {
+    site.gate = GateState{};
+    site.stats = SiteStats{};
+  }
+}
+
+}  // namespace fir

@@ -1,0 +1,92 @@
+// Transaction sites: one per static library-call location in the protected
+// application.
+//
+// A site is where a crash transaction can begin (paper Fig. 2's "transaction
+// entry gate" + the per-site tx_gate[] slot). It carries the library
+// function's catalog entry, the adaptive-policy state for this location, and
+// the counters behind Tables III/IV and Figures 3/6/8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "libmodel/catalog.h"
+
+namespace fir {
+
+using SiteId = std::uint32_t;
+inline constexpr SiteId kInvalidSite = static_cast<SiteId>(-1);
+
+/// The checkpointing mechanism a transaction runs under.
+enum class TxMode : std::uint8_t {
+  kNone = 0,  // unprotected (vanilla baseline / post-irrecoverable region)
+  kHtm,
+  kStm,
+};
+
+/// Per-site adaptive-policy state: the runtime value of the paper's
+/// tx_gate[] entry plus the abort-accounting window (§IV-C).
+struct GateState {
+  /// Permanently demoted to STM by the dynamic adaptation policy.
+  bool sticky_stm = false;
+  /// Lifetime counters.
+  std::uint64_t executions = 0;
+  std::uint64_t htm_aborts = 0;
+  /// Executions since the last threshold check (window of `sample_size`).
+  std::uint32_t window_executions = 0;
+};
+
+/// Per-site outcome counters.
+struct SiteStats {
+  std::uint64_t transactions = 0;   // times a transaction began here
+  std::uint64_t commits = 0;
+  std::uint64_t htm_aborts = 0;     // capacity/interrupt/conflict aborts
+  std::uint64_t crashes = 0;        // fatal faults inside this site's txns
+  std::uint64_t retries = 0;        // rollback + re-execution attempts
+  std::uint64_t diversions = 0;     // fault injections performed
+  std::uint64_t fatal = 0;          // crashes this site could not absorb
+  std::uint64_t embedded_calls = 0; // non-divertible calls folded in
+};
+
+/// One static library-call site.
+struct Site {
+  SiteId id = kInvalidSite;
+  std::string function;   // library function name ("setsockopt")
+  std::string location;   // application source location ("miniginx.cpp:42")
+  const LibFunctionSpec* spec = nullptr;  // nullptr: unmodeled function
+  GateState gate;
+  SiteStats stats;
+
+  /// A transaction beginning here can divert execution on a persistent
+  /// crash: the call reports errors AND its effect is compensable.
+  bool recoverable() const {
+    return spec != nullptr && LibraryCatalog::usable_for_recovery(*spec);
+  }
+  /// The call has an error channel that callers check (fault injection can
+  /// change the execution path), regardless of compensability.
+  bool divertible() const { return spec != nullptr && spec->divertible; }
+};
+
+/// Registry of all sites in one protected application. SiteIds are dense
+/// indices; registration is idempotent per (function, location).
+class SiteRegistry {
+ public:
+  /// Returns the existing site for (function, location) or creates one.
+  SiteId intern(std::string_view function, std::string_view location);
+
+  Site& operator[](SiteId id) { return sites_[id]; }
+  const Site& operator[](SiteId id) const { return sites_[id]; }
+  std::size_t size() const { return sites_.size(); }
+
+  const std::vector<Site>& all() const { return sites_; }
+  std::vector<Site>& all_mutable() { return sites_; }
+
+  /// Zeroes every site's stats and gate state (fresh experiment run).
+  void reset_runtime_state();
+
+ private:
+  std::vector<Site> sites_;
+};
+
+}  // namespace fir

@@ -1,0 +1,68 @@
+#include "core/stack_snapshot.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fir {
+
+bool StackSnapshot::capture(const void* sp, const void* anchor) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(sp);
+  const auto hi = reinterpret_cast<std::uintptr_t>(anchor);
+  if (lo >= hi || hi - lo > kMaxBytes) {
+    base_ = 0;
+    return false;
+  }
+  const std::size_t size = hi - lo;
+  buffer_.resize(size);
+  std::memcpy(buffer_.data(), reinterpret_cast<const void*>(lo), size);
+  base_ = lo;
+  return true;
+}
+
+void StackSnapshot::restore() const {
+  if (!valid()) return;
+  std::memcpy(reinterpret_cast<void*>(base_), buffer_.data(), buffer_.size());
+}
+
+namespace {
+// makecontext's entry function cannot carry pointer arguments portably;
+// route through a single in-flight RecoveryStack instead. Recovery is
+// single-threaded and non-reentrant (a crash during recovery is fatal).
+RecoveryStack* g_running = nullptr;
+}  // namespace
+
+RecoveryStack::RecoveryStack() : stack_(256 * 1024) {}
+
+void RecoveryStack::trampoline() {
+  RecoveryStack* self = g_running;
+  g_running = nullptr;
+  self->fn_(self->arg_);
+  std::fprintf(stderr, "fir: recovery step returned instead of resuming\n");
+  std::abort();
+}
+
+void RecoveryStack::run(Fn fn, void* arg) {
+  if (g_running != nullptr) {
+    std::fprintf(stderr, "fir: re-entrant recovery (crash during recovery)\n");
+    std::abort();
+  }
+  fn_ = fn;
+  arg_ = arg;
+  if (getcontext(&recovery_ctx_) != 0) {
+    std::perror("fir: getcontext");
+    std::abort();
+  }
+  recovery_ctx_.uc_stack.ss_sp = stack_.data();
+  recovery_ctx_.uc_stack.ss_size = stack_.size();
+  recovery_ctx_.uc_link = nullptr;
+  makecontext(&recovery_ctx_, &RecoveryStack::trampoline, 0);
+  g_running = this;
+  swapcontext(&abandoned_ctx_, &recovery_ctx_);
+  // The recovery step longjmps into the entry gate; control never flows back
+  // through the abandoned context.
+  std::fprintf(stderr, "fir: abandoned recovery context was resumed\n");
+  std::abort();
+}
+
+}  // namespace fir

@@ -1,0 +1,81 @@
+// Native-stack checkpointing.
+//
+// The paper's Checkpoint Manager saves "the contents of all registers in
+// memory, using a method akin to glibc's setjmp() and longjmp()" and its STM
+// instrumentation logs stack stores so the stack can be restored. We achieve
+// the same end state differently (DESIGN.md §2): at transaction begin we copy
+// the stack region between the current stack pointer and an application-set
+// anchor (the event-loop frame) into a side buffer; on rollback we copy it
+// back and longjmp into the entry gate. setjmp/longjmp covers the registers,
+// the wholesale copy covers the stack stores.
+//
+// The restore MUST NOT run on the stack it is about to overwrite: a crash can
+// occur in a frame shallower than the checkpointed gate frame (the function
+// holding the gate returned before the crash), in which case the restoring
+// code's own frames would lie inside the restore region. RecoveryStack
+// provides a detached scratch stack (ucontext) on which the recovery step
+// runs before longjmp-ing back.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fir {
+
+/// Saves/restores the [sp, anchor) stack region (stacks grow down: sp is the
+/// numerically smaller bound).
+class StackSnapshot {
+ public:
+  /// Largest stack region a snapshot may cover. Event-driven servers sit a
+  /// few KiB below their loop anchor; exceeding this indicates a misplaced
+  /// anchor.
+  static constexpr std::size_t kMaxBytes = 1 << 20;
+
+  /// Captures [sp, anchor). Requires sp < anchor and size within kMaxBytes.
+  /// Returns false (leaving the snapshot empty) when bounds are implausible.
+  bool capture(const void* sp, const void* anchor);
+
+  /// Copies the captured bytes back to their original location. Caller must
+  /// be executing on a different stack (see RecoveryStack).
+  void restore() const;
+
+  bool valid() const { return base_ != 0; }
+  void invalidate() { base_ = 0; }
+  std::size_t size_bytes() const { return buffer_.size(); }
+  /// Capacity of the side buffer (memory-overhead accounting, Fig. 9).
+  std::size_t footprint_bytes() const { return buffer_.capacity(); }
+
+ private:
+  std::uintptr_t base_ = 0;  // original address of buffer_[0]
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// A detached execution stack for the recovery step.
+///
+/// run() switches to the scratch stack, invokes fn(arg), and — because the
+/// recovery step always ends in a longjmp into the application's entry gate —
+/// never returns through the context switch. fn must not return.
+class RecoveryStack {
+ public:
+  RecoveryStack();
+
+  using Fn = void (*)(void* arg);
+
+  /// Executes fn(arg) on the scratch stack. fn must longjmp away; if it
+  /// returns, the process aborts (there is nowhere sane to continue).
+  [[noreturn]] void run(Fn fn, void* arg);
+
+ private:
+  static void trampoline();
+
+  std::vector<std::uint8_t> stack_;
+  ucontext_t recovery_ctx_;
+  ucontext_t abandoned_ctx_;  // never resumed; required by swapcontext
+  Fn fn_ = nullptr;
+  void* arg_ = nullptr;
+};
+
+}  // namespace fir

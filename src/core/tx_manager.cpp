@@ -1,0 +1,380 @@
+#include "core/tx_manager.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace fir {
+
+namespace {
+std::uint64_t g_next_generation = 1;
+}  // namespace
+
+TxManager::TxManager(Env& env, TxManagerConfig config)
+    : env_(env),
+      config_(config),
+      policy_(config.policy),
+      htm_(config.htm),
+      generation_(g_next_generation++) {
+  previous_handler_ = set_crash_handler(this);
+  StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
+  embedded_reverts_.reserve(16);
+  embedded_deferred_.reserve(16);
+  comp_arena_.reserve(4096);
+}
+
+TxManager::~TxManager() {
+  quiesce();
+  // Only release the process globals if this manager currently owns them
+  // (another live instance may have claimed them since).
+  if (crash_handler() == this) {
+    StoreGate::set_abort_hook(nullptr, nullptr);
+    StoreGate::set_recorder(nullptr);
+    set_crash_handler(previous_handler_ == this ? nullptr
+                                                : previous_handler_);
+  }
+}
+
+SiteId TxManager::register_site(std::string_view function,
+                                std::string_view location) {
+  return sites_.intern(function, location);
+}
+
+void TxManager::start_recording(TxMode mode) {
+  if (mode == TxMode::kHtm) {
+    htm_.begin();
+    StoreGate::set_recorder(&htm_);
+  } else if (mode == TxMode::kStm) {
+    stm_.begin();
+    StoreGate::set_recorder(&stm_);
+  } else {
+    StoreGate::set_recorder(nullptr);
+  }
+}
+
+void TxManager::stop_recording() { StoreGate::set_recorder(nullptr); }
+
+void TxManager::reset_active() {
+  active_ = ActiveTx{};
+  embedded_reverts_.clear();
+  embedded_deferred_.clear();
+  comp_arena_.clear();
+  snapshot_.invalidate();
+  resume_action_ = ResumeAction::kNone;
+}
+
+void TxManager::commit_open_tx() {
+  assert(active_.open);
+  if (active_.mode == TxMode::kHtm) {
+    htm_.commit();
+  } else if (active_.mode == TxMode::kStm) {
+    stm_.commit();
+  }
+  stop_recording();
+
+  // Deferrable effects become real only now (§V-A class 3).
+  if (active_.has_opening_deferred) {
+    active_.opening_deferred.fn(env_, active_.opening_deferred.a,
+                                active_.opening_deferred.b);
+  }
+  for (const DeferredOp& op : embedded_deferred_) op.fn(env_, op.a, op.b);
+
+  if (active_.site != kInvalidSite) ++sites_[active_.site].stats.commits;
+  reset_active();
+}
+
+void TxManager::pre_call() {
+  if (active_.open) commit_open_tx();
+  comp_arena_.clear();
+}
+
+void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
+  assert(!active_.open && "pre_call() must commit before begin()");
+  // Multiple protected instances can coexist in one process (prefork
+  // deployments, SVII): the crash channel and the store-gate abort hook
+  // are process globals, so the manager opening a transaction claims them.
+  if (crash_handler() != this) {
+    set_crash_handler(this);
+    StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
+  }
+  Site& site = sites_[site_id];
+  ++site.stats.transactions;
+
+  active_.open = true;
+  active_.site = site_id;
+  active_.rv = rv;
+  active_.comp = comp;
+  active_.crash_count = 0;
+  active_.diverted = false;
+
+  if (!config_.enabled || anchor_ == nullptr) {
+    active_.mode = TxMode::kNone;
+    ++tx_none_;
+    return;
+  }
+  const TxMode mode = policy_.choose_mode(site);
+  if (mode == TxMode::kNone) {
+    active_.mode = TxMode::kNone;
+    ++tx_none_;
+    return;
+  }
+  // Snapshot from this frame's base: begin()'s own locals are dead after a
+  // longjmp resume, so [frame base, anchor) covers exactly the caller
+  // frames that must be restored.
+  if (!snapshot_.capture(__builtin_frame_address(0), anchor_)) {
+    FIR_LOG(kWarn) << "stack snapshot failed at " << site.function << " ("
+                   << site.location << "); running unprotected";
+    active_.mode = TxMode::kNone;
+    ++tx_none_;
+    return;
+  }
+  active_.mode = mode;
+  if (mode == TxMode::kHtm) {
+    ++tx_htm_;
+  } else {
+    ++tx_stm_;
+  }
+  start_recording(mode);
+}
+
+void TxManager::embed_revert(SiteId embedded_site, Compensation revert) {
+  ++sites_[embedded_site].stats.embedded_calls;
+  if (active_.open && active_.mode != TxMode::kNone)
+    embedded_reverts_.push_back(revert);
+}
+
+void TxManager::embed_idempotent(SiteId embedded_site) {
+  ++sites_[embedded_site].stats.embedded_calls;
+}
+
+void TxManager::set_opening_deferred(DeferredOp op) {
+  assert(active_.open);
+  active_.opening_deferred = op;
+  active_.has_opening_deferred = true;
+}
+
+void TxManager::defer_embedded(SiteId embedded_site, DeferredOp op) {
+  ++sites_[embedded_site].stats.embedded_calls;
+  if (active_.open && active_.mode != TxMode::kNone) {
+    embedded_deferred_.push_back(op);
+  } else {
+    // No transaction to defer into: apply immediately.
+    op.fn(env_, op.a, op.b);
+  }
+}
+
+std::uint32_t TxManager::stash_comp_data(const void* data, std::size_t len) {
+  const auto off = static_cast<std::uint32_t>(comp_arena_.size());
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  comp_arena_.insert(comp_arena_.end(), bytes, bytes + len);
+  return off;
+}
+
+void TxManager::run_compensation(const Compensation& comp) {
+  if (comp.fn == nullptr) return;
+  comp.fn(env_, comp.a, comp.b, active_.rv,
+          comp_arena_.data() + comp.data_off, comp.data_len);
+}
+
+// --- crash handling ---------------------------------------------------------
+
+void TxManager::htm_store_abort_hook(void* self) {
+  auto* mgr = static_cast<TxManager*>(self);
+  // The HTM model rejected a store (capacity or simulated async event).
+  assert(mgr->active_.open && mgr->active_.mode == TxMode::kHtm);
+  mgr->crash_is_htm_abort_ = true;
+  mgr->htm_abort_code_ = mgr->htm_.pending_abort();
+  mgr->crash_watch_.restart();
+  mgr->recovery_stack_.run(&TxManager::recovery_trampoline, mgr);
+}
+
+void TxManager::handle_crash(CrashKind kind) {
+  crash_kind_ = kind;
+  crash_watch_.restart();
+
+  if (!active_.open || active_.mode == TxMode::kNone) {
+    // No recoverable transaction covers this code: the process would die.
+    if (active_.open) {
+      Site& site = sites_[active_.site];
+      ++site.stats.crashes;
+      ++site.stats.fatal;
+      recovery_log_.push_back(RecoveryEvent{
+          active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
+      reset_active();
+    }
+    stop_recording();
+    throw FatalCrashError(kind, std::string("unprotected crash: ") +
+                                    crash_kind_name(kind));
+  }
+
+  if (active_.diverted) {
+    // Crash inside the injected-error handler: "there will typically not be
+    // an error handler for the error handler" (§VII).
+    Site& site = sites_[active_.site];
+    ++site.stats.crashes;
+    ++site.stats.fatal;
+    recovery_log_.push_back(RecoveryEvent{
+        active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
+    if (active_.mode == TxMode::kStm) {
+      stm_.rollback();
+    } else if (active_.mode == TxMode::kHtm) {
+      htm_.abort(HtmAbortCode::kExplicit);
+    }
+    stop_recording();
+    reset_active();
+    throw FatalCrashError(kind, "crash inside error-handling code");
+  }
+
+  if (active_.mode == TxMode::kHtm) {
+    // A fault inside a hardware transaction first surfaces as a TSX abort;
+    // the runtime re-executes under STM to distinguish a resource abort
+    // from a real crash (§IV-C). Model that exactly.
+    crash_is_htm_abort_ = true;
+    htm_abort_code_ = HtmAbortCode::kExplicit;
+  } else {
+    crash_is_htm_abort_ = false;
+  }
+  recovery_stack_.run(&TxManager::recovery_trampoline, this);
+}
+
+void TxManager::recovery_trampoline(void* self) {
+  static_cast<TxManager*>(self)->recovery_step();
+}
+
+void TxManager::recovery_step() {
+  Site& site = sites_[active_.site];
+
+  // 1. Roll back memory operations performed after the library call: the
+  //    tracked-store log (HTM write-set discard / STM undo walk) and the
+  //    native stack image. Safe to restore the stack here: we are executing
+  //    on the detached recovery stack, and compensations below must observe
+  //    — and may overwrite — the checkpoint-time buffer contents (§V-B:
+  //    "after rolling back memory operations that occurred after the
+  //    library call and running its compensation action, we also restore
+  //    the library call-affected memory areas").
+  if (crash_is_htm_abort_) {
+    htm_.abort(htm_abort_code_);
+  } else {
+    stm_.rollback();
+  }
+  stop_recording();
+  snapshot_.restore();
+
+  // 2. Revert embedded library calls, newest first; drop their deferred
+  //    effects (re-execution will re-issue them).
+  for (auto it = embedded_reverts_.rbegin(); it != embedded_reverts_.rend();
+       ++it) {
+    run_compensation(*it);
+  }
+  embedded_reverts_.clear();
+  embedded_deferred_.clear();
+
+  // 3. Decide how to resume.
+  if (crash_is_htm_abort_) {
+    crash_is_htm_abort_ = false;
+    const TxMode next = policy_.on_htm_abort(site);
+    resume_action_ = next == TxMode::kNone ? ResumeAction::kRetryUnprotected
+                                           : ResumeAction::kRetryStm;
+  } else {
+    ++active_.crash_count;
+    ++site.stats.crashes;
+    const double latency = crash_watch_.elapsed_seconds();
+    if (active_.crash_count <= config_.max_crash_retries) {
+      ++site.stats.retries;
+      resume_action_ = ResumeAction::kRetryStm;
+      recovery_latency_.add(latency);
+      recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
+                                            RecoveryEvent::Action::kRetry,
+                                            latency});
+    } else if (site.recoverable()) {
+      // Persistent fault: compensate the opening call and inject its error.
+      run_compensation(active_.comp);
+      active_.has_opening_deferred = false;
+      ++site.stats.diversions;
+      resume_action_ = ResumeAction::kDivert;
+      recovery_latency_.add(latency);
+      recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
+                                            RecoveryEvent::Action::kDivert,
+                                            latency});
+      FIR_LOG(kInfo) << "diverting persistent crash at " << site.function
+                     << " (" << site.location << "): injecting retval="
+                     << site.spec->error.return_value
+                     << " errno=" << site.spec->error.errno_value;
+    } else {
+      ++site.stats.fatal;
+      resume_action_ = ResumeAction::kFatal;
+      recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
+                                            RecoveryEvent::Action::kFatal,
+                                            latency});
+    }
+  }
+
+  // 4. Resume at the entry gate on the restored stack.
+  std::longjmp(gate_buf_, 1);
+}
+
+std::intptr_t TxManager::resume() {
+  const ResumeAction action = resume_action_;
+  resume_action_ = ResumeAction::kNone;
+  switch (action) {
+    case ResumeAction::kRetryStm:
+      active_.mode = TxMode::kStm;
+      ++tx_stm_;
+      start_recording(TxMode::kStm);
+      return active_.rv;
+    case ResumeAction::kRetryUnprotected:
+      active_.mode = TxMode::kNone;
+      ++tx_none_;
+      stop_recording();
+      return active_.rv;
+    case ResumeAction::kDivert: {
+      const Site& site = sites_[active_.site];
+      active_.diverted = true;
+      active_.mode = TxMode::kStm;
+      ++tx_stm_;
+      start_recording(TxMode::kStm);
+      env_.set_errno(site.spec->error.errno_value);
+      return site.spec->error.return_value;
+    }
+    case ResumeAction::kFatal: {
+      const Site site_copy = sites_[active_.site];
+      reset_active();
+      stop_recording();
+      throw FatalCrashError(
+          crash_kind_, "unrecoverable crash in transaction at " +
+                           site_copy.function + " (" + site_copy.location +
+                           "): opening call is not divertible/compensable");
+    }
+    case ResumeAction::kNone:
+      break;
+  }
+  assert(false && "resume() without a pending resume action");
+  return active_.rv;
+}
+
+std::size_t TxManager::instrumentation_bytes() const {
+  std::size_t total = 0;
+  total += snapshot_.footprint_bytes();
+  total += stm_.footprint_bytes();
+  total += comp_arena_.capacity();
+  total += embedded_reverts_.capacity() * sizeof(Compensation);
+  total += embedded_deferred_.capacity() * sizeof(DeferredOp);
+  // HTM write-set bookkeeping: dirty-line list + saved line images.
+  total += config_.htm.max_write_lines *
+           (sizeof(std::uintptr_t) + kCacheLineBytes + sizeof(std::uintptr_t));
+  // Per-site gate state (the tx_gate[] array and counters).
+  total += sites_.size() * (sizeof(GateState) + sizeof(SiteStats));
+  return total;
+}
+
+void TxManager::reset_stats() {
+  htm_.reset_stats();
+  stm_.reset_stats();
+  recovery_latency_.clear();
+  recovery_log_.clear();
+  tx_htm_ = tx_stm_ = tx_none_ = 0;
+  for (Site& site : sites_.all_mutable()) site.stats = SiteStats{};
+}
+
+}  // namespace fir

@@ -1,0 +1,244 @@
+// TxManager: FIRestarter's recovery runtime.
+//
+// One instance protects one application. It implements, in one place, the
+// roles the paper splits across its compiler passes' runtime halves:
+//   * Checkpoint Manager   — begins/commits HTM or STM transactions at
+//     library-call boundaries, snapshots the native stack, restores
+//     registers via the entry gate's setjmp/longjmp;
+//   * Adaptive Transaction Shaper — folds non-divertible library calls into
+//     the open transaction (embedded reverts / deferred effects);
+//   * dynamic adaptation policy   — per-site HTM/STM selection (core/policy);
+//   * Fault Injector       — on a persistent crash, runs the opening call's
+//     compensation action and forces its documented error return + errno,
+//     diverting execution into the application's own error handler.
+//
+// The gate protocol (driven by the FIR_* macros in src/interpose/fir.h):
+//
+//   mgr.pre_call();                       // commit the open transaction
+//   if (setjmp(*mgr.gate_buf()) == 0) {   // the checkpoint's register save
+//     rv = <perform environment call>;
+//     mgr.begin(site, rv, compensation);  // snapshot stack, start HTM/STM
+//   } else {
+//     rv = mgr.resume();                  // retry value or injected error
+//   }
+#pragma once
+
+#include <csetjmp>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "core/crash.h"
+#include "core/policy.h"
+#include "core/site.h"
+#include "core/stack_snapshot.h"
+#include "env/env.h"
+#include "htm/htm.h"
+#include "stm/stm.h"
+
+namespace fir {
+
+/// Reverts the effect of a library call during recovery. Plain function
+/// pointer + two scalar args + optional stashed bytes: no allocation on the
+/// gate fast path.
+struct Compensation {
+  /// (env, a, b, rv, stashed data) — rv is the call's original return value.
+  using Fn = void (*)(Env& env, std::intptr_t a, std::intptr_t b,
+                      std::intptr_t rv, const std::uint8_t* data,
+                      std::size_t len);
+  Fn fn = nullptr;
+  std::intptr_t a = 0;
+  std::intptr_t b = 0;
+  std::uint32_t data_off = 0;
+  std::uint32_t data_len = 0;
+};
+
+/// A library-call effect postponed until its transaction commits
+/// ("operation deferrable" class: close, free, unlink, ...).
+struct DeferredOp {
+  using Fn = void (*)(Env& env, std::intptr_t a, std::intptr_t b);
+  Fn fn = nullptr;
+  std::intptr_t a = 0;
+  std::intptr_t b = 0;
+};
+
+/// One recovery episode, for the experiment harness (Table IV, Fig. 5).
+struct RecoveryEvent {
+  SiteId site = kInvalidSite;
+  CrashKind kind = CrashKind::kSegv;
+  enum class Action : std::uint8_t { kRetry, kDivert, kFatal } action =
+      Action::kRetry;
+  double latency_seconds = 0.0;
+};
+
+struct TxManagerConfig {
+  PolicyConfig policy;
+  HtmConfig htm;
+  /// Rollback + re-execution attempts before a crash is declared persistent
+  /// and diverted (transient faults survive the retry).
+  int max_crash_retries = 1;
+  /// Master switch: false turns every gate into a plain call (vanilla).
+  bool enabled = true;
+};
+
+/// See file comment.
+class TxManager final : public CrashHandler {
+ public:
+  TxManager(Env& env, TxManagerConfig config = {});
+  ~TxManager() override;
+
+  TxManager(const TxManager&) = delete;
+  TxManager& operator=(const TxManager&) = delete;
+
+  // --- site registry ----------------------------------------------------
+  /// Process-unique instance number. The wrapper macros cache SiteIds in
+  /// function-local statics; the generation tag invalidates those caches
+  /// when a new TxManager (with a fresh registry) takes over.
+  std::uint64_t generation() const { return generation_; }
+
+  SiteId register_site(std::string_view function, std::string_view location);
+  SiteRegistry& sites() { return sites_; }
+  const SiteRegistry& sites() const { return sites_; }
+
+  // --- gate protocol ----------------------------------------------------
+  /// Marks the protected event loop's frame: transactions snapshot the stack
+  /// up to this address. Pass the address of a local in the loop function.
+  void set_anchor(const void* anchor_sp) { anchor_ = anchor_sp; }
+  void clear_anchor() { anchor_ = nullptr; }
+
+  std::jmp_buf* gate_buf() { return &gate_buf_; }
+
+  /// Commits the open transaction (runs deferred effects). Called before
+  /// every library call, and by quiesce().
+  void pre_call();
+
+  /// Opens a transaction at `site`; `rv` is the opening call's return value,
+  /// `comp` reverts its effect if the transaction later diverts.
+  void begin(SiteId site, std::intptr_t rv, Compensation comp = {});
+
+  /// Gate re-entry after a rollback longjmp: yields the value the opening
+  /// library call should now return (original `rv` on retry, the injected
+  /// error on diversion). Throws FatalCrashError when the crash cannot be
+  /// absorbed.
+  std::intptr_t resume();
+
+  /// Ends any open transaction (shutdown / loop quiesce point).
+  void quiesce() { pre_call(); }
+
+  // --- Adaptive Transaction Shaper hooks ---------------------------------
+  /// Registers the revert for a non-divertible call embedded in the open
+  /// transaction. `embedded_site` identifies the call for Table III stats.
+  void embed_revert(SiteId embedded_site, Compensation revert);
+  /// Marks an embedded call with no revert needed (idempotent class).
+  void embed_idempotent(SiteId embedded_site);
+  /// Deferred effect of the OPENING deferrable call (kept across retries,
+  /// dropped on diversion, run at commit).
+  void set_opening_deferred(DeferredOp op);
+  /// Deferred effect of an EMBEDDED deferrable call (dropped on rollback —
+  /// re-execution re-issues it — and run at commit).
+  void defer_embedded(SiteId embedded_site, DeferredOp op);
+  /// Copies pre-call state (e.g. a recv destination buffer) into the
+  /// per-transaction stash; returns its offset for Compensation::data_off.
+  /// Call between pre_call() and begin().
+  std::uint32_t stash_comp_data(const void* data, std::size_t len);
+  const std::uint8_t* comp_data(std::uint32_t off) const {
+    return comp_arena_.data() + off;
+  }
+
+  // --- CrashHandler -------------------------------------------------------
+  [[noreturn]] void handle_crash(CrashKind kind) override;
+
+  // --- introspection ------------------------------------------------------
+  bool in_transaction() const { return active_.open; }
+  TxMode current_mode() const { return active_.mode; }
+  bool diverted() const { return active_.diverted; }
+  const TxManagerConfig& config() const { return config_; }
+  Env& env() { return env_; }
+
+  const HtmStats& htm_stats() const { return htm_.stats(); }
+  const StmStats& stm_stats() const { return stm_.stats(); }
+  const Histogram& recovery_latency() const { return recovery_latency_; }
+  const std::vector<RecoveryEvent>& recovery_log() const {
+    return recovery_log_;
+  }
+  /// Lifetime count of transactions run under each mode (Fig. 7/8 inputs).
+  std::uint64_t transactions_htm() const { return tx_htm_; }
+  std::uint64_t transactions_stm() const { return tx_stm_; }
+  std::uint64_t transactions_unprotected() const { return tx_none_; }
+
+  /// Bytes of instrumentation state currently reserved (Fig. 9 input):
+  /// stack-snapshot buffer, undo log, HTM write-set bookkeeping, stash.
+  std::size_t instrumentation_bytes() const;
+
+  /// Clears stats/logs between experiment phases (sites persist).
+  void reset_stats();
+
+ private:
+  enum class ResumeAction : std::uint8_t {
+    kNone = 0,
+    kRetryStm,          // rollback done; re-execute under STM
+    kRetryUnprotected,  // HTM-only policy: re-execute without protection
+    kDivert,            // compensation done; return the injected error
+    kFatal,             // unrecoverable: resume() throws
+  };
+
+  struct ActiveTx {
+    bool open = false;
+    bool diverted = false;
+    SiteId site = kInvalidSite;
+    TxMode mode = TxMode::kNone;
+    std::intptr_t rv = 0;
+    int crash_count = 0;
+    Compensation comp;
+    bool has_opening_deferred = false;
+    DeferredOp opening_deferred;
+  };
+
+  static void htm_store_abort_hook(void* self);
+  static void recovery_trampoline(void* self);
+
+  /// Runs on the detached recovery stack; ends in longjmp into the gate.
+  [[noreturn]] void recovery_step();
+  void run_compensation(const Compensation& comp);
+  void commit_open_tx();
+  void start_recording(TxMode mode);
+  void stop_recording();
+  void reset_active();
+
+  Env& env_;
+  TxManagerConfig config_;
+  AdaptivePolicy policy_;
+  SiteRegistry sites_;
+  HtmContext htm_;
+  StmContext stm_;
+
+  const void* anchor_ = nullptr;
+  std::jmp_buf gate_buf_;
+  StackSnapshot snapshot_;
+  RecoveryStack recovery_stack_;
+
+  ActiveTx active_;
+  std::vector<Compensation> embedded_reverts_;
+  std::vector<DeferredOp> embedded_deferred_;
+  std::vector<std::uint8_t> comp_arena_;
+
+  // Crash-in-flight state (set by handle_crash, consumed by recovery_step).
+  CrashKind crash_kind_ = CrashKind::kSegv;
+  bool crash_is_htm_abort_ = false;
+  HtmAbortCode htm_abort_code_ = HtmAbortCode::kNone;
+  ResumeAction resume_action_ = ResumeAction::kNone;
+  StopWatch crash_watch_;
+
+  Histogram recovery_latency_;
+  std::vector<RecoveryEvent> recovery_log_;
+  std::uint64_t tx_htm_ = 0;
+  std::uint64_t tx_stm_ = 0;
+  std::uint64_t tx_none_ = 0;
+
+  CrashHandler* previous_handler_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace fir

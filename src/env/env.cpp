@@ -1,0 +1,588 @@
+#include "env/env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace fir {
+
+Env::Env() : fds_(kMaxFds) {}
+
+Env::~Env() = default;
+
+int Env::alloc_fd() {
+  // Lowest free descriptor, POSIX-style. fd 0-2 are reserved to keep the
+  // mini-servers' logs honest about stdio.
+  for (int fd = 3; fd < kMaxFds; ++fd)
+    if (fds_[fd].kind == FdKind::kFree) return fd;
+  return -1;
+}
+
+Env::FdEntry* Env::entry(int fd) {
+  if (fd < 0 || fd >= kMaxFds || fds_[fd].kind == FdKind::kFree)
+    return nullptr;
+  return &fds_[fd];
+}
+
+const Env::FdEntry* Env::entry(int fd) const {
+  if (fd < 0 || fd >= kMaxFds || fds_[fd].kind == FdKind::kFree)
+    return nullptr;
+  return &fds_[fd];
+}
+
+bool Env::fd_valid(int fd) const { return entry(fd) != nullptr; }
+
+std::size_t Env::open_fd_count() const {
+  std::size_t n = 0;
+  for (const auto& e : fds_)
+    if (e.kind != FdKind::kFree) ++n;
+  return n;
+}
+
+void Env::reset_stats() { stats_ = EnvStats{}; }
+
+// --- files ----------------------------------------------------------------
+
+int Env::open(std::string_view path, int flags) {
+  tick();
+  std::shared_ptr<Inode> inode = vfs_.lookup(path);
+  if (inode == nullptr) {
+    if ((flags & kCreat) == 0) return err(ENOENT);
+    inode = vfs_.create(path, false);
+  } else if (flags & kTrunc) {
+    inode->data.clear();
+  }
+  const int fd = alloc_fd();
+  if (fd < 0) return err(EMFILE);
+  FdEntry& e = fds_[fd];
+  e.kind = FdKind::kFile;
+  e.file = std::make_shared<OpenFile>();
+  e.file->inode = std::move(inode);
+  e.file->flags = flags;
+  e.file->offset =
+      (flags & kAppend) ? static_cast<std::int64_t>(e.file->inode->data.size())
+                        : 0;
+  return fd;
+}
+
+ssize_t Env::read(int fd, void* buf, std::size_t n) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return errs(EBADF);
+  if (e->kind == FdKind::kSocket) return recv(fd, buf, n);
+  if (e->kind != FdKind::kFile) return errs(EBADF);
+  const ssize_t got = pread(fd, buf, n, e->file->offset);
+  if (got > 0) e->file->offset += got;
+  return got;
+}
+
+ssize_t Env::pread(int fd, void* buf, std::size_t n, std::int64_t offset) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return errs(EBADF);
+  if (offset < 0) return errs(EINVAL);
+  const auto& data = e->file->inode->data;
+  if (static_cast<std::size_t>(offset) >= data.size()) return 0;
+  const std::size_t avail = data.size() - static_cast<std::size_t>(offset);
+  const std::size_t take = std::min(n, avail);
+  std::memcpy(buf, data.data() + offset, take);
+  return static_cast<ssize_t>(take);
+}
+
+ssize_t Env::write(int fd, const void* buf, std::size_t n) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return errs(EBADF);
+  if (e->kind == FdKind::kSocket) return send(fd, buf, n);
+  if (e->kind != FdKind::kFile) return errs(EBADF);
+  const ssize_t wrote = pwrite(fd, buf, n, e->file->offset);
+  if (wrote > 0) e->file->offset += wrote;
+  return wrote;
+}
+
+ssize_t Env::pwrite(int fd, const void* buf, std::size_t n,
+                    std::int64_t offset) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return errs(EBADF);
+  if (offset < 0) return errs(EINVAL);
+  auto& data = e->file->inode->data;
+  const std::size_t end = static_cast<std::size_t>(offset) + n;
+  if (end > data.size()) data.resize(end, '\0');
+  std::memcpy(data.data() + offset, buf, n);
+  return static_cast<ssize_t>(n);
+}
+
+std::int64_t Env::lseek(int fd, std::int64_t offset, int whence) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return errs(EBADF);
+  std::int64_t base = 0;
+  switch (whence) {
+    case kSeekSet: base = 0; break;
+    case kSeekCur: base = e->file->offset; break;
+    case kSeekEnd:
+      base = static_cast<std::int64_t>(e->file->inode->data.size());
+      break;
+    default:
+      return errs(EINVAL);
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return errs(EINVAL);
+  e->file->offset = target;
+  return target;
+}
+
+int Env::stat_size(std::string_view path, std::size_t* size_out) {
+  tick();
+  auto inode = vfs_.lookup(path);
+  if (inode == nullptr) return err(ENOENT);
+  if (size_out != nullptr) *size_out = inode->data.size();
+  return 0;
+}
+
+int Env::fstat_size(int fd, std::size_t* size_out) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
+  if (size_out != nullptr) *size_out = e->file->inode->data.size();
+  return 0;
+}
+
+int Env::unlink(std::string_view path) {
+  tick();
+  return vfs_.unlink(path) ? 0 : err(ENOENT);
+}
+
+int Env::rename(std::string_view from, std::string_view to) {
+  tick();
+  return vfs_.rename(from, to) ? 0 : err(ENOENT);
+}
+
+int Env::ftruncate(int fd, std::size_t length) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
+  e->file->inode->data.resize(length, '\0');
+  return 0;
+}
+
+int Env::fsync(int fd) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
+  // In-memory store: durability barrier is a no-op with syscall cost.
+  clock_.advance_ns(5000);
+  return 0;
+}
+
+// --- sockets ----------------------------------------------------------------
+
+int Env::socket() {
+  tick();
+  const int fd = alloc_fd();
+  if (fd < 0) return err(EMFILE);
+  FdEntry& e = fds_[fd];
+  e.kind = FdKind::kSocket;
+  e.socket = std::make_shared<SocketEndpoint>();
+  return fd;
+}
+
+Listener* Env::listener_for_port(std::uint16_t port) {
+  for (auto& e : fds_)
+    if (e.kind == FdKind::kListener && e.listener->port == port)
+      return e.listener.get();
+  return nullptr;
+}
+
+int Env::bind(int fd, std::uint16_t port) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
+  if (port == 0) return err(EINVAL);
+  // EADDRINUSE against bound-but-not-listening and listening sockets alike.
+  if (listener_for_port(port) != nullptr) return err(EADDRINUSE);
+  for (const auto& other : fds_)
+    if (other.kind == FdKind::kSocket && other.bound_port == port)
+      return err(EADDRINUSE);
+  e->bound_port = port;
+  return 0;
+}
+
+int Env::listen(int fd, int backlog) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
+  if (e->bound_port == 0) return err(EINVAL);  // EADDRINUSE-free: not bound
+  auto listener = std::make_shared<Listener>();
+  listener->port = e->bound_port;
+  listener->backlog = backlog > 0 ? backlog : 16;
+  e->kind = FdKind::kListener;
+  e->listener = std::move(listener);
+  e->socket.reset();
+  return 0;
+}
+
+int Env::accept(int fd) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kListener) return err(EBADF);
+  if (e->listener->pending.empty()) return err(EAGAIN);
+  const int conn_fd = alloc_fd();
+  if (conn_fd < 0) return err(EMFILE);
+  FdEntry& c = fds_[conn_fd];
+  c.kind = FdKind::kSocket;
+  c.socket = e->listener->pending.front();
+  e->listener->pending.pop_front();
+  return conn_fd;
+}
+
+int Env::connect_to(std::uint16_t port) {
+  tick();
+  Listener* listener = listener_for_port(port);
+  if (listener == nullptr) return err(ECONNREFUSED);
+  if (listener->pending.size() >=
+      static_cast<std::size_t>(listener->backlog))
+    return err(ECONNREFUSED);
+  const int fd = alloc_fd();
+  if (fd < 0) return err(EMFILE);
+  auto client_end = std::make_shared<SocketEndpoint>();
+  auto server_end = std::make_shared<SocketEndpoint>();
+  client_end->peer = server_end;
+  server_end->peer = client_end;
+  FdEntry& e = fds_[fd];
+  e.kind = FdKind::kSocket;
+  e.socket = std::move(client_end);
+  listener->pending.push_back(std::move(server_end));
+  return fd;
+}
+
+ssize_t Env::send(int fd, const void* buf, std::size_t n) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return errs(EBADF);
+  SocketEndpoint& s = *e->socket;
+  if (s.reset) return errs(ECONNRESET);
+  if (s.shutdown_wr) return errs(EPIPE);
+  auto peer = s.peer.lock();
+  if (peer == nullptr) return errs(EPIPE);
+  const std::size_t space = peer->rx_space();
+  if (space == 0) return errs(EAGAIN);
+  const std::size_t take = std::min(n, space);
+  const char* bytes = static_cast<const char*>(buf);
+  peer->rx.insert(peer->rx.end(), bytes, bytes + take);
+  stats_.bytes_sent += take;
+  return static_cast<ssize_t>(take);
+}
+
+ssize_t Env::recv(int fd, void* buf, std::size_t n) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return errs(EBADF);
+  SocketEndpoint& s = *e->socket;
+  if (s.reset) return errs(ECONNRESET);
+  if (s.rx.empty()) {
+    if (s.peer_closed || s.peer.expired()) return 0;  // orderly EOF
+    return errs(EAGAIN);
+  }
+  const std::size_t take = std::min(n, s.rx.size());
+  char* out = static_cast<char*>(buf);
+  for (std::size_t i = 0; i < take; ++i) {
+    out[i] = s.rx.front();
+    s.rx.pop_front();
+  }
+  stats_.bytes_received += take;
+  return static_cast<ssize_t>(take);
+}
+
+int Env::sock_unread(int fd, const void* data, std::size_t n) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
+  const char* bytes = static_cast<const char*>(data);
+  auto& rx = e->socket->rx;
+  rx.insert(rx.begin(), bytes, bytes + n);
+  stats_.bytes_received -= std::min<std::uint64_t>(stats_.bytes_received, n);
+  return 0;
+}
+
+int Env::setsockopt(int fd, std::uint32_t option_bit) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || (e->kind != FdKind::kSocket)) return err(EBADF);
+  e->socket->options |= option_bit;
+  return 0;
+}
+
+int Env::fcntl_set_nonblock(int fd, bool nonblocking) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return err(EBADF);
+  if (e->kind == FdKind::kSocket) e->socket->nonblocking = nonblocking;
+  return 0;
+}
+
+int Env::shutdown_wr(int fd) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return err(ENOTCONN);
+  e->socket->shutdown_wr = true;
+  if (auto peer = e->socket->peer.lock()) peer->peer_closed = true;
+  return 0;
+}
+
+int Env::unbind(int fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
+  e->bound_port = 0;
+  return 0;
+}
+
+int Env::unlisten(int fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kListener) return err(EBADF);
+  // Pending, never-accepted connections are torn down (clients see RST).
+  for (auto& pending : e->listener->pending) {
+    if (auto peer = pending->peer.lock()) peer->reset = true;
+  }
+  const std::uint16_t port = e->listener->port;
+  e->kind = FdKind::kSocket;
+  e->listener.reset();
+  e->socket = std::make_shared<SocketEndpoint>();
+  e->bound_port = port;
+  return 0;
+}
+
+std::int64_t Env::file_offset(int fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return -1;
+  return e->file->offset;
+}
+
+int Env::close(int fd) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return err(EBADF);
+  if (e->kind == FdKind::kSocket) {
+    if (auto peer = e->socket->peer.lock()) peer->peer_closed = true;
+  }
+  drop_epoll_interest(fd);
+  *e = FdEntry{};
+  return 0;
+}
+
+// --- descriptor & vector ops --------------------------------------------------
+
+int Env::dup(int fd) {
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return err(EBADF);
+  const int copy = alloc_fd();
+  if (copy < 0) return err(EMFILE);
+  fds_[copy] = *e;  // shared_ptrs: shares the description
+  return copy;
+}
+
+int Env::socketpair(int out[2]) {
+  tick();
+  const int a = alloc_fd();
+  if (a < 0) return err(EMFILE);
+  fds_[a].kind = FdKind::kSocket;  // reserve before second alloc
+  const int b = alloc_fd();
+  if (b < 0) {
+    fds_[a] = FdEntry{};
+    return err(EMFILE);
+  }
+  auto end_a = std::make_shared<SocketEndpoint>();
+  auto end_b = std::make_shared<SocketEndpoint>();
+  end_a->peer = end_b;
+  end_b->peer = end_a;
+  fds_[a].kind = FdKind::kSocket;
+  fds_[a].socket = std::move(end_a);
+  fds_[b].kind = FdKind::kSocket;
+  fds_[b].socket = std::move(end_b);
+  out[0] = a;
+  out[1] = b;
+  return 0;
+}
+
+int Env::pipe(int out[2]) {
+  const int rc = socketpair(out);
+  if (rc != 0) return rc;
+  // Unidirectional: reader cannot write, writer cannot read (model).
+  fds_[out[0]].socket->shutdown_wr = true;
+  return 0;
+}
+
+ssize_t Env::sendfile(int out_sock, int in_file, std::int64_t offset,
+                      std::size_t count) {
+  tick();
+  FdEntry* file = entry(in_file);
+  if (file == nullptr || file->kind != FdKind::kFile) return errs(EBADF);
+  FdEntry* sock = entry(out_sock);
+  if (sock == nullptr || sock->kind != FdKind::kSocket) return errs(EBADF);
+  if (offset < 0) return errs(EINVAL);
+  const auto& data = file->file->inode->data;
+  if (static_cast<std::size_t>(offset) >= data.size()) return 0;
+  const std::size_t avail = data.size() - static_cast<std::size_t>(offset);
+  const std::size_t want = std::min(count, avail);
+  // Reuses socket send semantics (EAGAIN on backpressure etc.).
+  return send(out_sock, data.data() + offset, want);
+}
+
+ssize_t Env::writev(int fd, const IoSlice* slices, int n) {
+  tick();
+  if (n < 0) return errs(EINVAL);
+  ssize_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (slices[i].len == 0) continue;
+    const ssize_t w = write(fd, slices[i].data, slices[i].len);
+    if (w < 0) return total > 0 ? total : w;
+    total += w;
+    if (static_cast<std::size_t>(w) < slices[i].len) break;  // backpressure
+  }
+  return total;
+}
+
+// --- epoll ------------------------------------------------------------------
+
+int Env::epoll_create1() {
+  tick();
+  const int fd = alloc_fd();
+  if (fd < 0) return err(EMFILE);
+  FdEntry& e = fds_[fd];
+  e.kind = FdKind::kEpoll;
+  e.epoll = std::make_shared<EpollInstance>();
+  return fd;
+}
+
+int Env::epoll_ctl(int epfd, int op, int fd, std::uint32_t events) {
+  tick();
+  FdEntry* ep = entry(epfd);
+  if (ep == nullptr || ep->kind != FdKind::kEpoll) return err(EBADF);
+  if (entry(fd) == nullptr) return err(EBADF);
+  PollInterest* existing = ep->epoll->find(fd);
+  switch (op) {
+    case kEpollAdd:
+      if (existing != nullptr) return err(EEXIST);
+      ep->epoll->interests.push_back(PollInterest{fd, events});
+      return 0;
+    case kEpollMod:
+      if (existing == nullptr) return err(ENOENT);
+      existing->events = events;
+      return 0;
+    case kEpollDel: {
+      if (existing == nullptr) return err(ENOENT);
+      auto& v = ep->epoll->interests;
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [fd](const PollInterest& i) {
+                               return i.fd == fd;
+                             }),
+              v.end());
+      return 0;
+    }
+    default:
+      return err(EINVAL);
+  }
+}
+
+int Env::epoll_wait(int epfd, PollEvent* events, int max_events) {
+  tick();
+  FdEntry* ep = entry(epfd);
+  if (ep == nullptr || ep->kind != FdKind::kEpoll) return err(EBADF);
+  if (max_events <= 0) return err(EINVAL);
+  int count = 0;
+  for (const PollInterest& interest : ep->epoll->interests) {
+    if (count >= max_events) break;
+    const FdEntry* t = entry(interest.fd);
+    if (t == nullptr) continue;
+    std::uint32_t ready = 0;
+    if (t->kind == FdKind::kSocket) {
+      if ((interest.events & kPollIn) && t->socket->readable())
+        ready |= kPollIn;
+      if ((interest.events & kPollOut) && t->socket->writable())
+        ready |= kPollOut;
+      if (t->socket->reset) ready |= kPollErr;
+      if (t->socket->peer_closed && t->socket->rx.empty()) ready |= kPollHup;
+    } else if (t->kind == FdKind::kListener) {
+      if ((interest.events & kPollIn) && t->listener->readable())
+        ready |= kPollIn;
+    }
+    if (ready != 0) {
+      events[count].fd = interest.fd;
+      events[count].events = ready;
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Env::drop_epoll_interest(int fd) {
+  for (auto& e : fds_) {
+    if (e.kind != FdKind::kEpoll) continue;
+    auto& v = e.epoll->interests;
+    v.erase(std::remove_if(
+                v.begin(), v.end(),
+                [fd](const PollInterest& i) { return i.fd == fd; }),
+            v.end());
+  }
+}
+
+// --- accounted heap ----------------------------------------------------------
+
+namespace {
+struct AllocHeader {
+  std::size_t size;
+  std::size_t magic;
+};
+constexpr std::size_t kAllocMagic = 0xF1EE57A7;
+}  // namespace
+
+void* Env::mem_alloc(std::size_t n) {
+  tick();
+  auto* header = static_cast<AllocHeader*>(
+      std::malloc(sizeof(AllocHeader) + n));
+  if (header == nullptr) {
+    errno_ = ENOMEM;
+    return nullptr;
+  }
+  header->size = n;
+  header->magic = kAllocMagic;
+  stats_.heap_bytes += n;
+  stats_.heap_peak_bytes = std::max(stats_.heap_peak_bytes, stats_.heap_bytes);
+  ++stats_.heap_allocs;
+  return header + 1;
+}
+
+void* Env::mem_alloc_zero(std::size_t n) {
+  void* p = mem_alloc(n);
+  if (p != nullptr) std::memset(p, 0, n);
+  return p;
+}
+
+void* Env::mem_realloc(void* p, std::size_t n) {
+  if (p == nullptr) return mem_alloc(n);
+  auto* header = static_cast<AllocHeader*>(p) - 1;
+  assert(header->magic == kAllocMagic);
+  const std::size_t old = header->size;
+  void* fresh = mem_alloc(n);
+  if (fresh == nullptr) return nullptr;
+  std::memcpy(fresh, p, std::min(old, n));
+  mem_free(p);
+  return fresh;
+}
+
+void Env::mem_free(void* p) {
+  if (p == nullptr) return;
+  tick();
+  auto* header = static_cast<AllocHeader*>(p) - 1;
+  assert(header->magic == kAllocMagic && "mem_free of foreign pointer");
+  header->magic = 0;
+  stats_.heap_bytes -= header->size;
+  ++stats_.heap_frees;
+  std::free(header);
+}
+
+}  // namespace fir

@@ -1,0 +1,207 @@
+// Env: the virtual operating system a protected application runs against.
+//
+// Every interposition wrapper (src/interpose) bottoms out in one of these
+// methods. Return-value and errno conventions mirror POSIX so the
+// mini-servers' error-handling code reads like the real servers'. The layer
+// is deliberately synchronous and single-threaded: the workload driver and
+// the server share one Env and interleave cooperatively, which makes crash /
+// recovery experiments deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "env/net.h"
+#include "env/vfs.h"
+
+namespace fir {
+
+/// open() flags (subset).
+enum OpenFlags : int {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kCreat = 0x40,
+  kTrunc = 0x200,
+  kAppend = 0x400,
+};
+
+/// lseek() whence.
+enum SeekWhence : int { kSeekSet = 0, kSeekCur = 1, kSeekEnd = 2 };
+
+/// epoll_ctl() ops.
+enum EpollOp : int { kEpollAdd = 1, kEpollDel = 2, kEpollMod = 3 };
+
+/// Aggregate environment statistics (syscall counts, heap accounting).
+struct EnvStats {
+  std::uint64_t syscalls = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::size_t heap_bytes = 0;
+  std::size_t heap_peak_bytes = 0;
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t heap_frees = 0;
+};
+
+/// The virtual OS. See file comment.
+class Env {
+ public:
+  Env();
+  ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  // --- errno ------------------------------------------------------------
+  int last_errno() const { return errno_; }
+  void set_errno(int e) { errno_ = e; }
+
+  // --- files ------------------------------------------------------------
+  /// Returns a new fd, or -1 (ENOENT without kCreat, EMFILE on exhaustion).
+  int open(std::string_view path, int flags);
+  ssize_t read(int fd, void* buf, std::size_t n);
+  ssize_t pread(int fd, void* buf, std::size_t n, std::int64_t offset);
+  ssize_t write(int fd, const void* buf, std::size_t n);
+  ssize_t pwrite(int fd, const void* buf, std::size_t n, std::int64_t offset);
+  std::int64_t lseek(int fd, std::int64_t offset, int whence);
+  /// stat/fstat reduced to what the servers use: existence + size.
+  int stat_size(std::string_view path, std::size_t* size_out);
+  int fstat_size(int fd, std::size_t* size_out);
+  int unlink(std::string_view path);
+  int rename(std::string_view from, std::string_view to);
+  int ftruncate(int fd, std::size_t length);
+  int fsync(int fd);
+
+  // --- sockets ----------------------------------------------------------
+  int socket();
+  int bind(int fd, std::uint16_t port);
+  int listen(int fd, int backlog);
+  /// Accepts one pending connection; -1/EAGAIN when the queue is empty.
+  int accept(int fd);
+  /// Client-side: creates a socket connected to `port`; -1/ECONNREFUSED
+  /// when nothing listens there.
+  int connect_to(std::uint16_t port);
+  ssize_t send(int fd, const void* buf, std::size_t n);
+  ssize_t recv(int fd, void* buf, std::size_t n);
+  /// Compensation primitive: pushes `n` bytes back to the FRONT of fd's
+  /// receive queue, exactly undoing a recv of those bytes.
+  int sock_unread(int fd, const void* data, std::size_t n);
+  int setsockopt(int fd, std::uint32_t option_bit);
+  int fcntl_set_nonblock(int fd, bool nonblocking);
+  int shutdown_wr(int fd);
+  /// True when fd is an open descriptor (compensation validity checks).
+  bool fd_valid(int fd) const;
+  /// Compensation primitives: exactly undo bind()/listen() on a socket.
+  int unbind(int fd);
+  int unlisten(int fd);
+  /// Current file offset without syscall accounting (compensation support).
+  std::int64_t file_offset(int fd) const;
+
+  // --- descriptor & vector ops -------------------------------------------
+  /// Duplicates fd onto the lowest free descriptor (shares the open file
+  /// description / socket endpoint).
+  int dup(int fd);
+  /// Creates a unidirectional byte pipe; out[0] = read end, out[1] = write
+  /// end. Implemented over a socket pair with the write sides shut down.
+  int pipe(int out[2]);
+  /// Connected socket pair (AF_UNIX-style).
+  int socketpair(int out[2]);
+  /// Copies up to `count` bytes from a file to a socket without passing
+  /// through user memory (zero-copy model). Returns bytes sent.
+  ssize_t sendfile(int out_sock, int in_file, std::int64_t offset,
+                   std::size_t count);
+  struct IoSlice {
+    const void* data;
+    std::size_t len;
+  };
+  /// Gathering write: sends the slices in order; may stop early on
+  /// backpressure. Returns total bytes written.
+  ssize_t writev(int fd, const IoSlice* slices, int n);
+
+  // --- epoll ------------------------------------------------------------
+  int epoll_create1();
+  int epoll_ctl(int epfd, int op, int fd, std::uint32_t events);
+  /// Level-triggered scan of the interest set; never blocks (returns 0 when
+  /// nothing is ready — the cooperative harness then drives the clients).
+  int epoll_wait(int epfd, PollEvent* events, int max_events);
+
+  // --- accounted heap ---------------------------------------------------
+  /// malloc with per-Env accounting (drives Fig. 9). Returns nullptr only
+  /// if the real allocator fails.
+  void* mem_alloc(std::size_t n);
+  void* mem_alloc_zero(std::size_t n);
+  /// realloc-style grow; accounting follows.
+  void* mem_realloc(void* p, std::size_t n);
+  void mem_free(void* p);
+
+  // --- misc -------------------------------------------------------------
+  int getpid() const { return 4242; }
+  VirtualClock& clock() { return clock_; }
+  Vfs& vfs() { return vfs_; }
+  const EnvStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Number of currently open descriptors (leak checks in tests).
+  std::size_t open_fd_count() const;
+
+ private:
+  enum class FdKind : std::uint8_t {
+    kFree = 0,
+    kFile,
+    kSocket,
+    kListener,
+    kEpoll,
+  };
+
+  struct OpenFile {
+    std::shared_ptr<Inode> inode;
+    std::int64_t offset = 0;
+    int flags = 0;
+  };
+
+  struct FdEntry {
+    FdKind kind = FdKind::kFree;
+    std::shared_ptr<OpenFile> file;
+    std::shared_ptr<SocketEndpoint> socket;
+    std::shared_ptr<Listener> listener;
+    std::shared_ptr<EpollInstance> epoll;
+    std::uint16_t bound_port = 0;
+  };
+
+ public:
+  int close(int fd);
+
+ private:
+  static constexpr int kMaxFds = 1024;
+  static constexpr std::uint64_t kSyscallCostNs = 150;
+
+  int err(int e) {
+    errno_ = e;
+    return -1;
+  }
+  ssize_t errs(int e) {
+    errno_ = e;
+    return -1;
+  }
+  int alloc_fd();
+  FdEntry* entry(int fd);
+  const FdEntry* entry(int fd) const;
+  Listener* listener_for_port(std::uint16_t port);
+  void drop_epoll_interest(int fd);
+  void tick() {
+    ++stats_.syscalls;
+    clock_.advance_ns(kSyscallCostNs);
+  }
+
+  std::vector<FdEntry> fds_;
+  Vfs vfs_;
+  VirtualClock clock_;
+  EnvStats stats_;
+  int errno_ = 0;
+};
+
+}  // namespace fir

@@ -1,0 +1,85 @@
+// Virtual network: TCP-like stream sockets over an in-process loopback
+// fabric, plus an epoll-like readiness poller.
+//
+// Connections are pairs of endpoints with bounded receive buffers; send()
+// appends to the peer's buffer (EAGAIN when full), recv() consumes the own
+// buffer (EAGAIN when empty and the peer is open, 0 at orderly shutdown).
+// unread() pushes bytes back to the FRONT of a receive buffer — the
+// compensation primitive that makes recv a "state restoration needed"
+// library call rather than an irrecoverable one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+namespace fir {
+
+/// One side of an established connection.
+struct SocketEndpoint {
+  /// Bytes queued for this endpoint to read.
+  std::deque<char> rx;
+  /// Peer endpoint; expired when the peer fd was fully torn down.
+  std::weak_ptr<SocketEndpoint> peer;
+  bool peer_closed = false;  // peer performed close()/shutdown(WR)
+  bool reset = false;        // connection reset (RST)
+  bool shutdown_wr = false;  // this side shut down writing
+  /// Per-socket option store (SO_REUSEADDR etc.) — semantics-free flags the
+  /// mini-servers set and the catalog classifies as idempotent.
+  std::uint32_t options = 0;
+  bool nonblocking = false;
+
+  /// Receive-buffer capacity: send() to a full peer returns EAGAIN.
+  static constexpr std::size_t kRxCapacity = 256 * 1024;
+
+  std::size_t rx_space() const {
+    return rx.size() >= kRxCapacity ? 0 : kRxCapacity - rx.size();
+  }
+  bool readable() const { return !rx.empty() || peer_closed || reset; }
+  bool writable() const {
+    auto p = peer.lock();
+    return p != nullptr && !shutdown_wr && p->rx_space() > 0;
+  }
+};
+
+/// A listening socket: a bound port with a queue of not-yet-accepted
+/// connections (each already a fully formed endpoint pair; the client holds
+/// the other end).
+struct Listener {
+  std::uint16_t port = 0;
+  int backlog = 0;
+  std::deque<std::shared_ptr<SocketEndpoint>> pending;
+
+  bool readable() const { return !pending.empty(); }
+};
+
+/// Interest registered with an epoll instance.
+struct PollInterest {
+  int fd = -1;
+  std::uint32_t events = 0;  // EPOLLIN / EPOLLOUT bits (see kPollIn/Out)
+};
+
+inline constexpr std::uint32_t kPollIn = 0x1;
+inline constexpr std::uint32_t kPollOut = 0x4;
+inline constexpr std::uint32_t kPollErr = 0x8;
+inline constexpr std::uint32_t kPollHup = 0x10;
+
+/// Readiness event returned by epoll_wait.
+struct PollEvent {
+  int fd = -1;
+  std::uint32_t events = 0;
+};
+
+/// An epoll instance: a set of fd interests, scanned level-triggered.
+struct EpollInstance {
+  std::vector<PollInterest> interests;
+
+  PollInterest* find(int fd) {
+    for (auto& interest : interests)
+      if (interest.fd == fd) return &interest;
+    return nullptr;
+  }
+};
+
+}  // namespace fir

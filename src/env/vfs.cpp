@@ -1,0 +1,56 @@
+#include "env/vfs.h"
+
+namespace fir {
+
+std::shared_ptr<Inode> Vfs::lookup(std::string_view path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Inode> Vfs::create(std::string_view path, bool truncate) {
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    if (truncate) it->second->data.clear();
+    return it->second;
+  }
+  auto inode = std::make_shared<Inode>();
+  files_.emplace(std::string(path), inode);
+  return inode;
+}
+
+bool Vfs::unlink(std::string_view path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  files_.erase(it);
+  return true;
+}
+
+bool Vfs::rename(std::string_view from, std::string_view to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return false;
+  auto inode = it->second;
+  files_.erase(it);
+  files_.insert_or_assign(std::string(to), std::move(inode));
+  return true;
+}
+
+std::size_t Vfs::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, inode] : files_) total += inode->data.size();
+  return total;
+}
+
+void Vfs::import_from(const Vfs& other) {
+  for (const auto& [name, inode] : other.files_) {
+    auto copy = std::make_shared<Inode>();
+    copy->data = inode->data;
+    files_.insert_or_assign(name, std::move(copy));
+  }
+}
+
+void Vfs::put_file(std::string_view path, std::string_view contents) {
+  auto inode = create(path, /*truncate=*/true);
+  inode->data.assign(contents.begin(), contents.end());
+}
+
+}  // namespace fir

@@ -1,0 +1,62 @@
+// Virtual filesystem: the file side of the simulated environment.
+//
+// Paths map to in-memory inodes; open file descriptions carry offset and
+// flags. Semantics mirror the POSIX subset the mini-servers and the
+// interposition wrappers rely on (including the compensation operations:
+// restoring offsets, renaming back, re-creating unlinked files is never
+// needed because unlink is deferred until commit).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fir {
+
+/// One regular file's contents. Shared between the name table and open file
+/// descriptions so an unlinked-but-open file stays readable (POSIX).
+struct Inode {
+  std::vector<char> data;
+};
+
+/// Name-to-inode mapping plus path-level operations.
+class Vfs {
+ public:
+  /// Looks up a path; nullptr when absent.
+  std::shared_ptr<Inode> lookup(std::string_view path) const;
+
+  /// Creates (or truncates, when `truncate` is set) a file and returns its
+  /// inode.
+  std::shared_ptr<Inode> create(std::string_view path, bool truncate);
+
+  bool exists(std::string_view path) const { return lookup(path) != nullptr; }
+
+  /// Removes the name; the inode lives on while referenced. Returns false
+  /// when the path does not exist.
+  bool unlink(std::string_view path);
+
+  /// Atomically renames; replaces any existing target. Returns false when
+  /// the source does not exist.
+  bool rename(std::string_view from, std::string_view to);
+
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Total bytes held by all named files (memory accounting).
+  std::size_t total_bytes() const;
+
+  /// Convenience for tests and workload setup: writes a whole file.
+  void put_file(std::string_view path, std::string_view contents);
+
+  /// Deep-copies every file from `other` into this VFS (restart semantics:
+  /// a "new process" inheriting the previous instance's durable storage).
+  /// Existing same-named files are replaced.
+  void import_from(const Vfs& other);
+
+ private:
+  std::map<std::string, std::shared_ptr<Inode>, std::less<>> files_;
+};
+
+}  // namespace fir

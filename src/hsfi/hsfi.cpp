@@ -1,0 +1,94 @@
+#include "hsfi/hsfi.h"
+
+namespace fir {
+namespace {
+std::uint64_t g_next_hsfi_generation = 1;
+}  // namespace
+
+const char* fault_type_name(FaultType type) {
+  switch (type) {
+    case FaultType::kPersistentCrash: return "persistent-crash";
+    case FaultType::kTransientCrash: return "transient-crash";
+    case FaultType::kLatentCorruption: return "latent-corruption";
+  }
+  return "?";
+}
+
+Hsfi::Hsfi() : generation_(g_next_hsfi_generation++) {}
+
+MarkerId Hsfi::register_marker(std::string_view name,
+                               std::string_view location, bool critical_path,
+                               bool error_handler) {
+  for (const Marker& m : markers_) {
+    if (m.name == name && m.location == location) return m.id;
+  }
+  Marker m;
+  m.id = static_cast<MarkerId>(markers_.size());
+  m.name = std::string(name);
+  m.location = std::string(location);
+  m.critical_path = critical_path;
+  m.error_handler = error_handler;
+  markers_.push_back(std::move(m));
+  return markers_.back().id;
+}
+
+void Hsfi::trigger_fatal() {
+  fired_ = true;
+  if (plan_.type == FaultType::kTransientCrash) armed_ = false;
+  raise_crash(plan_.kind);
+}
+
+void Hsfi::corrupt(void* data, std::size_t len) {
+  fired_ = true;
+  if (len == 0) return;
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  // One of the HSFI latent-fault flavors, chosen by the plan seed:
+  // bit flip, byte overwrite, or off-by-one on a byte (covers corrupted
+  // integers, indices and truncated pointers at this granularity).
+  const std::uint64_t which = corruption_rng_.next_below(3);
+  const std::size_t at = corruption_rng_.index(len);
+  switch (which) {
+    case 0: bytes[at] ^= static_cast<std::uint8_t>(
+        1u << corruption_rng_.next_below(8));
+      break;
+    case 1: bytes[at] = static_cast<std::uint8_t>(corruption_rng_.next());
+      break;
+    default: bytes[at] = static_cast<std::uint8_t>(bytes[at] + 1);
+      break;
+  }
+}
+
+void Hsfi::visit(MarkerId id) {
+  Marker& m = markers_[id];
+  if (profiling_) ++m.executions;
+  if (!armed_ || plan_.marker != id) return;
+  if (plan_.type == FaultType::kLatentCorruption) return;  // needs data
+  trigger_fatal();
+}
+
+void Hsfi::visit_data(MarkerId id, void* data, std::size_t len) {
+  Marker& m = markers_[id];
+  if (profiling_) ++m.executions;
+  if (!armed_ || plan_.marker != id) return;
+  if (plan_.type == FaultType::kLatentCorruption) {
+    corrupt(data, len);
+    return;
+  }
+  trigger_fatal();
+}
+
+std::vector<MarkerId> Hsfi::executed_markers(bool targets_only) const {
+  std::vector<MarkerId> out;
+  for (const Marker& m : markers_) {
+    if (m.executions == 0) continue;
+    if (targets_only && (m.critical_path || m.error_handler)) continue;
+    out.push_back(m.id);
+  }
+  return out;
+}
+
+void Hsfi::reset_profile() {
+  for (Marker& m : markers_) m.executions = 0;
+}
+
+}  // namespace fir

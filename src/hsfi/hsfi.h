@@ -1,0 +1,163 @@
+// HSFI-style fault injection (van der Kouwe & Tanenbaum, DSN'16), rebuilt
+// for this reproduction's needs (§VI-B):
+//
+//   * applications carry static FAULT MARKERS (basic-block-level points,
+//     annotated critical/non-critical per the paper's §VI-B definition);
+//   * a PROFILING run records which markers a workload executes;
+//   * a CAMPAIGN arms exactly one fault per experiment run at one executed
+//     marker: a persistent fatal fault (fires on every execution — the
+//     deterministic-bug model), a transient fatal fault (fires once), or a
+//     latent fault (silently corrupts data: bit flips, off-by-one indices,
+//     pointer corruption — the "beyond the fault model" experiment).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/source_location.h"
+#include "core/crash.h"
+
+namespace fir {
+
+enum class FaultType : std::uint8_t {
+  kPersistentCrash = 0,  // deterministic fatal bug: fires at every execution
+  kTransientCrash,       // fires exactly once (race-condition model)
+  kLatentCorruption,     // corrupts marked data, does not crash directly
+};
+
+const char* fault_type_name(FaultType type);
+
+using MarkerId = std::uint32_t;
+inline constexpr MarkerId kInvalidMarker = static_cast<MarkerId>(-1);
+
+/// A static fault-injection point in the application.
+struct Marker {
+  MarkerId id = kInvalidMarker;
+  std::string name;      // logical block name ("parse_request_line")
+  std::string location;  // source location
+  /// True when this block lies on a critical path (event loop core):
+  /// Table IV's campaign injects only into non-critical blocks.
+  bool critical_path = false;
+  /// True when this block IS error-handling code. Faults here are outside
+  /// FIRestarter's recovery scope ("there will typically not be an error
+  /// handler for the error handler", §VII), so campaigns exclude them from
+  /// the target set — as the paper's feature-block selection does.
+  bool error_handler = false;
+  std::uint64_t executions = 0;
+};
+
+/// What to inject in one experiment run.
+struct FaultPlan {
+  MarkerId marker = kInvalidMarker;
+  FaultType type = FaultType::kPersistentCrash;
+  CrashKind kind = CrashKind::kSegv;
+  std::uint64_t seed = 1;  // drives latent-corruption randomness
+};
+
+/// Per-application fault injector. One instance per Fx; markers re-intern
+/// per generation exactly like transaction sites.
+class Hsfi {
+ public:
+  Hsfi();
+
+  std::uint64_t generation() const { return generation_; }
+
+  MarkerId register_marker(std::string_view name, std::string_view location,
+                           bool critical_path, bool error_handler = false);
+
+  /// Profiling control: when on, marker executions are counted.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  /// Arms one fault; disarm() or a fired transient fault clears it.
+  void arm(FaultPlan plan) {
+    plan_ = plan;
+    armed_ = plan.marker != kInvalidMarker;
+    fired_ = false;
+    corruption_rng_ = Rng(plan.seed);
+  }
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+  /// True when the armed fault has triggered at least once this run.
+  bool fired() const { return fired_; }
+
+  /// Marker visit without corruptible data. May not return (fatal faults
+  /// enter the crash channel).
+  void visit(MarkerId id);
+
+  /// Marker visit exposing `len` bytes the fault may corrupt (latent
+  /// faults). Fatal faults behave as in visit().
+  void visit_data(MarkerId id, void* data, std::size_t len);
+
+  const std::vector<Marker>& markers() const { return markers_; }
+  Marker& marker(MarkerId id) { return markers_[id]; }
+
+  /// Markers executed at least once during profiling. With
+  /// `targets_only`, filters to the Table IV target set: non-critical
+  /// feature blocks (error-handler blocks excluded per §VII).
+  std::vector<MarkerId> executed_markers(bool targets_only) const;
+
+  void reset_profile();
+
+ private:
+  [[noreturn]] void trigger_fatal();
+  void corrupt(void* data, std::size_t len);
+
+  std::vector<Marker> markers_;
+  bool profiling_ = false;
+  bool armed_ = false;
+  bool fired_ = false;
+  FaultPlan plan_;
+  Rng corruption_rng_{1};
+  std::uint64_t generation_ = 0;
+};
+
+namespace detail {
+struct MarkerCache {
+  std::uint64_t gen = 0;
+  MarkerId id = kInvalidMarker;
+};
+
+inline MarkerId marker(MarkerCache& cache, Hsfi& hsfi, const char* name,
+                       const char* location, bool critical,
+                       bool handler = false) {
+  if (cache.gen != hsfi.generation()) {
+    cache.id = hsfi.register_marker(name, location, critical, handler);
+    cache.gen = hsfi.generation();
+  }
+  return cache.id;
+}
+}  // namespace detail
+
+}  // namespace fir
+
+/// Fault-injection point. `critical` follows the paper's classification:
+/// blocks whose error handling retries/continues rather than diverts.
+#define HSFI_POINT(hsfi_ref, name, critical)                            \
+  do {                                                                  \
+    static ::fir::detail::MarkerCache fir_mc_;                          \
+    (hsfi_ref).visit(::fir::detail::marker(fir_mc_, (hsfi_ref), name,   \
+                                           FIR_HERE, (critical)));      \
+  } while (0)
+
+/// Fault-injection point inside error-handling code: profiled, but never a
+/// campaign target (§VII — faults in error handlers are unrecoverable by
+/// design and excluded from the paper's feature-block selection).
+#define HSFI_HANDLER_POINT(hsfi_ref, name)                                \
+  do {                                                                    \
+    static ::fir::detail::MarkerCache fir_mc_;                            \
+    (hsfi_ref).visit(::fir::detail::marker(fir_mc_, (hsfi_ref), name,     \
+                                           FIR_HERE, false, true));       \
+  } while (0)
+
+/// Fault-injection point with corruptible data (latent-fault campaigns).
+#define HSFI_POINT_DATA(hsfi_ref, name, critical, ptr, len)               \
+  do {                                                                    \
+    static ::fir::detail::MarkerCache fir_mc_;                            \
+    (hsfi_ref).visit_data(::fir::detail::marker(fir_mc_, (hsfi_ref),      \
+                                                name, FIR_HERE,           \
+                                                (critical)),              \
+                          (ptr), (len));                                  \
+  } while (0)

@@ -1,0 +1,136 @@
+#include "htm/htm.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fir {
+
+const char* htm_abort_code_name(HtmAbortCode code) {
+  switch (code) {
+    case HtmAbortCode::kNone: return "NONE";
+    case HtmAbortCode::kCapacity: return "CAPACITY";
+    case HtmAbortCode::kConflict: return "CONFLICT";
+    case HtmAbortCode::kInterrupt: return "INTERRUPT";
+    case HtmAbortCode::kExplicit: return "EXPLICIT";
+  }
+  return "?";
+}
+
+namespace {
+/// Hash-set capacity: power of two comfortably above the largest write-set
+/// so probe chains stay short.
+std::size_t line_set_capacity(std::size_t max_lines) {
+  std::size_t cap = 64;
+  while (cap < max_lines * 2) cap *= 2;
+  return cap;
+}
+}  // namespace
+
+HtmContext::HtmContext(HtmConfig config)
+    : config_(config),
+      rng_(config.seed),
+      line_set_(line_set_capacity(config.max_write_lines)),
+      set_occupancy_(kL1Sets, 0),
+      occupancy_stamp_(kL1Sets, 0) {
+  saved_lines_.reserve(config_.max_write_lines);
+}
+
+void HtmContext::begin() {
+  assert(!active_ && "nested hardware transactions are not modeled");
+  active_ = true;
+  pending_abort_ = HtmAbortCode::kNone;
+  ++epoch_;
+  ++occupancy_epoch_;
+  dirty_count_ = 0;
+  last_line_ = 0;
+  saved_lines_.clear();
+  ++stats_.begun;
+}
+
+void HtmContext::commit() {
+  assert(active_);
+  active_ = false;
+  ++stats_.committed;
+  stats_.lines_dirtied += dirty_count_;
+  dirty_count_ = 0;
+  saved_lines_.clear();
+}
+
+void HtmContext::abort(HtmAbortCode code) {
+  assert(active_);
+  // Cache discard: restore every dirtied line, newest first.
+  for (auto it = saved_lines_.rbegin(); it != saved_lines_.rend(); ++it)
+    std::memcpy(reinterpret_cast<void*>(it->base), it->data, kCacheLineBytes);
+  active_ = false;
+  pending_abort_ = HtmAbortCode::kNone;
+  dirty_count_ = 0;
+  saved_lines_.clear();
+  switch (code) {
+    case HtmAbortCode::kCapacity: ++stats_.aborted_capacity; break;
+    case HtmAbortCode::kConflict: ++stats_.aborted_conflict; break;
+    case HtmAbortCode::kInterrupt: ++stats_.aborted_interrupt; break;
+    case HtmAbortCode::kExplicit: ++stats_.aborted_explicit; break;
+    case HtmAbortCode::kNone: break;
+  }
+}
+
+bool HtmContext::touch_line(std::uintptr_t line) {
+  const std::size_t mask = line_set_.size() - 1;
+  // Multiplicative hash of the line base.
+  std::size_t idx =
+      (static_cast<std::size_t>(line) * 0x9E3779B97F4A7C15ull) & mask;
+  for (;;) {
+    LineSlot& slot = line_set_[idx];
+    if (slot.epoch == epoch_ && slot.line == line) return true;  // hit
+    if (slot.epoch != epoch_) {
+      // Free slot this epoch: the line is new.
+      if (dirty_count_ >= config_.max_write_lines) return false;
+      const std::size_t set = line_set_index(line);
+      if (occupancy_stamp_[set] != occupancy_epoch_) {
+        occupancy_stamp_[set] = occupancy_epoch_;
+        set_occupancy_[set] = 0;
+      }
+      if (set_occupancy_[set] >= config_.max_lines_per_set) return false;
+      ++set_occupancy_[set];
+      slot.epoch = epoch_;
+      slot.line = line;
+      ++dirty_count_;
+      SavedLine saved;
+      saved.base = line;
+      std::memcpy(saved.data, reinterpret_cast<const void*>(line),
+                  kCacheLineBytes);
+      saved_lines_.push_back(saved);
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+bool HtmContext::record_store_slow(void* addr, std::size_t size) {
+  assert(active_);
+  const std::uintptr_t start =
+      line_base(reinterpret_cast<std::uintptr_t>(addr));
+  const std::uintptr_t end = line_base(
+      reinterpret_cast<std::uintptr_t>(addr) + (size > 0 ? size - 1 : 0));
+  for (std::uintptr_t line = start; line <= end; line += kCacheLineBytes) {
+    if (!touch_line(line)) {
+      pending_abort_ = HtmAbortCode::kCapacity;
+      return false;
+    }
+  }
+  last_line_ = end;
+
+  if (config_.interrupt_abort_per_store > 0 &&
+      rng_.chance(config_.interrupt_abort_per_store)) {
+    pending_abort_ = HtmAbortCode::kInterrupt;
+    return false;
+  }
+  if (config_.conflict_abort_per_store > 0 &&
+      rng_.chance(config_.conflict_abort_per_store)) {
+    pending_abort_ = HtmAbortCode::kConflict;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fir

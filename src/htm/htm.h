@@ -1,0 +1,167 @@
+// Simulated hardware transactional memory modeled on Intel TSX (RTM).
+//
+// Substitution note (DESIGN.md §2): real TSX is unavailable here, so this
+// module models the properties FIRestarter's evaluation depends on:
+//   * the write-set is tracked at cache-line granularity and bounded by the
+//     L1D geometry (total lines AND per-set associativity) — transactions
+//     touching large memory regions abort with CAPACITY, exactly the
+//     behaviour the paper observes after malloc()/posix_memalign();
+//   * asynchronous events (interrupts, cache-line conflicts) abort
+//     transactions probabilistically, so even small transactions abort
+//     occasionally — the reason a permanent-switch-on-first-abort policy is
+//     a bad idea (§IV-C);
+//   * aborts discard all transactional stores (simulated by restoring the
+//     saved old contents of each dirtied line);
+//   * per-store cost is much lower than STM undo logging: only the FIRST
+//     store to each cache line pays for bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/rng.h"
+#include "mem/store_gate.h"
+
+namespace fir {
+
+/// Why a simulated hardware transaction aborted (mirrors TSX abort status).
+enum class HtmAbortCode : std::uint8_t {
+  kNone = 0,
+  kCapacity,   // write-set exceeded L1 geometry
+  kConflict,   // another core touched one of our lines
+  kInterrupt,  // timer interrupt / page fault / other async event
+  kExplicit,   // XABORT — FIRestarter uses this to signal a crash inside HTM
+};
+
+const char* htm_abort_code_name(HtmAbortCode code);
+
+/// Tuning knobs for the TSX model.
+struct HtmConfig {
+  /// Total distinct cache lines a transaction may dirty. L1D holds 512
+  /// lines, but measured TSX write capacity is far lower — hyperthread
+  /// sharing, victim evictions and prefetch pollution abort transactions
+  /// well before the nominal limit. 128 lines (8 KiB) matches published
+  /// RTM capacity measurements and reproduces the paper's observation that
+  /// transactions following malloc()/posix_memalign() (large memory
+  /// initializations) abort persistently.
+  std::size_t max_write_lines = 128;
+  /// Lines per L1 set before a simulated associativity eviction aborts.
+  std::size_t max_lines_per_set = kL1Associativity;
+  /// Probability that any given store is hit by an asynchronous abort
+  /// (interrupt / page fault). Per-store, so longer transactions are
+  /// proportionally more exposed — matching reality.
+  double interrupt_abort_per_store = 1e-6;
+  /// Probability of a coherence conflict per store.
+  double conflict_abort_per_store = 0.0;
+  /// RNG seed for the probabilistic events.
+  std::uint64_t seed = 1;
+};
+
+/// Cumulative statistics across all transactions run on one HtmContext.
+struct HtmStats {
+  std::uint64_t begun = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_capacity = 0;
+  std::uint64_t aborted_conflict = 0;
+  std::uint64_t aborted_interrupt = 0;
+  std::uint64_t aborted_explicit = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t lines_dirtied = 0;
+
+  std::uint64_t aborted_total() const {
+    return aborted_capacity + aborted_conflict + aborted_interrupt +
+           aborted_explicit;
+  }
+};
+
+/// One simulated hardware-transaction engine (per protected process).
+///
+/// Usage protocol (driven by the transaction entry gate):
+///   begin(); ... stores flow in via record_store() ... commit() or abort(c).
+/// record_store() returning false means the transaction must abort; the
+/// caller (StoreGate) fires the abort hook, and the gate then calls abort()
+/// to roll the write-set back before longjmp-resuming.
+class HtmContext final : public StoreRecorder {
+ public:
+  explicit HtmContext(HtmConfig config = {});
+
+  /// Starts a transaction. Precondition: none active.
+  void begin();
+
+  /// Commits: write-set becomes permanent (it already is, in memory), the
+  /// saved old lines are discarded. Precondition: transaction active.
+  void commit();
+
+  /// Aborts: every dirtied line is restored to its pre-transaction contents
+  /// (simulating the cache discard), newest first. Records `code`.
+  void abort(HtmAbortCode code);
+
+  /// StoreRecorder: returns false when the store pushes the write-set past
+  /// capacity or a simulated async abort fires. The pending abort code is
+  /// then available via pending_abort().
+  ///
+  /// Cost model: real TSX tracks stores for free in the cache, so the
+  /// simulation's common case must be near-free too. A store that stays
+  /// within the line touched by the previous store returns immediately
+  /// (one compare); only new-line touches pay for hashing, the line image
+  /// save, and the async-abort sampling.
+  bool record_store(void* addr, std::size_t size) override {
+    ++stats_.stores;
+    const std::uintptr_t line =
+        line_base(reinterpret_cast<std::uintptr_t>(addr));
+    if (line == last_line_ &&
+        line_base(reinterpret_cast<std::uintptr_t>(addr) +
+                  (size > 0 ? size - 1 : 0)) == line) {
+      return true;
+    }
+    return record_store_slow(addr, size);
+  }
+
+  bool active() const { return active_; }
+  /// Abort reason set by a failed record_store(), consumed by abort().
+  HtmAbortCode pending_abort() const { return pending_abort_; }
+  /// Distinct lines dirtied by the current transaction.
+  std::size_t write_set_lines() const { return dirty_count_; }
+
+  const HtmStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = HtmStats{}; }
+
+ private:
+  struct SavedLine {
+    std::uintptr_t base;
+    std::uint8_t data[kCacheLineBytes];
+  };
+
+  /// Adds the line containing `addr` to the write-set if new.
+  /// Returns false on capacity overflow.
+  bool touch_line(std::uintptr_t line);
+  bool record_store_slow(void* addr, std::size_t size);
+
+  HtmConfig config_;
+  Rng rng_;
+  bool active_ = false;
+  HtmAbortCode pending_abort_ = HtmAbortCode::kNone;
+
+  // Write-set membership: open-addressing hash set of line bases with
+  // epoch-stamped slots (no clearing between transactions — a slot is live
+  // only when its epoch matches). O(1) per store, mirroring the zero-cost
+  // tracking real TSX gets from the cache itself.
+  struct LineSlot {
+    std::uintptr_t line = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::vector<LineSlot> line_set_;
+  std::uint64_t epoch_ = 0;
+  std::size_t dirty_count_ = 0;
+  std::uintptr_t last_line_ = 0;  // fast-path cache: previously touched line
+  std::vector<SavedLine> saved_lines_;
+  std::vector<std::uint8_t> set_occupancy_;  // per-L1-set line counts
+  std::uint64_t occupancy_epoch_ = 0;
+  std::vector<std::uint64_t> occupancy_stamp_;  // per-set epoch stamps
+
+  HtmStats stats_;
+};
+
+}  // namespace fir

@@ -1,0 +1,211 @@
+#include "interpose/comp.h"
+
+#include <cstring>
+
+namespace fir::comp {
+namespace {
+
+void fn_close_rv(Env& env, std::intptr_t, std::intptr_t, std::intptr_t rv,
+                 const std::uint8_t*, std::size_t) {
+  if (rv >= 0) env.close(static_cast<int>(rv));
+}
+
+void fn_unbind(Env& env, std::intptr_t fd, std::intptr_t, std::intptr_t rv,
+               const std::uint8_t*, std::size_t) {
+  if (rv == 0) env.unbind(static_cast<int>(fd));
+}
+
+void fn_unlisten(Env& env, std::intptr_t fd, std::intptr_t, std::intptr_t rv,
+                 const std::uint8_t*, std::size_t) {
+  if (rv == 0) env.unlisten(static_cast<int>(fd));
+}
+
+void fn_free_rv(Env& env, std::intptr_t, std::intptr_t, std::intptr_t rv,
+                const std::uint8_t*, std::size_t) {
+  if (rv != 0) env.mem_free(reinterpret_cast<void*>(rv));
+}
+
+void fn_restore_recv(Env& env, std::intptr_t fd, std::intptr_t buf,
+                     std::intptr_t rv, const std::uint8_t* data,
+                     std::size_t len) {
+  if (rv > 0) {
+    // Un-consume the received bytes (still sitting in the destination
+    // buffer) ...
+    env.sock_unread(static_cast<int>(fd), reinterpret_cast<void*>(buf),
+                    static_cast<std::size_t>(rv));
+  }
+  // ... then restore the buffer's pre-call contents.
+  if (len > 0) std::memcpy(reinterpret_cast<void*>(buf), data, len);
+}
+
+void fn_restore_buffer(Env&, std::intptr_t buf, std::intptr_t,
+                       std::intptr_t, const std::uint8_t* data,
+                       std::size_t len) {
+  if (len > 0) std::memcpy(reinterpret_cast<void*>(buf), data, len);
+}
+
+void fn_restore_offset(Env& env, std::intptr_t fd, std::intptr_t old_offset,
+                       std::intptr_t, const std::uint8_t*, std::size_t) {
+  env.lseek(static_cast<int>(fd), old_offset, kSeekSet);
+}
+
+void fn_rename_back(Env& env, std::intptr_t from, std::intptr_t to,
+                    std::intptr_t rv, const std::uint8_t*, std::size_t) {
+  if (rv == 0) {
+    env.rename(reinterpret_cast<const char*>(to),
+               reinterpret_cast<const char*>(from));
+  }
+}
+
+void fn_restore_truncate(Env& env, std::intptr_t fd, std::intptr_t old_size,
+                         std::intptr_t rv, const std::uint8_t* data,
+                         std::size_t len) {
+  if (rv != 0) return;
+  env.ftruncate(static_cast<int>(fd), static_cast<std::size_t>(old_size));
+  if (len > 0) {
+    // Rewrite the tail bytes the shrink destroyed.
+    env.pwrite(static_cast<int>(fd), data, len,
+               old_size - static_cast<std::int64_t>(len));
+  }
+}
+
+void fn_free_memalign(Env& env, std::intptr_t slot_ptr, std::intptr_t,
+                      std::intptr_t rv, const std::uint8_t*, std::size_t) {
+  if (rv != 0) return;  // the call itself failed: nothing was allocated
+  void** slot = reinterpret_cast<void**>(slot_ptr);
+  env.mem_free(*slot);
+  *slot = nullptr;
+}
+
+void fn_close_pair(Env& env, std::intptr_t pair_ptr, std::intptr_t,
+                   std::intptr_t rv, const std::uint8_t*, std::size_t) {
+  if (rv != 0) return;
+  const int* pair = reinterpret_cast<const int*>(pair_ptr);
+  env.close(pair[0]);
+  env.close(pair[1]);
+}
+
+void fn_deferred_close(Env& env, std::intptr_t fd, std::intptr_t) {
+  env.close(static_cast<int>(fd));
+}
+
+void fn_deferred_free(Env& env, std::intptr_t ptr, std::intptr_t) {
+  env.mem_free(reinterpret_cast<void*>(ptr));
+}
+
+void fn_deferred_unlink(Env& env, std::intptr_t path, std::intptr_t) {
+  env.unlink(reinterpret_cast<const char*>(path));
+}
+
+void fn_deferred_shutdown(Env& env, std::intptr_t fd, std::intptr_t) {
+  env.shutdown_wr(static_cast<int>(fd));
+}
+
+}  // namespace
+
+Compensation close_returned_fd() {
+  Compensation c;
+  c.fn = &fn_close_rv;
+  return c;
+}
+
+Compensation unbind(int fd) {
+  Compensation c;
+  c.fn = &fn_unbind;
+  c.a = fd;
+  return c;
+}
+
+Compensation unlisten(int fd) {
+  Compensation c;
+  c.fn = &fn_unlisten;
+  c.a = fd;
+  return c;
+}
+
+Compensation free_returned_block() {
+  Compensation c;
+  c.fn = &fn_free_rv;
+  return c;
+}
+
+Compensation restore_recv(int fd, void* buf, std::uint32_t data_off,
+                          std::uint32_t data_len) {
+  Compensation c;
+  c.fn = &fn_restore_recv;
+  c.a = fd;
+  c.b = reinterpret_cast<std::intptr_t>(buf);
+  c.data_off = data_off;
+  c.data_len = data_len;
+  return c;
+}
+
+Compensation restore_buffer(void* buf, std::uint32_t data_off,
+                            std::uint32_t data_len) {
+  Compensation c;
+  c.fn = &fn_restore_buffer;
+  c.a = reinterpret_cast<std::intptr_t>(buf);
+  c.data_off = data_off;
+  c.data_len = data_len;
+  return c;
+}
+
+Compensation restore_offset(int fd, std::int64_t old_offset) {
+  Compensation c;
+  c.fn = &fn_restore_offset;
+  c.a = fd;
+  c.b = static_cast<std::intptr_t>(old_offset);
+  return c;
+}
+
+Compensation rename_back(const char* from, const char* to) {
+  Compensation c;
+  c.fn = &fn_rename_back;
+  c.a = reinterpret_cast<std::intptr_t>(from);
+  c.b = reinterpret_cast<std::intptr_t>(to);
+  return c;
+}
+
+Compensation restore_truncate(int fd, std::int64_t old_size,
+                              std::uint32_t data_off,
+                              std::uint32_t data_len) {
+  Compensation c;
+  c.fn = &fn_restore_truncate;
+  c.a = fd;
+  c.b = static_cast<std::intptr_t>(old_size);
+  c.data_off = data_off;
+  c.data_len = data_len;
+  return c;
+}
+
+Compensation free_memalign(void** out_slot) {
+  Compensation c;
+  c.fn = &fn_free_memalign;
+  c.a = reinterpret_cast<std::intptr_t>(out_slot);
+  return c;
+}
+
+Compensation close_fd_pair(const int* pair) {
+  Compensation c;
+  c.fn = &fn_close_pair;
+  c.a = reinterpret_cast<std::intptr_t>(pair);
+  return c;
+}
+
+DeferredOp deferred_close(int fd) { return DeferredOp{&fn_deferred_close, fd, 0}; }
+
+DeferredOp deferred_free(void* ptr) {
+  return DeferredOp{&fn_deferred_free, reinterpret_cast<std::intptr_t>(ptr),
+                    0};
+}
+
+DeferredOp deferred_unlink(const char* path) {
+  return DeferredOp{&fn_deferred_unlink,
+                    reinterpret_cast<std::intptr_t>(path), 0};
+}
+
+DeferredOp deferred_shutdown(int fd) {
+  return DeferredOp{&fn_deferred_shutdown, fd, 0};
+}
+
+}  // namespace fir::comp

@@ -1,0 +1,76 @@
+// Compensation-action library (§V-A): the one-time wrappers that revert the
+// effects of standard library calls so a fault can be injected afterwards.
+//
+// Each builder returns a Compensation whose fn reverts one call class. The
+// `rv` parameter every fn receives is the call's original return value at
+// the time the transaction began (e.g. the fd that socket() produced).
+#pragma once
+
+#include "core/tx_manager.h"
+
+namespace fir::comp {
+
+/// No compensation required (idempotent class, or irrecoverable where no
+/// compensation is possible).
+inline Compensation none() { return Compensation{}; }
+
+/// Reverts fd-producing calls (socket, open, accept, epoll_create1, dup):
+/// closes the descriptor the call returned.
+Compensation close_returned_fd();
+
+/// Reverts bind(): clears the port binding on the socket. `fd` is the bound
+/// socket.
+Compensation unbind(int fd);
+
+/// Reverts listen(): tears the listener down (closing pending connections),
+/// returning the descriptor to an unbound socket. `fd` is the listener.
+Compensation unlisten(int fd);
+
+/// Reverts malloc/calloc: frees the block the call returned.
+Compensation free_returned_block();
+
+/// Reverts read/recv-style calls: pushes the consumed bytes back onto the
+/// stream (socket unread) and restores the destination buffer's previous
+/// contents, stashed before the call. `data_off/len` locate the stash.
+Compensation restore_recv(int fd, void* buf, std::uint32_t data_off,
+                          std::uint32_t data_len);
+
+/// Reverts pread: restores the destination buffer only (offset-based reads
+/// consume no stream state).
+Compensation restore_buffer(void* buf, std::uint32_t data_off,
+                            std::uint32_t data_len);
+
+/// Reverts lseek: seeks back to the previous offset.
+Compensation restore_offset(int fd, std::int64_t old_offset);
+
+/// Reverts rename(from, to): renames back.
+Compensation rename_back(const char* from, const char* to);
+
+/// Reverts ftruncate: restores the previous length and the truncated-away
+/// tail bytes (stashed before the call when shrinking).
+Compensation restore_truncate(int fd, std::int64_t old_size,
+                              std::uint32_t data_off,
+                              std::uint32_t data_len);
+
+/// Reverts posix_memalign(): frees the block stored through the caller's
+/// out-pointer and nulls it (the call wrote it before the transaction
+/// began).
+Compensation free_memalign(void** out_slot);
+
+/// Reverts pipe()/socketpair(): closes both descriptors the call stored in
+/// the caller's two-element array (which the call wrote before the
+/// transaction began, so rollback leaves it intact).
+Compensation close_fd_pair(const int* pair);
+
+// --- deferred effects ("operation deferrable" class) -----------------------
+
+/// close(fd), performed at commit.
+DeferredOp deferred_close(int fd);
+/// mem_free(ptr), performed at commit.
+DeferredOp deferred_free(void* ptr);
+/// unlink(path), performed at commit. `path` must stay valid until then.
+DeferredOp deferred_unlink(const char* path);
+/// shutdown_wr(fd), performed at commit.
+DeferredOp deferred_shutdown(int fd);
+
+}  // namespace fir::comp

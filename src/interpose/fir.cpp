@@ -1,0 +1,26 @@
+#include "interpose/fir.h"
+
+#include <vector>
+
+namespace fir::detail {
+
+Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len) {
+  std::size_t old_size = 0;
+  if (fx.env().fstat_size(fd, &old_size) != 0) {
+    return comp::none();  // the call itself will fail with EBADF
+  }
+  const auto old_signed = static_cast<std::int64_t>(old_size);
+  if (new_len >= old_size) {
+    // Growing: compensation only needs to shrink back.
+    return comp::restore_truncate(fd, old_signed, 0, 0);
+  }
+  // Shrinking: stash the tail the truncate will destroy.
+  const std::size_t tail = old_size - new_len;
+  std::vector<std::uint8_t> bytes(tail);
+  fx.env().pread(fd, bytes.data(), tail, static_cast<std::int64_t>(new_len));
+  const std::uint32_t off = fx.mgr().stash_comp_data(bytes.data(), tail);
+  return comp::restore_truncate(fd, old_signed, off,
+                                static_cast<std::uint32_t>(tail));
+}
+
+}  // namespace fir::detail

@@ -1,0 +1,430 @@
+// FIRestarter interposition wrappers.
+//
+// Applications call the environment exclusively through these FIR_* macros;
+// each expansion is a "library call site" in the paper's sense. A gated
+// macro performs, inline at the call site, exactly what FIRestarter's
+// compiled instrumentation does around a library call (Fig. 2):
+//
+//   1. commit the transaction that has been running since the previous
+//      library call (pre_call);
+//   2. perform the environment operation;
+//   3. open a new crash transaction at this site: setjmp (register
+//      checkpoint), stack snapshot, HTM/STM store tracking, and register the
+//      call's compensation action;
+//   4. if the transaction later rolls back, control re-enters the gate via
+//      longjmp and the macro yields either the original return value (retry)
+//      or the injected error (diversion into the caller's error handler).
+//
+// Non-divertible library calls get EMBED macros instead: they run inside the
+// current transaction and register a revert / deferred effect, mirroring the
+// Adaptive Transaction Shaper's extension of transactions (§V-A).
+//
+// Implementation notes: the macros are GNU statement expressions because
+// setjmp must execute in the application's own frame; `fir_rv` is volatile
+// because it is written between setjmp and longjmp; each statement
+// expression ends in a plain variable so discarding the result stays quiet.
+#pragma once
+
+#include <cerrno>
+#include <csetjmp>
+#include <cstdint>
+#include <cstring>
+
+#include "common/source_location.h"
+#include "interpose/comp.h"
+#include "interpose/fx.h"
+
+namespace fir::detail {
+
+/// Per-expansion SiteId cache, invalidated when a new TxManager generation
+/// takes over (experiments create one manager per run).
+struct SiteCache {
+  std::uint64_t gen = 0;
+  SiteId sid = kInvalidSite;
+};
+
+inline SiteId site(SiteCache& cache, TxManager& mgr, const char* function,
+                   const char* location) {
+  if (cache.gen != mgr.generation()) {
+    cache.sid = mgr.register_site(function, location);
+    cache.gen = mgr.generation();
+  }
+  return cache.sid;
+}
+
+/// ftruncate bookkeeping: stashes the tail bytes a shrink would destroy and
+/// builds the compensation. Returns the compensation to pass to begin().
+Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
+
+}  // namespace fir::detail
+
+#define FIR_DETAIL_SITE(mgr, fname)                                   \
+  ([&](::fir::TxManager& fir_m_) -> ::fir::SiteId {                   \
+    static ::fir::detail::SiteCache fir_cache_;                       \
+    return ::fir::detail::site(fir_cache_, fir_m_, fname, FIR_HERE);  \
+  }(fir_m))
+
+/// Core gate skeleton: see file comment. CALL_EXPR runs at most once;
+/// COMP_EXPR builds the opening call's compensation.
+#define FIR_DETAIL_GATED(fx, fname, CALL_EXPR, COMP_EXPR)             \
+  ({                                                                  \
+    ::fir::TxManager& fir_m = (fx).mgr();                             \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, fname);      \
+    fir_m.pre_call();                                                 \
+    volatile std::intptr_t fir_rv = 0;                                \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                             \
+      fir_rv = static_cast<std::intptr_t>(CALL_EXPR);                 \
+      fir_m.begin(fir_sid, fir_rv, (COMP_EXPR));                      \
+    } else {                                                          \
+      fir_rv = fir_m.resume();                                        \
+    }                                                                 \
+    const std::intptr_t fir_out = fir_rv;                             \
+    fir_out;                                                          \
+  })
+
+// --- anchoring ------------------------------------------------------------
+
+/// Marks the current frame as the protected event loop: stack snapshots
+/// cover [library call, top of this frame]. Place at the top of the loop
+/// function, before any gated call.
+#define FIR_ANCHOR(fx) (fx).mgr().set_anchor(__builtin_frame_address(0))
+
+/// Commits any open transaction (shutdown / experiment boundaries).
+#define FIR_QUIESCE(fx) (fx).mgr().quiesce()
+
+// --- sockets ----------------------------------------------------------------
+
+#define FIR_SOCKET(fx)                                          \
+  FIR_DETAIL_GATED(fx, "socket", (fx).env().socket(),           \
+                   ::fir::comp::close_returned_fd())
+
+#define FIR_BIND(fx, fd, port)                                  \
+  FIR_DETAIL_GATED(fx, "bind", (fx).env().bind((fd), (port)),   \
+                   ::fir::comp::unbind((fd)))
+
+#define FIR_LISTEN(fx, fd, backlog)                                     \
+  FIR_DETAIL_GATED(fx, "listen", (fx).env().listen((fd), (backlog)),    \
+                   ::fir::comp::unlisten((fd)))
+
+#define FIR_SETSOCKOPT(fx, fd, opt)                                      \
+  FIR_DETAIL_GATED(fx, "setsockopt", (fx).env().setsockopt((fd), (opt)), \
+                   ::fir::comp::none())
+
+#define FIR_ACCEPT(fx, fd)                                      \
+  FIR_DETAIL_GATED(fx, "accept", (fx).env().accept((fd)),       \
+                   ::fir::comp::close_returned_fd())
+
+#define FIR_FCNTL_NONBLOCK(fx, fd, nb)                                       \
+  FIR_DETAIL_GATED(fx, "fcntl", (fx).env().fcntl_set_nonblock((fd), (nb)),   \
+                   ::fir::comp::none())
+
+#define FIR_SEND(fx, fd, buf, n)                                        \
+  FIR_DETAIL_GATED(fx, "send", (fx).env().send((fd), (buf), (n)),       \
+                   ::fir::comp::none())
+
+#define FIR_WRITE(fx, fd, buf, n)                                       \
+  FIR_DETAIL_GATED(fx, "write", (fx).env().write((fd), (buf), (n)),     \
+                   ::fir::comp::none())
+
+/// recv: "state restoration needed" — the destination buffer is stashed
+/// before the call; the compensation un-consumes the stream bytes and
+/// restores the buffer.
+#define FIR_RECV(fx, fd, buf, n)                                          \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "recv");         \
+    fir_m.pre_call();                                                     \
+    const std::uint32_t fir_off = fir_m.stash_comp_data((buf), (n));      \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().recv((fd), (buf), (n));                         \
+      fir_m.begin(fir_sid, fir_rv,                                        \
+                  ::fir::comp::restore_recv(                              \
+                      (fd), (buf), fir_off,                               \
+                      static_cast<std::uint32_t>(n)));                    \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+#define FIR_READ(fx, fd, buf, n)                                          \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "read");         \
+    fir_m.pre_call();                                                     \
+    const std::uint32_t fir_off = fir_m.stash_comp_data((buf), (n));      \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().read((fd), (buf), (n));                         \
+      fir_m.begin(fir_sid, fir_rv,                                        \
+                  ::fir::comp::restore_recv(                              \
+                      (fd), (buf), fir_off,                               \
+                      static_cast<std::uint32_t>(n)));                    \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+/// close: "operation deferrable" — reports success immediately, the real
+/// close happens when this transaction commits.
+#define FIR_CLOSE(fx, fd)                                                 \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "close");        \
+    fir_m.pre_call();                                                     \
+    const int fir_fd = (fd);                                              \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      if ((fx).env().fd_valid(fir_fd)) {                                  \
+        fir_rv = 0;                                                       \
+        fir_m.begin(fir_sid, 0, ::fir::comp::none());                     \
+        fir_m.set_opening_deferred(::fir::comp::deferred_close(fir_fd));  \
+      } else {                                                            \
+        (fx).env().set_errno(EBADF);                                      \
+        fir_rv = -1;                                                      \
+        fir_m.begin(fir_sid, -1, ::fir::comp::none());                    \
+      }                                                                   \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+#define FIR_SHUTDOWN(fx, fd)                                              \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "shutdown");     \
+    fir_m.pre_call();                                                     \
+    const int fir_fd = (fd);                                              \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      if ((fx).env().fd_valid(fir_fd)) {                                  \
+        fir_rv = 0;                                                       \
+        fir_m.begin(fir_sid, 0, ::fir::comp::none());                     \
+        fir_m.set_opening_deferred(                                       \
+            ::fir::comp::deferred_shutdown(fir_fd));                      \
+      } else {                                                            \
+        (fx).env().set_errno(ENOTCONN);                                   \
+        fir_rv = -1;                                                      \
+        fir_m.begin(fir_sid, -1, ::fir::comp::none());                    \
+      }                                                                   \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+// --- epoll ------------------------------------------------------------------
+
+#define FIR_EPOLL_CREATE1(fx)                                             \
+  FIR_DETAIL_GATED(fx, "epoll_create1", (fx).env().epoll_create1(),       \
+                   ::fir::comp::close_returned_fd())
+
+#define FIR_EPOLL_CTL(fx, epfd, op, fd, events)                           \
+  FIR_DETAIL_GATED(fx, "epoll_ctl",                                       \
+                   (fx).env().epoll_ctl((epfd), (op), (fd), (events)),    \
+                   ::fir::comp::none())
+
+#define FIR_EPOLL_WAIT(fx, epfd, events, max)                             \
+  FIR_DETAIL_GATED(fx, "epoll_wait",                                      \
+                   (fx).env().epoll_wait((epfd), (events), (max)),        \
+                   ::fir::comp::none())
+
+// --- files ------------------------------------------------------------------
+
+#define FIR_OPEN(fx, path, flags)                                       \
+  FIR_DETAIL_GATED(fx, "open", (fx).env().open((path), (flags)),        \
+                   ::fir::comp::close_returned_fd())
+
+#define FIR_OPEN64(fx, path, flags)                                     \
+  FIR_DETAIL_GATED(fx, "open64", (fx).env().open((path), (flags)),      \
+                   ::fir::comp::close_returned_fd())
+
+#define FIR_PREAD(fx, fd, buf, n, off)                                    \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "pread");        \
+    fir_m.pre_call();                                                     \
+    const std::uint32_t fir_off = fir_m.stash_comp_data((buf), (n));      \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().pread((fd), (buf), (n), (off));                 \
+      fir_m.begin(fir_sid, fir_rv,                                        \
+                  ::fir::comp::restore_buffer(                            \
+                      (buf), fir_off, static_cast<std::uint32_t>(n)));    \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+#define FIR_LSEEK(fx, fd, off, whence)                                    \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "lseek");        \
+    fir_m.pre_call();                                                     \
+    const std::int64_t fir_old = (fx).env().file_offset((fd));            \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().lseek((fd), (off), (whence));                   \
+      fir_m.begin(fir_sid, fir_rv,                                        \
+                  ::fir::comp::restore_offset((fd), fir_old));            \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+#define FIR_STAT_SIZE(fx, path, size_out)                                 \
+  FIR_DETAIL_GATED(fx, "stat", (fx).env().stat_size((path), (size_out)), \
+                   ::fir::comp::none())
+
+#define FIR_FSTAT_SIZE(fx, fd, size_out)                                   \
+  FIR_DETAIL_GATED(fx, "fstat", (fx).env().fstat_size((fd), (size_out)),   \
+                   ::fir::comp::none())
+
+#define FIR_ACCESS(fx, path)                                              \
+  FIR_DETAIL_GATED(fx, "access", (fx).env().stat_size((path), nullptr),   \
+                   ::fir::comp::none())
+
+/// unlink: deferrable — the name disappears when the transaction commits.
+/// `path` must stay valid until then (store it in stable memory).
+#define FIR_UNLINK(fx, path)                                              \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "unlink");       \
+    fir_m.pre_call();                                                     \
+    const char* fir_path = (path);                                        \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      if ((fx).env().vfs().exists(fir_path)) {                            \
+        fir_rv = 0;                                                       \
+        fir_m.begin(fir_sid, 0, ::fir::comp::none());                     \
+        fir_m.set_opening_deferred(                                       \
+            ::fir::comp::deferred_unlink(fir_path));                      \
+      } else {                                                            \
+        (fx).env().set_errno(ENOENT);                                     \
+        fir_rv = -1;                                                      \
+        fir_m.begin(fir_sid, -1, ::fir::comp::none());                    \
+      }                                                                   \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+#define FIR_RENAME(fx, from, to)                                        \
+  FIR_DETAIL_GATED(fx, "rename", (fx).env().rename((from), (to)),       \
+                   ::fir::comp::rename_back((from), (to)))
+
+#define FIR_FTRUNCATE(fx, fd, len)                                        \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "ftruncate");    \
+    fir_m.pre_call();                                                     \
+    const ::fir::Compensation fir_comp =                                  \
+        ::fir::detail::prepare_truncate((fx), (fd), (len));               \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().ftruncate((fd), (len));                         \
+      fir_m.begin(fir_sid, fir_rv, fir_comp);                             \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
+
+#define FIR_PWRITE(fx, fd, buf, n, off)                                     \
+  FIR_DETAIL_GATED(fx, "pwrite",                                            \
+                   (fx).env().pwrite((fd), (buf), (n), (off)),              \
+                   ::fir::comp::none())
+
+#define FIR_FSYNC(fx, fd)                                              \
+  FIR_DETAIL_GATED(fx, "fsync", (fx).env().fsync((fd)),                \
+                   ::fir::comp::none())
+
+// --- descriptor & vector ops --------------------------------------------------
+
+#define FIR_DUP(fx, fd)                                                   \
+  FIR_DETAIL_GATED(fx, "dup", (fx).env().dup((fd)),                       \
+                   ::fir::comp::close_returned_fd())
+
+/// pipe/socketpair: `out2` (int[2]) must be written before the transaction
+/// begins, so the wrapper performs the call first; the compensation closes
+/// both ends.
+#define FIR_PIPE(fx, out2)                                                \
+  FIR_DETAIL_GATED(fx, "pipe", (fx).env().pipe((out2)),                   \
+                   ::fir::comp::close_fd_pair((out2)))
+
+#define FIR_SOCKETPAIR(fx, out2)                                          \
+  FIR_DETAIL_GATED(fx, "socketpair", (fx).env().socketpair((out2)),       \
+                   ::fir::comp::close_fd_pair((out2)))
+
+#define FIR_SENDFILE(fx, out_sock, in_fd, off, n)                         \
+  FIR_DETAIL_GATED(fx, "sendfile",                                        \
+                   (fx).env().sendfile((out_sock), (in_fd), (off), (n)),  \
+                   ::fir::comp::none())
+
+#define FIR_WRITEV(fx, fd, slices, n)                                     \
+  FIR_DETAIL_GATED(fx, "writev",                                          \
+                   (fx).env().writev((fd), (slices), (n)),                \
+                   ::fir::comp::none())
+
+// --- memory -----------------------------------------------------------------
+
+#define FIR_MALLOC(fx, n)                                                 \
+  reinterpret_cast<void*>(FIR_DETAIL_GATED(                               \
+      fx, "malloc",                                                       \
+      reinterpret_cast<std::intptr_t>((fx).env().mem_alloc((n))),         \
+      ::fir::comp::free_returned_block()))
+
+#define FIR_CALLOC(fx, n)                                                 \
+  reinterpret_cast<void*>(FIR_DETAIL_GATED(                               \
+      fx, "calloc",                                                       \
+      reinterpret_cast<std::intptr_t>((fx).env().mem_alloc_zero((n))),    \
+      ::fir::comp::free_returned_block()))
+
+#define FIR_POSIX_MEMALIGN(fx, out_ptr, n)                                \
+  FIR_DETAIL_GATED(                                                       \
+      fx, "posix_memalign",                                               \
+      ((*(out_ptr) = (fx).env().mem_alloc((n))) != nullptr ? 0 : ENOMEM), \
+      ::fir::comp::free_memalign((out_ptr)))
+
+/// free: non-divertible deferrable — embedded in the current transaction,
+/// released at commit, dropped (and re-issued by re-execution) on rollback.
+#define FIR_FREE(fx, ptr)                                                 \
+  do {                                                                    \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "free");         \
+    fir_m.defer_embedded(fir_sid, ::fir::comp::deferred_free((ptr)));     \
+  } while (0)
+
+// --- embedded pure calls ------------------------------------------------------
+
+/// Non-divertible, no-reversion-needed calls (getpid, strlen, ...): counted
+/// as embedded library calls, executed inside the open transaction.
+#define FIR_EMBED_PURE(fx, fname, CALL_EXPR)                              \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, fname);          \
+    fir_m.embed_idempotent(fir_sid);                                      \
+    const auto fir_pure_out = (CALL_EXPR);                                \
+    fir_pure_out;                                                         \
+  })
+
+#define FIR_GETPID(fx) FIR_EMBED_PURE(fx, "getpid", (fx).env().getpid())
+#define FIR_TIME_NS(fx) \
+  FIR_EMBED_PURE(fx, "time", (fx).env().clock().now_ns())
+#define FIR_STRLEN(fx, s) FIR_EMBED_PURE(fx, "strlen", ::std::strlen((s)))
+#define FIR_MEMCMP(fx, a, b, n) \
+  FIR_EMBED_PURE(fx, "memcmp", ::std::memcmp((a), (b), (n)))

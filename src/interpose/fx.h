@@ -1,0 +1,38 @@
+// Fx: the protected-process context handed to every application.
+//
+// Bundles the virtual OS (Env) and the recovery runtime (TxManager). The
+// wrapper macros in interpose/fir.h operate on an Fx; an application written
+// against them is, structurally, what FIRestarter's compiler passes produce
+// from unmodified source.
+#pragma once
+
+#include <memory>
+
+#include "core/tx_manager.h"
+#include "env/env.h"
+#include "hsfi/hsfi.h"
+
+namespace fir {
+
+class Fx {
+ public:
+  explicit Fx(TxManagerConfig config = {})
+      : env_(std::make_unique<Env>()),
+        mgr_(std::make_unique<TxManager>(*env_, config)),
+        hsfi_(std::make_unique<Hsfi>()) {}
+
+  Env& env() { return *env_; }
+  TxManager& mgr() { return *mgr_; }
+  const TxManager& mgr() const { return *mgr_; }
+  Hsfi& hsfi() { return *hsfi_; }
+
+  /// Virtual errno of the protected process.
+  int err() const { return env_->last_errno(); }
+
+ private:
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<TxManager> mgr_;
+  std::unique_ptr<Hsfi> hsfi_;
+};
+
+}  // namespace fir

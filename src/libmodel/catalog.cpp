@@ -1,0 +1,196 @@
+#include "libmodel/catalog.h"
+
+#include <cerrno>
+#include <unordered_map>
+
+namespace fir {
+namespace {
+
+using R = Recoverability;
+
+// The Table II catalog. Class totals (reversible 23, idempotent 35,
+// deferrable 7, state-restore 20, irrecoverable 16) and divertibility splits
+// (23/0, 9/26, 5/2, 12/8, 12/4 => 61/40 overall) match the paper.
+constexpr LibFunctionSpec kCatalog[] = {
+    // --- Operation reversible (23, all divertible) -----------------------
+    {"mmap", R::kReversible, true, {-1, ENOMEM}, "revert: munmap"},
+    {"open", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"open64", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"openat", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"listen", R::kReversible, true, {-1, EADDRINUSE},
+     "revert: stop listening / close"},
+    {"socket", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"accept", R::kReversible, true, {-1, ECONNABORTED}, "revert: close"},
+    {"accept4", R::kReversible, true, {-1, ECONNABORTED}, "revert: close"},
+    {"epoll_create", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"epoll_create1", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"dup", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"dup2", R::kReversible, true, {-1, EMFILE}, "revert: close+restore"},
+    {"pipe", R::kReversible, true, {-1, EMFILE}, "revert: close both ends"},
+    {"socketpair", R::kReversible, true, {-1, EMFILE}, "revert: close both"},
+    {"timerfd_create", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"eventfd", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"signalfd", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"inotify_init", R::kReversible, true, {-1, EMFILE}, "revert: close"},
+    {"malloc", R::kReversible, true, {0, ENOMEM}, "revert: free"},
+    {"calloc", R::kReversible, true, {0, ENOMEM}, "revert: free"},
+    {"realloc", R::kReversible, true, {0, ENOMEM}, "revert: free new block"},
+    {"posix_memalign", R::kReversible, true, {ENOMEM, 0},
+     "revert: free; reports error via return value"},
+    {"bind", R::kReversible, true, {-1, EADDRINUSE}, "revert: close socket"},
+
+    // --- No reversion needed / idempotent (35: 9 divertible, 26 not) -----
+    {"setsockopt", R::kIdempotent, true, {-1, EINVAL}, "socket opt set"},
+    {"getsockopt", R::kIdempotent, true, {-1, EINVAL}, "pure read"},
+    {"fcntl", R::kIdempotent, true, {-1, EINVAL}, "flag updates idempotent"},
+    {"fcntl64", R::kIdempotent, true, {-1, EINVAL}, "flag updates idempotent"},
+    {"epoll_ctl", R::kIdempotent, true, {-1, ENOMEM},
+     "interest-set update; re-applicable"},
+    {"epoll_wait", R::kIdempotent, true, {-1, EINTR},
+     "level-triggered: readiness is re-observable"},
+    {"stat", R::kIdempotent, true, {-1, ENOENT}, "pure read"},
+    {"fstat", R::kIdempotent, true, {-1, EBADF}, "pure read"},
+    {"access", R::kIdempotent, true, {-1, EACCES}, "pure read"},
+    {"getpid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"getppid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"getuid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"geteuid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"getgid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"getegid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"gettid", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"strlen", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"strcmp", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"strncmp", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"memcmp", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"htons", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"htonl", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"ntohs", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"ntohl", R::kIdempotent, false, {0, 0}, "no error channel"},
+    {"time", R::kIdempotent, false, {-1, 0}, "retval conventionally unchecked"},
+    {"gettimeofday", R::kIdempotent, false, {-1, 0}, "retval unchecked"},
+    {"clock_gettime", R::kIdempotent, false, {-1, 0}, "retval unchecked"},
+    {"printf", R::kIdempotent, false, {-1, 0}, "retval typically ignored"},
+    {"fprintf", R::kIdempotent, false, {-1, 0}, "retval typically ignored"},
+    {"puts", R::kIdempotent, false, {-1, 0}, "retval typically ignored"},
+    {"putchar", R::kIdempotent, false, {-1, 0}, "retval typically ignored"},
+    {"isatty", R::kIdempotent, false, {0, ENOTTY}, "probe only"},
+    {"umask", R::kIdempotent, false, {0, 0}, "cannot fail"},
+    {"sched_yield", R::kIdempotent, false, {0, 0}, "retval unchecked"},
+    {"pthread_self", R::kIdempotent, false, {0, 0}, "cannot fail"},
+
+    // --- Operation deferrable (7: 5 divertible, 2 not) -------------------
+    {"close", R::kDeferrable, true, {-1, EBADF},
+     "defer actual close until commit"},
+    {"fclose", R::kDeferrable, true, {-1, EBADF}, "defer until commit"},
+    {"munmap", R::kDeferrable, true, {-1, EINVAL}, "defer until commit"},
+    {"shutdown", R::kDeferrable, true, {-1, ENOTCONN}, "defer until commit"},
+    {"unlink", R::kDeferrable, true, {-1, ENOENT}, "defer until commit"},
+    {"free", R::kDeferrable, false, {0, 0},
+     "void return: defer release until commit"},
+    {"cfree", R::kDeferrable, false, {0, 0}, "void return: defer"},
+
+    // --- State restoration needed (20: 12 divertible, 8 not) -------------
+    {"read", R::kStateRestore, true, {-1, EIO},
+     "checkpoint destination buffer + restore stream position"},
+    {"recv", R::kStateRestore, true, {-1, ECONNRESET},
+     "checkpoint destination buffer + un-consume socket bytes"},
+    {"recvfrom", R::kStateRestore, true, {-1, ECONNRESET},
+     "checkpoint destination buffer + un-consume socket bytes"},
+    {"recvmsg", R::kStateRestore, true, {-1, ECONNRESET},
+     "checkpoint destination buffers + un-consume socket bytes"},
+    {"readv", R::kStateRestore, true, {-1, EIO},
+     "checkpoint destination buffers + restore stream position"},
+    {"pread", R::kStateRestore, true, {-1, EINVAL},
+     "checkpoint destination buffer; offset-based, no stream state"},
+    {"pread64", R::kStateRestore, true, {-1, EINVAL},
+     "checkpoint destination buffer"},
+    {"lseek", R::kStateRestore, true, {-1, EINVAL}, "restore prior offset"},
+    {"lseek64", R::kStateRestore, true, {-1, EINVAL}, "restore prior offset"},
+    {"ftruncate", R::kStateRestore, true, {-1, EINVAL},
+     "restore prior length"},
+    {"sigaction", R::kStateRestore, true, {-1, EINVAL},
+     "restore previous handler"},
+    {"rename", R::kStateRestore, true, {-1, ENOENT}, "rename back"},
+    {"srand", R::kStateRestore, false, {0, 0}, "void; restore seed state"},
+    {"srandom", R::kStateRestore, false, {0, 0}, "void; restore seed state"},
+    {"tzset", R::kStateRestore, false, {0, 0}, "void; restore TZ state"},
+    {"rewind", R::kStateRestore, false, {0, 0}, "void; restore offset"},
+    {"clearerr", R::kStateRestore, false, {0, 0}, "void; restore flags"},
+    {"setbuf", R::kStateRestore, false, {0, 0}, "void; restore buffering"},
+    {"signal", R::kStateRestore, false, {0, 0},
+     "retval conventionally unchecked; restore handler"},
+    {"localtime", R::kStateRestore, false, {0, 0},
+     "restore static result buffer; retval rarely checked"},
+
+    // --- Irrecoverable (16: 12 divertible, 4 not) ------------------------
+    {"write", R::kIrrecoverable, true, {-1, EIO},
+     "bytes may have left the process"},
+    {"send", R::kIrrecoverable, true, {-1, ECONNRESET}, "network-visible"},
+    {"sendto", R::kIrrecoverable, true, {-1, ECONNRESET}, "network-visible"},
+    {"sendmsg", R::kIrrecoverable, true, {-1, ECONNRESET}, "network-visible"},
+    {"sendfile", R::kIrrecoverable, true, {-1, EIO}, "network-visible"},
+    {"writev", R::kIrrecoverable, true, {-1, EIO}, "bytes may have left"},
+    {"pwrite", R::kIrrecoverable, true, {-1, EIO}, "durable media write"},
+    {"pwrite64", R::kIrrecoverable, true, {-1, EIO}, "durable media write"},
+    {"fsync", R::kIrrecoverable, true, {-1, EIO}, "durability barrier"},
+    {"fdatasync", R::kIrrecoverable, true, {-1, EIO}, "durability barrier"},
+    {"connect", R::kIrrecoverable, true, {-1, ECONNREFUSED},
+     "SYN already visible to peer"},
+    {"msync", R::kIrrecoverable, true, {-1, EIO}, "durable media write"},
+    {"abort", R::kIrrecoverable, false, {0, 0}, "terminates process"},
+    {"_exit", R::kIrrecoverable, false, {0, 0}, "terminates process"},
+    {"fork", R::kIrrecoverable, false, {-1, EAGAIN},
+     "child is externally visible; retval checked but effect irreversible"},
+    {"system", R::kIrrecoverable, false, {-1, 0}, "spawns external process"},
+};
+
+static_assert(std::size(kCatalog) == 101,
+              "Table II catalog must contain exactly 101 functions");
+
+const std::unordered_map<std::string_view, const LibFunctionSpec*>&
+name_index() {
+  static const auto* index = [] {
+    auto* m =
+        new std::unordered_map<std::string_view, const LibFunctionSpec*>();
+    for (const auto& spec : kCatalog) (*m)[spec.name] = &spec;
+    return m;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+std::string_view recoverability_name(Recoverability r) {
+  switch (r) {
+    case Recoverability::kReversible: return "Operation reversible";
+    case Recoverability::kIdempotent: return "No reversion needed";
+    case Recoverability::kDeferrable: return "Operation deferrable";
+    case Recoverability::kStateRestore: return "State restoration needed";
+    case Recoverability::kIrrecoverable: return "Irrecoverable";
+  }
+  return "?";
+}
+
+const LibraryCatalog& LibraryCatalog::instance() {
+  static const LibraryCatalog catalog;
+  return catalog;
+}
+
+const LibFunctionSpec* LibraryCatalog::find(std::string_view name) const {
+  const auto& index = name_index();
+  auto it = index.find(name);
+  return it == index.end() ? nullptr : it->second;
+}
+
+std::span<const LibFunctionSpec> LibraryCatalog::all() const {
+  return kCatalog;
+}
+
+int LibraryCatalog::count(Recoverability r, bool divertible) const {
+  int n = 0;
+  for (const auto& spec : kCatalog)
+    if (spec.recoverability == r && spec.divertible == divertible) ++n;
+  return n;
+}
+
+}  // namespace fir

@@ -1,0 +1,81 @@
+// Library interface model: the data the Library Interface Analyzer pass
+// derives from library documentation (§III, §V-A).
+//
+// For every standard-library function used by the target applications the
+// catalog records:
+//   * its RECOVERABILITY CLASS — whether and how its effect can be reverted
+//     when the transaction that follows it must be rolled back;
+//   * whether execution can be DIVERTED at call sites of this function —
+//     i.e. the function reports errors through its return value and a
+//     well-written caller checks for them, so forcing the documented error
+//     return steers execution into the caller's error handler;
+//   * the ERROR to inject: return value + errno, from the man page.
+//
+// The catalog contains the 101 functions of the paper's Table II with the
+// same per-class totals (23 / 35 / 7 / 20 / 16; divertible 61 vs 40).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace fir {
+
+/// Paper Table II rows.
+enum class Recoverability : std::uint8_t {
+  kReversible = 0,    // a revert operation exists (munmap reverts mmap)
+  kIdempotent,        // "no reversion needed": call does not modify app state
+  kDeferrable,        // effects can be postponed until commit (free())
+  kStateRestore,      // reversible iff pre-call state is checkpointed
+  kIrrecoverable,     // externally visible side effects (write, send)
+};
+
+constexpr int kRecoverabilityClassCount = 5;
+
+std::string_view recoverability_name(Recoverability r);
+
+/// The fault to inject at a call site: what the call "returns" and the errno
+/// it sets, per its interface documentation.
+struct InjectedError {
+  std::intptr_t return_value;  // e.g. -1, or 0 for pointer-returning calls
+  int errno_value;             // e.g. EINVAL
+};
+
+/// One catalog entry.
+struct LibFunctionSpec {
+  std::string_view name;
+  Recoverability recoverability;
+  /// True when the function reports errors via its return value (and callers
+  /// conventionally check them) — the precondition for fault-injection-based
+  /// execution diversion.
+  bool divertible;
+  InjectedError error;
+  std::string_view note;  // compensation / semantics summary
+};
+
+/// Immutable process-wide catalog (the Library Interface Analyzer's output).
+class LibraryCatalog {
+ public:
+  static const LibraryCatalog& instance();
+
+  /// Lookup by function name; nullptr when the function is not modeled.
+  const LibFunctionSpec* find(std::string_view name) const;
+
+  std::span<const LibFunctionSpec> all() const;
+
+  /// Table II cell: number of functions in `r` with the given divertibility.
+  int count(Recoverability r, bool divertible) const;
+
+  /// A function is usable for fault-injection recovery when it is divertible
+  /// and its effects can be compensated (any class except irrecoverable).
+  static bool usable_for_recovery(const LibFunctionSpec& spec) {
+    return spec.divertible &&
+           spec.recoverability != Recoverability::kIrrecoverable;
+  }
+
+ private:
+  LibraryCatalog() = default;
+};
+
+}  // namespace fir

@@ -1,0 +1,35 @@
+#include "mem/store_gate.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fir {
+
+StoreRecorder* StoreGate::recorder_ = nullptr;
+StoreGate::AbortHook StoreGate::abort_hook_ = nullptr;
+void* StoreGate::abort_ctx_ = nullptr;
+
+StoreRecorder* StoreGate::set_recorder(StoreRecorder* recorder) {
+  StoreRecorder* prev = recorder_;
+  recorder_ = recorder;
+  return prev;
+}
+
+void StoreGate::set_abort_hook(AbortHook hook, void* ctx) {
+  abort_hook_ = hook;
+  abort_ctx_ = ctx;
+}
+
+void StoreGate::fire_abort() {
+  if (abort_hook_ != nullptr) {
+    abort_hook_(abort_ctx_);
+    // The hook normally longjmps away; falling through means no transaction
+    // was active to absorb the abort.
+  }
+  std::fprintf(stderr,
+               "fir: store rejected with no abort hook installed — "
+               "tracked store outside a recoverable transaction\n");
+  std::abort();
+}
+
+}  // namespace fir

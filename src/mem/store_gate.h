@@ -1,0 +1,59 @@
+// Store gate: the single funnel through which every instrumented application
+// store flows.
+//
+// The paper's Checkpoint Manager compiles store instrumentation into the
+// application; here, tracked-memory primitives (mem/tracked.h) call
+// StoreGate::record() before each store. The gate forwards to the currently
+// active recorder — the HTM write-set model, the STM undo logger, or nothing
+// when execution is outside any crash transaction.
+#pragma once
+
+#include <cstddef>
+
+namespace fir {
+
+/// Recorder interface implemented by HtmContext and StmContext.
+class StoreRecorder {
+ public:
+  virtual ~StoreRecorder() = default;
+
+  /// Called before the bytes at [addr, addr+size) are overwritten.
+  /// Returns false when the recorder cannot absorb the store (simulated HTM
+  /// capacity overflow); the gate then fires the abort hook, which — when a
+  /// transaction is active — does not return.
+  virtual bool record_store(void* addr, std::size_t size) = 0;
+};
+
+/// Process-global store routing. Single-threaded by design (paper §VII).
+class StoreGate {
+ public:
+  using AbortHook = void (*)(void* ctx);
+
+  /// Installs `recorder` as the destination for subsequent stores.
+  /// Pass nullptr to disable tracking. Returns the previous recorder.
+  static StoreRecorder* set_recorder(StoreRecorder* recorder);
+  static StoreRecorder* recorder() { return recorder_; }
+
+  /// Hook invoked when a recorder rejects a store (HTM abort). Installed by
+  /// the transaction manager; typically longjmps back to the entry gate and
+  /// therefore does not return.
+  static void set_abort_hook(AbortHook hook, void* ctx);
+
+  /// Routes one store. Inlined into the tracked-memory fast path.
+  static void record(void* addr, std::size_t size) {
+    if (recorder_ != nullptr && !recorder_->record_store(addr, size)) {
+      fire_abort();
+    }
+  }
+
+  static bool tracking() { return recorder_ != nullptr; }
+
+ private:
+  static void fire_abort();
+
+  static StoreRecorder* recorder_;
+  static AbortHook abort_hook_;
+  static void* abort_ctx_;
+};
+
+}  // namespace fir

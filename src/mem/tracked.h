@@ -1,0 +1,84 @@
+// Tracked-memory primitives: the source-level equivalent of the paper's
+// compiler store instrumentation.
+//
+// Application state that must survive a rollback is written exclusively
+// through these helpers, which announce each store to the StoreGate before
+// mutating memory. This mirrors what FIRestarter's LLVM pass does to every
+// store instruction in the cloned STM code path.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "mem/store_gate.h"
+
+namespace fir {
+
+/// Records and performs a scalar store. T must be trivially copyable.
+template <typename T>
+inline void tx_store(T& dst, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "tracked stores require trivially copyable types");
+  StoreGate::record(&dst, sizeof(T));
+  dst = value;
+}
+
+/// Tracked memcpy into application state.
+inline void tx_memcpy(void* dst, const void* src, std::size_t size) {
+  if (size == 0) return;
+  StoreGate::record(dst, size);
+  std::memcpy(dst, src, size);
+}
+
+/// Tracked memset.
+inline void tx_memset(void* dst, int value, std::size_t size) {
+  if (size == 0) return;
+  StoreGate::record(dst, size);
+  std::memset(dst, value, size);
+}
+
+/// Read-modify-write helper: `tx_apply(counter, [](auto& c){ ++c; })`.
+template <typename T, typename Fn>
+inline void tx_apply(T& dst, Fn&& fn) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  StoreGate::record(&dst, sizeof(T));
+  fn(dst);
+}
+
+/// A scalar whose assignments are tracked. Reads are plain loads (undo-log
+/// designs only instrument stores). Usable as a drop-in for int/bool/pointer
+/// fields of application state structs.
+template <typename T>
+class tracked {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  tracked() = default;
+  /*implicit*/ tracked(T value) : value_(value) {}
+
+  tracked& operator=(T value) {
+    tx_store(value_, value);
+    return *this;
+  }
+  tracked& operator+=(T delta) {
+    tx_store(value_, static_cast<T>(value_ + delta));
+    return *this;
+  }
+  tracked& operator-=(T delta) {
+    tx_store(value_, static_cast<T>(value_ - delta));
+    return *this;
+  }
+  tracked& operator++() { return *this += T{1}; }
+  tracked& operator--() { return *this -= T{1}; }
+
+  operator T() const { return value_; }
+  T get() const { return value_; }
+
+  /// Untracked escape hatch for initialization before any transaction runs.
+  void init(T value) { value_ = value; }
+
+ private:
+  T value_{};
+};
+
+}  // namespace fir

@@ -1,0 +1,79 @@
+// TrackedBuffer: a fixed-capacity byte buffer whose mutations are tracked.
+//
+// The mini-servers use it for request/response assembly and connection
+// buffers — the kind of state that must be restored exactly when a crash
+// transaction rolls back.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "mem/tracked.h"
+
+namespace fir {
+
+/// Byte buffer with tracked writes. Capacity is fixed at construction; the
+/// backing storage address is stable (required: the undo log records raw
+/// addresses).
+class TrackedBuffer {
+ public:
+  explicit TrackedBuffer(std::size_t capacity)
+      : storage_(capacity), size_(0) {}
+
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t remaining() const { return capacity() - size_; }
+
+  const char* data() const { return storage_.data(); }
+  std::string_view view() const { return {storage_.data(), size_.get()}; }
+
+  /// Appends bytes; returns false (buffer unchanged) when they do not fit.
+  bool append(const void* src, std::size_t n) {
+    if (n > remaining()) return false;
+    tx_memcpy(storage_.data() + size_, src, n);
+    size_ += n;
+    return true;
+  }
+  bool append(std::string_view s) { return append(s.data(), s.size()); }
+  bool push_back(char c) { return append(&c, 1); }
+
+  /// Overwrites [offset, offset+n). Precondition: range within size().
+  void overwrite(std::size_t offset, const void* src, std::size_t n) {
+    assert(offset + n <= size_);
+    tx_memcpy(storage_.data() + offset, src, n);
+  }
+
+  /// Drops all contents (tracked, so rollback restores the old length —
+  /// the bytes themselves are restored by subsequent appends' undo records).
+  void clear() { size_ = 0; }
+
+  /// Truncates to `n` bytes. Precondition: n <= size().
+  void resize_down(std::size_t n) {
+    assert(n <= size_);
+    size_ = n;
+  }
+
+  /// Removes `n` bytes from the front (consume pattern for parse loops).
+  /// O(size) move; buffers here are small and this mirrors how the
+  /// mini-servers consume request bytes.
+  void consume(std::size_t n) {
+    assert(n <= size_);
+    const std::size_t rest = size_ - n;
+    if (rest > 0) {
+      // memmove semantics with tracking: save destination region first.
+      StoreGate::record(storage_.data(), rest);
+      std::memmove(storage_.data(), storage_.data() + n, rest);
+    }
+    size_ = rest;
+  }
+
+ private:
+  std::vector<char> storage_;  // address-stable; never resized after ctor
+  tracked<std::size_t> size_;
+};
+
+}  // namespace fir

@@ -1,0 +1,176 @@
+// TrackedHashMap: an open-addressing hash map over POD keys/values whose
+// every mutation flows through the store gate.
+//
+// minikv (the Redis-shaped server) keeps its keyspace here so that a crash
+// mid-SET rolls the map back to a consistent pre-transaction state. Standard
+// containers cannot be used for rollback-able state: their node allocations
+// and internal pointer writes bypass the instrumentation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "mem/tracked.h"
+
+namespace fir {
+
+/// Fixed-capacity string key/value slot types for TrackedHashMap.
+template <std::size_t N>
+struct FixedString {
+  char data[N];
+  std::uint32_t len;
+
+  static std::optional<FixedString> make(std::string_view s) {
+    if (s.size() > N) return std::nullopt;
+    FixedString f{};
+    std::memcpy(f.data, s.data(), s.size());
+    f.len = static_cast<std::uint32_t>(s.size());
+    return f;
+  }
+  std::string_view view() const { return {data, len}; }
+  bool equals(std::string_view s) const { return view() == s; }
+};
+
+/// Open-addressing (linear probing) map with tombstones. Capacity is fixed
+/// at construction (address-stable storage, as the undo log requires).
+/// K and V must be trivially copyable.
+template <typename K, typename V>
+class TrackedHashMap {
+  static_assert(std::is_trivially_copyable_v<K>);
+  static_assert(std::is_trivially_copyable_v<V>);
+
+ public:
+  /// `capacity` is rounded up to a power of two; the map holds at most
+  /// capacity * kMaxLoadPercent / 100 entries.
+  explicit TrackedHashMap(std::size_t capacity) {
+    std::size_t cap = 16;
+    while (cap < capacity) cap *= 2;
+    slots_.resize(cap);
+    size_.init(0);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  /// Entries the map will accept before reporting exhaustion.
+  std::size_t max_size() const { return capacity() * kMaxLoadPercent / 100; }
+  /// Resident bytes of the slot array (memory accounting).
+  std::size_t footprint_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+  /// Inserts or overwrites. Returns false when the map is full (the caller —
+  /// a server request handler — treats this like an allocation failure).
+  bool put(std::string_view key, const K& k, const V& v) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = hash(key) & mask;
+    std::size_t first_tombstone = kNoSlot;
+    for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+      Slot& s = slots_[idx];
+      if (s.state == kEmpty) {
+        if (size_ >= max_size()) return false;
+        Slot& dst =
+            first_tombstone == kNoSlot ? s : slots_[first_tombstone];
+        write_slot(dst, k, v);
+        size_ += 1;
+        return true;
+      }
+      if (s.state == kTombstone) {
+        if (first_tombstone == kNoSlot) first_tombstone = idx;
+      } else if (key_of(s.key).equals(key)) {
+        StoreGate::record(&s.value, sizeof(V));
+        s.value = v;
+        return true;
+      }
+      idx = (idx + 1) & mask;
+    }
+    // Table fully probed: only tombstones/full slots. Reuse a tombstone.
+    if (first_tombstone != kNoSlot && size_ < max_size()) {
+      write_slot(slots_[first_tombstone], k, v);
+      size_ += 1;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns a pointer to the stored value, or nullptr. The pointer stays
+  /// valid until the slot is erased (storage is never reallocated).
+  const V* get(std::string_view key) const {
+    const Slot* s = find_slot(key);
+    return s != nullptr ? &s->value : nullptr;
+  }
+
+  /// Erases a key. Returns true if it was present.
+  bool erase(std::string_view key) {
+    Slot* s = const_cast<Slot*>(find_slot(key));
+    if (s == nullptr) return false;
+    StoreGate::record(&s->state, sizeof(s->state));
+    s->state = kTombstone;
+    size_ -= 1;
+    return true;
+  }
+
+  bool contains(std::string_view key) const {
+    return find_slot(key) != nullptr;
+  }
+
+  /// Visits every live entry: fn(const K&, const V&).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.state == kFull) fn(s.key, s.value);
+  }
+
+ private:
+  static constexpr std::size_t kMaxLoadPercent = 70;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  enum SlotState : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  struct Slot {
+    K key;
+    V value;
+    std::uint8_t state = kEmpty;
+  };
+
+  // Keys are FixedString-like: expose view via key_of so the map can also be
+  // instantiated with plain POD keys that provide view().
+  static const K& key_of(const K& k) { return k; }
+
+  static std::size_t hash(std::string_view s) {
+    // FNV-1a.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  const Slot* find_slot(std::string_view key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = hash(key) & mask;
+    for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+      const Slot& s = slots_[idx];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kFull && s.key.equals(key)) return &s;
+      idx = (idx + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  void write_slot(Slot& s, const K& k, const V& v) {
+    StoreGate::record(&s, sizeof(Slot));
+    s.key = k;
+    s.value = v;
+    s.state = kFull;
+  }
+
+  std::vector<Slot> slots_;  // address-stable
+  tracked<std::size_t> size_;
+};
+
+}  // namespace fir

@@ -1,0 +1,80 @@
+// TrackedPool: fixed-size object pool with a tracked free list.
+//
+// The mini-servers allocate per-connection / per-request state from pools so
+// that (a) allocation itself is rollback-safe (the free-list head is tracked
+// state) and (b) object addresses are stable, as the undo log requires.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "mem/tracked.h"
+
+namespace fir {
+
+/// Pool of up to `capacity` T objects. T must be trivially copyable (its
+/// fields are restored byte-wise on rollback).
+template <typename T>
+class TrackedPool {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit TrackedPool(std::size_t capacity)
+      : slots_(capacity), next_free_(capacity) {
+    for (std::size_t i = 0; i < capacity; ++i)
+      next_free_[i] = static_cast<std::uint32_t>(i + 1);
+    head_.init(0);
+    live_.init(0);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t live() const { return live_; }
+  /// Resident bytes of the pool's backing storage (memory accounting).
+  std::size_t footprint_bytes() const {
+    return slots_.capacity() * sizeof(T) +
+           next_free_.capacity() * sizeof(std::uint32_t);
+  }
+  bool full() const { return head_ >= capacity(); }
+
+  /// Allocates a zero-initialized object; nullptr when exhausted.
+  T* alloc() {
+    const std::size_t idx = head_;
+    if (idx >= capacity()) return nullptr;
+    head_ = next_free_[idx];
+    live_ += 1;
+    T* obj = &slots_[idx];
+    tx_memset(obj, 0, sizeof(T));
+    return obj;
+  }
+
+  /// Returns an object to the pool. Precondition: obj came from this pool
+  /// and is currently live.
+  void release(T* obj) {
+    const std::size_t idx = index_of(obj);
+    tx_store(next_free_[idx], static_cast<std::uint32_t>(head_.get()));
+    head_ = static_cast<std::uint32_t>(idx);
+    live_ -= 1;
+  }
+
+  /// Index of a pool object (stable identifier for logging).
+  std::size_t index_of(const T* obj) const {
+    assert(obj >= slots_.data() && obj < slots_.data() + slots_.size());
+    return static_cast<std::size_t>(obj - slots_.data());
+  }
+
+  T* at(std::size_t idx) {
+    assert(idx < slots_.size());
+    return &slots_[idx];
+  }
+
+ private:
+  std::vector<T> slots_;                 // address-stable
+  std::vector<std::uint32_t> next_free_; // tracked via tx_store on mutation
+  tracked<std::uint32_t> head_;
+  tracked<std::size_t> live_;
+};
+
+}  // namespace fir

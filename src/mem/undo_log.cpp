@@ -1,0 +1,49 @@
+#include "mem/undo_log.h"
+
+#include <cstring>
+
+namespace fir {
+
+UndoLog::UndoLog() {
+  entries_.reserve(256);
+  arena_.reserve(1024);
+}
+
+void UndoLog::record(void* addr, std::size_t size) {
+  Entry e;
+  e.addr = reinterpret_cast<std::uintptr_t>(addr);
+  e.size = static_cast<std::uint32_t>(size);
+  if (size <= kInlineBytes) {
+    std::memcpy(e.inline_data, addr, size);
+  } else {
+    e.arena_offset = arena_.size();
+    arena_.resize(arena_.size() + size);
+    std::memcpy(arena_.data() + e.arena_offset, addr, size);
+  }
+  entries_.push_back(e);
+  logged_bytes_ += size;
+}
+
+void UndoLog::rollback() {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    void* dst = reinterpret_cast<void*>(it->addr);
+    if (it->size <= kInlineBytes) {
+      std::memcpy(dst, it->inline_data, it->size);
+    } else {
+      std::memcpy(dst, arena_.data() + it->arena_offset, it->size);
+    }
+  }
+  clear();
+}
+
+void UndoLog::clear() {
+  entries_.clear();
+  arena_.clear();
+  logged_bytes_ = 0;
+}
+
+std::size_t UndoLog::footprint_bytes() const {
+  return entries_.capacity() * sizeof(Entry) + arena_.capacity();
+}
+
+}  // namespace fir

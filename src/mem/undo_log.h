@@ -1,0 +1,63 @@
+// Undo log: the rollback substrate shared by the STM checkpointing mode and
+// by the simulated-HTM write-set discard.
+//
+// Paper mapping (§IV-A): "we rely on a common undo log-based design, which
+// instruments the specified code region to track all the stores to memory and
+// save the old data in the undo log. To roll back, we walk the undo log in
+// reverse order and restore each modified memory location to its original
+// value."
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fir {
+
+/// Append-only log of (address, old bytes) pairs with reverse-order rollback.
+///
+/// Small stores (<= 16 bytes, the overwhelmingly common case) keep their old
+/// data inline in the entry; larger stores spill into a byte arena. The log
+/// is reused across transactions via clear() to avoid steady-state
+/// allocation.
+class UndoLog {
+ public:
+  UndoLog();
+
+  /// Saves the current contents of [addr, addr+size) so rollback() can
+  /// restore them. Call BEFORE performing the store.
+  void record(void* addr, std::size_t size);
+
+  /// Restores all recorded locations, newest first, and clears the log.
+  void rollback();
+
+  /// Discards the log without restoring (transaction committed).
+  void clear();
+
+  std::size_t entry_count() const { return entries_.size(); }
+  /// Total bytes of old data held (inline + arena) — drives the memory
+  /// overhead accounting of Fig. 9.
+  std::size_t logged_bytes() const { return logged_bytes_; }
+  /// Capacity currently reserved by the log's internal buffers.
+  std::size_t footprint_bytes() const;
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  static constexpr std::size_t kInlineBytes = 16;
+
+  struct Entry {
+    std::uintptr_t addr;
+    std::uint32_t size;
+    // Old data: inline when size <= kInlineBytes, else offset into arena_.
+    union {
+      std::uint8_t inline_data[kInlineBytes];
+      std::size_t arena_offset;
+    };
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint8_t> arena_;
+  std::size_t logged_bytes_ = 0;
+};
+
+}  // namespace fir

@@ -1,0 +1,91 @@
+#include "report/report.h"
+
+#include "common/table.h"
+
+namespace fir::report {
+
+std::string short_location(const std::string& location) {
+  const std::size_t slash = location.rfind('/');
+  return slash == std::string::npos ? location : location.substr(slash + 1);
+}
+
+std::string site_table(const SiteRegistry& sites) {
+  TextTable table;
+  table.set_header({"function", "site", "mode", "execs", "HTM aborts",
+                    "commits", "retries", "diverts", "recoverable"});
+  for (const SiteReportRow& row : site_report(sites)) {
+    // site_report() already filters to executed sites and sorts by
+    // activity; re-derive the gate fields from the registry.
+    const Site* site = nullptr;
+    for (const Site& candidate : sites.all()) {
+      if (candidate.function == row.function &&
+          candidate.location == row.location) {
+        site = &candidate;
+        break;
+      }
+    }
+    if (site == nullptr) continue;
+    table.add_row({row.function, short_location(row.location),
+                   site->gate.sticky_stm ? "STM" : "HTM",
+                   std::to_string(site->gate.executions),
+                   std::to_string(site->gate.htm_aborts),
+                   std::to_string(row.stats.commits),
+                   std::to_string(row.stats.retries),
+                   std::to_string(row.stats.diversions),
+                   row.recoverable ? "yes" : "NO"});
+  }
+  return table.render();
+}
+
+std::string recovery_timeline(const TxManager& mgr) {
+  TextTable table;
+  table.set_header({"#", "site", "signal", "action", "latency us"});
+  std::size_t index = 0;
+  for (const RecoveryEvent& event : mgr.recovery_log()) {
+    const Site& site = mgr.sites()[event.site];
+    const char* action = "retry";
+    if (event.action == RecoveryEvent::Action::kDivert) action = "divert";
+    if (event.action == RecoveryEvent::Action::kFatal) action = "FATAL";
+    table.add_row({std::to_string(index++),
+                   site.function + " @ " + short_location(site.location),
+                   crash_kind_name(event.kind), action,
+                   format_double(event.latency_seconds * 1e6, 1)});
+  }
+  return table.render();
+}
+
+std::string campaign_table(const CampaignResult& result) {
+  TextTable table;
+  table.set_header({"marker", "site", "fault", "triggered", "crashed",
+                    "outcome"});
+  for (const ExperimentRecord& e : result.experiments) {
+    const char* outcome = "no effect";
+    if (e.crashed) outcome = e.recovered ? "RECOVERED" : "fatal";
+    table.add_row({e.marker_name, short_location(e.marker_location),
+                   fault_type_name(e.fault), e.triggered ? "yes" : "no",
+                   e.crashed ? "yes" : "no", outcome});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(result.injected()) + " injected",
+                 "", std::to_string(result.triggered()),
+                 std::to_string(result.crashes()),
+                 std::to_string(result.recovered()) + " recovered / " +
+                     std::to_string(result.fatal()) + " fatal"});
+  return table.render();
+}
+
+std::string surface_block(const SurfaceReport& report) {
+  TextTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"unique transactions",
+                 std::to_string(report.unique_transactions)});
+  table.add_row({"embedded libcall sites",
+                 std::to_string(report.embedded_libcall_sites)});
+  table.add_row({"irrecoverable transactions",
+                 std::to_string(report.irrecoverable_transactions)});
+  table.add_row({"recoverable surface",
+                 format_percent(report.recoverable_fraction(), 1)});
+  return table.render();
+}
+
+}  // namespace fir::report

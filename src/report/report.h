@@ -1,0 +1,36 @@
+// Human-readable reports over the recovery runtime's introspection data.
+//
+// The bench binaries and examples all need the same few renderings: the
+// per-site transaction table (which sites ran, under which mechanism, with
+// what outcomes), the recovery-event timeline, campaign summaries, and the
+// Table III surface block. Centralizing them keeps the output format
+// consistent and testable.
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/tx_manager.h"
+#include "workload/campaign.h"
+
+namespace fir::report {
+
+/// Per-site table: function, location (basename:line), gate mode, lifetime
+/// executions, HTM aborts, commits, retries, diversions, recoverable flag.
+/// Sites that never executed are omitted. Sorted most-active first.
+std::string site_table(const SiteRegistry& sites);
+
+/// Recovery-event timeline: one row per rollback episode with the site,
+/// signal, action taken, and latency.
+std::string recovery_timeline(const TxManager& mgr);
+
+/// Campaign detail: one row per experiment with its outcome.
+std::string campaign_table(const CampaignResult& result);
+
+/// The Table III block for one server run.
+std::string surface_block(const SurfaceReport& report);
+
+/// "file.cpp:123" from a full path location.
+std::string short_location(const std::string& location);
+
+}  // namespace fir::report

@@ -1,0 +1,69 @@
+// Software transactional memory: the undo-log checkpointing mode.
+//
+// Paper mapping (§IV-A): the STM clone of each code region logs every store's
+// old value in an undo log; rollback walks the log in reverse. Register and
+// stack-pointer restoration is performed by the transaction entry gate's
+// setjmp/longjmp protocol (core/gate.h) — this module is responsible for
+// memory contents only.
+//
+// STM always succeeds (no capacity limit), which is why FIRestarter uses it
+// as the fallback that maximizes the recovery surface; it is also the slow
+// path: EVERY store pays for an undo-log append, versus once-per-line for the
+// HTM model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/store_gate.h"
+#include "mem/undo_log.h"
+
+namespace fir {
+
+/// Cumulative STM statistics.
+struct StmStats {
+  std::uint64_t begun = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t bytes_logged = 0;
+  /// High-water mark of undo-log footprint — feeds the Fig. 9 memory
+  /// accounting.
+  std::size_t peak_log_bytes = 0;
+};
+
+/// One software-transaction engine. Protocol mirrors HtmContext:
+/// begin(); stores via record_store(); commit() or rollback().
+class StmContext final : public StoreRecorder {
+ public:
+  /// Starts a transaction. Precondition: none active.
+  void begin();
+
+  /// Commits: discards the undo log.
+  void commit();
+
+  /// Rolls back: restores every logged location, newest first.
+  void rollback();
+
+  /// StoreRecorder: logs the old contents. Never rejects a store.
+  bool record_store(void* addr, std::size_t size) override;
+
+  bool active() const { return active_; }
+  std::size_t log_entries() const { return log_.entry_count(); }
+  std::size_t log_bytes() const { return log_.logged_bytes(); }
+  /// Bytes currently reserved by the log's buffers (capacity, not size).
+  std::size_t footprint_bytes() const { return log_.footprint_bytes(); }
+
+  const StmStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = StmStats{}; }
+
+ private:
+  /// Store-instruction granularity of the modeled instrumentation.
+  static constexpr std::size_t kWordBytes = 8;
+
+  UndoLog log_;
+  bool active_ = false;
+  StmStats stats_;
+};
+
+}  // namespace fir

@@ -1,0 +1,110 @@
+#include "workload/campaign.h"
+
+namespace fir {
+
+int CampaignResult::triggered() const {
+  int n = 0;
+  for (const auto& e : experiments) n += e.triggered ? 1 : 0;
+  return n;
+}
+
+int CampaignResult::crashes() const {
+  int n = 0;
+  for (const auto& e : experiments) n += e.crashed ? 1 : 0;
+  return n;
+}
+
+int CampaignResult::recovered() const {
+  int n = 0;
+  for (const auto& e : experiments)
+    n += (e.crashed && e.recovered) ? 1 : 0;
+  return n;
+}
+
+int CampaignResult::fatal() const {
+  int n = 0;
+  for (const auto& e : experiments) n += e.fatal ? 1 : 0;
+  return n;
+}
+
+std::vector<Marker> profile_markers(const ServerFactory& factory,
+                                    int suite_iterations,
+                                    bool non_critical_only) {
+  std::unique_ptr<Server> server = factory();
+  server->fx().hsfi().set_profiling(true);
+  run_suite_for(*server, suite_iterations);
+  std::vector<Marker> out;
+  for (const MarkerId id :
+       server->fx().hsfi().executed_markers(non_critical_only)) {
+    out.push_back(server->fx().hsfi().markers()[id]);
+  }
+  server->stop();
+  return out;
+}
+
+namespace {
+
+/// Finds the marker with the given identity in a fresh server instance
+/// (marker ids differ between instances; name+location are stable).
+MarkerId resolve_marker(Hsfi& hsfi, const Marker& wanted) {
+  for (const Marker& m : hsfi.markers()) {
+    if (m.name == wanted.name && m.location == wanted.location) return m.id;
+  }
+  return kInvalidMarker;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const ServerFactory& factory, FaultType type,
+                            int suite_iterations, std::uint64_t seed) {
+  CampaignResult result;
+  const std::vector<Marker> targets = profile_markers(factory,
+                                                      suite_iterations);
+  for (const Marker& target : targets) {
+    ExperimentRecord record;
+    record.marker_name = target.name;
+    record.marker_location = target.location;
+    record.fault = type;
+
+    std::unique_ptr<Server> server = factory();
+    // Warm-up pass registers the markers in this instance (the paper
+    // instruments statically; our markers intern lazily).
+    run_suite_for(*server, 1);
+    const MarkerId id = resolve_marker(server->fx().hsfi(), target);
+    if (id == kInvalidMarker) {
+      // Marker did not re-register (path not taken this run): skip.
+      result.experiments.push_back(record);
+      server->stop();
+      continue;
+    }
+    server->fx().mgr().reset_stats();
+    server->fx().hsfi().arm(FaultPlan{id, type, CrashKind::kSegv, seed});
+
+    const WorkloadResult wl = run_suite_for(*server, suite_iterations);
+
+    record.triggered = server->fx().hsfi().fired();
+    record.fatal = wl.server_died;
+    for (const RecoveryEvent& event : server->fx().mgr().recovery_log()) {
+      record.crashed = true;
+      if (event.action == RecoveryEvent::Action::kDivert)
+        ++record.diversions;
+      if (event.action == RecoveryEvent::Action::kRetry) ++record.retries;
+    }
+    if (wl.server_died) record.crashed = true;
+    // Recovered (paper §VI-B: "retaining both the runtime state and
+    // availability"): the fault crashed, the server survived the faulty
+    // workload, and — with the fault gone — it still serves successes.
+    server->fx().hsfi().disarm();
+    bool healthy = false;
+    if (!wl.server_died) {
+      const WorkloadResult health = run_suite_for(*server, 1);
+      healthy = !health.server_died && health.responses_2xx > 0;
+    }
+    record.recovered = record.crashed && !wl.server_died && healthy;
+    server->stop();
+    result.experiments.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace fir

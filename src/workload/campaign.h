@@ -1,0 +1,64 @@
+// Fault-injection campaigns (§VI-B, Table IV).
+//
+// Protocol, mirroring the paper's use of HSFI:
+//   1. PROFILE: run the server's standard test suite with marker profiling
+//      on, recording which fault markers the workload executes.
+//   2. For every executed non-critical marker, run ONE EXPERIMENT: a fresh
+//      server instance, the same workload, and exactly one fault armed at
+//      that marker (persistent fatal, transient fatal, or latent).
+//   3. Classify the outcome: did the fault trigger, did it crash, did
+//      FIRestarter recover (server alive AND still serving successes), or
+//      did the run end in the intended abort (irrecoverable transaction).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/server.h"
+#include "hsfi/hsfi.h"
+#include "workload/drivers.h"
+
+namespace fir {
+
+/// One experiment's outcome.
+struct ExperimentRecord {
+  std::string marker_name;
+  std::string marker_location;
+  FaultType fault = FaultType::kPersistentCrash;
+  bool triggered = false;  // the armed fault fired at least once
+  bool crashed = false;    // a crash reached the recovery runtime
+  bool recovered = false;  // server survived and kept serving successes
+  bool fatal = false;      // FatalCrashError ended the run
+  std::uint64_t diversions = 0;
+  std::uint64_t retries = 0;
+};
+
+/// Aggregate Table IV cell values.
+struct CampaignResult {
+  std::vector<ExperimentRecord> experiments;
+
+  int injected() const { return static_cast<int>(experiments.size()); }
+  int triggered() const;
+  int crashes() const;
+  int recovered() const;
+  int fatal() const;
+};
+
+/// Builds a fresh protected server ready to serve (start() already called).
+using ServerFactory = std::function<std::unique_ptr<Server>()>;
+
+/// Identifies the workload-executed non-critical markers of `factory`'s
+/// server under its standard suite (the campaign's target set).
+std::vector<Marker> profile_markers(const ServerFactory& factory,
+                                    int suite_iterations = 1,
+                                    bool non_critical_only = true);
+
+/// Runs one experiment per target marker with faults of `type`.
+/// `suite_iterations` controls workload length per run.
+CampaignResult run_campaign(const ServerFactory& factory, FaultType type,
+                            int suite_iterations = 1,
+                            std::uint64_t seed = 1);
+
+}  // namespace fir

@@ -1,0 +1,521 @@
+#include "workload/drivers.h"
+
+#include "common/clock.h"
+#include "core/crash.h"
+#include "workload/http_client.h"
+#include "workload/kv_client.h"
+#include "workload/pg_client.h"
+
+namespace fir {
+namespace {
+
+/// Runs one server pass, translating an escaped FatalCrashError into the
+/// result. Returns false when the server died.
+bool step_server(Server& server, WorkloadResult& result) {
+  try {
+    server.run_once();
+    return true;
+  } catch (const FatalCrashError& e) {
+    result.server_died = true;
+    result.death_reason = e.what();
+    return false;
+  }
+}
+
+void count_status(int status, WorkloadResult& result) {
+  if (status >= 200 && status < 400) {
+    ++result.responses_2xx;
+  } else if (status >= 400 && status < 500) {
+    ++result.responses_4xx;
+  } else {
+    ++result.responses_5xx;
+  }
+}
+
+/// Sends one scripted request and pumps the server until the response
+/// arrives (bounded by a step budget so a dead connection cannot hang the
+/// driver). Returns false when the server died.
+bool exchange(Server& server, HttpClient& client, const HttpRequestSpec& spec,
+              WorkloadResult& result) {
+  if (spec.fresh_connection) client.close();
+  if (!client.connected() && !client.connect()) {
+    ++result.transport_failures;
+    // The listener may need a pass to drain the backlog.
+    return step_server(server, result);
+  }
+  if (!client.send_request(spec.method, spec.target, spec.body,
+                           /*keep_alive=*/true, spec.extra_headers)) {
+    ++result.transport_failures;
+    client.close();
+    return true;
+  }
+  ++result.requests_sent;
+  HttpClient::Response response;
+  for (int steps = 0; steps < 16; ++steps) {
+    if (!step_server(server, result)) return false;
+    const int got = client.try_read_response(response);
+    if (got == 1) {
+      count_status(response.status, result);
+      return true;
+    }
+    if (got == -1) {
+      ++result.transport_failures;
+      client.close();
+      return true;
+    }
+  }
+  ++result.transport_failures;  // no response within budget
+  client.close();
+  return true;
+}
+
+}  // namespace
+
+std::vector<HttpRequestSpec> standard_http_suite(std::string_view server) {
+  std::vector<HttpRequestSpec> suite = {
+      {"GET", "/", "", false, ""},
+      {"GET", "/index.html", "", false, ""},
+      {"HEAD", "/index.html", "", false, ""},
+      {"GET", "/no/such/file.html", "", false, ""},
+      {"GET", "/../etc/passwd", "", false, ""},
+      {"POST", "/index.html", "payload", false, ""},
+      {"GET", "/%69ndex.html", "", false, ""},
+  };
+  if (server == "miniginx") {
+    suite.push_back({"GET", "/about.txt", "", false, ""});
+    suite.push_back({"GET", "/large.bin", "", false, ""});
+    suite.push_back({"GET", "/page.shtml", "", false, ""});
+    suite.push_back({"GET", "/style.css", "", true, ""});
+    suite.push_back({"GET", "/api.json", "", false, ""});
+    HttpRequestSpec range;
+    range.method = "GET";
+    range.target = "/large.bin";
+    range.extra_headers = "Range: bytes=0-127\r\n";
+    suite.push_back(range);
+    range.target = "/about.txt";
+    range.extra_headers = "Range: bytes=99999-\r\n";  // 416 probe
+    suite.push_back(range);
+  } else if (server == "apachette") {
+    suite.push_back({"GET", "/manual.txt", "", false, ""});
+    suite.push_back({"GET", "/data.bin", "", false, ""});
+    suite.push_back({"GET", "/private/secret.txt", "", false, ""});  // denied
+    suite.push_back({"GET", "/index.html?cgi=hello+world", "", false, ""});
+    suite.push_back({"GET", "/index.html?cgi=%41%42", "", true, ""});
+    suite.push_back({"GET", "/server-status", "", false, ""});
+  } else if (server == "littlehttpd") {
+    suite.push_back({"GET", "/readme.txt", "", false, ""});
+    suite.push_back({"GET", "/blob.bin", "", false, ""});
+    suite.push_back({"PROPFIND", "/dav/notes.txt", "", false, ""});
+    suite.push_back({"PUT", "/dav/upload.txt", "uploaded-content", false, ""});
+    suite.push_back({"GET", "/dav/upload.txt", "", false, ""});
+    suite.push_back({"DELETE", "/dav/upload.txt", "", false, ""});
+    suite.push_back({"PROPFIND", "/dav/gone.txt", "", true, ""});
+    suite.push_back({"OPTIONS", "/", "", false, ""});
+    suite.push_back({"MKCOL", "/dav/col-a", "", false, ""});
+    suite.push_back({"MKCOL", "/dav/col-a", "", false, ""});  // 405 duplicate
+  }
+  return suite;
+}
+
+WorkloadResult run_http_suite(Server& server, int iterations) {
+  WorkloadResult result;
+  const auto suite = standard_http_suite(server.name());
+  CpuStopWatch watch;
+  HttpClient client(server.fx().env(), server.port());
+  for (int it = 0; it < iterations && !result.server_died; ++it) {
+    for (const HttpRequestSpec& spec : suite) {
+      if (!exchange(server, client, spec, result)) break;
+    }
+  }
+  client.close();
+  if (!result.server_died) step_server(server, result);  // drain closes
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+WorkloadResult run_http_load(Server& server, int total_requests,
+                             int concurrency, Rng& rng) {
+  WorkloadResult result;
+  // The GET mix of the suite (load generators do not send error probes).
+  // Like ApacheBench/wrk runs, the load is dominated by small hot pages;
+  // large objects appear but are a small fraction of requests.
+  std::vector<HttpRequestSpec> mix;
+  for (const auto& spec : standard_http_suite(server.name())) {
+    if (spec.method == "GET" && spec.target.find("..") == std::string::npos &&
+        spec.target.find("no/such") == std::string::npos &&
+        spec.target.find("private") == std::string::npos) {
+      const bool large = spec.target.find(".bin") != std::string::npos;
+      const int copies = large ? 1 : 6;
+      for (int c = 0; c < copies; ++c) mix.push_back(spec);
+    }
+  }
+  std::vector<HttpClient> clients;
+  clients.reserve(static_cast<std::size_t>(concurrency));
+  for (int i = 0; i < concurrency; ++i) {
+    clients.emplace_back(server.fx().env(), server.port());
+    clients.back().connect();
+  }
+  if (!step_server(server, result)) return result;  // drain accept backlog
+
+  CpuStopWatch watch;
+  std::vector<int> in_flight(static_cast<std::size_t>(concurrency), 0);
+  std::uint64_t completed = 0;
+  std::uint64_t issued = 0;
+  int stall_passes = 0;
+  while (completed < static_cast<std::uint64_t>(total_requests) &&
+         !result.server_died && stall_passes < 64) {
+    bool progressed = false;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      HttpClient& client = clients[c];
+      if (!client.connected()) {
+        if (!client.connect()) continue;
+        in_flight[c] = 0;
+      }
+      if (in_flight[c] == 0 &&
+          issued < static_cast<std::uint64_t>(total_requests)) {
+        const auto& spec = mix[rng.index(mix.size())];
+        if (client.send_request(spec.method, spec.target, spec.body)) {
+          in_flight[c] = 1;
+          ++issued;
+          ++result.requests_sent;
+          progressed = true;
+        } else {
+          ++result.transport_failures;
+          client.close();
+        }
+      }
+    }
+    if (!step_server(server, result)) break;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (in_flight[c] == 0) continue;
+      HttpClient::Response response;
+      const int got = clients[c].try_read_response(response);
+      if (got == 1) {
+        count_status(response.status, result);
+        in_flight[c] = 0;
+        ++completed;
+        progressed = true;
+      } else if (got == -1) {
+        ++result.transport_failures;
+        clients[c].close();
+        in_flight[c] = 0;
+      }
+    }
+    stall_passes = progressed ? 0 : stall_passes + 1;
+  }
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+// --- minikv -----------------------------------------------------------------
+
+namespace {
+
+bool kv_exchange(Minikv& server, KvClient& client, std::string_view command,
+                 WorkloadResult& result) {
+  if (!client.connected() && !client.connect()) {
+    ++result.transport_failures;
+    return step_server(server, result);
+  }
+  if (!client.send_command(command)) {
+    ++result.transport_failures;
+    client.close();
+    return true;
+  }
+  ++result.requests_sent;
+  std::string reply;
+  for (int steps = 0; steps < 16; ++steps) {
+    if (!step_server(server, result)) return false;
+    const int got = client.try_read_reply(reply);
+    if (got == 1) {
+      if (!reply.empty() && reply[0] == '-') {
+        ++result.responses_5xx;
+      } else {
+        ++result.responses_2xx;
+      }
+      return true;
+    }
+    if (got == -1) {
+      ++result.transport_failures;
+      client.close();
+      return true;
+    }
+  }
+  ++result.transport_failures;
+  client.close();
+  return true;
+}
+
+}  // namespace
+
+WorkloadResult run_kv_suite(Minikv& server, int iterations) {
+  WorkloadResult result;
+  CpuStopWatch watch;
+  KvClient client(server.fx().env(), server.port());
+  for (int it = 0; it < iterations && !result.server_died; ++it) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "SET key:%d value-%d", it, it);
+    const char* script[] = {
+        "PING", buf, "GET key:0", "EXISTS key:0", "DBSIZE",
+        "INCR counter", "GET counter", "DEL key:0", "GET key:0",
+        "BOGUS command", "SET toolongkey-"
+        "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa v",
+        "APPEND journal entry;", "MGET key:1 nosuch counter",
+        "EXPIRE counter 60", "TTL counter", "PERSIST counter",
+        "KEYS", "SAVE",
+    };
+    for (const char* cmd : script) {
+      if (!kv_exchange(server, client, cmd, result)) break;
+    }
+  }
+  client.close();
+  if (!result.server_died) step_server(server, result);
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+WorkloadResult run_kv_load(Minikv& server, int total_ops, int concurrency,
+                           Rng& rng) {
+  WorkloadResult result;
+  std::vector<KvClient> clients;
+  for (int i = 0; i < concurrency; ++i) {
+    clients.emplace_back(server.fx().env(), server.port());
+    clients.back().connect();
+  }
+  if (!step_server(server, result)) return result;
+
+  CpuStopWatch watch;
+  int issued = 0;
+  int stall = 0;
+  std::vector<int> in_flight(static_cast<std::size_t>(concurrency), 0);
+  std::uint64_t completed = 0;
+  while (completed < static_cast<std::uint64_t>(total_ops) &&
+         !result.server_died && stall < 64) {
+    bool progressed = false;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (!clients[c].connected() && !clients[c].connect()) continue;
+      if (in_flight[c] == 0 && issued < total_ops) {
+        char cmd[128];
+        const std::uint64_t key = rng.next_below(512);
+        if (rng.chance(0.5)) {
+          std::snprintf(cmd, sizeof(cmd), "SET key:%llu v%llu",
+                        static_cast<unsigned long long>(key),
+                        static_cast<unsigned long long>(rng.next_below(1000)));
+        } else {
+          std::snprintf(cmd, sizeof(cmd), "GET key:%llu",
+                        static_cast<unsigned long long>(key));
+        }
+        if (clients[c].send_command(cmd)) {
+          in_flight[c] = 1;
+          ++issued;
+          ++result.requests_sent;
+          progressed = true;
+        } else {
+          clients[c].close();
+          ++result.transport_failures;
+        }
+      }
+    }
+    if (!step_server(server, result)) break;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (in_flight[c] == 0) continue;
+      std::string reply;
+      const int got = clients[c].try_read_reply(reply);
+      if (got == 1) {
+        ++result.responses_2xx;
+        in_flight[c] = 0;
+        ++completed;
+        progressed = true;
+      } else if (got == -1) {
+        ++result.transport_failures;
+        clients[c].close();
+        in_flight[c] = 0;
+      }
+    }
+    stall = progressed ? 0 : stall + 1;
+  }
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+// --- minipg -----------------------------------------------------------------
+
+namespace {
+
+bool pg_exchange(Minipg& server, PgClient& client, std::string_view sql,
+                 WorkloadResult& result) {
+  if (!client.connected() && !client.connect()) {
+    ++result.transport_failures;
+    return step_server(server, result);
+  }
+  if (!client.send_query(sql)) {
+    ++result.transport_failures;
+    client.close();
+    return true;
+  }
+  ++result.requests_sent;
+  std::string reply;
+  for (int steps = 0; steps < 16; ++steps) {
+    if (!step_server(server, result)) return false;
+    const int got = client.try_read_result(reply);
+    if (got == 1) {
+      if (reply.rfind("ERROR", 0) == 0) {
+        ++result.responses_4xx;
+      } else {
+        ++result.responses_2xx;
+      }
+      return true;
+    }
+    if (got == -1) {
+      ++result.transport_failures;
+      client.close();
+      return true;
+    }
+  }
+  ++result.transport_failures;
+  client.close();
+  return true;
+}
+
+}  // namespace
+
+WorkloadResult run_pg_suite(Minipg& server, int iterations) {
+  WorkloadResult result;
+  CpuStopWatch watch;
+  PgClient client(server.fx().env(), server.port());
+  bool created = false;
+  for (int it = 0; it < iterations && !result.server_died; ++it) {
+    if (!created) {
+      pg_exchange(server, client, "CREATE TABLE accounts", result);
+      pg_exchange(server, client, "CREATE TABLE accounts", result);  // dup
+      created = true;
+    }
+    char q1[128], q2[128], q3[128];
+    std::snprintf(q1, sizeof(q1), "INSERT accounts user%d balance-%d", it, it);
+    std::snprintf(q2, sizeof(q2), "SELECT accounts user%d", it);
+    std::snprintf(q3, sizeof(q3), "UPDATE accounts user%d balance-%d", it,
+                  it * 2);
+    const char* script[] = {
+        "BEGIN", q1, q2, q3, "COMMIT",
+        "SELECT accounts no_such_user",
+        "SELECT missing_table key",
+        "DROP something",
+        "DROP TABLE missing_table",
+        "SCAN accounts",
+        "VACUUM",
+        "DELETE accounts user0",
+        "CHECKPOINT",
+    };
+    for (const char* sql : script) {
+      if (!pg_exchange(server, client, sql, result)) break;
+    }
+  }
+  client.close();
+  if (!result.server_died) step_server(server, result);
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+WorkloadResult run_pg_load(Minipg& server, int total_ops, int concurrency,
+                           Rng& rng) {
+  WorkloadResult result;
+  std::vector<PgClient> clients;
+  for (int i = 0; i < concurrency; ++i) {
+    clients.emplace_back(server.fx().env(), server.port());
+    clients.back().connect();
+  }
+  if (!step_server(server, result)) return result;
+  {
+    PgClient setup(server.fx().env(), server.port());
+    setup.connect();
+    if (!pg_exchange(server, setup, "CREATE TABLE bench", result))
+      return result;
+  }
+
+  CpuStopWatch watch;
+  int issued = 0;
+  int stall = 0;
+  std::vector<int> in_flight(static_cast<std::size_t>(concurrency), 0);
+  std::uint64_t completed = 0;
+  while (completed < static_cast<std::uint64_t>(total_ops) &&
+         !result.server_died && stall < 64) {
+    bool progressed = false;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (!clients[c].connected() && !clients[c].connect()) continue;
+      if (in_flight[c] == 0 && issued < total_ops) {
+        char sql[160];
+        const std::uint64_t key = rng.next_below(256);
+        const double dice = rng.next_double();
+        if (dice < 0.4) {
+          std::snprintf(sql, sizeof(sql), "UPDATE bench k%llu v%llu",
+                        static_cast<unsigned long long>(key),
+                        static_cast<unsigned long long>(rng.next()));
+        } else if (dice < 0.6) {
+          std::snprintf(sql, sizeof(sql), "INSERT bench k%llu v%llu",
+                        static_cast<unsigned long long>(key),
+                        static_cast<unsigned long long>(rng.next()));
+        } else {
+          std::snprintf(sql, sizeof(sql), "SELECT bench k%llu",
+                        static_cast<unsigned long long>(key));
+        }
+        if (clients[c].send_query(sql)) {
+          in_flight[c] = 1;
+          ++issued;
+          ++result.requests_sent;
+          progressed = true;
+        } else {
+          clients[c].close();
+          ++result.transport_failures;
+        }
+      }
+    }
+    if (!step_server(server, result)) break;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (in_flight[c] == 0) continue;
+      std::string reply;
+      const int got = clients[c].try_read_result(reply);
+      if (got == 1) {
+        if (reply.rfind("ERROR", 0) == 0) {
+          ++result.responses_4xx;
+        } else {
+          ++result.responses_2xx;
+        }
+        in_flight[c] = 0;
+        ++completed;
+        progressed = true;
+      } else if (got == -1) {
+        ++result.transport_failures;
+        clients[c].close();
+        in_flight[c] = 0;
+      }
+    }
+    stall = progressed ? 0 : stall + 1;
+  }
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+WorkloadResult run_suite_for(Server& server, int iterations) {
+  const std::string_view name = server.name();
+  if (name == "minikv")
+    return run_kv_suite(static_cast<Minikv&>(server), iterations);
+  if (name == "minipg")
+    return run_pg_suite(static_cast<Minipg&>(server), iterations);
+  return run_http_suite(server, iterations);
+}
+
+WorkloadResult run_load_for(Server& server, int total_ops, int concurrency,
+                            Rng& rng) {
+  const std::string_view name = server.name();
+  if (name == "minikv")
+    return run_kv_load(static_cast<Minikv&>(server), total_ops, concurrency,
+                       rng);
+  if (name == "minipg")
+    return run_pg_load(static_cast<Minipg&>(server), total_ops, concurrency,
+                       rng);
+  return run_http_load(server, total_ops, concurrency, rng);
+}
+
+}  // namespace fir

@@ -1,0 +1,79 @@
+// Workload drivers: the paper's "standard test suite" workloads and the
+// ApacheBench / wrk / redis-benchmark saturation loads, rebuilt over the
+// cooperative virtual network.
+//
+// Drivers step a server and its clients in lockstep: clients enqueue
+// request bytes, the server's run_once() drains everything ready, clients
+// drain replies. A FatalCrashError from the server ends the run and is
+// reported in the result (the fault-injection campaigns read it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/minikv.h"
+#include "apps/minipg.h"
+#include "apps/server.h"
+#include "common/rng.h"
+
+namespace fir {
+
+struct WorkloadResult {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t transport_failures = 0;  // broken/reset connections
+  bool server_died = false;              // FatalCrashError escaped run_once
+  std::string death_reason;
+  double wall_seconds = 0.0;
+
+  std::uint64_t responses_total() const {
+    return responses_2xx + responses_4xx + responses_5xx;
+  }
+  double throughput_rps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(responses_total()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// One scripted request of a test suite.
+struct HttpRequestSpec {
+  std::string method;
+  std::string target;
+  std::string body;
+  bool fresh_connection = false;  // tear down keep-alive before this one
+  /// Additional raw header lines, each "Name: value\r\n".
+  std::string extra_headers;
+};
+
+/// The per-server "standard test suite": a fixed script covering the
+/// server's features (static files, error paths, SSI / CGI / WebDAV, ...).
+std::vector<HttpRequestSpec> standard_http_suite(std::string_view server);
+
+/// Runs the scripted suite `iterations` times over keep-alive connections.
+WorkloadResult run_http_suite(Server& server, int iterations);
+
+/// wrk-style saturation: `concurrency` keep-alive clients issue
+/// `total_requests` requests drawn from the suite's GET mix.
+WorkloadResult run_http_load(Server& server, int total_requests,
+                             int concurrency, Rng& rng);
+
+/// minikv: SET/GET-heavy script (the paper's Redis SET/GET workload).
+WorkloadResult run_kv_suite(Minikv& server, int iterations);
+WorkloadResult run_kv_load(Minikv& server, int total_ops, int concurrency,
+                           Rng& rng);
+
+/// minipg: DDL + DML script and a pgbench-ish load.
+WorkloadResult run_pg_suite(Minipg& server, int iterations);
+WorkloadResult run_pg_load(Minipg& server, int total_ops, int concurrency,
+                           Rng& rng);
+
+/// Dispatches to the right suite/load by server name (bench convenience).
+WorkloadResult run_suite_for(Server& server, int iterations);
+WorkloadResult run_load_for(Server& server, int total_ops, int concurrency,
+                            Rng& rng);
+
+}  // namespace fir

@@ -1,0 +1,116 @@
+#include "workload/http_client.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace fir {
+
+bool HttpClient::connect() {
+  close();
+  fd_ = env_.connect_to(port_);
+  rx_.clear();
+  return fd_ >= 0;
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    env_.close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool HttpClient::send_request(std::string_view method,
+                              std::string_view target, std::string_view body,
+                              bool keep_alive,
+                              std::string_view extra_headers) {
+  if (fd_ < 0) return false;
+  char head[1024];
+  const int n = std::snprintf(
+      head, sizeof(head),
+      "%.*s %.*s HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Connection: %s\r\n"
+      "%.*sContent-Length: %zu\r\n"
+      "\r\n",
+      static_cast<int>(method.size()), method.data(),
+      static_cast<int>(target.size()), target.data(),
+      keep_alive ? "keep-alive" : "close",
+      static_cast<int>(extra_headers.size()), extra_headers.data(),
+      body.size());
+  if (n < 0) return false;
+  if (env_.send(fd_, head, static_cast<std::size_t>(n)) < 0) return false;
+  if (!body.empty() &&
+      env_.send(fd_, body.data(), body.size()) < 0)
+    return false;
+  return true;
+}
+
+int HttpClient::try_read_response(Response& out) {
+  if (fd_ < 0) return -1;
+  char buf[4096];
+  bool eof = false;
+  for (;;) {
+    const ssize_t r = env_.recv(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      rx_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && env_.last_errno() == EAGAIN) break;
+    if (r < 0) return -1;  // reset
+    eof = true;  // orderly close; parse what we have
+    break;
+  }
+
+  const std::size_t head_end = rx_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    // EOF without a parsable response: the connection is gone.
+    return eof ? -1 : 0;
+  }
+  // Status line: "HTTP/1.1 200 OK".
+  int status = 0;
+  if (rx_.size() >= 12 && rx_.compare(0, 5, "HTTP/") == 0) {
+    status = std::atoi(rx_.c_str() + 9);
+  }
+  // Content-Length.
+  std::size_t content_length = 0;
+  {
+    const std::string_view head(rx_.data(), head_end);
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+      std::size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      const std::string_view line = head.substr(pos, eol - pos);
+      if (line.size() > 15) {
+        // case-insensitive "content-length:"
+        bool match = true;
+        static constexpr std::string_view kKey = "content-length:";
+        for (std::size_t i = 0; i < kKey.size(); ++i) {
+          const char a = line[i] >= 'A' && line[i] <= 'Z'
+                             ? static_cast<char>(line[i] + 32)
+                             : line[i];
+          if (a != kKey[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          content_length = static_cast<std::size_t>(
+              std::atoll(line.data() + kKey.size()));
+        }
+      }
+      pos = eol + 2;
+    }
+  }
+  const std::size_t total = head_end + 4 + content_length;
+  if (rx_.size() < total) return 0;
+
+  out.status = status;
+  out.body = rx_.substr(head_end + 4, content_length);
+  out.keep_alive = rx_.find("Connection: close") > head_end;
+  rx_.erase(0, total);
+  return 1;
+}
+
+}  // namespace fir

@@ -1,0 +1,61 @@
+// HTTP client for driving the mini web servers over the virtual network.
+//
+// Runs unprotected (it models the remote benchmark machine — ApacheBench /
+// wrk in the paper); it talks to the same Env the server runs on and is
+// stepped cooperatively by the workload drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "env/env.h"
+
+namespace fir {
+
+class HttpClient {
+ public:
+  HttpClient(Env& env, std::uint16_t port) : env_(env), port_(port) {}
+  ~HttpClient() { close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept
+      : env_(other.env_), port_(other.port_), fd_(other.fd_),
+        rx_(std::move(other.rx_)) {
+    other.fd_ = -1;
+  }
+
+  /// Opens a connection; false on ECONNREFUSED/EMFILE.
+  bool connect();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one request (no body unless provided). Returns false when the
+  /// connection broke. `extra_headers` is raw header lines, each ending in
+  /// CRLF (e.g. "Range: bytes=0-99\r\n").
+  bool send_request(std::string_view method, std::string_view target,
+                    std::string_view body = {}, bool keep_alive = true,
+                    std::string_view extra_headers = {});
+
+  struct Response {
+    int status = 0;
+    std::string body;
+    bool keep_alive = true;
+  };
+
+  /// Drains one response if fully available. Returns:
+  ///   1  response parsed into `out`
+  ///   0  incomplete (caller should step the server and retry)
+  ///  -1  connection closed/reset without a (further) response
+  int try_read_response(Response& out);
+
+ private:
+  Env& env_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string rx_;
+};
+
+}  // namespace fir

@@ -1,0 +1,83 @@
+#include "workload/kv_client.h"
+
+#include <cerrno>
+
+namespace fir {
+
+bool KvClient::connect() {
+  close();
+  fd_ = env_.connect_to(port_);
+  rx_.clear();
+  return fd_ >= 0;
+}
+
+void KvClient::close() {
+  if (fd_ >= 0) {
+    env_.close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool KvClient::send_command(std::string_view line) {
+  if (fd_ < 0) return false;
+  std::string out(line);
+  out += "\r\n";
+  return env_.send(fd_, out.data(), out.size()) ==
+         static_cast<ssize_t>(out.size());
+}
+
+int KvClient::try_read_reply(std::string& out) {
+  if (fd_ < 0) return -1;
+  char buf[2048];
+  for (;;) {
+    const ssize_t r = env_.recv(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      rx_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && env_.last_errno() == EAGAIN) break;
+    if (r < 0) return -1;
+    break;  // orderly close
+  }
+  const std::size_t eol = rx_.find("\r\n");
+  if (eol == std::string::npos) return 0;
+
+  // Bulk replies ("$<n>\r\n<data>\r\n") span two lines.
+  if (rx_[0] == '$' && rx_.compare(0, 3, "$-1") != 0) {
+    const long long n = std::atoll(rx_.c_str() + 1);
+    const std::size_t total = eol + 2 + static_cast<std::size_t>(n) + 2;
+    if (rx_.size() < total) return 0;
+    out = rx_.substr(eol + 2, static_cast<std::size_t>(n));
+    rx_.erase(0, total);
+    return 1;
+  }
+  // Array replies ("*<n>" followed by n bulk strings) — consume fully.
+  if (rx_[0] == '*') {
+    const long long n = std::atoll(rx_.c_str() + 1);
+    std::size_t pos = eol + 2;
+    std::string collected;
+    for (long long i = 0; i < n; ++i) {
+      const std::size_t le = rx_.find("\r\n", pos);
+      if (le == std::string::npos) return 0;
+      const long long blen = std::atoll(rx_.c_str() + pos + 1);
+      if (blen < 0) {  // nil element ("$-1\r\n"): no data segment
+        pos = le + 2;
+        continue;
+      }
+      const std::size_t end = le + 2 + static_cast<std::size_t>(blen) + 2;
+      if (rx_.size() < end) return 0;
+      if (!collected.empty()) collected += ' ';
+      collected += rx_.substr(le + 2, static_cast<std::size_t>(blen));
+      pos = end;
+    }
+    out = collected;
+    rx_.erase(0, pos);
+    return 1;
+  }
+  out = rx_.substr(0, eol);
+  rx_.erase(0, eol + 2);
+  return 1;
+}
+
+}  // namespace fir

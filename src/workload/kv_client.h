@@ -1,0 +1,44 @@
+// Line-protocol client for minikv (redis-benchmark stand-in).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "env/env.h"
+
+namespace fir {
+
+class KvClient {
+ public:
+  KvClient(Env& env, std::uint16_t port) : env_(env), port_(port) {}
+  ~KvClient() { close(); }
+
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+  KvClient(KvClient&& other) noexcept
+      : env_(other.env_), port_(other.port_), fd_(other.fd_),
+        rx_(std::move(other.rx_)) {
+    other.fd_ = -1;
+  }
+
+  bool connect();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one command line ("SET k v"); CRLF is appended.
+  bool send_command(std::string_view line);
+
+  /// Drains one reply line (or bulk reply). Same contract as
+  /// HttpClient::try_read_response: 1 = got reply, 0 = incomplete,
+  /// -1 = connection gone.
+  int try_read_reply(std::string& out);
+
+ private:
+  Env& env_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string rx_;
+};
+
+}  // namespace fir

@@ -1,0 +1,77 @@
+#include "workload/pg_client.h"
+
+#include <cerrno>
+
+namespace fir {
+
+bool PgClient::connect() {
+  close();
+  fd_ = env_.connect_to(port_);
+  rx_.clear();
+  return fd_ >= 0;
+}
+
+void PgClient::close() {
+  if (fd_ >= 0) {
+    env_.close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool PgClient::send_query(std::string_view sql) {
+  if (fd_ < 0) return false;
+  std::string out(sql);
+  out += "\n";
+  return env_.send(fd_, out.data(), out.size()) ==
+         static_cast<ssize_t>(out.size());
+}
+
+int PgClient::try_read_result(std::string& out) {
+  if (fd_ < 0) return -1;
+  char buf[2048];
+  for (;;) {
+    const ssize_t r = env_.recv(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      rx_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && env_.last_errno() == EAGAIN) break;
+    if (r < 0) return -1;
+    break;
+  }
+  // Reply framing: status replies (INSERT/UPDATE/.../ERROR) and empty
+  // result sets ("(0 rows)") are one line; a data row is followed by its
+  // "(1 row)" trailer line.
+  const std::size_t eol = rx_.find('\n');
+  if (eol == std::string::npos) return 0;
+  std::size_t end = eol + 1;
+  const bool single_line =
+      rx_.compare(0, 6, "INSERT") == 0 || rx_.compare(0, 6, "UPDATE") == 0 ||
+      rx_.compare(0, 6, "DELETE") == 0 || rx_.compare(0, 6, "CREATE") == 0 ||
+      rx_.compare(0, 4, "DROP") == 0 || rx_.compare(0, 6, "VACUUM") == 0 ||
+      rx_.compare(0, 5, "BEGIN") == 0 || rx_.compare(0, 6, "COMMIT") == 0 ||
+      rx_.compare(0, 10, "CHECKPOINT") == 0 ||
+      rx_.compare(0, 5, "ERROR") == 0 || rx_.compare(0, 1, "(") == 0;
+  if (!single_line) {
+    // Result-set reply: data rows terminated by the "(N rows)" trailer.
+    for (;;) {
+      if (end < rx_.size() && rx_[end] == '(') {
+        const std::size_t trailer = rx_.find('\n', end);
+        if (trailer == std::string::npos) return 0;
+        end = trailer + 1;
+        break;
+      }
+      const std::size_t next = rx_.find('\n', end);
+      if (next == std::string::npos) return 0;
+      end = next + 1;
+    }
+  }
+  out = rx_.substr(0, end);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  rx_.erase(0, end);
+  return 1;
+}
+
+}  // namespace fir

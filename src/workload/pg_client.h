@@ -1,0 +1,40 @@
+// Line-protocol client for minipg (pgbench stand-in).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "env/env.h"
+
+namespace fir {
+
+class PgClient {
+ public:
+  PgClient(Env& env, std::uint16_t port) : env_(env), port_(port) {}
+  ~PgClient() { close(); }
+
+  PgClient(const PgClient&) = delete;
+  PgClient& operator=(const PgClient&) = delete;
+  PgClient(PgClient&& other) noexcept
+      : env_(other.env_), port_(other.port_), fd_(other.fd_),
+        rx_(std::move(other.rx_)) {
+    other.fd_ = -1;
+  }
+
+  bool connect();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool send_query(std::string_view sql);
+  /// 1 = got a complete reply line(s) in out, 0 = incomplete, -1 = gone.
+  int try_read_result(std::string& out);
+
+ private:
+  Env& env_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string rx_;
+};
+
+}  // namespace fir

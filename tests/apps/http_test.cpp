@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "apps/http.h"
+
+namespace fir::http {
+namespace {
+
+TEST(HttpParseTest, SimpleGet) {
+  Request req;
+  const auto r = parse_request(
+      "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n", req);
+  EXPECT_EQ(r, ParseResult::kComplete);
+  EXPECT_EQ(req.method, Method::kGet);
+  EXPECT_EQ(req.path, "/index.html");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.host, "x");
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(HttpParseTest, QuerySplit) {
+  Request req;
+  parse_request("GET /a?b=1&c=2 HTTP/1.1\r\n\r\n", req);
+  EXPECT_EQ(req.path, "/a");
+  EXPECT_EQ(req.query, "b=1&c=2");
+}
+
+TEST(HttpParseTest, IncompleteNeedsMoreBytes) {
+  Request req;
+  EXPECT_EQ(parse_request("GET / HTTP/1.1\r\nHost:", req),
+            ParseResult::kIncomplete);
+}
+
+TEST(HttpParseTest, BodyViaContentLength) {
+  Request req;
+  const auto r = parse_request(
+      "PUT /f HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", req);
+  EXPECT_EQ(r, ParseResult::kComplete);
+  EXPECT_EQ(req.body, "hello");
+  EXPECT_EQ(req.content_length, 5u);
+}
+
+TEST(HttpParseTest, PartialBodyIsIncomplete) {
+  Request req;
+  EXPECT_EQ(parse_request(
+                "PUT /f HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel", req),
+            ParseResult::kIncomplete);
+}
+
+TEST(HttpParseTest, MalformedRequestLineIsBad) {
+  Request req;
+  EXPECT_EQ(parse_request("GARBAGE\r\n\r\n", req), ParseResult::kBad);
+  EXPECT_EQ(parse_request("GET noslash HTTP/1.1\r\n\r\n", req),
+            ParseResult::kBad);
+  EXPECT_EQ(parse_request("GET / FTP/1.0\r\n\r\n", req), ParseResult::kBad);
+}
+
+TEST(HttpParseTest, ConnectionHeaderOverridesDefault) {
+  Request req;
+  parse_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", req);
+  EXPECT_FALSE(req.keep_alive);
+  parse_request("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", req);
+  EXPECT_TRUE(req.keep_alive);
+  parse_request("GET / HTTP/1.0\r\n\r\n", req);
+  EXPECT_FALSE(req.keep_alive);
+}
+
+TEST(HttpParseTest, OversizeContentLengthRejected) {
+  Request req;
+  EXPECT_EQ(parse_request(
+                "PUT /f HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", req),
+            ParseResult::kBad);
+  EXPECT_EQ(parse_request(
+                "PUT /f HTTP/1.1\r\nContent-Length: 12x\r\n\r\n", req),
+            ParseResult::kBad);
+}
+
+TEST(HttpFormatTest, ResponseRoundTrip) {
+  char buf[256];
+  const std::size_t n =
+      format_response(buf, sizeof(buf), 200, "OK", "text/plain", "hi", true);
+  ASSERT_GT(n, 0u);
+  const std::string_view out(buf, n);
+  EXPECT_NE(out.find("HTTP/1.1 200 OK\r\n"), std::string_view::npos);
+  EXPECT_NE(out.find("Content-Length: 2\r\n"), std::string_view::npos);
+  EXPECT_TRUE(out.ends_with("hi"));
+}
+
+TEST(HttpFormatTest, OverflowReturnsZero) {
+  char buf[16];
+  EXPECT_EQ(format_response(buf, sizeof(buf), 200, "OK", "text/plain",
+                            "payload-too-big", true),
+            0u);
+}
+
+TEST(HttpMiscTest, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(207), "Multi-Status");
+  EXPECT_EQ(reason_phrase(599), "Unknown");
+}
+
+TEST(HttpMiscTest, MimeTypes) {
+  EXPECT_EQ(mime_type("/a.html"), "text/html");
+  EXPECT_EQ(mime_type("/a.shtml"), "text/html");
+  EXPECT_EQ(mime_type("/a.json"), "application/json");
+  EXPECT_EQ(mime_type("/noext"), "application/octet-stream");
+}
+
+TEST(HttpMiscTest, UnsafePaths) {
+  EXPECT_TRUE(path_is_unsafe("/../etc/passwd"));
+  EXPECT_TRUE(path_is_unsafe("/a/../../b"));
+  EXPECT_FALSE(path_is_unsafe("/a..b/c"));
+  EXPECT_FALSE(path_is_unsafe("/normal/path.html"));
+}
+
+TEST(HttpMiscTest, UrlDecode) {
+  char out[32];
+  EXPECT_EQ(url_decode("/a%20b+c", out, sizeof(out)), 6u);
+  EXPECT_EQ(std::string_view(out, 6), "/a b c");
+  EXPECT_EQ(url_decode("%4", out, sizeof(out)), 0u);   // truncated escape
+  EXPECT_EQ(url_decode("%zz", out, sizeof(out)), 0u);  // bad hex
+  char tiny[2];
+  EXPECT_EQ(url_decode("abcdef", tiny, sizeof(tiny)), 0u);  // overflow
+}
+
+TEST(HttpRangeTest, ParseForms) {
+  ByteRange r = parse_range("bytes=0-99");
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.last, 99u);
+
+  r = parse_range("bytes=100-");
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.first, 100u);
+
+  r = parse_range("bytes=-50");
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.suffix);
+  EXPECT_EQ(r.last, 50u);
+}
+
+TEST(HttpRangeTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_range("items=0-1").valid);
+  EXPECT_FALSE(parse_range("bytes=5-2").valid);
+  EXPECT_FALSE(parse_range("bytes=0-1,3-4").valid);  // multi-range
+  EXPECT_FALSE(parse_range("bytes=a-b").valid);
+  EXPECT_FALSE(parse_range("bytes=-").valid);
+  EXPECT_FALSE(parse_range("bytes=-0").valid);
+}
+
+TEST(HttpRangeTest, ResolveClampsAndRejects) {
+  ByteRange r = parse_range("bytes=10-9999");
+  ASSERT_TRUE(resolve_range(r, 100));
+  EXPECT_EQ(r.last, 99u);
+
+  r = parse_range("bytes=-30");
+  ASSERT_TRUE(resolve_range(r, 100));
+  EXPECT_EQ(r.first, 70u);
+  EXPECT_EQ(r.last, 99u);
+
+  r = parse_range("bytes=100-");
+  EXPECT_FALSE(resolve_range(r, 100));  // first == size: unsatisfiable
+  r = parse_range("bytes=0-1");
+  EXPECT_FALSE(resolve_range(r, 0));    // empty resource
+}
+
+TEST(HttpRangeTest, RequestCarriesRangeHeader) {
+  Request req;
+  parse_request(
+      "GET /f HTTP/1.1\r\nRange: bytes=0-4\r\n\r\n", req);
+  EXPECT_EQ(req.range, "bytes=0-4");
+}
+
+}  // namespace
+}  // namespace fir::http

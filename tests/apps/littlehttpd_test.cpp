@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "apps/littlehttpd.h"
+#include "workload/http_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+HttpClient::Response exchange(Littlehttpd& server, HttpClient& client,
+                              std::string_view method,
+                              std::string_view target,
+                              std::string_view body = {}) {
+  EXPECT_TRUE(client.connected() || client.connect());
+  EXPECT_TRUE(client.send_request(method, target, body));
+  HttpClient::Response response;
+  for (int i = 0; i < 16; ++i) {
+    server.run_once();
+    if (client.try_read_response(response) == 1) return response;
+  }
+  ADD_FAILURE() << "no response for " << method << " " << target;
+  return response;
+}
+
+class LittlehttpdTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(server_.start(0).is_ok()); }
+  Littlehttpd server_{stm_cfg()};
+};
+
+TEST_F(LittlehttpdTest, ServesStaticFiles) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = exchange(server_, client, "GET", "/readme.txt");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("small and fast"), std::string::npos);
+}
+
+TEST_F(LittlehttpdTest, ChunkedWriterDeliversLargeBody) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = exchange(server_, client, "GET", "/blob.bin");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 6000u);
+}
+
+TEST_F(LittlehttpdTest, WebdavPropfindReportsSize) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response =
+      exchange(server_, client, "PROPFIND", "/dav/notes.txt");
+  EXPECT_EQ(response.status, 207);
+  EXPECT_NE(response.body.find("getcontentlength"), std::string::npos);
+}
+
+TEST_F(LittlehttpdTest, WebdavPutCreatesAndDeleteRemoves) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(
+      exchange(server_, client, "PUT", "/dav/new.txt", "fresh-content")
+          .status,
+      201);
+  const auto got = exchange(server_, client, "GET", "/dav/new.txt");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "fresh-content");
+  EXPECT_EQ(exchange(server_, client, "DELETE", "/dav/new.txt").status, 204);
+  EXPECT_EQ(exchange(server_, client, "GET", "/dav/new.txt").status, 403);
+  EXPECT_EQ(exchange(server_, client, "DELETE", "/dav/new.txt").status, 404);
+}
+
+TEST_F(LittlehttpdTest, MixedDavAndStaticWithoutBugIsFine) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(exchange(server_, client, "PROPFIND", "/dav/notes.txt").status,
+            207);
+  EXPECT_EQ(exchange(server_, client, "GET", "/index.html").status, 200);
+  EXPECT_EQ(exchange(server_, client, "PROPFIND", "/dav/notes.txt").status,
+            207);
+}
+
+TEST_F(LittlehttpdTest, WebdavUafBugCrashIsRecoveredTo403) {
+  // lighttpd #2780 (§VI-F): WebDAV then a mixed request on the same
+  // keep-alive connection dereferences the stale DAV handle. FIRestarter
+  // diverts at the open64 gate and the server answers 403 - Forbidden.
+  server_.enable_webdav_uaf_bug(true);
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(exchange(server_, client, "PROPFIND", "/dav/notes.txt").status,
+            207);
+  const auto response = exchange(server_, client, "GET", "/index.html");
+  EXPECT_EQ(response.status, 403);
+  EXPECT_NE(response.body.find("Forbidden"), std::string::npos);
+  // The server survived: subsequent fresh connections are served.
+  HttpClient fresh(server_.fx().env(), server_.port());
+  EXPECT_EQ(exchange(server_, fresh, "GET", "/readme.txt").status, 200);
+  std::uint64_t diversions = 0;
+  for (const Site& s : server_.fx().mgr().sites().all())
+    diversions += s.stats.diversions;
+  EXPECT_GE(diversions, 1u);
+}
+
+TEST_F(LittlehttpdTest, WithoutProtectionUafBugKillsServer) {
+  Littlehttpd unprotected{[] {
+    TxManagerConfig c;
+    c.policy.kind = PolicyKind::kUnprotected;
+    return c;
+  }()};
+  ASSERT_TRUE(unprotected.start(0).is_ok());
+  unprotected.enable_webdav_uaf_bug(true);
+  HttpClient client(unprotected.fx().env(), unprotected.port());
+  EXPECT_EQ(exchange(unprotected, client, "PROPFIND", "/dav/notes.txt")
+                .status,
+            207);
+  ASSERT_TRUE(client.send_request("GET", "/index.html"));
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 4; ++i) unprotected.run_once();
+      },
+      FatalCrashError);
+}
+
+TEST_F(LittlehttpdTest, ErrorLogRecordsFailures) {
+  HttpClient client(server_.fx().env(), server_.port());
+  exchange(server_, client, "GET", "/no/such/file");
+  auto log = server_.fx().env().vfs().lookup("/logs/error.log");
+  ASSERT_NE(log, nullptr);
+  EXPECT_GT(log->data.size(), 0u);
+}
+
+TEST_F(LittlehttpdTest, OptionsAnswers204) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(exchange(server_, client, "OPTIONS", "/").status, 204);
+}
+
+TEST_F(LittlehttpdTest, MkcolCreatesCollectionOnce) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(exchange(server_, client, "MKCOL", "/dav/newdir").status, 201);
+  EXPECT_TRUE(server_.fx().env().vfs().exists("/srv/dav/newdir/.collection"));
+  EXPECT_EQ(exchange(server_, client, "MKCOL", "/dav/newdir").status, 405);
+}
+
+}  // namespace
+}  // namespace fir

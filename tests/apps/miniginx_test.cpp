@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "apps/miniginx.h"
+#include "workload/http_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+// Sends one request and pumps the server until the response arrives.
+HttpClient::Response get(Miniginx& server, HttpClient& client,
+                         std::string_view target,
+                         std::string_view method = "GET") {
+  EXPECT_TRUE(client.connected() || client.connect());
+  EXPECT_TRUE(client.send_request(method, target));
+  HttpClient::Response response;
+  for (int i = 0; i < 8; ++i) {
+    server.run_once();
+    if (client.try_read_response(response) == 1) return response;
+  }
+  ADD_FAILURE() << "no response for " << target;
+  return response;
+}
+
+class MiniginxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_.start(0).is_ok());
+  }
+  Miniginx server_{stm_cfg()};
+};
+
+TEST_F(MiniginxTest, ServesIndexOnRootPath) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = get(server_, client, "/");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("miniginx"), std::string::npos);
+}
+
+TEST_F(MiniginxTest, Serves404ForMissingFile) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(get(server_, client, "/missing.html").status, 404);
+}
+
+TEST_F(MiniginxTest, RejectsTraversal) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(get(server_, client, "/../secret").status, 403);
+}
+
+TEST_F(MiniginxTest, RejectsUnsupportedMethod) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(get(server_, client, "/", "DELETE").status, 405);
+}
+
+TEST_F(MiniginxTest, UrlDecodingWorks) {
+  HttpClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(get(server_, client, "/%69ndex.html").status, 200);
+}
+
+TEST_F(MiniginxTest, SsiSubstitutionExpandsVariables) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = get(server_, client, "/page.shtml");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("host=miniginx"), std::string::npos);
+  EXPECT_EQ(response.body.find("<!--#echo"), std::string::npos);
+}
+
+TEST_F(MiniginxTest, UnknownSsiVariableWithoutBugIsBenign) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = get(server_, client, "/broken.shtml");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("(none)"), std::string::npos);
+}
+
+TEST_F(MiniginxTest, KeepAliveServesMultipleRequests) {
+  HttpClient client(server_.fx().env(), server_.port());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(get(server_, client, "/index.html").status, 200);
+  }
+  EXPECT_EQ(server_.counters().requests_ok.get(), 5u);
+  EXPECT_EQ(server_.counters().connections_accepted.get(), 1u);
+}
+
+TEST_F(MiniginxTest, HeadOmitsBody) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = get(server_, client, "/index.html", "HEAD");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(response.body.empty());
+}
+
+TEST_F(MiniginxTest, LargeFileStreamsFully) {
+  HttpClient client(server_.fx().env(), server_.port());
+  const auto response = get(server_, client, "/large.bin");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 16000u);
+}
+
+TEST_F(MiniginxTest, MalformedRequestGets400) {
+  Env& env = server_.fx().env();
+  const int fd = env.connect_to(server_.port());
+  ASSERT_GE(fd, 0);
+  env.send(fd, "NONSENSE\r\n\r\n", 12);
+  // Pass 1 accepts the connection; pass 2 reads and responds.
+  server_.run_once();
+  server_.run_once();
+  char buf[256];
+  const ssize_t r = env.recv(fd, buf, sizeof(buf));
+  ASSERT_GT(r, 0);
+  EXPECT_NE(std::string_view(buf, static_cast<std::size_t>(r))
+                .find("400 Bad Request"),
+            std::string_view::npos);
+  env.close(fd);
+}
+
+TEST_F(MiniginxTest, PipelinedRequestsAllAnswered) {
+  Env& env = server_.fx().env();
+  const int fd = env.connect_to(server_.port());
+  ASSERT_GE(fd, 0);
+  const char* reqs =
+      "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /api.json HTTP/1.1\r\nHost: x\r\n\r\n";
+  env.send(fd, reqs, std::strlen(reqs));
+  for (int i = 0; i < 4; ++i) server_.run_once();
+  char buf[8192];
+  const ssize_t r = env.recv(fd, buf, sizeof(buf));
+  ASSERT_GT(r, 0);
+  const std::string_view out(buf, static_cast<std::size_t>(r));
+  // Both responses arrived on the same connection.
+  EXPECT_NE(out.find("text/plain"), std::string_view::npos);
+  EXPECT_NE(out.find("application/json"), std::string_view::npos);
+  env.close(fd);
+}
+
+TEST_F(MiniginxTest, StopReleasesAllFds) {
+  {
+    HttpClient client(server_.fx().env(), server_.port());
+    get(server_, client, "/");
+    client.close();
+  }
+  server_.run_once();
+  server_.stop();
+  // Only client-side fds may linger; the server released everything.
+  EXPECT_EQ(server_.fx().env().open_fd_count(), 0u);
+}
+
+TEST_F(MiniginxTest, ConnectionPoolExhaustionShedsLoad) {
+  Env& env = server_.fx().env();
+  std::vector<int> fds;
+  // 64-slot pool; the 70th connection gets closed by the server.
+  for (int i = 0; i < 70; ++i) {
+    const int fd = env.connect_to(server_.port());
+    if (fd >= 0) fds.push_back(fd);
+    server_.run_once();
+  }
+  EXPECT_EQ(server_.counters().connections_accepted.get(), 64u);
+  for (int fd : fds) env.close(fd);
+}
+
+TEST_F(MiniginxTest, RangeRequestReturnsPartialContent) {
+  Env& env = server_.fx().env();
+  const int fd = env.connect_to(server_.port());
+  ASSERT_GE(fd, 0);
+  const char* req =
+      "GET /large.bin HTTP/1.1\r\nHost: x\r\nRange: bytes=0-99\r\n\r\n";
+  env.send(fd, req, std::strlen(req));
+  for (int i = 0; i < 4; ++i) server_.run_once();
+  char buf[4096];
+  const ssize_t r = env.recv(fd, buf, sizeof(buf));
+  ASSERT_GT(r, 0);
+  const std::string_view out(buf, static_cast<std::size_t>(r));
+  EXPECT_NE(out.find("206 Partial Content"), std::string_view::npos);
+  EXPECT_NE(out.find("Content-Range: bytes 0-99/16000"),
+            std::string_view::npos);
+  EXPECT_NE(out.find("Content-Length: 100"), std::string_view::npos);
+  env.close(fd);
+}
+
+TEST_F(MiniginxTest, SuffixRangeAndUnsatisfiableRange) {
+  Env& env = server_.fx().env();
+  const int fd = env.connect_to(server_.port());
+  ASSERT_GE(fd, 0);
+  const char* req1 =
+      "GET /about.txt HTTP/1.1\r\nHost: x\r\nRange: bytes=-5\r\n\r\n";
+  env.send(fd, req1, std::strlen(req1));
+  for (int i = 0; i < 4; ++i) server_.run_once();
+  char buf[2048];
+  ssize_t r = env.recv(fd, buf, sizeof(buf));
+  ASSERT_GT(r, 0);
+  EXPECT_NE(std::string_view(buf, static_cast<std::size_t>(r))
+                .find("206 Partial"),
+            std::string_view::npos);
+
+  const char* req2 =
+      "GET /about.txt HTTP/1.1\r\nHost: x\r\nRange: "
+      "bytes=99999-\r\n\r\n";
+  env.send(fd, req2, std::strlen(req2));
+  for (int i = 0; i < 4; ++i) server_.run_once();
+  r = env.recv(fd, buf, sizeof(buf));
+  ASSERT_GT(r, 0);
+  EXPECT_NE(std::string_view(buf, static_cast<std::size_t>(r))
+                .find("416 Range Not Satisfiable"),
+            std::string_view::npos);
+  env.close(fd);
+}
+
+TEST_F(MiniginxTest, AccessLogRecordsRequests) {
+  HttpClient client(server_.fx().env(), server_.port());
+  get(server_, client, "/index.html");
+  get(server_, client, "/missing");
+  auto log = server_.fx().env().vfs().lookup("/logs/miniginx.access.log");
+  ASSERT_NE(log, nullptr);
+  const std::string content(log->data.begin(), log->data.end());
+  EXPECT_NE(content.find("\"GET /index.html HTTP/1.1\" 200"),
+            std::string::npos);
+  EXPECT_NE(content.find("\"GET /missing HTTP/1.1\" 404"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "apps/minikv.h"
+#include "workload/kv_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+std::string roundtrip(Minikv& server, KvClient& client,
+                      std::string_view command) {
+  EXPECT_TRUE(client.connected() || client.connect());
+  EXPECT_TRUE(client.send_command(command));
+  std::string reply;
+  for (int i = 0; i < 8; ++i) {
+    server.run_once();
+    if (client.try_read_reply(reply) == 1) return reply;
+  }
+  ADD_FAILURE() << "no reply for " << command;
+  return reply;
+}
+
+class MinikvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(server_.start(0).is_ok()); }
+  Minikv server_{stm_cfg()};
+};
+
+TEST_F(MinikvTest, PingPong) {
+  KvClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, client, "PING"), "+PONG");
+}
+
+TEST_F(MinikvTest, SetGetDelCycle) {
+  KvClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, client, "SET name firestarter"), "+OK");
+  EXPECT_EQ(roundtrip(server_, client, "GET name"), "firestarter");
+  EXPECT_EQ(roundtrip(server_, client, "EXISTS name"), ":1");
+  EXPECT_EQ(roundtrip(server_, client, "DEL name"), ":1");
+  EXPECT_EQ(roundtrip(server_, client, "GET name"), "$-1");
+  EXPECT_EQ(roundtrip(server_, client, "DEL name"), ":0");
+}
+
+TEST_F(MinikvTest, ValuesMayContainSpaces) {
+  KvClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, client, "SET k hello world again"), "+OK");
+  EXPECT_EQ(roundtrip(server_, client, "GET k"), "hello world again");
+}
+
+TEST_F(MinikvTest, IncrCreatesAndCounts) {
+  KvClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, client, "INCR hits"), ":1");
+  EXPECT_EQ(roundtrip(server_, client, "INCR hits"), ":2");
+  EXPECT_EQ(roundtrip(server_, client, "SET hits abc"), "+OK");
+  EXPECT_EQ(roundtrip(server_, client, "INCR hits"), "-ERR not an integer");
+}
+
+TEST_F(MinikvTest, DbsizeAndKeys) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET a 1");
+  roundtrip(server_, client, "SET b 2");
+  EXPECT_EQ(roundtrip(server_, client, "DBSIZE"), ":2");
+  const std::string keys = roundtrip(server_, client, "KEYS");
+  EXPECT_NE(keys.find('a'), std::string::npos);
+  EXPECT_NE(keys.find('b'), std::string::npos);
+}
+
+TEST_F(MinikvTest, UnknownCommandAndOversizeKeyReportErrors) {
+  KvClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, client, "BOGUS x"), "-ERR unknown command");
+  const std::string long_key(60, 'k');
+  EXPECT_EQ(roundtrip(server_, client, "SET " + long_key + " v"),
+            "-ERR invalid argument");
+}
+
+TEST_F(MinikvTest, SaveWritesRdbAtomically) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET k1 v1");
+  roundtrip(server_, client, "SET k2 v2");
+  EXPECT_EQ(roundtrip(server_, client, "SAVE"), "+OK");
+  auto dump = server_.fx().env().vfs().lookup("/data/dump.rdb");
+  ASSERT_NE(dump, nullptr);
+  const std::string content(dump->data.begin(), dump->data.end());
+  EXPECT_NE(content.find("k1=v1"), std::string::npos);
+  EXPECT_NE(content.find("k2=v2"), std::string::npos);
+  EXPECT_FALSE(server_.fx().env().vfs().exists("/data/dump.rdb.tmp"));
+}
+
+TEST_F(MinikvTest, FlushallEmptiesKeyspace) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET a 1");
+  roundtrip(server_, client, "SET b 2");
+  EXPECT_EQ(roundtrip(server_, client, "FLUSHALL"), "+OK");
+  EXPECT_EQ(roundtrip(server_, client, "DBSIZE"), ":0");
+  EXPECT_EQ(server_.db_size(), 0u);
+}
+
+TEST_F(MinikvTest, PersistentCrashMidSetRollsBackKeyspace) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET stable value");
+
+  // Persistent fault in the SET handler.
+  const MarkerId m = server_.fx().hsfi().register_marker(
+      "cmd_set", "src/apps/minikv.cpp:239", false);
+  (void)m;
+  // Find the marker id actually interned by the handler.
+  server_.fx().hsfi().set_profiling(true);
+  roundtrip(server_, client, "SET probe 1");
+  MarkerId target = kInvalidMarker;
+  for (const Marker& marker : server_.fx().hsfi().markers())
+    if (marker.name == "cmd_set" && marker.executions > 0)
+      target = marker.id;
+  ASSERT_NE(target, kInvalidMarker);
+  server_.fx().hsfi().arm(
+      FaultPlan{target, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+
+  // The SET crashes persistently; FIRestarter diverts and the connection
+  // is dropped (recv error handler), but the server and keyspace survive.
+  client.send_command("SET victim x");
+  for (int i = 0; i < 8; ++i) server_.run_once();
+  server_.fx().hsfi().disarm();
+
+  KvClient fresh(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, fresh, "GET stable"), "value");
+  EXPECT_EQ(roundtrip(server_, fresh, "GET victim"), "$-1");
+  EXPECT_EQ(roundtrip(server_, fresh, "GET probe"), "1");
+}
+
+TEST_F(MinikvTest, MultipleClientsInterleave) {
+  KvClient a(server_.fx().env(), server_.port());
+  KvClient b(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, a, "SET shared from-a"), "+OK");
+  EXPECT_EQ(roundtrip(server_, b, "GET shared"), "from-a");
+  EXPECT_EQ(roundtrip(server_, b, "SET shared from-b"), "+OK");
+  EXPECT_EQ(roundtrip(server_, a, "GET shared"), "from-b");
+}
+
+TEST_F(MinikvTest, AppendBuildsValues) {
+  KvClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(roundtrip(server_, client, "APPEND log first"), ":5");
+  EXPECT_EQ(roundtrip(server_, client, "APPEND log -second"), ":12");
+  EXPECT_EQ(roundtrip(server_, client, "GET log"), "first-second");
+  const std::string huge(200, 'x');
+  EXPECT_EQ(roundtrip(server_, client, "APPEND log " + huge),
+            "-ERR value too long");
+}
+
+TEST_F(MinikvTest, MgetReturnsValuesAndNils) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET a 1");
+  roundtrip(server_, client, "SET c 3");
+  EXPECT_EQ(roundtrip(server_, client, "MGET a b c"), "1 3");
+}
+
+TEST_F(MinikvTest, ExpireTtlPersistLifecycle) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET session token");
+  EXPECT_EQ(roundtrip(server_, client, "TTL session"), ":-1");
+  EXPECT_EQ(roundtrip(server_, client, "EXPIRE session 10"), ":1");
+  const std::string ttl = roundtrip(server_, client, "TTL session");
+  EXPECT_TRUE(ttl == ":10" || ttl == ":9") << ttl;
+  EXPECT_EQ(roundtrip(server_, client, "PERSIST session"), ":1");
+  EXPECT_EQ(roundtrip(server_, client, "TTL session"), ":-1");
+  EXPECT_EQ(roundtrip(server_, client, "EXPIRE missing 5"), ":0");
+  EXPECT_EQ(roundtrip(server_, client, "TTL missing"), ":-2");
+}
+
+TEST_F(MinikvTest, ExpiredKeysVanishLazily) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET ephemeral data");
+  EXPECT_EQ(roundtrip(server_, client, "EXPIRE ephemeral 1"), ":1");
+  // Advance the virtual clock past the TTL.
+  server_.fx().env().clock().advance_ns(2'000'000'000ull);
+  EXPECT_EQ(roundtrip(server_, client, "GET ephemeral"), "$-1");
+  EXPECT_EQ(roundtrip(server_, client, "EXISTS ephemeral"), ":0");
+  EXPECT_EQ(roundtrip(server_, client, "DBSIZE"), ":0");
+}
+
+TEST_F(MinikvTest, ExpireSurvivesCrashRollback) {
+  KvClient client(server_.fx().env(), server_.port());
+  roundtrip(server_, client, "SET k v");
+  roundtrip(server_, client, "EXPIRE k 100");
+
+  server_.fx().hsfi().set_profiling(true);
+  roundtrip(server_, client, "TTL k");
+  MarkerId target = kInvalidMarker;
+  for (const Marker& m : server_.fx().hsfi().markers())
+    if (m.name == "cmd_ttl" && m.executions > 0) target = m.id;
+  ASSERT_NE(target, kInvalidMarker);
+  server_.fx().hsfi().arm(
+      FaultPlan{target, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+  client.send_command("TTL k");
+  for (int i = 0; i < 8; ++i) server_.run_once();
+  server_.fx().hsfi().disarm();
+
+  KvClient fresh(server_.fx().env(), server_.port());
+  const std::string ttl = roundtrip(server_, fresh, "TTL k");
+  EXPECT_TRUE(ttl == ":100" || ttl == ":99") << ttl;  // expiry intact
+}
+
+}  // namespace
+}  // namespace fir

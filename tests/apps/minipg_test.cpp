@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "apps/minipg.h"
+#include "workload/pg_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+std::string query(Minipg& server, PgClient& client, std::string_view sql) {
+  EXPECT_TRUE(client.connected() || client.connect());
+  EXPECT_TRUE(client.send_query(sql));
+  std::string reply;
+  for (int i = 0; i < 8; ++i) {
+    server.run_once();
+    if (client.try_read_result(reply) == 1) return reply;
+  }
+  ADD_FAILURE() << "no result for " << sql;
+  return reply;
+}
+
+class MinipgTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(server_.start(0).is_ok()); }
+  Minipg server_{stm_cfg()};
+};
+
+TEST_F(MinipgTest, CreateTableOnceOnly) {
+  PgClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(query(server_, client, "CREATE TABLE users"), "CREATE TABLE");
+  EXPECT_EQ(query(server_, client, "CREATE TABLE users"),
+            "ERROR: relation exists");
+}
+
+TEST_F(MinipgTest, InsertSelectUpdateDelete) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  EXPECT_EQ(query(server_, client, "INSERT t alice admin"), "INSERT 0 1");
+  EXPECT_EQ(query(server_, client, "INSERT t alice dup"),
+            "ERROR: duplicate key");
+  EXPECT_EQ(query(server_, client, "SELECT t alice"), "admin\n(1 row)");
+  EXPECT_EQ(query(server_, client, "UPDATE t alice root"), "UPDATE 1");
+  EXPECT_EQ(query(server_, client, "SELECT t alice"), "root\n(1 row)");
+  EXPECT_EQ(query(server_, client, "UPDATE t bob x"), "UPDATE 0");
+  EXPECT_EQ(query(server_, client, "DELETE t alice"), "DELETE 1");
+  EXPECT_EQ(query(server_, client, "SELECT t alice"), "(0 rows)");
+}
+
+TEST_F(MinipgTest, MissingRelationErrors) {
+  PgClient client(server_.fx().env(), server_.port());
+  EXPECT_EQ(query(server_, client, "SELECT ghosts k"),
+            "ERROR: relation does not exist");
+  EXPECT_EQ(query(server_, client, "DROP anything"),
+            "ERROR: syntax error");
+}
+
+TEST_F(MinipgTest, TransactionVerbs) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  EXPECT_EQ(query(server_, client, "BEGIN"), "BEGIN");
+  EXPECT_EQ(query(server_, client, "INSERT t k v"), "INSERT 0 1");
+  EXPECT_EQ(query(server_, client, "COMMIT"), "COMMIT");
+}
+
+TEST_F(MinipgTest, WalRecordsMutations) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  query(server_, client, "INSERT t key1 val1");
+  query(server_, client, "DELETE t key1");
+  auto wal =
+      server_.fx().env().vfs().lookup("/pg/pg_wal/000000010000000000000001");
+  ASSERT_NE(wal, nullptr);
+  const std::string content(wal->data.begin(), wal->data.end());
+  EXPECT_NE(content.find("op=create rel=t"), std::string::npos);
+  EXPECT_NE(content.find("op=insert rel=t key=key1 val=val1"),
+            std::string::npos);
+  EXPECT_NE(content.find("op=delete rel=t key=key1"), std::string::npos);
+}
+
+TEST_F(MinipgTest, CheckpointFlushesHeap) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  query(server_, client, "INSERT t k1 v1");
+  EXPECT_EQ(query(server_, client, "CHECKPOINT"), "CHECKPOINT");
+  auto heap = server_.fx().env().vfs().lookup("/pg/base/heap.dat");
+  ASSERT_NE(heap, nullptr);
+  const std::string content(heap->data.begin(), heap->data.end());
+  EXPECT_NE(content.find("t:k1=v1"), std::string::npos);
+}
+
+TEST_F(MinipgTest, TooManyTablesRejected) {
+  PgClient client(server_.fx().env(), server_.port());
+  for (std::size_t i = 0; i < Minipg::kMaxTables; ++i) {
+    EXPECT_EQ(query(server_, client,
+                    "CREATE TABLE t" + std::to_string(i)),
+              "CREATE TABLE");
+  }
+  EXPECT_EQ(query(server_, client, "CREATE TABLE overflow"),
+            "ERROR: too many relations");
+}
+
+TEST_F(MinipgTest, PersistentCrashInExecutorRollsBackRow) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  query(server_, client, "INSERT t stable v0");
+
+  server_.fx().hsfi().set_profiling(true);
+  query(server_, client, "INSERT t probe v");
+  MarkerId target = kInvalidMarker;
+  for (const Marker& m : server_.fx().hsfi().markers())
+    if (m.name == "executor_write" && m.executions > 0) target = m.id;
+  ASSERT_NE(target, kInvalidMarker);
+  server_.fx().hsfi().arm(
+      FaultPlan{target, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+
+  client.send_query("INSERT t victim v");
+  for (int i = 0; i < 8; ++i) server_.run_once();
+  server_.fx().hsfi().disarm();
+
+  PgClient fresh(server_.fx().env(), server_.port());
+  EXPECT_EQ(query(server_, fresh, "SELECT t stable"), "v0\n(1 row)");
+  EXPECT_EQ(query(server_, fresh, "SELECT t victim"), "(0 rows)");
+}
+
+TEST_F(MinipgTest, TotalRowsCountsAcrossTables) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE a");
+  query(server_, client, "CREATE TABLE b");
+  query(server_, client, "INSERT a k v");
+  query(server_, client, "INSERT b k v");
+  query(server_, client, "INSERT b k2 v");
+  EXPECT_EQ(server_.total_rows(), 3u);
+}
+
+TEST_F(MinipgTest, DropTableRemovesRelation) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE temp");
+  query(server_, client, "INSERT temp k v");
+  EXPECT_EQ(query(server_, client, "DROP TABLE temp"), "DROP TABLE");
+  EXPECT_EQ(query(server_, client, "SELECT temp k"),
+            "ERROR: relation does not exist");
+  EXPECT_EQ(query(server_, client, "DROP TABLE temp"),
+            "ERROR: relation does not exist");
+  // The slot is reusable.
+  EXPECT_EQ(query(server_, client, "CREATE TABLE temp"), "CREATE TABLE");
+  EXPECT_EQ(query(server_, client, "SELECT temp k"), "(0 rows)");
+}
+
+TEST_F(MinipgTest, ScanListsAllRows) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  query(server_, client, "INSERT t a 1");
+  query(server_, client, "INSERT t b 2");
+  const std::string result = query(server_, client, "SCAN t");
+  EXPECT_NE(result.find("a=1"), std::string::npos);
+  EXPECT_NE(result.find("b=2"), std::string::npos);
+  EXPECT_NE(result.find("(2 rows)"), std::string::npos);
+  EXPECT_EQ(query(server_, client, "SCAN missing"),
+            "ERROR: relation does not exist");
+}
+
+TEST_F(MinipgTest, VacuumPreservesData) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  for (int i = 0; i < 20; ++i)
+    query(server_, client, "INSERT t key" + std::to_string(i) + " v");
+  for (int i = 0; i < 10; ++i)
+    query(server_, client, "DELETE t key" + std::to_string(i));
+  EXPECT_EQ(query(server_, client, "VACUUM"), "VACUUM 10");
+  EXPECT_EQ(server_.total_rows(), 10u);
+  EXPECT_EQ(query(server_, client, "SELECT t key15"), "v\n(1 row)");
+}
+
+TEST_F(MinipgTest, CrashDuringVacuumPreservesRelation) {
+  PgClient client(server_.fx().env(), server_.port());
+  query(server_, client, "CREATE TABLE t");
+  for (int i = 0; i < 8; ++i)
+    query(server_, client, "INSERT t row" + std::to_string(i) + " v");
+
+  server_.fx().hsfi().set_profiling(true);
+  query(server_, client, "VACUUM");
+  MarkerId target = kInvalidMarker;
+  for (const Marker& m : server_.fx().hsfi().markers())
+    if (m.name == "vacuum" && m.executions > 0) target = m.id;
+  ASSERT_NE(target, kInvalidMarker);
+  server_.fx().hsfi().arm(
+      FaultPlan{target, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+  client.send_query("VACUUM");
+  for (int i = 0; i < 8; ++i) server_.run_once();
+  server_.fx().hsfi().disarm();
+
+  EXPECT_EQ(server_.total_rows(), 8u);  // rolled back, nothing lost
+  PgClient fresh(server_.fx().env(), server_.port());
+  EXPECT_EQ(query(server_, fresh, "SELECT t row3"), "v\n(1 row)");
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+
+namespace fir {
+namespace {
+
+TEST(HistogramTest, EmptyBasics) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, MeanMinMax) {
+  Histogram h;
+  for (double v : {4.0, 2.0, 6.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+}
+
+TEST(HistogramTest, PercentileInterpolation) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.percentile(99), 99.01, 0.1);
+}
+
+TEST(HistogramTest, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(3.0);
+  EXPECT_NEAR(h.stddev(), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.add(1.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HistogramTest, AddAfterPercentileQueryStaysSorted) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+}  // namespace
+}  // namespace fir

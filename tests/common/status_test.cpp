@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace fir {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "missing file");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing file");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status(ErrorCode::kNotFound, "a"), Status(ErrorCode::kNotFound, "b"));
+  EXPECT_FALSE(Status(ErrorCode::kNotFound, "a") ==
+               Status(ErrorCode::kInternal, "a"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnimplemented); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status(ErrorCode::kUnavailable, "later");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status fails() { return Status(ErrorCode::kInternal, "boom"); }
+Status propagates() {
+  FIR_RETURN_IF_ERROR(fails());
+  return Status::ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(propagates().code(), ErrorCode::kInternal);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace fir {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 22 "), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x "), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRendersEmpty) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+}
+
+TEST(TextTableTest, SeparatorInsertsRule) {
+  TextTable t;
+  t.set_header({"h"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + separator + closing rule = at least 4 '+--' lines
+  int rules = 0;
+  for (std::size_t p = out.find("+-"); p != std::string::npos;
+       p = out.find("+-", p + 1))
+    ++rules;
+  EXPECT_GE(rules, 4);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.125, 1), "12.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace fir

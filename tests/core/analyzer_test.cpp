@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+
+namespace fir {
+namespace {
+
+TEST(AnalyzerTest, EmptyRegistryYieldsZeroSurface) {
+  SiteRegistry sites;
+  const SurfaceReport report = analyze_surface(sites);
+  EXPECT_EQ(report.unique_transactions, 0u);
+  EXPECT_EQ(report.recoverable_fraction(), 0.0);
+}
+
+TEST(AnalyzerTest, CountsExecutedSitesOnly) {
+  SiteRegistry sites;
+  const SiteId a = sites.intern("socket", "x:1");      // recoverable
+  const SiteId b = sites.intern("send", "x:2");        // irrecoverable
+  const SiteId c = sites.intern("recv", "x:3");        // never executed
+  const SiteId d = sites.intern("free", "x:4");        // embedded only
+  sites[a].stats.transactions = 5;
+  sites[b].stats.transactions = 3;
+  sites[d].stats.embedded_calls = 7;
+  (void)c;
+
+  const SurfaceReport report = analyze_surface(sites);
+  EXPECT_EQ(report.unique_transactions, 2u);
+  EXPECT_EQ(report.irrecoverable_transactions, 1u);
+  EXPECT_EQ(report.embedded_libcall_sites, 1u);
+  EXPECT_DOUBLE_EQ(report.recoverable_fraction(), 0.5);
+}
+
+TEST(AnalyzerTest, SiteReportSortsByActivity) {
+  SiteRegistry sites;
+  const SiteId a = sites.intern("socket", "x:1");
+  const SiteId b = sites.intern("recv", "x:2");
+  sites[a].stats.transactions = 1;
+  sites[b].stats.transactions = 10;
+  const auto rows = site_report(sites);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].function, "recv");
+  EXPECT_TRUE(rows[0].recoverable);
+}
+
+TEST(AnalyzerTest, UnmodeledFunctionIsIrrecoverable) {
+  SiteRegistry sites;
+  const SiteId a = sites.intern("exotic_call", "x:1");
+  sites[a].stats.transactions = 1;
+  const SurfaceReport report = analyze_surface(sites);
+  EXPECT_EQ(report.irrecoverable_transactions, 1u);
+}
+
+TEST(AnalyzerTest, RegistryInternIsIdempotent) {
+  SiteRegistry sites;
+  const SiteId a = sites.intern("socket", "x:1");
+  const SiteId b = sites.intern("socket", "x:1");
+  const SiteId c = sites.intern("socket", "x:2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(sites.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/crash.h"
+
+namespace fir {
+namespace {
+
+class RecordingHandler : public CrashHandler {
+ public:
+  [[noreturn]] void handle_crash(CrashKind kind) override {
+    last_kind = kind;
+    ++calls;
+    throw FatalCrashError(kind, "recorded");
+  }
+  CrashKind last_kind = CrashKind::kSegv;
+  int calls = 0;
+};
+
+TEST(CrashTest, NoHandlerThrowsFatal) {
+  set_crash_handler(nullptr);
+  EXPECT_THROW(raise_crash(CrashKind::kAbort), FatalCrashError);
+}
+
+TEST(CrashTest, HandlerReceivesKind) {
+  RecordingHandler handler;
+  CrashHandler* prev = set_crash_handler(&handler);
+  EXPECT_THROW(raise_crash(CrashKind::kBus), FatalCrashError);
+  EXPECT_EQ(handler.calls, 1);
+  EXPECT_EQ(handler.last_kind, CrashKind::kBus);
+  set_crash_handler(prev);
+}
+
+TEST(CrashTest, SetHandlerReturnsPrevious) {
+  RecordingHandler a, b;
+  CrashHandler* original = set_crash_handler(&a);
+  EXPECT_EQ(set_crash_handler(&b), &a);
+  EXPECT_EQ(crash_handler(), &b);
+  set_crash_handler(original);
+}
+
+TEST(CrashTest, CheckPtrPassesNonNull) {
+  set_crash_handler(nullptr);
+  int x = 0;
+  check_ptr(&x);  // no crash
+  EXPECT_THROW(check_ptr(nullptr), FatalCrashError);
+}
+
+TEST(CrashTest, CheckBoundsGuardsIndices) {
+  set_crash_handler(nullptr);
+  check_bounds(4, 5);  // ok
+  EXPECT_THROW(check_bounds(5, 5), FatalCrashError);
+  EXPECT_THROW(check_bounds(100, 5), FatalCrashError);
+}
+
+TEST(CrashTest, KindNamesMapToSignals) {
+  EXPECT_STREQ(crash_kind_name(CrashKind::kSegv), "SIGSEGV");
+  EXPECT_STREQ(crash_kind_name(CrashKind::kAbort), "SIGABRT");
+  EXPECT_STREQ(crash_kind_name(CrashKind::kIllegal), "SIGILL");
+  EXPECT_STREQ(crash_kind_name(CrashKind::kBus), "SIGBUS");
+  EXPECT_STREQ(crash_kind_name(CrashKind::kFpe), "SIGFPE");
+}
+
+TEST(CrashTest, FatalCrashErrorCarriesKind) {
+  const FatalCrashError err(CrashKind::kFpe, "divide by zero");
+  EXPECT_EQ(err.kind(), CrashKind::kFpe);
+  EXPECT_STREQ(err.what(), "divide by zero");
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,149 @@
+// Adaptive-policy decision logic (§IV-C).
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace fir {
+namespace {
+
+Site make_site(const char* function = "malloc") {
+  Site site;
+  site.id = 0;
+  site.function = function;
+  site.spec = LibraryCatalog::instance().find(function);
+  return site;
+}
+
+TEST(PolicyTest, StmOnlyAlwaysStm) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kStmOnly;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(policy.choose_mode(site), TxMode::kStm);
+}
+
+TEST(PolicyTest, UnprotectedAlwaysNone) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kUnprotected;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  EXPECT_EQ(policy.choose_mode(site), TxMode::kNone);
+}
+
+TEST(PolicyTest, NaiveHtmNeverDemotes) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kNaiveHtm;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.choose_mode(site), TxMode::kHtm);
+    EXPECT_EQ(policy.on_htm_abort(site), TxMode::kStm);
+  }
+  EXPECT_FALSE(site.gate.sticky_stm);
+}
+
+TEST(PolicyTest, HtmOnlyFallsBackUnprotected) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kHtmOnly;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  EXPECT_EQ(policy.choose_mode(site), TxMode::kHtm);
+  EXPECT_EQ(policy.on_htm_abort(site), TxMode::kNone);
+}
+
+TEST(PolicyTest, ManualListForcesStm) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kManual;
+  config.manual_stm_functions = {"malloc", "posix_memalign", "fcntl64"};
+  AdaptivePolicy policy(config);
+  Site marked = make_site("malloc");
+  Site unmarked = make_site("setsockopt");
+  EXPECT_EQ(policy.choose_mode(marked), TxMode::kStm);
+  EXPECT_EQ(policy.choose_mode(unmarked), TxMode::kHtm);
+}
+
+TEST(PolicyTest, AdaptiveDemotesAboveThreshold) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kAdaptive;
+  config.abort_threshold = 0.01;
+  config.sample_size = 4;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  // Abort on every execution: ratio 100% >> 1% — demoted at the first
+  // sample-size boundary.
+  int htm_attempts = 0;
+  for (int i = 0; i < 20; ++i) {
+    const TxMode mode = policy.choose_mode(site);
+    if (mode == TxMode::kHtm) {
+      ++htm_attempts;
+      policy.on_htm_abort(site);
+    }
+  }
+  EXPECT_TRUE(site.gate.sticky_stm);
+  EXPECT_LE(htm_attempts, 4);
+  // Once demoted, stays STM.
+  EXPECT_EQ(policy.choose_mode(site), TxMode::kStm);
+}
+
+TEST(PolicyTest, AdaptiveToleratesRareAborts) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kAdaptive;
+  config.abort_threshold = 0.10;  // 10%
+  config.sample_size = 16;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  // 1 abort in 100 executions; even at the first check (16 executions) the
+  // ratio is 6.25% < 10% — never demoted.
+  for (int i = 0; i < 100; ++i) {
+    const TxMode mode = policy.choose_mode(site);
+    ASSERT_EQ(mode, TxMode::kHtm) << "iteration " << i;
+    if (i == 0) policy.on_htm_abort(site);
+  }
+  EXPECT_FALSE(site.gate.sticky_stm);
+}
+
+// Threshold sweep: any threshold below the actual abort ratio demotes, any
+// threshold above does not (Fig. 6's parameter space).
+struct SweepCase {
+  double abort_ratio;
+  double threshold;
+  bool expect_demotion;
+};
+
+class PolicySweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PolicySweepTest, DemotionMatchesRatioVsThreshold) {
+  const auto& c = GetParam();
+  PolicyConfig config;
+  config.kind = PolicyKind::kAdaptive;
+  config.abort_threshold = c.threshold;
+  config.sample_size = 8;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  const int executions = 800;
+  const int period = static_cast<int>(1.0 / c.abort_ratio);
+  for (int i = 0; i < executions && !site.gate.sticky_stm; ++i) {
+    const TxMode mode = policy.choose_mode(site);
+    if (mode == TxMode::kHtm && i % period == 0) policy.on_htm_abort(site);
+  }
+  EXPECT_EQ(site.gate.sticky_stm, c.expect_demotion)
+      << "ratio=" << c.abort_ratio << " threshold=" << c.threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatioVsThreshold, PolicySweepTest,
+    ::testing::Values(SweepCase{0.5, 0.01, true},
+                      SweepCase{0.5, 0.25, true},
+                      SweepCase{0.125, 0.01, true},
+                      SweepCase{0.125, 0.32, false},
+                      SweepCase{0.0625, 0.01, true},
+                      SweepCase{0.0625, 0.64, false}));
+
+TEST(PolicyTest, KindNames) {
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kAdaptive), "adaptive");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kStmOnly), "stm-only");
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+#include <cstring>
+#include <vector>
+
+#include "core/stack_snapshot.h"
+
+namespace fir {
+namespace {
+
+TEST(StackSnapshotTest, CaptureAndRestoreRegion) {
+  std::vector<char> region(256, 'a');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + region.size()));
+  EXPECT_TRUE(snapshot.valid());
+  EXPECT_EQ(snapshot.size_bytes(), 256u);
+  std::memset(region.data(), 'z', region.size());
+  snapshot.restore();
+  EXPECT_EQ(region[0], 'a');
+  EXPECT_EQ(region[255], 'a');
+}
+
+TEST(StackSnapshotTest, RejectsInvertedBounds) {
+  char buf[16] = {};
+  StackSnapshot snapshot;
+  EXPECT_FALSE(snapshot.capture(buf + 16, buf));
+  EXPECT_FALSE(snapshot.valid());
+}
+
+TEST(StackSnapshotTest, RejectsImplausiblyLargeRegion) {
+  StackSnapshot snapshot;
+  char* base = reinterpret_cast<char*>(0x1000);
+  EXPECT_FALSE(
+      snapshot.capture(base, base + StackSnapshot::kMaxBytes + 1));
+}
+
+TEST(StackSnapshotTest, InvalidateMakesRestoreNoOp) {
+  std::vector<char> region(64, 'a');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + region.size()));
+  snapshot.invalidate();
+  std::memset(region.data(), 'z', region.size());
+  snapshot.restore();  // must not touch the region
+  EXPECT_EQ(region[0], 'z');
+}
+
+TEST(StackSnapshotTest, RecaptureReplacesImage) {
+  std::vector<char> region(64, '1');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + 64));
+  std::memset(region.data(), '2', 64);
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + 64));
+  std::memset(region.data(), '3', 64);
+  snapshot.restore();
+  EXPECT_EQ(region[0], '2');
+}
+
+TEST(RecoveryStackTest, RunsFunctionOnDetachedStack) {
+  static jmp_buf back;
+  static char* observed_sp = nullptr;
+  RecoveryStack recovery;
+  char here;
+  if (setjmp(back) == 0) {
+    recovery.run(
+        [](void*) {
+          char marker;
+          observed_sp = &marker;
+          std::longjmp(back, 1);
+        },
+        nullptr);
+  }
+  // The recovery function ran on a different stack, far from this frame.
+  const auto distance =
+      observed_sp > &here ? observed_sp - &here : &here - observed_sp;
+  EXPECT_GT(distance, 16 * 1024);
+}
+
+}  // namespace
+}  // namespace fir

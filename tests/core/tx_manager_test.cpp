@@ -1,0 +1,290 @@
+// TxManager gate-protocol tests: begin/commit, tracked rollback, retry and
+// diversion semantics, embedded calls, deferred effects.
+#include <gtest/gtest.h>
+
+#include "core/tx_manager.h"
+#include "interpose/fir.h"
+#include "mem/tracked.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_only_config() {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  return config;
+}
+
+// Transient-fault model: crashes the first `g_crash_budget` times it is
+// reached, then stops. The budget must live OUTSIDE the rollback domain
+// (not on the protected stack): a transient fault is an external event, and
+// state rollback must not resurrect it.
+int g_crash_budget = 0;
+void maybe_crash_transient() {
+  if (g_crash_budget > 0) {
+    --g_crash_budget;
+    raise_crash(CrashKind::kSegv);
+  }
+}
+
+TEST(TxManagerTest, GateCommitsPreviousTransactionAtNextCall) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  const int a = FIR_SOCKET(fx);
+  ASSERT_GE(a, 0);
+  EXPECT_TRUE(fx.mgr().in_transaction());
+  const int b = FIR_SOCKET(fx);
+  ASSERT_GE(b, 0);
+  FIR_QUIESCE(fx);
+  EXPECT_FALSE(fx.mgr().in_transaction());
+  std::uint64_t commits = 0;
+  for (const Site& s : fx.mgr().sites().all()) commits += s.stats.commits;
+  EXPECT_EQ(commits, 2u);
+}
+
+TEST(TxManagerTest, TransientCrashRollsBackTrackedStateAndRetries) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  tracked<int> value;
+  value.init(10);
+  g_crash_budget = 1;
+
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  value = 20;                // tracked store inside the transaction
+  maybe_crash_transient();   // first pass crashes; retry re-executes
+  EXPECT_EQ(static_cast<int>(value), 20);
+  FIR_QUIESCE(fx);
+
+  std::uint64_t retries = 0, diversions = 0;
+  for (const Site& s : fx.mgr().sites().all()) {
+    retries += s.stats.retries;
+    diversions += s.stats.diversions;
+  }
+  EXPECT_EQ(retries, 1u);
+  EXPECT_EQ(diversions, 0u);
+  EXPECT_TRUE(fx.env().fd_valid(fd));  // call effect survives a retry
+}
+
+TEST(TxManagerTest, PersistentCrashDivertsWithInjectedError) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  tracked<int> counter;
+  counter.init(0);
+
+  const int fd = FIR_SOCKET(fx);
+  if (fd >= 0) {
+    counter += 1;
+    raise_crash(CrashKind::kSegv);  // fires again after retry => divert
+  }
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(fx.err(), EMFILE);
+  EXPECT_EQ(static_cast<int>(counter), 0);
+  EXPECT_EQ(fx.env().open_fd_count(), 0u);  // compensation closed the fd
+  FIR_QUIESCE(fx);
+
+  std::uint64_t diversions = 0;
+  for (const Site& s : fx.mgr().sites().all())
+    diversions += s.stats.diversions;
+  EXPECT_EQ(diversions, 1u);
+}
+
+TEST(TxManagerTest, CrashInDivertedHandlerIsFatal) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  bool handler_ran = false;
+  EXPECT_THROW(
+      {
+        const int fd = FIR_SOCKET(fx);
+        if (fd >= 0) raise_crash(CrashKind::kSegv);
+        handler_ran = true;
+        raise_crash(CrashKind::kAbort);  // no handler for the handler (VII)
+      },
+      FatalCrashError);
+  EXPECT_TRUE(handler_ran);
+  EXPECT_FALSE(fx.mgr().in_transaction());
+}
+
+TEST(TxManagerTest, CrashOutsideAnyTransactionIsFatal) {
+  Fx fx(stm_only_config());
+  EXPECT_THROW(raise_crash(CrashKind::kSegv), FatalCrashError);
+}
+
+TEST(TxManagerTest, UnprotectedConfigNeverOpensRecordingTransactions) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kUnprotected;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(fx.mgr().current_mode(), TxMode::kNone);
+  EXPECT_EQ(fx.mgr().transactions_stm(), 0u);
+  EXPECT_EQ(fx.mgr().transactions_htm(), 0u);
+  FIR_QUIESCE(fx);
+}
+
+TEST(TxManagerTest, DisabledManagerStillPerformsCalls) {
+  TxManagerConfig config;
+  config.enabled = false;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  EXPECT_GE(fd, 0);
+  FIR_QUIESCE(fx);
+}
+
+TEST(TxManagerTest, NoAnchorMeansUnprotectedInitPhase) {
+  Fx fx(stm_only_config());
+  const int fd = FIR_SOCKET(fx);  // init-phase call, no anchor set
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(fx.mgr().current_mode(), TxMode::kNone);
+  FIR_QUIESCE(fx);
+}
+
+TEST(TxManagerTest, DeferredCloseHappensAtCommitNotBefore) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  const int rc = FIR_CLOSE(fx, fd);
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(fx.env().fd_valid(fd));  // deferred until commit
+  FIR_QUIESCE(fx);
+  EXPECT_FALSE(fx.env().fd_valid(fd));
+}
+
+TEST(TxManagerTest, CloseOfBadFdReportsEbadf) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  const int rc = FIR_CLOSE(fx, 77);
+  EXPECT_EQ(rc, -1);
+  EXPECT_EQ(fx.err(), EBADF);
+  FIR_QUIESCE(fx);
+}
+
+TEST(TxManagerTest, EmbeddedFreeIsDroppedOnRollbackAndReissued) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  g_crash_budget = 1;
+
+  void* block = FIR_MALLOC(fx, 64);
+  ASSERT_NE(block, nullptr);
+  FIR_FREE(fx, block);      // embedded deferred free
+  maybe_crash_transient();  // rollback drops it; re-execution re-frees
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.env().stats().heap_frees, 1u);
+  EXPECT_EQ(fx.env().stats().heap_bytes, 0u);
+}
+
+TEST(TxManagerTest, MallocDivertReturnsNullAndFreesBlock) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  void* block = FIR_MALLOC(fx, 128);
+  if (block != nullptr) raise_crash(CrashKind::kSegv);  // persistent
+  EXPECT_EQ(block, nullptr);
+  EXPECT_EQ(fx.err(), ENOMEM);
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.env().stats().heap_bytes, 0u);  // compensation freed it
+}
+
+TEST(TxManagerTest, RecvDivertRestoresBufferAndStream) {
+  Fx fx(stm_only_config());
+
+  const int ls = fx.env().socket();
+  ASSERT_EQ(fx.env().bind(ls, 9000), 0);
+  ASSERT_EQ(fx.env().listen(ls, 4), 0);
+  const int client = fx.env().connect_to(9000);
+  ASSERT_GE(client, 0);
+  const int conn = fx.env().accept(ls);
+  ASSERT_GE(conn, 0);
+  ASSERT_EQ(fx.env().send(client, "hello", 5), 5);
+
+  FIR_ANCHOR(fx);
+  char buf[16];
+  std::memset(buf, 'x', sizeof(buf));
+  const ssize_t r = FIR_RECV(fx, conn, buf, sizeof(buf));
+  if (r == 5) raise_crash(CrashKind::kSegv);  // persistent crash after recv
+  EXPECT_EQ(r, -1);
+  EXPECT_EQ(fx.err(), ECONNRESET);
+  EXPECT_EQ(buf[0], 'x');  // buffer restored
+  FIR_QUIESCE(fx);
+
+  char again[16];
+  EXPECT_EQ(fx.env().recv(conn, again, sizeof(again)), 5);
+  EXPECT_EQ(std::string_view(again, 5), "hello");  // stream un-consumed
+}
+
+TEST(TxManagerTest, SendSiteCannotDivertAndEndsFatal) {
+  Fx fx(stm_only_config());
+  const int ls = fx.env().socket();
+  ASSERT_EQ(fx.env().bind(ls, 9001), 0);
+  ASSERT_EQ(fx.env().listen(ls, 4), 0);
+  const int client = fx.env().connect_to(9001);
+  const int conn = fx.env().accept(ls);
+  ASSERT_GE(conn, 0);
+  (void)client;
+
+  FIR_ANCHOR(fx);
+  EXPECT_THROW(
+      {
+        const ssize_t w = FIR_SEND(fx, conn, "data", 4);
+        if (w == 4) raise_crash(CrashKind::kSegv);  // persistent
+      },
+      FatalCrashError);
+  std::uint64_t retries = 0, fatal = 0;
+  for (const Site& s : fx.mgr().sites().all()) {
+    retries += s.stats.retries;
+    fatal += s.stats.fatal;
+  }
+  EXPECT_EQ(retries, 1u);
+  EXPECT_EQ(fatal, 1u);
+}
+
+TEST(TxManagerTest, LseekDivertRestoresOffset) {
+  Fx fx(stm_only_config());
+  fx.env().vfs().put_file("/f.txt", "0123456789");
+  const int fd = fx.env().open("/f.txt", kRdOnly);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(fx.env().lseek(fd, 3, kSeekSet), 3);
+
+  FIR_ANCHOR(fx);
+  const std::int64_t pos = FIR_LSEEK(fx, fd, 8, kSeekSet);
+  if (pos == 8) raise_crash(CrashKind::kSegv);  // persistent
+  EXPECT_EQ(pos, -1);
+  EXPECT_EQ(fx.err(), EINVAL);
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.env().file_offset(fd), 3);  // compensation seeked back
+}
+
+TEST(TxManagerTest, RecoveryLatencyIsRecorded) {
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  if (fd >= 0) raise_crash(CrashKind::kSegv);
+  FIR_QUIESCE(fx);
+  // One retry + one divert = two recovery episodes.
+  EXPECT_EQ(fx.mgr().recovery_latency().count(), 2u);
+  ASSERT_EQ(fx.mgr().recovery_log().size(), 2u);
+  EXPECT_EQ(fx.mgr().recovery_log()[0].action, RecoveryEvent::Action::kRetry);
+  EXPECT_EQ(fx.mgr().recovery_log()[1].action,
+            RecoveryEvent::Action::kDivert);
+  EXPECT_LT(fx.mgr().recovery_log()[1].latency_seconds, 1.0);
+}
+
+TEST(TxManagerTest, GateSurvivesCrashAfterGateFrameReturned) {
+  // The function holding the gate returns before the crash: the stack
+  // snapshot must restore that frame so the longjmp lands safely.
+  Fx fx(stm_only_config());
+  FIR_ANCHOR(fx);
+  struct Helper {
+    static int open_socket(Fx& fx_ref) { return FIR_SOCKET(fx_ref); }
+  };
+  const int fd = Helper::open_socket(fx);      // gate frame dies here
+  if (fd >= 0) raise_crash(CrashKind::kSegv);  // crash in caller frame
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(fx.err(), EMFILE);
+  FIR_QUIESCE(fx);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "env/env.h"
+
+namespace fir {
+namespace {
+
+TEST(EnvEpollTest, CtlAddModDel) {
+  Env env;
+  const int ep = env.epoll_create1();
+  const int s = env.socket();
+  EXPECT_EQ(env.epoll_ctl(ep, kEpollAdd, s, kPollIn), 0);
+  EXPECT_EQ(env.epoll_ctl(ep, kEpollAdd, s, kPollIn), -1);
+  EXPECT_EQ(env.last_errno(), EEXIST);
+  EXPECT_EQ(env.epoll_ctl(ep, kEpollMod, s, kPollOut), 0);
+  EXPECT_EQ(env.epoll_ctl(ep, kEpollDel, s, 0), 0);
+  EXPECT_EQ(env.epoll_ctl(ep, kEpollDel, s, 0), -1);
+  EXPECT_EQ(env.last_errno(), ENOENT);
+  EXPECT_EQ(env.epoll_ctl(ep, kEpollAdd, 999, kPollIn), -1);
+  EXPECT_EQ(env.last_errno(), EBADF);
+}
+
+TEST(EnvEpollTest, ListenerReadableOnPendingConnection) {
+  Env env;
+  const int ep = env.epoll_create1();
+  const int s = env.socket();
+  env.bind(s, 6000);
+  env.listen(s, 4);
+  env.epoll_ctl(ep, kEpollAdd, s, kPollIn);
+
+  PollEvent events[4];
+  EXPECT_EQ(env.epoll_wait(ep, events, 4), 0);
+  ASSERT_GE(env.connect_to(6000), 0);
+  ASSERT_EQ(env.epoll_wait(ep, events, 4), 1);
+  EXPECT_EQ(events[0].fd, s);
+  EXPECT_TRUE(events[0].events & kPollIn);
+}
+
+TEST(EnvEpollTest, SocketReadableAndWritableLevels) {
+  Env env;
+  const int ep = env.epoll_create1();
+  const int s = env.socket();
+  env.bind(s, 6001);
+  env.listen(s, 4);
+  const int client = env.connect_to(6001);
+  const int conn = env.accept(s);
+  env.epoll_ctl(ep, kEpollAdd, conn, kPollIn | kPollOut);
+
+  PollEvent events[4];
+  ASSERT_EQ(env.epoll_wait(ep, events, 4), 1);
+  EXPECT_EQ(events[0].events & kPollIn, 0u);   // nothing to read yet
+  EXPECT_NE(events[0].events & kPollOut, 0u);  // can write
+
+  env.send(client, "x", 1);
+  ASSERT_EQ(env.epoll_wait(ep, events, 4), 1);
+  EXPECT_NE(events[0].events & kPollIn, 0u);
+
+  // Level-triggered: still readable until drained.
+  ASSERT_EQ(env.epoll_wait(ep, events, 4), 1);
+  EXPECT_NE(events[0].events & kPollIn, 0u);
+  char buf[2];
+  env.recv(conn, buf, sizeof(buf));
+  ASSERT_EQ(env.epoll_wait(ep, events, 4), 1);
+  EXPECT_EQ(events[0].events & kPollIn, 0u);
+}
+
+TEST(EnvEpollTest, HupOnPeerClose) {
+  Env env;
+  const int ep = env.epoll_create1();
+  const int s = env.socket();
+  env.bind(s, 6002);
+  env.listen(s, 4);
+  const int client = env.connect_to(6002);
+  const int conn = env.accept(s);
+  env.epoll_ctl(ep, kEpollAdd, conn, kPollIn);
+  env.close(client);
+
+  PollEvent events[4];
+  ASSERT_EQ(env.epoll_wait(ep, events, 4), 1);
+  EXPECT_NE(events[0].events & kPollHup, 0u);
+  EXPECT_NE(events[0].events & kPollIn, 0u);  // EOF is readable
+}
+
+TEST(EnvEpollTest, ClosingFdDropsInterest) {
+  Env env;
+  const int ep = env.epoll_create1();
+  const int s = env.socket();
+  env.bind(s, 6003);
+  env.listen(s, 4);
+  env.epoll_ctl(ep, kEpollAdd, s, kPollIn);
+  env.connect_to(6003);
+  env.close(s);
+  PollEvent events[4];
+  EXPECT_EQ(env.epoll_wait(ep, events, 4), 0);
+}
+
+TEST(EnvEpollTest, WaitValidatesArguments) {
+  Env env;
+  PollEvent events[1];
+  EXPECT_EQ(env.epoll_wait(3, events, 1), -1);
+  EXPECT_EQ(env.last_errno(), EBADF);
+  const int ep = env.epoll_create1();
+  EXPECT_EQ(env.epoll_wait(ep, events, 0), -1);
+  EXPECT_EQ(env.last_errno(), EINVAL);
+}
+
+}  // namespace
+}  // namespace fir

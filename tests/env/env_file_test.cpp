@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "env/env.h"
+
+namespace fir {
+namespace {
+
+TEST(EnvFileTest, OpenMissingWithoutCreatFails) {
+  Env env;
+  EXPECT_EQ(env.open("/nope", kRdOnly), -1);
+  EXPECT_EQ(env.last_errno(), ENOENT);
+}
+
+TEST(EnvFileTest, CreateWriteReadRoundTrip) {
+  Env env;
+  const int fd = env.open("/f", kCreat | kRdWr);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env.write(fd, "hello", 5), 5);
+  EXPECT_EQ(env.lseek(fd, 0, kSeekSet), 0);
+  char buf[8] = {};
+  EXPECT_EQ(env.read(fd, buf, sizeof(buf)), 5);
+  EXPECT_STREQ(buf, "hello");
+  EXPECT_EQ(env.close(fd), 0);
+  EXPECT_EQ(env.close(fd), -1);  // double close
+  EXPECT_EQ(env.last_errno(), EBADF);
+}
+
+TEST(EnvFileTest, PreadDoesNotMoveOffset) {
+  Env env;
+  env.vfs().put_file("/f", "0123456789");
+  const int fd = env.open("/f", kRdOnly);
+  char buf[4] = {};
+  EXPECT_EQ(env.pread(fd, buf, 4, 3), 4);
+  EXPECT_EQ(std::string_view(buf, 4), "3456");
+  EXPECT_EQ(env.file_offset(fd), 0);
+  // Past EOF reads return 0.
+  EXPECT_EQ(env.pread(fd, buf, 4, 100), 0);
+}
+
+TEST(EnvFileTest, PwriteExtendsWithZeros) {
+  Env env;
+  const int fd = env.open("/f", kCreat | kWrOnly);
+  EXPECT_EQ(env.pwrite(fd, "xy", 2, 5), 2);
+  std::size_t size = 0;
+  EXPECT_EQ(env.fstat_size(fd, &size), 0);
+  EXPECT_EQ(size, 7u);
+  auto inode = env.vfs().lookup("/f");
+  EXPECT_EQ(inode->data[0], '\0');
+  EXPECT_EQ(inode->data[5], 'x');
+}
+
+TEST(EnvFileTest, AppendFlagStartsAtEnd) {
+  Env env;
+  env.vfs().put_file("/log", "abc");
+  const int fd = env.open("/log", kWrOnly | kAppend);
+  EXPECT_EQ(env.write(fd, "de", 2), 2);
+  std::size_t size = 0;
+  env.stat_size("/log", &size);
+  EXPECT_EQ(size, 5u);
+}
+
+TEST(EnvFileTest, TruncFlagClears) {
+  Env env;
+  env.vfs().put_file("/f", "abc");
+  const int fd = env.open("/f", kWrOnly | kTrunc);
+  std::size_t size = 99;
+  env.fstat_size(fd, &size);
+  EXPECT_EQ(size, 0u);
+}
+
+TEST(EnvFileTest, LseekWhenceVariants) {
+  Env env;
+  env.vfs().put_file("/f", "0123456789");
+  const int fd = env.open("/f", kRdOnly);
+  EXPECT_EQ(env.lseek(fd, 4, kSeekSet), 4);
+  EXPECT_EQ(env.lseek(fd, 2, kSeekCur), 6);
+  EXPECT_EQ(env.lseek(fd, -1, kSeekEnd), 9);
+  EXPECT_EQ(env.lseek(fd, -100, kSeekCur), -1);
+  EXPECT_EQ(env.last_errno(), EINVAL);
+  EXPECT_EQ(env.lseek(fd, 0, 99), -1);
+}
+
+TEST(EnvFileTest, FtruncateGrowsAndShrinks) {
+  Env env;
+  env.vfs().put_file("/f", "abcdef");
+  const int fd = env.open("/f", kRdWr);
+  EXPECT_EQ(env.ftruncate(fd, 3), 0);
+  std::size_t size = 0;
+  env.fstat_size(fd, &size);
+  EXPECT_EQ(size, 3u);
+  EXPECT_EQ(env.ftruncate(fd, 10), 0);
+  env.fstat_size(fd, &size);
+  EXPECT_EQ(size, 10u);
+}
+
+TEST(EnvFileTest, UnlinkedOpenFileStaysReadable) {
+  Env env;
+  env.vfs().put_file("/f", "keep");
+  const int fd = env.open("/f", kRdOnly);
+  EXPECT_EQ(env.unlink("/f"), 0);
+  char buf[8] = {};
+  EXPECT_EQ(env.read(fd, buf, sizeof(buf)), 4);
+  EXPECT_EQ(env.open("/f", kRdOnly), -1);
+}
+
+TEST(EnvFileTest, HeapAccounting) {
+  Env env;
+  void* a = env.mem_alloc(100);
+  void* b = env.mem_alloc_zero(50);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(static_cast<char*>(b)[49], 0);
+  EXPECT_EQ(env.stats().heap_bytes, 150u);
+  EXPECT_EQ(env.stats().heap_peak_bytes, 150u);
+  env.mem_free(a);
+  EXPECT_EQ(env.stats().heap_bytes, 50u);
+  EXPECT_EQ(env.stats().heap_peak_bytes, 150u);
+  void* c = env.mem_realloc(b, 80);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(env.stats().heap_bytes, 80u);
+  env.mem_free(c);
+  EXPECT_EQ(env.stats().heap_bytes, 0u);
+  env.mem_free(nullptr);  // no-op
+}
+
+TEST(EnvFileTest, FdExhaustionReportsEmfile) {
+  Env env;
+  int last = -1;
+  for (;;) {
+    const int fd = env.open("/x", kCreat | kRdWr);
+    if (fd < 0) {
+      EXPECT_EQ(env.last_errno(), EMFILE);
+      break;
+    }
+    last = fd;
+  }
+  EXPECT_GT(last, 500);  // table-sized
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+
+#include "env/env.h"
+
+namespace fir {
+namespace {
+
+struct Pair {
+  int listener = -1;
+  int client = -1;
+  int server = -1;
+};
+
+Pair make_pair(Env& env, std::uint16_t port) {
+  Pair p;
+  p.listener = env.socket();
+  EXPECT_EQ(env.bind(p.listener, port), 0);
+  EXPECT_EQ(env.listen(p.listener, 8), 0);
+  p.client = env.connect_to(port);
+  EXPECT_GE(p.client, 0);
+  p.server = env.accept(p.listener);
+  EXPECT_GE(p.server, 0);
+  return p;
+}
+
+TEST(EnvSocketTest, ConnectRefusedWithoutListener) {
+  Env env;
+  EXPECT_EQ(env.connect_to(4444), -1);
+  EXPECT_EQ(env.last_errno(), ECONNREFUSED);
+}
+
+TEST(EnvSocketTest, BindConflictsReportAddrInUse) {
+  Env env;
+  const int a = env.socket();
+  const int b = env.socket();
+  EXPECT_EQ(env.bind(a, 5000), 0);
+  EXPECT_EQ(env.bind(b, 5000), -1);
+  EXPECT_EQ(env.last_errno(), EADDRINUSE);
+  EXPECT_EQ(env.bind(b, 0), -1);  // port 0 invalid in this model
+}
+
+TEST(EnvSocketTest, ListenRequiresBind) {
+  Env env;
+  const int s = env.socket();
+  EXPECT_EQ(env.listen(s, 8), -1);
+  EXPECT_EQ(env.last_errno(), EINVAL);
+}
+
+TEST(EnvSocketTest, AcceptEmptyQueueIsEagain) {
+  Env env;
+  const int s = env.socket();
+  env.bind(s, 5001);
+  env.listen(s, 8);
+  EXPECT_EQ(env.accept(s), -1);
+  EXPECT_EQ(env.last_errno(), EAGAIN);
+}
+
+TEST(EnvSocketTest, SendRecvRoundTrip) {
+  Env env;
+  Pair p = make_pair(env, 5002);
+  EXPECT_EQ(env.send(p.client, "ping", 4), 4);
+  char buf[8] = {};
+  EXPECT_EQ(env.recv(p.server, buf, sizeof(buf)), 4);
+  EXPECT_EQ(std::string_view(buf, 4), "ping");
+  EXPECT_EQ(env.send(p.server, "pong!", 5), 5);
+  EXPECT_EQ(env.recv(p.client, buf, sizeof(buf)), 5);
+}
+
+TEST(EnvSocketTest, RecvOnEmptyIsEagainThenEofAfterClose) {
+  Env env;
+  Pair p = make_pair(env, 5003);
+  char buf[4];
+  EXPECT_EQ(env.recv(p.server, buf, sizeof(buf)), -1);
+  EXPECT_EQ(env.last_errno(), EAGAIN);
+  env.close(p.client);
+  EXPECT_EQ(env.recv(p.server, buf, sizeof(buf)), 0);  // orderly EOF
+}
+
+TEST(EnvSocketTest, BufferedBytesReadableAfterPeerClose) {
+  Env env;
+  Pair p = make_pair(env, 5004);
+  env.send(p.client, "tail", 4);
+  env.close(p.client);
+  char buf[8] = {};
+  EXPECT_EQ(env.recv(p.server, buf, sizeof(buf)), 4);
+  EXPECT_EQ(env.recv(p.server, buf, sizeof(buf)), 0);
+}
+
+TEST(EnvSocketTest, SendAfterPeerGoneIsEpipe) {
+  Env env;
+  Pair p = make_pair(env, 5005);
+  env.close(p.server);
+  EXPECT_EQ(env.send(p.client, "x", 1), -1);
+  EXPECT_EQ(env.last_errno(), EPIPE);
+}
+
+TEST(EnvSocketTest, BackpressureReturnsEagain) {
+  Env env;
+  Pair p = make_pair(env, 5006);
+  std::string chunk(64 * 1024, 'x');
+  ssize_t total = 0;
+  for (;;) {
+    const ssize_t w = env.send(p.client, chunk.data(), chunk.size());
+    if (w < 0) {
+      EXPECT_EQ(env.last_errno(), EAGAIN);
+      break;
+    }
+    total += w;
+  }
+  EXPECT_EQ(total, static_cast<ssize_t>(SocketEndpoint::kRxCapacity));
+}
+
+TEST(EnvSocketTest, UnreadRestoresStreamOrder) {
+  Env env;
+  Pair p = make_pair(env, 5007);
+  env.send(p.client, "abcdef", 6);
+  char buf[4] = {};
+  EXPECT_EQ(env.recv(p.server, buf, 3), 3);  // "abc"
+  EXPECT_EQ(env.sock_unread(p.server, buf, 3), 0);
+  char all[8] = {};
+  EXPECT_EQ(env.recv(p.server, all, sizeof(all)), 6);
+  EXPECT_EQ(std::string_view(all, 6), "abcdef");
+}
+
+TEST(EnvSocketTest, ShutdownWrSignalsPeerEof) {
+  Env env;
+  Pair p = make_pair(env, 5008);
+  EXPECT_EQ(env.shutdown_wr(p.client), 0);
+  char buf[4];
+  EXPECT_EQ(env.recv(p.server, buf, sizeof(buf)), 0);
+  EXPECT_EQ(env.send(p.client, "x", 1), -1);
+  EXPECT_EQ(env.last_errno(), EPIPE);
+}
+
+TEST(EnvSocketTest, UnbindAndUnlistenCompensations) {
+  Env env;
+  const int s = env.socket();
+  EXPECT_EQ(env.bind(s, 5009), 0);
+  EXPECT_EQ(env.unbind(s), 0);
+  const int s2 = env.socket();
+  EXPECT_EQ(env.bind(s2, 5009), 0);  // port free again
+
+  EXPECT_EQ(env.listen(s2, 4), 0);
+  const int c = env.connect_to(5009);
+  ASSERT_GE(c, 0);
+  EXPECT_EQ(env.unlisten(s2), 0);
+  // Pending connection was reset; port can be listened on again.
+  EXPECT_EQ(env.listen(s2, 4), 0);
+  char buf[1];
+  EXPECT_EQ(env.recv(c, buf, 1), -1);
+  EXPECT_EQ(env.last_errno(), ECONNRESET);
+}
+
+TEST(EnvSocketTest, BacklogLimitRefusesConnections) {
+  Env env;
+  const int s = env.socket();
+  env.bind(s, 5010);
+  env.listen(s, 2);
+  EXPECT_GE(env.connect_to(5010), 0);
+  EXPECT_GE(env.connect_to(5010), 0);
+  EXPECT_EQ(env.connect_to(5010), -1);
+  EXPECT_EQ(env.last_errno(), ECONNREFUSED);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,92 @@
+// dup/pipe/socketpair/sendfile/writev semantics.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "env/env.h"
+
+namespace fir {
+namespace {
+
+TEST(EnvVectorTest, DupSharesFileDescription) {
+  Env env;
+  env.vfs().put_file("/f", "0123456789");
+  const int fd = env.open("/f", kRdOnly);
+  const int copy = env.dup(fd);
+  ASSERT_GE(copy, 0);
+  char buf[4];
+  EXPECT_EQ(env.read(fd, buf, 4), 4);
+  // Shared offset: the dup continues where the original left off.
+  EXPECT_EQ(env.read(copy, buf, 4), 4);
+  EXPECT_EQ(std::string_view(buf, 4), "4567");
+  EXPECT_EQ(env.dup(999), -1);
+  EXPECT_EQ(env.last_errno(), EBADF);
+}
+
+TEST(EnvVectorTest, PipeCarriesBytesOneWay) {
+  Env env;
+  int p[2];
+  ASSERT_EQ(env.pipe(p), 0);
+  EXPECT_EQ(env.send(p[1], "ping", 4), 4);
+  char buf[8];
+  EXPECT_EQ(env.recv(p[0], buf, sizeof(buf)), 4);
+  EXPECT_EQ(std::string_view(buf, 4), "ping");
+  // Reader end cannot write.
+  EXPECT_EQ(env.send(p[0], "x", 1), -1);
+  EXPECT_EQ(env.last_errno(), EPIPE);
+}
+
+TEST(EnvVectorTest, SocketpairIsBidirectional) {
+  Env env;
+  int sp[2];
+  ASSERT_EQ(env.socketpair(sp), 0);
+  EXPECT_EQ(env.send(sp[0], "ab", 2), 2);
+  EXPECT_EQ(env.send(sp[1], "cd", 2), 2);
+  char buf[4];
+  EXPECT_EQ(env.recv(sp[1], buf, sizeof(buf)), 2);
+  EXPECT_EQ(std::string_view(buf, 2), "ab");
+  EXPECT_EQ(env.recv(sp[0], buf, sizeof(buf)), 2);
+  EXPECT_EQ(std::string_view(buf, 2), "cd");
+}
+
+TEST(EnvVectorTest, SendfileCopiesFileToSocket) {
+  Env env;
+  env.vfs().put_file("/f", "abcdefgh");
+  const int file = env.open("/f", kRdOnly);
+  int sp[2];
+  ASSERT_EQ(env.socketpair(sp), 0);
+  EXPECT_EQ(env.sendfile(sp[0], file, 2, 4), 4);
+  char buf[8];
+  EXPECT_EQ(env.recv(sp[1], buf, sizeof(buf)), 4);
+  EXPECT_EQ(std::string_view(buf, 4), "cdef");
+  // Past EOF: 0 bytes.
+  EXPECT_EQ(env.sendfile(sp[0], file, 100, 4), 0);
+  // Wrong fd kinds.
+  EXPECT_EQ(env.sendfile(file, file, 0, 1), -1);
+  EXPECT_EQ(env.sendfile(sp[0], sp[1], 0, 1), -1);
+}
+
+TEST(EnvVectorTest, WritevGathersSlices) {
+  Env env;
+  const int fd = env.open("/out", kCreat | kWrOnly);
+  const Env::IoSlice slices[] = {{"head-", 5}, {"", 0}, {"body", 4}};
+  EXPECT_EQ(env.writev(fd, slices, 3), 9);
+  auto inode = env.vfs().lookup("/out");
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()),
+            "head-body");
+}
+
+TEST(EnvVectorTest, WritevStopsOnBackpressure) {
+  Env env;
+  int sp[2];
+  ASSERT_EQ(env.socketpair(sp), 0);
+  std::string big(SocketEndpoint::kRxCapacity, 'x');
+  const Env::IoSlice slices[] = {{big.data(), big.size()},
+                                 {"overflow", 8}};
+  EXPECT_EQ(env.writev(sp[0], slices, 2),
+            static_cast<ssize_t>(SocketEndpoint::kRxCapacity));
+}
+
+}  // namespace
+}  // namespace fir

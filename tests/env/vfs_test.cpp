@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "env/vfs.h"
+
+namespace fir {
+namespace {
+
+TEST(VfsTest, CreateAndLookup) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.lookup("/a"), nullptr);
+  auto inode = vfs.create("/a", false);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(vfs.lookup("/a"), inode);
+  EXPECT_TRUE(vfs.exists("/a"));
+}
+
+TEST(VfsTest, CreateTruncates) {
+  Vfs vfs;
+  vfs.put_file("/a", "content");
+  auto inode = vfs.create("/a", true);
+  EXPECT_TRUE(inode->data.empty());
+}
+
+TEST(VfsTest, CreateWithoutTruncateKeepsData) {
+  Vfs vfs;
+  vfs.put_file("/a", "content");
+  auto inode = vfs.create("/a", false);
+  EXPECT_EQ(inode->data.size(), 7u);
+}
+
+TEST(VfsTest, UnlinkRemovesNameNotInode) {
+  Vfs vfs;
+  vfs.put_file("/a", "data");
+  auto inode = vfs.lookup("/a");
+  EXPECT_TRUE(vfs.unlink("/a"));
+  EXPECT_FALSE(vfs.exists("/a"));
+  EXPECT_FALSE(vfs.unlink("/a"));
+  // The inode stays usable while referenced (open-but-unlinked semantics).
+  EXPECT_EQ(inode->data.size(), 4u);
+}
+
+TEST(VfsTest, RenameMovesAndReplaces) {
+  Vfs vfs;
+  vfs.put_file("/src", "source");
+  vfs.put_file("/dst", "target");
+  EXPECT_TRUE(vfs.rename("/src", "/dst"));
+  EXPECT_FALSE(vfs.exists("/src"));
+  auto inode = vfs.lookup("/dst");
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()), "source");
+  EXPECT_FALSE(vfs.rename("/missing", "/x"));
+}
+
+TEST(VfsTest, TotalBytesAndCount) {
+  Vfs vfs;
+  vfs.put_file("/a", "12345");
+  vfs.put_file("/b", "123");
+  EXPECT_EQ(vfs.file_count(), 2u);
+  EXPECT_EQ(vfs.total_bytes(), 8u);
+}
+
+}  // namespace
+}  // namespace fir

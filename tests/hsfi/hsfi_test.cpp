@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "hsfi/hsfi.h"
+#include "interpose/fir.h"
+
+namespace fir {
+namespace {
+
+TEST(HsfiTest, ProfilingCountsExecutions) {
+  Hsfi hsfi;
+  const MarkerId m = hsfi.register_marker("block", "f:1", false);
+  hsfi.set_profiling(true);
+  hsfi.visit(m);
+  hsfi.visit(m);
+  EXPECT_EQ(hsfi.marker(m).executions, 2u);
+  hsfi.set_profiling(false);
+  hsfi.visit(m);
+  EXPECT_EQ(hsfi.marker(m).executions, 2u);
+  hsfi.reset_profile();
+  EXPECT_EQ(hsfi.marker(m).executions, 0u);
+}
+
+TEST(HsfiTest, RegisterIsIdempotent) {
+  Hsfi hsfi;
+  const MarkerId a = hsfi.register_marker("b", "f:1", false);
+  const MarkerId b = hsfi.register_marker("b", "f:1", true);  // same point
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hsfi.markers().size(), 1u);
+}
+
+TEST(HsfiTest, ExecutedMarkersFilterCritical) {
+  Hsfi hsfi;
+  const MarkerId nc = hsfi.register_marker("handler", "f:1", false);
+  const MarkerId cr = hsfi.register_marker("loop", "f:2", true);
+  const MarkerId idle = hsfi.register_marker("unused", "f:3", false);
+  (void)idle;
+  hsfi.set_profiling(true);
+  hsfi.visit(nc);
+  hsfi.visit(cr);
+  EXPECT_EQ(hsfi.executed_markers(false).size(), 2u);
+  const auto non_critical = hsfi.executed_markers(true);
+  ASSERT_EQ(non_critical.size(), 1u);
+  EXPECT_EQ(non_critical[0], nc);
+}
+
+TEST(HsfiTest, PersistentFaultFiresEveryVisit) {
+  Hsfi hsfi;
+  const MarkerId m = hsfi.register_marker("b", "f:1", false);
+  hsfi.arm(FaultPlan{m, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+  EXPECT_THROW(hsfi.visit(m), FatalCrashError);  // no handler installed
+  EXPECT_TRUE(hsfi.fired());
+  EXPECT_TRUE(hsfi.armed());
+  EXPECT_THROW(hsfi.visit(m), FatalCrashError);
+}
+
+TEST(HsfiTest, TransientFaultFiresOnce) {
+  Hsfi hsfi;
+  const MarkerId m = hsfi.register_marker("b", "f:1", false);
+  hsfi.arm(FaultPlan{m, FaultType::kTransientCrash, CrashKind::kSegv, 1});
+  EXPECT_THROW(hsfi.visit(m), FatalCrashError);
+  EXPECT_FALSE(hsfi.armed());
+  hsfi.visit(m);  // no crash
+}
+
+TEST(HsfiTest, UnarmedOrOtherMarkerDoesNothing) {
+  Hsfi hsfi;
+  const MarkerId a = hsfi.register_marker("a", "f:1", false);
+  const MarkerId b = hsfi.register_marker("b", "f:2", false);
+  hsfi.visit(a);
+  hsfi.arm(FaultPlan{b, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+  hsfi.visit(a);  // armed at b, not a
+  EXPECT_FALSE(hsfi.fired());
+}
+
+TEST(HsfiTest, LatentFaultCorruptsData) {
+  Hsfi hsfi;
+  const MarkerId m = hsfi.register_marker("b", "f:1", false);
+  hsfi.arm(FaultPlan{m, FaultType::kLatentCorruption, CrashKind::kSegv, 99});
+  std::uint8_t data[16] = {};
+  hsfi.visit_data(m, data, sizeof(data));
+  EXPECT_TRUE(hsfi.fired());
+  int nonzero = 0;
+  for (std::uint8_t byte : data)
+    if (byte != 0) ++nonzero;
+  EXPECT_GE(nonzero, 1);  // something changed
+}
+
+TEST(HsfiTest, LatentFaultViaPlainVisitIsInert) {
+  Hsfi hsfi;
+  const MarkerId m = hsfi.register_marker("b", "f:1", false);
+  hsfi.arm(FaultPlan{m, FaultType::kLatentCorruption, CrashKind::kSegv, 1});
+  hsfi.visit(m);  // no data exposed: nothing to corrupt
+  EXPECT_FALSE(hsfi.fired());
+}
+
+TEST(HsfiTest, MarkerMacroRegistersWithLocation) {
+  Fx fx;
+  HSFI_POINT(fx.hsfi(), "macro_block", false);
+  ASSERT_EQ(fx.hsfi().markers().size(), 1u);
+  EXPECT_EQ(fx.hsfi().markers()[0].name, "macro_block");
+  EXPECT_NE(fx.hsfi().markers()[0].location.find("hsfi_test.cpp"),
+            std::string::npos);
+}
+
+TEST(HsfiTest, FaultInsideTransactionIsRecovered) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  const MarkerId m =
+      fx.hsfi().register_marker("post_socket", "f:9", false);
+  fx.hsfi().arm(
+      FaultPlan{m, FaultType::kPersistentCrash, CrashKind::kSegv, 1});
+
+  const int fd = FIR_SOCKET(fx);
+  if (fd >= 0) fx.hsfi().visit(m);
+  EXPECT_EQ(fd, -1);  // diverted
+  EXPECT_EQ(fx.err(), EMFILE);
+  FIR_QUIESCE(fx);
+}
+
+}  // namespace
+}  // namespace fir

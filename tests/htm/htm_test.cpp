@@ -1,0 +1,160 @@
+// Simulated-TSX model tests: capacity geometry, abort/restore semantics,
+// probabilistic async aborts, line-granular cost model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "htm/htm.h"
+
+namespace fir {
+namespace {
+
+HtmConfig quiet_config() {
+  HtmConfig c;
+  c.interrupt_abort_per_store = 0.0;
+  c.conflict_abort_per_store = 0.0;
+  return c;
+}
+
+TEST(HtmTest, CommitKeepsStores) {
+  HtmContext htm(quiet_config());
+  int x = 1;
+  htm.begin();
+  ASSERT_TRUE(htm.record_store(&x, sizeof(x)));
+  x = 2;
+  htm.commit();
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(htm.stats().committed, 1u);
+}
+
+TEST(HtmTest, AbortRestoresWholeDirtyLines) {
+  HtmContext htm(quiet_config());
+  alignas(kCacheLineBytes) char line[kCacheLineBytes];
+  std::memset(line, 'a', sizeof(line));
+  htm.begin();
+  ASSERT_TRUE(htm.record_store(line + 5, 4));
+  std::memset(line + 5, 'z', 4);
+  line[60] = 'q';  // same line, modified without an own record
+  htm.abort(HtmAbortCode::kExplicit);
+  // Cache-discard semantics: the whole line reverts.
+  EXPECT_EQ(line[5], 'a');
+  EXPECT_EQ(line[60], 'a');
+  EXPECT_EQ(htm.stats().aborted_explicit, 1u);
+}
+
+TEST(HtmTest, RepeatedStoresToSameLineCostOneEntry) {
+  HtmContext htm(quiet_config());
+  alignas(kCacheLineBytes) std::uint64_t word = 0;
+  htm.begin();
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_TRUE(htm.record_store(&word, sizeof(word)));
+  EXPECT_EQ(htm.write_set_lines(), 1u);
+  htm.commit();
+}
+
+TEST(HtmTest, CapacityAbortOnTotalLines) {
+  HtmConfig config = quiet_config();
+  config.max_write_lines = 8;
+  config.max_lines_per_set = 64;  // don't trip the set limit first
+  HtmContext htm(config);
+  std::vector<char> region(64 * kCacheLineBytes);
+  htm.begin();
+  bool rejected = false;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (!htm.record_store(region.data() + i * kCacheLineBytes, 1)) {
+      rejected = true;
+      EXPECT_EQ(htm.pending_abort(), HtmAbortCode::kCapacity);
+      EXPECT_EQ(i, 8u);  // the 9th distinct line overflows
+      break;
+    }
+  }
+  EXPECT_TRUE(rejected);
+  htm.abort(htm.pending_abort());
+  EXPECT_EQ(htm.stats().aborted_capacity, 1u);
+}
+
+TEST(HtmTest, AssociativityAbortOnSameSet) {
+  HtmConfig config = quiet_config();
+  HtmContext htm(config);
+  // Addresses mapping to the same L1 set: stride = sets * line size.
+  const std::size_t stride = kL1Sets * kCacheLineBytes;
+  std::vector<char> region(stride * (kL1Associativity + 2));
+  htm.begin();
+  bool rejected = false;
+  std::size_t accepted = 0;
+  for (std::size_t way = 0; way < kL1Associativity + 2; ++way) {
+    if (!htm.record_store(region.data() + way * stride, 1)) {
+      rejected = true;
+      break;
+    }
+    ++accepted;
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(accepted, kL1Associativity);
+  htm.abort(htm.pending_abort());
+}
+
+TEST(HtmTest, SpanningStoreTouchesTwoLines) {
+  HtmContext htm(quiet_config());
+  alignas(kCacheLineBytes) char buf[2 * kCacheLineBytes];
+  htm.begin();
+  ASSERT_TRUE(htm.record_store(buf + kCacheLineBytes - 2, 4));
+  EXPECT_EQ(htm.write_set_lines(), 2u);
+  htm.commit();
+}
+
+TEST(HtmTest, InterruptAbortsFireProbabilistically) {
+  HtmConfig config = quiet_config();
+  config.interrupt_abort_per_store = 0.01;
+  config.seed = 42;
+  HtmContext htm(config);
+  int aborts = 0;
+  // Async events are sampled on new-line touches (the fast path for
+  // repeated same-line stores models the hardware's free tracking), so
+  // touch ten distinct lines per transaction.
+  alignas(kCacheLineBytes) std::uint64_t words[10 * kCacheLineBytes /
+                                               sizeof(std::uint64_t)] = {};
+  for (int t = 0; t < 1000; ++t) {
+    htm.begin();
+    bool ok = true;
+    for (int s = 0; s < 10 && ok; ++s) {
+      ok = htm.record_store(&words[s * kCacheLineBytes / sizeof(words[0])],
+                            sizeof(words[0]));
+    }
+    if (ok) {
+      htm.commit();
+    } else {
+      EXPECT_EQ(htm.pending_abort(), HtmAbortCode::kInterrupt);
+      htm.abort(htm.pending_abort());
+      ++aborts;
+    }
+  }
+  // ~1% per line touch, 10 touches per txn => ~10% of txns abort.
+  EXPECT_GT(aborts, 40);
+  EXPECT_LT(aborts, 250);
+}
+
+TEST(HtmTest, StatsAccumulateAcrossTransactions) {
+  HtmContext htm(quiet_config());
+  int x = 0;
+  for (int i = 0; i < 5; ++i) {
+    htm.begin();
+    ASSERT_TRUE(htm.record_store(&x, sizeof(x)));
+    x = i;
+    htm.commit();
+  }
+  EXPECT_EQ(htm.stats().begun, 5u);
+  EXPECT_EQ(htm.stats().committed, 5u);
+  EXPECT_EQ(htm.stats().stores, 5u);
+  EXPECT_EQ(x, 4);
+}
+
+TEST(HtmTest, AbortCodeNames) {
+  EXPECT_STREQ(htm_abort_code_name(HtmAbortCode::kCapacity), "CAPACITY");
+  EXPECT_STREQ(htm_abort_code_name(HtmAbortCode::kInterrupt), "INTERRUPT");
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,109 @@
+// Multiple protected instances in one process (prefork model, SVII):
+// the process-global crash channel and store gate must always route to the
+// instance whose transaction is open. Regression test for the handler-
+// ownership bug the prefork example exposed.
+#include <gtest/gtest.h>
+
+#include "apps/minikv.h"
+#include "apps/miniginx.h"
+#include "workload/http_client.h"
+#include "workload/kv_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+TEST(MultiInstanceTest, CrashRoutesToTheInstanceWithTheOpenTransaction) {
+  // Construct managers in an order that leaves the WRONG one as the
+  // initially-registered crash handler.
+  Fx first(stm_cfg());
+  Fx second(stm_cfg());  // constructor leaves `second` owning the globals
+
+  FIR_ANCHOR(first);
+  const int fd = FIR_SOCKET(first);  // first's gate must claim the channel
+  if (fd >= 0) raise_crash(CrashKind::kSegv);
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(first.err(), EMFILE);
+  EXPECT_EQ(first.env().open_fd_count(), 0u);
+  FIR_QUIESCE(first);
+  // `second` was never involved.
+  EXPECT_EQ(second.mgr().recovery_log().size(), 0u);
+  EXPECT_EQ(first.mgr().recovery_log().size(), 2u);
+}
+
+TEST(MultiInstanceTest, InterleavedInstancesRecoverIndependently) {
+  Fx a(stm_cfg());
+  Fx b(stm_cfg());
+  tracked<int> state_a, state_b;
+  state_a.init(0);
+  state_b.init(0);
+
+  for (int round = 0; round < 5; ++round) {
+    {
+      FIR_ANCHOR(a);
+      const int fd = FIR_SOCKET(a);
+      if (fd >= 0) {
+        state_a += 1;
+        raise_crash(CrashKind::kSegv);  // persistent in a's domain
+      }
+      FIR_QUIESCE(a);
+    }
+    {
+      FIR_ANCHOR(b);
+      const int fd = FIR_SOCKET(b);
+      EXPECT_GE(fd, 0);  // b is healthy
+      state_b += 1;
+      FIR_QUIESCE(b);
+      b.env().close(fd);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(state_a), 0);  // every round rolled back
+  EXPECT_EQ(static_cast<int>(state_b), 5);  // untouched by a's recoveries
+  std::uint64_t diversions_a = 0;
+  for (const Site& s : a.mgr().sites().all())
+    diversions_a += s.stats.diversions;
+  EXPECT_EQ(diversions_a, 5u);
+}
+
+TEST(MultiInstanceTest, TwoServersServeWhileOneRecovers) {
+  Miniginx web(stm_cfg());
+  Minikv kv(stm_cfg());
+  ASSERT_TRUE(web.start(0).is_ok());
+  ASSERT_TRUE(kv.start(0).is_ok());
+  web.enable_ssi_null_bug(true);
+
+  HttpClient http_client(web.fx().env(), web.port());
+  KvClient kv_client(kv.fx().env(), kv.port());
+
+  for (int round = 0; round < 3; ++round) {
+    // Crash-recover in the web server...
+    ASSERT_TRUE(http_client.connected() || http_client.connect());
+    ASSERT_TRUE(http_client.send_request("GET", "/broken.shtml"));
+    HttpClient::Response response;
+    for (int i = 0; i < 16; ++i) {
+      web.run_once();
+      if (http_client.try_read_response(response) == 1) break;
+    }
+    EXPECT_EQ(response.status, 500);
+
+    // ... while the KV server handles writes untouched.
+    ASSERT_TRUE(kv_client.connected() || kv_client.connect());
+    ASSERT_TRUE(kv_client.send_command("SET r" + std::to_string(round) +
+                                       " ok"));
+    std::string reply;
+    for (int i = 0; i < 16; ++i) {
+      kv.run_once();
+      if (kv_client.try_read_reply(reply) == 1) break;
+    }
+    EXPECT_EQ(reply, "+OK");
+  }
+  EXPECT_EQ(kv.db_size(), 3u);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,105 @@
+// §VI-F reproduction: the nginx SSI NULL-dereference (ticket #1263) and the
+// lighttpd WebDAV use-after-free (bug #2780) as end-to-end scenarios.
+#include <gtest/gtest.h>
+
+#include "apps/littlehttpd.h"
+#include "apps/miniginx.h"
+#include "workload/http_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig protected_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kAdaptive;
+  return c;
+}
+
+TxManagerConfig vanilla_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kUnprotected;
+  return c;
+}
+
+template <typename ServerT>
+HttpClient::Response fetch(ServerT& server, HttpClient& client,
+                           std::string_view target) {
+  EXPECT_TRUE(client.connected() || client.connect());
+  EXPECT_TRUE(client.send_request("GET", target));
+  HttpClient::Response response;
+  for (int i = 0; i < 16; ++i) {
+    server.run_once();
+    if (client.try_read_response(response) == 1) return response;
+  }
+  ADD_FAILURE() << "no response for " << target;
+  return response;
+}
+
+TEST(RealWorldBugsTest, NginxSsiNullDerefCrashesVanilla) {
+  Miniginx server(vanilla_cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  server.enable_ssi_null_bug(true);
+  HttpClient client(server.fx().env(), server.port());
+  ASSERT_TRUE(client.connect());
+  ASSERT_TRUE(client.send_request("GET", "/broken.shtml"));
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 8; ++i) server.run_once();
+      },
+      FatalCrashError);
+}
+
+TEST(RealWorldBugsTest, NginxSsiNullDerefRecoversUnderFirestarter) {
+  Miniginx server(protected_cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  server.enable_ssi_null_bug(true);
+  HttpClient client(server.fx().env(), server.port());
+
+  // The buggy subrequest: crash -> rollback to the pread() transaction ->
+  // inject -1/EINVAL -> the server answers an empty error response
+  // (paper: "the Nginx server eventually returns an empty response").
+  const auto broken = fetch(server, client, "/broken.shtml");
+  EXPECT_EQ(broken.status, 500);
+  EXPECT_TRUE(broken.body.empty());
+
+  // Healthy SSI pages and static files keep working, repeatedly.
+  EXPECT_EQ(fetch(server, client, "/page.shtml").status, 200);
+  EXPECT_EQ(fetch(server, client, "/index.html").status, 200);
+  EXPECT_EQ(fetch(server, client, "/broken.shtml").status, 500);
+  EXPECT_EQ(fetch(server, client, "/index.html").status, 200);
+
+  std::uint64_t diversions = 0;
+  for (const Site& s : server.fx().mgr().sites().all())
+    diversions += s.stats.diversions;
+  EXPECT_GE(diversions, 2u);
+}
+
+TEST(RealWorldBugsTest, LighttpdWebdavUafRecoversTo403) {
+  Littlehttpd server(protected_cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  server.enable_webdav_uaf_bug(true);
+  HttpClient client(server.fx().env(), server.port());
+
+  // WebDAV request, then a mixed request on the same keep-alive
+  // connection: the stale DAV handle crash diverts at open64() and the
+  // server answers "403 - Forbidden" (paper §VI-F).
+  HttpClient::Response response;
+  ASSERT_TRUE(client.connect());
+  ASSERT_TRUE(client.send_request("PROPFIND", "/dav/notes.txt"));
+  for (int i = 0; i < 16; ++i) {
+    server.run_once();
+    if (client.try_read_response(response) == 1) break;
+  }
+  EXPECT_EQ(response.status, 207);
+
+  const auto mixed = fetch(server, client, "/index.html");
+  EXPECT_EQ(mixed.status, 403);
+  EXPECT_NE(mixed.body.find("Forbidden"), std::string::npos);
+
+  // The server survives to serve other connections.
+  HttpClient fresh(server.fx().env(), server.port());
+  EXPECT_EQ(fetch(server, fresh, "/readme.txt").status, 200);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,116 @@
+// Workload driver coverage across all five servers.
+#include <gtest/gtest.h>
+
+#include "apps/apachette.h"
+#include "apps/littlehttpd.h"
+#include "apps/minikv.h"
+#include "apps/minipg.h"
+#include "apps/miniginx.h"
+#include "workload/drivers.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig cfg(PolicyKind kind) {
+  TxManagerConfig c;
+  c.policy.kind = kind;
+  return c;
+}
+
+template <typename ServerT>
+void expect_suite_clean(PolicyKind kind, int iterations = 2) {
+  ServerT server(cfg(kind));
+  ASSERT_TRUE(server.start(0).is_ok());
+  const WorkloadResult result = run_suite_for(server, iterations);
+  EXPECT_FALSE(result.server_died) << result.death_reason;
+  EXPECT_GT(result.responses_2xx, 0u);
+  EXPECT_EQ(result.transport_failures, 0u);
+  EXPECT_EQ(result.responses_total(), result.requests_sent);
+}
+
+TEST(WorkloadTest, MiniginxSuiteUnderEveryPolicy) {
+  expect_suite_clean<Miniginx>(PolicyKind::kUnprotected);
+  expect_suite_clean<Miniginx>(PolicyKind::kStmOnly);
+  expect_suite_clean<Miniginx>(PolicyKind::kNaiveHtm);
+  expect_suite_clean<Miniginx>(PolicyKind::kAdaptive);
+  expect_suite_clean<Miniginx>(PolicyKind::kHtmOnly);
+}
+
+TEST(WorkloadTest, ApachetteSuite) {
+  expect_suite_clean<Apachette>(PolicyKind::kAdaptive);
+}
+
+TEST(WorkloadTest, LittlehttpdSuite) {
+  expect_suite_clean<Littlehttpd>(PolicyKind::kAdaptive);
+}
+
+TEST(WorkloadTest, MinikvSuite) {
+  Minikv server(cfg(PolicyKind::kAdaptive));
+  ASSERT_TRUE(server.start(0).is_ok());
+  const WorkloadResult result = run_kv_suite(server, 3);
+  EXPECT_FALSE(result.server_died);
+  EXPECT_GT(result.responses_2xx, 20u);
+  EXPECT_GT(result.responses_5xx, 0u);  // suite includes error probes
+}
+
+TEST(WorkloadTest, MinipgSuite) {
+  Minipg server(cfg(PolicyKind::kAdaptive));
+  ASSERT_TRUE(server.start(0).is_ok());
+  const WorkloadResult result = run_pg_suite(server, 3);
+  EXPECT_FALSE(result.server_died);
+  EXPECT_GT(result.responses_2xx, 15u);
+  EXPECT_GT(result.responses_4xx, 0u);
+}
+
+TEST(WorkloadTest, HttpLoadSaturatesAndCompletes) {
+  Miniginx server(cfg(PolicyKind::kAdaptive));
+  ASSERT_TRUE(server.start(0).is_ok());
+  Rng rng(7);
+  const WorkloadResult result = run_http_load(server, 200, 8, rng);
+  EXPECT_FALSE(result.server_died);
+  EXPECT_GE(result.responses_2xx, 190u);
+  EXPECT_GT(result.throughput_rps(), 0.0);
+}
+
+TEST(WorkloadTest, KvLoadCompletes) {
+  Minikv server(cfg(PolicyKind::kAdaptive));
+  ASSERT_TRUE(server.start(0).is_ok());
+  Rng rng(11);
+  const WorkloadResult result = run_kv_load(server, 300, 4, rng);
+  EXPECT_FALSE(result.server_died);
+  EXPECT_GE(result.responses_2xx, 290u);
+}
+
+TEST(WorkloadTest, PgLoadCompletes) {
+  Minipg server(cfg(PolicyKind::kAdaptive));
+  ASSERT_TRUE(server.start(0).is_ok());
+  Rng rng(13);
+  const WorkloadResult result = run_pg_load(server, 200, 4, rng);
+  EXPECT_FALSE(result.server_died);
+  EXPECT_GE(result.responses_total(), 190u);
+}
+
+TEST(WorkloadTest, ProtectionOverheadIsBounded) {
+  // Vanilla vs FIRestarter on the same load: the instrumented run must be
+  // slower than vanilla but within a sane factor (the Fig. 7 property,
+  // loosely bounded for CI stability).
+  Rng rng(17);
+  Miniginx vanilla(cfg(PolicyKind::kUnprotected));
+  ASSERT_TRUE(vanilla.start(0).is_ok());
+  const WorkloadResult base = run_http_load(vanilla, 400, 8, rng);
+
+  Rng rng2(17);
+  Miniginx protected_server(cfg(PolicyKind::kAdaptive));
+  ASSERT_TRUE(protected_server.start(0).is_ok());
+  const WorkloadResult fir = run_http_load(protected_server, 400, 8, rng2);
+
+  ASSERT_FALSE(base.server_died);
+  ASSERT_FALSE(fir.server_died);
+  EXPECT_GT(base.throughput_rps(), 0.0);
+  EXPECT_GT(fir.throughput_rps(), 0.0);
+  EXPECT_LT(fir.throughput_rps(), base.throughput_rps() * 1.5)
+      << "instrumentation cannot make things faster";
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,144 @@
+// Compensation-action unit tests: each builder must exactly revert its
+// library call class.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "env/env.h"
+#include "interpose/comp.h"
+
+namespace fir {
+namespace {
+
+void run(const Compensation& c, Env& env, std::intptr_t rv,
+         const std::uint8_t* data = nullptr, std::size_t len = 0) {
+  c.fn(env, c.a, c.b, rv, data, len);
+}
+
+TEST(CompTest, CloseReturnedFdClosesOnSuccessOnly) {
+  Env env;
+  const int fd = env.socket();
+  run(comp::close_returned_fd(), env, fd);
+  EXPECT_FALSE(env.fd_valid(fd));
+  run(comp::close_returned_fd(), env, -1);  // failed call: nothing to do
+}
+
+TEST(CompTest, UnbindFreesPort) {
+  Env env;
+  const int fd = env.socket();
+  ASSERT_EQ(env.bind(fd, 7001), 0);
+  run(comp::unbind(fd), env, 0);
+  const int other = env.socket();
+  EXPECT_EQ(env.bind(other, 7001), 0);
+}
+
+TEST(CompTest, UnbindSkipsFailedCall) {
+  Env env;
+  const int fd = env.socket();
+  ASSERT_EQ(env.bind(fd, 7002), 0);
+  run(comp::unbind(fd), env, -1);  // the bind "failed": keep binding
+  const int other = env.socket();
+  EXPECT_EQ(env.bind(other, 7002), -1);
+}
+
+TEST(CompTest, UnlistenRevertsToBoundSocket) {
+  Env env;
+  const int fd = env.socket();
+  ASSERT_EQ(env.bind(fd, 7003), 0);
+  ASSERT_EQ(env.listen(fd, 4), 0);
+  run(comp::unlisten(fd), env, 0);
+  EXPECT_EQ(env.connect_to(7003), -1);  // no listener anymore
+  EXPECT_EQ(env.listen(fd, 4), 0);      // still bound: can re-listen
+}
+
+TEST(CompTest, FreeReturnedBlockReleasesHeap) {
+  Env env;
+  void* p = env.mem_alloc(64);
+  run(comp::free_returned_block(), env,
+      reinterpret_cast<std::intptr_t>(p));
+  EXPECT_EQ(env.stats().heap_bytes, 0u);
+  run(comp::free_returned_block(), env, 0);  // NULL: no-op
+}
+
+TEST(CompTest, RestoreRecvUnreadsAndRestoresBuffer) {
+  Env env;
+  const int ls = env.socket();
+  env.bind(ls, 7004);
+  env.listen(ls, 4);
+  const int client = env.connect_to(7004);
+  const int conn = env.accept(ls);
+  env.send(client, "data", 4);
+
+  char buf[8];
+  std::memset(buf, 'o', sizeof(buf));
+  const std::uint8_t old_bytes[8] = {'o', 'o', 'o', 'o', 'o', 'o', 'o', 'o'};
+  ASSERT_EQ(env.recv(conn, buf, sizeof(buf)), 4);
+  ASSERT_EQ(std::string_view(buf, 4), "data");
+
+  run(comp::restore_recv(conn, buf, 0, 8), env, 4, old_bytes, 8);
+  EXPECT_EQ(buf[0], 'o');  // buffer restored
+  char again[8];
+  EXPECT_EQ(env.recv(conn, again, sizeof(again)), 4);  // stream restored
+  EXPECT_EQ(std::string_view(again, 4), "data");
+}
+
+TEST(CompTest, RestoreBufferCopiesStash) {
+  Env env;
+  char buf[4] = {'n', 'e', 'w', '!'};
+  const std::uint8_t stash[4] = {'o', 'l', 'd', '.'};
+  run(comp::restore_buffer(buf, 0, 4), env, 4, stash, 4);
+  EXPECT_EQ(std::string_view(buf, 4), "old.");
+}
+
+TEST(CompTest, RestoreOffsetSeeksBack) {
+  Env env;
+  env.vfs().put_file("/f", "0123456789");
+  const int fd = env.open("/f", kRdOnly);
+  env.lseek(fd, 7, kSeekSet);
+  run(comp::restore_offset(fd, 2), env, 7);
+  EXPECT_EQ(env.file_offset(fd), 2);
+}
+
+TEST(CompTest, RenameBackRestoresName) {
+  Env env;
+  env.vfs().put_file("/a", "x");
+  ASSERT_EQ(env.rename("/a", "/b"), 0);
+  run(comp::rename_back("/a", "/b"), env, 0);
+  EXPECT_TRUE(env.vfs().exists("/a"));
+  EXPECT_FALSE(env.vfs().exists("/b"));
+}
+
+TEST(CompTest, RestoreTruncateRewritesTail) {
+  Env env;
+  env.vfs().put_file("/f", "abcdefgh");
+  const int fd = env.open("/f", kRdWr);
+  ASSERT_EQ(env.ftruncate(fd, 3), 0);
+  const std::uint8_t tail[5] = {'d', 'e', 'f', 'g', 'h'};
+  run(comp::restore_truncate(fd, 8, 0, 5), env, 0, tail, 5);
+  std::size_t size = 0;
+  env.fstat_size(fd, &size);
+  EXPECT_EQ(size, 8u);
+  char buf[8];
+  env.pread(fd, buf, 8, 0);
+  EXPECT_EQ(std::string_view(buf, 8), "abcdefgh");
+}
+
+TEST(CompTest, DeferredOpsApplyEffects) {
+  Env env;
+  const int fd = env.socket();
+  comp::deferred_close(fd).fn(env, fd, 0);
+  EXPECT_FALSE(env.fd_valid(fd));
+
+  void* p = env.mem_alloc(16);
+  comp::deferred_free(p).fn(env, reinterpret_cast<std::intptr_t>(p), 0);
+  EXPECT_EQ(env.stats().heap_bytes, 0u);
+
+  env.vfs().put_file("/gone", "x");
+  const char* path = "/gone";
+  comp::deferred_unlink(path).fn(
+      env, reinterpret_cast<std::intptr_t>(path), 0);
+  EXPECT_FALSE(env.vfs().exists("/gone"));
+}
+
+}  // namespace
+}  // namespace fir

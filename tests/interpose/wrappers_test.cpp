@@ -1,0 +1,91 @@
+// Gate behaviour of the descriptor / vector wrappers, incl. divert paths.
+#include <gtest/gtest.h>
+
+#include "interpose/fir.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+TEST(WrapperTest, DupDivertClosesTheCopy) {
+  Fx fx(stm_cfg());
+  fx.env().vfs().put_file("/f", "data");
+  const int fd = fx.env().open("/f", kRdOnly);
+  FIR_ANCHOR(fx);
+  const int copy = FIR_DUP(fx, fd);
+  if (copy >= 0) raise_crash(CrashKind::kSegv);  // persistent
+  EXPECT_EQ(copy, -1);
+  EXPECT_EQ(fx.err(), EMFILE);
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.env().open_fd_count(), 1u);  // only the original remains
+}
+
+TEST(WrapperTest, PipeDivertClosesBothEnds) {
+  Fx fx(stm_cfg());
+  FIR_ANCHOR(fx);
+  int p[2] = {-1, -1};
+  const int rc = static_cast<int>(FIR_PIPE(fx, p));
+  if (rc == 0) raise_crash(CrashKind::kSegv);  // persistent
+  EXPECT_EQ(rc, -1);
+  EXPECT_EQ(fx.err(), EMFILE);
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.env().open_fd_count(), 0u);
+}
+
+TEST(WrapperTest, SocketpairSurvivesTransientCrash) {
+  Fx fx(stm_cfg());
+  FIR_ANCHOR(fx);
+  static int budget;
+  budget = 1;
+  int sp[2] = {-1, -1};
+  const int rc = static_cast<int>(FIR_SOCKETPAIR(fx, sp));
+  if (budget > 0) {
+    --budget;
+    raise_crash(CrashKind::kSegv);
+  }
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(fx.env().fd_valid(sp[0]));
+  EXPECT_TRUE(fx.env().fd_valid(sp[1]));
+  FIR_QUIESCE(fx);
+}
+
+TEST(WrapperTest, SendfileIsRetryOnlyAndFatalWhenPersistent) {
+  Fx fx(stm_cfg());
+  fx.env().vfs().put_file("/f", "content");
+  const int file = fx.env().open("/f", kRdOnly);
+  int sp[2];
+  ASSERT_EQ(fx.env().socketpair(sp), 0);
+  FIR_ANCHOR(fx);
+  EXPECT_THROW(
+      {
+        const ssize_t n = FIR_SENDFILE(fx, sp[0], file, 0, 7);
+        if (n == 7) raise_crash(CrashKind::kSegv);  // persistent
+      },
+      FatalCrashError);
+}
+
+TEST(WrapperTest, WritevDivertIsImpossibleButRetryWorks) {
+  Fx fx(stm_cfg());
+  const int fd = fx.env().open("/log", kCreat | kWrOnly);
+  FIR_ANCHOR(fx);
+  static int budget;
+  budget = 1;
+  const Env::IoSlice slices[] = {{"entry\n", 6}};
+  const ssize_t n = FIR_WRITEV(fx, fd, slices, 1);
+  if (budget > 0) {
+    --budget;
+    raise_crash(CrashKind::kSegv);  // transient: retry succeeds
+  }
+  EXPECT_EQ(n, 6);
+  FIR_QUIESCE(fx);
+  auto inode = fx.env().vfs().lookup("/log");
+  EXPECT_EQ(inode->data.size(), 6u);  // written exactly once
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,151 @@
+// Table II invariants: the catalog must reproduce the paper's class totals
+// and divertibility splits exactly.
+#include <gtest/gtest.h>
+
+#include "libmodel/catalog.h"
+
+namespace fir {
+namespace {
+
+TEST(CatalogTest, HasExactly101Functions) {
+  EXPECT_EQ(LibraryCatalog::instance().all().size(), 101u);
+}
+
+struct ClassRow {
+  Recoverability r;
+  int divertible;
+  int not_divertible;
+};
+
+// The paper's Table II, row by row.
+constexpr ClassRow kPaperRows[] = {
+    {Recoverability::kReversible, 23, 0},
+    {Recoverability::kIdempotent, 9, 26},
+    {Recoverability::kDeferrable, 5, 2},
+    {Recoverability::kStateRestore, 12, 8},
+    {Recoverability::kIrrecoverable, 12, 4},
+};
+
+class CatalogRowTest : public ::testing::TestWithParam<ClassRow> {};
+
+TEST_P(CatalogRowTest, MatchesPaperTable2) {
+  const auto& row = GetParam();
+  const auto& catalog = LibraryCatalog::instance();
+  EXPECT_EQ(catalog.count(row.r, true), row.divertible)
+      << recoverability_name(row.r);
+  EXPECT_EQ(catalog.count(row.r, false), row.not_divertible)
+      << recoverability_name(row.r);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, CatalogRowTest,
+                         ::testing::ValuesIn(kPaperRows));
+
+TEST(CatalogTest, DivertibleTotalsMatchPaper) {
+  const auto& catalog = LibraryCatalog::instance();
+  int divertible = 0, not_divertible = 0;
+  for (const auto& spec : catalog.all()) {
+    (spec.divertible ? divertible : not_divertible)++;
+  }
+  EXPECT_EQ(divertible, 61);
+  EXPECT_EQ(not_divertible, 40);
+}
+
+TEST(CatalogTest, LookupFindsKnownFunctions) {
+  const auto& catalog = LibraryCatalog::instance();
+  const LibFunctionSpec* setsockopt = catalog.find("setsockopt");
+  ASSERT_NE(setsockopt, nullptr);
+  EXPECT_EQ(setsockopt->recoverability, Recoverability::kIdempotent);
+  EXPECT_TRUE(setsockopt->divertible);
+  EXPECT_EQ(setsockopt->error.return_value, -1);
+
+  EXPECT_EQ(catalog.find("no_such_function"), nullptr);
+}
+
+TEST(CatalogTest, MallocErrorIsNullWithEnomem) {
+  const LibFunctionSpec* malloc_spec =
+      LibraryCatalog::instance().find("malloc");
+  ASSERT_NE(malloc_spec, nullptr);
+  EXPECT_EQ(malloc_spec->error.return_value, 0);
+  EXPECT_EQ(malloc_spec->error.errno_value, ENOMEM);
+  EXPECT_EQ(malloc_spec->recoverability, Recoverability::kReversible);
+}
+
+TEST(CatalogTest, UsableForRecoveryExcludesIrrecoverable) {
+  const auto& catalog = LibraryCatalog::instance();
+  int usable = 0;
+  for (const auto& spec : catalog.all())
+    if (LibraryCatalog::usable_for_recovery(spec)) ++usable;
+  // 61 divertible minus the 12 divertible-but-irrecoverable = 49.
+  EXPECT_EQ(usable, 49);
+  const LibFunctionSpec* write_spec = catalog.find("write");
+  ASSERT_NE(write_spec, nullptr);
+  EXPECT_TRUE(write_spec->divertible);
+  EXPECT_FALSE(LibraryCatalog::usable_for_recovery(*write_spec));
+}
+
+TEST(CatalogTest, NamesAreUnique) {
+  const auto& catalog = LibraryCatalog::instance();
+  for (const auto& spec : catalog.all()) {
+    EXPECT_EQ(catalog.find(spec.name), &spec) << spec.name;
+  }
+}
+
+TEST(CatalogTest, ServersCoreCallsAreModeled) {
+  const auto& catalog = LibraryCatalog::instance();
+  for (const char* fn :
+       {"socket", "bind", "listen", "accept", "recv", "read", "send",
+        "write", "close", "open", "open64", "pread", "epoll_create1",
+        "epoll_ctl", "epoll_wait", "malloc", "free", "fsync", "rename",
+        "unlink", "fcntl", "stat", "fstat", "lseek", "ftruncate",
+        "pwrite"}) {
+    EXPECT_NE(catalog.find(fn), nullptr) << fn;
+  }
+}
+
+// Property over the whole catalog: every entry's injected error must be
+// internally consistent with its divertibility class.
+class CatalogEntryTest
+    : public ::testing::TestWithParam<const LibFunctionSpec*> {};
+
+TEST_P(CatalogEntryTest, InjectedErrorIsConsistent) {
+  const LibFunctionSpec& spec = *GetParam();
+  if (!spec.divertible) {
+    // Non-divertible: no error channel to exploit; nothing to check.
+    SUCCEED();
+    return;
+  }
+  if (spec.name == "posix_memalign") {
+    // Reports the error code via the return value; errno unused.
+    EXPECT_GT(spec.error.return_value, 0);
+    return;
+  }
+  // Pointer-returning allocators inject NULL; everything else injects -1.
+  const bool pointer_like = spec.name == "malloc" || spec.name == "calloc" ||
+                            spec.name == "realloc";
+  if (pointer_like) {
+    EXPECT_EQ(spec.error.return_value, 0) << spec.name;
+  } else {
+    EXPECT_EQ(spec.error.return_value, -1) << spec.name;
+  }
+  EXPECT_NE(spec.error.errno_value, 0)
+      << spec.name << ": a divertible call must set errno";
+}
+
+std::vector<const LibFunctionSpec*> all_specs() {
+  std::vector<const LibFunctionSpec*> out;
+  for (const auto& spec : LibraryCatalog::instance().all())
+    out.push_back(&spec);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEntries, CatalogEntryTest, ::testing::ValuesIn(all_specs()),
+    [](const ::testing::TestParamInfo<const LibFunctionSpec*>& info) {
+      std::string name(info.param->name);
+      for (char& c : name)
+        if (c == '-' || c == '.') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace fir

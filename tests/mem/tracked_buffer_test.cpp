@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "mem/tracked_buffer.h"
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+class TrackedBufferTest : public ::testing::Test {
+ protected:
+  void TearDown() override { StoreGate::set_recorder(nullptr); }
+};
+
+TEST_F(TrackedBufferTest, AppendAndView) {
+  TrackedBuffer buf(16);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.append("hello"));
+  EXPECT_TRUE(buf.push_back('!'));
+  EXPECT_EQ(buf.view(), "hello!");
+  EXPECT_EQ(buf.size(), 6u);
+  EXPECT_EQ(buf.remaining(), 10u);
+}
+
+TEST_F(TrackedBufferTest, AppendBeyondCapacityFails) {
+  TrackedBuffer buf(4);
+  EXPECT_TRUE(buf.append("abcd"));
+  EXPECT_FALSE(buf.append("e"));
+  EXPECT_EQ(buf.view(), "abcd");  // unchanged
+}
+
+TEST_F(TrackedBufferTest, OverwriteInPlace) {
+  TrackedBuffer buf(16);
+  buf.append("abcdef");
+  buf.overwrite(2, "XY", 2);
+  EXPECT_EQ(buf.view(), "abXYef");
+}
+
+TEST_F(TrackedBufferTest, ConsumeFromFront) {
+  TrackedBuffer buf(16);
+  buf.append("request1rest");
+  buf.consume(8);
+  EXPECT_EQ(buf.view(), "rest");
+  buf.consume(4);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST_F(TrackedBufferTest, ClearAndResizeDown) {
+  TrackedBuffer buf(16);
+  buf.append("abcdef");
+  buf.resize_down(3);
+  EXPECT_EQ(buf.view(), "abc");
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST_F(TrackedBufferTest, MutationsRollBackUnderStm) {
+  TrackedBuffer buf(32);
+  buf.append("stable");
+
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  buf.append("-junk");
+  buf.overwrite(0, "XXXX", 4);
+  buf.consume(2);
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+
+  EXPECT_EQ(buf.view(), "stable");
+}
+
+TEST_F(TrackedBufferTest, ClearRollsBackLength) {
+  TrackedBuffer buf(16);
+  buf.append("keepme");
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+  EXPECT_EQ(buf.view(), "keepme");
+}
+
+}  // namespace
+}  // namespace fir

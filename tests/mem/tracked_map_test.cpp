@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "mem/tracked_map.h"
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+using Key = FixedString<16>;
+using Value = FixedString<32>;
+using Map = TrackedHashMap<Key, Value>;
+
+bool put(Map& m, std::string_view k, std::string_view v) {
+  auto fk = Key::make(k);
+  auto fv = Value::make(v);
+  if (!fk || !fv) return false;
+  return m.put(k, *fk, *fv);
+}
+
+TEST(FixedStringTest, MakeRejectsOversize) {
+  EXPECT_TRUE(Key::make("0123456789012345").has_value());   // exactly 16
+  EXPECT_FALSE(Key::make("01234567890123456").has_value()); // 17
+}
+
+TEST(TrackedHashMapTest, PutGetErase) {
+  Map m(64);
+  EXPECT_TRUE(put(m, "a", "1"));
+  EXPECT_TRUE(put(m, "b", "2"));
+  ASSERT_NE(m.get("a"), nullptr);
+  EXPECT_EQ(m.get("a")->view(), "1");
+  EXPECT_EQ(m.get("c"), nullptr);
+  EXPECT_TRUE(m.erase("a"));
+  EXPECT_FALSE(m.erase("a"));
+  EXPECT_EQ(m.get("a"), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(TrackedHashMapTest, OverwriteKeepsSize) {
+  Map m(64);
+  put(m, "k", "v1");
+  put(m, "k", "v2");
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.get("k")->view(), "v2");
+}
+
+TEST(TrackedHashMapTest, TombstoneSlotsAreReused) {
+  Map m(16);
+  for (int round = 0; round < 100; ++round) {
+    const std::string k = "key" + std::to_string(round % 5);
+    ASSERT_TRUE(put(m, k, "v")) << "round " << round;
+    ASSERT_TRUE(m.erase(k));
+  }
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(TrackedHashMapTest, FillsToMaxSizeThenRejects) {
+  Map m(16);  // capacity 16, max load 70% => 11
+  std::size_t inserted = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (put(m, "k" + std::to_string(i), "v")) ++inserted;
+  }
+  EXPECT_EQ(inserted, m.max_size());
+  EXPECT_EQ(m.size(), m.max_size());
+}
+
+TEST(TrackedHashMapTest, ForEachVisitsAllLiveEntries) {
+  Map m(64);
+  put(m, "x", "1");
+  put(m, "y", "2");
+  put(m, "z", "3");
+  m.erase("y");
+  int count = 0;
+  m.for_each([&](const Key&, const Value&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TrackedHashMapTest, MutationsRollBackUnderStm) {
+  Map m(64);
+  put(m, "stable", "before");
+
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  put(m, "new", "x");
+  put(m, "stable", "after");
+  m.erase("stable");
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_NE(m.get("stable"), nullptr);
+  EXPECT_EQ(m.get("stable")->view(), "before");
+  EXPECT_EQ(m.get("new"), nullptr);
+}
+
+// Property: the tracked map agrees with std::map under a random op mix,
+// and a rolled-back burst of operations leaves it exactly as before.
+class TrackedMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TrackedMapPropertyTest, AgreesWithReferenceAndRollsBack) {
+  Rng rng(GetParam());
+  Map m(256);
+  std::map<std::string, std::string> ref;
+
+  auto key_of = [&](int i) { return "k" + std::to_string(i % 40); };
+  for (int op = 0; op < 500; ++op) {
+    const std::string k = key_of(static_cast<int>(rng.next_below(1000)));
+    if (rng.chance(0.6)) {
+      const std::string v = "v" + std::to_string(rng.next_below(100));
+      if (put(m, k, v)) ref[k] = v;
+    } else {
+      const bool a = m.erase(k);
+      const bool b = ref.erase(k) > 0;
+      EXPECT_EQ(a, b);
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.get(k), nullptr) << k;
+    EXPECT_EQ(m.get(k)->view(), v);
+  }
+
+  // Burst under STM, then roll back: state must be identical.
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  for (int op = 0; op < 200; ++op) {
+    const std::string k = key_of(static_cast<int>(rng.next_below(1000)));
+    if (rng.chance(0.5)) {
+      put(m, k, "junk");
+    } else {
+      m.erase(k);
+    }
+  }
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.get(k), nullptr) << k;
+    EXPECT_EQ(m.get(k)->view(), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackedMapPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mem/tracked_pool.h"
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+struct Obj {
+  int a;
+  char buf[24];
+};
+
+TEST(TrackedPoolTest, AllocReleaseCycle) {
+  TrackedPool<Obj> pool(4);
+  Obj* o1 = pool.alloc();
+  ASSERT_NE(o1, nullptr);
+  EXPECT_EQ(o1->a, 0);  // zero-initialized
+  EXPECT_EQ(pool.live(), 1u);
+  pool.release(o1);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(TrackedPoolTest, ExhaustionReturnsNull) {
+  TrackedPool<Obj> pool(2);
+  EXPECT_NE(pool.alloc(), nullptr);
+  EXPECT_NE(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_TRUE(pool.full());
+}
+
+TEST(TrackedPoolTest, ReleaseMakesSlotReusable) {
+  TrackedPool<Obj> pool(1);
+  Obj* o = pool.alloc();
+  ASSERT_NE(o, nullptr);
+  pool.release(o);
+  Obj* o2 = pool.alloc();
+  EXPECT_EQ(o, o2);  // same slot reused
+}
+
+TEST(TrackedPoolTest, IndexOfRoundTrips) {
+  TrackedPool<Obj> pool(8);
+  Obj* a = pool.alloc();
+  Obj* b = pool.alloc();
+  EXPECT_EQ(pool.at(pool.index_of(a)), a);
+  EXPECT_EQ(pool.at(pool.index_of(b)), b);
+}
+
+TEST(TrackedPoolTest, AllocationRollsBackUnderStm) {
+  TrackedPool<Obj> pool(4);
+  Obj* pre = pool.alloc();
+  ASSERT_NE(pre, nullptr);
+
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  Obj* inside = pool.alloc();
+  ASSERT_NE(inside, nullptr);
+  tx_store(inside->a, 42);
+  pool.release(pre);
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+
+  // Rolled back: `inside` allocation undone, `pre` still live.
+  EXPECT_EQ(pool.live(), 1u);
+  Obj* again = pool.alloc();
+  EXPECT_EQ(again, inside);  // free-list head restored
+  EXPECT_EQ(again->a, 0);
+}
+
+TEST(TrackedPoolTest, ReleaseRollsBackUnderStm) {
+  TrackedPool<Obj> pool(4);
+  Obj* o = pool.alloc();
+  tx_store(o->a, 7);
+
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  pool.release(o);
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(o->a, 7);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,98 @@
+// Store-gate routing and tracked-scalar semantics.
+#include <gtest/gtest.h>
+
+#include "mem/tracked.h"
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+class TrackedTest : public ::testing::Test {
+ protected:
+  void TearDown() override { StoreGate::set_recorder(nullptr); }
+};
+
+TEST_F(TrackedTest, UntrackedStoresPassThrough) {
+  StoreGate::set_recorder(nullptr);
+  int x = 1;
+  tx_store(x, 2);
+  EXPECT_EQ(x, 2);
+}
+
+TEST_F(TrackedTest, StmRecorderLogsAndRollsBack) {
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  int x = 1;
+  tx_store(x, 2);
+  tx_store(x, 3);
+  StoreGate::set_recorder(nullptr);
+  EXPECT_EQ(stm.log_entries(), 2u);
+  stm.rollback();
+  EXPECT_EQ(x, 1);
+}
+
+TEST_F(TrackedTest, TrackedScalarOperators) {
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  tracked<int> v;
+  v.init(10);
+  v += 5;
+  v -= 2;
+  ++v;
+  EXPECT_EQ(static_cast<int>(v), 14);
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+  EXPECT_EQ(static_cast<int>(v), 10);
+}
+
+TEST_F(TrackedTest, TxMemcpyAndMemsetAreTracked) {
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  char buf[32] = "original-content";
+  tx_memset(buf, 'x', 8);
+  tx_memcpy(buf + 8, "ZZZZ", 4);
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+  EXPECT_STREQ(buf, "original-content");
+}
+
+TEST_F(TrackedTest, TxApplyReadModifyWrite) {
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  int counter = 5;
+  tx_apply(counter, [](int& c) { c *= 3; });
+  EXPECT_EQ(counter, 15);
+  StoreGate::set_recorder(nullptr);
+  stm.rollback();
+  EXPECT_EQ(counter, 5);
+}
+
+TEST_F(TrackedTest, ZeroSizeOpsAreNoOps) {
+  StmContext stm;
+  stm.begin();
+  StoreGate::set_recorder(&stm);
+  char buf[4] = "abc";
+  tx_memcpy(buf, "x", 0);
+  tx_memset(buf, 'y', 0);
+  EXPECT_EQ(stm.log_entries(), 0u);
+  StoreGate::set_recorder(nullptr);
+  stm.commit();
+}
+
+TEST_F(TrackedTest, RecorderSwapReturnsPrevious) {
+  StmContext a, b;
+  a.begin();
+  b.begin();
+  EXPECT_EQ(StoreGate::set_recorder(&a), nullptr);
+  EXPECT_EQ(StoreGate::set_recorder(&b), &a);
+  EXPECT_EQ(StoreGate::set_recorder(nullptr), &b);
+  a.commit();
+  b.commit();
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "interpose/fir.h"
+#include "report/report.h"
+
+namespace fir {
+namespace {
+
+TEST(ReportTest, ShortLocationStripsDirectories) {
+  EXPECT_EQ(report::short_location("/a/b/file.cpp:12"), "file.cpp:12");
+  EXPECT_EQ(report::short_location("file.cpp:3"), "file.cpp:3");
+}
+
+TEST(ReportTest, SiteTableListsExecutedSitesWithModes) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  FIR_QUIESCE(fx);
+
+  const std::string out = report::site_table(fx.mgr().sites());
+  EXPECT_NE(out.find("socket"), std::string::npos);
+  EXPECT_NE(out.find("report_test.cpp"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);  // recoverable
+}
+
+TEST(ReportTest, RecoveryTimelineShowsRetryAndDivert) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  if (fd >= 0) raise_crash(CrashKind::kSegv);
+  FIR_QUIESCE(fx);
+
+  const std::string out = report::recovery_timeline(fx.mgr());
+  EXPECT_NE(out.find("retry"), std::string::npos);
+  EXPECT_NE(out.find("divert"), std::string::npos);
+  EXPECT_NE(out.find("SIGSEGV"), std::string::npos);
+}
+
+TEST(ReportTest, CampaignTableSummarizesOutcomes) {
+  CampaignResult result;
+  ExperimentRecord good;
+  good.marker_name = "handler_block";
+  good.marker_location = "/x/app.cpp:10";
+  good.triggered = good.crashed = good.recovered = true;
+  ExperimentRecord bad;
+  bad.marker_name = "send_block";
+  bad.marker_location = "/x/app.cpp:20";
+  bad.triggered = bad.crashed = bad.fatal = true;
+  result.experiments = {good, bad};
+
+  const std::string out = report::campaign_table(result);
+  EXPECT_NE(out.find("RECOVERED"), std::string::npos);
+  EXPECT_NE(out.find("fatal"), std::string::npos);
+  EXPECT_NE(out.find("2 injected"), std::string::npos);
+  EXPECT_NE(out.find("1 recovered / 1 fatal"), std::string::npos);
+}
+
+TEST(ReportTest, SurfaceBlockFormatsFractions) {
+  SurfaceReport report;
+  report.unique_transactions = 20;
+  report.embedded_libcall_sites = 3;
+  report.irrecoverable_transactions = 2;
+  const std::string out = report::surface_block(report);
+  EXPECT_NE(out.find("90.0%"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fir

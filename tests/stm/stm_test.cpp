@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+TEST(StmTest, CommitKeepsStores) {
+  StmContext stm;
+  int x = 1;
+  stm.begin();
+  ASSERT_TRUE(stm.record_store(&x, sizeof(x)));
+  x = 2;
+  stm.commit();
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(stm.stats().committed, 1u);
+}
+
+TEST(StmTest, RollbackRestoresExactBytes) {
+  StmContext stm;
+  char buf[8] = "abcdefg";
+  stm.begin();
+  stm.record_store(buf + 2, 3);
+  std::memcpy(buf + 2, "XYZ", 3);
+  buf[0] = 'Q';  // untracked: NOT restored (word-granular undo, not lines)
+  stm.rollback();
+  EXPECT_EQ(buf[2], 'c');
+  EXPECT_EQ(buf[3], 'd');
+  EXPECT_EQ(buf[4], 'e');
+  EXPECT_EQ(buf[0], 'Q');
+  EXPECT_EQ(stm.stats().rolled_back, 1u);
+}
+
+TEST(StmTest, NeverRejectsStores) {
+  StmContext stm;
+  stm.begin();
+  std::vector<char> big(1 << 20);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(stm.record_store(big.data() + i * 1000, 512));
+  stm.commit();
+}
+
+TEST(StmTest, LogStatsAccumulate) {
+  StmContext stm;
+  int x = 0;
+  stm.begin();
+  stm.record_store(&x, sizeof(x));
+  stm.record_store(&x, sizeof(x));
+  EXPECT_EQ(stm.log_entries(), 2u);
+  EXPECT_EQ(stm.log_bytes(), 2 * sizeof(x));
+  stm.commit();
+  EXPECT_EQ(stm.stats().stores, 2u);
+  EXPECT_EQ(stm.stats().bytes_logged, 2 * sizeof(x));
+}
+
+TEST(StmTest, PeakFootprintIsSticky) {
+  StmContext stm;
+  std::vector<char> buf(32 * 1024);
+  stm.begin();
+  stm.record_store(buf.data(), buf.size());
+  stm.commit();
+  const std::size_t peak = stm.stats().peak_log_bytes;
+  EXPECT_GE(peak, buf.size());
+  stm.begin();
+  int x = 0;
+  stm.record_store(&x, sizeof(x));
+  stm.commit();
+  EXPECT_EQ(stm.stats().peak_log_bytes, peak);
+}
+
+TEST(StmTest, ReuseAfterRollback) {
+  StmContext stm;
+  int x = 1;
+  stm.begin();
+  stm.record_store(&x, sizeof(x));
+  x = 2;
+  stm.rollback();
+  stm.begin();
+  stm.record_store(&x, sizeof(x));
+  x = 3;
+  stm.commit();
+  EXPECT_EQ(x, 3);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "apps/minikv.h"
+#include "workload/campaign.h"
+
+namespace fir {
+namespace {
+
+ServerFactory kv_factory() {
+  return [] {
+    TxManagerConfig config;
+    config.policy.kind = PolicyKind::kStmOnly;
+    auto server = std::make_unique<Minikv>(config);
+    EXPECT_TRUE(server->start(0).is_ok());
+    return std::unique_ptr<Server>(std::move(server));
+  };
+}
+
+TEST(CampaignTest, AggregationCountsOutcomes) {
+  CampaignResult result;
+  ExperimentRecord recovered;
+  recovered.triggered = recovered.crashed = recovered.recovered = true;
+  ExperimentRecord fatal;
+  fatal.triggered = fatal.crashed = fatal.fatal = true;
+  ExperimentRecord untouched;
+  result.experiments = {recovered, fatal, untouched};
+  EXPECT_EQ(result.injected(), 3);
+  EXPECT_EQ(result.triggered(), 2);
+  EXPECT_EQ(result.crashes(), 2);
+  EXPECT_EQ(result.recovered(), 1);
+  EXPECT_EQ(result.fatal(), 1);
+}
+
+TEST(CampaignTest, ProfileMarkersExcludesCriticalAndHandlers) {
+  const auto targets = profile_markers(kv_factory());
+  EXPECT_FALSE(targets.empty());
+  for (const Marker& m : targets) {
+    EXPECT_FALSE(m.critical_path) << m.name;
+    EXPECT_FALSE(m.error_handler) << m.name;
+    EXPECT_GT(m.executions, 0u) << m.name;
+  }
+}
+
+TEST(CampaignTest, ProfileMarkersCanIncludeEverything) {
+  const auto all = profile_markers(kv_factory(), 1, false);
+  const auto targets = profile_markers(kv_factory(), 1, true);
+  EXPECT_GT(all.size(), targets.size());
+}
+
+TEST(CampaignTest, PersistentCampaignRecoversOnKv) {
+  const CampaignResult result =
+      run_campaign(kv_factory(), FaultType::kPersistentCrash);
+  ASSERT_GT(result.injected(), 3);
+  EXPECT_EQ(result.triggered(), result.injected());
+  EXPECT_EQ(result.recovered(), result.crashes());  // Redis row: all recover
+  for (const ExperimentRecord& e : result.experiments) {
+    EXPECT_GE(e.diversions + e.retries, 1u) << e.marker_name;
+  }
+}
+
+TEST(CampaignTest, ExperimentRecordsCarryMarkerIdentity) {
+  const CampaignResult result =
+      run_campaign(kv_factory(), FaultType::kTransientCrash);
+  for (const ExperimentRecord& e : result.experiments) {
+    EXPECT_FALSE(e.marker_name.empty());
+    EXPECT_NE(e.marker_location.find("minikv.cpp"), std::string::npos);
+    EXPECT_EQ(e.fault, FaultType::kTransientCrash);
+  }
+}
+
+}  // namespace
+}  // namespace fir

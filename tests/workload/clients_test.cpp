@@ -1,0 +1,164 @@
+// Workload-client framing tests against raw virtual sockets.
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+#include "workload/http_client.h"
+#include "workload/kv_client.h"
+#include "workload/pg_client.h"
+
+namespace fir {
+namespace {
+
+struct FakeServer {
+  Env env;
+  int listener = -1;
+  int conn = -1;
+
+  explicit FakeServer(std::uint16_t port) {
+    listener = env.socket();
+    env.bind(listener, port);
+    env.listen(listener, 4);
+  }
+  void accept_one() { conn = env.accept(listener); }
+  void push(std::string_view bytes) {
+    env.send(conn, bytes.data(), bytes.size());
+  }
+};
+
+TEST(HttpClientTest, ParsesResponseWithBody) {
+  FakeServer server(7100);
+  HttpClient client(server.env, 7100);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  ASSERT_TRUE(client.send_request("GET", "/x"));
+  char buf[256];
+  ASSERT_GT(server.env.recv(server.conn, buf, sizeof(buf)), 0);
+  EXPECT_NE(std::string_view(buf).find("GET /x HTTP/1.1"),
+            std::string_view::npos);
+
+  server.push("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello");
+  HttpClient::Response response;
+  ASSERT_EQ(client.try_read_response(response), 1);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "hello");
+}
+
+TEST(HttpClientTest, IncompleteThenComplete) {
+  FakeServer server(7101);
+  HttpClient client(server.env, 7101);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  server.push("HTTP/1.1 404 Not Found\r\nContent-Le");
+  HttpClient::Response response;
+  EXPECT_EQ(client.try_read_response(response), 0);
+  server.push("ngth: 2\r\n\r\nno");
+  ASSERT_EQ(client.try_read_response(response), 1);
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(response.body, "no");
+}
+
+TEST(HttpClientTest, PipelinedResponsesSplitCorrectly) {
+  FakeServer server(7102);
+  HttpClient client(server.env, 7102);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  server.push(
+      "HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nA"
+      "HTTP/1.1 500 Oops\r\nContent-Length: 0\r\n\r\n");
+  HttpClient::Response r1, r2;
+  ASSERT_EQ(client.try_read_response(r1), 1);
+  EXPECT_EQ(r1.status, 200);
+  EXPECT_EQ(r1.body, "A");
+  ASSERT_EQ(client.try_read_response(r2), 1);
+  EXPECT_EQ(r2.status, 500);
+}
+
+TEST(HttpClientTest, ConnectionGoneReturnsMinusOne) {
+  FakeServer server(7103);
+  HttpClient client(server.env, 7103);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  server.env.close(server.conn);
+  HttpClient::Response response;
+  EXPECT_EQ(client.try_read_response(response), -1);
+}
+
+TEST(KvClientTest, SimpleAndBulkReplies) {
+  FakeServer server(7104);
+  KvClient client(server.env, 7104);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  ASSERT_TRUE(client.send_command("GET k"));
+
+  std::string reply;
+  server.push("+OK\r\n");
+  ASSERT_EQ(client.try_read_reply(reply), 1);
+  EXPECT_EQ(reply, "+OK");
+
+  server.push("$5\r\nvalue\r\n");
+  ASSERT_EQ(client.try_read_reply(reply), 1);
+  EXPECT_EQ(reply, "value");
+
+  server.push("$-1\r\n");
+  ASSERT_EQ(client.try_read_reply(reply), 1);
+  EXPECT_EQ(reply, "$-1");
+}
+
+TEST(KvClientTest, ArrayReplyCollected) {
+  FakeServer server(7105);
+  KvClient client(server.env, 7105);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  server.push("*2\r\n$1\r\na\r\n$2\r\nbb\r\n");
+  std::string reply;
+  ASSERT_EQ(client.try_read_reply(reply), 1);
+  EXPECT_EQ(reply, "a bb");
+}
+
+TEST(KvClientTest, PartialBulkWaits) {
+  FakeServer server(7106);
+  KvClient client(server.env, 7106);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  server.push("$10\r\nhalf");
+  std::string reply;
+  EXPECT_EQ(client.try_read_reply(reply), 0);
+  server.push("otherx\r\n");
+  ASSERT_EQ(client.try_read_reply(reply), 1);
+  EXPECT_EQ(reply, "halfotherx");
+}
+
+TEST(PgClientTest, StatusAndRowReplies) {
+  FakeServer server(7107);
+  PgClient client(server.env, 7107);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+
+  std::string reply;
+  server.push("INSERT 0 1\n");
+  ASSERT_EQ(client.try_read_result(reply), 1);
+  EXPECT_EQ(reply, "INSERT 0 1");
+
+  server.push("some-value\n(1 row)\n");
+  ASSERT_EQ(client.try_read_result(reply), 1);
+  EXPECT_EQ(reply, "some-value\n(1 row)");
+
+  server.push("(0 rows)\n");
+  ASSERT_EQ(client.try_read_result(reply), 1);
+  EXPECT_EQ(reply, "(0 rows)");
+}
+
+TEST(PgClientTest, RowWaitsForTrailer) {
+  FakeServer server(7108);
+  PgClient client(server.env, 7108);
+  ASSERT_TRUE(client.connect());
+  server.accept_one();
+  server.push("value-line\n");
+  std::string reply;
+  EXPECT_EQ(client.try_read_result(reply), 0);
+  server.push("(1 row)\n");
+  ASSERT_EQ(client.try_read_result(reply), 1);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,72 @@
+// Workload-driver unit coverage: suite composition, result arithmetic,
+// and the per-server dispatch.
+#include <gtest/gtest.h>
+
+#include "apps/miniginx.h"
+#include "workload/drivers.h"
+
+namespace fir {
+namespace {
+
+TEST(WorkloadResultTest, Arithmetic) {
+  WorkloadResult result;
+  result.responses_2xx = 10;
+  result.responses_4xx = 3;
+  result.responses_5xx = 2;
+  result.wall_seconds = 5.0;
+  EXPECT_EQ(result.responses_total(), 15u);
+  EXPECT_DOUBLE_EQ(result.throughput_rps(), 3.0);
+  result.wall_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(result.throughput_rps(), 0.0);
+}
+
+TEST(SuiteTest, EveryServerHasErrorProbesAndFeatureProbes) {
+  for (const char* name : {"miniginx", "apachette", "littlehttpd"}) {
+    const auto suite = standard_http_suite(name);
+    EXPECT_GE(suite.size(), 10u) << name;
+    bool has_404 = false, has_traversal = false, has_get = false;
+    for (const auto& spec : suite) {
+      if (spec.target.find("no/such") != std::string::npos) has_404 = true;
+      if (spec.target.find("..") != std::string::npos) has_traversal = true;
+      if (spec.method == "GET") has_get = true;
+    }
+    EXPECT_TRUE(has_404 && has_traversal && has_get) << name;
+  }
+}
+
+TEST(SuiteTest, ServerSpecificProbesPresent) {
+  auto has_target = [](const std::vector<HttpRequestSpec>& suite,
+                       std::string_view needle) {
+    for (const auto& spec : suite)
+      if (spec.target.find(needle) != std::string::npos ||
+          spec.method.find(needle) != std::string::npos)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(has_target(standard_http_suite("miniginx"), ".shtml"));
+  EXPECT_TRUE(has_target(standard_http_suite("apachette"), "cgi="));
+  EXPECT_TRUE(has_target(standard_http_suite("apachette"), "server-status"));
+  EXPECT_TRUE(has_target(standard_http_suite("littlehttpd"), "PROPFIND"));
+  EXPECT_TRUE(has_target(standard_http_suite("littlehttpd"), "MKCOL"));
+}
+
+TEST(SuiteTest, RangeProbeCarriesExtraHeader) {
+  bool found = false;
+  for (const auto& spec : standard_http_suite("miniginx")) {
+    if (spec.extra_headers.find("Range:") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DispatchTest, RunSuiteForRoutesByName) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kUnprotected;
+  Miniginx server(config);
+  ASSERT_TRUE(server.start(0).is_ok());
+  const WorkloadResult result = run_suite_for(server, 1);
+  EXPECT_GT(result.responses_2xx, 0u);
+  EXPECT_FALSE(result.server_died);
+}
+
+}  // namespace
+}  // namespace fir
