@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capacity.dir/ablation_capacity.cpp.o"
+  "CMakeFiles/ablation_capacity.dir/ablation_capacity.cpp.o.d"
+  "ablation_capacity"
+  "ablation_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retry.dir/ablation_retry.cpp.o"
+  "CMakeFiles/ablation_retry.dir/ablation_retry.cpp.o.d"
+  "ablation_retry"
+  "ablation_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

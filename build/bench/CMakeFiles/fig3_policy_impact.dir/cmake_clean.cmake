@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_policy_impact.dir/fig3_policy_impact.cpp.o"
+  "CMakeFiles/fig3_policy_impact.dir/fig3_policy_impact.cpp.o.d"
+  "fig3_policy_impact"
+  "fig3_policy_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_policy_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

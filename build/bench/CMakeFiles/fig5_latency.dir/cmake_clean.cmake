@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency.dir/fig5_latency.cpp.o"
+  "CMakeFiles/fig5_latency.dir/fig5_latency.cpp.o.d"
+  "fig5_latency"
+  "fig5_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_threshold_sweep.dir/fig6_threshold_sweep.cpp.o"
+  "CMakeFiles/fig6_threshold_sweep.dir/fig6_threshold_sweep.cpp.o.d"
+  "fig6_threshold_sweep"
+  "fig6_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_htm_failures.dir/fig8_htm_failures.cpp.o"
+  "CMakeFiles/fig8_htm_failures.dir/fig8_htm_failures.cpp.o.d"
+  "fig8_htm_failures"
+  "fig8_htm_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_htm_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_memory.dir/fig9_memory.cpp.o"
+  "CMakeFiles/fig9_memory.dir/fig9_memory.cpp.o.d"
+  "fig9_memory"
+  "fig9_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_checkpoint.dir/micro_checkpoint.cpp.o"
+  "CMakeFiles/micro_checkpoint.dir/micro_checkpoint.cpp.o.d"
+  "micro_checkpoint"
+  "micro_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

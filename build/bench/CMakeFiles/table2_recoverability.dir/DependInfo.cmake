@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_recoverability.cpp" "bench/CMakeFiles/table2_recoverability.dir/table2_recoverability.cpp.o" "gcc" "bench/CMakeFiles/table2_recoverability.dir/table2_recoverability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/fir_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fir_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fir_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/fir_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsfi/CMakeFiles/fir_hsfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/fir_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/fir_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fir_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/libmodel/CMakeFiles/fir_libmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/fir_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

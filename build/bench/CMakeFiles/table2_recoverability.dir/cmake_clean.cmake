@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_recoverability.dir/table2_recoverability.cpp.o"
+  "CMakeFiles/table2_recoverability.dir/table2_recoverability.cpp.o.d"
+  "table2_recoverability"
+  "table2_recoverability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_recoverability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

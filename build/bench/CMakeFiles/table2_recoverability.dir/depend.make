@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_recoverability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_surface.dir/table3_surface.cpp.o"
+  "CMakeFiles/table3_surface.dir/table3_surface.cpp.o.d"
+  "table3_surface"
+  "table3_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

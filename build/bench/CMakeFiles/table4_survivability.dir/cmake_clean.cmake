@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_survivability.dir/table4_survivability.cpp.o"
+  "CMakeFiles/table4_survivability.dir/table4_survivability.cpp.o.d"
+  "table4_survivability"
+  "table4_survivability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_survivability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

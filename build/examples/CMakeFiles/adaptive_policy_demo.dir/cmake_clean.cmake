@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_policy_demo.dir/adaptive_policy_demo.cpp.o"
+  "CMakeFiles/adaptive_policy_demo.dir/adaptive_policy_demo.cpp.o.d"
+  "adaptive_policy_demo"
+  "adaptive_policy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_policy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_recovery.dir/kvstore_recovery.cpp.o"
+  "CMakeFiles/kvstore_recovery.dir/kvstore_recovery.cpp.o.d"
+  "kvstore_recovery"
+  "kvstore_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefork_workers.dir/prefork_workers.cpp.o"
+  "CMakeFiles/prefork_workers.dir/prefork_workers.cpp.o.d"
+  "prefork_workers"
+  "prefork_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefork_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

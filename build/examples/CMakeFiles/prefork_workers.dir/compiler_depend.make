@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prefork_workers.
+# This may be replaced when dependencies are built.

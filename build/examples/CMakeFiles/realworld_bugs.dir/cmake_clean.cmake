@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realworld_bugs.dir/realworld_bugs.cpp.o"
+  "CMakeFiles/realworld_bugs.dir/realworld_bugs.cpp.o.d"
+  "realworld_bugs"
+  "realworld_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realworld_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

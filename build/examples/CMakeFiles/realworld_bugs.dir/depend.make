@@ -1,0 +1,2 @@
+# Empty dependencies file for realworld_bugs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_recovery.dir/webserver_recovery.cpp.o"
+  "CMakeFiles/webserver_recovery.dir/webserver_recovery.cpp.o.d"
+  "webserver_recovery"
+  "webserver_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mem")
+subdirs("htm")
+subdirs("stm")
+subdirs("libmodel")
+subdirs("env")
+subdirs("core")
+subdirs("interpose")
+subdirs("hsfi")
+subdirs("apps")
+subdirs("workload")
+subdirs("report")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_apps.dir/apachette.cpp.o"
+  "CMakeFiles/fir_apps.dir/apachette.cpp.o.d"
+  "CMakeFiles/fir_apps.dir/http.cpp.o"
+  "CMakeFiles/fir_apps.dir/http.cpp.o.d"
+  "CMakeFiles/fir_apps.dir/littlehttpd.cpp.o"
+  "CMakeFiles/fir_apps.dir/littlehttpd.cpp.o.d"
+  "CMakeFiles/fir_apps.dir/miniginx.cpp.o"
+  "CMakeFiles/fir_apps.dir/miniginx.cpp.o.d"
+  "CMakeFiles/fir_apps.dir/minikv.cpp.o"
+  "CMakeFiles/fir_apps.dir/minikv.cpp.o.d"
+  "CMakeFiles/fir_apps.dir/minipg.cpp.o"
+  "CMakeFiles/fir_apps.dir/minipg.cpp.o.d"
+  "libfir_apps.a"
+  "libfir_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

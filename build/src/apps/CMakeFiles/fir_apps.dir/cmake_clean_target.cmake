@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfir_apps.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_common.dir/histogram.cpp.o"
+  "CMakeFiles/fir_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/fir_common.dir/log.cpp.o"
+  "CMakeFiles/fir_common.dir/log.cpp.o.d"
+  "CMakeFiles/fir_common.dir/rng.cpp.o"
+  "CMakeFiles/fir_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fir_common.dir/status.cpp.o"
+  "CMakeFiles/fir_common.dir/status.cpp.o.d"
+  "CMakeFiles/fir_common.dir/table.cpp.o"
+  "CMakeFiles/fir_common.dir/table.cpp.o.d"
+  "libfir_common.a"
+  "libfir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/fir_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/fir_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/crash.cpp" "src/core/CMakeFiles/fir_core.dir/crash.cpp.o" "gcc" "src/core/CMakeFiles/fir_core.dir/crash.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/fir_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/fir_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/site.cpp" "src/core/CMakeFiles/fir_core.dir/site.cpp.o" "gcc" "src/core/CMakeFiles/fir_core.dir/site.cpp.o.d"
+  "/root/repo/src/core/stack_snapshot.cpp" "src/core/CMakeFiles/fir_core.dir/stack_snapshot.cpp.o" "gcc" "src/core/CMakeFiles/fir_core.dir/stack_snapshot.cpp.o.d"
+  "/root/repo/src/core/tx_manager.cpp" "src/core/CMakeFiles/fir_core.dir/tx_manager.cpp.o" "gcc" "src/core/CMakeFiles/fir_core.dir/tx_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fir_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/fir_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/fir_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/libmodel/CMakeFiles/fir_libmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/fir_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

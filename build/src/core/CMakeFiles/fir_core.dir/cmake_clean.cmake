@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_core.dir/analyzer.cpp.o"
+  "CMakeFiles/fir_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/fir_core.dir/crash.cpp.o"
+  "CMakeFiles/fir_core.dir/crash.cpp.o.d"
+  "CMakeFiles/fir_core.dir/policy.cpp.o"
+  "CMakeFiles/fir_core.dir/policy.cpp.o.d"
+  "CMakeFiles/fir_core.dir/site.cpp.o"
+  "CMakeFiles/fir_core.dir/site.cpp.o.d"
+  "CMakeFiles/fir_core.dir/stack_snapshot.cpp.o"
+  "CMakeFiles/fir_core.dir/stack_snapshot.cpp.o.d"
+  "CMakeFiles/fir_core.dir/tx_manager.cpp.o"
+  "CMakeFiles/fir_core.dir/tx_manager.cpp.o.d"
+  "libfir_core.a"
+  "libfir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_env.dir/env.cpp.o"
+  "CMakeFiles/fir_env.dir/env.cpp.o.d"
+  "CMakeFiles/fir_env.dir/vfs.cpp.o"
+  "CMakeFiles/fir_env.dir/vfs.cpp.o.d"
+  "libfir_env.a"
+  "libfir_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_hsfi.dir/hsfi.cpp.o"
+  "CMakeFiles/fir_hsfi.dir/hsfi.cpp.o.d"
+  "libfir_hsfi.a"
+  "libfir_hsfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_hsfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fir_hsfi.
+# This may be replaced when dependencies are built.

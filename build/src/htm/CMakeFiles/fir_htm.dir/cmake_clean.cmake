@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_htm.dir/htm.cpp.o"
+  "CMakeFiles/fir_htm.dir/htm.cpp.o.d"
+  "libfir_htm.a"
+  "libfir_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

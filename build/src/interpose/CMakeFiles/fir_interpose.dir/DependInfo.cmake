@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interpose/comp.cpp" "src/interpose/CMakeFiles/fir_interpose.dir/comp.cpp.o" "gcc" "src/interpose/CMakeFiles/fir_interpose.dir/comp.cpp.o.d"
+  "/root/repo/src/interpose/fir.cpp" "src/interpose/CMakeFiles/fir_interpose.dir/fir.cpp.o" "gcc" "src/interpose/CMakeFiles/fir_interpose.dir/fir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/fir_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsfi/CMakeFiles/fir_hsfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/fir_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/fir_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fir_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/libmodel/CMakeFiles/fir_libmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_interpose.dir/comp.cpp.o"
+  "CMakeFiles/fir_interpose.dir/comp.cpp.o.d"
+  "CMakeFiles/fir_interpose.dir/fir.cpp.o"
+  "CMakeFiles/fir_interpose.dir/fir.cpp.o.d"
+  "libfir_interpose.a"
+  "libfir_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

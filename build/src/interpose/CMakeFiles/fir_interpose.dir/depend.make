@@ -1,0 +1,2 @@
+# Empty dependencies file for fir_interpose.
+# This may be replaced when dependencies are built.

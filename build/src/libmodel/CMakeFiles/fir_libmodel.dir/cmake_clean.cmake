@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_libmodel.dir/catalog.cpp.o"
+  "CMakeFiles/fir_libmodel.dir/catalog.cpp.o.d"
+  "libfir_libmodel.a"
+  "libfir_libmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_libmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

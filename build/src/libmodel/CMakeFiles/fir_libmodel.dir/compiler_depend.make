@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fir_libmodel.
+# This may be replaced when dependencies are built.

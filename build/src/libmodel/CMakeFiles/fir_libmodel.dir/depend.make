@@ -1,0 +1,2 @@
+# Empty dependencies file for fir_libmodel.
+# This may be replaced when dependencies are built.

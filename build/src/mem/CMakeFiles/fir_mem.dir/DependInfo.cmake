@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/store_gate.cpp" "src/mem/CMakeFiles/fir_mem.dir/store_gate.cpp.o" "gcc" "src/mem/CMakeFiles/fir_mem.dir/store_gate.cpp.o.d"
+  "/root/repo/src/mem/undo_log.cpp" "src/mem/CMakeFiles/fir_mem.dir/undo_log.cpp.o" "gcc" "src/mem/CMakeFiles/fir_mem.dir/undo_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

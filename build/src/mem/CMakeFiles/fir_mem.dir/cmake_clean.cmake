@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_mem.dir/store_gate.cpp.o"
+  "CMakeFiles/fir_mem.dir/store_gate.cpp.o.d"
+  "CMakeFiles/fir_mem.dir/undo_log.cpp.o"
+  "CMakeFiles/fir_mem.dir/undo_log.cpp.o.d"
+  "libfir_mem.a"
+  "libfir_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_report.dir/report.cpp.o"
+  "CMakeFiles/fir_report.dir/report.cpp.o.d"
+  "libfir_report.a"
+  "libfir_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

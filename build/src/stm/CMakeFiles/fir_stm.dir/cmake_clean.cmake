@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_stm.dir/stm.cpp.o"
+  "CMakeFiles/fir_stm.dir/stm.cpp.o.d"
+  "libfir_stm.a"
+  "libfir_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_workload.dir/campaign.cpp.o"
+  "CMakeFiles/fir_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/fir_workload.dir/drivers.cpp.o"
+  "CMakeFiles/fir_workload.dir/drivers.cpp.o.d"
+  "CMakeFiles/fir_workload.dir/http_client.cpp.o"
+  "CMakeFiles/fir_workload.dir/http_client.cpp.o.d"
+  "CMakeFiles/fir_workload.dir/kv_client.cpp.o"
+  "CMakeFiles/fir_workload.dir/kv_client.cpp.o.d"
+  "CMakeFiles/fir_workload.dir/pg_client.cpp.o"
+  "CMakeFiles/fir_workload.dir/pg_client.cpp.o.d"
+  "libfir_workload.a"
+  "libfir_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_apps_test.dir/apps/apachette_test.cpp.o"
+  "CMakeFiles/fir_apps_test.dir/apps/apachette_test.cpp.o.d"
+  "CMakeFiles/fir_apps_test.dir/apps/http_test.cpp.o"
+  "CMakeFiles/fir_apps_test.dir/apps/http_test.cpp.o.d"
+  "CMakeFiles/fir_apps_test.dir/apps/littlehttpd_test.cpp.o"
+  "CMakeFiles/fir_apps_test.dir/apps/littlehttpd_test.cpp.o.d"
+  "CMakeFiles/fir_apps_test.dir/apps/miniginx_test.cpp.o"
+  "CMakeFiles/fir_apps_test.dir/apps/miniginx_test.cpp.o.d"
+  "CMakeFiles/fir_apps_test.dir/apps/minikv_test.cpp.o"
+  "CMakeFiles/fir_apps_test.dir/apps/minikv_test.cpp.o.d"
+  "CMakeFiles/fir_apps_test.dir/apps/minipg_test.cpp.o"
+  "CMakeFiles/fir_apps_test.dir/apps/minipg_test.cpp.o.d"
+  "fir_apps_test"
+  "fir_apps_test.pdb"
+  "fir_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_common_test.dir/common/histogram_test.cpp.o"
+  "CMakeFiles/fir_common_test.dir/common/histogram_test.cpp.o.d"
+  "CMakeFiles/fir_common_test.dir/common/rng_test.cpp.o"
+  "CMakeFiles/fir_common_test.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/fir_common_test.dir/common/status_test.cpp.o"
+  "CMakeFiles/fir_common_test.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/fir_common_test.dir/common/table_test.cpp.o"
+  "CMakeFiles/fir_common_test.dir/common/table_test.cpp.o.d"
+  "fir_common_test"
+  "fir_common_test.pdb"
+  "fir_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_core_test.dir/core/analyzer_test.cpp.o"
+  "CMakeFiles/fir_core_test.dir/core/analyzer_test.cpp.o.d"
+  "CMakeFiles/fir_core_test.dir/core/crash_test.cpp.o"
+  "CMakeFiles/fir_core_test.dir/core/crash_test.cpp.o.d"
+  "CMakeFiles/fir_core_test.dir/core/policy_test.cpp.o"
+  "CMakeFiles/fir_core_test.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/fir_core_test.dir/core/recovery_test.cpp.o"
+  "CMakeFiles/fir_core_test.dir/core/recovery_test.cpp.o.d"
+  "CMakeFiles/fir_core_test.dir/core/stack_snapshot_test.cpp.o"
+  "CMakeFiles/fir_core_test.dir/core/stack_snapshot_test.cpp.o.d"
+  "CMakeFiles/fir_core_test.dir/core/tx_manager_test.cpp.o"
+  "CMakeFiles/fir_core_test.dir/core/tx_manager_test.cpp.o.d"
+  "fir_core_test"
+  "fir_core_test.pdb"
+  "fir_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_env_test.dir/env/env_epoll_test.cpp.o"
+  "CMakeFiles/fir_env_test.dir/env/env_epoll_test.cpp.o.d"
+  "CMakeFiles/fir_env_test.dir/env/env_file_test.cpp.o"
+  "CMakeFiles/fir_env_test.dir/env/env_file_test.cpp.o.d"
+  "CMakeFiles/fir_env_test.dir/env/env_socket_test.cpp.o"
+  "CMakeFiles/fir_env_test.dir/env/env_socket_test.cpp.o.d"
+  "CMakeFiles/fir_env_test.dir/env/env_vector_test.cpp.o"
+  "CMakeFiles/fir_env_test.dir/env/env_vector_test.cpp.o.d"
+  "CMakeFiles/fir_env_test.dir/env/vfs_test.cpp.o"
+  "CMakeFiles/fir_env_test.dir/env/vfs_test.cpp.o.d"
+  "fir_env_test"
+  "fir_env_test.pdb"
+  "fir_env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

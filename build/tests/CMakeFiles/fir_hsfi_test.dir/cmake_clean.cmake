@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_hsfi_test.dir/hsfi/hsfi_test.cpp.o"
+  "CMakeFiles/fir_hsfi_test.dir/hsfi/hsfi_test.cpp.o.d"
+  "fir_hsfi_test"
+  "fir_hsfi_test.pdb"
+  "fir_hsfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_hsfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

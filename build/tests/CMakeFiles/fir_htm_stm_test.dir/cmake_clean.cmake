@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_htm_stm_test.dir/htm/htm_test.cpp.o"
+  "CMakeFiles/fir_htm_stm_test.dir/htm/htm_test.cpp.o.d"
+  "CMakeFiles/fir_htm_stm_test.dir/stm/stm_test.cpp.o"
+  "CMakeFiles/fir_htm_stm_test.dir/stm/stm_test.cpp.o.d"
+  "fir_htm_stm_test"
+  "fir_htm_stm_test.pdb"
+  "fir_htm_stm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_htm_stm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

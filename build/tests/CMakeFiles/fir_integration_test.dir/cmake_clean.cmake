@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_integration_test.dir/integration/chaos_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/chaos_test.cpp.o.d"
+  "CMakeFiles/fir_integration_test.dir/integration/crash_recovery_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/crash_recovery_test.cpp.o.d"
+  "CMakeFiles/fir_integration_test.dir/integration/durability_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/durability_test.cpp.o.d"
+  "CMakeFiles/fir_integration_test.dir/integration/multi_instance_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/multi_instance_test.cpp.o.d"
+  "CMakeFiles/fir_integration_test.dir/integration/realworld_bugs_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/realworld_bugs_test.cpp.o.d"
+  "CMakeFiles/fir_integration_test.dir/integration/survivability_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/survivability_test.cpp.o.d"
+  "CMakeFiles/fir_integration_test.dir/integration/workload_test.cpp.o"
+  "CMakeFiles/fir_integration_test.dir/integration/workload_test.cpp.o.d"
+  "fir_integration_test"
+  "fir_integration_test.pdb"
+  "fir_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

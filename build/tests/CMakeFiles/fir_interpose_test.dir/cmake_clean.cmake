@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_interpose_test.dir/interpose/comp_test.cpp.o"
+  "CMakeFiles/fir_interpose_test.dir/interpose/comp_test.cpp.o.d"
+  "CMakeFiles/fir_interpose_test.dir/interpose/wrappers_test.cpp.o"
+  "CMakeFiles/fir_interpose_test.dir/interpose/wrappers_test.cpp.o.d"
+  "fir_interpose_test"
+  "fir_interpose_test.pdb"
+  "fir_interpose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_interpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

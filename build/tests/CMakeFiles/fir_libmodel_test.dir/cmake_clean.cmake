@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_libmodel_test.dir/libmodel/catalog_test.cpp.o"
+  "CMakeFiles/fir_libmodel_test.dir/libmodel/catalog_test.cpp.o.d"
+  "fir_libmodel_test"
+  "fir_libmodel_test.pdb"
+  "fir_libmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_libmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_buffer_test.cpp.o"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_buffer_test.cpp.o.d"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_map_test.cpp.o"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_map_test.cpp.o.d"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_pool_test.cpp.o"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_pool_test.cpp.o.d"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_test.cpp.o"
+  "CMakeFiles/fir_mem_test.dir/mem/tracked_test.cpp.o.d"
+  "CMakeFiles/fir_mem_test.dir/mem/undo_log_test.cpp.o"
+  "CMakeFiles/fir_mem_test.dir/mem/undo_log_test.cpp.o.d"
+  "fir_mem_test"
+  "fir_mem_test.pdb"
+  "fir_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

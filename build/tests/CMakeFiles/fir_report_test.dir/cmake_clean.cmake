@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_report_test.dir/report/report_test.cpp.o"
+  "CMakeFiles/fir_report_test.dir/report/report_test.cpp.o.d"
+  "fir_report_test"
+  "fir_report_test.pdb"
+  "fir_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

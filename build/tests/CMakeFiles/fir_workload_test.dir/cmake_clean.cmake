@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_workload_test.dir/workload/campaign_test.cpp.o"
+  "CMakeFiles/fir_workload_test.dir/workload/campaign_test.cpp.o.d"
+  "CMakeFiles/fir_workload_test.dir/workload/clients_test.cpp.o"
+  "CMakeFiles/fir_workload_test.dir/workload/clients_test.cpp.o.d"
+  "CMakeFiles/fir_workload_test.dir/workload/drivers_test.cpp.o"
+  "CMakeFiles/fir_workload_test.dir/workload/drivers_test.cpp.o.d"
+  "fir_workload_test"
+  "fir_workload_test.pdb"
+  "fir_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

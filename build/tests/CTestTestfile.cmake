@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fir_common_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_htm_stm_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_libmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_env_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_core_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_interpose_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_report_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_hsfi_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/fir_integration_test[1]_include.cmake")
