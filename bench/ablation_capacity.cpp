@@ -6,11 +6,13 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Ablation: HTM write-set capacity (lines) on miniginx under load.\n\n");

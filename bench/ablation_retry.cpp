@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -59,7 +60,8 @@ Outcome measure(int retries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Ablation: transient-retry budget on miniginx campaigns.\n"

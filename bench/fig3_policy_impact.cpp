@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -61,7 +62,8 @@ Measurement measure(const TxManagerConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Figure 3: adaptive transaction policies on miniginx — HTM abort %%\n"

@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "common/histogram.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -41,7 +42,8 @@ Histogram collect_latencies(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Figure 5: recovery latency distribution per server (microseconds).\n"

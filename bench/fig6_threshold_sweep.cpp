@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -19,7 +20,8 @@ const double kThresholds[] = {0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64};
 const std::uint32_t kSamples[] = {2, 4, 16, 64, 128};
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Figure 6: throughput degradation (%% vs vanilla) across HTM abort\n"

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -16,7 +17,8 @@ constexpr int kRequests = 10000;
 constexpr int kConcurrency = 8;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Figure 7: normalized runtime overhead vs vanilla (lower is better).\n"

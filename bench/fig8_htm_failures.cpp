@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -29,7 +30,8 @@ double abort_percent(const std::string& name, const TxManagerConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Figure 8: HTM failure percentage, HTM-only vs FIRestarter.\n"

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
@@ -45,7 +46,8 @@ double memory_proxy(const std::string& name, const TxManagerConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Figure 9: normalized mean memory overhead (RSS proxy) vs vanilla.\n"

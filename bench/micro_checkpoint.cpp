@@ -10,6 +10,8 @@
 #include "interpose/fir.h"
 #include "mem/tracked.h"
 #include "mem/undo_log.h"
+#include "obs/cli.h"
+#include "obs/trace_ring.h"
 #include "stm/stm.h"
 
 namespace fir {
@@ -146,6 +148,42 @@ BENCHMARK(BM_GateRoundTrip)
     ->Arg(static_cast<int>(PolicyKind::kStmOnly))
     ->Arg(static_cast<int>(PolicyKind::kAdaptive));
 
+void BM_GateTracing(benchmark::State& state) {
+  // Tracing-on vs tracing-off gate cost (ISSUE acceptance: the disabled
+  // check must stay within measurement noise of the pre-tracing baseline;
+  // compare against BM_GateRoundTrip/adaptive for the no-ring reference).
+  const bool traced = state.range(0) != 0;
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kAdaptive;
+  config.htm.interrupt_abort_per_store = 0.0;
+  config.obs.trace_enabled = traced;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  tracked<std::uint64_t> counter;
+  for (auto _ : state) {
+    const int rc = FIR_SETSOCKOPT(fx, -1, 0);
+    benchmark::DoNotOptimize(rc);
+    counter += 1;
+  }
+  FIR_QUIESCE(fx);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(traced ? "tracing-on" : "tracing-off");
+}
+BENCHMARK(BM_GateTracing)->Arg(0)->Arg(1);
+
+void BM_TraceRingEmit(benchmark::State& state) {
+  // Raw cost of one enabled emit: slot reservation + 64-byte payload write.
+  obs::TraceRing ring(4096);
+  ring.set_enabled(true);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    ring.emit(obs::EventKind::kTxCommit, 7, ++t, "htm", 1, 2);
+  }
+  benchmark::DoNotOptimize(ring.total_emitted());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRingEmit);
+
 void BM_CrashRecoveryRoundTrip(benchmark::State& state) {
   TxManagerConfig config;
   config.policy.kind = PolicyKind::kStmOnly;
@@ -164,4 +202,13 @@ BENCHMARK(BM_CrashRecoveryRoundTrip);
 }  // namespace
 }  // namespace fir
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the FIR_TRACE_* flags are stripped before
+// google-benchmark's own argument parsing sees them.
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,11 +9,13 @@
 #include "bench_util.h"
 #include "common/histogram.h"
 #include "core/analyzer.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
 
   // Measured recovery surface: worst case across the web servers.

@@ -6,11 +6,13 @@
 
 #include "bench_util.h"
 #include "libmodel/catalog.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   const auto& catalog = LibraryCatalog::instance();
 

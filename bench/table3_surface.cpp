@@ -4,11 +4,13 @@
 
 #include "bench_util.h"
 #include "core/analyzer.h"
+#include "obs/cli.h"
 
 using namespace fir;
 using namespace fir::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
   quiet_logs();
   std::printf(
       "Table III: runtime recoverable surface w.r.t. standard test-suite\n"

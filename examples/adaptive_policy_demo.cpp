@@ -4,12 +4,14 @@
 #include <cstdio>
 
 #include "apps/miniginx.h"
+#include "obs/cli.h"
 #include "report/report.h"
 #include "workload/drivers.h"
 
 using namespace fir;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_cli_flags(&argc, argv);  // --trace-out=... etc.
   TxManagerConfig config;  // adaptive, threshold 1%, sample 4
   config.htm.interrupt_abort_per_store = 1e-4;
   Miniginx server(config);
@@ -18,15 +20,24 @@ int main() {
   Rng rng(7);
   run_http_load(server, 3000, 8, rng);
 
-  std::printf("%s", report::site_table(server.fx().mgr().sites()).c_str());
+  TxManager& mgr = server.fx().mgr();
+  std::printf("%s", report::site_table(mgr.sites()).c_str());
 
   int sticky = 0;
-  for (const Site& site : server.fx().mgr().sites().all())
+  for (const Site& site : mgr.sites().all())
     sticky += site.gate.sticky_stm ? 1 : 0;
-  const HtmStats& htm = server.fx().mgr().htm_stats();
+  const HtmStats& htm = mgr.htm_stats();
   std::printf("\n%d site(s) permanently demoted to STM; "
               "HTM: %llu begun, %llu aborted\n",
               sticky, static_cast<unsigned long long>(htm.begun),
               static_cast<unsigned long long>(htm.aborted_total()));
+
+  std::printf("\n-- metrics registry (docs/OBSERVABILITY.md) --\n%s",
+              report::metrics_table(mgr.metrics()).c_str());
+  if (mgr.obs().tracing()) {
+    std::printf("\n-- trace tail (site demotions and friends) --\n%s",
+                report::trace_table(mgr.obs().trace(), mgr.sites(), 16)
+                    .c_str());
+  }
   return sticky >= 1 ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "apps/minikv.h"
+#include "obs/cli.h"
+#include "report/report.h"
 #include "workload/kv_client.h"
 
 using namespace fir;
@@ -21,7 +23,11 @@ std::string cmd(Minikv& server, KvClient& client, const std::string& line) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // FIR_TRACE_OUT=trace.jsonl (or --trace-out=trace.jsonl) dumps the
+  // recovery-event trace of this run; see docs/OBSERVABILITY.md for a
+  // walkthrough of the events this demo produces.
+  obs::apply_cli_flags(&argc, argv);
   Minikv server;
   if (!server.start(0).is_ok()) return 1;
   KvClient client(server.fx().env(), server.port());
@@ -54,5 +60,12 @@ int main() {
   std::printf("GET victim -> %s\n", cmd(server, fresh, "GET victim").c_str());
   std::printf("SET after recovery -> %s\n",
               cmd(server, fresh, "SET post ok").c_str());
+
+  TxManager& mgr = server.fx().mgr();
+  if (mgr.obs().tracing()) {
+    std::puts("\n-- recovery-event trace tail --");
+    std::printf("%s", report::trace_table(mgr.obs().trace(), mgr.sites(), 12)
+                          .c_str());
+  }
   return server.db_size() == 6 ? 0 : 1;  // 5 users + post
 }

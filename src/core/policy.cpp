@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace fir {
 
 const char* policy_kind_name(PolicyKind kind) {
@@ -52,6 +54,7 @@ TxMode AdaptivePolicy::choose_mode(Site& site) {
                       static_cast<double>(gate.executions);
         if (ratio > config_.abort_threshold && gate.htm_aborts > 0) {
           gate.sticky_stm = true;
+          publish_demotion(site);
           return TxMode::kStm;
         }
       }
@@ -59,6 +62,14 @@ TxMode AdaptivePolicy::choose_mode(Site& site) {
     }
   }
   return TxMode::kStm;
+}
+
+void AdaptivePolicy::publish_demotion(const Site& site) {
+  if (obs_ == nullptr) return;
+  obs_->emit(obs::EventKind::kSiteDemotion, site.id, nullptr,
+             static_cast<std::int64_t>(site.gate.htm_aborts),
+             static_cast<std::int64_t>(site.gate.executions));
+  obs_->metrics().counter("policy.demotions").inc();
 }
 
 TxMode AdaptivePolicy::on_htm_abort(Site& site) {

@@ -12,6 +12,10 @@
 
 namespace fir {
 
+namespace obs {
+class Observability;
+}  // namespace obs
+
 /// The policy variants evaluated in the paper.
 enum class PolicyKind : std::uint8_t {
   /// Dynamic transaction adaptivity: per-site abort accounting with an
@@ -55,6 +59,11 @@ class AdaptivePolicy {
 
   const PolicyConfig& config() const { return config_; }
 
+  /// Publishes demotion decisions (kSiteDemotion events, the
+  /// "policy.demotions" counter) into `obs`; nullptr disables publishing.
+  /// The TxManager owning this policy wires its own Observability here.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
   /// Mode for a transaction about to begin at `site`. Updates execution
   /// accounting and (kAdaptive) runs the periodic threshold check.
   TxMode choose_mode(Site& site);
@@ -65,8 +74,10 @@ class AdaptivePolicy {
 
  private:
   bool manual_stm(const Site& site) const;
+  void publish_demotion(const Site& site);
 
   PolicyConfig config_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace fir

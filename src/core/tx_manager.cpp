@@ -9,23 +9,59 @@ namespace fir {
 
 namespace {
 std::uint64_t g_next_generation = 1;
+
+const char* tx_mode_name(TxMode mode) {
+  switch (mode) {
+    case TxMode::kNone: return "none";
+    case TxMode::kHtm: return "htm";
+    case TxMode::kStm: return "stm";
+  }
+  return "?";
+}
 }  // namespace
 
 TxManager::TxManager(Env& env, TxManagerConfig config)
     : env_(env),
       config_(config),
+      obs_(obs::ObsConfig::from_env(config.obs)),
       policy_(config.policy),
       htm_(config.htm),
+      recovery_latency_(obs_.metrics().histogram("recovery.latency_seconds")),
       generation_(g_next_generation++) {
   previous_handler_ = set_crash_handler(this);
   StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
   embedded_reverts_.reserve(16);
   embedded_deferred_.reserve(16);
   comp_arena_.reserve(4096);
+
+  // Event timestamps follow the simulation's virtual time, so traces line
+  // up with the Env's syscall accounting.
+  obs_.set_clock(&env_.clock());
+  policy_.set_observability(&obs_);
+  htm_.register_metrics(obs_.metrics());
+  stm_.register_metrics(obs_.metrics());
+  obs_.metrics().add_collector([this](obs::MetricsRegistry& reg) {
+    // Gate-path tallies are plain members (no atomic RMW per gate call);
+    // copy them into the registry only when a snapshot is taken.
+    reg.counter("gate.calls").set(gate_calls_);
+    reg.counter("tx.htm").set(tx_htm_);
+    reg.counter("tx.stm").set(tx_stm_);
+    reg.counter("tx.unprotected").set(tx_none_);
+    reg.counter("tx.commits").set(tx_commits_);
+    reg.counter("tx.deferred_flushed").set(tx_deferred_);
+    reg.gauge("gate.sites").set(static_cast<double>(sites_.size()));
+    reg.gauge("mem.instrumentation_bytes")
+        .set(static_cast<double>(instrumentation_bytes()));
+    reg.gauge("trace.emitted")
+        .set(static_cast<double>(obs_.trace().total_emitted()));
+    reg.gauge("trace.dropped")
+        .set(static_cast<double>(obs_.trace().dropped()));
+  });
 }
 
 TxManager::~TxManager() {
   quiesce();
+  obs_.flush_outputs(trace_symbolizer());
   // Only release the process globals if this manager currently owns them
   // (another live instance may have claimed them since).
   if (crash_handler() == this) {
@@ -34,6 +70,18 @@ TxManager::~TxManager() {
     set_crash_handler(previous_handler_ == this ? nullptr
                                                 : previous_handler_);
   }
+}
+
+obs::SiteSymbolizer TxManager::trace_symbolizer() const {
+  const SiteRegistry* sites = &sites_;
+  return [sites](std::uint32_t id, std::string* function,
+                 std::string* location) {
+    if (id >= sites->size()) return false;
+    const Site& site = (*sites)[static_cast<SiteId>(id)];
+    *function = site.function;
+    *location = site.location;
+    return true;
+  };
 }
 
 SiteId TxManager::register_site(std::string_view function,
@@ -74,17 +122,28 @@ void TxManager::commit_open_tx() {
   stop_recording();
 
   // Deferrable effects become real only now (§V-A class 3).
+  const std::size_t deferred =
+      (active_.has_opening_deferred ? 1u : 0u) + embedded_deferred_.size();
   if (active_.has_opening_deferred) {
     active_.opening_deferred.fn(env_, active_.opening_deferred.a,
                                 active_.opening_deferred.b);
   }
   for (const DeferredOp& op : embedded_deferred_) op.fn(env_, op.a, op.b);
+  if (deferred > 0) {
+    obs_.emit(obs::EventKind::kDeferredFlush, active_.site, nullptr,
+              static_cast<std::int64_t>(deferred));
+    tx_deferred_ += deferred;
+  }
 
   if (active_.site != kInvalidSite) ++sites_[active_.site].stats.commits;
+  obs_.emit(obs::EventKind::kTxCommit, active_.site,
+            tx_mode_name(active_.mode));
+  ++tx_commits_;
   reset_active();
 }
 
 void TxManager::pre_call() {
+  ++gate_calls_;
   if (active_.open) commit_open_tx();
   comp_arena_.clear();
 }
@@ -135,6 +194,7 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
   } else {
     ++tx_stm_;
   }
+  obs_.emit(obs::EventKind::kTxBegin, site_id, tx_mode_name(mode));
   start_recording(mode);
 }
 
@@ -192,13 +252,18 @@ void TxManager::htm_store_abort_hook(void* self) {
 void TxManager::handle_crash(CrashKind kind) {
   crash_kind_ = kind;
   crash_watch_.restart();
+  obs_.emit(obs::EventKind::kCrash,
+            active_.open ? active_.site : obs::kNoSite,
+            crash_kind_name(kind));
 
   if (!active_.open || active_.mode == TxMode::kNone) {
     // No recoverable transaction covers this code: the process would die.
+    obs_.metrics().counter("recovery.fatal").inc();
     if (active_.open) {
       Site& site = sites_[active_.site];
       ++site.stats.crashes;
       ++site.stats.fatal;
+      obs_.metrics().counter("recovery.crashes").inc();
       recovery_log_.push_back(RecoveryEvent{
           active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
       reset_active();
@@ -214,6 +279,8 @@ void TxManager::handle_crash(CrashKind kind) {
     Site& site = sites_[active_.site];
     ++site.stats.crashes;
     ++site.stats.fatal;
+    obs_.metrics().counter("recovery.crashes").inc();
+    obs_.metrics().counter("recovery.fatal").inc();
     recovery_log_.push_back(RecoveryEvent{
         active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
     if (active_.mode == TxMode::kStm) {
@@ -254,12 +321,17 @@ void TxManager::recovery_step() {
   //    library call and running its compensation action, we also restore
   //    the library call-affected memory areas").
   if (crash_is_htm_abort_) {
+    obs_.emit(obs::EventKind::kHtmAbort, active_.site,
+              htm_abort_code_name(htm_abort_code_));
     htm_.abort(htm_abort_code_);
   } else {
     stm_.rollback();
   }
   stop_recording();
   snapshot_.restore();
+  obs_.emit(obs::EventKind::kRollback, active_.site,
+            crash_is_htm_abort_ ? "htm" : "stm");
+  obs_.metrics().counter("recovery.rollbacks").inc();
 
   // 2. Revert embedded library calls, newest first; drop their deferred
   //    effects (re-execution will re-issue them).
@@ -274,26 +346,42 @@ void TxManager::recovery_step() {
   if (crash_is_htm_abort_) {
     crash_is_htm_abort_ = false;
     const TxMode next = policy_.on_htm_abort(site);
+    if (next != TxMode::kNone) {
+      obs_.emit(obs::EventKind::kStmFallback, active_.site,
+                htm_abort_code_name(htm_abort_code_));
+    }
     resume_action_ = next == TxMode::kNone ? ResumeAction::kRetryUnprotected
                                            : ResumeAction::kRetryStm;
   } else {
     ++active_.crash_count;
     ++site.stats.crashes;
+    obs_.metrics().counter("recovery.crashes").inc();
     const double latency = crash_watch_.elapsed_seconds();
+    const auto latency_ns = static_cast<std::int64_t>(latency * 1e9);
     if (active_.crash_count <= config_.max_crash_retries) {
       ++site.stats.retries;
       resume_action_ = ResumeAction::kRetryStm;
       recovery_latency_.add(latency);
+      obs_.emit(obs::EventKind::kRetry, active_.site,
+                crash_kind_name(crash_kind_), active_.crash_count, latency_ns);
+      obs_.metrics().counter("recovery.retries").inc();
       recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
                                             RecoveryEvent::Action::kRetry,
                                             latency});
     } else if (site.recoverable()) {
       // Persistent fault: compensate the opening call and inject its error.
+      obs_.emit(obs::EventKind::kCompensation, active_.site,
+                active_.comp.fn != nullptr ? "revert" : "none");
+      obs_.metrics().counter("recovery.compensations").inc();
       run_compensation(active_.comp);
       active_.has_opening_deferred = false;
       ++site.stats.diversions;
       resume_action_ = ResumeAction::kDivert;
       recovery_latency_.add(latency);
+      obs_.emit(obs::EventKind::kFaultInjection, active_.site,
+                crash_kind_name(crash_kind_), site.spec->error.return_value,
+                site.spec->error.errno_value);
+      obs_.metrics().counter("recovery.diversions").inc();
       recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
                                             RecoveryEvent::Action::kDivert,
                                             latency});
@@ -304,6 +392,7 @@ void TxManager::recovery_step() {
     } else {
       ++site.stats.fatal;
       resume_action_ = ResumeAction::kFatal;
+      obs_.metrics().counter("recovery.fatal").inc();
       recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
                                             RecoveryEvent::Action::kFatal,
                                             latency});
@@ -365,15 +454,20 @@ std::size_t TxManager::instrumentation_bytes() const {
            (sizeof(std::uintptr_t) + kCacheLineBytes + sizeof(std::uintptr_t));
   // Per-site gate state (the tx_gate[] array and counters).
   total += sites_.size() * (sizeof(GateState) + sizeof(SiteStats));
+  // Trace ring slots (token 2-slot ring when tracing is disabled).
+  total += obs_.trace().capacity() * sizeof(obs::TraceEvent);
   return total;
 }
 
 void TxManager::reset_stats() {
   htm_.reset_stats();
   stm_.reset_stats();
-  recovery_latency_.clear();
   recovery_log_.clear();
-  tx_htm_ = tx_stm_ = tx_none_ = 0;
+  gate_calls_ = tx_htm_ = tx_stm_ = tx_none_ = tx_commits_ = tx_deferred_ = 0;
+  // Zeroes every registry metric (recovery_latency_ among them); the next
+  // snapshot's collectors re-publish from the freshly zeroed tallies.
+  obs_.metrics().reset();
+  obs_.trace().clear();
   for (Site& site : sites_.all_mutable()) site.stats = SiteStats{};
 }
 

@@ -36,6 +36,7 @@
 #include "core/stack_snapshot.h"
 #include "env/env.h"
 #include "htm/htm.h"
+#include "obs/obs.h"
 #include "stm/stm.h"
 
 namespace fir {
@@ -76,6 +77,9 @@ struct RecoveryEvent {
 struct TxManagerConfig {
   PolicyConfig policy;
   HtmConfig htm;
+  /// Observability defaults; the FIR_TRACE_* environment overrides them at
+  /// manager construction (obs::ObsConfig::from_env).
+  obs::ObsConfig obs;
   /// Rollback + re-execution attempts before a crash is declared persistent
   /// and diverted (transient faults survive the retry).
   int max_crash_retries = 1;
@@ -164,9 +168,20 @@ class TxManager final : public CrashHandler {
     return recovery_log_;
   }
   /// Lifetime count of transactions run under each mode (Fig. 7/8 inputs).
+  /// The same numbers appear as "tx.htm" / "tx.stm" / "tx.unprotected" in
+  /// metrics snapshots (published by this manager's collector).
   std::uint64_t transactions_htm() const { return tx_htm_; }
   std::uint64_t transactions_stm() const { return tx_stm_; }
   std::uint64_t transactions_unprotected() const { return tx_none_; }
+
+  // --- observability ------------------------------------------------------
+  /// Event trace + metrics registry of this runtime (docs/OBSERVABILITY.md).
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+  obs::MetricsRegistry& metrics() { return obs_.metrics(); }
+  /// Resolves site ids to (function, location) for the trace exporters.
+  /// The returned callback borrows this manager's site registry.
+  obs::SiteSymbolizer trace_symbolizer() const;
 
   /// Bytes of instrumentation state currently reserved (Fig. 9 input):
   /// stack-snapshot buffer, undo log, HTM write-set bookkeeping, stash.
@@ -209,6 +224,9 @@ class TxManager final : public CrashHandler {
 
   Env& env_;
   TxManagerConfig config_;
+  /// Declared before the registry-backed references below: they bind to
+  /// metrics owned by obs_ in the constructor's init list.
+  obs::Observability obs_;
   AdaptivePolicy policy_;
   SiteRegistry sites_;
   HtmContext htm_;
@@ -231,11 +249,20 @@ class TxManager final : public CrashHandler {
   ResumeAction resume_action_ = ResumeAction::kNone;
   StopWatch crash_watch_;
 
-  Histogram recovery_latency_;
-  std::vector<RecoveryEvent> recovery_log_;
+  // Gate-path tallies. Plain (non-atomic) on purpose: the gate fast path
+  // must not pay an atomic RMW per call, so these publish into the metrics
+  // registry through a snapshot-time collector ("gate.calls", "tx.htm",
+  // "tx.stm", "tx.unprotected", "tx.commits", "tx.deferred_flushed" — the
+  // registry's second publishing style, like the HTM/STM engine stats).
+  std::uint64_t gate_calls_ = 0;
   std::uint64_t tx_htm_ = 0;
   std::uint64_t tx_stm_ = 0;
   std::uint64_t tx_none_ = 0;
+  std::uint64_t tx_commits_ = 0;
+  std::uint64_t tx_deferred_ = 0;
+  /// Registry-owned ("recovery.latency_seconds"); updates are cold-path.
+  Histogram& recovery_latency_;
+  std::vector<RecoveryEvent> recovery_log_;
 
   CrashHandler* previous_handler_ = nullptr;
   std::uint64_t generation_ = 0;

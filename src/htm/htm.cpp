@@ -133,4 +133,22 @@ bool HtmContext::record_store_slow(void* addr, std::size_t size) {
   return true;
 }
 
+void HtmContext::register_metrics(obs::MetricsRegistry& registry) {
+  registry.add_collector([this](obs::MetricsRegistry& reg) {
+    reg.gauge("htm.begun").set(static_cast<double>(stats_.begun));
+    reg.gauge("htm.committed").set(static_cast<double>(stats_.committed));
+    reg.gauge("htm.aborts.capacity")
+        .set(static_cast<double>(stats_.aborted_capacity));
+    reg.gauge("htm.aborts.conflict")
+        .set(static_cast<double>(stats_.aborted_conflict));
+    reg.gauge("htm.aborts.interrupt")
+        .set(static_cast<double>(stats_.aborted_interrupt));
+    reg.gauge("htm.aborts.explicit")
+        .set(static_cast<double>(stats_.aborted_explicit));
+    reg.gauge("htm.stores").set(static_cast<double>(stats_.stores));
+    reg.gauge("htm.lines_dirtied")
+        .set(static_cast<double>(stats_.lines_dirtied));
+  });
+}
+
 }  // namespace fir

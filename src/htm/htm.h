@@ -23,6 +23,7 @@
 #include "common/cacheline.h"
 #include "common/rng.h"
 #include "mem/store_gate.h"
+#include "obs/metrics.h"
 
 namespace fir {
 
@@ -127,6 +128,12 @@ class HtmContext final : public StoreRecorder {
 
   const HtmStats& stats() const { return stats_; }
   void reset_stats() { stats_ = HtmStats{}; }
+
+  /// Publishes this engine's statistics into `registry` as "htm.*" gauges
+  /// via a snapshot-time collector: the record_store() fast path stays
+  /// untouched. `registry` must outlive this context or never snapshot
+  /// after its destruction.
+  void register_metrics(obs::MetricsRegistry& registry);
 
  private:
   struct SavedLine {

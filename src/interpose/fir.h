@@ -409,6 +409,20 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
     fir_m.defer_embedded(fir_sid, ::fir::comp::deferred_free((ptr)));     \
   } while (0)
 
+// --- observability ----------------------------------------------------------
+
+/// The runtime's metrics registry: every FIR_* gate publishes its counters
+/// here ("gate.calls", "tx.htm", "recovery.retries", ...). Metric names and
+/// the export formats are documented in docs/OBSERVABILITY.md.
+#define FIR_METRICS(fx) (fx).mgr().metrics()
+
+/// The recovery-event trace rendered as JSONL (one JSON object per event),
+/// with site ids symbolized against the manager's registry. Same format as
+/// the FIR_TRACE_OUT shutdown dump.
+#define FIR_TRACE_JSONL(fx)                                \
+  ::fir::obs::trace_jsonl((fx).mgr().obs().trace(),        \
+                          (fx).mgr().trace_symbolizer())
+
 // --- embedded pure calls ------------------------------------------------------
 
 /// Non-divertible, no-reversion-needed calls (getpid, strlen, ...): counted

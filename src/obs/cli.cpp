@@ -1,0 +1,69 @@
+#include "obs/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/config.h"
+
+namespace fir::obs {
+
+namespace {
+
+struct FlagSpec {
+  const char* flag;      // "--trace-out"
+  const char* env;       // variable it exports
+  bool takes_value;
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--trace", kEnvTrace, false},
+    {"--trace-out", kEnvTraceOut, true},
+    {"--trace-ring", kEnvTraceRing, true},
+    {"--trace-filter", kEnvTraceFilter, true},
+    {"--metrics-out", kEnvMetricsOut, true},
+};
+
+}  // namespace
+
+void apply_cli_flags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    bool consumed = false;
+    for (const FlagSpec& spec : kFlags) {
+      const std::size_t flag_len = std::strlen(spec.flag);
+      if (std::strncmp(arg, spec.flag, flag_len) != 0) continue;
+      if (!spec.takes_value) {
+        if (arg[flag_len] != '\0') continue;
+        ::setenv(spec.env, "1", /*overwrite=*/1);
+        consumed = true;
+        break;
+      }
+      if (arg[flag_len] == '=') {
+        ::setenv(spec.env, arg + flag_len + 1, 1);
+        consumed = true;
+        break;
+      }
+      if (arg[flag_len] == '\0' && i + 1 < *argc) {
+        ::setenv(spec.env, argv[i + 1], 1);
+        ++i;  // value argument consumed too
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+}
+
+const char* cli_flags_help() {
+  return "  --trace               enable recovery-event tracing (FIR_TRACE=1)\n"
+         "  --trace-out=PATH      dump the JSONL trace at shutdown\n"
+         "  --trace-ring=N        trace ring capacity in events\n"
+         "  --trace-filter=SPEC   keep only these event classes/kinds\n"
+         "  --metrics-out=PATH    dump the metrics snapshot (.csv or .json)\n";
+}
+
+}  // namespace fir::obs

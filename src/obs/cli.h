@@ -1,0 +1,28 @@
+// Command-line front end for the FIR_TRACE_* configuration: lets any bench
+// or example binary opt into tracing with flags instead of environment
+// variables. The flags are translated into the corresponding environment
+// variables (setenv) before the first TxManager is constructed, so the
+// single env-driven path in ObsConfig::from_env stays the one source of
+// truth for observability configuration.
+//
+//   --trace                 FIR_TRACE=1
+//   --trace-out=PATH        FIR_TRACE_OUT=PATH   (implies tracing)
+//   --trace-ring=N          FIR_TRACE_RING=N
+//   --trace-filter=SPEC     FIR_TRACE_FILTER=SPEC
+//   --metrics-out=PATH      FIR_METRICS_OUT=PATH (.csv selects CSV)
+//
+// Both `--flag=value` and `--flag value` spellings are accepted.
+#pragma once
+
+namespace fir::obs {
+
+/// Consumes the observability flags from argv (compacting argc/argv in
+/// place) and exports them as FIR_* environment variables. Unrecognized
+/// arguments are left for the caller's own parser (google-benchmark flags,
+/// app options). Call before constructing any TxManager.
+void apply_cli_flags(int* argc, char** argv);
+
+/// One-line-per-flag usage text for --help output.
+const char* cli_flags_help();
+
+}  // namespace fir::obs

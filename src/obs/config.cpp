@@ -1,0 +1,67 @@
+#include "obs/config.h"
+
+#include <cstdlib>
+
+namespace fir::obs {
+
+namespace {
+
+bool parse_bool(const char* value, bool fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  return !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace
+
+std::uint32_t parse_event_filter(const std::string& spec) {
+  std::uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(start, end - start);
+    start = end + 1;
+    if (token.empty()) continue;
+    if (token == "all") return kAllEventsMask;
+    bool matched = false;
+    for (const EventClass cls :
+         {EventClass::kTx, EventClass::kHtm, EventClass::kRecovery}) {
+      if (token == event_class_name(cls)) {
+        mask |= event_class_mask(cls);
+        matched = true;
+      }
+    }
+    for (std::size_t k = 0; !matched && k < kEventKindCount; ++k) {
+      const auto kind = static_cast<EventKind>(k);
+      if (token == event_kind_name(kind)) {
+        mask |= event_bit(kind);
+        matched = true;
+      }
+    }
+  }
+  return mask == 0 ? kAllEventsMask : mask;
+}
+
+ObsConfig ObsConfig::from_env(ObsConfig base) {
+  ObsConfig config = std::move(base);
+  if (const char* v = std::getenv(kEnvTrace)) {
+    config.trace_enabled = parse_bool(v, config.trace_enabled);
+  }
+  if (const char* v = std::getenv(kEnvTraceRing)) {
+    const long capacity = std::strtol(v, nullptr, 10);
+    if (capacity > 0) config.ring_capacity = static_cast<std::size_t>(capacity);
+  }
+  if (const char* v = std::getenv(kEnvTraceOut); v != nullptr && *v != '\0') {
+    config.trace_out = v;
+    config.trace_enabled = true;  // a requested dump implies tracing
+  }
+  if (const char* v = std::getenv(kEnvTraceFilter)) {
+    config.event_mask = parse_event_filter(v);
+  }
+  if (const char* v = std::getenv(kEnvMetricsOut); v != nullptr && *v != '\0') {
+    config.metrics_out = v;
+  }
+  return config;
+}
+
+}  // namespace fir::obs

@@ -1,0 +1,63 @@
+// Runtime configuration of the observability layer, in the style of
+// Recorder's env-var interception switches (SNIPPETS.md §3): every knob is
+// an environment variable so tracing can be turned on for any binary —
+// examples, bench harnesses, tests — without recompiling or editing code.
+//
+//   FIR_TRACE         enable/disable event tracing ("1"/"0"; default off,
+//                     or on when built with -DFIR_TRACE=ON)
+//   FIR_TRACE_RING    ring capacity in events (default 4096, rounded up to
+//                     a power of two)
+//   FIR_TRACE_OUT     path for the JSONL trace dump written when a
+//                     TxManager shuts down; setting it implies FIR_TRACE=1.
+//                     The first dump of the process truncates the file,
+//                     later managers append (one file = one process run).
+//   FIR_TRACE_FILTER  comma-separated event classes and/or kinds to keep
+//                     ("tx", "htm", "recovery", or kind names like
+//                     "crash,fault-injection"; default "all")
+//   FIR_METRICS_OUT   path for the metrics snapshot written at shutdown;
+//                     ".csv" selects CSV, anything else JSON
+//
+// Programmatic configuration (TxManagerConfig::obs) provides the defaults;
+// environment variables override it, so an operator can always turn tracing
+// on under an unmodified binary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/event.h"
+
+namespace fir::obs {
+
+inline constexpr const char* kEnvTrace = "FIR_TRACE";
+inline constexpr const char* kEnvTraceRing = "FIR_TRACE_RING";
+inline constexpr const char* kEnvTraceOut = "FIR_TRACE_OUT";
+inline constexpr const char* kEnvTraceFilter = "FIR_TRACE_FILTER";
+inline constexpr const char* kEnvMetricsOut = "FIR_METRICS_OUT";
+
+struct ObsConfig {
+  /// Master tracing switch. The compile-time default flips to true when the
+  /// tree is configured with -DFIR_TRACE=ON (CI builds both).
+#if defined(FIR_TRACE_DEFAULT_ON)
+  bool trace_enabled = true;
+#else
+  bool trace_enabled = false;
+#endif
+  std::size_t ring_capacity = 4096;
+  std::uint32_t event_mask = kAllEventsMask;
+  std::string trace_out;    // empty: no file dump
+  std::string metrics_out;  // empty: no file dump
+
+  /// `base` overridden by any FIR_TRACE_* / FIR_METRICS_OUT env vars set in
+  /// the process environment.
+  static ObsConfig from_env(ObsConfig base);
+  static ObsConfig from_env() { return from_env(ObsConfig{}); }
+};
+
+/// Parses a FIR_TRACE_FILTER value ("all", class names, kind names).
+/// Unknown tokens are ignored; an empty or all-unknown value yields the
+/// full mask rather than silencing the trace.
+std::uint32_t parse_event_filter(const std::string& spec);
+
+}  // namespace fir::obs

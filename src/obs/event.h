@@ -1,0 +1,83 @@
+// Typed recovery events for the runtime observability layer.
+//
+// Every noteworthy action of the recovery runtime — a transaction opening or
+// committing, an HTM abort, a crash, a rollback, an injected error — is
+// recorded as one fixed-size TraceEvent in the obs::TraceRing. Events are
+// machine-diffable: the bench harness and production operators consume them
+// through the JSONL exporter (obs/export.h) instead of scraping the
+// human-readable tables in src/report.
+//
+// The obs layer sits below src/core on purpose: it depends only on
+// src/common, so core, htm, stm and interpose can all publish into it
+// without dependency cycles. Site ids are carried as raw std::uint32_t
+// (the value of fir::SiteId) for the same reason.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.h"
+
+namespace fir::obs {
+
+/// Site id sentinel, mirroring fir::kInvalidSite without including core.
+inline constexpr std::uint32_t kNoSite = static_cast<std::uint32_t>(-1);
+
+/// What happened. One enumerator per row of docs/OBSERVABILITY.md §2.
+enum class EventKind : std::uint8_t {
+  kTxBegin = 0,     // crash transaction opened at a gate
+  kTxCommit,        // transaction committed (next gate / quiesce)
+  kDeferredFlush,   // deferred library-call effects ran at commit
+  kHtmAbort,        // simulated TSX abort (code = abort reason)
+  kStmFallback,     // re-execution switched from HTM to STM
+  kSiteDemotion,    // adaptive policy permanently demoted a site to STM
+  kCrash,           // fatal fault entered the crash channel
+  kRollback,        // memory + stack state rolled back to the checkpoint
+  kRetry,           // rollback followed by re-execution (transient model)
+  kCompensation,    // opening call's compensation action ran
+  kFaultInjection,  // documented error injected; execution diverted
+  kKindCount,       // sentinel — keep last
+};
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kKindCount);
+
+const char* event_kind_name(EventKind kind);
+
+/// Event classes group kinds for the FIR_TRACE_FILTER env var.
+enum class EventClass : std::uint8_t {
+  kTx = 0,    // kTxBegin, kTxCommit, kDeferredFlush
+  kHtm,       // kHtmAbort, kStmFallback, kSiteDemotion
+  kRecovery,  // kCrash, kRollback, kRetry, kCompensation, kFaultInjection
+};
+
+const char* event_class_name(EventClass cls);
+EventClass event_class(EventKind kind);
+
+/// Bit for `kind` in a TraceRing filter mask.
+inline constexpr std::uint32_t event_bit(EventKind kind) {
+  return 1u << static_cast<std::uint32_t>(kind);
+}
+
+inline constexpr std::uint32_t kAllEventsMask =
+    (1u << kEventKindCount) - 1u;
+
+/// Mask selecting every kind in one class.
+std::uint32_t event_class_mask(EventClass cls);
+
+/// One recorded event. Padded to a cache line so concurrent emitters never
+/// share a line and the ring walks sequentially in line-sized strides.
+struct alignas(kCacheLineBytes) TraceEvent {
+  std::uint64_t seq = 0;        // monotonically increasing per ring
+  std::uint64_t t_ns = 0;       // common/clock.h VirtualClock timestamp
+  std::int64_t a0 = 0;          // kind-specific payload (see exporter)
+  std::int64_t a1 = 0;          // kind-specific payload
+  const char* code = nullptr;   // static name string (abort code, signal, …)
+  std::uint32_t site = kNoSite;
+  std::uint16_t thread = 0;     // per-ring dense thread slot (first = 0)
+  EventKind kind = EventKind::kTxBegin;
+};
+
+static_assert(sizeof(TraceEvent) == kCacheLineBytes,
+              "TraceEvent must occupy exactly one cache line");
+
+}  // namespace fir::obs

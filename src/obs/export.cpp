@@ -1,0 +1,161 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fir::obs {
+
+namespace {
+
+const char* sample_kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Integral values print without a decimal point so counter snapshots diff
+/// cleanly across runs; everything else gets shortest-round-trip %.17g
+/// trimmed to %g readability.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_trace_jsonl(const TraceRing& ring, std::ostream& os,
+                       const SiteSymbolizer& symbolize) {
+  char buf[256];
+  for (const TraceEvent& e : ring.snapshot()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%" PRIu64 ",\"t_ns\":%" PRIu64
+                  ",\"thread\":%u,\"kind\":\"%s\",\"class\":\"%s\"",
+                  e.seq, e.t_ns, static_cast<unsigned>(e.thread),
+                  event_kind_name(e.kind),
+                  event_class_name(event_class(e.kind)));
+    os << buf;
+    if (e.site != kNoSite) {
+      os << ",\"site\":" << e.site;
+      std::string function, location;
+      if (symbolize && symbolize(e.site, &function, &location)) {
+        os << ",\"function\":\"" << json_escape(function)
+           << "\",\"location\":\"" << json_escape(location) << '"';
+      }
+    }
+    if (e.code != nullptr) {
+      os << ",\"code\":\"" << json_escape(e.code) << '"';
+    }
+    if (e.a0 != 0 || e.a1 != 0) {
+      os << ",\"a0\":" << e.a0 << ",\"a1\":" << e.a1;
+    }
+    os << "}\n";
+  }
+}
+
+std::string trace_jsonl(const TraceRing& ring,
+                        const SiteSymbolizer& symbolize) {
+  std::ostringstream os;
+  write_trace_jsonl(ring, os, symbolize);
+  return os.str();
+}
+
+std::string metrics_json(MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  const std::vector<MetricSample> samples = registry.snapshot();
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (s.kind != MetricSample::Kind::kCounter) continue;
+    os << (first ? "" : ",") << '"' << json_escape(s.name)
+       << "\":" << format_number(s.value);
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const MetricSample& s : samples) {
+    if (s.kind != MetricSample::Kind::kGauge) continue;
+    os << (first ? "" : ",") << '"' << json_escape(s.name)
+       << "\":" << format_number(s.value);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const MetricSample& s : samples) {
+    if (s.kind != MetricSample::Kind::kHistogram) continue;
+    os << (first ? "" : ",") << '"' << json_escape(s.name)
+       << "\":{\"count\":" << format_number(s.value)
+       << ",\"mean\":" << format_number(s.mean)
+       << ",\"p50\":" << format_number(s.p50)
+       << ",\"p95\":" << format_number(s.p95)
+       << ",\"max\":" << format_number(s.max) << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string metrics_csv(MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "name,kind,value,mean,p50,p95,max\n";
+  for (const MetricSample& s : registry.snapshot()) {
+    // CSV-quote names defensively; canonical names are dot-separated
+    // identifiers, but nothing enforces that for app-defined metrics.
+    std::string name = s.name;
+    if (name.find_first_of(",\"\n") != std::string::npos) {
+      std::string quoted = "\"";
+      for (const char c : name) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+      }
+      quoted += '"';
+      name = quoted;
+    }
+    os << name << ',' << sample_kind_name(s.kind) << ','
+       << format_number(s.value);
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      os << ',' << format_number(s.mean) << ',' << format_number(s.p50)
+         << ',' << format_number(s.p95) << ',' << format_number(s.max);
+    } else {
+      os << ",,,,";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fir::obs

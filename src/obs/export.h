@@ -1,0 +1,47 @@
+// Machine-readable exporters over the trace ring and metrics registry.
+//
+// Three formats, one source of truth:
+//   * JSONL trace — one JSON object per event, grep/jq/diff friendly; this
+//     is the raw stream behind every figure's recovery accounting;
+//   * JSON metrics snapshot — counters, gauges and histogram summaries;
+//   * CSV metrics snapshot — the same samples as flat rows for spreadsheet
+//     ingestion and cross-run diffing.
+//
+// Site ids are symbolized through an optional callback so this module stays
+// independent of core's SiteRegistry (TxManager::trace_symbolizer() provides
+// the standard one).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
+namespace fir::obs {
+
+/// Resolves a site id to (function, location); returns false for ids it
+/// does not know (the exporter then omits the name fields).
+using SiteSymbolizer = std::function<bool(
+    std::uint32_t site, std::string* function, std::string* location)>;
+
+/// Writes every resident event, oldest first, one JSON object per line.
+/// Field reference: docs/OBSERVABILITY.md §4.
+void write_trace_jsonl(const TraceRing& ring, std::ostream& os,
+                       const SiteSymbolizer& symbolize = {});
+std::string trace_jsonl(const TraceRing& ring,
+                        const SiteSymbolizer& symbolize = {});
+
+/// Metrics snapshot as one JSON document (runs collectors).
+std::string metrics_json(MetricsRegistry& registry);
+
+/// Metrics snapshot as CSV: `name,kind,value,mean,p50,p95,max` (summary
+/// columns empty for counters/gauges).
+std::string metrics_csv(MetricsRegistry& registry);
+
+/// JSON string escaping (exposed for tests and other emitters).
+std::string json_escape(const std::string& raw);
+
+}  // namespace fir::obs

@@ -1,0 +1,75 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace fir::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::add_collector(
+    std::function<void(MetricsRegistry&)> collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() {
+  for (const auto& collector : collectors_) collector(*this);
+
+  std::vector<MetricSample> out;
+  out.reserve(size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(counter->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = gauge->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.value = static_cast<double>(hist->count());
+    if (!hist->empty()) {
+      s.mean = hist->mean();
+      s.p50 = hist->percentile(50.0);
+      s.p95 = hist->percentile(95.0);
+      s.max = hist->max();
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->clear();
+}
+
+}  // namespace fir::obs

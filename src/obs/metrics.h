@@ -1,0 +1,110 @@
+// MetricsRegistry: named counters, gauges and histograms for the recovery
+// runtime.
+//
+// The runtime modules (TxManager, AdaptivePolicy, HtmContext, StmContext,
+// the FIR_* gates) publish here instead of keeping ad-hoc private tallies,
+// so one snapshot — exportable as JSON/CSV (obs/export.h) or rendered as a
+// table (report::metrics_table) — covers the whole process. Two publishing
+// styles:
+//
+//   * live metrics: counter()/gauge()/histogram() return a reference that
+//     stays valid for the registry's lifetime; hot paths update it directly
+//     (Counter::inc is one relaxed fetch_add — lock-free);
+//   * collectors: modules that already maintain cheap internal stats (the
+//     HTM/STM engines) register a callback that copies them into gauges
+//     when a snapshot is taken, keeping their hot paths untouched.
+//
+// The canonical metric names are documented in docs/OBSERVABILITY.md §3.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace fir::obs {
+
+/// Monotonic event count. Lock-free; safe to update from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Collector-style publication: overwrites the count with an externally
+  /// maintained tally (second publishing style in the file comment — used
+  /// by modules whose hot paths must stay free of atomic RMW ops).
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time measurement (footprints, ratios, high-water marks).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One metric in a snapshot. Histogram-backed samples also carry summary
+/// statistics so exporters need not re-derive them.
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram count
+  // Histogram summary (valid when kind == kHistogram and value > 0).
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// References stay valid until the registry is destroyed.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Registers a snapshot-time publisher (see file comment).
+  void add_collector(std::function<void(MetricsRegistry&)> collector);
+
+  /// Runs collectors, then returns every metric sorted by name.
+  std::vector<MetricSample> snapshot();
+
+  /// Zeroes counters and gauges, clears histograms (experiment-phase
+  /// boundaries). Registered names and collectors survive.
+  void reset();
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // node-based maps: stable addresses across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+};
+
+}  // namespace fir::obs

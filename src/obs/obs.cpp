@@ -1,0 +1,62 @@
+#include "obs/obs.h"
+
+#include <fstream>
+#include <mutex>
+#include <set>
+
+#include "common/log.h"
+
+namespace fir::obs {
+
+// A runtime that starts with tracing disabled gets a token two-slot ring:
+// capacity is fixed at construction, and reserving ring_capacity cache
+// lines per TxManager would distort the Fig. 9 instrumentation-footprint
+// accounting for the (default) untraced configuration.
+Observability::Observability(ObsConfig config)
+    : config_(std::move(config)),
+      trace_(config_.trace_enabled ? config_.ring_capacity : 2) {
+  trace_.set_enabled(config_.trace_enabled);
+  trace_.set_filter(config_.event_mask);
+}
+
+namespace {
+
+/// Paths already truncated by this process (see flush_outputs contract).
+std::set<std::string>& truncated_paths() {
+  static std::set<std::string> paths;
+  return paths;
+}
+std::mutex g_truncate_mutex;
+
+std::ios_base::openmode mode_for(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_truncate_mutex);
+  auto [it, inserted] = truncated_paths().emplace(path);
+  (void)it;
+  return inserted ? std::ios_base::trunc : std::ios_base::app;
+}
+
+}  // namespace
+
+void Observability::flush_outputs(const SiteSymbolizer& symbolize) {
+  if (!config_.trace_out.empty() && trace_.total_emitted() > 0) {
+    std::ofstream os(config_.trace_out, mode_for(config_.trace_out));
+    if (os) {
+      write_trace_jsonl(trace_, os, symbolize);
+    } else {
+      FIR_LOG(kWarn) << "cannot open trace output " << config_.trace_out;
+    }
+  }
+  if (!config_.metrics_out.empty()) {
+    std::ofstream os(config_.metrics_out, mode_for(config_.metrics_out));
+    if (os) {
+      const bool csv = config_.metrics_out.size() >= 4 &&
+                       config_.metrics_out.compare(
+                           config_.metrics_out.size() - 4, 4, ".csv") == 0;
+      os << (csv ? metrics_csv(metrics_) : metrics_json(metrics_)) << '\n';
+    } else {
+      FIR_LOG(kWarn) << "cannot open metrics output " << config_.metrics_out;
+    }
+  }
+}
+
+}  // namespace fir::obs

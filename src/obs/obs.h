@@ -1,0 +1,68 @@
+// Observability: the per-runtime bundle of trace ring + metrics registry.
+//
+// One instance lives inside each TxManager. Everything the recovery runtime
+// publishes — events and metrics — flows through here; the exporters and
+// report renderers read from here. The emit() fast path is a single inlined
+// enabled/filter check so a tracing-disabled gate costs one predictable
+// branch (measured by micro_checkpoint's BM_GateTracing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "obs/config.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
+namespace fir::obs {
+
+class Observability {
+ public:
+  /// `config` is the fully resolved configuration (callers that honor the
+  /// FIR_TRACE_* environment run it through ObsConfig::from_env first).
+  /// Ring capacity is fixed here: a configuration with tracing disabled
+  /// allocates a token ring, so decide tracing before construction (the
+  /// runtime toggles via trace().set_enabled() still work, over whatever
+  /// capacity was reserved).
+  explicit Observability(ObsConfig config = {});
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  const ObsConfig& config() const { return config_; }
+
+  /// Timestamp source for emitted events; nullptr falls back to 0 stamps.
+  /// The TxManager wires its Env's VirtualClock here so event times line up
+  /// with the simulation's syscall accounting.
+  void set_clock(const VirtualClock* clock) { clock_ = clock; }
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  bool tracing() const { return trace_.enabled(); }
+
+  /// Records one event stamped with the current virtual time.
+  void emit(EventKind kind, std::uint32_t site, const char* code = nullptr,
+            std::int64_t a0 = 0, std::int64_t a1 = 0) {
+    if (!trace_.wants(kind)) return;
+    trace_.emit(kind, site, clock_ != nullptr ? clock_->now_ns() : 0, code,
+                a0, a1);
+  }
+
+  /// Writes the configured FIR_TRACE_OUT / FIR_METRICS_OUT files, if any.
+  /// The first write to a given trace path in this process truncates it;
+  /// subsequent writers (later TxManager generations, prefork siblings in
+  /// one address space) append, so one file captures one process run.
+  void flush_outputs(const SiteSymbolizer& symbolize = {});
+
+ private:
+  ObsConfig config_;
+  TraceRing trace_;
+  MetricsRegistry metrics_;
+  const VirtualClock* clock_ = nullptr;
+};
+
+}  // namespace fir::obs

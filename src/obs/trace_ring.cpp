@@ -1,0 +1,128 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+
+namespace fir::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxBegin: return "tx-begin";
+    case EventKind::kTxCommit: return "tx-commit";
+    case EventKind::kDeferredFlush: return "deferred-flush";
+    case EventKind::kHtmAbort: return "htm-abort";
+    case EventKind::kStmFallback: return "stm-fallback";
+    case EventKind::kSiteDemotion: return "site-demotion";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRollback: return "rollback";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kCompensation: return "compensation";
+    case EventKind::kFaultInjection: return "fault-injection";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+const char* event_class_name(EventClass cls) {
+  switch (cls) {
+    case EventClass::kTx: return "tx";
+    case EventClass::kHtm: return "htm";
+    case EventClass::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+EventClass event_class(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxBegin:
+    case EventKind::kTxCommit:
+    case EventKind::kDeferredFlush:
+      return EventClass::kTx;
+    case EventKind::kHtmAbort:
+    case EventKind::kStmFallback:
+    case EventKind::kSiteDemotion:
+      return EventClass::kHtm;
+    default:
+      return EventClass::kRecovery;
+  }
+}
+
+std::uint32_t event_class_mask(EventClass cls) {
+  std::uint32_t mask = 0;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (event_class(kind) == cls) mask |= event_bit(kind);
+  }
+  return mask;
+}
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(round_up_pow2(std::max<std::size_t>(capacity, 2))) {
+  mask_ = slots_.size() - 1;
+}
+
+std::uint16_t TraceRing::thread_slot() {
+  // Dense per-ring ids (first emitter = 0) keep exporter output
+  // deterministic in the single-threaded common case.
+  thread_local const TraceRing* cached_ring = nullptr;
+  thread_local std::uint16_t cached_slot = 0;
+  if (cached_ring != this) {
+    cached_slot = static_cast<std::uint16_t>(
+        thread_count_.fetch_add(1, std::memory_order_relaxed));
+    cached_ring = this;
+  }
+  return cached_slot;
+}
+
+void TraceRing::emit_always(EventKind kind, std::uint32_t site,
+                            std::uint64_t t_ns, const char* code,
+                            std::int64_t a0, std::int64_t a1) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[seq & mask_];
+  TraceEvent& e = slot.event;
+  e.seq = seq;
+  e.t_ns = t_ns;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.code = code;
+  e.site = site;
+  e.thread = thread_slot();
+  e.kind = kind;
+  slot.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::uint64_t total = total_emitted();
+  return total > slots_.size() ? total - slots_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::uint64_t total = total_emitted();
+  const std::uint64_t resident = std::min<std::uint64_t>(total, slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(resident);
+  for (std::uint64_t seq = total - resident; seq < total; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    TraceEvent copy = slot.event;
+    // Seqlock validation: a concurrent overwrite bumps the stamp; discard
+    // the (possibly torn) copy in that case.
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  for (Slot& slot : slots_) slot.stamp.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_release);
+}
+
+}  // namespace fir::obs

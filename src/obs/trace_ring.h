@@ -1,0 +1,107 @@
+// Lock-free, fixed-capacity ring buffer of recovery events.
+//
+// Design constraints (ISSUE: the gate fast path must stay within measurement
+// noise when tracing is disabled):
+//   * disabled emit() is one relaxed atomic load + branch — no allocation,
+//     no locks, no syscalls, ever;
+//   * enabled emit() is wait-free: a relaxed fetch_add reserves a slot, the
+//     event is written in place, and a release store of the slot's sequence
+//     number publishes it (readers discard slots whose stamp is stale);
+//   * capacity is fixed at construction (rounded up to a power of two) and
+//     the ring overwrites its oldest events instead of growing — tracing can
+//     run forever in production without unbounded memory.
+//
+// The protected process is single-threaded (README §Limitations), but the
+// ring tolerates concurrent emitters so bench harness threads and future
+// multi-threaded runtimes can share one ring.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace fir::obs {
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Power-of-two slot count actually allocated.
+  std::size_t capacity() const { return slots_.size(); }
+
+  // --- runtime switches (FIR_TRACE / FIR_TRACE_FILTER) ---------------------
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Event-kind filter; bits built with event_bit()/event_class_mask().
+  void set_filter(std::uint32_t mask) {
+    filter_.store(mask, std::memory_order_relaxed);
+  }
+  std::uint32_t filter() const {
+    return filter_.load(std::memory_order_relaxed);
+  }
+
+  /// True when an emit of `kind` would record anything. Inline so callers
+  /// can skip argument marshalling on the disabled path.
+  bool wants(EventKind kind) const {
+    return enabled_.load(std::memory_order_relaxed) &&
+           (filter_.load(std::memory_order_relaxed) & event_bit(kind)) != 0;
+  }
+
+  // --- emission ------------------------------------------------------------
+  /// Records one event; no-op unless wants(kind). `code` must point to a
+  /// string with static storage duration (enum-name tables).
+  void emit(EventKind kind, std::uint32_t site, std::uint64_t t_ns,
+            const char* code = nullptr, std::int64_t a0 = 0,
+            std::int64_t a1 = 0) {
+    if (!wants(kind)) return;
+    emit_always(kind, site, t_ns, code, a0, a1);
+  }
+
+  // --- inspection ----------------------------------------------------------
+  /// Events accepted over the ring's lifetime (including overwritten ones).
+  std::uint64_t total_emitted() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  /// Events lost to wraparound (oldest overwritten by newest).
+  std::uint64_t dropped() const;
+
+  /// Stable copy of the resident events, oldest first. Concurrent emitters
+  /// may overwrite slots mid-snapshot; torn slots are detected via their
+  /// sequence stamp and skipped.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Forgets all recorded events (counters and switches survive).
+  void clear();
+
+ private:
+  void emit_always(EventKind kind, std::uint32_t site, std::uint64_t t_ns,
+                   const char* code, std::int64_t a0, std::int64_t a1);
+  std::uint16_t thread_slot();
+
+  struct Slot {
+    TraceEvent event;
+    /// seq + 1 of the resident event; 0 = empty. Written with release
+    /// order after the payload so readers can validate.
+    std::atomic<std::uint64_t> stamp{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> filter_{kAllEventsMask};
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint32_t> thread_count_{0};
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;  // capacity - 1 (capacity is a power of two)
+};
+
+}  // namespace fir::obs

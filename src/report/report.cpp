@@ -88,4 +88,58 @@ std::string surface_block(const SurfaceReport& report) {
   return table.render();
 }
 
+namespace {
+
+/// Integral-looking doubles (counter values, counts) print without a
+/// fraction; everything else keeps two decimals.
+std::string format_metric_value(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  return format_double(v, 2);
+}
+
+}  // namespace
+
+std::string metrics_table(obs::MetricsRegistry& metrics) {
+  TextTable table;
+  table.set_header({"metric", "kind", "value", "mean", "p50", "p95", "max"});
+  for (const obs::MetricSample& s : metrics.snapshot()) {
+    const char* kind = "counter";
+    if (s.kind == obs::MetricSample::Kind::kGauge) kind = "gauge";
+    if (s.kind == obs::MetricSample::Kind::kHistogram) kind = "histogram";
+    if (s.kind == obs::MetricSample::Kind::kHistogram && s.value > 0) {
+      table.add_row({s.name, kind, format_metric_value(s.value),
+                     format_double(s.mean, 6), format_double(s.p50, 6),
+                     format_double(s.p95, 6), format_double(s.max, 6)});
+    } else {
+      table.add_row(
+          {s.name, kind, format_metric_value(s.value), "", "", "", ""});
+    }
+  }
+  return table.render();
+}
+
+std::string trace_table(const obs::TraceRing& ring, const SiteRegistry& sites,
+                        std::size_t max_rows) {
+  TextTable table;
+  table.set_header({"seq", "t_ns", "kind", "site", "code", "a0", "a1"});
+  std::vector<obs::TraceEvent> events = ring.snapshot();
+  const std::size_t begin =
+      events.size() > max_rows ? events.size() - max_rows : 0;
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const obs::TraceEvent& e = events[i];
+    std::string where = "-";
+    if (e.site != obs::kNoSite && e.site < sites.size()) {
+      const Site& site = sites[static_cast<SiteId>(e.site)];
+      where = site.function + " @ " + short_location(site.location);
+    }
+    table.add_row({std::to_string(e.seq), std::to_string(e.t_ns),
+                   obs::event_kind_name(e.kind), where,
+                   e.code != nullptr ? e.code : "",
+                   std::to_string(e.a0), std::to_string(e.a1)});
+  }
+  return table.render();
+}
+
 }  // namespace fir::report

@@ -30,6 +30,16 @@ std::string campaign_table(const CampaignResult& result);
 /// The Table III block for one server run.
 std::string surface_block(const SurfaceReport& report);
 
+/// Metrics snapshot table: one row per registered metric (counter value,
+/// gauge reading, or histogram count + mean/p50/p95/max). Runs the
+/// registry's collectors, so the table reflects the moment of the call.
+std::string metrics_table(obs::MetricsRegistry& metrics);
+
+/// Tail of the recovery-event trace: the newest `max_rows` resident events,
+/// oldest first, with site ids resolved through `sites`.
+std::string trace_table(const obs::TraceRing& ring, const SiteRegistry& sites,
+                        std::size_t max_rows = 32);
+
 /// "file.cpp:123" from a full path location.
 std::string short_location(const std::string& location);
 

@@ -46,4 +46,18 @@ bool StmContext::record_store(void* addr, std::size_t size) {
   return true;
 }
 
+void StmContext::register_metrics(obs::MetricsRegistry& registry) {
+  registry.add_collector([this](obs::MetricsRegistry& reg) {
+    reg.gauge("stm.begun").set(static_cast<double>(stats_.begun));
+    reg.gauge("stm.committed").set(static_cast<double>(stats_.committed));
+    reg.gauge("stm.rolled_back")
+        .set(static_cast<double>(stats_.rolled_back));
+    reg.gauge("stm.stores").set(static_cast<double>(stats_.stores));
+    reg.gauge("stm.bytes_logged")
+        .set(static_cast<double>(stats_.bytes_logged));
+    reg.gauge("stm.peak_log_bytes")
+        .set(static_cast<double>(stats_.peak_log_bytes));
+  });
+}
+
 }  // namespace fir

@@ -17,6 +17,7 @@
 
 #include "mem/store_gate.h"
 #include "mem/undo_log.h"
+#include "obs/metrics.h"
 
 namespace fir {
 
@@ -56,6 +57,12 @@ class StmContext final : public StoreRecorder {
 
   const StmStats& stats() const { return stats_; }
   void reset_stats() { stats_ = StmStats{}; }
+
+  /// Publishes this engine's statistics into `registry` as "stm.*" gauges
+  /// via a snapshot-time collector (the record_store() hot path is
+  /// untouched). `registry` must outlive this context or never snapshot
+  /// after its destruction.
+  void register_metrics(obs::MetricsRegistry& registry);
 
  private:
   /// Store-instruction granularity of the modeled instrumentation.

@@ -1,0 +1,99 @@
+// Exporters: exact (golden) JSONL / JSON / CSV output over hand-built
+// rings and registries, symbolizer behavior, and JSON escaping.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+
+namespace fir::obs {
+namespace {
+
+SiteSymbolizer test_symbolizer() {
+  return [](std::uint32_t site, std::string* function, std::string* location) {
+    if (site != 7) return false;
+    *function = "socket";
+    *location = "src/apps/miniginx.cpp:42";
+    return true;
+  };
+}
+
+TEST(ExportTest, TraceJsonlGolden) {
+  TraceRing ring(8);
+  ring.set_enabled(true);
+  ring.emit(EventKind::kTxBegin, 7, 1500, "htm");
+  ring.emit(EventKind::kCrash, 7, 2500, "SIGSEGV");
+  ring.emit(EventKind::kFaultInjection, 7, 3500, "SIGSEGV", -1, 104);
+  ring.emit(EventKind::kTxCommit, kNoSite, 4500);
+
+  const std::string expected =
+      "{\"seq\":0,\"t_ns\":1500,\"thread\":0,\"kind\":\"tx-begin\","
+      "\"class\":\"tx\",\"site\":7,\"function\":\"socket\","
+      "\"location\":\"src/apps/miniginx.cpp:42\",\"code\":\"htm\"}\n"
+      "{\"seq\":1,\"t_ns\":2500,\"thread\":0,\"kind\":\"crash\","
+      "\"class\":\"recovery\",\"site\":7,\"function\":\"socket\","
+      "\"location\":\"src/apps/miniginx.cpp:42\",\"code\":\"SIGSEGV\"}\n"
+      "{\"seq\":2,\"t_ns\":3500,\"thread\":0,\"kind\":\"fault-injection\","
+      "\"class\":\"recovery\",\"site\":7,\"function\":\"socket\","
+      "\"location\":\"src/apps/miniginx.cpp:42\",\"code\":\"SIGSEGV\","
+      "\"a0\":-1,\"a1\":104}\n"
+      "{\"seq\":3,\"t_ns\":4500,\"thread\":0,\"kind\":\"tx-commit\","
+      "\"class\":\"tx\"}\n";
+  EXPECT_EQ(trace_jsonl(ring, test_symbolizer()), expected);
+}
+
+TEST(ExportTest, TraceJsonlWithoutSymbolizerKeepsRawSiteIds) {
+  TraceRing ring(4);
+  ring.set_enabled(true);
+  ring.emit(EventKind::kRollback, 3, 100, "stm");
+  EXPECT_EQ(trace_jsonl(ring),
+            "{\"seq\":0,\"t_ns\":100,\"thread\":0,\"kind\":\"rollback\","
+            "\"class\":\"recovery\",\"site\":3,\"code\":\"stm\"}\n");
+}
+
+TEST(ExportTest, MetricsJsonGolden) {
+  MetricsRegistry registry;
+  registry.counter("tx.commits").inc(12);
+  registry.gauge("gate.sites").set(3);
+  Histogram& h = registry.histogram("recovery.latency_seconds");
+  h.add(2.0);
+  h.add(2.0);
+
+  EXPECT_EQ(metrics_json(registry),
+            "{\"counters\":{\"tx.commits\":12},"
+            "\"gauges\":{\"gate.sites\":3},"
+            "\"histograms\":{\"recovery.latency_seconds\":"
+            "{\"count\":2,\"mean\":2,\"p50\":2,\"p95\":2,\"max\":2}}}");
+}
+
+TEST(ExportTest, MetricsCsvGolden) {
+  MetricsRegistry registry;
+  registry.counter("tx.commits").inc(12);
+  registry.gauge("gate.sites").set(3);
+  Histogram& h = registry.histogram("lat");
+  h.add(0.5);
+
+  EXPECT_EQ(metrics_csv(registry),
+            "name,kind,value,mean,p50,p95,max\n"
+            "gate.sites,gauge,3,,,,\n"
+            "lat,histogram,1,0.5,0.5,0.5,0.5\n"
+            "tx.commits,counter,12,,,,\n");
+}
+
+TEST(ExportTest, EmptyRegistryExportsEmptyDocuments) {
+  MetricsRegistry registry;
+  EXPECT_EQ(metrics_json(registry),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(metrics_csv(registry), "name,kind,value,mean,p50,p95,max\n");
+}
+
+TEST(ExportTest, JsonEscapeHandlesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string("ctl\x01", 4)), "ctl\\u0001");
+}
+
+}  // namespace
+}  // namespace fir::obs

@@ -1,0 +1,108 @@
+// MetricsRegistry: reference stability, the two publishing styles
+// (live metrics and snapshot-time collectors), snapshot ordering, reset.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace fir::obs {
+namespace {
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("tx.commits");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.set(42);  // collector-style publication
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("gate.calls");
+  Counter& b = registry.counter("gate.calls");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsTest, ReferencesSurviveLaterRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("a.first");
+  // Registering many more must not invalidate the earlier reference.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i)).inc();
+  }
+  first.inc();
+  EXPECT_EQ(registry.counter("a.first").value(), 1u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc();
+  registry.gauge("alpha").set(1.0);
+  registry.histogram("mid").add(0.5);
+
+  const std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[1].name, "mid");
+  EXPECT_EQ(samples[2].name, "zeta");
+}
+
+TEST(MetricsTest, HistogramSamplesCarrySummaryStats) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("recovery.latency_seconds");
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+
+  const std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  const MetricSample& s = samples[0];
+  EXPECT_EQ(s.kind, MetricSample::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(s.value, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_GE(s.p95, s.p50);
+}
+
+TEST(MetricsTest, CollectorsRunAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::uint64_t module_tally = 0;
+  registry.add_collector([&module_tally](MetricsRegistry& reg) {
+    reg.counter("module.tally").set(module_tally);
+  });
+
+  module_tally = 7;
+  std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+
+  // The collector re-publishes the current value on every snapshot.
+  module_tally = 9;
+  samples = registry.snapshot();
+  EXPECT_DOUBLE_EQ(samples[0].value, 9.0);
+}
+
+TEST(MetricsTest, ResetZeroesValuesButKeepsNamesAndCollectors) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(3);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h").add(1.0);
+  bool collected = false;
+  registry.add_collector([&collected](MetricsRegistry&) { collected = true; });
+
+  registry.reset();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
+  EXPECT_TRUE(registry.histogram("h").empty());
+
+  registry.snapshot();
+  EXPECT_TRUE(collected);
+}
+
+}  // namespace
+}  // namespace fir::obs

@@ -1,0 +1,218 @@
+// End-to-end observability: the recovery runtime publishes the full event
+// chain (crash -> rollback -> retry -> compensation -> fault injection)
+// with consistent site ids, the FIR_TRACE_* environment configures it, and
+// the shutdown dump lands on disk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "interpose/fir.h"
+#include "mem/tracked.h"
+#include "obs/cli.h"
+
+namespace fir {
+namespace {
+
+using obs::EventKind;
+
+TxManagerConfig traced_config() {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  config.obs.trace_enabled = true;
+  return config;
+}
+
+std::uint64_t count_kind(const std::vector<obs::TraceEvent>& events,
+                         EventKind kind, std::uint32_t* site_out = nullptr) {
+  std::uint64_t n = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != kind) continue;
+    ++n;
+    if (site_out != nullptr) *site_out = e.site;
+  }
+  return n;
+}
+
+TEST(ObsRuntimeTest, PersistentCrashTracesFullRecoveryChain) {
+  Fx fx(traced_config());
+  FIR_ANCHOR(fx);
+
+  const int rv = FIR_SOCKET(fx);
+  // First crash: rollback + retry. Second: compensation + injected error.
+  // After diversion the gate yields the documented error, ending the loop.
+  if (rv >= 0) raise_crash(CrashKind::kSegv);
+  EXPECT_EQ(rv, -1);
+  EXPECT_TRUE(fx.mgr().diverted());
+  FIR_QUIESCE(fx);
+
+  const std::vector<obs::TraceEvent> events =
+      fx.mgr().obs().trace().snapshot();
+  std::uint32_t crash_site = obs::kNoSite;
+  std::uint32_t comp_site = obs::kNoSite;
+  std::uint32_t inject_site = obs::kNoSite;
+  std::uint32_t rollback_site = obs::kNoSite;
+  EXPECT_GE(count_kind(events, EventKind::kCrash, &crash_site), 2u);
+  EXPECT_GE(count_kind(events, EventKind::kRollback, &rollback_site), 2u);
+  EXPECT_EQ(count_kind(events, EventKind::kRetry), 1u);
+  EXPECT_EQ(count_kind(events, EventKind::kCompensation, &comp_site), 1u);
+  EXPECT_EQ(count_kind(events, EventKind::kFaultInjection, &inject_site), 1u);
+
+  // The whole chain names the same site: the socket gate.
+  EXPECT_NE(crash_site, obs::kNoSite);
+  EXPECT_EQ(comp_site, crash_site);
+  EXPECT_EQ(inject_site, crash_site);
+  EXPECT_EQ(rollback_site, crash_site);
+
+  // Metrics agree with the trace.
+  obs::MetricsRegistry& metrics = fx.mgr().metrics();
+  EXPECT_EQ(metrics.counter("recovery.retries").value(), 1u);
+  EXPECT_EQ(metrics.counter("recovery.compensations").value(), 1u);
+  EXPECT_EQ(metrics.counter("recovery.diversions").value(), 1u);
+
+  // The JSONL rendering symbolizes the site.
+  const std::string jsonl = FIR_TRACE_JSONL(fx);
+  EXPECT_NE(jsonl.find("\"kind\":\"fault-injection\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"function\":\"socket\""), std::string::npos);
+}
+
+TEST(ObsRuntimeTest, DisabledTracingUsesTokenRingAndStillCountsMetrics) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kStmOnly;
+  // Explicit, so this holds under -DFIR_TRACE=ON builds too. A FIR_TRACE=1
+  // environment would still override it; the test runner does not set one.
+  config.obs.trace_enabled = false;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  FIR_QUIESCE(fx);
+
+  EXPECT_EQ(fx.mgr().obs().trace().capacity(), 2u);
+  EXPECT_EQ(fx.mgr().obs().trace().total_emitted(), 0u);
+  // Counters publish regardless of tracing.
+  EXPECT_EQ(fx.mgr().metrics().counter("tx.stm").value(), 0u);  // pre-snapshot
+  const auto samples = fx.mgr().metrics().snapshot();
+  EXPECT_EQ(fx.mgr().metrics().counter("tx.stm").value(), 1u);
+  EXPECT_FALSE(samples.empty());
+}
+
+TEST(ObsRuntimeTest, SiteDemotionIsPublished) {
+  TxManagerConfig config;
+  config.policy.kind = PolicyKind::kAdaptive;
+  config.policy.abort_threshold = 0.01;
+  config.policy.sample_size = 2;
+  config.htm.interrupt_abort_per_store = 0.0;
+  config.htm.max_write_lines = 4;
+  config.obs.trace_enabled = true;
+  Fx fx(config);
+  FIR_ANCHOR(fx);
+
+  std::vector<char> big(64 * kCacheLineBytes);
+  for (int round = 0; round < 8; ++round) {
+    const int fd = FIR_SOCKET(fx);
+    ASSERT_GE(fd, 0);
+    tx_memset(big.data(), 'x', big.size());  // overflows the HTM write-set
+  }
+  FIR_QUIESCE(fx);
+
+  const std::vector<obs::TraceEvent> events =
+      fx.mgr().obs().trace().snapshot();
+  EXPECT_GE(count_kind(events, EventKind::kHtmAbort), 1u);
+  EXPECT_GE(count_kind(events, EventKind::kStmFallback), 1u);
+  EXPECT_GE(count_kind(events, EventKind::kSiteDemotion), 1u);
+  EXPECT_GE(fx.mgr().metrics().counter("policy.demotions").value(), 1u);
+}
+
+TEST(ObsConfigTest, EnvironmentOverridesProgrammaticDefaults) {
+  ::setenv("FIR_TRACE", "1", 1);
+  ::setenv("FIR_TRACE_RING", "100", 1);
+  ::setenv("FIR_TRACE_FILTER", "recovery,tx-begin", 1);
+  const obs::ObsConfig config = obs::ObsConfig::from_env();
+  ::unsetenv("FIR_TRACE");
+  ::unsetenv("FIR_TRACE_RING");
+  ::unsetenv("FIR_TRACE_FILTER");
+
+  EXPECT_TRUE(config.trace_enabled);
+  EXPECT_EQ(config.ring_capacity, 100u);
+  EXPECT_EQ(config.event_mask,
+            obs::event_class_mask(obs::EventClass::kRecovery) |
+                obs::event_bit(EventKind::kTxBegin));
+}
+
+TEST(ObsConfigTest, TraceOutImpliesTracing) {
+  ::setenv("FIR_TRACE_OUT", "/tmp/some-trace.jsonl", 1);
+  const obs::ObsConfig config = obs::ObsConfig::from_env();
+  ::unsetenv("FIR_TRACE_OUT");
+  EXPECT_TRUE(config.trace_enabled);
+  EXPECT_EQ(config.trace_out, "/tmp/some-trace.jsonl");
+}
+
+TEST(ObsConfigTest, UnknownFilterTokensFallBackToAllEvents) {
+  EXPECT_EQ(obs::parse_event_filter(""), obs::kAllEventsMask);
+  EXPECT_EQ(obs::parse_event_filter("nonsense"), obs::kAllEventsMask);
+  EXPECT_EQ(obs::parse_event_filter("all"), obs::kAllEventsMask);
+  EXPECT_EQ(obs::parse_event_filter("crash"),
+            obs::event_bit(EventKind::kCrash));
+}
+
+TEST(ObsConfigTest, CliFlagsExportEnvironment) {
+  const char* raw[] = {"prog",         "--trace-out=/tmp/cli.jsonl",
+                       "--keep-me",    "--trace-ring",
+                       "128",          "--metrics-out=/tmp/cli.csv",
+                       nullptr};
+  char* argv[7];
+  for (int i = 0; i < 7; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 6;
+  obs::apply_cli_flags(&argc, argv);
+
+  EXPECT_EQ(argc, 2);  // program name + --keep-me survive
+  EXPECT_STREQ(argv[1], "--keep-me");
+  EXPECT_STREQ(std::getenv("FIR_TRACE_OUT"), "/tmp/cli.jsonl");
+  EXPECT_STREQ(std::getenv("FIR_TRACE_RING"), "128");
+  EXPECT_STREQ(std::getenv("FIR_METRICS_OUT"), "/tmp/cli.csv");
+  ::unsetenv("FIR_TRACE_OUT");
+  ::unsetenv("FIR_TRACE_RING");
+  ::unsetenv("FIR_METRICS_OUT");
+}
+
+TEST(ObsRuntimeTest, ShutdownDumpWritesConfiguredFiles) {
+  const std::string trace_path =
+      ::testing::TempDir() + "fir_obs_dump_trace.jsonl";
+  const std::string metrics_path =
+      ::testing::TempDir() + "fir_obs_dump_metrics.csv";
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  {
+    TxManagerConfig config = traced_config();
+    config.obs.trace_out = trace_path;
+    config.obs.metrics_out = metrics_path;
+    Fx fx(config);
+    FIR_ANCHOR(fx);
+    const int fd = FIR_SOCKET(fx);
+    ASSERT_GE(fd, 0);
+    FIR_QUIESCE(fx);
+  }  // ~TxManager flushes the dumps
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::stringstream trace_text;
+  trace_text << trace.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"kind\":\"tx-begin\""),
+            std::string::npos);
+  EXPECT_NE(trace_text.str().find("\"function\":\"socket\""),
+            std::string::npos);
+
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::string header;
+  std::getline(metrics, header);
+  EXPECT_EQ(header, "name,kind,value,mean,p50,p95,max");
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,141 @@
+// TraceRing: capacity rounding, ordering, wraparound/overwrite semantics,
+// filtering, and the disabled fast path recording nothing.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/trace_ring.h"
+
+namespace fir::obs {
+namespace {
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(TraceRing(2).capacity(), 2u);
+  EXPECT_EQ(TraceRing(3).capacity(), 4u);
+  EXPECT_EQ(TraceRing(4096).capacity(), 4096u);
+  EXPECT_EQ(TraceRing(5000).capacity(), 8192u);
+}
+
+TEST(TraceRingTest, DisabledEmitRecordsNothing) {
+  TraceRing ring(16);
+  ASSERT_FALSE(ring.enabled());
+  ring.emit(EventKind::kCrash, 1, 100);
+  ring.emit(EventKind::kTxBegin, 2, 200);
+  EXPECT_EQ(ring.total_emitted(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_FALSE(ring.wants(EventKind::kCrash));
+}
+
+TEST(TraceRingTest, EventsCarryPayloadAndOrdering) {
+  TraceRing ring(16);
+  ring.set_enabled(true);
+  ring.emit(EventKind::kTxBegin, 3, 1000, "htm");
+  ring.emit(EventKind::kCrash, 3, 2000, "SIGSEGV", -1, 11);
+  ring.emit(EventKind::kTxCommit, 4, 3000, "stm");
+
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kTxBegin);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].t_ns, 1000u);
+  EXPECT_STREQ(events[0].code, "htm");
+  EXPECT_EQ(events[1].kind, EventKind::kCrash);
+  EXPECT_EQ(events[1].site, 3u);
+  EXPECT_EQ(events[1].a0, -1);
+  EXPECT_EQ(events[1].a1, 11);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[2].site, 4u);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(4);
+  ring.set_enabled(true);
+  ASSERT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.emit(EventKind::kRetry, 9, i * 10);
+  }
+  EXPECT_EQ(ring.total_emitted(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: seq 6..9 survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].t_ns, (6u + i) * 10);
+  }
+}
+
+TEST(TraceRingTest, FilterSuppressesUnwantedKinds) {
+  TraceRing ring(16);
+  ring.set_enabled(true);
+  ring.set_filter(event_class_mask(EventClass::kRecovery));
+  EXPECT_TRUE(ring.wants(EventKind::kCrash));
+  EXPECT_FALSE(ring.wants(EventKind::kTxBegin));
+
+  ring.emit(EventKind::kTxBegin, 1, 1);       // filtered out
+  ring.emit(EventKind::kCrash, 1, 2);         // kept
+  ring.emit(EventKind::kSiteDemotion, 1, 3);  // htm class: filtered out
+  ring.emit(EventKind::kRollback, 1, 4);      // kept
+
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kCrash);
+  EXPECT_EQ(events[1].kind, EventKind::kRollback);
+}
+
+TEST(TraceRingTest, ClearForgetsEventsButKeepsSwitches) {
+  TraceRing ring(8);
+  ring.set_enabled(true);
+  ring.emit(EventKind::kTxBegin, 1, 1);
+  ring.emit(EventKind::kTxCommit, 1, 2);
+  ASSERT_EQ(ring.snapshot().size(), 2u);
+
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.total_emitted(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.enabled());
+
+  // The ring keeps working after a clear.
+  ring.emit(EventKind::kTxBegin, 1, 3);
+  EXPECT_EQ(ring.snapshot().size(), 1u);
+}
+
+TEST(TraceRingTest, ConcurrentEmittersLoseNoAcceptedEvents) {
+  TraceRing ring(1024);
+  ring.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.emit(EventKind::kTxCommit, static_cast<std::uint32_t>(t),
+                  static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ring.total_emitted(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Snapshot is seq-ordered with no duplicates or holes.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+  }
+}
+
+TEST(TraceRingTest, EventIsExactlyOneCacheLine) {
+  EXPECT_EQ(sizeof(TraceEvent), kCacheLineBytes);
+  // 4096-slot default ring = 256 KiB of slots plus slot stamps.
+  EXPECT_EQ(TraceRing::kDefaultCapacity, 4096u);
+}
+
+}  // namespace
+}  // namespace fir::obs
