@@ -1,6 +1,7 @@
 #include "core/tx_manager.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/log.h"
@@ -9,6 +10,19 @@ namespace fir {
 
 namespace {
 std::uint64_t g_next_generation = 1;
+
+/// FIR_UNDO_RETAIN_BYTES / FIR_STM_FILTER overrides, mirroring the
+/// obs::ObsConfig::from_env operator-first convention.
+void apply_store_path_env(TxManagerConfig& config) {
+  if (const char* v = std::getenv(kEnvUndoRetainBytes)) {
+    char* end = nullptr;
+    const unsigned long long bytes = std::strtoull(v, &end, 10);
+    if (end != v) config.undo_retain_bytes = static_cast<std::size_t>(bytes);
+  }
+  if (const char* v = std::getenv(kEnvStmFilter)) {
+    config.stm_write_filter = !(v[0] == '0' && v[1] == '\0');
+  }
+}
 
 const char* tx_mode_name(TxMode mode) {
   switch (mode) {
@@ -30,6 +44,9 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
       generation_(g_next_generation++) {
   previous_handler_ = set_crash_handler(this);
   StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
+  apply_store_path_env(config_);
+  stm_.set_retention(config_.undo_retain_bytes);
+  stm_.set_filter_enabled(config_.stm_write_filter);
   embedded_reverts_.reserve(16);
   embedded_deferred_.reserve(16);
   comp_arena_.reserve(4096);
@@ -90,12 +107,14 @@ SiteId TxManager::register_site(std::string_view function,
 }
 
 void TxManager::start_recording(TxMode mode) {
+  // begin() bumps the engine's filter epoch (O(1) reset); bind_gate()
+  // installs the devirtualized StoreGate fast path for that engine.
   if (mode == TxMode::kHtm) {
     htm_.begin();
-    StoreGate::set_recorder(&htm_);
+    htm_.bind_gate();
   } else if (mode == TxMode::kStm) {
     stm_.begin();
-    StoreGate::set_recorder(&stm_);
+    stm_.bind_gate();
   } else {
     StoreGate::set_recorder(nullptr);
   }
@@ -445,13 +464,14 @@ std::intptr_t TxManager::resume() {
 std::size_t TxManager::instrumentation_bytes() const {
   std::size_t total = 0;
   total += snapshot_.footprint_bytes();
+  // STM undo log + first-write filter (actual reserved capacity; bounded
+  // across transactions by config_.undo_retain_bytes).
   total += stm_.footprint_bytes();
   total += comp_arena_.capacity();
   total += embedded_reverts_.capacity() * sizeof(Compensation);
   total += embedded_deferred_.capacity() * sizeof(DeferredOp);
-  // HTM write-set bookkeeping: dirty-line list + saved line images.
-  total += config_.htm.max_write_lines *
-           (sizeof(std::uintptr_t) + kCacheLineBytes + sizeof(std::uintptr_t));
+  // HTM write-set bookkeeping: line filter + saved line images + occupancy.
+  total += htm_.footprint_bytes();
   // Per-site gate state (the tx_gate[] array and counters).
   total += sites_.size() * (sizeof(GateState) + sizeof(SiteStats));
   // Trace ring slots (token 2-slot ring when tracing is disabled).

@@ -74,6 +74,11 @@ struct RecoveryEvent {
   double latency_seconds = 0.0;
 };
 
+/// Environment overrides applied at TxManager construction (the same
+/// operator-first pattern as the FIR_TRACE_* knobs, docs/OBSERVABILITY.md).
+inline constexpr const char* kEnvUndoRetainBytes = "FIR_UNDO_RETAIN_BYTES";
+inline constexpr const char* kEnvStmFilter = "FIR_STM_FILTER";
+
 struct TxManagerConfig {
   PolicyConfig policy;
   HtmConfig htm;
@@ -83,6 +88,15 @@ struct TxManagerConfig {
   /// Rollback + re-execution attempts before a crash is declared persistent
   /// and diverted (transient faults survive the retry).
   int max_crash_retries = 1;
+  /// Capacity the undo log and first-write filter retain across
+  /// transactions: buffers grown by one outlier transaction shrink back
+  /// under this cap at commit/rollback, bounding the steady-state memory
+  /// overhead (Fig. 9). FIR_UNDO_RETAIN_BYTES overrides.
+  std::size_t undo_retain_bytes = UndoLog::kDefaultRetainBytes;
+  /// First-write filtering in the STM store path: only the first store to
+  /// each (line, byte-range) pays an undo-log append. FIR_STM_FILTER=0
+  /// restores the log-every-store behaviour for A/B measurement.
+  bool stm_write_filter = true;
   /// Master switch: false turns every gate into a plain call (vanilla).
   bool enabled = true;
 };
@@ -162,7 +176,7 @@ class TxManager final : public CrashHandler {
   Env& env() { return env_; }
 
   const HtmStats& htm_stats() const { return htm_.stats(); }
-  const StmStats& stm_stats() const { return stm_.stats(); }
+  StmStats stm_stats() const { return stm_.stats(); }
   const Histogram& recovery_latency() const { return recovery_latency_; }
   const std::vector<RecoveryEvent>& recovery_log() const {
     return recovery_log_;

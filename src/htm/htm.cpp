@@ -16,20 +16,10 @@ const char* htm_abort_code_name(HtmAbortCode code) {
   return "?";
 }
 
-namespace {
-/// Hash-set capacity: power of two comfortably above the largest write-set
-/// so probe chains stay short.
-std::size_t line_set_capacity(std::size_t max_lines) {
-  std::size_t cap = 64;
-  while (cap < max_lines * 2) cap *= 2;
-  return cap;
-}
-}  // namespace
-
 HtmContext::HtmContext(HtmConfig config)
     : config_(config),
       rng_(config.seed),
-      line_set_(line_set_capacity(config.max_write_lines)),
+      line_set_(config.max_write_lines),
       set_occupancy_(kL1Sets, 0),
       occupancy_stamp_(kL1Sets, 0) {
   saved_lines_.reserve(config_.max_write_lines);
@@ -39,7 +29,7 @@ void HtmContext::begin() {
   assert(!active_ && "nested hardware transactions are not modeled");
   active_ = true;
   pending_abort_ = HtmAbortCode::kNone;
-  ++epoch_;
+  line_set_.reset();
   ++occupancy_epoch_;
   dirty_count_ = 0;
   last_line_ = 0;
@@ -74,36 +64,28 @@ void HtmContext::abort(HtmAbortCode code) {
   }
 }
 
+void HtmContext::bind_gate() {
+  StoreGate::bind_htm(&last_line_, &stats_.stores, this);
+}
+
 bool HtmContext::touch_line(std::uintptr_t line) {
-  const std::size_t mask = line_set_.size() - 1;
-  // Multiplicative hash of the line base.
-  std::size_t idx =
-      (static_cast<std::size_t>(line) * 0x9E3779B97F4A7C15ull) & mask;
-  for (;;) {
-    LineSlot& slot = line_set_[idx];
-    if (slot.epoch == epoch_ && slot.line == line) return true;  // hit
-    if (slot.epoch != epoch_) {
-      // Free slot this epoch: the line is new.
-      if (dirty_count_ >= config_.max_write_lines) return false;
-      const std::size_t set = line_set_index(line);
-      if (occupancy_stamp_[set] != occupancy_epoch_) {
-        occupancy_stamp_[set] = occupancy_epoch_;
-        set_occupancy_[set] = 0;
-      }
-      if (set_occupancy_[set] >= config_.max_lines_per_set) return false;
-      ++set_occupancy_[set];
-      slot.epoch = epoch_;
-      slot.line = line;
-      ++dirty_count_;
-      SavedLine saved;
-      saved.base = line;
-      std::memcpy(saved.data, reinterpret_cast<const void*>(line),
-                  kCacheLineBytes);
-      saved_lines_.push_back(saved);
-      return true;
-    }
-    idx = (idx + 1) & mask;
+  if (line_set_.contains(line)) return true;  // already in the write-set
+  if (dirty_count_ >= config_.max_write_lines) return false;
+  const std::size_t set = line_set_index(line);
+  if (occupancy_stamp_[set] != occupancy_epoch_) {
+    occupancy_stamp_[set] = occupancy_epoch_;
+    set_occupancy_[set] = 0;
   }
+  if (set_occupancy_[set] >= config_.max_lines_per_set) return false;
+  ++set_occupancy_[set];
+  line_set_.cover(line, WriteFilter::kFullLineMask);
+  ++dirty_count_;
+  SavedLine saved;
+  saved.base = line;
+  std::memcpy(saved.data, reinterpret_cast<const void*>(line),
+              kCacheLineBytes);
+  saved_lines_.push_back(saved);
+  return true;
 }
 
 bool HtmContext::record_store_slow(void* addr, std::size_t size) {
@@ -131,6 +113,13 @@ bool HtmContext::record_store_slow(void* addr, std::size_t size) {
     return false;
   }
   return true;
+}
+
+std::size_t HtmContext::footprint_bytes() const {
+  return line_set_.footprint_bytes() +
+         saved_lines_.capacity() * sizeof(SavedLine) +
+         set_occupancy_.capacity() * sizeof(set_occupancy_[0]) +
+         occupancy_stamp_.capacity() * sizeof(occupancy_stamp_[0]);
 }
 
 void HtmContext::register_metrics(obs::MetricsRegistry& registry) {

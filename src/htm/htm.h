@@ -23,6 +23,7 @@
 #include "common/cacheline.h"
 #include "common/rng.h"
 #include "mem/store_gate.h"
+#include "mem/write_filter.h"
 #include "obs/metrics.h"
 
 namespace fir {
@@ -106,8 +107,9 @@ class HtmContext final : public StoreRecorder {
   /// Cost model: real TSX tracks stores for free in the cache, so the
   /// simulation's common case must be near-free too. A store that stays
   /// within the line touched by the previous store returns immediately
-  /// (one compare); only new-line touches pay for hashing, the line image
-  /// save, and the async-abort sampling.
+  /// (one compare; StoreGate::record inlines the same check ahead of the
+  /// virtual dispatch); only new-line touches pay for the filter probe, the
+  /// line image save, and the async-abort sampling.
   bool record_store(void* addr, std::size_t size) override {
     ++stats_.stores;
     const std::uintptr_t line =
@@ -120,11 +122,18 @@ class HtmContext final : public StoreRecorder {
     return record_store_slow(addr, size);
   }
 
+  /// Enables the devirtualized StoreGate fast path for this engine.
+  void bind_gate();
+
   bool active() const { return active_; }
   /// Abort reason set by a failed record_store(), consumed by abort().
   HtmAbortCode pending_abort() const { return pending_abort_; }
   /// Distinct lines dirtied by the current transaction.
   std::size_t write_set_lines() const { return dirty_count_; }
+
+  /// Bytes currently reserved by the write-set bookkeeping (line filter,
+  /// saved line images, per-set occupancy) — Fig. 9 input.
+  std::size_t footprint_bytes() const;
 
   const HtmStats& stats() const { return stats_; }
   void reset_stats() { stats_ = HtmStats{}; }
@@ -151,16 +160,10 @@ class HtmContext final : public StoreRecorder {
   bool active_ = false;
   HtmAbortCode pending_abort_ = HtmAbortCode::kNone;
 
-  // Write-set membership: open-addressing hash set of line bases with
-  // epoch-stamped slots (no clearing between transactions — a slot is live
-  // only when its epoch matches). O(1) per store, mirroring the zero-cost
-  // tracking real TSX gets from the cache itself.
-  struct LineSlot {
-    std::uintptr_t line = 0;
-    std::uint64_t epoch = 0;
-  };
-  std::vector<LineSlot> line_set_;
-  std::uint64_t epoch_ = 0;
+  // Write-set membership: the shared line-granular WriteFilter with
+  // mask=kFullLineMask (epoch-stamped slots, O(1) reset per transaction) —
+  // mirroring the zero-cost tracking real TSX gets from the cache itself.
+  WriteFilter line_set_;
   std::size_t dirty_count_ = 0;
   std::uintptr_t last_line_ = 0;  // fast-path cache: previously touched line
   std::vector<SavedLine> saved_lines_;

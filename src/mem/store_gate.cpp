@@ -5,19 +5,52 @@
 
 namespace fir {
 
+StoreGate::Mode StoreGate::mode_ = StoreGate::Mode::kOff;
 StoreRecorder* StoreGate::recorder_ = nullptr;
+WriteFilter* StoreGate::stm_filter_ = nullptr;
+UndoLog* StoreGate::stm_log_ = nullptr;
+std::uintptr_t* StoreGate::htm_last_line_ = nullptr;
+std::uint64_t* StoreGate::htm_store_tally_ = nullptr;
 StoreGate::AbortHook StoreGate::abort_hook_ = nullptr;
 void* StoreGate::abort_ctx_ = nullptr;
 
 StoreRecorder* StoreGate::set_recorder(StoreRecorder* recorder) {
   StoreRecorder* prev = recorder_;
   recorder_ = recorder;
+  mode_ = recorder != nullptr ? Mode::kVirtual : Mode::kOff;
+  stm_filter_ = nullptr;
+  stm_log_ = nullptr;
+  htm_last_line_ = nullptr;
+  htm_store_tally_ = nullptr;
   return prev;
+}
+
+void StoreGate::bind_stm(WriteFilter* filter, UndoLog* log,
+                         StoreRecorder* cold) {
+  // The HTM pointers stay as-is: they are only read in kHtm mode, which is
+  // unreachable without a fresh bind_htm(). Binds run per transaction, so
+  // they stay minimal.
+  recorder_ = cold;
+  stm_filter_ = filter;
+  stm_log_ = log;
+  mode_ = Mode::kStm;
+}
+
+void StoreGate::bind_htm(std::uintptr_t* last_line, std::uint64_t* store_tally,
+                         StoreRecorder* cold) {
+  recorder_ = cold;
+  htm_last_line_ = last_line;
+  htm_store_tally_ = store_tally;
+  mode_ = Mode::kHtm;
 }
 
 void StoreGate::set_abort_hook(AbortHook hook, void* ctx) {
   abort_hook_ = hook;
   abort_ctx_ = ctx;
+}
+
+void StoreGate::record_slow(void* addr, std::size_t size) {
+  if (!recorder_->record_store(addr, size)) fire_abort();
 }
 
 void StoreGate::fire_abort() {

@@ -3,16 +3,34 @@
 //
 // The paper's Checkpoint Manager compiles store instrumentation into the
 // application; here, tracked-memory primitives (mem/tracked.h) call
-// StoreGate::record() before each store. The gate forwards to the currently
-// active recorder — the HTM write-set model, the STM undo logger, or nothing
+// StoreGate::record() before each store. The gate routes to the currently
+// active engine — the HTM write-set model, the STM undo logger, or nothing
 // when execution is outside any crash transaction.
+//
+// Dispatch is a flat mode tag with the per-engine fast paths inlined here:
+//   kStm  — first-write filter probe: a store whose bytes are already
+//           covered this transaction returns after one hash probe;
+//   kHtm  — same-line check: a store staying within the previously touched
+//           cache line returns after one compare (real TSX tracks it for
+//           free in the cache).
+// Only stores the fast path cannot absorb fall through to the out-of-line
+// slow path, which dispatches through the StoreRecorder interface. The
+// common store therefore costs one predictable branch and no indirect call;
+// kVirtual preserves the old any-recorder routing for tests and custom
+// recorders.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.h"
+#include "mem/undo_log.h"
+#include "mem/write_filter.h"
 
 namespace fir {
 
-/// Recorder interface implemented by HtmContext and StmContext.
+/// Recorder interface implemented by HtmContext and StmContext; the gate's
+/// slow path (and kVirtual mode) dispatches through it.
 class StoreRecorder {
  public:
   virtual ~StoreRecorder() = default;
@@ -29,10 +47,26 @@ class StoreGate {
  public:
   using AbortHook = void (*)(void* ctx);
 
-  /// Installs `recorder` as the destination for subsequent stores.
-  /// Pass nullptr to disable tracking. Returns the previous recorder.
+  /// How record() dispatches the current store.
+  enum class Mode : std::uint8_t { kOff = 0, kVirtual, kStm, kHtm };
+
+  /// Installs `recorder` behind the generic kVirtual dispatch (nullptr
+  /// disables tracking). Returns the previous recorder. The engines'
+  /// bind_gate() methods use bind_stm()/bind_htm() instead to enable the
+  /// inlined fast paths.
   static StoreRecorder* set_recorder(StoreRecorder* recorder);
   static StoreRecorder* recorder() { return recorder_; }
+
+  /// STM binding: `filter` elides already-covered stores inline; first-
+  /// write pre-images go straight into `log` (no virtual hop, no re-probe);
+  /// `cold` (the StmContext) absorbs line-spanning and zero-size stores.
+  static void bind_stm(WriteFilter* filter, UndoLog* log, StoreRecorder* cold);
+
+  /// HTM binding: `last_line` is the engine's previously-touched-line cache
+  /// and `store_tally` its store counter (bumped when the fast path elides);
+  /// `cold` (the HtmContext) handles new-line touches.
+  static void bind_htm(std::uintptr_t* last_line, std::uint64_t* store_tally,
+                       StoreRecorder* cold);
 
   /// Hook invoked when a recorder rejects a store (HTM abort). Installed by
   /// the transaction manager; typically longjmps back to the entry gate and
@@ -41,17 +75,58 @@ class StoreGate {
 
   /// Routes one store. Inlined into the tracked-memory fast path.
   static void record(void* addr, std::size_t size) {
-    if (recorder_ != nullptr && !recorder_->record_store(addr, size)) {
-      fire_abort();
+    switch (mode_) {
+      case Mode::kOff:
+        return;
+      case Mode::kStm: {
+        // First-write filter, one probe total: a hit elides the store; a
+        // miss has already recorded coverage, so the pre-image goes straight
+        // into the undo log — no re-probe, no virtual call, and the store
+        // tallies are reconstructed from log/filter counters at commit.
+        const auto a = reinterpret_cast<std::uintptr_t>(addr);
+        // Single-line iff first and last byte differ only in the low 6 bits.
+        if (size != 0 && (a ^ (a + size - 1)) < kCacheLineBytes) {
+          const std::uintptr_t line = line_base(a);
+          if (stm_filter_->cover(line, WriteFilter::span_mask(a, size))) {
+            stm_filter_->note_elided();
+            return;
+          }
+          stm_log_->record(addr, size);
+          return;
+        }
+        break;  // line-spanning or empty: segmented by the slow path
+      }
+      case Mode::kHtm: {
+        // A store staying within the last-touched line is already in the
+        // write-set; only the engine's store tally moves.
+        const auto a = reinterpret_cast<std::uintptr_t>(addr);
+        const std::uintptr_t line = line_base(a);
+        if (line == *htm_last_line_ &&
+            line_base(a + (size > 0 ? size - 1 : 0)) == line) {
+          ++*htm_store_tally_;
+          return;
+        }
+        break;
+      }
+      case Mode::kVirtual:
+        break;
     }
+    record_slow(addr, size);
   }
 
-  static bool tracking() { return recorder_ != nullptr; }
+  static bool tracking() { return mode_ != Mode::kOff; }
+  static Mode mode() { return mode_; }
 
  private:
+  static void record_slow(void* addr, std::size_t size);
   static void fire_abort();
 
+  static Mode mode_;
   static StoreRecorder* recorder_;
+  static WriteFilter* stm_filter_;
+  static UndoLog* stm_log_;
+  static std::uintptr_t* htm_last_line_;
+  static std::uint64_t* htm_store_tally_;
   static AbortHook abort_hook_;
   static void* abort_ctx_;
 };

@@ -4,24 +4,29 @@
 
 namespace fir {
 
-UndoLog::UndoLog() {
-  entries_.reserve(256);
-  arena_.reserve(1024);
-}
+UndoLog::UndoLog() { entries_.reserve(kEntryReserve); }
 
-void UndoLog::record(void* addr, std::size_t size) {
-  Entry e;
-  e.addr = reinterpret_cast<std::uintptr_t>(addr);
-  e.size = static_cast<std::uint32_t>(size);
-  if (size <= kInlineBytes) {
-    std::memcpy(e.inline_data, addr, size);
-  } else {
-    e.arena_offset = arena_.size();
-    arena_.resize(arena_.size() + size);
-    std::memcpy(arena_.data() + e.arena_offset, addr, size);
+std::uint8_t* UndoLog::arena_alloc(std::size_t size) {
+  // Advance past retained chunks whose remaining tail is too small (the
+  // wasted tail is bounded by one spill's size).
+  while (chunk_index_ < chunks_.size() &&
+         chunk_used_ + size > chunks_[chunk_index_].capacity) {
+    ++chunk_index_;
+    chunk_used_ = 0;
   }
-  entries_.push_back(e);
-  logged_bytes_ += size;
+  if (chunk_index_ == chunks_.size()) {
+    Chunk chunk;
+    chunk.capacity = size > kChunkBytes ? size : kChunkBytes;
+    // Plain new[]: default-initialized, i.e. no zero-fill of bytes the
+    // memcpy below overwrites anyway.
+    chunk.data.reset(new std::uint8_t[chunk.capacity]);
+    arena_capacity_ += chunk.capacity;
+    chunks_.push_back(std::move(chunk));
+    chunk_used_ = 0;
+  }
+  std::uint8_t* p = chunks_[chunk_index_].data.get() + chunk_used_;
+  chunk_used_ += size;
+  return p;
 }
 
 void UndoLog::rollback() {
@@ -30,20 +35,45 @@ void UndoLog::rollback() {
     if (it->size <= kInlineBytes) {
       std::memcpy(dst, it->inline_data, it->size);
     } else {
-      std::memcpy(dst, arena_.data() + it->arena_offset, it->size);
+      std::memcpy(dst, it->spill, it->size);
     }
   }
   clear();
 }
 
 void UndoLog::clear() {
+  // Every record() pushes an entry, so an empty entry list means the rest
+  // of the state is already reset (common case: begin() after commit()) —
+  // unless the retention cap was lowered since the buffers were retained.
+  if (entries_.empty() && arena_capacity_ <= retain_bytes_ &&
+      entries_.capacity() * sizeof(Entry) <= retain_bytes_) {
+    return;
+  }
   entries_.clear();
-  arena_.clear();
+  if (entries_.capacity() * sizeof(Entry) > retain_bytes_) {
+    entries_.shrink_to_fit();
+    entries_.reserve(kEntryReserve);
+  }
+  // Keep leading chunks while they fit under the cap; an outlier
+  // transaction's oversize chunks are released here.
+  std::size_t keep = 0;
+  std::size_t kept_bytes = 0;
+  while (keep < chunks_.size() &&
+         kept_bytes + chunks_[keep].capacity <= retain_bytes_) {
+    kept_bytes += chunks_[keep].capacity;
+    ++keep;
+  }
+  if (keep < chunks_.size()) {
+    chunks_.resize(keep);
+    arena_capacity_ = kept_bytes;
+  }
+  chunk_index_ = 0;
+  chunk_used_ = 0;
   logged_bytes_ = 0;
 }
 
 std::size_t UndoLog::footprint_bytes() const {
-  return entries_.capacity() * sizeof(Entry) + arena_.capacity();
+  return entries_.capacity() * sizeof(Entry) + arena_capacity_;
 }
 
 }  // namespace fir

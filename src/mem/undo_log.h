@@ -10,6 +10,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 namespace fir {
@@ -17,22 +19,50 @@ namespace fir {
 /// Append-only log of (address, old bytes) pairs with reverse-order rollback.
 ///
 /// Small stores (<= 16 bytes, the overwhelmingly common case) keep their old
-/// data inline in the entry; larger stores spill into a byte arena. The log
-/// is reused across transactions via clear() to avoid steady-state
-/// allocation.
+/// data inline in the entry; larger stores spill into a chunked bump-pointer
+/// arena: appends never zero-initialize grown memory and never move (or
+/// invalidate) previously spilled data, so a large store costs exactly one
+/// pointer bump plus the memcpy of its old bytes.
+///
+/// The log is reused across transactions via clear(), which also enforces a
+/// retention cap (set_retention / FIR_UNDO_RETAIN_BYTES): buffers grown by
+/// one outlier transaction shrink back so the steady-state footprint stays
+/// bounded — this keeps the Fig. 9 memory accounting honest.
 class UndoLog {
  public:
+  /// Default retention cap applied by clear() (1 MiB).
+  static constexpr std::size_t kDefaultRetainBytes = 1u << 20;
+
   UndoLog();
 
   /// Saves the current contents of [addr, addr+size) so rollback() can
-  /// restore them. Call BEFORE performing the store.
-  void record(void* addr, std::size_t size);
+  /// restore them. Call BEFORE performing the store. Inline: this is the
+  /// store gate's direct append target.
+  void record(void* addr, std::size_t size) {
+    Entry e;
+    e.addr = reinterpret_cast<std::uintptr_t>(addr);
+    e.size = static_cast<std::uint32_t>(size);
+    if (size <= kInlineBytes) {
+      std::memcpy(e.inline_data, addr, size);
+    } else {
+      std::uint8_t* dst = arena_alloc(size);
+      std::memcpy(dst, addr, size);
+      e.spill = dst;
+    }
+    entries_.push_back(e);
+    logged_bytes_ += size;
+  }
 
   /// Restores all recorded locations, newest first, and clears the log.
   void rollback();
 
-  /// Discards the log without restoring (transaction committed).
+  /// Discards the log without restoring (transaction committed) and shrinks
+  /// buffers back under the retention cap.
   void clear();
+
+  /// Caps the capacity clear() retains across transactions.
+  void set_retention(std::size_t bytes) { retain_bytes_ = bytes; }
+  std::size_t retention() const { return retain_bytes_; }
 
   std::size_t entry_count() const { return entries_.size(); }
   /// Total bytes of old data held (inline + arena) — drives the memory
@@ -44,20 +74,35 @@ class UndoLog {
 
  private:
   static constexpr std::size_t kInlineBytes = 16;
+  static constexpr std::size_t kChunkBytes = 64u * 1024;
+  static constexpr std::size_t kEntryReserve = 256;
 
   struct Entry {
     std::uintptr_t addr;
     std::uint32_t size;
-    // Old data: inline when size <= kInlineBytes, else offset into arena_.
+    // Old data: inline when size <= kInlineBytes, else a stable pointer
+    // into one of the arena chunks.
     union {
       std::uint8_t inline_data[kInlineBytes];
-      std::size_t arena_offset;
+      const std::uint8_t* spill;
     };
   };
 
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t capacity = 0;
+  };
+
+  /// Bump-allocates `size` uninitialized bytes with a stable address.
+  std::uint8_t* arena_alloc(std::size_t size);
+
   std::vector<Entry> entries_;
-  std::vector<std::uint8_t> arena_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;  // chunk currently being bump-allocated
+  std::size_t chunk_used_ = 0;   // bytes used in that chunk
+  std::size_t arena_capacity_ = 0;
   std::size_t logged_bytes_ = 0;
+  std::size_t retain_bytes_ = kDefaultRetainBytes;
 };
 
 }  // namespace fir

@@ -1,0 +1,43 @@
+#include "mem/write_filter.h"
+
+#include <algorithm>
+
+namespace fir {
+
+namespace {
+std::size_t table_size_for(std::size_t min_lines) {
+  // Power of two with 50% load-factor headroom over the expected line count.
+  std::size_t cap = 64;
+  while (cap < min_lines * 2) cap *= 2;
+  return cap;
+}
+}  // namespace
+
+WriteFilter::WriteFilter(std::size_t min_lines)
+    : slots_(table_size_for(min_lines)), min_slots_(slots_.size()) {}
+
+void WriteFilter::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t table_mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if ((slot.tag & kEpochMask) != epoch_) continue;  // only live entries
+    const auto line = static_cast<std::uintptr_t>((slot.tag >> 16) << 6);
+    std::size_t idx = hash(line, table_mask);
+    while (slots_[idx].tag != 0) idx = (idx + 1) & table_mask;
+    slots_[idx] = slot;
+  }
+}
+
+void WriteFilter::wipe() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+}
+
+void WriteFilter::shrink_slow() {
+  // All-zero tags are stale under every valid epoch, so the fresh table
+  // needs no epoch bump.
+  std::vector<Slot>(min_slots_).swap(slots_);
+  lines_ = 0;
+}
+
+}  // namespace fir

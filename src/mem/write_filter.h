@@ -1,0 +1,191 @@
+// First-write filter: per-transaction coverage tracking for the store path.
+//
+// Undo-log rollback only needs the FIRST pre-image of each memory location:
+// once a byte's pre-transaction value is in the log, re-logging it on every
+// subsequent store buys nothing (the log is walked newest-first, so the
+// oldest entry wins anyway). This filter remembers, per cache line, which
+// bytes have already been logged in the current transaction, turning the
+// dominant repeated-store pattern (loop counters, parser cursors, connection
+// state words) into a hash probe instead of a log append.
+//
+// Design:
+//   * open-addressing hash table of 16-byte (tag, byte mask) slots, where
+//     the tag packs the line number with a 16-bit epoch — liveness and
+//     identity check in ONE load and compare;
+//   * epoch-stamped slots make per-transaction reset() an amortized-O(1)
+//     counter bump: a slot is live only while its epoch matches, and the
+//     table is wiped just once per 65535 resets when the counter wraps;
+//   * the hash preserves line locality (consecutive lines map to consecutive
+//     slots, four to a table cache line), so sweep-style write sets probe
+//     and insert sequentially instead of scattering across the table;
+//   * byte-granular masks keep rollback word-exact: a second store to a line
+//     is elided only when every byte it touches is already covered, so the
+//     filter never widens what the undo log restores (unlike whole-line
+//     logging, which would clobber untracked neighbours);
+//   * the table doubles at 50% load and shrinks back under a retention cap
+//     between transactions, so one outlier transaction cannot pin a huge
+//     table forever.
+//
+// The HTM write-set model shares this structure with mask=kFullLineMask:
+// there, "covered" simply means "line already in the write-set".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+
+namespace fir {
+
+/// See file comment. Single-threaded, like the rest of the store path.
+class WriteFilter {
+ public:
+  /// Mask claiming every byte of a line (the HTM membership-only use).
+  static constexpr std::uint64_t kFullLineMask = ~std::uint64_t{0};
+
+  /// `min_lines` sizes the initial table (rounded up to a power of two with
+  /// 50% headroom); the table grows on demand beyond it.
+  explicit WriteFilter(std::size_t min_lines = 64);
+
+  /// Starts a new transaction: amortized O(1) — an epoch bump, with one
+  /// table wipe per 65535 resets when the 16-bit epoch wraps.
+  void reset() {
+    if (++epoch_ > kEpochMask) {
+      epoch_ = 1;
+      wipe();
+    }
+    lines_ = 0;
+  }
+
+  /// Byte mask of [addr, addr+size) within its cache line.
+  /// Precondition: the span does not cross a line boundary.
+  static std::uint64_t span_mask(std::uintptr_t addr, std::size_t size) {
+    const unsigned off = static_cast<unsigned>(addr & (kCacheLineBytes - 1));
+    if (size >= kCacheLineBytes) return kFullLineMask;
+    return ((std::uint64_t{1} << size) - 1) << off;
+  }
+
+  /// Gate fast-path probe: true iff [addr, addr+size) lies within a single
+  /// cache line whose touched bytes are all already covered this
+  /// transaction — i.e. the store needs no undo-log append. Counts the hit.
+  bool covers(const void* addr, std::size_t size) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t line = line_base(a);
+    if (size == 0 || line_base(a + size - 1) != line) return false;
+    const Slot* slot = find(line);
+    if (slot == nullptr) return false;
+    const std::uint64_t mask = span_mask(a, size);
+    if ((slot->mask & mask) != mask) return false;
+    ++hits_;
+    ++spans_elided_;
+    return true;
+  }
+
+  /// Marks `mask` covered for `line`, inserting the line if new. Returns
+  /// true when every masked byte was ALREADY covered (caller may elide the
+  /// log append); counts such hits. Inline: this is the store gate's one
+  /// hash probe per first-write.
+  bool cover(std::uintptr_t line, std::uint64_t mask) {
+    const std::uint64_t want = make_tag(line);
+    const std::size_t table_mask = slots_.size() - 1;
+    std::size_t idx = hash(line, table_mask);
+    for (;;) {
+      Slot& slot = slots_[idx];
+      if (slot.tag == want) {
+        if ((slot.mask & mask) == mask) {
+          ++hits_;
+          return true;
+        }
+        slot.mask |= mask;
+        return false;
+      }
+      if ((slot.tag & kEpochMask) != epoch_) {
+        // Stale slot: the line is new this transaction. Growing AFTER the
+        // insert keeps the check off the hit path; load peaks at 50% + 1.
+        slot.tag = want;
+        slot.mask = mask;
+        if (++lines_ * 2 > slots_.size()) grow();
+        return false;
+      }
+      idx = (idx + 1) & table_mask;
+    }
+  }
+
+  /// Counter hook for the gate: a cover() hit that elided a whole store.
+  void note_elided() { ++spans_elided_; }
+
+  /// Membership probe (no insertion, no counting).
+  bool contains(std::uintptr_t line) const { return find(line) != nullptr; }
+
+  /// Distinct lines touched in the current transaction.
+  std::size_t lines() const { return lines_; }
+
+  /// Line-granular coverage hits (gate probes + slow-path cover() hits).
+  std::uint64_t hits() const { return hits_; }
+  /// Stores elided entirely by the gate fast path.
+  std::uint64_t spans_elided() const { return spans_elided_; }
+  void reset_counters() { hits_ = spans_elided_ = 0; }
+
+  std::size_t footprint_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+  /// Retention cap: when the grown table exceeds `max_bytes`, reallocate it
+  /// back to its initial size. Call between transactions only (discards all
+  /// coverage). Inline no-op while the table is within the cap.
+  void shrink(std::size_t max_bytes) {
+    if (slots_.size() * sizeof(Slot) <= max_bytes || slots_.size() <= min_slots_)
+      return;
+    shrink_slow();
+  }
+
+ private:
+  /// Epochs occupy the tag's low 16 bits, the line number (line base / 64)
+  /// the rest; valid epochs are 1..65535, so an all-zero slot is always
+  /// stale under every live epoch.
+  static constexpr std::uint64_t kEpochMask = 0xFFFF;
+
+  struct Slot {
+    std::uint64_t tag = 0;  // (line >> 6) << 16 | epoch
+    std::uint64_t mask = 0;
+  };
+
+  std::uint64_t make_tag(std::uintptr_t line) const {
+    return ((static_cast<std::uint64_t>(line) >> 6) << 16) | epoch_;
+  }
+
+  static std::size_t hash(std::uintptr_t line, std::size_t mask) {
+    // Locality-preserving: consecutive lines land in consecutive slots
+    // (four per table cache line), so sweep-style write sets stay
+    // prefetcher-friendly; the folded high bits break large-stride
+    // aliasing between distant regions.
+    const std::uint64_t l = static_cast<std::uint64_t>(line) >> 6;
+    return static_cast<std::size_t>(l ^ (l >> 12)) & mask;
+  }
+
+  const Slot* find(std::uintptr_t line) const {
+    const std::uint64_t want = make_tag(line);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = hash(line, mask);
+    for (;;) {
+      const Slot& slot = slots_[idx];
+      if (slot.tag == want) return &slot;
+      if ((slot.tag & kEpochMask) != epoch_) return nullptr;  // stale = miss
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  void grow();
+  void wipe();
+  void shrink_slow();
+
+  std::vector<Slot> slots_;
+  std::size_t min_slots_;
+  std::uint64_t epoch_ = 1;
+  std::size_t lines_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t spans_elided_ = 0;
+};
+
+}  // namespace fir

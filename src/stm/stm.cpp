@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/cacheline.h"
+
 namespace fir {
 
 void StmContext::begin() {
   assert(!active_ && "nested software transactions are not modeled");
   active_ = true;
   log_.clear();
+  filter_.reset();
+  slow_entries_ = 0;
   ++stats_.begun;
 }
 
@@ -16,47 +20,83 @@ void StmContext::commit() {
   assert(active_);
   active_ = false;
   ++stats_.committed;
+  fold_log_tallies();
   stats_.peak_log_bytes = std::max(stats_.peak_log_bytes, footprint_bytes());
   log_.clear();
+  filter_.shrink(retain_bytes_);
 }
 
 void StmContext::rollback() {
   assert(active_);
   active_ = false;
-  stats_.peak_log_bytes = std::max(stats_.peak_log_bytes, footprint_bytes());
   ++stats_.rolled_back;
+  fold_log_tallies();
+  stats_.peak_log_bytes = std::max(stats_.peak_log_bytes, footprint_bytes());
   log_.rollback();
+  filter_.shrink(retain_bytes_);
+}
+
+void StmContext::fold_log_tallies() {
+  // The gate fast path appends with zero bookkeeping; account for its
+  // stores and bytes once per transaction instead of once per store.
+  stats_.stores += log_.entry_count() - slow_entries_;
+  stats_.bytes_logged += log_.logged_bytes();
+  slow_entries_ = 0;
 }
 
 bool StmContext::record_store(void* addr, std::size_t size) {
   assert(active_);
+  if (size == 0) return true;
   ++stats_.stores;
-  stats_.bytes_logged += size;
-  // Word-granular logging: compiled undo-log instrumentation hooks every
-  // store instruction, so a bulk copy of N bytes costs N/8 log appends —
-  // the cost structure behind STM-only's high overhead in the paper's
-  // Fig. 7. (A single coarse record per memcpy would understate it.)
-  auto* bytes = static_cast<std::uint8_t*>(addr);
-  while (size > kWordBytes) {
-    log_.record(bytes, kWordBytes);
-    bytes += kWordBytes;
-    size -= kWordBytes;
+  // Segment the store at cache-line boundaries (the filter's granularity)
+  // and log only segments with not-yet-covered bytes. Partially covered
+  // segments are re-logged whole: rollback walks the log newest-first, so a
+  // redundant newer pre-image is always overwritten by the older true one.
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t end = a + size;
+  bool logged_any = false;
+  while (a < end) {
+    const std::uintptr_t line = line_base(a);
+    const std::uintptr_t seg_end = std::min(end, line + kCacheLineBytes);
+    const std::size_t seg = seg_end - a;
+    if (!filter_enabled_ ||
+        !filter_.cover(line, WriteFilter::span_mask(a, seg))) {
+      log_.record(reinterpret_cast<void*>(a), seg);
+      ++slow_entries_;
+      logged_any = true;
+    }
+    a = seg_end;
   }
-  log_.record(bytes, size);
+  if (!logged_any) ++stats_.stores_elided;
   return true;
+}
+
+void StmContext::bind_gate() {
+  if (filter_enabled_) {
+    StoreGate::bind_stm(&filter_, &log_, this);
+  } else {
+    StoreGate::set_recorder(this);
+  }
+}
+
+void StmContext::set_retention(std::size_t bytes) {
+  retain_bytes_ = bytes;
+  log_.set_retention(bytes);
 }
 
 void StmContext::register_metrics(obs::MetricsRegistry& registry) {
   registry.add_collector([this](obs::MetricsRegistry& reg) {
-    reg.gauge("stm.begun").set(static_cast<double>(stats_.begun));
-    reg.gauge("stm.committed").set(static_cast<double>(stats_.committed));
-    reg.gauge("stm.rolled_back")
-        .set(static_cast<double>(stats_.rolled_back));
-    reg.gauge("stm.stores").set(static_cast<double>(stats_.stores));
-    reg.gauge("stm.bytes_logged")
-        .set(static_cast<double>(stats_.bytes_logged));
+    const StmStats s = stats();
+    reg.gauge("stm.begun").set(static_cast<double>(s.begun));
+    reg.gauge("stm.committed").set(static_cast<double>(s.committed));
+    reg.gauge("stm.rolled_back").set(static_cast<double>(s.rolled_back));
+    reg.gauge("stm.stores").set(static_cast<double>(s.stores));
+    reg.gauge("stm.stores_elided")
+        .set(static_cast<double>(s.stores_elided));
+    reg.gauge("stm.filter_hits").set(static_cast<double>(s.filter_hits));
+    reg.gauge("stm.bytes_logged").set(static_cast<double>(s.bytes_logged));
     reg.gauge("stm.peak_log_bytes")
-        .set(static_cast<double>(stats_.peak_log_bytes));
+        .set(static_cast<double>(s.peak_log_bytes));
   });
 }
 

@@ -7,9 +7,13 @@
 // memory contents only.
 //
 // STM always succeeds (no capacity limit), which is why FIRestarter uses it
-// as the fallback that maximizes the recovery surface; it is also the slow
-// path: EVERY store pays for an undo-log append, versus once-per-line for the
-// HTM model.
+// as the fallback that maximizes the recovery surface. It is also the slow
+// path — but only the FIRST store to each location pays for an undo-log
+// append: a per-transaction first-write filter (mem/write_filter.h) elides
+// repeated stores to already-covered bytes, because rollback walks the log
+// newest-first and the oldest entry (the true pre-transaction value) wins
+// regardless. Re-logging covered bytes is therefore pure overhead, and
+// skipping them cannot change what rollback restores.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +21,7 @@
 
 #include "mem/store_gate.h"
 #include "mem/undo_log.h"
+#include "mem/write_filter.h"
 #include "obs/metrics.h"
 
 namespace fir {
@@ -26,10 +31,19 @@ struct StmStats {
   std::uint64_t begun = 0;
   std::uint64_t committed = 0;
   std::uint64_t rolled_back = 0;
+  /// All instrumented stores routed to STM (logged + elided).
   std::uint64_t stores = 0;
+  /// Stores that appended nothing: every touched byte was already covered
+  /// by an earlier log entry of the same transaction.
+  std::uint64_t stores_elided = 0;
+  /// Line-granular filter coverage hits (>= stores_elided: a multi-line
+  /// store can hit on some lines and log others).
+  std::uint64_t filter_hits = 0;
+  /// Bytes actually appended to the undo log (pre-filter designs logged
+  /// every store; the gap to stores*size is the filter's saving).
   std::uint64_t bytes_logged = 0;
-  /// High-water mark of undo-log footprint — feeds the Fig. 9 memory
-  /// accounting.
+  /// High-water mark of undo-log + filter footprint — feeds the Fig. 9
+  /// memory accounting.
   std::size_t peak_log_bytes = 0;
 };
 
@@ -37,7 +51,8 @@ struct StmStats {
 /// begin(); stores via record_store(); commit() or rollback().
 class StmContext final : public StoreRecorder {
  public:
-  /// Starts a transaction. Precondition: none active.
+  /// Starts a transaction. Precondition: none active. Resets the
+  /// first-write filter (O(1) epoch bump).
   void begin();
 
   /// Commits: discards the undo log.
@@ -46,17 +61,50 @@ class StmContext final : public StoreRecorder {
   /// Rolls back: restores every logged location, newest first.
   void rollback();
 
-  /// StoreRecorder: logs the old contents. Never rejects a store.
+  /// StoreRecorder: logs the not-yet-covered old contents. Never rejects a
+  /// store. (The gate's inlined fast path elides fully covered single-line
+  /// stores before this is reached; this slow path handles first writes and
+  /// line-spanning stores.)
   bool record_store(void* addr, std::size_t size) override;
+
+  /// Enables the devirtualized StoreGate fast path for this engine.
+  void bind_gate();
+
+  /// Disables first-write filtering (every store logs, the pre-filter
+  /// behaviour). Flip only between transactions.
+  void set_filter_enabled(bool enabled) { filter_enabled_ = enabled; }
+  bool filter_enabled() const { return filter_enabled_; }
+
+  /// Retention cap for the undo log and filter (FIR_UNDO_RETAIN_BYTES).
+  void set_retention(std::size_t bytes);
+  std::size_t retention() const { return retain_bytes_; }
 
   bool active() const { return active_; }
   std::size_t log_entries() const { return log_.entry_count(); }
   std::size_t log_bytes() const { return log_.logged_bytes(); }
-  /// Bytes currently reserved by the log's buffers (capacity, not size).
-  std::size_t footprint_bytes() const { return log_.footprint_bytes(); }
+  /// Bytes currently reserved by the log's and filter's buffers (capacity,
+  /// not size).
+  std::size_t footprint_bytes() const {
+    return log_.footprint_bytes() + filter_.footprint_bytes();
+  }
 
-  const StmStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = StmStats{}; }
+  /// Merged statistics snapshot. The gate's fast path appends to the undo
+  /// log without touching any tally, so store counts are reconstructed
+  /// here: elisions from the filter's counters, gate appends from the log's
+  /// entry count minus the slow path's own appends (folded into `stats_` at
+  /// commit/rollback for completed transactions).
+  StmStats stats() const {
+    StmStats s = stats_;
+    s.stores += filter_.spans_elided() + (log_.entry_count() - slow_entries_);
+    s.stores_elided += filter_.spans_elided();
+    s.filter_hits = filter_.hits();
+    s.bytes_logged += log_.logged_bytes();
+    return s;
+  }
+  void reset_stats() {
+    stats_ = StmStats{};
+    filter_.reset_counters();
+  }
 
   /// Publishes this engine's statistics into `registry` as "stm.*" gauges
   /// via a snapshot-time collector (the record_store() hot path is
@@ -65,11 +113,18 @@ class StmContext final : public StoreRecorder {
   void register_metrics(obs::MetricsRegistry& registry);
 
  private:
-  /// Store-instruction granularity of the modeled instrumentation.
-  static constexpr std::size_t kWordBytes = 8;
+  /// Folds the ended transaction's log appends into the cumulative store
+  /// and byte tallies (the gate fast path does no per-store bookkeeping).
+  void fold_log_tallies();
 
   UndoLog log_;
+  WriteFilter filter_;
   bool active_ = false;
+  bool filter_enabled_ = true;
+  std::size_t retain_bytes_ = UndoLog::kDefaultRetainBytes;
+  /// Undo-log appends made by record_store() in the current transaction;
+  /// the remainder of the log's entries came from the gate fast path.
+  std::uint64_t slow_entries_ = 0;
   StmStats stats_;
 };
 

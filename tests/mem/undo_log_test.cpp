@@ -61,6 +61,68 @@ TEST(UndoLogTest, FootprintTracksCapacity) {
   EXPECT_GT(log.footprint_bytes(), before);
 }
 
+TEST(UndoLogTest, SpillPointersSurviveArenaGrowth) {
+  // Chunked arena: growing for later spills must not move earlier ones.
+  // (A single resized buffer would invalidate every prior spill pointer.)
+  UndoLog log;
+  std::vector<std::vector<char>> bufs;
+  for (int i = 0; i < 64; ++i) {
+    bufs.emplace_back(8 * 1024, static_cast<char>('A' + i % 26));
+    log.record(bufs.back().data(), bufs.back().size());
+  }
+  for (auto& b : bufs) std::memset(b.data(), '!', b.size());
+  log.rollback();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(bufs[i][0], static_cast<char>('A' + i % 26));
+    EXPECT_EQ(bufs[i].back(), static_cast<char>('A' + i % 26));
+  }
+}
+
+TEST(UndoLogTest, OversizeStoreGetsDedicatedChunk) {
+  UndoLog log;
+  std::vector<char> big(1 << 20, 'x');  // larger than one arena chunk
+  log.record(big.data(), big.size());
+  std::memset(big.data(), 'y', big.size());
+  log.rollback();
+  EXPECT_EQ(big[0], 'x');
+  EXPECT_EQ(big.back(), 'x');
+  // The dedicated chunk exceeds the retention cap and is released.
+  log.set_retention(64 * 1024);
+  log.clear();
+  EXPECT_LE(log.footprint_bytes(), 64u * 1024);
+}
+
+TEST(UndoLogTest, ClearRetainsBoundedCapacity) {
+  UndoLog log;
+  log.set_retention(128 * 1024);
+  std::vector<char> buf(2 << 20);
+  for (std::size_t at = 0; at + 256 <= buf.size(); at += 256)
+    log.record(buf.data() + at, 256);
+  EXPECT_GT(log.footprint_bytes(), 2u << 20);
+  log.clear();
+  // Cap bounds the retained arena; the shrunken entry reserve rides on top.
+  EXPECT_LE(log.footprint_bytes(), 128u * 1024 + 16u * 1024);
+  // Retained capacity is still usable for the next transaction.
+  int x = 3;
+  log.record(&x, sizeof(x));
+  x = 4;
+  log.rollback();
+  EXPECT_EQ(x, 3);
+}
+
+TEST(UndoLogTest, ArenaReusedAcrossTransactionsWithoutRealloc) {
+  UndoLog log;
+  std::vector<char> buf(4 * 1024);
+  log.record(buf.data(), buf.size());
+  log.clear();
+  const std::size_t settled = log.footprint_bytes();
+  for (int tx = 0; tx < 10; ++tx) {
+    log.record(buf.data(), buf.size());
+    log.clear();
+    EXPECT_EQ(log.footprint_bytes(), settled);
+  }
+}
+
 // Property: for any random sequence of overlapping stores, recording each
 // store before applying it and rolling back restores the exact original.
 class UndoLogPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,0 +1,136 @@
+// First-write filter unit tests: coverage masks, epoch reset, growth,
+// retention shrink, and the line-membership mode the HTM model uses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/write_filter.h"
+
+namespace fir {
+namespace {
+
+constexpr std::uintptr_t kLine = 0x1000;  // any line-aligned address
+
+TEST(WriteFilterTest, FirstCoverIsAMissSecondIsAHit) {
+  WriteFilter filter;
+  const std::uint64_t mask = WriteFilter::span_mask(kLine + 8, 8);
+  EXPECT_FALSE(filter.cover(kLine, mask));
+  EXPECT_TRUE(filter.cover(kLine, mask));
+  EXPECT_EQ(filter.lines(), 1u);
+  EXPECT_EQ(filter.hits(), 1u);
+}
+
+TEST(WriteFilterTest, SubsetMasksHitSupersetsMiss) {
+  WriteFilter filter;
+  filter.cover(kLine, WriteFilter::span_mask(kLine + 8, 16));  // bytes 8..24
+  EXPECT_TRUE(filter.cover(kLine, WriteFilter::span_mask(kLine + 12, 4)));
+  EXPECT_FALSE(filter.cover(kLine, WriteFilter::span_mask(kLine + 20, 8)));
+  // The miss widened coverage to 8..28; re-probe of the union now hits.
+  EXPECT_TRUE(filter.cover(kLine, WriteFilter::span_mask(kLine + 8, 20)));
+}
+
+TEST(WriteFilterTest, SpanMaskEdges) {
+  EXPECT_EQ(WriteFilter::span_mask(kLine, 1), 0x1ull);
+  EXPECT_EQ(WriteFilter::span_mask(kLine + 63, 1), 0x8000000000000000ull);
+  EXPECT_EQ(WriteFilter::span_mask(kLine, kCacheLineBytes),
+            WriteFilter::kFullLineMask);
+}
+
+TEST(WriteFilterTest, CoversRequiresSingleLineSpan) {
+  WriteFilter filter;
+  filter.cover(kLine, WriteFilter::kFullLineMask);
+  filter.cover(kLine + kCacheLineBytes, WriteFilter::kFullLineMask);
+  auto* p = reinterpret_cast<void*>(kLine + kCacheLineBytes - 4);
+  // Both lines fully covered, but the span straddles them: the fast probe
+  // must decline (the slow path segments it).
+  EXPECT_FALSE(filter.covers(p, 8));
+  EXPECT_TRUE(filter.covers(reinterpret_cast<void*>(kLine + 4), 8));
+  EXPECT_FALSE(filter.covers(p, 0));
+}
+
+TEST(WriteFilterTest, ResetForgetsCoverageInConstantTime) {
+  WriteFilter filter;
+  for (std::uintptr_t i = 0; i < 32; ++i)
+    filter.cover(kLine + i * kCacheLineBytes, WriteFilter::kFullLineMask);
+  EXPECT_EQ(filter.lines(), 32u);
+  filter.reset();  // O(1): epoch bump, no clearing loop
+  EXPECT_EQ(filter.lines(), 0u);
+  EXPECT_FALSE(filter.contains(kLine));
+  EXPECT_FALSE(filter.cover(kLine, WriteFilter::kFullLineMask));
+}
+
+TEST(WriteFilterTest, GrowthPreservesCoverage) {
+  WriteFilter filter(4);  // tiny initial table: forces repeated rehashes
+  std::vector<std::uintptr_t> lines;
+  for (std::uintptr_t i = 0; i < 5000; ++i)
+    lines.push_back(kLine + i * kCacheLineBytes);
+  for (std::uintptr_t line : lines) {
+    EXPECT_FALSE(filter.cover(line, WriteFilter::span_mask(line, 8)));
+  }
+  EXPECT_EQ(filter.lines(), lines.size());
+  for (std::uintptr_t line : lines) {
+    EXPECT_TRUE(filter.cover(line, WriteFilter::span_mask(line, 8)));
+    EXPECT_FALSE(filter.contains(line + kCacheLineBytes * 100000));
+  }
+}
+
+TEST(WriteFilterTest, ShrinkEnforcesRetentionCap) {
+  WriteFilter filter;
+  for (std::uintptr_t i = 0; i < 100000; ++i)
+    filter.cover(kLine + i * kCacheLineBytes, WriteFilter::kFullLineMask);
+  const std::size_t grown = filter.footprint_bytes();
+  EXPECT_GT(grown, 1u << 20);
+  filter.reset();
+  filter.shrink(1u << 20);
+  EXPECT_LT(filter.footprint_bytes(), grown);
+  EXPECT_LE(filter.footprint_bytes(), 1u << 20);
+  // Shrink invalidates all coverage; the filter keeps working.
+  EXPECT_FALSE(filter.cover(kLine, WriteFilter::kFullLineMask));
+  EXPECT_TRUE(filter.cover(kLine, WriteFilter::kFullLineMask));
+  // Under the cap: shrink is a no-op.
+  const std::size_t small = filter.footprint_bytes();
+  filter.shrink(1u << 20);
+  EXPECT_EQ(filter.footprint_bytes(), small);
+}
+
+TEST(WriteFilterTest, CoversCountsElisions) {
+  WriteFilter filter;
+  auto* p = reinterpret_cast<void*>(kLine + 16);
+  EXPECT_FALSE(filter.covers(p, 8));  // miss: nothing covered yet
+  filter.cover(kLine, WriteFilter::span_mask(kLine + 16, 8));
+  EXPECT_TRUE(filter.covers(p, 8));
+  EXPECT_TRUE(filter.covers(p, 4));   // subset
+  EXPECT_FALSE(filter.covers(p, 16));  // extends past coverage
+  EXPECT_EQ(filter.spans_elided(), 2u);
+  EXPECT_GE(filter.hits(), 2u);
+  filter.reset_counters();
+  EXPECT_EQ(filter.spans_elided(), 0u);
+  EXPECT_EQ(filter.hits(), 0u);
+}
+
+// Property: the filter's elision decisions never change what a mirrored
+// byte-map says should be covered.
+TEST(WriteFilterTest, RandomCoverageMatchesReferenceModel) {
+  Rng rng(1234);
+  WriteFilter filter(8);
+  const std::size_t kLines = 64;
+  std::vector<std::vector<bool>> reference(
+      kLines, std::vector<bool>(kCacheLineBytes, false));
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t li = rng.index(kLines);
+    const std::size_t size = 1 + rng.index(kCacheLineBytes);
+    const std::size_t off = rng.index(kCacheLineBytes - size + 1);
+    const std::uintptr_t line = kLine + li * kCacheLineBytes;
+    bool all_covered = true;
+    for (std::size_t b = off; b < off + size; ++b)
+      all_covered = all_covered && reference[li][b];
+    EXPECT_EQ(filter.cover(line, WriteFilter::span_mask(line + off, size)),
+              all_covered);
+    for (std::size_t b = off; b < off + size; ++b) reference[li][b] = true;
+  }
+}
+
+}  // namespace
+}  // namespace fir

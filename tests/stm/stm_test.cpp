@@ -47,12 +47,14 @@ TEST(StmTest, LogStatsAccumulate) {
   int x = 0;
   stm.begin();
   stm.record_store(&x, sizeof(x));
-  stm.record_store(&x, sizeof(x));
-  EXPECT_EQ(stm.log_entries(), 2u);
-  EXPECT_EQ(stm.log_bytes(), 2 * sizeof(x));
+  stm.record_store(&x, sizeof(x));  // covered: elided, not re-logged
+  EXPECT_EQ(stm.log_entries(), 1u);
+  EXPECT_EQ(stm.log_bytes(), sizeof(x));
   stm.commit();
   EXPECT_EQ(stm.stats().stores, 2u);
-  EXPECT_EQ(stm.stats().bytes_logged, 2 * sizeof(x));
+  EXPECT_EQ(stm.stats().stores_elided, 1u);
+  EXPECT_EQ(stm.stats().filter_hits, 1u);
+  EXPECT_EQ(stm.stats().bytes_logged, sizeof(x));
 }
 
 TEST(StmTest, PeakFootprintIsSticky) {
@@ -68,6 +70,135 @@ TEST(StmTest, PeakFootprintIsSticky) {
   stm.record_store(&x, sizeof(x));
   stm.commit();
   EXPECT_EQ(stm.stats().peak_log_bytes, peak);
+}
+
+// --- first-write filter correctness -----------------------------------------
+
+TEST(StmFilterTest, RepeatedStoresToSameWordRestoreFirstValue) {
+  StmContext stm;
+  std::uint64_t word = 111;
+  stm.begin();
+  for (int i = 0; i < 1000; ++i) {
+    stm.record_store(&word, sizeof(word));
+    word = static_cast<std::uint64_t>(i);
+  }
+  EXPECT_EQ(stm.log_entries(), 1u);  // only the first store logged
+  EXPECT_EQ(stm.stats().stores_elided, 999u);
+  stm.rollback();
+  EXPECT_EQ(word, 111u);
+}
+
+TEST(StmFilterTest, OverlappingStoresOfDifferentSizesAcrossLines) {
+  StmContext stm;
+  // 4 cache lines, deliberately misaligned offsets so stores straddle
+  // line boundaries in every combination.
+  alignas(kCacheLineBytes) std::uint8_t buf[4 * kCacheLineBytes];
+  for (std::size_t i = 0; i < sizeof(buf); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  std::uint8_t original[sizeof(buf)];
+  std::memcpy(original, buf, sizeof(buf));
+
+  stm.begin();
+  struct Span {
+    std::size_t at, size;
+  };
+  const Span spans[] = {
+      {10, 8},                        // inside line 0
+      {10, 8},                        // exact repeat: elided
+      {12, 4},                        // sub-range of covered bytes: elided
+      {8, 16},                        // widens coverage left and right
+      {kCacheLineBytes - 4, 8},       // straddles line 0/1
+      {kCacheLineBytes - 4, 8},       // repeat of the straddle: elided
+      {0, 3 * kCacheLineBytes},       // bulk store spanning lines 0..2
+      {2 * kCacheLineBytes + 5, 40},  // inside bulk coverage: elided
+      {3 * kCacheLineBytes + 1, 62},  // line 3, first touch
+  };
+  for (const Span& s : spans) {
+    stm.record_store(buf + s.at, s.size);
+    std::memset(buf + s.at, 0xEE, s.size);
+  }
+  stm.rollback();
+  EXPECT_EQ(std::memcmp(buf, original, sizeof(buf)), 0);
+}
+
+TEST(StmFilterTest, StoreRollbackRestoreAcrossRetryCycles) {
+  // Models the gate's retry loop: every re-execution re-dirties the same
+  // state and must re-log it (the filter resets per transaction).
+  StmContext stm;
+  std::uint64_t state[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (int retry = 0; retry < 5; ++retry) {
+    stm.begin();
+    for (int rep = 0; rep < 3; ++rep) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        stm.record_store(&state[i], sizeof(state[i]));
+        state[i] = 0xDEAD0000 + static_cast<std::uint64_t>(retry * 100 + rep);
+      }
+    }
+    stm.rollback();
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(state[i], i + 1);
+  }
+  // Committed changes then survive.
+  stm.begin();
+  stm.record_store(&state[0], sizeof(state[0]));
+  state[0] = 42;
+  stm.commit();
+  EXPECT_EQ(state[0], 42u);
+}
+
+TEST(StmFilterTest, DisabledFilterLogsEveryStore) {
+  StmContext stm;
+  stm.set_filter_enabled(false);
+  std::uint64_t word = 5;
+  stm.begin();
+  stm.record_store(&word, sizeof(word));
+  word = 6;
+  stm.record_store(&word, sizeof(word));
+  word = 7;
+  EXPECT_EQ(stm.log_entries(), 2u);
+  EXPECT_EQ(stm.stats().stores_elided, 0u);
+  stm.rollback();
+  EXPECT_EQ(word, 5u);  // oldest entry still wins on the reverse walk
+}
+
+TEST(StmFilterTest, GateFastPathElidesCoveredStores) {
+  StmContext stm;
+  stm.begin();
+  stm.bind_gate();
+  std::uint64_t word = 77;
+  for (int i = 0; i < 100; ++i) {
+    StoreGate::record(&word, sizeof(word));
+    word = static_cast<std::uint64_t>(i);
+  }
+  StoreGate::set_recorder(nullptr);
+  EXPECT_EQ(stm.log_entries(), 1u);
+  const StmStats s = stm.stats();
+  EXPECT_EQ(s.stores, 100u);
+  EXPECT_EQ(s.stores_elided, 99u);
+  stm.rollback();
+  EXPECT_EQ(word, 77u);
+}
+
+TEST(StmFilterTest, RetentionCapShrinksFootprintAfterOutlier) {
+  StmContext stm;
+  stm.set_retention(64 * 1024);
+  std::vector<std::uint8_t> huge(4 << 20);
+  stm.begin();
+  // Scatter across many lines so both the log arena and the filter grow.
+  for (std::size_t at = 0; at + 64 <= huge.size(); at += 64)
+    stm.record_store(huge.data() + at, 64);
+  const std::size_t peak = stm.footprint_bytes();
+  EXPECT_GT(peak, 4u << 20);
+  stm.commit();
+  EXPECT_LE(stm.footprint_bytes(), 128u * 1024);
+  EXPECT_EQ(stm.stats().peak_log_bytes, peak);  // Fig. 9 still sees the peak
+
+  // The shrunken engine is fully functional.
+  std::uint64_t word = 9;
+  stm.begin();
+  stm.record_store(&word, sizeof(word));
+  word = 10;
+  stm.rollback();
+  EXPECT_EQ(word, 9u);
 }
 
 TEST(StmTest, ReuseAfterRollback) {
