@@ -10,10 +10,19 @@
 //    connection leaves a dangling handle whose next use crashes. Recovery
 //    diverts at the open64() transaction and the server answers
 //    "403 - Forbidden".
+//
+// With FIR_SIGNALS=1 a third section repeats the nginx scenario with a
+// REAL fault: the armed bug performs an actual null-pointer store, the MMU
+// raises SIGSEGV, and the sigaltstack handler feeds the kernel-delivered
+// fault into the same rollback → compensate → inject sequence.
 #include <cstdio>
 
 #include "apps/littlehttpd.h"
 #include "apps/miniginx.h"
+#include "core/crash.h"
+#include "hsfi/hsfi.h"
+#include "obs/cli.h"
+#include "workload/drivers.h"
 #include "workload/http_client.h"
 
 using namespace fir;
@@ -33,7 +42,8 @@ HttpClient::Response do_http(ServerT& server, HttpClient& client,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::apply_cli_flags(&argc, argv);  // --signals, --trace-out=..., etc.
   bool ok = true;
 
   std::puts("=== nginx ticket #1263: SSI NULL dereference ===");
@@ -71,6 +81,40 @@ int main() {
     std::printf("GET /readme.txt (fresh conn) -> %d — server survived\n",
                 after.status);
     ok &= dav.status == 207 && mixed.status == 403 && after.status == 200;
+  }
+
+  std::puts("\n=== real SIGSEGV through the signal channel ===");
+  if (!signal_channel_env_enabled()) {
+    std::puts("skipped — set FIR_SIGNALS=1 to take an actual MMU fault "
+              "instead of a synchronous raise_crash()");
+  } else {
+    Miniginx server;  // FIR_SIGNALS=1 installs the sigaltstack handlers
+    if (!server.start(0).is_ok()) return 1;
+
+    // Profile one workload pass to find the executed SSI-expansion marker,
+    // then arm a REAL persistent fault there: a null store, not a report.
+    server.fx().hsfi().set_profiling(true);
+    run_http_suite(server, 1);
+    MarkerId target = kInvalidMarker;
+    for (const Marker& m : server.fx().hsfi().markers())
+      if (m.name == "ssi_expand" && m.executions > 0) target = m.id;
+    if (target == kInvalidMarker) return 1;
+    server.fx().hsfi().set_profiling(false);
+    server.fx().hsfi().arm(
+        FaultPlan{target, FaultType::kRealCrash, CrashKind::kSegv, 1});
+
+    HttpClient client(server.fx().env(), server.port());
+    const auto crash_page = do_http(server, client, "GET", "/page.shtml");
+    const auto healthy = do_http(server, client, "GET", "/index.html");
+    const std::uint64_t caught =
+        server.fx().mgr().metrics().counter("recovery.signals_caught").value();
+    std::printf("GET /page.shtml  -> %d — %llu real SIGSEGVs caught, "
+                "rolled back, diverted\n",
+                crash_page.status, static_cast<unsigned long long>(caught));
+    std::printf("GET /index.html  -> %d — worker survived an actual "
+                "hardware fault\n",
+                healthy.status);
+    ok &= crash_page.status == 500 && healthy.status == 200 && caught > 0;
   }
 
   std::printf("\n%s\n", ok ? "both production crashes survived" :

@@ -1,8 +1,102 @@
 #include "core/crash.h"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
 namespace fir {
 namespace {
 CrashHandler* g_handler = nullptr;
+
+// --- signal channel state ---------------------------------------------------
+// The whole runtime is single-threaded (one protected event loop per
+// process); these globals are written either before handlers are installed
+// or from the handler itself, which cannot race with the interrupted code.
+
+/// Signals the channel proxies, in CrashKind order plus SIGALRM (watchdog).
+constexpr int kChannelSignals[] = {SIGSEGV, SIGABRT, SIGILL,
+                                   SIGBUS,  SIGFPE,  SIGALRM};
+constexpr int kChannelSignalCount =
+    static_cast<int>(sizeof(kChannelSignals) / sizeof(kChannelSignals[0]));
+
+int g_install_count = 0;
+struct sigaction g_previous[kChannelSignalCount];
+stack_t g_previous_altstack;
+/// Dedicated signal stack: static storage so installation never allocates
+/// and the handler always has a valid stack even if the fault corrupted the
+/// application stack pointer. 64 KiB clears MINSIGSTKSZ on every platform.
+alignas(16) std::uint8_t g_altstack[64 * 1024];
+
+SignalCrashInfo g_last_signal;
+bool g_in_dispatch = false;
+
+CrashKind kind_from_signo(int signo) {
+  switch (signo) {
+    case SIGSEGV: return CrashKind::kSegv;
+    case SIGABRT: return CrashKind::kAbort;
+    case SIGILL: return CrashKind::kIllegal;
+    case SIGBUS: return CrashKind::kBus;
+    case SIGFPE: return CrashKind::kFpe;
+    case SIGALRM: return CrashKind::kHang;
+    default: return CrashKind::kSegv;
+  }
+}
+
+/// Restores the default disposition for `signo` and lets it kill the
+/// process the way it would have without the channel: synchronous faults
+/// (SEGV/BUS/ILL/FPE) re-execute the faulting instruction on handler
+/// return, asynchronous ones (ABRT/ALRM) are re-raised explicitly.
+void pass_through(int signo) {
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  sigaction(signo, &dfl, nullptr);
+  if (signo == SIGABRT || signo == SIGALRM) raise(signo);
+}
+
+/// The channel's signal handler. Runs on the sigaltstack. Everything up to
+/// the handle_crash handoff is async-signal-safe: static-storage writes,
+/// sigaction/sigprocmask, plain-field virtual queries.
+void channel_handler(int signo, siginfo_t* info, void* /*ucontext*/) {
+  g_last_signal.signo = signo;
+  g_last_signal.kind = kind_from_signo(signo);
+  g_last_signal.fault_addr = info != nullptr ? info->si_addr : nullptr;
+  ++g_last_signal.count;
+  // Latched before any query: whatever happens next (double fault included)
+  // arrived through this channel.
+  g_in_dispatch = true;
+
+  CrashHandler* handler = g_handler;
+  if (handler != nullptr && handler->in_recovery()) {
+    // A fault while the recovery step itself was running (compensation
+    // action crashed, watchdog fired mid-rollback): recursing would corrupt
+    // the half-restored state, so escalate and terminate.
+    handler->handle_double_fault(g_last_signal.kind);
+  }
+  if (handler == nullptr || !handler->crash_recoverable()) {
+    // No transaction covers the fault (or it hit an already-diverted error
+    // handler): the honest outcome is the vanilla one — die with the
+    // original signal so the parent sees the real termination status.
+    g_in_dispatch = false;
+    pass_through(signo);
+    return;
+  }
+
+  // Recoverable: unblock the signal (the kernel blocked it for the handler
+  // duration; recovery longjmps out instead of returning through
+  // sigreturn, and a later fault of the same kind must stay deliverable),
+  // then hand off. handle_crash switches to the detached recovery stack
+  // and ends in longjmp into the entry gate — it never returns here.
+  sigset_t unblock;
+  sigemptyset(&unblock);
+  sigaddset(&unblock, signo);
+  sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+  handler->handle_crash(g_last_signal.kind);
+}
+
 }  // namespace
 
 const char* crash_kind_name(CrashKind kind) {
@@ -12,8 +106,43 @@ const char* crash_kind_name(CrashKind kind) {
     case CrashKind::kIllegal: return "SIGILL";
     case CrashKind::kBus: return "SIGBUS";
     case CrashKind::kFpe: return "SIGFPE";
+    case CrashKind::kHang: return "HANG";
   }
   return "?";
+}
+
+int crash_kind_signo(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kSegv: return SIGSEGV;
+    case CrashKind::kAbort: return SIGABRT;
+    case CrashKind::kIllegal: return SIGILL;
+    case CrashKind::kBus: return SIGBUS;
+    case CrashKind::kFpe: return SIGFPE;
+    case CrashKind::kHang: return SIGALRM;
+  }
+  return SIGSEGV;
+}
+
+void die_double_fault(CrashKind kind, const char* channel) {
+  // write(2) only: the fault may have interrupted code holding stdio or
+  // allocator locks, so compose the line into a stack buffer.
+  char line[128];
+  std::size_t n = 0;
+  auto append = [&line, &n](const char* s) {
+    while (*s != '\0' && n < sizeof(line) - 1) line[n++] = *s++;
+  };
+  append("fir: double fault (");
+  append(crash_kind_name(kind));
+  append(") during recovery via ");
+  append(channel);
+  append(" channel; terminating\n");
+  ssize_t ignored = ::write(STDERR_FILENO, line, n);
+  (void)ignored;
+  ::_exit(kDoubleFaultExitCode);
+}
+
+void CrashHandler::handle_double_fault(CrashKind kind) {
+  die_double_fault(kind, in_signal_dispatch() ? "signal" : "sync");
 }
 
 CrashHandler* set_crash_handler(CrashHandler* handler) {
@@ -25,10 +154,71 @@ CrashHandler* set_crash_handler(CrashHandler* handler) {
 CrashHandler* crash_handler() { return g_handler; }
 
 void raise_crash(CrashKind kind) {
-  if (g_handler != nullptr) g_handler->handle_crash(kind);
+  CrashHandler* handler = g_handler;
+  if (handler != nullptr && handler->in_recovery()) {
+    // Same double-fault contract as the signal channel: a compensation
+    // action (or any recovery code) that crashes must not re-enter
+    // recovery.
+    handler->handle_double_fault(kind);
+  }
+  if (handler != nullptr) handler->handle_crash(kind);
   throw FatalCrashError(
       kind, std::string("fatal ") + crash_kind_name(kind) +
                 " with no recovery runtime installed");
 }
+
+bool install_signal_channel() {
+  if (g_install_count > 0) {
+    ++g_install_count;
+    return true;
+  }
+  stack_t altstack;
+  std::memset(&altstack, 0, sizeof(altstack));
+  altstack.ss_sp = g_altstack;
+  altstack.ss_size = sizeof(g_altstack);
+  altstack.ss_flags = 0;
+  if (sigaltstack(&altstack, &g_previous_altstack) != 0) return false;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &channel_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_ONSTACK: the handler must run even when the fault trashed the stack
+  // pointer. SA_SIGINFO: the fault address comes from siginfo. No
+  // SA_NODEFER/SA_RESETHAND: the handler unblocks explicitly on the
+  // recovery path and resets explicitly on pass-through.
+  action.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  for (int i = 0; i < kChannelSignalCount; ++i) {
+    if (sigaction(kChannelSignals[i], &action, &g_previous[i]) != 0) {
+      for (int j = 0; j < i; ++j)
+        sigaction(kChannelSignals[j], &g_previous[j], nullptr);
+      sigaltstack(&g_previous_altstack, nullptr);
+      return false;
+    }
+  }
+  g_install_count = 1;
+  return true;
+}
+
+void uninstall_signal_channel() {
+  if (g_install_count == 0) return;
+  if (--g_install_count > 0) return;
+  for (int i = 0; i < kChannelSignalCount; ++i)
+    sigaction(kChannelSignals[i], &g_previous[i], nullptr);
+  sigaltstack(&g_previous_altstack, nullptr);
+}
+
+bool signal_channel_installed() { return g_install_count > 0; }
+
+bool signal_channel_env_enabled() {
+  const char* v = std::getenv("FIR_SIGNALS");
+  return v != nullptr && !(v[0] == '0' && v[1] == '\0');
+}
+
+const SignalCrashInfo& last_signal_crash() { return g_last_signal; }
+
+bool in_signal_dispatch() { return g_in_dispatch; }
+
+void clear_signal_dispatch() { g_in_dispatch = false; }
 
 }  // namespace fir

@@ -1,11 +1,25 @@
 // Crash channel: how fatal faults reach the recovery runtime.
 //
-// The paper deploys signal handlers that proxy fatal signals (SIGSEGV, ...)
-// into crash recovery. In this reproduction faults are raised synchronously:
-// injected faults (src/hsfi) and application invariant checks call
-// raise_crash(), which transfers control to the active TxManager — the same
-// rollback → compensate → inject → resume sequence a signal handler would
-// start, minus the asynchronous hop (DESIGN.md §2).
+// Two channels coexist (DESIGN.md §2):
+//
+//   * SYNCHRONOUS (default): injected faults (src/hsfi) and application
+//     invariant checks call raise_crash(), which transfers control to the
+//     active TxManager — the same rollback → compensate → inject → resume
+//     sequence a signal handler would start, minus the asynchronous hop.
+//     Deterministic, so tests and campaigns reproduce exactly.
+//
+//   * SIGNAL (FIR_SIGNALS=1 / TxManagerConfig::real_signals): sigaction
+//     handlers for SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT (and SIGALRM for
+//     the hang watchdog) run on a dedicated sigaltstack and proxy real
+//     hardware faults into the same handler — the paper's actual
+//     deployment. The handler is async-signal-safe: it records the crash
+//     kind + fault address in preallocated storage, checks recoverability
+//     through plain-field virtual queries, unblocks the signal and hands
+//     off to CrashHandler::handle_crash, which longjmps into the entry
+//     gate. Unrecoverable signals re-raise with the default disposition so
+//     the process dies exactly as an unprotected one would; a fault raised
+//     while recovery itself is running (double fault) writes a diagnostic
+//     with write(2) and terminates via _exit(kDoubleFaultExitCode).
 #pragma once
 
 #include <cstddef>
@@ -16,23 +30,33 @@
 namespace fir {
 
 /// What kind of fatal event occurred (maps onto the fatal signals the
-/// paper's handler proxies).
+/// paper's handler proxies). kHang is the watchdog extension beyond the
+/// fail-stop model: a transaction exceeding its deadline is converted into
+/// a recovery episode via SIGALRM.
 enum class CrashKind : std::uint8_t {
   kSegv = 0,    // invalid memory access (SIGSEGV)
   kAbort,       // failed assertion / abort() (SIGABRT)
   kIllegal,     // corrupted control flow (SIGILL)
   kBus,         // misaligned/unbacked access (SIGBUS)
   kFpe,         // divide by zero etc. (SIGFPE)
+  kHang,        // transaction deadline exceeded (SIGALRM watchdog)
 };
 
 const char* crash_kind_name(CrashKind kind);
+
+/// Process exit status used when a crash occurs while recovery is already
+/// running (a compensation action faulted, the watchdog fired mid-rollback,
+/// …). Recovery must not recurse; the handler prints a diagnostic via
+/// write(2) and calls _exit with this code.
+inline constexpr int kDoubleFaultExitCode = 70;  // EX_SOFTWARE
 
 /// Thrown (on the normal application stack, after state rollback) when a
 /// crash cannot be recovered: no active transaction, a crash inside an
 /// already-diverted error handler, or a transaction whose opening call is
 /// irrecoverable. The process hosting a real FIRestarter would terminate
 /// here; the simulation unwinds to the harness instead so campaigns can
-/// continue.
+/// continue. (The signal channel never throws: it re-raises the signal
+/// with the default disposition instead, see file comment.)
 class FatalCrashError : public std::runtime_error {
  public:
   FatalCrashError(CrashKind kind, std::string what)
@@ -43,13 +67,25 @@ class FatalCrashError : public std::runtime_error {
   CrashKind kind_;
 };
 
-/// Handler interface the TxManager registers with the crash channel.
+/// Handler interface the TxManager registers with the crash channel. The
+/// const queries are called from the signal handler and must stay
+/// async-signal-safe: plain field reads, no allocation, no locks.
 class CrashHandler {
  public:
   virtual ~CrashHandler() = default;
   /// Either longjmps back into the active transaction's entry gate (and
   /// therefore does not return), or throws FatalCrashError.
   [[noreturn]] virtual void handle_crash(CrashKind kind) = 0;
+  /// True when a crash right now would be absorbed (open, protected,
+  /// not-yet-diverted transaction). The signal channel consults this before
+  /// the handoff; when false it re-raises with the default disposition.
+  virtual bool crash_recoverable() const { return false; }
+  /// True while the recovery step itself is executing. A crash in that
+  /// window is a double fault and must escalate, never recurse.
+  virtual bool in_recovery() const { return false; }
+  /// Double-fault escalation hook. The default writes a diagnostic and
+  /// _exits; overrides may add observability but must still terminate.
+  [[noreturn]] virtual void handle_double_fault(CrashKind kind);
 };
 
 /// Installs the process-wide crash handler (nullptr to uninstall).
@@ -57,10 +93,52 @@ class CrashHandler {
 CrashHandler* set_crash_handler(CrashHandler* handler);
 CrashHandler* crash_handler();
 
-/// Raises a fatal fault. Control flow does not continue past this call:
-/// either the handler longjmps into a recovery gate, or FatalCrashError is
-/// thrown.
+/// Raises a fatal fault synchronously. Control flow does not continue past
+/// this call: either the handler longjmps into a recovery gate, or
+/// FatalCrashError is thrown (or, during recovery, the process exits —
+/// double faults escalate on this channel too).
 [[noreturn]] void raise_crash(CrashKind kind);
+
+// --- real signal channel ----------------------------------------------------
+
+/// What the last caught signal recorded. `count == 0` means the channel has
+/// not caught anything yet this process.
+struct SignalCrashInfo {
+  int signo = 0;
+  CrashKind kind = CrashKind::kSegv;
+  const void* fault_addr = nullptr;  // siginfo si_addr (SIGSEGV/SIGBUS)
+  std::uint64_t count = 0;           // signals caught since process start
+};
+
+/// Installs the sigaltstack + sigaction handlers (SIGSEGV, SIGBUS, SIGILL,
+/// SIGFPE, SIGABRT, SIGALRM). Reference-counted: the first call installs,
+/// later calls just bump the count; returns false if sigaction/sigaltstack
+/// failed. Each successful install must be paired with one uninstall.
+bool install_signal_channel();
+void uninstall_signal_channel();
+bool signal_channel_installed();
+
+/// True when the FIR_SIGNALS environment variable requests the real
+/// channel ("1"/anything but "0").
+bool signal_channel_env_enabled();
+
+/// Most recent signal the channel caught (kind, fault address, signo).
+const SignalCrashInfo& last_signal_crash();
+
+/// True between signal entry and the recovery resume: tells the handler
+/// that this crash arrived asynchronously (skip stdio, record the fault
+/// address). Cleared by the TxManager when the gate resumes.
+bool in_signal_dispatch();
+void clear_signal_dispatch();
+
+/// Async-signal-safe double-fault termination: writes one diagnostic line
+/// to stderr with write(2) — no allocation, no stdio — then
+/// _exit(kDoubleFaultExitCode). `channel` names the entry path ("signal",
+/// "sync") for the diagnostic.
+[[noreturn]] void die_double_fault(CrashKind kind, const char* channel);
+
+/// The signal number a CrashKind maps to (SIGSEGV for kSegv, ...).
+int crash_kind_signo(CrashKind kind);
 
 /// Defensive dereference guard: modeling what the MMU does to a NULL (or
 /// corrupted-to-NULL) pointer access. Applications call this where the real

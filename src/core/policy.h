@@ -50,6 +50,13 @@ struct PolicyConfig {
   /// paper's manual experiment marks the sites following malloc(),
   /// posix_memalign() and fcntl64().
   std::vector<std::string> manual_stm_functions;
+  /// Crash-storm backstop: once a site has been diverted this many times,
+  /// further persistent crashes there skip the transient-retry attempt and
+  /// divert immediately (each skipped retry re-executes the whole faulty
+  /// region for nothing). 0 disables the backstop — the seed behaviour and
+  /// the default, so deterministic experiments keep their retry counts.
+  /// FIR_STORM_THRESHOLD overrides at TxManager construction.
+  std::uint32_t storm_divert_threshold = 0;
 };
 
 /// Stateless decision logic over per-site GateState.
@@ -71,6 +78,17 @@ class AdaptivePolicy {
   /// Records an HTM abort at `site`. Returns the mode to re-execute under:
   /// kStm for recovering policies, kNone for kHtmOnly (unprotected fallback).
   TxMode on_htm_abort(Site& site);
+
+  /// Crash-storm backstop: true when `site` has already been diverted
+  /// `storm_divert_threshold` times, so the recovery step should skip the
+  /// transient-retry attempt and divert immediately.
+  bool storm_skip_retry(const Site& site) const {
+    return config_.storm_divert_threshold > 0 &&
+           site.gate.diversions >= config_.storm_divert_threshold;
+  }
+
+  /// Records a diversion at `site` (feeds the storm backstop's memory).
+  void on_diversion(Site& site) { ++site.gate.diversions; }
 
  private:
   bool manual_stm(const Site& site) const;

@@ -26,7 +26,8 @@ enum class TxMode : std::uint8_t {
 };
 
 /// Per-site adaptive-policy state: the runtime value of the paper's
-/// tx_gate[] entry plus the abort-accounting window (§IV-C).
+/// tx_gate[] entry plus the abort-accounting window (§IV-C) and the
+/// persistent-crash memory behind the crash-storm backstop.
 struct GateState {
   /// Permanently demoted to STM by the dynamic adaptation policy.
   bool sticky_stm = false;
@@ -35,6 +36,12 @@ struct GateState {
   std::uint64_t htm_aborts = 0;
   /// Executions since the last threshold check (window of `sample_size`).
   std::uint32_t window_executions = 0;
+  /// Times this site's persistent crashes were diverted. Once it reaches
+  /// the policy's storm threshold, the transient-retry attempt is skipped
+  /// and the site diverts immediately (crash-storm backstop): a site that
+  /// keeps proving its faults persistent should not pay a wasted
+  /// re-execution per request.
+  std::uint32_t diversions = 0;
 };
 
 /// Per-site outcome counters.

@@ -1,8 +1,11 @@
 #include "core/tx_manager.h"
 
+#include <sys/time.h>
+
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "common/log.h"
 
@@ -11,17 +14,34 @@ namespace fir {
 namespace {
 std::uint64_t g_next_generation = 1;
 
-/// FIR_UNDO_RETAIN_BYTES / FIR_STM_FILTER overrides, mirroring the
-/// obs::ObsConfig::from_env operator-first convention.
-void apply_store_path_env(TxManagerConfig& config) {
-  if (const char* v = std::getenv(kEnvUndoRetainBytes)) {
-    char* end = nullptr;
-    const unsigned long long bytes = std::strtoull(v, &end, 10);
-    if (end != v) config.undo_retain_bytes = static_cast<std::size_t>(bytes);
+bool env_u64(const char* name, unsigned long long* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return false;
+  *out = parsed;
+  return true;
+}
+
+/// FIR_* environment overrides, mirroring the obs::ObsConfig::from_env
+/// operator-first convention. Runs before any sub-object is constructed so
+/// the policy and engines see the resolved configuration.
+TxManagerConfig apply_runtime_env(TxManagerConfig config) {
+  unsigned long long v = 0;
+  if (env_u64(kEnvUndoRetainBytes, &v))
+    config.undo_retain_bytes = static_cast<std::size_t>(v);
+  if (const char* s = std::getenv(kEnvStmFilter)) {
+    config.stm_write_filter = !(s[0] == '0' && s[1] == '\0');
   }
-  if (const char* v = std::getenv(kEnvStmFilter)) {
-    config.stm_write_filter = !(v[0] == '0' && v[1] == '\0');
-  }
+  if (signal_channel_env_enabled()) config.real_signals = true;
+  if (env_u64(kEnvTxDeadlineMs, &v))
+    config.tx_deadline_ms = static_cast<std::uint32_t>(v);
+  if (env_u64(kEnvRecoveryLogCap, &v))
+    config.recovery_log_cap = static_cast<std::size_t>(v);
+  if (env_u64(kEnvStormThreshold, &v))
+    config.policy.storm_divert_threshold = static_cast<std::uint32_t>(v);
+  return config;
 }
 
 const char* tx_mode_name(TxMode mode) {
@@ -34,22 +54,40 @@ const char* tx_mode_name(TxMode mode) {
 }
 }  // namespace
 
+TxManager::RecoveryCounters::RecoveryCounters(obs::MetricsRegistry& reg)
+    : crashes(reg.counter("recovery.crashes")),
+      rollbacks(reg.counter("recovery.rollbacks")),
+      retries(reg.counter("recovery.retries")),
+      compensations(reg.counter("recovery.compensations")),
+      diversions(reg.counter("recovery.diversions")),
+      fatal(reg.counter("recovery.fatal")),
+      signals_caught(reg.counter("recovery.signals_caught")),
+      double_faults(reg.counter("recovery.double_faults")),
+      watchdog_fires(reg.counter("recovery.watchdog_fires")),
+      storm_diverts(reg.counter("recovery.storm_diverts")),
+      log_dropped(reg.counter("recovery.log_dropped")) {}
+
 TxManager::TxManager(Env& env, TxManagerConfig config)
     : env_(env),
-      config_(config),
-      obs_(obs::ObsConfig::from_env(config.obs)),
-      policy_(config.policy),
-      htm_(config.htm),
+      config_(apply_runtime_env(std::move(config))),
+      obs_(obs::ObsConfig::from_env(config_.obs)),
+      policy_(config_.policy),
+      htm_(config_.htm),
+      rc_(obs_.metrics()),
       recovery_latency_(obs_.metrics().histogram("recovery.latency_seconds")),
       generation_(g_next_generation++) {
   previous_handler_ = set_crash_handler(this);
   StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
-  apply_store_path_env(config_);
   stm_.set_retention(config_.undo_retain_bytes);
   stm_.set_filter_enabled(config_.stm_write_filter);
   embedded_reverts_.reserve(16);
   embedded_deferred_.reserve(16);
   comp_arena_.reserve(4096);
+  // Reserve the full episode cap up front: log_recovery_event may run on
+  // the recovery stack after a real signal, where growing a vector
+  // (malloc under a possibly-interrupted allocator lock) would deadlock.
+  recovery_log_.reserve(config_.recovery_log_cap);
+  if (config_.real_signals) signals_installed_ = install_signal_channel();
 
   // Event timestamps follow the simulation's virtual time, so traces line
   // up with the Env's syscall accounting.
@@ -77,8 +115,13 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
 }
 
 TxManager::~TxManager() {
+  disarm_watchdog();
   quiesce();
   obs_.flush_outputs(trace_symbolizer());
+  if (signals_installed_) {
+    uninstall_signal_channel();
+    signals_installed_ = false;
+  }
   // Only release the process globals if this manager currently owns them
   // (another live instance may have claimed them since).
   if (crash_handler() == this) {
@@ -133,6 +176,7 @@ void TxManager::reset_active() {
 
 void TxManager::commit_open_tx() {
   assert(active_.open);
+  disarm_watchdog();
   if (active_.mode == TxMode::kHtm) {
     htm_.commit();
   } else if (active_.mode == TxMode::kStm) {
@@ -215,6 +259,7 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
   }
   obs_.emit(obs::EventKind::kTxBegin, site_id, tx_mode_name(mode));
   start_recording(mode);
+  arm_watchdog();
 }
 
 void TxManager::embed_revert(SiteId embedded_site, Compensation revert) {
@@ -265,25 +310,52 @@ void TxManager::htm_store_abort_hook(void* self) {
   mgr->crash_is_htm_abort_ = true;
   mgr->htm_abort_code_ = mgr->htm_.pending_abort();
   mgr->crash_watch_.restart();
+  mgr->in_recovery_ = true;
   mgr->recovery_stack_.run(&TxManager::recovery_trampoline, mgr);
 }
 
 void TxManager::handle_crash(CrashKind kind) {
+  if (in_recovery_) handle_double_fault(kind);  // both channels also pre-check
+  disarm_watchdog();
   crash_kind_ = kind;
+  crash_via_signal_ = in_signal_dispatch();
   crash_watch_.restart();
+  if (crash_via_signal_) {
+    // Real fault delivered by the kernel: record the channel and the fault
+    // address before anything else touches state. Trace emission is
+    // async-signal-safe (lock-free ring slots, no allocation) and the
+    // counters are pre-bound plain increments.
+    const SignalCrashInfo& sig = last_signal_crash();
+    obs_.emit(obs::EventKind::kSignalCaught,
+              active_.open ? active_.site : obs::kNoSite,
+              crash_kind_name(kind),
+              static_cast<std::int64_t>(
+                  reinterpret_cast<std::uintptr_t>(sig.fault_addr)),
+              sig.signo);
+    rc_.signals_caught.inc();
+  }
+  if (kind == CrashKind::kHang) {
+    obs_.emit(obs::EventKind::kWatchdogFire,
+              active_.open ? active_.site : obs::kNoSite,
+              crash_kind_name(kind), config_.tx_deadline_ms);
+    rc_.watchdog_fires.inc();
+  }
   obs_.emit(obs::EventKind::kCrash,
             active_.open ? active_.site : obs::kNoSite,
             crash_kind_name(kind));
 
   if (!active_.open || active_.mode == TxMode::kNone) {
     // No recoverable transaction covers this code: the process would die.
-    obs_.metrics().counter("recovery.fatal").inc();
+    // (Only reachable through the synchronous channel — the signal handler
+    // pre-checks crash_recoverable() and passes unrecoverable faults
+    // through to the default disposition — so throwing is safe here.)
+    rc_.fatal.inc();
     if (active_.open) {
       Site& site = sites_[active_.site];
       ++site.stats.crashes;
       ++site.stats.fatal;
-      obs_.metrics().counter("recovery.crashes").inc();
-      recovery_log_.push_back(RecoveryEvent{
+      rc_.crashes.inc();
+      log_recovery_event(RecoveryEvent{
           active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
       reset_active();
     }
@@ -294,13 +366,14 @@ void TxManager::handle_crash(CrashKind kind) {
 
   if (active_.diverted) {
     // Crash inside the injected-error handler: "there will typically not be
-    // an error handler for the error handler" (§VII).
+    // an error handler for the error handler" (§VII). Sync channel only,
+    // same as above.
     Site& site = sites_[active_.site];
     ++site.stats.crashes;
     ++site.stats.fatal;
-    obs_.metrics().counter("recovery.crashes").inc();
-    obs_.metrics().counter("recovery.fatal").inc();
-    recovery_log_.push_back(RecoveryEvent{
+    rc_.crashes.inc();
+    rc_.fatal.inc();
+    log_recovery_event(RecoveryEvent{
         active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
     if (active_.mode == TxMode::kStm) {
       stm_.rollback();
@@ -315,13 +388,30 @@ void TxManager::handle_crash(CrashKind kind) {
   if (active_.mode == TxMode::kHtm) {
     // A fault inside a hardware transaction first surfaces as a TSX abort;
     // the runtime re-executes under STM to distinguish a resource abort
-    // from a real crash (§IV-C). Model that exactly.
+    // from a real crash (§IV-C). Model that exactly. (True for the signal
+    // channel too: delivering a signal aborts a real TSX transaction.)
     crash_is_htm_abort_ = true;
     htm_abort_code_ = HtmAbortCode::kExplicit;
   } else {
     crash_is_htm_abort_ = false;
   }
+  // From here until resume() any further crash is a double fault.
+  in_recovery_ = true;
   recovery_stack_.run(&TxManager::recovery_trampoline, this);
+}
+
+void TxManager::handle_double_fault(CrashKind kind) {
+  // A crash while recovery itself was running: rollback state is half
+  // applied, so re-entering recovery would corrupt it. Record what we can
+  // without locks or allocation, then terminate with the diagnostic exit
+  // code. The trace ring is lost (process exits), but exporters wired to
+  // stderr flushed-on-emit still show the event in practice.
+  disarm_watchdog();
+  obs_.emit(obs::EventKind::kDoubleFault,
+            active_.open ? active_.site : obs::kNoSite,
+            crash_kind_name(kind));
+  rc_.double_faults.inc();
+  die_double_fault(kind, in_signal_dispatch() ? "signal" : "sync");
 }
 
 void TxManager::recovery_trampoline(void* self) {
@@ -350,7 +440,7 @@ void TxManager::recovery_step() {
   snapshot_.restore();
   obs_.emit(obs::EventKind::kRollback, active_.site,
             crash_is_htm_abort_ ? "htm" : "stm");
-  obs_.metrics().counter("recovery.rollbacks").inc();
+  rc_.rollbacks.inc();
 
   // 2. Revert embedded library calls, newest first; drop their deferred
   //    effects (re-execution will re-issue them).
@@ -374,47 +464,62 @@ void TxManager::recovery_step() {
   } else {
     ++active_.crash_count;
     ++site.stats.crashes;
-    obs_.metrics().counter("recovery.crashes").inc();
+    rc_.crashes.inc();
     const double latency = crash_watch_.elapsed_seconds();
     const auto latency_ns = static_cast<std::int64_t>(latency * 1e9);
-    if (active_.crash_count <= config_.max_crash_retries) {
+    // Crash-storm backstop: a site that keeps proving its faults persistent
+    // (>= storm_divert_threshold past diversions) skips the transient-retry
+    // attempt — each skipped retry would re-execute the faulty region only
+    // to crash again.
+    const bool storm_skip = policy_.storm_skip_retry(site);
+    if (active_.crash_count <= config_.max_crash_retries && !storm_skip) {
       ++site.stats.retries;
       resume_action_ = ResumeAction::kRetryStm;
       recovery_latency_.add(latency);
       obs_.emit(obs::EventKind::kRetry, active_.site,
                 crash_kind_name(crash_kind_), active_.crash_count, latency_ns);
-      obs_.metrics().counter("recovery.retries").inc();
-      recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
-                                            RecoveryEvent::Action::kRetry,
-                                            latency});
+      rc_.retries.inc();
+      log_recovery_event(RecoveryEvent{active_.site, crash_kind_,
+                                       RecoveryEvent::Action::kRetry,
+                                       latency});
     } else if (site.recoverable()) {
       // Persistent fault: compensate the opening call and inject its error.
+      const bool storm_divert =
+          storm_skip && active_.crash_count <= config_.max_crash_retries;
       obs_.emit(obs::EventKind::kCompensation, active_.site,
                 active_.comp.fn != nullptr ? "revert" : "none");
-      obs_.metrics().counter("recovery.compensations").inc();
+      rc_.compensations.inc();
       run_compensation(active_.comp);
       active_.has_opening_deferred = false;
       ++site.stats.diversions;
+      policy_.on_diversion(site);
       resume_action_ = ResumeAction::kDivert;
       recovery_latency_.add(latency);
       obs_.emit(obs::EventKind::kFaultInjection, active_.site,
-                crash_kind_name(crash_kind_), site.spec->error.return_value,
-                site.spec->error.errno_value);
-      obs_.metrics().counter("recovery.diversions").inc();
-      recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
-                                            RecoveryEvent::Action::kDivert,
-                                            latency});
-      FIR_LOG(kInfo) << "diverting persistent crash at " << site.function
-                     << " (" << site.location << "): injecting retval="
-                     << site.spec->error.return_value
-                     << " errno=" << site.spec->error.errno_value;
+                storm_divert ? "storm" : crash_kind_name(crash_kind_),
+                site.spec->error.return_value, site.spec->error.errno_value);
+      rc_.diversions.inc();
+      if (storm_divert) rc_.storm_diverts.inc();
+      log_recovery_event(RecoveryEvent{active_.site, crash_kind_,
+                                       RecoveryEvent::Action::kDivert,
+                                       latency});
+      if (!crash_via_signal_) {
+        // stdio is off-limits when the crash arrived through the signal
+        // channel (the fault may have interrupted code holding the stdio or
+        // allocator locks); the kFaultInjection trace event carries the
+        // same information either way.
+        FIR_LOG(kInfo) << "diverting persistent crash at " << site.function
+                       << " (" << site.location << "): injecting retval="
+                       << site.spec->error.return_value
+                       << " errno=" << site.spec->error.errno_value;
+      }
     } else {
       ++site.stats.fatal;
       resume_action_ = ResumeAction::kFatal;
-      obs_.metrics().counter("recovery.fatal").inc();
-      recovery_log_.push_back(RecoveryEvent{active_.site, crash_kind_,
-                                            RecoveryEvent::Action::kFatal,
-                                            latency});
+      rc_.fatal.inc();
+      log_recovery_event(RecoveryEvent{active_.site, crash_kind_,
+                                       RecoveryEvent::Action::kFatal,
+                                       latency});
     }
   }
 
@@ -423,6 +528,12 @@ void TxManager::recovery_step() {
 }
 
 std::intptr_t TxManager::resume() {
+  // Back on the application stack with rollback complete: the recovery
+  // window (double-fault escalation) and the signal-dispatch latch close
+  // here, whichever action follows.
+  in_recovery_ = false;
+  crash_via_signal_ = false;
+  clear_signal_dispatch();
   const ResumeAction action = resume_action_;
   resume_action_ = ResumeAction::kNone;
   switch (action) {
@@ -430,6 +541,7 @@ std::intptr_t TxManager::resume() {
       active_.mode = TxMode::kStm;
       ++tx_stm_;
       start_recording(TxMode::kStm);
+      arm_watchdog();
       return active_.rv;
     case ResumeAction::kRetryUnprotected:
       active_.mode = TxMode::kNone;
@@ -442,6 +554,10 @@ std::intptr_t TxManager::resume() {
       active_.mode = TxMode::kStm;
       ++tx_stm_;
       start_recording(TxMode::kStm);
+      // No watchdog over the diverted region: a crash inside the injected
+      // error handler is fatal by design (§VII), and crash_recoverable() is
+      // already false here, so a SIGALRM would pass through and kill the
+      // process with a timer signal instead of a diagnosable exit.
       env_.set_errno(site.spec->error.errno_value);
       return site.spec->error.return_value;
     }
@@ -459,6 +575,35 @@ std::intptr_t TxManager::resume() {
   }
   assert(false && "resume() without a pending resume action");
   return active_.rv;
+}
+
+void TxManager::log_recovery_event(const RecoveryEvent& event) {
+  // Stays within the construction-time reservation: push_back never grows
+  // the vector (the recovery step can be running after a real signal, where
+  // malloc is off-limits). Beyond the cap, drop and count.
+  if (recovery_log_.size() >= config_.recovery_log_cap) {
+    rc_.log_dropped.inc();
+    return;
+  }
+  recovery_log_.push_back(event);
+}
+
+void TxManager::arm_watchdog() {
+  if (!watchdog_enabled()) return;
+  // One-shot ITIMER_REAL: fires SIGALRM once at the deadline, which the
+  // signal channel converts into a CrashKind::kHang episode. setitimer
+  // (not timer_create) keeps the runtime free of the -lrt dependency.
+  itimerval timer{};
+  timer.it_value.tv_sec = config_.tx_deadline_ms / 1000;
+  timer.it_value.tv_usec =
+      static_cast<suseconds_t>((config_.tx_deadline_ms % 1000) * 1000);
+  setitimer(ITIMER_REAL, &timer, nullptr);
+}
+
+void TxManager::disarm_watchdog() {
+  if (!watchdog_enabled()) return;
+  itimerval timer{};  // zero it_value disarms
+  setitimer(ITIMER_REAL, &timer, nullptr);
 }
 
 std::size_t TxManager::instrumentation_bytes() const {

@@ -78,6 +78,10 @@ struct RecoveryEvent {
 /// operator-first pattern as the FIR_TRACE_* knobs, docs/OBSERVABILITY.md).
 inline constexpr const char* kEnvUndoRetainBytes = "FIR_UNDO_RETAIN_BYTES";
 inline constexpr const char* kEnvStmFilter = "FIR_STM_FILTER";
+inline constexpr const char* kEnvSignals = "FIR_SIGNALS";
+inline constexpr const char* kEnvTxDeadlineMs = "FIR_TX_DEADLINE_MS";
+inline constexpr const char* kEnvRecoveryLogCap = "FIR_RECOVERY_LOG_CAP";
+inline constexpr const char* kEnvStormThreshold = "FIR_STORM_THRESHOLD";
 
 struct TxManagerConfig {
   PolicyConfig policy;
@@ -97,6 +101,24 @@ struct TxManagerConfig {
   /// each (line, byte-range) pays an undo-log append. FIR_STM_FILTER=0
   /// restores the log-every-store behaviour for A/B measurement.
   bool stm_write_filter = true;
+  /// Real POSIX signal crash channel (FIR_SIGNALS=1 overrides): install
+  /// sigaltstack + sigaction handlers that proxy SIGSEGV/SIGBUS/SIGILL/
+  /// SIGFPE/SIGABRT (and the watchdog's SIGALRM) into this manager, so
+  /// actual MMU faults enter the same rollback → compensate → inject
+  /// sequence as raise_crash(). Off by default: the synchronous channel
+  /// keeps tests and campaigns deterministic.
+  bool real_signals = false;
+  /// Hang watchdog (needs real_signals): a transaction open longer than
+  /// this wall-clock deadline receives SIGALRM, which the channel converts
+  /// into a CrashKind::kHang recovery episode — rollback, one retry, then
+  /// diversion, extending the fault model beyond fail-stop. 0 disables.
+  /// FIR_TX_DEADLINE_MS overrides.
+  std::uint32_t tx_deadline_ms = 0;
+  /// Upper bound on recovery_log() entries. The capacity is reserved at
+  /// construction, so recording an episode never allocates (the recovery
+  /// step can run in signal context); episodes beyond the cap are dropped
+  /// and counted in "recovery.log_dropped". FIR_RECOVERY_LOG_CAP overrides.
+  std::size_t recovery_log_cap = 65536;
   /// Master switch: false turns every gate into a plain call (vanilla).
   bool enabled = true;
 };
@@ -167,6 +189,16 @@ class TxManager final : public CrashHandler {
 
   // --- CrashHandler -------------------------------------------------------
   [[noreturn]] void handle_crash(CrashKind kind) override;
+  /// Async-signal-safe queries for the signal channel (plain field reads).
+  bool crash_recoverable() const override {
+    return active_.open && active_.mode != TxMode::kNone &&
+           !active_.diverted && !in_recovery_;
+  }
+  bool in_recovery() const override { return in_recovery_; }
+  /// Crash during the recovery step: emit kDoubleFault into the trace ring
+  /// (lock-free, allocation-free), then terminate via
+  /// die_double_fault(kDoubleFaultExitCode). Never recurses into recovery.
+  [[noreturn]] void handle_double_fault(CrashKind kind) override;
 
   // --- introspection ------------------------------------------------------
   bool in_transaction() const { return active_.open; }
@@ -235,6 +267,17 @@ class TxManager final : public CrashHandler {
   void start_recording(TxMode mode);
   void stop_recording();
   void reset_active();
+  /// Appends to recovery_log_ within the construction-time reservation;
+  /// beyond the cap the episode is dropped and counted (allocation-free —
+  /// the recovery step may be running in signal context).
+  void log_recovery_event(const RecoveryEvent& event);
+  /// Hang-watchdog timer (one-shot ITIMER_REAL → SIGALRM). Armed per
+  /// protected transaction, disarmed at commit and at crash entry.
+  bool watchdog_enabled() const {
+    return signals_installed_ && config_.tx_deadline_ms > 0;
+  }
+  void arm_watchdog();
+  void disarm_watchdog();
 
   Env& env_;
   TxManagerConfig config_;
@@ -262,6 +305,34 @@ class TxManager final : public CrashHandler {
   HtmAbortCode htm_abort_code_ = HtmAbortCode::kNone;
   ResumeAction resume_action_ = ResumeAction::kNone;
   StopWatch crash_watch_;
+  /// True from crash entry until resume(): a second crash in this window is
+  /// a double fault and escalates to process exit instead of recursing.
+  bool in_recovery_ = false;
+  /// The in-flight crash arrived through the signal channel: the recovery
+  /// step must stay async-signal-safe (no stdio) and stamps the episode
+  /// with the recorded fault address.
+  bool crash_via_signal_ = false;
+  /// This manager holds one install_signal_channel() reference.
+  bool signals_installed_ = false;
+
+  /// Recovery counters pre-bound at construction so the crash path never
+  /// performs a registry lookup (std::map + std::string — allocates); the
+  /// whole signal-entry recovery path must be allocation-free.
+  struct RecoveryCounters {
+    explicit RecoveryCounters(obs::MetricsRegistry& reg);
+    obs::Counter& crashes;
+    obs::Counter& rollbacks;
+    obs::Counter& retries;
+    obs::Counter& compensations;
+    obs::Counter& diversions;
+    obs::Counter& fatal;
+    obs::Counter& signals_caught;
+    obs::Counter& double_faults;
+    obs::Counter& watchdog_fires;
+    obs::Counter& storm_diverts;
+    obs::Counter& log_dropped;
+  };
+  RecoveryCounters rc_;
 
   // Gate-path tallies. Plain (non-atomic) on purpose: the gate fast path
   // must not pay an atomic RMW per call, so these publish into the metrics

@@ -1,8 +1,16 @@
 #include "hsfi/hsfi.h"
 
+#include <csignal>
+#include <cstdlib>
+
 namespace fir {
 namespace {
 std::uint64_t g_next_hsfi_generation = 1;
+
+/// Read through a volatile global so the compiler cannot constant-fold the
+/// null pointer below (and -Wnull-dereference stays quiet): the store must
+/// survive to runtime and take the actual MMU fault.
+volatile std::uintptr_t g_real_fault_addr = 0;
 }  // namespace
 
 const char* fault_type_name(FaultType type) {
@@ -10,6 +18,7 @@ const char* fault_type_name(FaultType type) {
     case FaultType::kPersistentCrash: return "persistent-crash";
     case FaultType::kTransientCrash: return "transient-crash";
     case FaultType::kLatentCorruption: return "latent-corruption";
+    case FaultType::kRealCrash: return "real-crash";
   }
   return "?";
 }
@@ -34,7 +43,41 @@ MarkerId Hsfi::register_marker(std::string_view name,
 
 void Hsfi::trigger_fatal() {
   fired_ = true;
+  if (plan_.type == FaultType::kRealCrash) trigger_real();
   if (plan_.type == FaultType::kTransientCrash) armed_ = false;
+  raise_crash(plan_.kind);
+}
+
+void Hsfi::trigger_real() {
+  // Perform the invalid operation itself instead of reporting it: the fault
+  // reaches the runtime as a genuine kernel-delivered signal (or kills the
+  // process when the signal channel is not installed — the honest
+  // uninstrumented outcome).
+  switch (plan_.kind) {
+    case CrashKind::kSegv:
+    case CrashKind::kBus: {
+      auto* p = reinterpret_cast<volatile int*>(g_real_fault_addr);
+      *p = 1;  // null store: actual SIGSEGV
+      break;
+    }
+    case CrashKind::kFpe: {
+      volatile int zero = 0;
+      volatile int q = 1 / zero;  // actual SIGFPE
+      (void)q;
+      break;
+    }
+    case CrashKind::kIllegal:
+      __builtin_trap();  // ud2: SIGILL
+    case CrashKind::kAbort:
+      std::abort();
+    case CrashKind::kHang:
+      break;  // hangs come from the watchdog, not an instruction
+  }
+  // Reachable when the invalid operation did not trap (some virtualized
+  // hosts emulate integer #DE without faulting) or the kind has no real
+  // trigger instruction: deliver the mapped signal through the kernel if
+  // the channel is up, else fall back to the synchronous channel.
+  if (signal_channel_installed()) std::raise(crash_kind_signo(plan_.kind));
   raise_crash(plan_.kind);
 }
 

@@ -25,6 +25,12 @@ enum class FaultType : std::uint8_t {
   kPersistentCrash = 0,  // deterministic fatal bug: fires at every execution
   kTransientCrash,       // fires exactly once (race-condition model)
   kLatentCorruption,     // corrupts marked data, does not crash directly
+  /// Performs an ACTUAL invalid operation (null store, divide by zero,
+  /// __builtin_trap, abort) instead of calling raise_crash(): the fault
+  /// reaches the runtime as a genuine hardware signal. Persistent (fires
+  /// at every execution). Requires the real signal channel (FIR_SIGNALS=1)
+  /// — without it the process dies exactly as an uninstrumented one would.
+  kRealCrash,
 };
 
 const char* fault_type_name(FaultType type);
@@ -103,6 +109,7 @@ class Hsfi {
 
  private:
   [[noreturn]] void trigger_fatal();
+  [[noreturn]] void trigger_real();
   void corrupt(void* data, std::size_t len);
 
   std::vector<Marker> markers_;

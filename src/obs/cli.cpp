@@ -22,6 +22,13 @@ constexpr FlagSpec kFlags[] = {
     {"--trace-ring", kEnvTraceRing, true},
     {"--trace-filter", kEnvTraceFilter, true},
     {"--metrics-out", kEnvMetricsOut, true},
+    // Crash-channel knobs. String literals, not the kEnv* constants from
+    // core/tx_manager.h: obs sits below core in the layering and cannot
+    // include its headers (see src/obs/event.h's file comment).
+    {"--signals", "FIR_SIGNALS", false},
+    {"--tx-deadline-ms", "FIR_TX_DEADLINE_MS", true},
+    {"--recovery-log-cap", "FIR_RECOVERY_LOG_CAP", true},
+    {"--storm-threshold", "FIR_STORM_THRESHOLD", true},
 };
 
 }  // namespace
@@ -63,7 +70,12 @@ const char* cli_flags_help() {
          "  --trace-out=PATH      dump the JSONL trace at shutdown\n"
          "  --trace-ring=N        trace ring capacity in events\n"
          "  --trace-filter=SPEC   keep only these event classes/kinds\n"
-         "  --metrics-out=PATH    dump the metrics snapshot (.csv or .json)\n";
+         "  --metrics-out=PATH    dump the metrics snapshot (.csv or .json)\n"
+         "  --signals             real POSIX signal crash channel "
+         "(FIR_SIGNALS=1)\n"
+         "  --tx-deadline-ms=N    hang watchdog: per-transaction deadline\n"
+         "  --recovery-log-cap=N  bound on recorded recovery episodes\n"
+         "  --storm-threshold=N   diversions before retries are skipped\n";
 }
 
 }  // namespace fir::obs

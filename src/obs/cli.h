@@ -1,15 +1,19 @@
-// Command-line front end for the FIR_TRACE_* configuration: lets any bench
-// or example binary opt into tracing with flags instead of environment
-// variables. The flags are translated into the corresponding environment
-// variables (setenv) before the first TxManager is constructed, so the
-// single env-driven path in ObsConfig::from_env stays the one source of
-// truth for observability configuration.
+// Command-line front end for the FIR_* runtime configuration: lets any
+// bench or example binary opt into tracing and the crash-channel knobs with
+// flags instead of environment variables. The flags are translated into the
+// corresponding environment variables (setenv) before the first TxManager
+// is constructed, so the env-driven paths in ObsConfig::from_env and the
+// TxManager constructor stay the one source of truth for configuration.
 //
 //   --trace                 FIR_TRACE=1
 //   --trace-out=PATH        FIR_TRACE_OUT=PATH   (implies tracing)
 //   --trace-ring=N          FIR_TRACE_RING=N
 //   --trace-filter=SPEC     FIR_TRACE_FILTER=SPEC
 //   --metrics-out=PATH      FIR_METRICS_OUT=PATH (.csv selects CSV)
+//   --signals               FIR_SIGNALS=1        (real signal crash channel)
+//   --tx-deadline-ms=N      FIR_TX_DEADLINE_MS=N (hang watchdog)
+//   --recovery-log-cap=N    FIR_RECOVERY_LOG_CAP=N
+//   --storm-threshold=N     FIR_STORM_THRESHOLD=N (crash-storm backstop)
 //
 // Both `--flag=value` and `--flag value` spellings are accepted.
 #pragma once

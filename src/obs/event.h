@@ -35,6 +35,9 @@ enum class EventKind : std::uint8_t {
   kRetry,           // rollback followed by re-execution (transient model)
   kCompensation,    // opening call's compensation action ran
   kFaultInjection,  // documented error injected; execution diverted
+  kSignalCaught,    // real POSIX signal entered the crash channel
+  kDoubleFault,     // crash during recovery itself; process terminating
+  kWatchdogFire,    // transaction exceeded its deadline (hang model)
   kKindCount,       // sentinel — keep last
 };
 
@@ -47,7 +50,8 @@ const char* event_kind_name(EventKind kind);
 enum class EventClass : std::uint8_t {
   kTx = 0,    // kTxBegin, kTxCommit, kDeferredFlush
   kHtm,       // kHtmAbort, kStmFallback, kSiteDemotion
-  kRecovery,  // kCrash, kRollback, kRetry, kCompensation, kFaultInjection
+  kRecovery,  // kCrash, kRollback, kRetry, kCompensation, kFaultInjection,
+              // kSignalCaught, kDoubleFault, kWatchdogFire
 };
 
 const char* event_class_name(EventClass cls);

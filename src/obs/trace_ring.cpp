@@ -17,6 +17,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kRetry: return "retry";
     case EventKind::kCompensation: return "compensation";
     case EventKind::kFaultInjection: return "fault-injection";
+    case EventKind::kSignalCaught: return "signal-caught";
+    case EventKind::kDoubleFault: return "double-fault";
+    case EventKind::kWatchdogFire: return "watchdog-fire";
     case EventKind::kKindCount: break;
   }
   return "?";

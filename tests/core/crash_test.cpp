@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include "core/crash.h"
 
 namespace fir {
@@ -58,6 +60,16 @@ TEST(CrashTest, KindNamesMapToSignals) {
   EXPECT_STREQ(crash_kind_name(CrashKind::kIllegal), "SIGILL");
   EXPECT_STREQ(crash_kind_name(CrashKind::kBus), "SIGBUS");
   EXPECT_STREQ(crash_kind_name(CrashKind::kFpe), "SIGFPE");
+  EXPECT_STREQ(crash_kind_name(CrashKind::kHang), "HANG");
+}
+
+TEST(CrashTest, KindSignalNumbersMatchPosix) {
+  EXPECT_EQ(crash_kind_signo(CrashKind::kSegv), SIGSEGV);
+  EXPECT_EQ(crash_kind_signo(CrashKind::kAbort), SIGABRT);
+  EXPECT_EQ(crash_kind_signo(CrashKind::kIllegal), SIGILL);
+  EXPECT_EQ(crash_kind_signo(CrashKind::kBus), SIGBUS);
+  EXPECT_EQ(crash_kind_signo(CrashKind::kFpe), SIGFPE);
+  EXPECT_EQ(crash_kind_signo(CrashKind::kHang), SIGALRM);
 }
 
 TEST(CrashTest, FatalCrashErrorCarriesKind) {

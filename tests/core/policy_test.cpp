@@ -145,5 +145,25 @@ TEST(PolicyTest, KindNames) {
   EXPECT_STREQ(policy_kind_name(PolicyKind::kStmOnly), "stm-only");
 }
 
+TEST(PolicyTest, StormBackstopTripsAtThreshold) {
+  PolicyConfig config;
+  config.storm_divert_threshold = 2;
+  AdaptivePolicy policy(config);
+  Site site = make_site();
+  EXPECT_FALSE(policy.storm_skip_retry(site));
+  policy.on_diversion(site);
+  EXPECT_FALSE(policy.storm_skip_retry(site));
+  policy.on_diversion(site);
+  EXPECT_TRUE(policy.storm_skip_retry(site));
+  EXPECT_EQ(site.gate.diversions, 2u);
+}
+
+TEST(PolicyTest, StormBackstopDisabledByDefault) {
+  AdaptivePolicy policy;
+  Site site = make_site();
+  for (int i = 0; i < 100; ++i) policy.on_diversion(site);
+  EXPECT_FALSE(policy.storm_skip_retry(site));  // threshold 0 = off
+}
+
 }  // namespace
 }  // namespace fir

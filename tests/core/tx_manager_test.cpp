@@ -2,6 +2,9 @@
 // diversion semantics, embedded calls, deferred effects.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "core/tx_manager.h"
 #include "interpose/fir.h"
 #include "mem/tracked.h"
@@ -269,6 +272,51 @@ TEST(TxManagerTest, RecoveryLatencyIsRecorded) {
   EXPECT_EQ(fx.mgr().recovery_log()[1].action,
             RecoveryEvent::Action::kDivert);
   EXPECT_LT(fx.mgr().recovery_log()[1].latency_seconds, 1.0);
+}
+
+TEST(TxManagerTest, RecoveryLogIsBoundedAndDropsAreCounted) {
+  TxManagerConfig config = stm_only_config();
+  config.recovery_log_cap = 3;
+  Fx fx(config);
+  for (int round = 0; round < 3; ++round) {
+    FIR_ANCHOR(fx);
+    const int fd = static_cast<int>(FIR_SOCKET(fx));
+    if (fd >= 0) raise_crash(CrashKind::kSegv);  // persistent
+    EXPECT_EQ(fd, -1);
+    FIR_QUIESCE(fx);
+  }
+  // 3 rounds × (1 retry + 1 divert) = 6 episodes; the cap keeps the first 3.
+  EXPECT_EQ(fx.mgr().recovery_log().size(), 3u);
+  EXPECT_EQ(fx.mgr().metrics().counter("recovery.log_dropped").value(), 3u);
+  // reset_stats clears the log without giving back the reservation.
+  fx.mgr().reset_stats();
+  EXPECT_EQ(fx.mgr().recovery_log().size(), 0u);
+  EXPECT_GE(fx.mgr().recovery_log().capacity(), 3u);
+}
+
+TEST(TxManagerTest, EnvironmentOverridesCrashChannelKnobs) {
+  // The suite may itself run under FIR_SIGNALS=1 (the CI signal-channel
+  // job); scrub it so the no-FIR_SIGNALS assertion below holds either way.
+  const char* ambient_signals = std::getenv(kEnvSignals);
+  const std::string saved_signals =
+      ambient_signals != nullptr ? ambient_signals : "";
+  ::unsetenv(kEnvSignals);
+  ::setenv(kEnvTxDeadlineMs, "250", 1);
+  ::setenv(kEnvRecoveryLogCap, "7", 1);
+  ::setenv(kEnvStormThreshold, "5", 1);
+  {
+    Fx fx;
+    EXPECT_EQ(fx.mgr().config().tx_deadline_ms, 250u);
+    EXPECT_EQ(fx.mgr().config().recovery_log_cap, 7u);
+    EXPECT_EQ(fx.mgr().config().policy.storm_divert_threshold, 5u);
+    // No FIR_SIGNALS: the deadline alone must not arm the real channel.
+    EXPECT_FALSE(fx.mgr().config().real_signals);
+  }
+  ::unsetenv(kEnvTxDeadlineMs);
+  ::unsetenv(kEnvRecoveryLogCap);
+  ::unsetenv(kEnvStormThreshold);
+  if (ambient_signals != nullptr)
+    ::setenv(kEnvSignals, saved_signals.c_str(), 1);
 }
 
 TEST(TxManagerTest, GateSurvivesCrashAfterGateFrameReturned) {
