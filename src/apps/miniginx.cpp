@@ -5,6 +5,7 @@
 
 #include "apps/http.h"
 #include "common/log.h"
+#include "core/crash.h"
 
 namespace fir {
 namespace {
@@ -14,8 +15,9 @@ constexpr int kMaxEvents = 64;
 constexpr std::int32_t kNoConn = -1;
 }  // namespace
 
-Miniginx::Miniginx(TxManagerConfig config)
-    : Server(config), fd_conn_(1024, kNoConn) {}
+Miniginx::Miniginx(TxManagerConfig config) : Server(config) {
+  loop_.counters = &counters_;
+}
 
 Miniginx::~Miniginx() { stop(); }
 
@@ -36,11 +38,7 @@ void Miniginx::install_default_docroot() {
   vfs.put_file("/www/api.json", "{\"server\":\"miniginx\",\"ok\":true}\n");
 }
 
-Status Miniginx::start(std::uint16_t port) {
-  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
-  port_ = port != 0 ? port : kDefaultPort;
-  install_default_docroot();
-
+Status Miniginx::open_listener(WorkerState& ws) {
   // Init phase: unprotected (no anchor), mirroring the paper's protocol of
   // injecting faults only after startup. The calls still register sites.
   const int s = FIR_SOCKET(fx_);
@@ -54,7 +52,7 @@ Status Miniginx::start(std::uint16_t port) {
       FIR_LOG(kError) << "miniginx: close_socket failed";
     return Status(ErrorCode::kInternal, "setsockopt");
   }
-  const int ret_b = FIR_BIND(fx_, s, port_);
+  const int ret_b = FIR_BIND(fx_, s, ws.port);
   if (ret_b == -1) {
     const int err = fx_.err();
     FIR_LOG(kError) << "miniginx: bind() failed";
@@ -82,87 +80,206 @@ Status Miniginx::start(std::uint16_t port) {
     FIR_CLOSE(fx_, s);
     return Status(ErrorCode::kInternal, "epoll_ctl");
   }
+  ws.listen_fd = s;
+  ws.epfd = ep;
+  return Status::ok();
+}
+
+Status Miniginx::start(std::uint16_t port) {
+  if (running_) return Status(ErrorCode::kFailedPrecondition, "running");
+  port_ = port != 0 ? port : kDefaultPort;
+  install_default_docroot();
+
+  loop_.port = port_;
+  const Status listener = open_listener(loop_);
+  if (!listener.is_ok()) return listener;
   const int alog =
       FIR_OPEN(fx_, "/logs/miniginx.access.log", kCreat | kWrOnly | kAppend);
   if (alog < 0) {
-    FIR_CLOSE(fx_, ep);
-    FIR_CLOSE(fx_, s);
+    FIR_CLOSE(fx_, loop_.epfd);
+    FIR_CLOSE(fx_, loop_.listen_fd);
+    loop_.epfd = loop_.listen_fd = -1;
     return Status(ErrorCode::kInternal, "access log");
   }
   FIR_QUIESCE(fx_);
-  listen_fd_ = s;
-  epfd_ = ep;
   access_log_fd_ = alog;
   running_ = true;
   return Status::ok();
 }
 
-void Miniginx::stop() {
-  if (!running_) return;
-  FIR_QUIESCE(fx_);
-  fx_.mgr().clear_anchor();
-  for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
-    if (fd_conn_[fd] != kNoConn) {
-      fx_.env().close(static_cast<int>(fd));
-      fd_conn_[fd] = kNoConn;
+Status Miniginx::start_workers(int n) {
+  if (!running_)
+    return Status(ErrorCode::kFailedPrecondition, "start() first");
+  if (!workers_.empty())
+    return Status(ErrorCode::kFailedPrecondition, "workers running");
+  if (n <= 0) return Status(ErrorCode::kInvalidArgument, "n");
+  // Listeners are created on the calling thread (gated init calls), so a
+  // setup failure surfaces here, not inside a detached worker.
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back();
+    WorkerState& ws = workers_.back();
+    ws.index = i;
+    ws.port = static_cast<std::uint16_t>(port_ + 1 + i);
+    ws.counters = &ws.own_counters;
+    const Status st = open_listener(ws);
+    if (!st.is_ok()) {
+      FIR_QUIESCE(fx_);
+      stop_workers();
+      return st;
     }
   }
+  FIR_QUIESCE(fx_);
+  workers_running_.store(true, std::memory_order_relaxed);
+  for (WorkerState& ws : workers_) {
+    ws.alive.store(true, std::memory_order_relaxed);
+    ws.thread = std::thread([this, &ws] { worker_main(ws); });
+  }
+  return Status::ok();
+}
+
+void Miniginx::stop_workers() {
+  if (workers_.empty()) return;
+  workers_running_.store(false, std::memory_order_relaxed);
+  for (WorkerState& ws : workers_)
+    if (ws.thread.joinable()) ws.thread.join();
+  for (WorkerState& ws : workers_) {
+    release_loop_resources(ws);
+    // Fold the worker's single-writer counters into the server-wide
+    // aggregate (untracked: shutdown path, no transaction open).
+    counters_.requests_ok.init(counters_.requests_ok.get() +
+                               ws.own_counters.requests_ok.get());
+    counters_.responses_4xx.init(counters_.responses_4xx.get() +
+                                 ws.own_counters.responses_4xx.get());
+    counters_.responses_5xx.init(counters_.responses_5xx.get() +
+                                 ws.own_counters.responses_5xx.get());
+    counters_.connections_accepted.init(
+        counters_.connections_accepted.get() +
+        ws.own_counters.connections_accepted.get());
+    counters_.connections_closed.init(
+        counters_.connections_closed.get() +
+        ws.own_counters.connections_closed.get());
+    counters_.protocol_errors.init(counters_.protocol_errors.get() +
+                                   ws.own_counters.protocol_errors.get());
+  }
+  workers_.clear();
+}
+
+ServerCounters Miniginx::aggregated_counters() const {
+  ServerCounters out;
+  auto fold = [&out](const ServerCounters& c) {
+    out.requests_ok.init(out.requests_ok.get() + c.requests_ok.get());
+    out.responses_4xx.init(out.responses_4xx.get() + c.responses_4xx.get());
+    out.responses_5xx.init(out.responses_5xx.get() + c.responses_5xx.get());
+    out.connections_accepted.init(out.connections_accepted.get() +
+                                  c.connections_accepted.get());
+    out.connections_closed.init(out.connections_closed.get() +
+                                c.connections_closed.get());
+    out.protocol_errors.init(out.protocol_errors.get() +
+                             c.protocol_errors.get());
+  };
+  fold(counters_);
+  for (const WorkerState& ws : workers_) fold(ws.own_counters);
+  return out;
+}
+
+void Miniginx::release_loop_resources(WorkerState& ws) {
+  for (std::size_t fd = 0; fd < ws.fd_conn.size(); ++fd) {
+    if (ws.fd_conn[fd] != kNoConn) {
+      fx_.env().close(static_cast<int>(fd));
+      ws.fd_conn[fd] = kNoConn;
+    }
+  }
+  if (ws.epfd >= 0) fx_.env().close(ws.epfd);
+  if (ws.listen_fd >= 0) fx_.env().close(ws.listen_fd);
+  ws.epfd = ws.listen_fd = -1;
+}
+
+void Miniginx::stop() {
+  if (!running_) return;
+  stop_workers();
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+  release_loop_resources(loop_);
   fx_.env().close(access_log_fd_);
-  fx_.env().close(epfd_);
-  fx_.env().close(listen_fd_);
-  access_log_fd_ = epfd_ = listen_fd_ = -1;
+  access_log_fd_ = -1;
   running_ = false;
 }
 
-Miniginx::Conn* Miniginx::conn_of(int fd) {
-  if (fd < 0 || static_cast<std::size_t>(fd) >= fd_conn_.size())
+Miniginx::Conn* Miniginx::conn_of(WorkerState& ws, int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= ws.fd_conn.size())
     return nullptr;
-  const std::int32_t idx = fd_conn_[fd];
-  return idx == kNoConn ? nullptr : conns_.at(static_cast<std::size_t>(idx));
+  const std::int32_t idx = ws.fd_conn[fd];
+  return idx == kNoConn ? nullptr
+                        : ws.conns.at(static_cast<std::size_t>(idx));
 }
 
 void Miniginx::run_once() {
   if (!running_) return;
   FIR_ANCHOR(fx_);
-  PollEvent events[kMaxEvents];
-  const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
-  if (n < 0) {
-    // Critical path: nothing to do but try again next iteration — the
-    // paper's epoll_wait example of a retrying error handler (§V-B).
-    HSFI_POINT(fx_.hsfi(), "event_loop_retry", /*critical=*/true);
-    FIR_QUIESCE(fx_);
-    fx_.mgr().clear_anchor();
-    return;
-  }
-  for (int i = 0; i < n; ++i) {
-    HSFI_POINT(fx_.hsfi(), "event_dispatch", /*critical=*/true);
-    if (events[i].fd == listen_fd_) {
-      accept_new_connections();
-      continue;
+  event_pass(loop_);
+  FIR_QUIESCE(fx_);
+  fx_.mgr().clear_anchor();
+}
+
+void Miniginx::worker_main(WorkerState& ws) {
+  while (workers_running_.load(std::memory_order_relaxed)) {
+    bool did_work = false;
+    try {
+      FIR_ANCHOR(fx_);
+      did_work = event_pass(ws);
+      FIR_QUIESCE(fx_);
+      fx_.mgr().clear_anchor();
+    } catch (const FatalCrashError&) {
+      // Crash containment: an unrecoverable fault kills THIS worker only.
+      // Its connections die with it; siblings keep serving theirs.
+      fx_.mgr().clear_anchor();
+      ws.alive.store(false, std::memory_order_relaxed);
+      return;
     }
-    Conn* conn = conn_of(events[i].fd);
-    if (conn == nullptr) {
-      // Stale event for an fd we already tore down.
-      FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, events[i].fd, 0);
-      FIR_CLOSE(fx_, events[i].fd);
-      continue;
-    }
-    if (conn->state == kWriting || (events[i].events & kPollOut) != 0) {
-      handle_writable(events[i].fd, conn);
-      conn = conn_of(events[i].fd);  // may have been closed
-    }
-    if (conn != nullptr && conn->state == kReading &&
-        (events[i].events & (kPollIn | kPollHup)) != 0) {
-      handle_readable(events[i].fd, conn);
-    }
+    // The virtual epoll never blocks; be polite to siblings when idle.
+    if (!did_work) std::this_thread::yield();
   }
   FIR_QUIESCE(fx_);
   fx_.mgr().clear_anchor();
 }
 
-void Miniginx::accept_new_connections() {
+bool Miniginx::event_pass(WorkerState& ws) {
+  PollEvent events[kMaxEvents];
+  const int n = FIR_EPOLL_WAIT(fx_, ws.epfd, events, kMaxEvents);
+  if (n < 0) {
+    // Critical path: nothing to do but try again next iteration — the
+    // paper's epoll_wait example of a retrying error handler (§V-B).
+    HSFI_POINT(fx_.hsfi(), "event_loop_retry", /*critical=*/true);
+    return false;
+  }
+  for (int i = 0; i < n; ++i) {
+    HSFI_POINT(fx_.hsfi(), "event_dispatch", /*critical=*/true);
+    if (events[i].fd == ws.listen_fd) {
+      accept_new_connections(ws);
+      continue;
+    }
+    Conn* conn = conn_of(ws, events[i].fd);
+    if (conn == nullptr) {
+      // Stale event for an fd we already tore down.
+      FIR_EPOLL_CTL(fx_, ws.epfd, kEpollDel, events[i].fd, 0);
+      FIR_CLOSE(fx_, events[i].fd);
+      continue;
+    }
+    if (conn->state == kWriting || (events[i].events & kPollOut) != 0) {
+      handle_writable(ws, events[i].fd, conn);
+      conn = conn_of(ws, events[i].fd);  // may have been closed
+    }
+    if (conn != nullptr && conn->state == kReading &&
+        (events[i].events & (kPollIn | kPollHup)) != 0) {
+      handle_readable(ws, events[i].fd, conn);
+    }
+  }
+  return n > 0;
+}
+
+void Miniginx::accept_new_connections(WorkerState& ws) {
   for (;;) {
-    const int c = FIR_ACCEPT(fx_, listen_fd_);
+    const int c = FIR_ACCEPT(fx_, ws.listen_fd);
     if (c < 0) {
       if (fx_.err() == EAGAIN) break;
       // Non-critical error handler: log and move on (divert target).
@@ -181,7 +298,7 @@ void Miniginx::accept_new_connections() {
       FIR_CLOSE(fx_, c);
       continue;
     }
-    Conn* conn = conns_.alloc();
+    Conn* conn = ws.conns.alloc();
     if (conn == nullptr) {
       // Connection table exhausted: shed load.
       HSFI_POINT(fx_.hsfi(), "overload_shed", /*critical=*/false);
@@ -191,32 +308,32 @@ void Miniginx::accept_new_connections() {
     tx_store(conn->fd, c);
     tx_store(conn->state, static_cast<std::uint8_t>(kReading));
     tx_store(conn->keep_alive, static_cast<std::uint8_t>(1));
-    tx_store(fd_conn_[c],
-             static_cast<std::int32_t>(conns_.index_of(conn)));
-    if (FIR_EPOLL_CTL(fx_, epfd_, kEpollAdd, c, kPollIn) == -1) {
+    tx_store(ws.fd_conn[c],
+             static_cast<std::int32_t>(ws.conns.index_of(conn)));
+    if (FIR_EPOLL_CTL(fx_, ws.epfd, kEpollAdd, c, kPollIn) == -1) {
       FIR_LOG(kWarn) << "miniginx: epoll_ctl(ADD) failed";
-      close_conn(c, conn);
+      close_conn(ws, c, conn);
       continue;
     }
-    counters_.connections_accepted += 1;
+    ws.counters->connections_accepted += 1;
   }
 }
 
-void Miniginx::close_conn(int fd, Conn* conn) {
-  FIR_EPOLL_CTL(fx_, epfd_, kEpollDel, fd, 0);
+void Miniginx::close_conn(WorkerState& ws, int fd, Conn* conn) {
+  FIR_EPOLL_CTL(fx_, ws.epfd, kEpollDel, fd, 0);
   FIR_CLOSE(fx_, fd);
-  tx_store(fd_conn_[fd], kNoConn);
-  conns_.release(conn);
-  counters_.connections_closed += 1;
+  tx_store(ws.fd_conn[fd], kNoConn);
+  ws.conns.release(conn);
+  ws.counters->connections_closed += 1;
 }
 
-void Miniginx::handle_readable(int fd, Conn* conn) {
+void Miniginx::handle_readable(WorkerState& ws, int fd, Conn* conn) {
   const std::uint32_t space =
       static_cast<std::uint32_t>(sizeof(conn->rx)) - conn->rx_len;
   if (space == 0) {
     // Request larger than the buffer: protocol error.
-    counters_.protocol_errors += 1;
-    close_conn(fd, conn);
+    ws.counters->protocol_errors += 1;
+    close_conn(ws, fd, conn);
     return;
   }
   const ssize_t r = FIR_RECV(fx_, fd, conn->rx + conn->rx_len, space);
@@ -226,31 +343,31 @@ void Miniginx::handle_readable(int fd, Conn* conn) {
     // the non-critical error-handling path the fault injector exploits.
     HSFI_HANDLER_POINT(fx_.hsfi(), "recv_error_path");
     FIR_LOG(kInfo) << "miniginx: recv failed errno=" << fx_.err();
-    close_conn(fd, conn);
+    close_conn(ws, fd, conn);
     return;
   }
   if (r == 0) {  // orderly client close
-    close_conn(fd, conn);
+    close_conn(ws, fd, conn);
     return;
   }
   tx_store(conn->rx_len, conn->rx_len + static_cast<std::uint32_t>(r));
-  process_request(fd, conn);
+  process_request(ws, fd, conn);
 }
 
-void Miniginx::process_request(int fd, Conn* conn) {
+void Miniginx::process_request(WorkerState& ws, int fd, Conn* conn) {
   http::Request req;
   const auto result =
       http::parse_request({conn->rx, conn->rx_len}, req);
   HSFI_POINT(fx_.hsfi(), "parse_request", /*critical=*/false);
   if (result == http::ParseResult::kIncomplete) return;
   if (result == http::ParseResult::kBad) {
-    counters_.responses_4xx += 1;
-    counters_.protocol_errors += 1;
-    queue_response(conn, 400, "text/html", "<h1>400 Bad Request</h1>", 24,
-                   false);
+    ws.counters->responses_4xx += 1;
+    ws.counters->protocol_errors += 1;
+    queue_response(ws, conn, 400, "text/html", "<h1>400 Bad Request</h1>",
+                   24, false);
     tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
-    FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollOut);
-    handle_writable(fd, conn);
+    FIR_EPOLL_CTL(fx_, ws.epfd, kEpollMod, fd, kPollOut);
+    handle_writable(ws, fd, conn);
     return;
   }
 
@@ -273,19 +390,19 @@ void Miniginx::process_request(int fd, Conn* conn) {
   HSFI_POINT_DATA(fx_.hsfi(), "url_decode", /*critical=*/false, decoded,
                   dlen < 16 ? dlen : 16);
   if (dlen == 0) {
-    counters_.responses_4xx += 1;
-    queue_response(conn, 400, "text/html", "<h1>400 Bad Request</h1>", 24,
-                   req.keep_alive);
+    ws.counters->responses_4xx += 1;
+    queue_response(ws, conn, 400, "text/html", "<h1>400 Bad Request</h1>",
+                   24, req.keep_alive);
   } else if (http::path_is_unsafe({decoded, dlen})) {
     HSFI_POINT(fx_.hsfi(), "reject_unsafe_path", /*critical=*/false);
-    counters_.responses_4xx += 1;
-    queue_response(conn, 403, "text/html", "<h1>403 Forbidden</h1>", 22,
+    ws.counters->responses_4xx += 1;
+    queue_response(ws, conn, 403, "text/html", "<h1>403 Forbidden</h1>", 22,
                    req.keep_alive);
   } else if (req.method != http::Method::kGet &&
              req.method != http::Method::kHead) {
-    counters_.responses_4xx += 1;
-    queue_response(conn, 405, "text/html", "<h1>405 Method Not Allowed</h1>",
-                   31, req.keep_alive);
+    ws.counters->responses_4xx += 1;
+    queue_response(ws, conn, 405, "text/html",
+                   "<h1>405 Method Not Allowed</h1>", 31, req.keep_alive);
   } else {
     char full_path[1100];
     const int len = std::snprintf(full_path, sizeof(full_path), "/www%.*s%s",
@@ -294,13 +411,13 @@ void Miniginx::process_request(int fd, Conn* conn) {
                                       ? "index.html"
                                       : "");
     (void)len;
-    serve_file(conn, full_path, req.keep_alive,
+    serve_file(ws, conn, full_path, req.keep_alive,
                req.method == http::Method::kHead, req.range);
   }
 
   // nginx-style buffered access log: one write() per request (its own —
   // irrecoverable — transaction, part of Table III's irrecoverable share).
-  access_log(req, last_status_);
+  access_log(req, ws.last_status);
 
   // Consume the request bytes; pipeline leftovers stay buffered.
   const std::uint32_t consumed = static_cast<std::uint32_t>(
@@ -318,8 +435,8 @@ void Miniginx::process_request(int fd, Conn* conn) {
   tx_store(conn->served, conn->served + 1);
   tx_store(conn->keep_alive, static_cast<std::uint8_t>(req.keep_alive));
   tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
-  FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollOut);
-  handle_writable(fd, conn);
+  FIR_EPOLL_CTL(fx_, ws.epfd, kEpollMod, fd, kPollOut);
+  handle_writable(ws, fd, conn);
 }
 
 const char* Miniginx::ssi_get_variable(const char* name, std::size_t len) {
@@ -350,8 +467,16 @@ std::size_t Miniginx::ssi_expand(const char* src, std::size_t len, char* dst,
     const std::size_t end = rest.find(kClose);
     if (end == std::string_view::npos) break;  // unterminated: drop directive
     const char* value = ssi_get_variable(rest.data(), end);
-    // The real bug dereferences the NULL result while copying the value.
-    check_ptr(value);
+    if (ssi_hard_null_bug_) {
+      // The unpatched bug: no defensive check, the NULL result is loaded
+      // from directly and the fault arrives as a genuine SIGSEGV. Volatile
+      // so the load survives to runtime and takes the actual MMU fault.
+      volatile std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(value);
+      (void)*reinterpret_cast<const volatile char*>(addr);
+    } else {
+      // The real bug dereferences the NULL result while copying the value.
+      check_ptr(value);
+    }
     const std::size_t vlen = std::strlen(value);
     if (out + vlen > cap) return 0;
     std::memcpy(dst + out, value, vlen);
@@ -361,13 +486,14 @@ std::size_t Miniginx::ssi_expand(const char* src, std::size_t len, char* dst,
   return out;
 }
 
-void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
-                          bool head_only, std::string_view range_header) {
+void Miniginx::serve_file(WorkerState& ws, Conn* conn, const char* full_path,
+                          bool keep_alive, bool head_only,
+                          std::string_view range_header) {
   std::size_t fsize = 0;
   if (FIR_STAT_SIZE(fx_, full_path, &fsize) == -1) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "build_404");
-    counters_.responses_4xx += 1;
-    queue_response(conn, 404, "text/html", "<h1>404 Not Found</h1>", 22,
+    ws.counters->responses_4xx += 1;
+    queue_response(ws, conn, 404, "text/html", "<h1>404 Not Found</h1>", 22,
                    keep_alive);
     return;
   }
@@ -375,7 +501,7 @@ void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
   // module), a distinct feature with its own transactions.
   if (!range_header.empty()) {
     http::ByteRange range = http::parse_range(range_header);
-    serve_range(conn, full_path, fsize, range, keep_alive);
+    serve_range(ws, conn, full_path, fsize, range, keep_alive);
     return;
   }
   if (fsize > kBigFileBytes) {
@@ -383,13 +509,13 @@ void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
     // sendfile split), and therefore their own transaction sites: the
     // adaptive policy can demote exactly these without touching the small-
     // file hot path — the per-site behaviour behind Fig. 3.
-    serve_big_file(conn, full_path, fsize, keep_alive, head_only);
+    serve_big_file(ws, conn, full_path, fsize, keep_alive, head_only);
     return;
   }
   const int ffd = FIR_OPEN(fx_, full_path, kRdOnly);
   if (ffd < 0) {
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     return;
   }
   // Per-request scratch: the paper's malloc -> OOM -> internal-server-error
@@ -399,8 +525,9 @@ void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
   if (scratch == nullptr) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "oom_abort_request");
     FIR_LOG(kInfo) << "miniginx: out of memory serving request";
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "<h1>500</h1>", 12,
+                   keep_alive);
     FIR_CLOSE(fx_, ffd);
     return;
   }
@@ -413,8 +540,9 @@ void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
   if (is_ssi) {
     expanded = static_cast<char*>(FIR_MALLOC(fx_, scratch_size + 512));
     if (expanded == nullptr) {
-      counters_.responses_5xx += 1;
-      queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+      ws.counters->responses_5xx += 1;
+      queue_response(ws, conn, 500, "text/html", "<h1>500</h1>", 12,
+                     keep_alive);
       FIR_FREE(fx_, scratch);
       FIR_CLOSE(fx_, ffd);
       return;
@@ -427,8 +555,8 @@ void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
     // server answers with an empty response instead of crashing.
     HSFI_HANDLER_POINT(fx_.hsfi(), "pread_error_path");
     FIR_LOG(kInfo) << "miniginx: pread failed errno=" << fx_.err();
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     if (expanded != nullptr) FIR_FREE(fx_, expanded);
     FIR_FREE(fx_, scratch);
     FIR_CLOSE(fx_, ffd);
@@ -445,42 +573,43 @@ void Miniginx::serve_file(Conn* conn, const char* full_path, bool keep_alive,
 
   HSFI_POINT(fx_.hsfi(), "build_response_headers", /*critical=*/false);
   const std::string_view mime = http::mime_type(path_view);
-  counters_.requests_ok += 1;
+  ws.counters->requests_ok += 1;
   char mime_buf[64];
   const std::size_t mlen = mime.size() < sizeof(mime_buf) - 1
                                ? mime.size()
                                : sizeof(mime_buf) - 1;
   std::memcpy(mime_buf, mime.data(), mlen);
   mime_buf[mlen] = '\0';
-  queue_response(conn, 200, mime_buf, body, head_only ? 0 : body_len,
+  queue_response(ws, conn, 200, mime_buf, body, head_only ? 0 : body_len,
                  keep_alive);
   if (expanded != nullptr) FIR_FREE(fx_, expanded);
   FIR_FREE(fx_, scratch);
   FIR_CLOSE(fx_, ffd);
 }
 
-void Miniginx::serve_big_file(Conn* conn, const char* full_path,
-                              std::size_t fsize, bool keep_alive,
-                              bool head_only) {
+void Miniginx::serve_big_file(WorkerState& ws, Conn* conn,
+                              const char* full_path, std::size_t fsize,
+                              bool keep_alive, bool head_only) {
   const int ffd = FIR_OPEN(fx_, full_path, kRdOnly);
   if (ffd < 0) {
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     return;
   }
   char* scratch = static_cast<char*>(FIR_MALLOC(fx_, fsize));
   if (scratch == nullptr) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "bigfile_oom");
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "<h1>500</h1>", 12,
+                   keep_alive);
     FIR_CLOSE(fx_, ffd);
     return;
   }
   const ssize_t got = FIR_PREAD(fx_, ffd, scratch, fsize, 0);
   if (got < 0) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "bigfile_read_error");
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     FIR_FREE(fx_, scratch);
     FIR_CLOSE(fx_, ffd);
     return;
@@ -490,21 +619,21 @@ void Miniginx::serve_big_file(Conn* conn, const char* full_path,
   char mime_buf[64];
   std::snprintf(mime_buf, sizeof(mime_buf), "%.*s",
                 static_cast<int>(mime.size()), mime.data());
-  counters_.requests_ok += 1;
-  queue_response(conn, 200, mime_buf, scratch,
+  ws.counters->requests_ok += 1;
+  queue_response(ws, conn, 200, mime_buf, scratch,
                  head_only ? 0 : static_cast<std::size_t>(got), keep_alive);
   FIR_FREE(fx_, scratch);
   FIR_CLOSE(fx_, ffd);
 }
 
-void Miniginx::serve_range(Conn* conn, const char* full_path,
-                           std::size_t fsize, http::ByteRange range,
-                           bool keep_alive) {
+void Miniginx::serve_range(WorkerState& ws, Conn* conn,
+                           const char* full_path, std::size_t fsize,
+                           http::ByteRange range, bool keep_alive) {
   HSFI_POINT(fx_.hsfi(), "range_request", /*critical=*/false);
   if (!http::resolve_range(range, fsize)) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "range_unsatisfiable");
-    counters_.responses_4xx += 1;
-    last_status_ = 416;
+    ws.counters->responses_4xx += 1;
+    ws.last_status = 416;
     char head[128];
     const int hlen = std::snprintf(
         head, sizeof(head),
@@ -520,15 +649,16 @@ void Miniginx::serve_range(Conn* conn, const char* full_path,
   const std::size_t span = range.last - range.first + 1;
   const int ffd = FIR_OPEN(fx_, full_path, kRdOnly);
   if (ffd < 0) {
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     return;
   }
   char* scratch = static_cast<char*>(FIR_MALLOC(fx_, span));
   if (scratch == nullptr) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "range_oom");
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "<h1>500</h1>", 12, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "<h1>500</h1>", 12,
+                   keep_alive);
     FIR_CLOSE(fx_, ffd);
     return;
   }
@@ -536,15 +666,15 @@ void Miniginx::serve_range(Conn* conn, const char* full_path,
                                 static_cast<std::int64_t>(range.first));
   if (got < 0) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "range_read_error");
-    counters_.responses_5xx += 1;
-    queue_response(conn, 500, "text/html", "", 0, keep_alive);
+    ws.counters->responses_5xx += 1;
+    queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     FIR_FREE(fx_, scratch);
     FIR_CLOSE(fx_, ffd);
     return;
   }
   HSFI_POINT(fx_.hsfi(), "range_response", /*critical=*/false);
-  counters_.requests_ok += 1;
-  last_status_ = 206;
+  ws.counters->requests_ok += 1;
+  ws.last_status = 206;
   char head[256];
   const std::string_view mime = http::mime_type(full_path);
   const int hlen = std::snprintf(
@@ -579,7 +709,7 @@ void Miniginx::access_log(const http::Request& req, int status) {
   }
 }
 
-void Miniginx::queue_response(Conn* conn, int status,
+void Miniginx::queue_response(WorkerState& ws, Conn* conn, int status,
                               const char* content_type, const char* body,
                               std::size_t body_len, bool keep_alive) {
   char buf[sizeof(Conn::tx)];
@@ -587,13 +717,13 @@ void Miniginx::queue_response(Conn* conn, int status,
       buf, sizeof(buf), status, http::reason_phrase(status), content_type,
       {body, body_len}, keep_alive);
   HSFI_HANDLER_POINT(fx_.hsfi(), "queue_response");
-  last_status_ = status;
+  ws.last_status = status;
   tx_memcpy(conn->tx, buf, n);
   tx_store(conn->tx_len, static_cast<std::uint32_t>(n));
   tx_store(conn->tx_off, 0u);
 }
 
-void Miniginx::handle_writable(int fd, Conn* conn) {
+void Miniginx::handle_writable(WorkerState& ws, int fd, Conn* conn) {
   while (conn->tx_off < conn->tx_len) {
     const ssize_t w = FIR_SEND(fx_, fd, conn->tx + conn->tx_off,
                                conn->tx_len - conn->tx_off);
@@ -601,7 +731,7 @@ void Miniginx::handle_writable(int fd, Conn* conn) {
       if (fx_.err() == EAGAIN) return;  // wait for EPOLLOUT
       HSFI_HANDLER_POINT(fx_.hsfi(), "send_error_path");
       FIR_LOG(kInfo) << "miniginx: send failed errno=" << fx_.err();
-      close_conn(fd, conn);
+      close_conn(ws, fd, conn);
       return;
     }
     tx_store(conn->tx_off, conn->tx_off + static_cast<std::uint32_t>(w));
@@ -612,18 +742,22 @@ void Miniginx::handle_writable(int fd, Conn* conn) {
   tx_store(conn->tx_off, 0u);
   if (conn->keep_alive != 0) {
     tx_store(conn->state, static_cast<std::uint8_t>(kReading));
-    FIR_EPOLL_CTL(fx_, epfd_, kEpollMod, fd, kPollIn);
+    FIR_EPOLL_CTL(fx_, ws.epfd, kEpollMod, fd, kPollIn);
     // Pipelined request already buffered? Serve it now.
-    if (conn->rx_len > 0) process_request(fd, conn);
+    if (conn->rx_len > 0) process_request(ws, fd, conn);
   } else {
-    close_conn(fd, conn);
+    close_conn(ws, fd, conn);
   }
 }
 
-
 std::size_t Miniginx::resident_state_bytes() const {
-  return conns_.footprint_bytes() +
-         fd_conn_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+  std::size_t total = sizeof(*this) + loop_.conns.footprint_bytes() +
+                      loop_.fd_conn.capacity() * sizeof(std::int32_t);
+  for (const WorkerState& ws : workers_) {
+    total += sizeof(WorkerState) + ws.conns.footprint_bytes() +
+             ws.fd_conn.capacity() * sizeof(std::int32_t);
+  }
+  return total;
 }
 
 }  // namespace fir

@@ -6,10 +6,23 @@
 // open/pread/close, keep-alive connections, and a Server Side Includes
 // (SSI) substitution pass with an optional NULL-pointer-dereference bug
 // reproducing nginx 1.11.0 ticket #1263 (§VI-F).
+//
+// Two execution modes share the same handler code:
+//   * cooperative: the workload driver calls run_once() on its own thread
+//     (the historical single-threaded mode);
+//   * worker pool: start_workers(n) spawns n event-loop threads, each with
+//     its own listener (port+1+i, nginx's SO_REUSEPORT-per-worker shape),
+//     epoll instance, connection pool and fd map. Workers share the Fx —
+//     the per-thread recovery runtime gives each its own crash
+//     transactions, and an unrecoverable fault kills only the worker it
+//     fired on (crash containment), never its siblings.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "apps/http.h"
@@ -33,11 +46,43 @@ class Miniginx final : public Server {
   std::size_t resident_state_bytes() const override;
 
   /// Enables the §VI-F NULL-deref bug: SSI substitution of an unknown
-  /// variable dereferences the NULL lookup result.
+  /// variable dereferences the NULL lookup result (fail-stop via the
+  /// defensive check_ptr -> synchronous crash channel).
   void enable_ssi_null_bug(bool on) { ssi_null_bug_ = on; }
+
+  /// Enables the §VI-F bug WITHOUT the defensive check: the NULL result is
+  /// dereferenced by an actual load, so the fault arrives as a genuine
+  /// SIGSEGV. Requires FIR_SIGNALS=1 to be survivable — exactly how the
+  /// unpatched nginx bug behaves. Implies enable_ssi_null_bug().
+  void enable_hard_ssi_null_bug(bool on) {
+    ssi_hard_null_bug_ = on;
+    if (on) ssi_null_bug_ = true;
+  }
 
   /// Populates the document root with the default test-suite content.
   void install_default_docroot();
+
+  // --- worker pool --------------------------------------------------------
+  /// Spawns `n` worker event-loop threads. Worker i listens on
+  /// port() + 1 + i (query with worker_port). Requires start() first.
+  Status start_workers(int n);
+  /// Stops and joins all workers, releases their resources, and folds
+  /// their service counters into the server-wide aggregate.
+  void stop_workers();
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  std::uint16_t worker_port(int i) const {
+    return workers_[static_cast<std::size_t>(i)].port;
+  }
+  /// False once worker i died to an unrecoverable fault (its siblings keep
+  /// running — the property the threaded recovery tests assert).
+  bool worker_alive(int i) const {
+    return workers_[static_cast<std::size_t>(i)].alive.load(
+        std::memory_order_relaxed);
+  }
+  /// Service counters summed over the cooperative loop and every worker
+  /// (the per-worker counters are single-writer; read when quiescent for
+  /// exact totals).
+  ServerCounters aggregated_counters() const;
 
  private:
   struct Conn {
@@ -54,47 +99,74 @@ class Miniginx final : public Server {
   };
   enum ConnState : std::uint8_t { kReading = 1, kWriting = 2 };
 
-  void accept_new_connections();
-  void handle_readable(int fd, Conn* conn);
-  void handle_writable(int fd, Conn* conn);
+  /// One event loop's worth of state. The cooperative run_once() loop and
+  /// every worker thread each own one — connection pool, fd map and
+  /// counters are never shared across threads, only the Fx (whose runtime
+  /// is per-thread underneath) and the access log fd (Env-serialized).
+  struct WorkerState {
+    int index = -1;  // -1: the cooperative run_once() loop
+    std::uint16_t port = 0;
+    int listen_fd = -1;
+    int epfd = -1;
+    int last_status = 0;  // most recently queued response (access log)
+    /// Where the handlers account; aliases Server::counters_ for the
+    /// cooperative loop, own_counters for workers (single-writer each).
+    ServerCounters* counters = nullptr;
+    ServerCounters own_counters;
+    TrackedPool<Conn> conns{64};
+    std::vector<std::int32_t> fd_conn =
+        std::vector<std::int32_t>(1024, -1);  // fd -> pool index
+    std::atomic<bool> alive{false};
+    std::thread thread;
+  };
+
+  /// Gated listener + epoll setup for one loop (runs on the calling
+  /// thread; init phase, unprotected).
+  Status open_listener(WorkerState& ws);
+  void release_loop_resources(WorkerState& ws);
+  void worker_main(WorkerState& ws);
+  /// One epoll pass; returns true when any event was handled.
+  bool event_pass(WorkerState& ws);
+
+  void accept_new_connections(WorkerState& ws);
+  void handle_readable(WorkerState& ws, int fd, Conn* conn);
+  void handle_writable(WorkerState& ws, int fd, Conn* conn);
   /// Processes one complete request in conn->rx; fills conn->tx.
-  void process_request(int fd, Conn* conn);
+  void process_request(WorkerState& ws, int fd, Conn* conn);
   /// Serves a static file (with optional SSI pass) into conn->tx.
-  void serve_file(Conn* conn, const char* full_path, bool keep_alive,
-                  bool head_only, std::string_view range);
+  void serve_file(WorkerState& ws, Conn* conn, const char* full_path,
+                  bool keep_alive, bool head_only, std::string_view range);
   /// Dedicated large-file path (distinct transaction sites; see Fig. 3).
-  void serve_big_file(Conn* conn, const char* full_path, std::size_t fsize,
-                      bool keep_alive, bool head_only);
+  void serve_big_file(WorkerState& ws, Conn* conn, const char* full_path,
+                      std::size_t fsize, bool keep_alive, bool head_only);
   /// SSI variable lookup; returns nullptr for unknown variables when the
   /// §VI-F bug is enabled, "(none)" otherwise.
   const char* ssi_get_variable(const char* name, std::size_t len);
   /// Expands <!--#echo var="..." --> directives from src into dst.
   std::size_t ssi_expand(const char* src, std::size_t len, char* dst,
                          std::size_t cap);
-  void queue_response(Conn* conn, int status, const char* content_type,
-                      const char* body, std::size_t body_len,
-                      bool keep_alive);
+  void queue_response(WorkerState& ws, Conn* conn, int status,
+                      const char* content_type, const char* body,
+                      std::size_t body_len, bool keep_alive);
   /// Serves a byte range of a file (206 Partial Content / 416).
-  void serve_range(Conn* conn, const char* full_path, std::size_t fsize,
-                   http::ByteRange range, bool keep_alive);
+  void serve_range(WorkerState& ws, Conn* conn, const char* full_path,
+                   std::size_t fsize, http::ByteRange range, bool keep_alive);
   /// Appends one access-log line (buffered write, nginx-style).
   void access_log(const http::Request& req, int status);
-  void close_conn(int fd, Conn* conn);
-  Conn* conn_of(int fd);
+  void close_conn(WorkerState& ws, int fd, Conn* conn);
+  Conn* conn_of(WorkerState& ws, int fd);
 
   std::uint16_t port_ = kDefaultPort;
-  int listen_fd_ = -1;
-  int epfd_ = -1;
   int access_log_fd_ = -1;
-  /// Status of the most recently queued response (access-log input).
-  int last_status_ = 0;
   bool running_ = false;
   bool ssi_null_bug_ = false;
+  bool ssi_hard_null_bug_ = false;
   /// Responses above this take the dedicated large-file path.
   static constexpr std::size_t kBigFileBytes = 8 * 1024;
 
-  TrackedPool<Conn> conns_{64};
-  std::vector<std::int32_t> fd_conn_;  // fd -> pool index, tracked stores
+  WorkerState loop_;  // the cooperative run_once() loop's state
+  std::deque<WorkerState> workers_;  // address-stable (threads hold refs)
+  std::atomic<bool> workers_running_{false};
 };
 
 }  // namespace fir

@@ -7,6 +7,7 @@
 
 #include <ctime>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -14,15 +15,22 @@ namespace fir {
 
 /// Monotonic simulated time in nanoseconds, advanced explicitly by the
 /// environment (e.g. each virtual syscall costs a few hundred ns, each
-/// poller wait advances to the next readiness event).
+/// poller wait advances to the next readiness event). Atomic relaxed:
+/// advances run under the Env lock, but the observability layer timestamps
+/// trace events from whichever thread is in a gate, so reads race with
+/// advances. Per-variable coherence is all a timestamp needs.
 class VirtualClock {
  public:
-  std::uint64_t now_ns() const { return now_ns_; }
-  void advance_ns(std::uint64_t delta) { now_ns_ += delta; }
-  void reset() { now_ns_ = 0; }
+  std::uint64_t now_ns() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta) {
+    now_ns_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void reset() { now_ns_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t now_ns_ = 0;
+  std::atomic<std::uint64_t> now_ns_{0};
 };
 
 /// Process-CPU-time stopwatch (CLOCK_PROCESS_CPUTIME_ID): the throughput

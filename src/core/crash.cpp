@@ -3,17 +3,27 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace fir {
 namespace {
-CrashHandler* g_handler = nullptr;
+/// The process-wide handler pointer is the one piece of crash-channel state
+/// every thread shares: signals land on whichever thread faulted, so the
+/// read in the handler must be race-free against a manager claiming or
+/// releasing the slot on another thread. Relaxed is enough — the handler
+/// object itself is made visible by the happens-before edge of whatever
+/// started the faulting thread after the manager was constructed.
+std::atomic<CrashHandler*> g_handler{nullptr};
 
 // --- signal channel state ---------------------------------------------------
-// The whole runtime is single-threaded (one protected event loop per
-// process); these globals are written either before handlers are installed
-// or from the handler itself, which cannot race with the interrupted code.
+// Signals are delivered to the faulting thread, so everything describing
+// "the crash in flight" is thread-local: concurrent faults on different
+// threads each see their own dispatch latch and SignalCrashInfo. Only the
+// installation bookkeeping is shared, and that is guarded by a mutex (it
+// runs at manager construction, never on a fault path).
 
 /// Signals the channel proxies, in CrashKind order plus SIGALRM (watchdog).
 constexpr int kChannelSignals[] = {SIGSEGV, SIGABRT, SIGILL,
@@ -21,16 +31,24 @@ constexpr int kChannelSignals[] = {SIGSEGV, SIGABRT, SIGILL,
 constexpr int kChannelSignalCount =
     static_cast<int>(sizeof(kChannelSignals) / sizeof(kChannelSignals[0]));
 
+std::mutex g_install_mu;
 int g_install_count = 0;
 struct sigaction g_previous[kChannelSignalCount];
 stack_t g_previous_altstack;
-/// Dedicated signal stack: static storage so installation never allocates
-/// and the handler always has a valid stack even if the fault corrupted the
-/// application stack pointer. 64 KiB clears MINSIGSTKSZ on every platform.
-alignas(16) std::uint8_t g_altstack[64 * 1024];
 
-SignalCrashInfo g_last_signal;
-bool g_in_dispatch = false;
+constexpr std::size_t kAltStackBytes = 64 * 1024;  // clears MINSIGSTKSZ
+
+/// Per-thread sigaltstack registration. sigaltstack is a per-thread kernel
+/// attribute: every thread that may fault needs its own stack or SA_ONSTACK
+/// silently falls back to the (possibly trashed) thread stack. The buffer
+/// is heap-allocated once per thread and deliberately leaked — freeing it
+/// from a thread_local destructor would leave the kernel pointing at freed
+/// memory for any signal delivered during thread teardown.
+thread_local std::uint8_t* t_altstack = nullptr;
+thread_local bool t_altstack_registered = false;
+
+thread_local SignalCrashInfo t_last_signal;
+thread_local bool t_in_dispatch = false;
 
 CrashKind kind_from_signo(int signo) {
   switch (signo) {
@@ -61,26 +79,28 @@ void pass_through(int signo) {
 /// the handle_crash handoff is async-signal-safe: static-storage writes,
 /// sigaction/sigprocmask, plain-field virtual queries.
 void channel_handler(int signo, siginfo_t* info, void* /*ucontext*/) {
-  g_last_signal.signo = signo;
-  g_last_signal.kind = kind_from_signo(signo);
-  g_last_signal.fault_addr = info != nullptr ? info->si_addr : nullptr;
-  ++g_last_signal.count;
+  t_last_signal.signo = signo;
+  t_last_signal.kind = kind_from_signo(signo);
+  t_last_signal.fault_addr = info != nullptr ? info->si_addr : nullptr;
+  ++t_last_signal.count;
   // Latched before any query: whatever happens next (double fault included)
   // arrived through this channel.
-  g_in_dispatch = true;
+  t_in_dispatch = true;
 
-  CrashHandler* handler = g_handler;
+  CrashHandler* handler = g_handler.load(std::memory_order_relaxed);
   if (handler != nullptr && handler->in_recovery()) {
-    // A fault while the recovery step itself was running (compensation
-    // action crashed, watchdog fired mid-rollback): recursing would corrupt
-    // the half-restored state, so escalate and terminate.
-    handler->handle_double_fault(g_last_signal.kind);
+    // A fault while the recovery step itself was running on THIS thread
+    // (compensation action crashed, watchdog fired mid-rollback): recursing
+    // would corrupt the half-restored state, so escalate and terminate.
+    // in_recovery()/crash_recoverable() consult per-thread state, so a
+    // sibling thread mid-recovery does not make this thread's fault fatal.
+    handler->handle_double_fault(t_last_signal.kind);
   }
   if (handler == nullptr || !handler->crash_recoverable()) {
     // No transaction covers the fault (or it hit an already-diverted error
     // handler): the honest outcome is the vanilla one — die with the
     // original signal so the parent sees the real termination status.
-    g_in_dispatch = false;
+    t_in_dispatch = false;
     pass_through(signo);
     return;
   }
@@ -93,8 +113,8 @@ void channel_handler(int signo, siginfo_t* info, void* /*ucontext*/) {
   sigset_t unblock;
   sigemptyset(&unblock);
   sigaddset(&unblock, signo);
-  sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
-  handler->handle_crash(g_last_signal.kind);
+  pthread_sigmask(SIG_UNBLOCK, &unblock, nullptr);
+  handler->handle_crash(t_last_signal.kind);
 }
 
 }  // namespace
@@ -146,15 +166,15 @@ void CrashHandler::handle_double_fault(CrashKind kind) {
 }
 
 CrashHandler* set_crash_handler(CrashHandler* handler) {
-  CrashHandler* prev = g_handler;
-  g_handler = handler;
-  return prev;
+  return g_handler.exchange(handler, std::memory_order_relaxed);
 }
 
-CrashHandler* crash_handler() { return g_handler; }
+CrashHandler* crash_handler() {
+  return g_handler.load(std::memory_order_relaxed);
+}
 
 void raise_crash(CrashKind kind) {
-  CrashHandler* handler = g_handler;
+  CrashHandler* handler = g_handler.load(std::memory_order_relaxed);
   if (handler != nullptr && handler->in_recovery()) {
     // Same double-fault contract as the signal channel: a compensation
     // action (or any recovery code) that crashes must not re-enter
@@ -167,17 +187,32 @@ void raise_crash(CrashKind kind) {
                 " with no recovery runtime installed");
 }
 
-bool install_signal_channel() {
-  if (g_install_count > 0) {
-    ++g_install_count;
-    return true;
-  }
+bool ensure_thread_signal_stack() {
+  if (t_altstack_registered) return true;
+  if (t_altstack == nullptr) t_altstack = new std::uint8_t[kAltStackBytes];
   stack_t altstack;
   std::memset(&altstack, 0, sizeof(altstack));
-  altstack.ss_sp = g_altstack;
-  altstack.ss_size = sizeof(g_altstack);
+  altstack.ss_sp = t_altstack;
+  altstack.ss_size = kAltStackBytes;
   altstack.ss_flags = 0;
-  if (sigaltstack(&altstack, &g_previous_altstack) != 0) return false;
+  if (sigaltstack(&altstack, nullptr) != 0) return false;
+  t_altstack_registered = true;
+  return true;
+}
+
+bool install_signal_channel() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  if (g_install_count > 0) {
+    ++g_install_count;
+    ensure_thread_signal_stack();
+    return true;
+  }
+  // Remember the installing thread's previous stack so uninstall can
+  // restore it (the count drops to zero on the same thread in practice);
+  // other threads register theirs via ensure_thread_signal_stack and keep
+  // them — a registered-but-unused altstack is harmless.
+  if (sigaltstack(nullptr, &g_previous_altstack) != 0) return false;
+  if (!ensure_thread_signal_stack()) return false;
 
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
@@ -192,7 +227,8 @@ bool install_signal_channel() {
     if (sigaction(kChannelSignals[i], &action, &g_previous[i]) != 0) {
       for (int j = 0; j < i; ++j)
         sigaction(kChannelSignals[j], &g_previous[j], nullptr);
-      sigaltstack(&g_previous_altstack, nullptr);
+      if (sigaltstack(&g_previous_altstack, nullptr) == 0)
+        t_altstack_registered = false;
       return false;
     }
   }
@@ -201,24 +237,29 @@ bool install_signal_channel() {
 }
 
 void uninstall_signal_channel() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
   if (g_install_count == 0) return;
   if (--g_install_count > 0) return;
   for (int i = 0; i < kChannelSignalCount; ++i)
     sigaction(kChannelSignals[i], &g_previous[i], nullptr);
-  sigaltstack(&g_previous_altstack, nullptr);
+  if (sigaltstack(&g_previous_altstack, nullptr) == 0)
+    t_altstack_registered = false;
 }
 
-bool signal_channel_installed() { return g_install_count > 0; }
+bool signal_channel_installed() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  return g_install_count > 0;
+}
 
 bool signal_channel_env_enabled() {
   const char* v = std::getenv("FIR_SIGNALS");
   return v != nullptr && !(v[0] == '0' && v[1] == '\0');
 }
 
-const SignalCrashInfo& last_signal_crash() { return g_last_signal; }
+const SignalCrashInfo& last_signal_crash() { return t_last_signal; }
 
-bool in_signal_dispatch() { return g_in_dispatch; }
+bool in_signal_dispatch() { return t_in_dispatch; }
 
-void clear_signal_dispatch() { g_in_dispatch = false; }
+void clear_signal_dispatch() { t_in_dispatch = false; }
 
 }  // namespace fir

@@ -114,20 +114,35 @@ struct SignalCrashInfo {
 /// SIGFPE, SIGABRT, SIGALRM). Reference-counted: the first call installs,
 /// later calls just bump the count; returns false if sigaction/sigaltstack
 /// failed. Each successful install must be paired with one uninstall.
+/// Registers the calling thread's signal stack as a side effect; other
+/// threads that want their faults caught on a dedicated stack call
+/// ensure_thread_signal_stack() themselves (the TxManager does this when a
+/// new thread first enters a gate).
 bool install_signal_channel();
 void uninstall_signal_channel();
 bool signal_channel_installed();
+
+/// Registers a dedicated 64 KiB signal stack for the calling thread
+/// (sigaltstack is a per-thread attribute; sigaction handlers are
+/// process-wide). Idempotent per thread; the stack is intentionally leaked
+/// at thread exit — the kernel may still reference it while the thread
+/// winds down, and worker threads are few and long-lived. Returns false if
+/// the kernel rejected the registration.
+bool ensure_thread_signal_stack();
 
 /// True when the FIR_SIGNALS environment variable requests the real
 /// channel ("1"/anything but "0").
 bool signal_channel_env_enabled();
 
-/// Most recent signal the channel caught (kind, fault address, signo).
+/// Most recent signal the calling thread caught (kind, fault address,
+/// signo). Thread-local: signals land on the faulting thread, so each
+/// thread sees its own crash history.
 const SignalCrashInfo& last_signal_crash();
 
-/// True between signal entry and the recovery resume: tells the handler
-/// that this crash arrived asynchronously (skip stdio, record the fault
-/// address). Cleared by the TxManager when the gate resumes.
+/// True between signal entry and the recovery resume on this thread: tells
+/// the handler that this crash arrived asynchronously (skip stdio, record
+/// the fault address). Thread-local; cleared by the TxManager when the gate
+/// resumes.
 bool in_signal_dispatch();
 void clear_signal_dispatch();
 

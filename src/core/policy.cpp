@@ -28,8 +28,12 @@ bool AdaptivePolicy::manual_stm(const Site& site) const {
 }
 
 TxMode AdaptivePolicy::choose_mode(Site& site) {
+  // Gate fast path: lock-free. Counters are relaxed atomics — threads
+  // executing the same site concurrently aggregate into one abort-ratio
+  // account; nothing here orders other memory.
   GateState& gate = site.gate;
-  ++gate.executions;
+  const std::uint64_t executions =
+      gate.executions.fetch_add(1, std::memory_order_relaxed) + 1;
 
   switch (config_.kind) {
     case PolicyKind::kUnprotected:
@@ -42,19 +46,27 @@ TxMode AdaptivePolicy::choose_mode(Site& site) {
     case PolicyKind::kManual:
       return manual_stm(site) ? TxMode::kStm : TxMode::kHtm;
     case PolicyKind::kAdaptive: {
-      if (gate.sticky_stm) return TxMode::kStm;
+      if (gate.sticky_stm.load(std::memory_order_relaxed)) return TxMode::kStm;
       // Periodic threshold check: every sample_size executions, compare the
-      // lifetime abort ratio against the tolerance (§IV-C / §VI-D).
-      if (++gate.window_executions >= config_.sample_size) {
-        gate.window_executions = 0;
-        const double ratio =
-            gate.executions == 0
-                ? 0.0
-                : static_cast<double>(gate.htm_aborts) /
-                      static_cast<double>(gate.executions);
-        if (ratio > config_.abort_threshold && gate.htm_aborts > 0) {
-          gate.sticky_stm = true;
-          publish_demotion(site);
+      // lifetime abort ratio against the tolerance (§IV-C / §VI-D). The
+      // window counter is a shared tally, so under concurrency "every
+      // sample_size executions" is across all threads combined.
+      if (gate.window_executions.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          config_.sample_size) {
+        gate.window_executions.store(0, std::memory_order_relaxed);
+        const std::uint64_t aborts =
+            gate.htm_aborts.load(std::memory_order_relaxed);
+        const double ratio = static_cast<double>(aborts) /
+                             static_cast<double>(executions);
+        if (ratio > config_.abort_threshold && aborts > 0) {
+          // CAS so exactly one thread wins the demotion and publishes it:
+          // concurrent losers still return kStm, but the kSiteDemotion
+          // event and "policy.demotions" increment happen once per site.
+          bool expected = false;
+          if (gate.sticky_stm.compare_exchange_strong(
+                  expected, true, std::memory_order_relaxed)) {
+            publish_demotion(site);
+          }
           return TxMode::kStm;
         }
       }
@@ -73,8 +85,8 @@ void AdaptivePolicy::publish_demotion(const Site& site) {
 }
 
 TxMode AdaptivePolicy::on_htm_abort(Site& site) {
-  ++site.gate.htm_aborts;
-  ++site.stats.htm_aborts;
+  site.gate.htm_aborts.fetch_add(1, std::memory_order_relaxed);
+  site.stats.htm_aborts.fetch_add(1, std::memory_order_relaxed);
   if (config_.kind == PolicyKind::kHtmOnly) return TxMode::kNone;
   return TxMode::kStm;
 }

@@ -1,24 +1,40 @@
 #include "core/site.h"
 
+#include <cassert>
+
 namespace fir {
+
+SiteRegistry::~SiteRegistry() {
+  for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
+}
 
 SiteId SiteRegistry::intern(std::string_view function,
                             std::string_view location) {
-  for (const Site& site : sites_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = size_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Site& site = (*this)[static_cast<SiteId>(i)];
     if (site.function == function && site.location == location)
       return site.id;
   }
-  Site site;
-  site.id = static_cast<SiteId>(sites_.size());
+  assert(n < kMaxChunks * kChunkSize && "site table full");
+  const std::size_t chunk = n >> kChunkShift;
+  if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr)
+    chunks_[chunk].store(new Site[kChunkSize], std::memory_order_release);
+  Site& site = (*this)[static_cast<SiteId>(n)];
+  site.id = static_cast<SiteId>(n);
   site.function = std::string(function);
   site.location = std::string(location);
   site.spec = LibraryCatalog::instance().find(function);
-  sites_.push_back(std::move(site));
-  return sites_.back().id;
+  // Fields above are published to other threads by whatever hands them the
+  // SiteId (SiteCache release-store or the size_ release below).
+  size_.store(n + 1, std::memory_order_release);
+  return site.id;
 }
 
 void SiteRegistry::reset_runtime_state() {
-  for (Site& site : sites_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Site& site : all_mutable()) {
     site.gate = GateState{};
     site.stats = SiteStats{};
   }

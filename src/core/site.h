@@ -5,11 +5,20 @@
 // entry gate" + the per-site tx_gate[] slot). It carries the library
 // function's catalog entry, the adaptive-policy state for this location, and
 // the counters behind Tables III/IV and Figures 3/6/8.
+//
+// The site table is the piece of runtime state every worker thread shares:
+// a gate expansion in thread A and thread B can hit the same Site
+// concurrently. All mutable per-site state is therefore atomic (relaxed —
+// each counter only needs per-variable coherence, see docs/ARCHITECTURE.md
+// "Threading model"), and the registry hands out stable addresses so a
+// cached SiteId/pointer never dangles across later registrations.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
-#include <vector>
 
 #include "libmodel/catalog.h"
 
@@ -27,33 +36,71 @@ enum class TxMode : std::uint8_t {
 
 /// Per-site adaptive-policy state: the runtime value of the paper's
 /// tx_gate[] entry plus the abort-accounting window (§IV-C) and the
-/// persistent-crash memory behind the crash-storm backstop.
+/// persistent-crash memory behind the crash-storm backstop. Updated from
+/// every thread that executes the site; copyable so reporting code can
+/// still take value snapshots.
 struct GateState {
   /// Permanently demoted to STM by the dynamic adaptation policy.
-  bool sticky_stm = false;
+  std::atomic<bool> sticky_stm{false};
   /// Lifetime counters.
-  std::uint64_t executions = 0;
-  std::uint64_t htm_aborts = 0;
+  std::atomic<std::uint64_t> executions{0};
+  std::atomic<std::uint64_t> htm_aborts{0};
   /// Executions since the last threshold check (window of `sample_size`).
-  std::uint32_t window_executions = 0;
+  std::atomic<std::uint32_t> window_executions{0};
   /// Times this site's persistent crashes were diverted. Once it reaches
   /// the policy's storm threshold, the transient-retry attempt is skipped
   /// and the site diverts immediately (crash-storm backstop): a site that
   /// keeps proving its faults persistent should not pay a wasted
   /// re-execution per request.
-  std::uint32_t diversions = 0;
+  std::atomic<std::uint32_t> diversions{0};
+
+  GateState() = default;
+  GateState(const GateState& o) { *this = o; }
+  GateState& operator=(const GateState& o) {
+    sticky_stm.store(o.sticky_stm.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    executions.store(o.executions.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    htm_aborts.store(o.htm_aborts.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    window_executions.store(
+        o.window_executions.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    diversions.store(o.diversions.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
 };
 
-/// Per-site outcome counters.
+/// Per-site outcome counters. Same concurrency contract as GateState.
 struct SiteStats {
-  std::uint64_t transactions = 0;   // times a transaction began here
-  std::uint64_t commits = 0;
-  std::uint64_t htm_aborts = 0;     // capacity/interrupt/conflict aborts
-  std::uint64_t crashes = 0;        // fatal faults inside this site's txns
-  std::uint64_t retries = 0;        // rollback + re-execution attempts
-  std::uint64_t diversions = 0;     // fault injections performed
-  std::uint64_t fatal = 0;          // crashes this site could not absorb
-  std::uint64_t embedded_calls = 0; // non-divertible calls folded in
+  std::atomic<std::uint64_t> transactions{0};  // times a txn began here
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> htm_aborts{0};  // capacity/interrupt/conflict
+  std::atomic<std::uint64_t> crashes{0};  // fatal faults inside these txns
+  std::atomic<std::uint64_t> retries{0};  // rollback + re-execution attempts
+  std::atomic<std::uint64_t> diversions{0};  // fault injections performed
+  std::atomic<std::uint64_t> fatal{0};  // crashes this site could not absorb
+  std::atomic<std::uint64_t> embedded_calls{0};  // non-divertible folded in
+
+  SiteStats() = default;
+  SiteStats(const SiteStats& o) { *this = o; }
+  SiteStats& operator=(const SiteStats& o) {
+    auto cp = [](std::atomic<std::uint64_t>& dst,
+                 const std::atomic<std::uint64_t>& src) {
+      dst.store(src.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    };
+    cp(transactions, o.transactions);
+    cp(commits, o.commits);
+    cp(htm_aborts, o.htm_aborts);
+    cp(crashes, o.crashes);
+    cp(retries, o.retries);
+    cp(diversions, o.diversions);
+    cp(fatal, o.fatal);
+    cp(embedded_calls, o.embedded_calls);
+    return *this;
+  }
 };
 
 /// One static library-call site.
@@ -76,24 +123,94 @@ struct Site {
 };
 
 /// Registry of all sites in one protected application. SiteIds are dense
-/// indices; registration is idempotent per (function, location).
+/// indices; registration is idempotent per (function, location) and
+/// mutex-guarded (gate SiteCaches make it a once-per-site cold path).
+///
+/// Storage is a fixed array of atomically published chunk pointers, not a
+/// deque: a deque keeps element ADDRESSES stable across growth but
+/// reallocates its internal node map, so an unlocked operator[] racing a
+/// concurrent intern() is a data race on that map. Here growth only
+/// allocates a fresh chunk and release-stores its pointer — nothing a
+/// lock-free reader dereferences is ever moved or freed while the registry
+/// lives. operator[] stays lock-free on the gate fast path.
 class SiteRegistry {
  public:
+  SiteRegistry() {
+    for (auto& chunk : chunks_) chunk.store(nullptr, std::memory_order_relaxed);
+  }
+  ~SiteRegistry();
+  SiteRegistry(const SiteRegistry&) = delete;
+  SiteRegistry& operator=(const SiteRegistry&) = delete;
+
   /// Returns the existing site for (function, location) or creates one.
   SiteId intern(std::string_view function, std::string_view location);
 
-  Site& operator[](SiteId id) { return sites_[id]; }
-  const Site& operator[](SiteId id) const { return sites_[id]; }
-  std::size_t size() const { return sites_.size(); }
+  /// Lock-free. `id` must come from intern() (directly or via a SiteCache):
+  /// that hand-off is the release/acquire pair that makes the Site's
+  /// non-atomic fields visible; the acquire here covers the chunk pointer
+  /// itself when another thread allocated the chunk.
+  Site& operator[](SiteId id) {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & kChunkMask];
+  }
+  const Site& operator[](SiteId id) const {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & kChunkMask];
+  }
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
 
-  const std::vector<Site>& all() const { return sites_; }
-  std::vector<Site>& all_mutable() { return sites_; }
+  /// Iterable snapshot view: sites [0, n) where n is the registry size at
+  /// the moment the view is taken. Sites interned later are not visited;
+  /// the view stays valid across concurrent registration.
+  template <typename RegT, typename SiteT>
+  class ViewT {
+   public:
+    class iterator {
+     public:
+      iterator(RegT* reg, SiteId i) : reg_(reg), i_(i) {}
+      SiteT& operator*() const { return (*reg_)[i_]; }
+      SiteT* operator->() const { return &(*reg_)[i_]; }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      RegT* reg_;
+      SiteId i_;
+    };
+    ViewT(RegT* reg, std::size_t n) : reg_(reg), n_(n) {}
+    iterator begin() const { return iterator(reg_, 0); }
+    iterator end() const { return iterator(reg_, static_cast<SiteId>(n_)); }
+    std::size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+   private:
+    RegT* reg_;
+    std::size_t n_;
+  };
+  using View = ViewT<SiteRegistry, Site>;
+  using ConstView = ViewT<const SiteRegistry, const Site>;
+
+  ConstView all() const { return ConstView(this, size()); }
+  View all_mutable() { return View(this, size()); }
 
   /// Zeroes every site's stats and gate state (fresh experiment run).
   void reset_runtime_state();
 
  private:
-  std::vector<Site> sites_;
+  static constexpr std::size_t kChunkShift = 6;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr SiteId kChunkMask = static_cast<SiteId>(kChunkSize - 1);
+  // 256 chunks x 64 sites: static call sites are bounded by program text,
+  // and 16384 is far beyond any app this runtime protects.
+  static constexpr std::size_t kMaxChunks = 256;
+
+  mutable std::mutex mu_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<Site*> chunks_[kMaxChunks];
 };
 
 }  // namespace fir

@@ -27,23 +27,25 @@ void StackSnapshot::restore() const {
 
 namespace {
 // makecontext's entry function cannot carry pointer arguments portably;
-// route through a single in-flight RecoveryStack instead. Recovery is
-// single-threaded and non-reentrant (a crash during recovery is fatal).
-RecoveryStack* g_running = nullptr;
+// route through the thread's single in-flight RecoveryStack instead.
+// thread_local: each worker thread recovers on its own RecoveryStack, and
+// recovery is non-reentrant per thread (a crash during recovery is fatal),
+// so one slot per thread suffices.
+thread_local RecoveryStack* t_running = nullptr;
 }  // namespace
 
 RecoveryStack::RecoveryStack() : stack_(256 * 1024) {}
 
 void RecoveryStack::trampoline() {
-  RecoveryStack* self = g_running;
-  g_running = nullptr;
+  RecoveryStack* self = t_running;
+  t_running = nullptr;
   self->fn_(self->arg_);
   std::fprintf(stderr, "fir: recovery step returned instead of resuming\n");
   std::abort();
 }
 
 void RecoveryStack::run(Fn fn, void* arg) {
-  if (g_running != nullptr) {
+  if (t_running != nullptr) {
     std::fprintf(stderr, "fir: re-entrant recovery (crash during recovery)\n");
     std::abort();
   }
@@ -57,7 +59,7 @@ void RecoveryStack::run(Fn fn, void* arg) {
   recovery_ctx_.uc_stack.ss_size = stack_.size();
   recovery_ctx_.uc_link = nullptr;
   makecontext(&recovery_ctx_, &RecoveryStack::trampoline, 0);
-  g_running = this;
+  t_running = this;
   swapcontext(&abandoned_ctx_, &recovery_ctx_);
   // The recovery step longjmps into the entry gate; control never flows back
   // through the abandoned context.

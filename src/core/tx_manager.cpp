@@ -1,18 +1,28 @@
 #include "core/tx_manager.h"
 
+#include <sys/syscall.h>
 #include <sys/time.h>
+#include <unistd.h>
 
+#include <csignal>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "common/log.h"
+#include "mem/store_gate.h"
+
+// glibc < 2.36 spells the SIGEV_THREAD_ID target field through the union
+// member only; newer headers provide the POSIX-ish alias.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
 
 namespace fir {
 
 namespace {
-std::uint64_t g_next_generation = 1;
+std::atomic<std::uint64_t> g_next_generation{1};
 
 bool env_u64(const char* name, unsigned long long* out) {
   const char* v = std::getenv(name);
@@ -52,6 +62,42 @@ const char* tx_mode_name(TxMode mode) {
   }
   return "?";
 }
+
+pid_t current_tid() { return static_cast<pid_t>(::syscall(SYS_gettid)); }
+
+/// Context index 0 keeps the configured seed exactly (single-threaded runs
+/// and campaign replays see the historical abort sequence); later contexts
+/// split an independent stream so concurrent workers stay reproducible
+/// per-worker instead of racing for one rng.
+HtmConfig split_htm_config(HtmConfig config, std::size_t index) {
+  if (index > 0)
+    config.seed += static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ULL;
+  return config;
+}
+
+/// Single-writer tally update: per-variable coherence without an atomic RMW
+/// on the gate fast path (the owning thread is the only writer; aggregators
+/// read relaxed from other threads).
+inline void bump(std::atomic<std::uint64_t>& tally, std::uint64_t n = 1) {
+  tally.store(tally.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+}
+
+inline void stat_inc(std::atomic<std::uint64_t>& stat) {
+  stat.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local context cache: one (manager, generation) → context slot per
+/// thread. The generation tag keeps a reincarnated manager at a recycled
+/// address from hitting a stale pointer; the slot is refreshed by every
+/// slow-path lookup, so the thread's most recently used manager always
+/// answers async-signal-safe queries without locks.
+struct TlsCache {
+  const void* mgr = nullptr;
+  std::uint64_t gen = 0;
+  void* ctx = nullptr;
+};
+thread_local TlsCache t_ctx_cache;
 }  // namespace
 
 TxManager::RecoveryCounters::RecoveryCounters(obs::MetricsRegistry& reg)
@@ -67,22 +113,30 @@ TxManager::RecoveryCounters::RecoveryCounters(obs::MetricsRegistry& reg)
       storm_diverts(reg.counter("recovery.storm_diverts")),
       log_dropped(reg.counter("recovery.log_dropped")) {}
 
+TxManager::TxContext::TxContext(const TxManagerConfig& config,
+                                std::size_t context_index, TxManager* manager)
+    : mgr(manager),
+      index(context_index),
+      owner(std::this_thread::get_id()),
+      tid(current_tid()),
+      htm(split_htm_config(config.htm, context_index)) {
+  stm.set_retention(config.undo_retain_bytes);
+  stm.set_filter_enabled(config.stm_write_filter);
+  embedded_reverts.reserve(16);
+  embedded_deferred.reserve(16);
+  comp_arena.reserve(4096);
+}
+
 TxManager::TxManager(Env& env, TxManagerConfig config)
     : env_(env),
       config_(apply_runtime_env(std::move(config))),
       obs_(obs::ObsConfig::from_env(config_.obs)),
       policy_(config_.policy),
-      htm_(config_.htm),
       rc_(obs_.metrics()),
       recovery_latency_(obs_.metrics().histogram("recovery.latency_seconds")),
-      generation_(g_next_generation++) {
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {
   previous_handler_ = set_crash_handler(this);
   StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
-  stm_.set_retention(config_.undo_retain_bytes);
-  stm_.set_filter_enabled(config_.stm_write_filter);
-  embedded_reverts_.reserve(16);
-  embedded_deferred_.reserve(16);
-  comp_arena_.reserve(4096);
   // Reserve the full episode cap up front: log_recovery_event may run on
   // the recovery stack after a real signal, where growing a vector
   // (malloc under a possibly-interrupted allocator lock) would deadlock.
@@ -93,17 +147,59 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
   // up with the Env's syscall accounting.
   obs_.set_clock(&env_.clock());
   policy_.set_observability(&obs_);
-  htm_.register_metrics(obs_.metrics());
-  stm_.register_metrics(obs_.metrics());
   obs_.metrics().add_collector([this](obs::MetricsRegistry& reg) {
-    // Gate-path tallies are plain members (no atomic RMW per gate call);
-    // copy them into the registry only when a snapshot is taken.
-    reg.counter("gate.calls").set(gate_calls_);
-    reg.counter("tx.htm").set(tx_htm_);
-    reg.counter("tx.stm").set(tx_stm_);
-    reg.counter("tx.unprotected").set(tx_none_);
-    reg.counter("tx.commits").set(tx_commits_);
-    reg.counter("tx.deferred_flushed").set(tx_deferred_);
+    // Aggregate every thread context's tallies and engine stats into the
+    // registry only when a snapshot is taken: the gate fast path does no
+    // atomic RMW and no locking. Lock order is metrics → contexts (the
+    // snapshot holds the registry lock while this runs); nothing in the
+    // runtime takes them in the opposite order.
+    std::uint64_t gate_calls = 0, tx_htm = 0, tx_stm = 0, tx_none = 0;
+    std::uint64_t tx_commits = 0, tx_deferred = 0;
+    std::size_t threads = 0;
+    {
+      std::lock_guard<std::mutex> lock(contexts_mu_);
+      threads = contexts_.size();
+      for (const TxContext& ctx : contexts_) {
+        gate_calls += ctx.gate_calls.load(std::memory_order_relaxed);
+        tx_htm += ctx.tx_htm.load(std::memory_order_relaxed);
+        tx_stm += ctx.tx_stm.load(std::memory_order_relaxed);
+        tx_none += ctx.tx_none.load(std::memory_order_relaxed);
+        tx_commits += ctx.tx_commits.load(std::memory_order_relaxed);
+        tx_deferred += ctx.tx_deferred.load(std::memory_order_relaxed);
+      }
+    }
+    reg.counter("gate.calls").set(gate_calls);
+    reg.counter("tx.htm").set(tx_htm);
+    reg.counter("tx.stm").set(tx_stm);
+    reg.counter("tx.unprotected").set(tx_none);
+    reg.counter("tx.commits").set(tx_commits);
+    reg.counter("tx.deferred_flushed").set(tx_deferred);
+    reg.gauge("tx.threads").set(static_cast<double>(threads));
+    // Engine stats, summed across the per-thread engines under the same
+    // names the engines published when they were process-global.
+    const HtmStats h = htm_stats();
+    reg.gauge("htm.begun").set(static_cast<double>(h.begun));
+    reg.gauge("htm.committed").set(static_cast<double>(h.committed));
+    reg.gauge("htm.aborts.capacity")
+        .set(static_cast<double>(h.aborted_capacity));
+    reg.gauge("htm.aborts.conflict")
+        .set(static_cast<double>(h.aborted_conflict));
+    reg.gauge("htm.aborts.interrupt")
+        .set(static_cast<double>(h.aborted_interrupt));
+    reg.gauge("htm.aborts.explicit")
+        .set(static_cast<double>(h.aborted_explicit));
+    reg.gauge("htm.stores").set(static_cast<double>(h.stores));
+    reg.gauge("htm.lines_dirtied").set(static_cast<double>(h.lines_dirtied));
+    const StmStats s = stm_stats();
+    reg.gauge("stm.begun").set(static_cast<double>(s.begun));
+    reg.gauge("stm.committed").set(static_cast<double>(s.committed));
+    reg.gauge("stm.rolled_back").set(static_cast<double>(s.rolled_back));
+    reg.gauge("stm.stores").set(static_cast<double>(s.stores));
+    reg.gauge("stm.stores_elided").set(static_cast<double>(s.stores_elided));
+    reg.gauge("stm.filter_hits").set(static_cast<double>(s.filter_hits));
+    reg.gauge("stm.bytes_logged").set(static_cast<double>(s.bytes_logged));
+    reg.gauge("stm.peak_log_bytes")
+        .set(static_cast<double>(s.peak_log_bytes));
     reg.gauge("gate.sites").set(static_cast<double>(sites_.size()));
     reg.gauge("mem.instrumentation_bytes")
         .set(static_cast<double>(instrumentation_bytes()));
@@ -115,8 +211,25 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
 }
 
 TxManager::~TxManager() {
-  disarm_watchdog();
-  quiesce();
+  // Destruction requires worker threads to be quiescent (quiesced + joined,
+  // or at least between transactions): commit the destroying thread's open
+  // transaction and tear down every context's watchdog timer.
+  if (TxContext* ctx = try_context(); ctx != nullptr && ctx->active.open) {
+    commit_open_tx(*ctx);
+  }
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    for (TxContext& ctx : contexts_) {
+      if (ctx.wd_created) {
+        timer_delete(ctx.wd_timer);
+        ctx.wd_created = false;
+      }
+    }
+  }
+  if (watchdog_enabled()) {
+    itimerval timer{};  // zero it_value disarms the fallback wall-clock timer
+    setitimer(ITIMER_REAL, &timer, nullptr);
+  }
   obs_.flush_outputs(trace_symbolizer());
   if (signals_installed_) {
     uninstall_signal_channel();
@@ -130,6 +243,115 @@ TxManager::~TxManager() {
     set_crash_handler(previous_handler_ == this ? nullptr
                                                 : previous_handler_);
   }
+}
+
+// --- thread contexts --------------------------------------------------------
+
+TxManager::TxContext& TxManager::context() {
+  if (t_ctx_cache.mgr == this && t_ctx_cache.gen == generation_)
+    return *static_cast<TxContext*>(t_ctx_cache.ctx);
+  return context_slow();
+}
+
+TxManager::TxContext& TxManager::context_slow() {
+  TxContext* ctx = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    const std::thread::id self = std::this_thread::get_id();
+    for (TxContext& existing : contexts_) {
+      if (existing.owner == self) {
+        ctx = &existing;
+        // A recycled std::thread::id adopts the old context; refresh the
+        // kernel tid so the per-thread watchdog retargets (arm_watchdog
+        // recreates the timer when it changed).
+        ctx->tid = current_tid();
+        break;
+      }
+    }
+    if (ctx == nullptr) {
+      contexts_.emplace_back(config_, contexts_.size(), this);
+      ctx = &contexts_.back();
+    }
+  }
+  // Every thread that runs transactions under the signal channel needs its
+  // own sigaltstack: SIGSEGV from a blown stack is delivered on the faulting
+  // thread, and only an alternate stack makes the handler runnable there.
+  if (signals_installed_) ensure_thread_signal_stack();
+  t_ctx_cache.mgr = this;
+  t_ctx_cache.gen = generation_;
+  t_ctx_cache.ctx = ctx;
+  return *ctx;
+}
+
+TxManager::TxContext* TxManager::try_context() const {
+  if (t_ctx_cache.mgr == this && t_ctx_cache.gen == generation_)
+    return static_cast<TxContext*>(t_ctx_cache.ctx);
+  return nullptr;
+}
+
+TxManager::TxContext* TxManager::find_context() const {
+  if (TxContext* cached = try_context()) return cached;
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  for (const TxContext& ctx : contexts_) {
+    if (ctx.owner == self) {
+      auto* found = const_cast<TxContext*>(&ctx);
+      t_ctx_cache.mgr = this;
+      t_ctx_cache.gen = generation_;
+      t_ctx_cache.ctx = found;
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+// --- per-thread accessors ---------------------------------------------------
+
+void TxManager::set_anchor(const void* anchor_sp) {
+  context().anchor = anchor_sp;
+}
+
+void TxManager::clear_anchor() {
+  if (TxContext* ctx = find_context()) ctx->anchor = nullptr;
+}
+
+std::jmp_buf* TxManager::gate_buf() { return &context().gate_buf; }
+
+bool TxManager::in_transaction() const {
+  const TxContext* ctx = find_context();
+  return ctx != nullptr && ctx->active.open;
+}
+
+TxMode TxManager::current_mode() const {
+  const TxContext* ctx = find_context();
+  return ctx != nullptr ? ctx->active.mode : TxMode::kNone;
+}
+
+bool TxManager::diverted() const {
+  const TxContext* ctx = find_context();
+  return ctx != nullptr && ctx->active.diverted;
+}
+
+bool TxManager::crash_recoverable() const {
+  // Async-signal-safe: cache-only lookup, no lock. A thread inside a
+  // transaction always hits — begin() warmed the cache on this thread, and
+  // no other manager's gate can have run since (one manager claims the
+  // crash channel at a time).
+  const TxContext* ctx = try_context();
+  return ctx != nullptr && ctx->active.open &&
+         ctx->active.mode != TxMode::kNone && !ctx->active.diverted &&
+         !ctx->in_recovery;
+}
+
+bool TxManager::in_recovery() const {
+  const TxContext* ctx = try_context();
+  return ctx != nullptr && ctx->in_recovery;
+}
+
+const std::uint8_t* TxManager::comp_data(std::uint32_t off) const {
+  const TxContext* ctx = find_context();
+  assert(ctx != nullptr && "comp_data() before any gate ran on this thread");
+  return ctx->comp_arena.data() + off;
 }
 
 obs::SiteSymbolizer TxManager::trace_symbolizer() const {
@@ -149,15 +371,16 @@ SiteId TxManager::register_site(std::string_view function,
   return sites_.intern(function, location);
 }
 
-void TxManager::start_recording(TxMode mode) {
+void TxManager::start_recording(TxContext& ctx, TxMode mode) {
   // begin() bumps the engine's filter epoch (O(1) reset); bind_gate()
-  // installs the devirtualized StoreGate fast path for that engine.
+  // installs the devirtualized StoreGate fast path for that engine. The
+  // gate routing is thread_local, so this binds only the calling thread.
   if (mode == TxMode::kHtm) {
-    htm_.begin();
-    htm_.bind_gate();
+    ctx.htm.begin();
+    ctx.htm.bind_gate();
   } else if (mode == TxMode::kStm) {
-    stm_.begin();
-    stm_.bind_gate();
+    ctx.stm.begin();
+    ctx.stm.bind_gate();
   } else {
     StoreGate::set_recorder(nullptr);
   }
@@ -165,54 +388,57 @@ void TxManager::start_recording(TxMode mode) {
 
 void TxManager::stop_recording() { StoreGate::set_recorder(nullptr); }
 
-void TxManager::reset_active() {
-  active_ = ActiveTx{};
-  embedded_reverts_.clear();
-  embedded_deferred_.clear();
-  comp_arena_.clear();
-  snapshot_.invalidate();
-  resume_action_ = ResumeAction::kNone;
+void TxManager::reset_active(TxContext& ctx) {
+  ctx.active = ActiveTx{};
+  ctx.embedded_reverts.clear();
+  ctx.embedded_deferred.clear();
+  ctx.comp_arena.clear();
+  ctx.snapshot.invalidate();
+  ctx.resume_action = ResumeAction::kNone;
 }
 
-void TxManager::commit_open_tx() {
-  assert(active_.open);
-  disarm_watchdog();
-  if (active_.mode == TxMode::kHtm) {
-    htm_.commit();
-  } else if (active_.mode == TxMode::kStm) {
-    stm_.commit();
+void TxManager::commit_open_tx(TxContext& ctx) {
+  assert(ctx.active.open);
+  disarm_watchdog(ctx);
+  if (ctx.active.mode == TxMode::kHtm) {
+    ctx.htm.commit();
+  } else if (ctx.active.mode == TxMode::kStm) {
+    ctx.stm.commit();
   }
   stop_recording();
 
   // Deferrable effects become real only now (§V-A class 3).
   const std::size_t deferred =
-      (active_.has_opening_deferred ? 1u : 0u) + embedded_deferred_.size();
-  if (active_.has_opening_deferred) {
-    active_.opening_deferred.fn(env_, active_.opening_deferred.a,
-                                active_.opening_deferred.b);
+      (ctx.active.has_opening_deferred ? 1u : 0u) +
+      ctx.embedded_deferred.size();
+  if (ctx.active.has_opening_deferred) {
+    ctx.active.opening_deferred.fn(env_, ctx.active.opening_deferred);
   }
-  for (const DeferredOp& op : embedded_deferred_) op.fn(env_, op.a, op.b);
+  for (const DeferredOp& op : ctx.embedded_deferred) op.fn(env_, op);
   if (deferred > 0) {
-    obs_.emit(obs::EventKind::kDeferredFlush, active_.site, nullptr,
+    obs_.emit(obs::EventKind::kDeferredFlush, ctx.active.site, nullptr,
               static_cast<std::int64_t>(deferred));
-    tx_deferred_ += deferred;
+    bump(ctx.tx_deferred, deferred);
   }
 
-  if (active_.site != kInvalidSite) ++sites_[active_.site].stats.commits;
-  obs_.emit(obs::EventKind::kTxCommit, active_.site,
-            tx_mode_name(active_.mode));
-  ++tx_commits_;
-  reset_active();
+  if (ctx.active.site != kInvalidSite)
+    stat_inc(sites_[ctx.active.site].stats.commits);
+  obs_.emit(obs::EventKind::kTxCommit, ctx.active.site,
+            tx_mode_name(ctx.active.mode));
+  bump(ctx.tx_commits);
+  reset_active(ctx);
 }
 
 void TxManager::pre_call() {
-  ++gate_calls_;
-  if (active_.open) commit_open_tx();
-  comp_arena_.clear();
+  TxContext& ctx = context();
+  bump(ctx.gate_calls);
+  if (ctx.active.open) commit_open_tx(ctx);
+  ctx.comp_arena.clear();
 }
 
 void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
-  assert(!active_.open && "pre_call() must commit before begin()");
+  TxContext& ctx = context();
+  assert(!ctx.active.open && "pre_call() must commit before begin()");
   // Multiple protected instances can coexist in one process (prefork
   // deployments, SVII): the crash channel and the store-gate abort hook
   // are process globals, so the manager opening a transaction claims them.
@@ -221,113 +447,130 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
     StoreGate::set_abort_hook(&TxManager::htm_store_abort_hook, this);
   }
   Site& site = sites_[site_id];
-  ++site.stats.transactions;
+  stat_inc(site.stats.transactions);
 
-  active_.open = true;
-  active_.site = site_id;
-  active_.rv = rv;
-  active_.comp = comp;
-  active_.crash_count = 0;
-  active_.diverted = false;
+  ctx.active.open = true;
+  ctx.active.site = site_id;
+  ctx.active.rv = rv;
+  ctx.active.comp = comp;
+  ctx.active.crash_count = 0;
+  ctx.active.diverted = false;
 
-  if (!config_.enabled || anchor_ == nullptr) {
-    active_.mode = TxMode::kNone;
-    ++tx_none_;
+  if (!config_.enabled || ctx.anchor == nullptr) {
+    ctx.active.mode = TxMode::kNone;
+    bump(ctx.tx_none);
     return;
   }
   const TxMode mode = policy_.choose_mode(site);
   if (mode == TxMode::kNone) {
-    active_.mode = TxMode::kNone;
-    ++tx_none_;
+    ctx.active.mode = TxMode::kNone;
+    bump(ctx.tx_none);
     return;
   }
   // Snapshot from this frame's base: begin()'s own locals are dead after a
   // longjmp resume, so [frame base, anchor) covers exactly the caller
   // frames that must be restored.
-  if (!snapshot_.capture(__builtin_frame_address(0), anchor_)) {
+  if (!ctx.snapshot.capture(__builtin_frame_address(0), ctx.anchor)) {
     FIR_LOG(kWarn) << "stack snapshot failed at " << site.function << " ("
                    << site.location << "); running unprotected";
-    active_.mode = TxMode::kNone;
-    ++tx_none_;
+    ctx.active.mode = TxMode::kNone;
+    bump(ctx.tx_none);
     return;
   }
-  active_.mode = mode;
+  ctx.active.mode = mode;
   if (mode == TxMode::kHtm) {
-    ++tx_htm_;
+    bump(ctx.tx_htm);
   } else {
-    ++tx_stm_;
+    bump(ctx.tx_stm);
   }
   obs_.emit(obs::EventKind::kTxBegin, site_id, tx_mode_name(mode));
-  start_recording(mode);
-  arm_watchdog();
+  start_recording(ctx, mode);
+  arm_watchdog(ctx);
 }
 
 void TxManager::embed_revert(SiteId embedded_site, Compensation revert) {
-  ++sites_[embedded_site].stats.embedded_calls;
-  if (active_.open && active_.mode != TxMode::kNone)
-    embedded_reverts_.push_back(revert);
+  stat_inc(sites_[embedded_site].stats.embedded_calls);
+  TxContext& ctx = context();
+  if (ctx.active.open && ctx.active.mode != TxMode::kNone)
+    ctx.embedded_reverts.push_back(revert);
 }
 
 void TxManager::embed_idempotent(SiteId embedded_site) {
-  ++sites_[embedded_site].stats.embedded_calls;
+  stat_inc(sites_[embedded_site].stats.embedded_calls);
 }
 
 void TxManager::set_opening_deferred(DeferredOp op) {
-  assert(active_.open);
-  active_.opening_deferred = op;
-  active_.has_opening_deferred = true;
+  TxContext& ctx = context();
+  assert(ctx.active.open);
+  ctx.active.opening_deferred = std::move(op);
+  ctx.active.has_opening_deferred = true;
 }
 
 void TxManager::defer_embedded(SiteId embedded_site, DeferredOp op) {
-  ++sites_[embedded_site].stats.embedded_calls;
-  if (active_.open && active_.mode != TxMode::kNone) {
-    embedded_deferred_.push_back(op);
+  stat_inc(sites_[embedded_site].stats.embedded_calls);
+  TxContext& ctx = context();
+  if (ctx.active.open && ctx.active.mode != TxMode::kNone) {
+    ctx.embedded_deferred.push_back(std::move(op));
   } else {
     // No transaction to defer into: apply immediately.
-    op.fn(env_, op.a, op.b);
+    op.fn(env_, op);
   }
 }
 
 std::uint32_t TxManager::stash_comp_data(const void* data, std::size_t len) {
-  const auto off = static_cast<std::uint32_t>(comp_arena_.size());
+  TxContext& ctx = context();
+  const auto off = static_cast<std::uint32_t>(ctx.comp_arena.size());
   const auto* bytes = static_cast<const std::uint8_t*>(data);
-  comp_arena_.insert(comp_arena_.end(), bytes, bytes + len);
+  ctx.comp_arena.insert(ctx.comp_arena.end(), bytes, bytes + len);
   return off;
 }
 
-void TxManager::run_compensation(const Compensation& comp) {
+void TxManager::run_compensation(TxContext& ctx, const Compensation& comp) {
   if (comp.fn == nullptr) return;
-  comp.fn(env_, comp.a, comp.b, active_.rv,
-          comp_arena_.data() + comp.data_off, comp.data_len);
+  comp.fn(env_, comp.a, comp.b, ctx.active.rv,
+          ctx.comp_arena.data() + comp.data_off, comp.data_len);
 }
 
 // --- crash handling ---------------------------------------------------------
 
 void TxManager::htm_store_abort_hook(void* self) {
   auto* mgr = static_cast<TxManager*>(self);
-  // The HTM model rejected a store (capacity or simulated async event).
-  assert(mgr->active_.open && mgr->active_.mode == TxMode::kHtm);
-  mgr->crash_is_htm_abort_ = true;
-  mgr->htm_abort_code_ = mgr->htm_.pending_abort();
-  mgr->crash_watch_.restart();
-  mgr->in_recovery_ = true;
-  mgr->recovery_stack_.run(&TxManager::recovery_trampoline, mgr);
+  // The HTM model rejected a store on the calling thread (capacity or
+  // simulated async event); the cache is warm — begin() ran here.
+  TxContext* ctx = mgr->try_context();
+  assert(ctx != nullptr && ctx->active.open &&
+         ctx->active.mode == TxMode::kHtm);
+  ctx->crash_is_htm_abort = true;
+  ctx->htm_abort_code = ctx->htm.pending_abort();
+  ctx->crash_watch.restart();
+  ctx->in_recovery = true;
+  ctx->recovery_stack.run(&TxManager::recovery_trampoline, ctx);
 }
 
 void TxManager::handle_crash(CrashKind kind) {
-  if (in_recovery_) handle_double_fault(kind);  // both channels also pre-check
-  disarm_watchdog();
-  crash_kind_ = kind;
-  crash_via_signal_ = in_signal_dispatch();
-  crash_watch_.restart();
-  if (crash_via_signal_) {
+  // Route to the faulting thread's context. Signal channel: cache-only
+  // (async-signal-safe), and a recoverable fault always hits because the
+  // channel pre-checked crash_recoverable() — same cache — before entering.
+  // Sync channel: a locked lookup is fine (no interrupted allocator).
+  TxContext* pctx = in_signal_dispatch() ? try_context() : find_context();
+  if (pctx != nullptr && pctx->in_recovery)
+    handle_double_fault(kind);  // both channels also pre-check
+  if (pctx != nullptr) disarm_watchdog(*pctx);
+  const bool via_signal = in_signal_dispatch();
+  const bool open = pctx != nullptr && pctx->active.open;
+  const SiteId crash_site = open ? pctx->active.site : obs::kNoSite;
+  if (pctx != nullptr) {
+    pctx->crash_kind = kind;
+    pctx->crash_via_signal = via_signal;
+    pctx->crash_watch.restart();
+  }
+  if (via_signal) {
     // Real fault delivered by the kernel: record the channel and the fault
     // address before anything else touches state. Trace emission is
     // async-signal-safe (lock-free ring slots, no allocation) and the
-    // counters are pre-bound plain increments.
+    // counters are pre-bound relaxed increments.
     const SignalCrashInfo& sig = last_signal_crash();
-    obs_.emit(obs::EventKind::kSignalCaught,
-              active_.open ? active_.site : obs::kNoSite,
+    obs_.emit(obs::EventKind::kSignalCaught, crash_site,
               crash_kind_name(kind),
               static_cast<std::int64_t>(
                   reinterpret_cast<std::uintptr_t>(sig.fault_addr)),
@@ -335,175 +578,183 @@ void TxManager::handle_crash(CrashKind kind) {
     rc_.signals_caught.inc();
   }
   if (kind == CrashKind::kHang) {
-    obs_.emit(obs::EventKind::kWatchdogFire,
-              active_.open ? active_.site : obs::kNoSite,
+    obs_.emit(obs::EventKind::kWatchdogFire, crash_site,
               crash_kind_name(kind), config_.tx_deadline_ms);
     rc_.watchdog_fires.inc();
   }
-  obs_.emit(obs::EventKind::kCrash,
-            active_.open ? active_.site : obs::kNoSite,
-            crash_kind_name(kind));
+  obs_.emit(obs::EventKind::kCrash, crash_site, crash_kind_name(kind));
 
-  if (!active_.open || active_.mode == TxMode::kNone) {
-    // No recoverable transaction covers this code: the process would die.
-    // (Only reachable through the synchronous channel — the signal handler
-    // pre-checks crash_recoverable() and passes unrecoverable faults
-    // through to the default disposition — so throwing is safe here.)
+  if (!open || pctx->active.mode == TxMode::kNone) {
+    // No recoverable transaction covers this code on this thread: the
+    // process would die. (Only reachable through the synchronous channel —
+    // the signal handler pre-checks crash_recoverable() and passes
+    // unrecoverable faults through to the default disposition — so
+    // throwing is safe here.)
     rc_.fatal.inc();
-    if (active_.open) {
-      Site& site = sites_[active_.site];
-      ++site.stats.crashes;
-      ++site.stats.fatal;
+    if (open) {
+      TxContext& ctx = *pctx;
+      Site& site = sites_[ctx.active.site];
+      stat_inc(site.stats.crashes);
+      stat_inc(site.stats.fatal);
       rc_.crashes.inc();
       log_recovery_event(RecoveryEvent{
-          active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
-      reset_active();
+          ctx.active.site, kind, RecoveryEvent::Action::kFatal, 0.0});
+      reset_active(ctx);
     }
     stop_recording();
     throw FatalCrashError(kind, std::string("unprotected crash: ") +
                                     crash_kind_name(kind));
   }
+  TxContext& ctx = *pctx;
 
-  if (active_.diverted) {
+  if (ctx.active.diverted) {
     // Crash inside the injected-error handler: "there will typically not be
     // an error handler for the error handler" (§VII). Sync channel only,
     // same as above.
-    Site& site = sites_[active_.site];
-    ++site.stats.crashes;
-    ++site.stats.fatal;
+    Site& site = sites_[ctx.active.site];
+    stat_inc(site.stats.crashes);
+    stat_inc(site.stats.fatal);
     rc_.crashes.inc();
     rc_.fatal.inc();
     log_recovery_event(RecoveryEvent{
-        active_.site, kind, RecoveryEvent::Action::kFatal, 0.0});
-    if (active_.mode == TxMode::kStm) {
-      stm_.rollback();
-    } else if (active_.mode == TxMode::kHtm) {
-      htm_.abort(HtmAbortCode::kExplicit);
+        ctx.active.site, kind, RecoveryEvent::Action::kFatal, 0.0});
+    if (ctx.active.mode == TxMode::kStm) {
+      ctx.stm.rollback();
+    } else if (ctx.active.mode == TxMode::kHtm) {
+      ctx.htm.abort(HtmAbortCode::kExplicit);
     }
     stop_recording();
-    reset_active();
+    reset_active(ctx);
     throw FatalCrashError(kind, "crash inside error-handling code");
   }
 
-  if (active_.mode == TxMode::kHtm) {
+  if (ctx.active.mode == TxMode::kHtm) {
     // A fault inside a hardware transaction first surfaces as a TSX abort;
     // the runtime re-executes under STM to distinguish a resource abort
     // from a real crash (§IV-C). Model that exactly. (True for the signal
     // channel too: delivering a signal aborts a real TSX transaction.)
-    crash_is_htm_abort_ = true;
-    htm_abort_code_ = HtmAbortCode::kExplicit;
+    ctx.crash_is_htm_abort = true;
+    ctx.htm_abort_code = HtmAbortCode::kExplicit;
   } else {
-    crash_is_htm_abort_ = false;
+    ctx.crash_is_htm_abort = false;
   }
-  // From here until resume() any further crash is a double fault.
-  in_recovery_ = true;
-  recovery_stack_.run(&TxManager::recovery_trampoline, this);
+  // From here until resume() any further crash on this thread is a double
+  // fault. Sibling threads' transactions are untouched: their contexts,
+  // undo logs and snapshots are their own.
+  ctx.in_recovery = true;
+  ctx.recovery_stack.run(&TxManager::recovery_trampoline, &ctx);
 }
 
 void TxManager::handle_double_fault(CrashKind kind) {
-  // A crash while recovery itself was running: rollback state is half
-  // applied, so re-entering recovery would corrupt it. Record what we can
-  // without locks or allocation, then terminate with the diagnostic exit
-  // code. The trace ring is lost (process exits), but exporters wired to
-  // stderr flushed-on-emit still show the event in practice.
-  disarm_watchdog();
+  // A crash while recovery itself was running on this thread: rollback
+  // state is half applied, so re-entering recovery would corrupt it. Record
+  // what we can without locks or allocation, then terminate with the
+  // diagnostic exit code. The trace ring is lost (process exits), but
+  // exporters wired to stderr flushed-on-emit still show the event in
+  // practice.
+  TxContext* ctx = try_context();
+  if (ctx != nullptr) disarm_watchdog(*ctx);
   obs_.emit(obs::EventKind::kDoubleFault,
-            active_.open ? active_.site : obs::kNoSite,
+            ctx != nullptr && ctx->active.open ? ctx->active.site
+                                               : obs::kNoSite,
             crash_kind_name(kind));
   rc_.double_faults.inc();
   die_double_fault(kind, in_signal_dispatch() ? "signal" : "sync");
 }
 
-void TxManager::recovery_trampoline(void* self) {
-  static_cast<TxManager*>(self)->recovery_step();
+void TxManager::recovery_trampoline(void* arg) {
+  auto* ctx = static_cast<TxContext*>(arg);
+  ctx->mgr->recovery_step(*ctx);
 }
 
-void TxManager::recovery_step() {
-  Site& site = sites_[active_.site];
+void TxManager::recovery_step(TxContext& ctx) {
+  Site& site = sites_[ctx.active.site];
 
   // 1. Roll back memory operations performed after the library call: the
   //    tracked-store log (HTM write-set discard / STM undo walk) and the
   //    native stack image. Safe to restore the stack here: we are executing
-  //    on the detached recovery stack, and compensations below must observe
-  //    — and may overwrite — the checkpoint-time buffer contents (§V-B:
-  //    "after rolling back memory operations that occurred after the
-  //    library call and running its compensation action, we also restore
-  //    the library call-affected memory areas").
-  if (crash_is_htm_abort_) {
-    obs_.emit(obs::EventKind::kHtmAbort, active_.site,
-              htm_abort_code_name(htm_abort_code_));
-    htm_.abort(htm_abort_code_);
+  //    on this thread's detached recovery stack, and compensations below
+  //    must observe — and may overwrite — the checkpoint-time buffer
+  //    contents (§V-B: "after rolling back memory operations that occurred
+  //    after the library call and running its compensation action, we also
+  //    restore the library call-affected memory areas").
+  if (ctx.crash_is_htm_abort) {
+    obs_.emit(obs::EventKind::kHtmAbort, ctx.active.site,
+              htm_abort_code_name(ctx.htm_abort_code));
+    ctx.htm.abort(ctx.htm_abort_code);
   } else {
-    stm_.rollback();
+    ctx.stm.rollback();
   }
   stop_recording();
-  snapshot_.restore();
-  obs_.emit(obs::EventKind::kRollback, active_.site,
-            crash_is_htm_abort_ ? "htm" : "stm");
+  ctx.snapshot.restore();
+  obs_.emit(obs::EventKind::kRollback, ctx.active.site,
+            ctx.crash_is_htm_abort ? "htm" : "stm");
   rc_.rollbacks.inc();
 
   // 2. Revert embedded library calls, newest first; drop their deferred
   //    effects (re-execution will re-issue them).
-  for (auto it = embedded_reverts_.rbegin(); it != embedded_reverts_.rend();
-       ++it) {
-    run_compensation(*it);
+  for (auto it = ctx.embedded_reverts.rbegin();
+       it != ctx.embedded_reverts.rend(); ++it) {
+    run_compensation(ctx, *it);
   }
-  embedded_reverts_.clear();
-  embedded_deferred_.clear();
+  ctx.embedded_reverts.clear();
+  ctx.embedded_deferred.clear();
 
   // 3. Decide how to resume.
-  if (crash_is_htm_abort_) {
-    crash_is_htm_abort_ = false;
+  if (ctx.crash_is_htm_abort) {
+    ctx.crash_is_htm_abort = false;
     const TxMode next = policy_.on_htm_abort(site);
     if (next != TxMode::kNone) {
-      obs_.emit(obs::EventKind::kStmFallback, active_.site,
-                htm_abort_code_name(htm_abort_code_));
+      obs_.emit(obs::EventKind::kStmFallback, ctx.active.site,
+                htm_abort_code_name(ctx.htm_abort_code));
     }
-    resume_action_ = next == TxMode::kNone ? ResumeAction::kRetryUnprotected
-                                           : ResumeAction::kRetryStm;
+    ctx.resume_action = next == TxMode::kNone
+                            ? ResumeAction::kRetryUnprotected
+                            : ResumeAction::kRetryStm;
   } else {
-    ++active_.crash_count;
-    ++site.stats.crashes;
+    ++ctx.active.crash_count;
+    stat_inc(site.stats.crashes);
     rc_.crashes.inc();
-    const double latency = crash_watch_.elapsed_seconds();
+    const double latency = ctx.crash_watch.elapsed_seconds();
     const auto latency_ns = static_cast<std::int64_t>(latency * 1e9);
     // Crash-storm backstop: a site that keeps proving its faults persistent
     // (>= storm_divert_threshold past diversions) skips the transient-retry
     // attempt — each skipped retry would re-execute the faulty region only
     // to crash again.
     const bool storm_skip = policy_.storm_skip_retry(site);
-    if (active_.crash_count <= config_.max_crash_retries && !storm_skip) {
-      ++site.stats.retries;
-      resume_action_ = ResumeAction::kRetryStm;
-      recovery_latency_.add(latency);
-      obs_.emit(obs::EventKind::kRetry, active_.site,
-                crash_kind_name(crash_kind_), active_.crash_count, latency_ns);
+    if (ctx.active.crash_count <= config_.max_crash_retries && !storm_skip) {
+      stat_inc(site.stats.retries);
+      ctx.resume_action = ResumeAction::kRetryStm;
+      add_recovery_latency(latency);
+      obs_.emit(obs::EventKind::kRetry, ctx.active.site,
+                crash_kind_name(ctx.crash_kind), ctx.active.crash_count,
+                latency_ns);
       rc_.retries.inc();
-      log_recovery_event(RecoveryEvent{active_.site, crash_kind_,
+      log_recovery_event(RecoveryEvent{ctx.active.site, ctx.crash_kind,
                                        RecoveryEvent::Action::kRetry,
                                        latency});
     } else if (site.recoverable()) {
       // Persistent fault: compensate the opening call and inject its error.
       const bool storm_divert =
-          storm_skip && active_.crash_count <= config_.max_crash_retries;
-      obs_.emit(obs::EventKind::kCompensation, active_.site,
-                active_.comp.fn != nullptr ? "revert" : "none");
+          storm_skip && ctx.active.crash_count <= config_.max_crash_retries;
+      obs_.emit(obs::EventKind::kCompensation, ctx.active.site,
+                ctx.active.comp.fn != nullptr ? "revert" : "none");
       rc_.compensations.inc();
-      run_compensation(active_.comp);
-      active_.has_opening_deferred = false;
-      ++site.stats.diversions;
+      run_compensation(ctx, ctx.active.comp);
+      ctx.active.has_opening_deferred = false;
+      stat_inc(site.stats.diversions);
       policy_.on_diversion(site);
-      resume_action_ = ResumeAction::kDivert;
-      recovery_latency_.add(latency);
-      obs_.emit(obs::EventKind::kFaultInjection, active_.site,
-                storm_divert ? "storm" : crash_kind_name(crash_kind_),
+      ctx.resume_action = ResumeAction::kDivert;
+      add_recovery_latency(latency);
+      obs_.emit(obs::EventKind::kFaultInjection, ctx.active.site,
+                storm_divert ? "storm" : crash_kind_name(ctx.crash_kind),
                 site.spec->error.return_value, site.spec->error.errno_value);
       rc_.diversions.inc();
       if (storm_divert) rc_.storm_diverts.inc();
-      log_recovery_event(RecoveryEvent{active_.site, crash_kind_,
+      log_recovery_event(RecoveryEvent{ctx.active.site, ctx.crash_kind,
                                        RecoveryEvent::Action::kDivert,
                                        latency});
-      if (!crash_via_signal_) {
+      if (!ctx.crash_via_signal) {
         // stdio is off-limits when the crash arrived through the signal
         // channel (the fault may have interrupted code holding the stdio or
         // allocator locks); the kFaultInjection trace event carries the
@@ -514,46 +765,47 @@ void TxManager::recovery_step() {
                        << " errno=" << site.spec->error.errno_value;
       }
     } else {
-      ++site.stats.fatal;
-      resume_action_ = ResumeAction::kFatal;
+      stat_inc(site.stats.fatal);
+      ctx.resume_action = ResumeAction::kFatal;
       rc_.fatal.inc();
-      log_recovery_event(RecoveryEvent{active_.site, crash_kind_,
+      log_recovery_event(RecoveryEvent{ctx.active.site, ctx.crash_kind,
                                        RecoveryEvent::Action::kFatal,
                                        latency});
     }
   }
 
   // 4. Resume at the entry gate on the restored stack.
-  std::longjmp(gate_buf_, 1);
+  std::longjmp(ctx.gate_buf, 1);
 }
 
 std::intptr_t TxManager::resume() {
   // Back on the application stack with rollback complete: the recovery
   // window (double-fault escalation) and the signal-dispatch latch close
   // here, whichever action follows.
-  in_recovery_ = false;
-  crash_via_signal_ = false;
+  TxContext& ctx = context();
+  ctx.in_recovery = false;
+  ctx.crash_via_signal = false;
   clear_signal_dispatch();
-  const ResumeAction action = resume_action_;
-  resume_action_ = ResumeAction::kNone;
+  const ResumeAction action = ctx.resume_action;
+  ctx.resume_action = ResumeAction::kNone;
   switch (action) {
     case ResumeAction::kRetryStm:
-      active_.mode = TxMode::kStm;
-      ++tx_stm_;
-      start_recording(TxMode::kStm);
-      arm_watchdog();
-      return active_.rv;
+      ctx.active.mode = TxMode::kStm;
+      bump(ctx.tx_stm);
+      start_recording(ctx, TxMode::kStm);
+      arm_watchdog(ctx);
+      return ctx.active.rv;
     case ResumeAction::kRetryUnprotected:
-      active_.mode = TxMode::kNone;
-      ++tx_none_;
+      ctx.active.mode = TxMode::kNone;
+      bump(ctx.tx_none);
       stop_recording();
-      return active_.rv;
+      return ctx.active.rv;
     case ResumeAction::kDivert: {
-      const Site& site = sites_[active_.site];
-      active_.diverted = true;
-      active_.mode = TxMode::kStm;
-      ++tx_stm_;
-      start_recording(TxMode::kStm);
+      const Site& site = sites_[ctx.active.site];
+      ctx.active.diverted = true;
+      ctx.active.mode = TxMode::kStm;
+      bump(ctx.tx_stm);
+      start_recording(ctx, TxMode::kStm);
       // No watchdog over the diverted region: a crash inside the injected
       // error handler is fatal by design (§VII), and crash_recoverable() is
       // already false here, so a SIGALRM would pass through and kill the
@@ -562,61 +814,183 @@ std::intptr_t TxManager::resume() {
       return site.spec->error.return_value;
     }
     case ResumeAction::kFatal: {
-      const Site site_copy = sites_[active_.site];
-      reset_active();
+      // Copy the strings out before reset: the message outlives the frame,
+      // and the Site itself (atomics) is no longer copyable as a whole.
+      const Site& site = sites_[ctx.active.site];
+      const std::string function = site.function;
+      const std::string location = site.location;
+      const CrashKind kind = ctx.crash_kind;
+      reset_active(ctx);
       stop_recording();
       throw FatalCrashError(
-          crash_kind_, "unrecoverable crash in transaction at " +
-                           site_copy.function + " (" + site_copy.location +
-                           "): opening call is not divertible/compensable");
+          kind, "unrecoverable crash in transaction at " + function + " (" +
+                    location + "): opening call is not divertible/compensable");
     }
     case ResumeAction::kNone:
       break;
   }
   assert(false && "resume() without a pending resume action");
-  return active_.rv;
+  return ctx.active.rv;
 }
 
 void TxManager::log_recovery_event(const RecoveryEvent& event) {
   // Stays within the construction-time reservation: push_back never grows
   // the vector (the recovery step can be running after a real signal, where
-  // malloc is off-limits). Beyond the cap, drop and count.
-  if (recovery_log_.size() >= config_.recovery_log_cap) {
-    rc_.log_dropped.inc();
-    return;
+  // malloc is off-limits). Beyond the cap, drop and count. The spinlock
+  // (allocation-free, async-signal-safe on this thread: recovery cannot be
+  // interrupted by itself — a crash here is a double fault) serializes
+  // concurrent recoveries on sibling threads.
+  while (recovery_log_lock_.test_and_set(std::memory_order_acquire)) {
   }
-  recovery_log_.push_back(event);
+  const bool dropped = recovery_log_.size() >= config_.recovery_log_cap;
+  if (!dropped) recovery_log_.push_back(event);
+  recovery_log_lock_.clear(std::memory_order_release);
+  if (dropped) rc_.log_dropped.inc();
 }
 
-void TxManager::arm_watchdog() {
-  if (!watchdog_enabled()) return;
-  // One-shot ITIMER_REAL: fires SIGALRM once at the deadline, which the
-  // signal channel converts into a CrashKind::kHang episode. setitimer
-  // (not timer_create) keeps the runtime free of the -lrt dependency.
-  itimerval timer{};
-  timer.it_value.tv_sec = config_.tx_deadline_ms / 1000;
-  timer.it_value.tv_usec =
-      static_cast<suseconds_t>((config_.tx_deadline_ms % 1000) * 1000);
-  setitimer(ITIMER_REAL, &timer, nullptr);
+void TxManager::add_recovery_latency(double seconds) {
+  while (recovery_log_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  recovery_latency_.add(seconds);
+  recovery_log_lock_.clear(std::memory_order_release);
 }
 
-void TxManager::disarm_watchdog() {
+void TxManager::arm_watchdog(TxContext& ctx) {
   if (!watchdog_enabled()) return;
-  itimerval timer{};  // zero it_value disarms
-  setitimer(ITIMER_REAL, &timer, nullptr);
+  // Per-thread one-shot timer on the transaction thread's CPU clock,
+  // delivered as SIGALRM to that thread (SIGEV_THREAD_ID): a worker that
+  // spins past the deadline gets its own hang episode, and a sibling's
+  // long-but-live transaction cannot be misfired at. The CPU clock also
+  // keeps a descheduled (merely slow) thread from being declared hung.
+  if (ctx.wd_created && ctx.wd_tid != ctx.tid) {
+    // Context adopted by a recycled thread id: retarget the timer.
+    timer_delete(ctx.wd_timer);
+    ctx.wd_created = false;
+  }
+  if (!ctx.wd_created && !ctx.wd_fallback_itimer) {
+    sigevent sev{};
+    sev.sigev_notify = SIGEV_THREAD_ID;
+    sev.sigev_signo = SIGALRM;
+    sev.sigev_notify_thread_id = ctx.tid;
+    if (timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &ctx.wd_timer) == 0) {
+      ctx.wd_created = true;
+      ctx.wd_tid = ctx.tid;
+    } else {
+      // No per-thread timer support: fall back to the historical
+      // process-wide wall-clock timer (single-threaded semantics).
+      ctx.wd_fallback_itimer = true;
+    }
+  }
+  if (ctx.wd_created) {
+    itimerspec its{};
+    its.it_value.tv_sec = config_.tx_deadline_ms / 1000;
+    its.it_value.tv_nsec =
+        static_cast<long>((config_.tx_deadline_ms % 1000) * 1000000L);
+    timer_settime(ctx.wd_timer, 0, &its, nullptr);
+  } else {
+    itimerval timer{};
+    timer.it_value.tv_sec = config_.tx_deadline_ms / 1000;
+    timer.it_value.tv_usec =
+        static_cast<suseconds_t>((config_.tx_deadline_ms % 1000) * 1000);
+    setitimer(ITIMER_REAL, &timer, nullptr);
+  }
+}
+
+void TxManager::disarm_watchdog(TxContext& ctx) {
+  if (!watchdog_enabled()) return;
+  if (ctx.wd_created) {
+    itimerspec its{};  // zero it_value disarms
+    timer_settime(ctx.wd_timer, 0, &its, nullptr);
+  } else if (ctx.wd_fallback_itimer) {
+    itimerval timer{};
+    setitimer(ITIMER_REAL, &timer, nullptr);
+  }
+}
+
+// --- aggregation ------------------------------------------------------------
+
+HtmStats TxManager::htm_stats() const {
+  HtmStats total{};
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_) {
+    const HtmStats& s = ctx.htm.stats();
+    total.begun += s.begun;
+    total.committed += s.committed;
+    total.aborted_capacity += s.aborted_capacity;
+    total.aborted_conflict += s.aborted_conflict;
+    total.aborted_interrupt += s.aborted_interrupt;
+    total.aborted_explicit += s.aborted_explicit;
+    total.stores += s.stores;
+    total.lines_dirtied += s.lines_dirtied;
+  }
+  return total;
+}
+
+StmStats TxManager::stm_stats() const {
+  StmStats total{};
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_) {
+    const StmStats s = ctx.stm.stats();
+    total.begun += s.begun;
+    total.committed += s.committed;
+    total.rolled_back += s.rolled_back;
+    total.stores += s.stores;
+    total.stores_elided += s.stores_elided;
+    total.filter_hits += s.filter_hits;
+    total.bytes_logged += s.bytes_logged;
+    // Peak is a high-water mark, not a flow: the process-wide peak is the
+    // largest any one thread's log grew.
+    if (s.peak_log_bytes > total.peak_log_bytes)
+      total.peak_log_bytes = s.peak_log_bytes;
+  }
+  return total;
+}
+
+std::uint64_t TxManager::transactions_htm() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_)
+    total += ctx.tx_htm.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t TxManager::transactions_stm() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_)
+    total += ctx.tx_stm.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t TxManager::transactions_unprotected() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_)
+    total += ctx.tx_none.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t TxManager::thread_count() const {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  return contexts_.size();
 }
 
 std::size_t TxManager::instrumentation_bytes() const {
   std::size_t total = 0;
-  total += snapshot_.footprint_bytes();
-  // STM undo log + first-write filter (actual reserved capacity; bounded
-  // across transactions by config_.undo_retain_bytes).
-  total += stm_.footprint_bytes();
-  total += comp_arena_.capacity();
-  total += embedded_reverts_.capacity() * sizeof(Compensation);
-  total += embedded_deferred_.capacity() * sizeof(DeferredOp);
-  // HTM write-set bookkeeping: line filter + saved line images + occupancy.
-  total += htm_.footprint_bytes();
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    for (const TxContext& ctx : contexts_) {
+      total += ctx.snapshot.footprint_bytes();
+      // STM undo log + first-write filter (actual reserved capacity; bounded
+      // across transactions by config_.undo_retain_bytes).
+      total += ctx.stm.footprint_bytes();
+      total += ctx.comp_arena.capacity();
+      total += ctx.embedded_reverts.capacity() * sizeof(Compensation);
+      total += ctx.embedded_deferred.capacity() * sizeof(DeferredOp);
+      // HTM write-set bookkeeping: line filter + saved images + occupancy.
+      total += ctx.htm.footprint_bytes();
+    }
+  }
   // Per-site gate state (the tx_gate[] array and counters).
   total += sites_.size() * (sizeof(GateState) + sizeof(SiteStats));
   // Trace ring slots (token 2-slot ring when tracing is disabled).
@@ -625,12 +999,27 @@ std::size_t TxManager::instrumentation_bytes() const {
 }
 
 void TxManager::reset_stats() {
-  htm_.reset_stats();
-  stm_.reset_stats();
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    for (TxContext& ctx : contexts_) {
+      ctx.htm.reset_stats();
+      ctx.stm.reset_stats();
+      ctx.gate_calls.store(0, std::memory_order_relaxed);
+      ctx.tx_htm.store(0, std::memory_order_relaxed);
+      ctx.tx_stm.store(0, std::memory_order_relaxed);
+      ctx.tx_none.store(0, std::memory_order_relaxed);
+      ctx.tx_commits.store(0, std::memory_order_relaxed);
+      ctx.tx_deferred.store(0, std::memory_order_relaxed);
+    }
+  }
+  while (recovery_log_lock_.test_and_set(std::memory_order_acquire)) {
+  }
   recovery_log_.clear();
-  gate_calls_ = tx_htm_ = tx_stm_ = tx_none_ = tx_commits_ = tx_deferred_ = 0;
+  recovery_log_lock_.clear(std::memory_order_release);
   // Zeroes every registry metric (recovery_latency_ among them); the next
-  // snapshot's collectors re-publish from the freshly zeroed tallies.
+  // snapshot's collectors re-publish from the freshly zeroed tallies. Never
+  // called holding contexts_mu_ — snapshot collectors lock metrics →
+  // contexts, and inverting that order here would deadlock.
   obs_.metrics().reset();
   obs_.trace().clear();
   for (Site& site : sites_.all_mutable()) site.stats = SiteStats{};

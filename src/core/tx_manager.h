@@ -21,11 +21,30 @@
 //   } else {
 //     rv = mgr.resume();                  // retry value or injected error
 //   }
+//
+// Threading model (docs/ARCHITECTURE.md "Threading model"): crash
+// transactions are inherently per-thread — a transaction lives on the
+// thread that opened it, and a fault rolls back only that thread's state
+// while siblings keep serving. Everything a transaction touches (jmp_buf,
+// stack snapshot, undo log, write filter, compensation list, deferred ops,
+// watchdog timer, the HTM/STM engines themselves) lives in a per-thread
+// TxContext owned by the manager and found through a thread-local cache.
+// The site table and AdaptivePolicy are shared across threads behind
+// relaxed atomics, so abort-ratio demotion aggregates process-wide without
+// a lock on the gate fast path; the recovery log/latency histogram are
+// shared behind an allocation-free spinlock.
 #pragma once
 
+#include <sys/types.h>
+
+#include <atomic>
 #include <csetjmp>
 #include <cstdint>
+#include <ctime>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -57,12 +76,16 @@ struct Compensation {
 };
 
 /// A library-call effect postponed until its transaction commits
-/// ("operation deferrable" class: close, free, unlink, ...).
+/// ("operation deferrable" class: close, free, unlink, ...). The op OWNS
+/// everything it needs to run later: callers with a path argument copy it
+/// into `path` instead of stashing a raw pointer whose storage may be gone
+/// (or stack-rolled-back) by commit time.
 struct DeferredOp {
-  using Fn = void (*)(Env& env, std::intptr_t a, std::intptr_t b);
+  using Fn = void (*)(Env& env, const DeferredOp& op);
   Fn fn = nullptr;
   std::intptr_t a = 0;
   std::intptr_t b = 0;
+  std::string path;
 };
 
 /// One recovery episode, for the experiment harness (Table IV, Fig. 5).
@@ -106,13 +129,18 @@ struct TxManagerConfig {
   /// SIGFPE/SIGABRT (and the watchdog's SIGALRM) into this manager, so
   /// actual MMU faults enter the same rollback → compensate → inject
   /// sequence as raise_crash(). Off by default: the synchronous channel
-  /// keeps tests and campaigns deterministic.
+  /// keeps tests and campaigns deterministic. Signals land on the faulting
+  /// thread; each thread entering a gate registers its own sigaltstack.
   bool real_signals = false;
   /// Hang watchdog (needs real_signals): a transaction open longer than
-  /// this wall-clock deadline receives SIGALRM, which the channel converts
-  /// into a CrashKind::kHang recovery episode — rollback, one retry, then
-  /// diversion, extending the fault model beyond fail-stop. 0 disables.
-  /// FIR_TX_DEADLINE_MS overrides.
+  /// this deadline receives SIGALRM on its own thread, which the channel
+  /// converts into a CrashKind::kHang recovery episode — rollback, one
+  /// retry, then diversion, extending the fault model beyond fail-stop.
+  /// Per-thread: a POSIX timer on the transaction thread's CPU clock
+  /// (timer_create(CLOCK_THREAD_CPUTIME_ID, SIGEV_THREAD_ID)), so one
+  /// worker's spin cannot fire a sibling's watchdog; falls back to a
+  /// process-wide wall-clock setitimer if per-thread timers are
+  /// unavailable. 0 disables. FIR_TX_DEADLINE_MS overrides.
   std::uint32_t tx_deadline_ms = 0;
   /// Upper bound on recovery_log() entries. The capacity is reserved at
   /// construction, so recording an episode never allocates (the recovery
@@ -143,19 +171,23 @@ class TxManager final : public CrashHandler {
   const SiteRegistry& sites() const { return sites_; }
 
   // --- gate protocol ----------------------------------------------------
-  /// Marks the protected event loop's frame: transactions snapshot the stack
-  /// up to this address. Pass the address of a local in the loop function.
-  void set_anchor(const void* anchor_sp) { anchor_ = anchor_sp; }
-  void clear_anchor() { anchor_ = nullptr; }
+  /// Marks the calling thread's protected event-loop frame: transactions
+  /// opened on this thread snapshot the stack up to this address. Pass the
+  /// address of a local in the loop function. Per-thread — each worker
+  /// anchors its own loop.
+  void set_anchor(const void* anchor_sp);
+  void clear_anchor();
 
-  std::jmp_buf* gate_buf() { return &gate_buf_; }
+  /// The calling thread's entry-gate jump buffer.
+  std::jmp_buf* gate_buf();
 
-  /// Commits the open transaction (runs deferred effects). Called before
-  /// every library call, and by quiesce().
+  /// Commits the calling thread's open transaction (runs deferred effects).
+  /// Called before every library call, and by quiesce().
   void pre_call();
 
-  /// Opens a transaction at `site`; `rv` is the opening call's return value,
-  /// `comp` reverts its effect if the transaction later diverts.
+  /// Opens a transaction at `site` on the calling thread; `rv` is the
+  /// opening call's return value, `comp` reverts its effect if the
+  /// transaction later diverts.
   void begin(SiteId site, std::intptr_t rv, Compensation comp = {});
 
   /// Gate re-entry after a rollback longjmp: yields the value the opening
@@ -164,7 +196,8 @@ class TxManager final : public CrashHandler {
   /// absorbed.
   std::intptr_t resume();
 
-  /// Ends any open transaction (shutdown / loop quiesce point).
+  /// Ends the calling thread's open transaction (shutdown / loop quiesce
+  /// point). Worker threads quiesce themselves before exiting.
   void quiesce() { pre_call(); }
 
   // --- Adaptive Transaction Shaper hooks ---------------------------------
@@ -180,45 +213,51 @@ class TxManager final : public CrashHandler {
   /// re-execution re-issues it — and run at commit).
   void defer_embedded(SiteId embedded_site, DeferredOp op);
   /// Copies pre-call state (e.g. a recv destination buffer) into the
-  /// per-transaction stash; returns its offset for Compensation::data_off.
-  /// Call between pre_call() and begin().
+  /// calling thread's per-transaction stash; returns its offset for
+  /// Compensation::data_off. Call between pre_call() and begin().
   std::uint32_t stash_comp_data(const void* data, std::size_t len);
-  const std::uint8_t* comp_data(std::uint32_t off) const {
-    return comp_arena_.data() + off;
-  }
+  const std::uint8_t* comp_data(std::uint32_t off) const;
 
   // --- CrashHandler -------------------------------------------------------
   [[noreturn]] void handle_crash(CrashKind kind) override;
-  /// Async-signal-safe queries for the signal channel (plain field reads).
-  bool crash_recoverable() const override {
-    return active_.open && active_.mode != TxMode::kNone &&
-           !active_.diverted && !in_recovery_;
-  }
-  bool in_recovery() const override { return in_recovery_; }
+  /// Async-signal-safe queries for the signal channel. Scoped to the
+  /// calling (faulting) thread: one worker's open transaction never makes a
+  /// sibling's fault look recoverable. Lock-free — the thread-local context
+  /// cache is the only lookup.
+  bool crash_recoverable() const override;
+  bool in_recovery() const override;
   /// Crash during the recovery step: emit kDoubleFault into the trace ring
   /// (lock-free, allocation-free), then terminate via
   /// die_double_fault(kDoubleFaultExitCode). Never recurses into recovery.
   [[noreturn]] void handle_double_fault(CrashKind kind) override;
 
   // --- introspection ------------------------------------------------------
-  bool in_transaction() const { return active_.open; }
-  TxMode current_mode() const { return active_.mode; }
-  bool diverted() const { return active_.diverted; }
+  // Per-thread queries answer for the calling thread's context.
+  bool in_transaction() const;
+  TxMode current_mode() const;
+  bool diverted() const;
   const TxManagerConfig& config() const { return config_; }
   Env& env() { return env_; }
 
-  const HtmStats& htm_stats() const { return htm_.stats(); }
-  StmStats stm_stats() const { return stm_.stats(); }
+  /// Engine statistics aggregated across every thread context. Accurate
+  /// when the involved threads are quiescent (between transactions or
+  /// joined); concurrent readers see per-counter-coherent but possibly
+  /// torn-across-counters values.
+  HtmStats htm_stats() const;
+  StmStats stm_stats() const;
   const Histogram& recovery_latency() const { return recovery_latency_; }
   const std::vector<RecoveryEvent>& recovery_log() const {
     return recovery_log_;
   }
-  /// Lifetime count of transactions run under each mode (Fig. 7/8 inputs).
-  /// The same numbers appear as "tx.htm" / "tx.stm" / "tx.unprotected" in
-  /// metrics snapshots (published by this manager's collector).
-  std::uint64_t transactions_htm() const { return tx_htm_; }
-  std::uint64_t transactions_stm() const { return tx_stm_; }
-  std::uint64_t transactions_unprotected() const { return tx_none_; }
+  /// Lifetime count of transactions run under each mode (Fig. 7/8 inputs),
+  /// summed across threads. The same numbers appear as "tx.htm" / "tx.stm"
+  /// / "tx.unprotected" in metrics snapshots (published by this manager's
+  /// collector).
+  std::uint64_t transactions_htm() const;
+  std::uint64_t transactions_stm() const;
+  std::uint64_t transactions_unprotected() const;
+  /// Number of threads that have entered this manager's gates.
+  std::size_t thread_count() const;
 
   // --- observability ------------------------------------------------------
   /// Event trace + metrics registry of this runtime (docs/OBSERVABILITY.md).
@@ -230,10 +269,12 @@ class TxManager final : public CrashHandler {
   obs::SiteSymbolizer trace_symbolizer() const;
 
   /// Bytes of instrumentation state currently reserved (Fig. 9 input):
-  /// stack-snapshot buffer, undo log, HTM write-set bookkeeping, stash.
+  /// stack-snapshot buffers, undo logs, HTM write-set bookkeeping, stashes
+  /// — summed over every thread context.
   std::size_t instrumentation_bytes() const;
 
-  /// Clears stats/logs between experiment phases (sites persist).
+  /// Clears stats/logs between experiment phases (sites persist). Call with
+  /// all worker threads quiescent.
   void reset_stats();
 
  private:
@@ -257,27 +298,102 @@ class TxManager final : public CrashHandler {
     DeferredOp opening_deferred;
   };
 
+  /// Everything one thread's transactions touch, owned by the manager and
+  /// reached through a thread-local cache (one pointer compare per gate
+  /// call). Contexts are created on a thread's first gate entry and live
+  /// until the manager is destroyed; a reused thread id adopts the old
+  /// context.
+  struct TxContext {
+    TxContext(const TxManagerConfig& config, std::size_t index,
+              TxManager* mgr);
+
+    TxManager* mgr = nullptr;
+    std::size_t index = 0;
+    std::thread::id owner;
+    pid_t tid = 0;  // kernel thread id, for SIGEV_THREAD_ID watchdog routing
+
+    const void* anchor = nullptr;
+    std::jmp_buf gate_buf;
+    StackSnapshot snapshot;
+    RecoveryStack recovery_stack;
+    /// Per-thread engines: concurrent STM transactions never share an undo
+    /// log or filter; the HTM rng seed is split per context index so
+    /// concurrent campaigns stay reproducible per worker.
+    HtmContext htm;
+    StmContext stm;
+
+    ActiveTx active;
+    std::vector<Compensation> embedded_reverts;
+    std::vector<DeferredOp> embedded_deferred;
+    std::vector<std::uint8_t> comp_arena;
+
+    // Crash-in-flight state (set by handle_crash, consumed by
+    // recovery_step, all on the faulting thread).
+    CrashKind crash_kind = CrashKind::kSegv;
+    bool crash_is_htm_abort = false;
+    HtmAbortCode htm_abort_code = HtmAbortCode::kNone;
+    ResumeAction resume_action = ResumeAction::kNone;
+    StopWatch crash_watch;
+    /// True from crash entry until resume() on this thread: a second crash
+    /// in this window is a double fault and escalates to process exit.
+    bool in_recovery = false;
+    /// The in-flight crash arrived through the signal channel.
+    bool crash_via_signal = false;
+
+    // Per-thread hang-watchdog timer (created lazily on first arm).
+    timer_t wd_timer{};
+    bool wd_created = false;
+    pid_t wd_tid = 0;
+    bool wd_fallback_itimer = false;
+
+    // Gate-path tallies. Single-writer (the owning thread): updated with
+    // relaxed load+store pairs — per-variable coherence without an atomic
+    // RMW on the gate fast path — and read by the aggregation getters /
+    // the metrics collector from other threads.
+    std::atomic<std::uint64_t> gate_calls{0};
+    std::atomic<std::uint64_t> tx_htm{0};
+    std::atomic<std::uint64_t> tx_stm{0};
+    std::atomic<std::uint64_t> tx_none{0};
+    std::atomic<std::uint64_t> tx_commits{0};
+    std::atomic<std::uint64_t> tx_deferred{0};
+  };
+
   static void htm_store_abort_hook(void* self);
-  static void recovery_trampoline(void* self);
+  static void recovery_trampoline(void* arg);
+
+  /// The calling thread's context, created on first use (never call from
+  /// signal context — creation allocates).
+  TxContext& context();
+  TxContext& context_slow();
+  /// Cache-only lookup: no lock, no allocation — async-signal-safe. Returns
+  /// nullptr when this thread has no (cached) context; a thread inside a
+  /// transaction always hits, because begin() warmed the cache.
+  TxContext* try_context() const;
+  /// Cache lookup with a locked fallback scan (handles a cache slot evicted
+  /// by another manager's gate); never creates. Not async-signal-safe.
+  TxContext* find_context() const;
 
   /// Runs on the detached recovery stack; ends in longjmp into the gate.
-  [[noreturn]] void recovery_step();
-  void run_compensation(const Compensation& comp);
-  void commit_open_tx();
-  void start_recording(TxMode mode);
+  [[noreturn]] void recovery_step(TxContext& ctx);
+  void run_compensation(TxContext& ctx, const Compensation& comp);
+  void commit_open_tx(TxContext& ctx);
+  void start_recording(TxContext& ctx, TxMode mode);
   void stop_recording();
-  void reset_active();
+  void reset_active(TxContext& ctx);
   /// Appends to recovery_log_ within the construction-time reservation;
   /// beyond the cap the episode is dropped and counted (allocation-free —
-  /// the recovery step may be running in signal context).
+  /// the recovery step may be running in signal context). Spinlock-guarded:
+  /// concurrent recoveries on sibling threads serialize here only.
   void log_recovery_event(const RecoveryEvent& event);
-  /// Hang-watchdog timer (one-shot ITIMER_REAL → SIGALRM). Armed per
-  /// protected transaction, disarmed at commit and at crash entry.
+  void add_recovery_latency(double seconds);
+  /// Hang-watchdog (per-thread POSIX timer → SIGALRM on the transaction's
+  /// own thread). Armed per protected transaction, disarmed at commit and
+  /// at crash entry.
   bool watchdog_enabled() const {
     return signals_installed_ && config_.tx_deadline_ms > 0;
   }
-  void arm_watchdog();
-  void disarm_watchdog();
+  void arm_watchdog(TxContext& ctx);
+  void disarm_watchdog(TxContext& ctx);
 
   Env& env_;
   TxManagerConfig config_;
@@ -286,32 +402,12 @@ class TxManager final : public CrashHandler {
   obs::Observability obs_;
   AdaptivePolicy policy_;
   SiteRegistry sites_;
-  HtmContext htm_;
-  StmContext stm_;
 
-  const void* anchor_ = nullptr;
-  std::jmp_buf gate_buf_;
-  StackSnapshot snapshot_;
-  RecoveryStack recovery_stack_;
+  /// Thread contexts: deque for stable addresses (the thread-local cache
+  /// and in-flight recoveries hold pointers across later registrations).
+  mutable std::mutex contexts_mu_;
+  std::deque<TxContext> contexts_;
 
-  ActiveTx active_;
-  std::vector<Compensation> embedded_reverts_;
-  std::vector<DeferredOp> embedded_deferred_;
-  std::vector<std::uint8_t> comp_arena_;
-
-  // Crash-in-flight state (set by handle_crash, consumed by recovery_step).
-  CrashKind crash_kind_ = CrashKind::kSegv;
-  bool crash_is_htm_abort_ = false;
-  HtmAbortCode htm_abort_code_ = HtmAbortCode::kNone;
-  ResumeAction resume_action_ = ResumeAction::kNone;
-  StopWatch crash_watch_;
-  /// True from crash entry until resume(): a second crash in this window is
-  /// a double fault and escalates to process exit instead of recursing.
-  bool in_recovery_ = false;
-  /// The in-flight crash arrived through the signal channel: the recovery
-  /// step must stay async-signal-safe (no stdio) and stamps the episode
-  /// with the recorded fault address.
-  bool crash_via_signal_ = false;
   /// This manager holds one install_signal_channel() reference.
   bool signals_installed_ = false;
 
@@ -334,19 +430,13 @@ class TxManager final : public CrashHandler {
   };
   RecoveryCounters rc_;
 
-  // Gate-path tallies. Plain (non-atomic) on purpose: the gate fast path
-  // must not pay an atomic RMW per call, so these publish into the metrics
-  // registry through a snapshot-time collector ("gate.calls", "tx.htm",
-  // "tx.stm", "tx.unprotected", "tx.commits", "tx.deferred_flushed" — the
-  // registry's second publishing style, like the HTM/STM engine stats).
-  std::uint64_t gate_calls_ = 0;
-  std::uint64_t tx_htm_ = 0;
-  std::uint64_t tx_stm_ = 0;
-  std::uint64_t tx_none_ = 0;
-  std::uint64_t tx_commits_ = 0;
-  std::uint64_t tx_deferred_ = 0;
-  /// Registry-owned ("recovery.latency_seconds"); updates are cold-path.
+  /// Registry-owned ("recovery.latency_seconds"); updates are cold-path and
+  /// run under recovery_log_lock_ (the registry histogram allocates on
+  /// growth, so cross-thread recoveries must serialize; same-thread
+  /// re-entry is impossible — a crash during recovery double-faults).
   Histogram& recovery_latency_;
+  /// Allocation-free spinlock over recovery_log_ + recovery_latency_.
+  mutable std::atomic_flag recovery_log_lock_ = ATOMIC_FLAG_INIT;
   std::vector<RecoveryEvent> recovery_log_;
 
   CrashHandler* previous_handler_ = nullptr;

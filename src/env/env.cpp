@@ -8,6 +8,8 @@
 
 namespace fir {
 
+thread_local int Env::t_errno_ = 0;
+
 Env::Env() : fds_(kMaxFds) {}
 
 Env::~Env() = default;
@@ -32,20 +34,28 @@ const Env::FdEntry* Env::entry(int fd) const {
   return &fds_[fd];
 }
 
-bool Env::fd_valid(int fd) const { return entry(fd) != nullptr; }
+bool Env::fd_valid(int fd) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return entry(fd) != nullptr;
+}
 
 std::size_t Env::open_fd_count() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& e : fds_)
     if (e.kind != FdKind::kFree) ++n;
   return n;
 }
 
-void Env::reset_stats() { stats_ = EnvStats{}; }
+void Env::reset_stats() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  stats_ = EnvStats{};
+}
 
 // --- files ----------------------------------------------------------------
 
 int Env::open(std::string_view path, int flags) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   std::shared_ptr<Inode> inode = vfs_.lookup(path);
   if (inode == nullptr) {
@@ -68,6 +78,7 @@ int Env::open(std::string_view path, int flags) {
 }
 
 ssize_t Env::read(int fd, void* buf, std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr) return errs(EBADF);
@@ -79,6 +90,7 @@ ssize_t Env::read(int fd, void* buf, std::size_t n) {
 }
 
 ssize_t Env::pread(int fd, void* buf, std::size_t n, std::int64_t offset) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return errs(EBADF);
@@ -92,6 +104,7 @@ ssize_t Env::pread(int fd, void* buf, std::size_t n, std::int64_t offset) {
 }
 
 ssize_t Env::write(int fd, const void* buf, std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr) return errs(EBADF);
@@ -104,6 +117,7 @@ ssize_t Env::write(int fd, const void* buf, std::size_t n) {
 
 ssize_t Env::pwrite(int fd, const void* buf, std::size_t n,
                     std::int64_t offset) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return errs(EBADF);
@@ -116,6 +130,7 @@ ssize_t Env::pwrite(int fd, const void* buf, std::size_t n,
 }
 
 std::int64_t Env::lseek(int fd, std::int64_t offset, int whence) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return errs(EBADF);
@@ -136,6 +151,7 @@ std::int64_t Env::lseek(int fd, std::int64_t offset, int whence) {
 }
 
 int Env::stat_size(std::string_view path, std::size_t* size_out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   auto inode = vfs_.lookup(path);
   if (inode == nullptr) return err(ENOENT);
@@ -144,6 +160,7 @@ int Env::stat_size(std::string_view path, std::size_t* size_out) {
 }
 
 int Env::fstat_size(int fd, std::size_t* size_out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
@@ -152,16 +169,19 @@ int Env::fstat_size(int fd, std::size_t* size_out) {
 }
 
 int Env::unlink(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   return vfs_.unlink(path) ? 0 : err(ENOENT);
 }
 
 int Env::rename(std::string_view from, std::string_view to) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   return vfs_.rename(from, to) ? 0 : err(ENOENT);
 }
 
 int Env::ftruncate(int fd, std::size_t length) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
@@ -170,6 +190,7 @@ int Env::ftruncate(int fd, std::size_t length) {
 }
 
 int Env::fsync(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
@@ -181,6 +202,7 @@ int Env::fsync(int fd) {
 // --- sockets ----------------------------------------------------------------
 
 int Env::socket() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   const int fd = alloc_fd();
   if (fd < 0) return err(EMFILE);
@@ -198,6 +220,7 @@ Listener* Env::listener_for_port(std::uint16_t port) {
 }
 
 int Env::bind(int fd, std::uint16_t port) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
@@ -212,6 +235,7 @@ int Env::bind(int fd, std::uint16_t port) {
 }
 
 int Env::listen(int fd, int backlog) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
@@ -226,6 +250,7 @@ int Env::listen(int fd, int backlog) {
 }
 
 int Env::accept(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kListener) return err(EBADF);
@@ -240,6 +265,7 @@ int Env::accept(int fd) {
 }
 
 int Env::connect_to(std::uint16_t port) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   Listener* listener = listener_for_port(port);
   if (listener == nullptr) return err(ECONNREFUSED);
@@ -260,6 +286,7 @@ int Env::connect_to(std::uint16_t port) {
 }
 
 ssize_t Env::send(int fd, const void* buf, std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return errs(EBADF);
@@ -278,6 +305,7 @@ ssize_t Env::send(int fd, const void* buf, std::size_t n) {
 }
 
 ssize_t Env::recv(int fd, void* buf, std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return errs(EBADF);
@@ -298,6 +326,7 @@ ssize_t Env::recv(int fd, void* buf, std::size_t n) {
 }
 
 int Env::sock_unread(int fd, const void* data, std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
@@ -309,6 +338,7 @@ int Env::sock_unread(int fd, const void* data, std::size_t n) {
 }
 
 int Env::setsockopt(int fd, std::uint32_t option_bit) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || (e->kind != FdKind::kSocket)) return err(EBADF);
@@ -317,6 +347,7 @@ int Env::setsockopt(int fd, std::uint32_t option_bit) {
 }
 
 int Env::fcntl_set_nonblock(int fd, bool nonblocking) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr) return err(EBADF);
@@ -325,6 +356,7 @@ int Env::fcntl_set_nonblock(int fd, bool nonblocking) {
 }
 
 int Env::shutdown_wr(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return err(ENOTCONN);
@@ -334,6 +366,7 @@ int Env::shutdown_wr(int fd) {
 }
 
 int Env::unbind(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
   e->bound_port = 0;
@@ -341,6 +374,7 @@ int Env::unbind(int fd) {
 }
 
 int Env::unlisten(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kListener) return err(EBADF);
   // Pending, never-accepted connections are torn down (clients see RST).
@@ -356,12 +390,14 @@ int Env::unlisten(int fd) {
 }
 
 std::int64_t Env::file_offset(int fd) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return -1;
   return e->file->offset;
 }
 
 int Env::close(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr) return err(EBADF);
@@ -376,6 +412,7 @@ int Env::close(int fd) {
 // --- descriptor & vector ops --------------------------------------------------
 
 int Env::dup(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr) return err(EBADF);
@@ -386,6 +423,7 @@ int Env::dup(int fd) {
 }
 
 int Env::socketpair(int out[2]) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   const int a = alloc_fd();
   if (a < 0) return err(EMFILE);
@@ -409,6 +447,7 @@ int Env::socketpair(int out[2]) {
 }
 
 int Env::pipe(int out[2]) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const int rc = socketpair(out);
   if (rc != 0) return rc;
   // Unidirectional: reader cannot write, writer cannot read (model).
@@ -418,6 +457,7 @@ int Env::pipe(int out[2]) {
 
 ssize_t Env::sendfile(int out_sock, int in_file, std::int64_t offset,
                       std::size_t count) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* file = entry(in_file);
   if (file == nullptr || file->kind != FdKind::kFile) return errs(EBADF);
@@ -433,6 +473,7 @@ ssize_t Env::sendfile(int out_sock, int in_file, std::int64_t offset,
 }
 
 ssize_t Env::writev(int fd, const IoSlice* slices, int n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   if (n < 0) return errs(EINVAL);
   ssize_t total = 0;
@@ -449,6 +490,7 @@ ssize_t Env::writev(int fd, const IoSlice* slices, int n) {
 // --- epoll ------------------------------------------------------------------
 
 int Env::epoll_create1() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   const int fd = alloc_fd();
   if (fd < 0) return err(EMFILE);
@@ -459,6 +501,7 @@ int Env::epoll_create1() {
 }
 
 int Env::epoll_ctl(int epfd, int op, int fd, std::uint32_t events) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* ep = entry(epfd);
   if (ep == nullptr || ep->kind != FdKind::kEpoll) return err(EBADF);
@@ -489,6 +532,7 @@ int Env::epoll_ctl(int epfd, int op, int fd, std::uint32_t events) {
 }
 
 int Env::epoll_wait(int epfd, PollEvent* events, int max_events) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   FdEntry* ep = entry(epfd);
   if (ep == nullptr || ep->kind != FdKind::kEpoll) return err(EBADF);
@@ -541,11 +585,12 @@ constexpr std::size_t kAllocMagic = 0xF1EE57A7;
 }  // namespace
 
 void* Env::mem_alloc(std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
   auto* header = static_cast<AllocHeader*>(
       std::malloc(sizeof(AllocHeader) + n));
   if (header == nullptr) {
-    errno_ = ENOMEM;
+    t_errno_ = ENOMEM;
     return nullptr;
   }
   header->size = n;
@@ -557,12 +602,14 @@ void* Env::mem_alloc(std::size_t n) {
 }
 
 void* Env::mem_alloc_zero(std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   void* p = mem_alloc(n);
   if (p != nullptr) std::memset(p, 0, n);
   return p;
 }
 
 void* Env::mem_realloc(void* p, std::size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (p == nullptr) return mem_alloc(n);
   auto* header = static_cast<AllocHeader*>(p) - 1;
   assert(header->magic == kAllocMagic);
@@ -575,6 +622,7 @@ void* Env::mem_realloc(void* p, std::size_t n) {
 }
 
 void Env::mem_free(void* p) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (p == nullptr) return;
   tick();
   auto* header = static_cast<AllocHeader*>(p) - 1;

@@ -3,14 +3,19 @@
 // Every interposition wrapper (src/interpose) bottoms out in one of these
 // methods. Return-value and errno conventions mirror POSIX so the
 // mini-servers' error-handling code reads like the real servers'. The layer
-// is deliberately synchronous and single-threaded: the workload driver and
-// the server share one Env and interleave cooperatively, which makes crash /
-// recovery experiments deterministic.
+// is synchronous; every public method is serialized by one recursive mutex
+// (kernel-style "big lock"), so worker threads and the workload driver can
+// share one Env — the coarse lock keeps the fd table, the virtual network
+// and the heap accounting coherent without per-structure locking, and calls
+// still interleave deterministically enough for crash / recovery
+// experiments. The virtual errno is per-thread, like the real one: a
+// diverted worker's injected errno must not leak into a sibling's.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -57,8 +62,10 @@ class Env {
   Env& operator=(const Env&) = delete;
 
   // --- errno ------------------------------------------------------------
-  int last_errno() const { return errno_; }
-  void set_errno(int e) { errno_ = e; }
+  /// Per-thread, like the libc errno: each worker sees only its own calls'
+  /// (and its own injected faults') error codes.
+  int last_errno() const { return t_errno_; }
+  void set_errno(int e) { t_errno_ = e; }
 
   // --- files ------------------------------------------------------------
   /// Returns a new fd, or -1 (ENOENT without kCreat, EMFILE on exhaustion).
@@ -180,11 +187,11 @@ class Env {
   static constexpr std::uint64_t kSyscallCostNs = 150;
 
   int err(int e) {
-    errno_ = e;
+    t_errno_ = e;
     return -1;
   }
   ssize_t errs(int e) {
-    errno_ = e;
+    t_errno_ = e;
     return -1;
   }
   int alloc_fd();
@@ -197,11 +204,17 @@ class Env {
     clock_.advance_ns(kSyscallCostNs);
   }
 
+  /// One coarse lock over all public entry points (see file comment).
+  /// Recursive: several methods are composed from other public methods
+  /// (read → recv, pipe → socketpair, mem_realloc → mem_alloc/mem_free),
+  /// and a compensation running during recovery may re-enter from a frame
+  /// that conceptually sits inside an interrupted call on the same thread.
+  mutable std::recursive_mutex mu_;
   std::vector<FdEntry> fds_;
   Vfs vfs_;
   VirtualClock clock_;
   EnvStats stats_;
-  int errno_ = 0;
+  static thread_local int t_errno_;
 };
 
 }  // namespace fir

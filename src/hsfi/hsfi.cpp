@@ -5,12 +5,23 @@
 
 namespace fir {
 namespace {
-std::uint64_t g_next_hsfi_generation = 1;
+std::atomic<std::uint64_t> g_next_hsfi_generation{1};
 
 /// Read through a volatile global so the compiler cannot constant-fold the
 /// null pointer below (and -Wnull-dereference stays quiet): the store must
 /// survive to runtime and take the actual MMU fault.
 volatile std::uintptr_t g_real_fault_addr = 0;
+
+/// One cached latent-corruption stream per thread, keyed by the injector
+/// instance and its arm epoch. Single-slot: a thread interleaving latent
+/// campaigns on two injectors would re-key on every switch, but campaigns
+/// arm one injector at a time.
+struct TlsCorruption {
+  const void* hsfi = nullptr;
+  std::uint64_t epoch = 0;
+  Rng rng{1};
+};
+thread_local TlsCorruption t_corruption;
 }  // namespace
 
 const char* fault_type_name(FaultType type) {
@@ -23,11 +34,14 @@ const char* fault_type_name(FaultType type) {
   return "?";
 }
 
-Hsfi::Hsfi() : generation_(g_next_hsfi_generation++) {}
+Hsfi::Hsfi()
+    : generation_(
+          g_next_hsfi_generation.fetch_add(1, std::memory_order_relaxed)) {}
 
 MarkerId Hsfi::register_marker(std::string_view name,
                                std::string_view location, bool critical_path,
                                bool error_handler) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Marker& m : markers_) {
     if (m.name == name && m.location == location) return m.id;
   }
@@ -41,10 +55,43 @@ MarkerId Hsfi::register_marker(std::string_view name,
   return markers_.back().id;
 }
 
+Marker& Hsfi::marker_at(MarkerId id) {
+  // The lock orders the index against a concurrent registration growing the
+  // deque; the returned reference stays valid afterwards (deque growth does
+  // not move existing elements).
+  std::lock_guard<std::mutex> lock(mu_);
+  return markers_[id];
+}
+
+void Hsfi::arm(FaultPlan plan) {
+  plan_ = plan;
+  fired_.store(false, std::memory_order_relaxed);
+  arm_epoch_.fetch_add(1, std::memory_order_relaxed);
+  next_stream_.store(0, std::memory_order_relaxed);
+  armed_.store(plan.marker != kInvalidMarker, std::memory_order_relaxed);
+}
+
+Rng& Hsfi::corruption_stream() {
+  TlsCorruption& t = t_corruption;
+  const std::uint64_t epoch = arm_epoch_.load(std::memory_order_relaxed);
+  if (t.hsfi != this || t.epoch != epoch) {
+    t.hsfi = this;
+    t.epoch = epoch;
+    const std::uint32_t stream =
+        next_stream_.fetch_add(1, std::memory_order_relaxed);
+    // Stream 0 is seeded with the plan seed itself so a single-threaded
+    // campaign replays the exact historical corruption sequence; later
+    // streams are split off with the SplitMix64 increment.
+    t.rng = stream == 0
+                ? Rng(plan_.seed)
+                : Rng(plan_.seed + stream * 0x9E3779B97F4A7C15ull);
+  }
+  return t.rng;
+}
+
 void Hsfi::trigger_fatal() {
-  fired_ = true;
+  fired_.store(true, std::memory_order_relaxed);
   if (plan_.type == FaultType::kRealCrash) trigger_real();
-  if (plan_.type == FaultType::kTransientCrash) armed_ = false;
   raise_crash(plan_.kind);
 }
 
@@ -82,19 +129,19 @@ void Hsfi::trigger_real() {
 }
 
 void Hsfi::corrupt(void* data, std::size_t len) {
-  fired_ = true;
+  fired_.store(true, std::memory_order_relaxed);
   if (len == 0) return;
   auto* bytes = static_cast<std::uint8_t*>(data);
+  Rng& rng = corruption_stream();
   // One of the HSFI latent-fault flavors, chosen by the plan seed:
   // bit flip, byte overwrite, or off-by-one on a byte (covers corrupted
   // integers, indices and truncated pointers at this granularity).
-  const std::uint64_t which = corruption_rng_.next_below(3);
-  const std::size_t at = corruption_rng_.index(len);
+  const std::uint64_t which = rng.next_below(3);
+  const std::size_t at = rng.index(len);
   switch (which) {
-    case 0: bytes[at] ^= static_cast<std::uint8_t>(
-        1u << corruption_rng_.next_below(8));
+    case 0: bytes[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
       break;
-    case 1: bytes[at] = static_cast<std::uint8_t>(corruption_rng_.next());
+    case 1: bytes[at] = static_cast<std::uint8_t>(rng.next());
       break;
     default: bytes[at] = static_cast<std::uint8_t>(bytes[at] + 1);
       break;
@@ -102,28 +149,37 @@ void Hsfi::corrupt(void* data, std::size_t len) {
 }
 
 void Hsfi::visit(MarkerId id) {
-  Marker& m = markers_[id];
-  if (profiling_) ++m.executions;
-  if (!armed_ || plan_.marker != id) return;
+  Marker& m = marker_at(id);
+  if (profiling_.load(std::memory_order_relaxed))
+    m.executions.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_relaxed) || plan_.marker != id) return;
   if (plan_.type == FaultType::kLatentCorruption) return;  // needs data
+  if (plan_.type == FaultType::kTransientCrash &&
+      !armed_.exchange(false, std::memory_order_relaxed))
+    return;  // another thread already consumed the one transient firing
   trigger_fatal();
 }
 
 void Hsfi::visit_data(MarkerId id, void* data, std::size_t len) {
-  Marker& m = markers_[id];
-  if (profiling_) ++m.executions;
-  if (!armed_ || plan_.marker != id) return;
+  Marker& m = marker_at(id);
+  if (profiling_.load(std::memory_order_relaxed))
+    m.executions.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_relaxed) || plan_.marker != id) return;
   if (plan_.type == FaultType::kLatentCorruption) {
     corrupt(data, len);
     return;
   }
+  if (plan_.type == FaultType::kTransientCrash &&
+      !armed_.exchange(false, std::memory_order_relaxed))
+    return;  // another thread already consumed the one transient firing
   trigger_fatal();
 }
 
 std::vector<MarkerId> Hsfi::executed_markers(bool targets_only) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MarkerId> out;
   for (const Marker& m : markers_) {
-    if (m.executions == 0) continue;
+    if (m.executions.load(std::memory_order_relaxed) == 0) continue;
     if (targets_only && (m.critical_path || m.error_handler)) continue;
     out.push_back(m.id);
   }
@@ -131,7 +187,8 @@ std::vector<MarkerId> Hsfi::executed_markers(bool targets_only) const {
 }
 
 void Hsfi::reset_profile() {
-  for (Marker& m : markers_) m.executions = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Marker& m : markers_) m.executions.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace fir

@@ -9,9 +9,25 @@
 //     deterministic-bug model), a transient fatal fault (fires once), or a
 //     latent fault (silently corrupts data: bit flips, off-by-one indices,
 //     pointer corruption — the "beyond the fault model" experiment).
+//
+// Threading: marker visits may come from many worker threads at once.
+// Execution counters are relaxed atomics, marker registration is
+// mutex-guarded (markers_ is a deque so visiting threads keep stable
+// references across registrations), and a transient fault fires exactly
+// once even when several threads hit the armed marker simultaneously
+// (armed_.exchange picks the winner). arm()/disarm()/reset_profile() are
+// campaign-control operations: call them while workers are quiescent —
+// plan_ itself is not atomic. Latent corruption draws from per-thread Rng
+// streams so concurrent campaigns stay reproducible: the first thread to
+// corrupt after arm() gets exactly the stream Rng(plan.seed) (bit-for-bit
+// the historical single-threaded sequence), subsequent threads get
+// independent split-seeded streams.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,7 +67,29 @@ struct Marker {
   /// handler for the error handler", §VII), so campaigns exclude them from
   /// the target set — as the paper's feature-block selection does.
   bool error_handler = false;
-  std::uint64_t executions = 0;
+  /// Profiling counter; relaxed multi-writer (workers bump concurrently).
+  std::atomic<std::uint64_t> executions{0};
+
+  Marker() = default;
+  Marker(const Marker& o)
+      : id(o.id),
+        name(o.name),
+        location(o.location),
+        critical_path(o.critical_path),
+        error_handler(o.error_handler) {
+    executions.store(o.executions.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  Marker& operator=(const Marker& o) {
+    id = o.id;
+    name = o.name;
+    location = o.location;
+    critical_path = o.critical_path;
+    error_handler = o.error_handler;
+    executions.store(o.executions.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// What to inject in one experiment run.
@@ -74,20 +112,20 @@ class Hsfi {
                            bool critical_path, bool error_handler = false);
 
   /// Profiling control: when on, marker executions are counted.
-  void set_profiling(bool on) { profiling_ = on; }
-  bool profiling() const { return profiling_; }
+  void set_profiling(bool on) {
+    profiling_.store(on, std::memory_order_relaxed);
+  }
+  bool profiling() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
 
   /// Arms one fault; disarm() or a fired transient fault clears it.
-  void arm(FaultPlan plan) {
-    plan_ = plan;
-    armed_ = plan.marker != kInvalidMarker;
-    fired_ = false;
-    corruption_rng_ = Rng(plan.seed);
-  }
-  void disarm() { armed_ = false; }
-  bool armed() const { return armed_; }
+  /// Campaign control: call while worker threads are quiescent.
+  void arm(FaultPlan plan);
+  void disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
   /// True when the armed fault has triggered at least once this run.
-  bool fired() const { return fired_; }
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
 
   /// Marker visit without corruptible data. May not return (fatal faults
   /// enter the crash channel).
@@ -97,8 +135,11 @@ class Hsfi {
   /// faults). Fatal faults behave as in visit().
   void visit_data(MarkerId id, void* data, std::size_t len);
 
-  const std::vector<Marker>& markers() const { return markers_; }
-  Marker& marker(MarkerId id) { return markers_[id]; }
+  /// Quiescent-accurate: iterating while another thread registers markers
+  /// races with the deque's growth (like SiteRegistry::all); read between
+  /// campaign runs.
+  const std::deque<Marker>& markers() const { return markers_; }
+  Marker& marker(MarkerId id) { return marker_at(id); }
 
   /// Markers executed at least once during profiling. With
   /// `targets_only`, filters to the Table IV target set: non-critical
@@ -111,30 +152,45 @@ class Hsfi {
   [[noreturn]] void trigger_fatal();
   [[noreturn]] void trigger_real();
   void corrupt(void* data, std::size_t len);
+  Marker& marker_at(MarkerId id);
+  Rng& corruption_stream();
 
-  std::vector<Marker> markers_;
-  bool profiling_ = false;
-  bool armed_ = false;
-  bool fired_ = false;
+  mutable std::mutex mu_;  // guards markers_ growth
+  std::deque<Marker> markers_;
+  std::atomic<bool> profiling_{false};
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fired_{false};
   FaultPlan plan_;
-  Rng corruption_rng_{1};
+  /// Bumped by arm(): invalidates every thread's cached corruption stream.
+  std::atomic<std::uint64_t> arm_epoch_{0};
+  /// Next per-thread corruption-stream index for the current epoch.
+  std::atomic<std::uint32_t> next_stream_{0};
   std::uint64_t generation_ = 0;
 };
 
 namespace detail {
+/// Per-expansion marker cache. Threads race to fill it; all racers intern
+/// the same (name, location) and the registry dedupes, so any interleaving
+/// publishes the same id. id is written before gen (release) and read
+/// after it (acquire), so a reader that sees the current generation sees
+/// the matching id.
 struct MarkerCache {
-  std::uint64_t gen = 0;
-  MarkerId id = kInvalidMarker;
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<MarkerId> id{kInvalidMarker};
 };
 
 inline MarkerId marker(MarkerCache& cache, Hsfi& hsfi, const char* name,
                        const char* location, bool critical,
                        bool handler = false) {
-  if (cache.gen != hsfi.generation()) {
-    cache.id = hsfi.register_marker(name, location, critical, handler);
-    cache.gen = hsfi.generation();
+  const std::uint64_t want = hsfi.generation();
+  if (cache.gen.load(std::memory_order_acquire) != want) {
+    const MarkerId id =
+        hsfi.register_marker(name, location, critical, handler);
+    cache.id.store(id, std::memory_order_relaxed);
+    cache.gen.store(want, std::memory_order_release);
+    return id;
   }
-  return cache.id;
+  return cache.id.load(std::memory_order_relaxed);
 }
 }  // namespace detail
 

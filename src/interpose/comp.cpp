@@ -49,11 +49,17 @@ void fn_restore_offset(Env& env, std::intptr_t fd, std::intptr_t old_offset,
   env.lseek(static_cast<int>(fd), old_offset, kSeekSet);
 }
 
-void fn_rename_back(Env& env, std::intptr_t from, std::intptr_t to,
-                    std::intptr_t rv, const std::uint8_t*, std::size_t) {
+void fn_rename_back(Env& env, std::intptr_t to_off, std::intptr_t,
+                    std::intptr_t rv, const std::uint8_t* data,
+                    std::size_t) {
   if (rv == 0) {
-    env.rename(reinterpret_cast<const char*>(to),
-               reinterpret_cast<const char*>(from));
+    // The stash holds "from\0to\0": both names were copied into the
+    // transaction arena before the call, so the compensation never
+    // dereferences caller storage (which may have been freed, or be
+    // mid-restoration stack bytes).
+    const char* from = reinterpret_cast<const char*>(data);
+    const char* to = from + to_off;
+    env.rename(to, from);
   }
 }
 
@@ -85,20 +91,20 @@ void fn_close_pair(Env& env, std::intptr_t pair_ptr, std::intptr_t,
   env.close(pair[1]);
 }
 
-void fn_deferred_close(Env& env, std::intptr_t fd, std::intptr_t) {
-  env.close(static_cast<int>(fd));
+void fn_deferred_close(Env& env, const DeferredOp& op) {
+  env.close(static_cast<int>(op.a));
 }
 
-void fn_deferred_free(Env& env, std::intptr_t ptr, std::intptr_t) {
-  env.mem_free(reinterpret_cast<void*>(ptr));
+void fn_deferred_free(Env& env, const DeferredOp& op) {
+  env.mem_free(reinterpret_cast<void*>(op.a));
 }
 
-void fn_deferred_unlink(Env& env, std::intptr_t path, std::intptr_t) {
-  env.unlink(reinterpret_cast<const char*>(path));
+void fn_deferred_unlink(Env& env, const DeferredOp& op) {
+  env.unlink(op.path.c_str());
 }
 
-void fn_deferred_shutdown(Env& env, std::intptr_t fd, std::intptr_t) {
-  env.shutdown_wr(static_cast<int>(fd));
+void fn_deferred_shutdown(Env& env, const DeferredOp& op) {
+  env.shutdown_wr(static_cast<int>(op.a));
 }
 
 }  // namespace
@@ -158,11 +164,13 @@ Compensation restore_offset(int fd, std::int64_t old_offset) {
   return c;
 }
 
-Compensation rename_back(const char* from, const char* to) {
+Compensation rename_back(std::uint32_t data_off, std::uint32_t data_len,
+                         std::uint32_t to_off) {
   Compensation c;
   c.fn = &fn_rename_back;
-  c.a = reinterpret_cast<std::intptr_t>(from);
-  c.b = reinterpret_cast<std::intptr_t>(to);
+  c.a = static_cast<std::intptr_t>(to_off);
+  c.data_off = data_off;
+  c.data_len = data_len;
   return c;
 }
 
@@ -192,20 +200,34 @@ Compensation close_fd_pair(const int* pair) {
   return c;
 }
 
-DeferredOp deferred_close(int fd) { return DeferredOp{&fn_deferred_close, fd, 0}; }
+DeferredOp deferred_close(int fd) {
+  DeferredOp op;
+  op.fn = &fn_deferred_close;
+  op.a = fd;
+  return op;
+}
 
 DeferredOp deferred_free(void* ptr) {
-  return DeferredOp{&fn_deferred_free, reinterpret_cast<std::intptr_t>(ptr),
-                    0};
+  DeferredOp op;
+  op.fn = &fn_deferred_free;
+  op.a = reinterpret_cast<std::intptr_t>(ptr);
+  return op;
 }
 
 DeferredOp deferred_unlink(const char* path) {
-  return DeferredOp{&fn_deferred_unlink,
-                    reinterpret_cast<std::intptr_t>(path), 0};
+  DeferredOp op;
+  op.fn = &fn_deferred_unlink;
+  // Own the name: commit can run long after the caller's buffer was reused,
+  // freed, or clobbered by a rollback's stack restore.
+  op.path.assign(path);
+  return op;
 }
 
 DeferredOp deferred_shutdown(int fd) {
-  return DeferredOp{&fn_deferred_shutdown, fd, 0};
+  DeferredOp op;
+  op.fn = &fn_deferred_shutdown;
+  op.a = fd;
+  return op;
 }
 
 }  // namespace fir::comp

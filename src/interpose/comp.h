@@ -32,6 +32,12 @@ Compensation free_returned_block();
 /// Reverts read/recv-style calls: pushes the consumed bytes back onto the
 /// stream (socket unread) and restores the destination buffer's previous
 /// contents, stashed before the call. `data_off/len` locate the stash.
+/// (`buf` is a raw pointer, deliberately: it addresses the caller's
+/// destination buffer inside the snapshot-restored stack region — the
+/// rollback restores those frames before any compensation runs — or heap
+/// memory the undo log restored. Raw captures of caller *storage* are safe;
+/// raw captures of caller-owned *strings* are not, which is why rename/
+/// unlink stash copies instead.)
 Compensation restore_recv(int fd, void* buf, std::uint32_t data_off,
                           std::uint32_t data_len);
 
@@ -43,8 +49,13 @@ Compensation restore_buffer(void* buf, std::uint32_t data_off,
 /// Reverts lseek: seeks back to the previous offset.
 Compensation restore_offset(int fd, std::int64_t old_offset);
 
-/// Reverts rename(from, to): renames back.
-Compensation rename_back(const char* from, const char* to);
+/// Reverts rename(from, to): renames back. Reads both names from the
+/// transaction's comp-data stash laid out as "from\0to\0" at `data_off`
+/// (`to_off` = offset of "to" within the stash); the wrapper copies the
+/// caller's strings there before the call so the compensation never touches
+/// caller-owned pointers.
+Compensation rename_back(std::uint32_t data_off, std::uint32_t data_len,
+                         std::uint32_t to_off);
 
 /// Reverts ftruncate: restores the previous length and the truncated-away
 /// tail bytes (stashed before the call when shrinking).
@@ -54,12 +65,14 @@ Compensation restore_truncate(int fd, std::int64_t old_size,
 
 /// Reverts posix_memalign(): frees the block stored through the caller's
 /// out-pointer and nulls it (the call wrote it before the transaction
-/// began).
+/// began, so the rollback's stack/heap restore re-exposes the same slot —
+/// the raw pointer is safe for the same reason as restore_recv's).
 Compensation free_memalign(void** out_slot);
 
 /// Reverts pipe()/socketpair(): closes both descriptors the call stored in
 /// the caller's two-element array (which the call wrote before the
-/// transaction began, so rollback leaves it intact).
+/// transaction began, so rollback leaves it intact — safe raw capture, see
+/// restore_recv).
 Compensation close_fd_pair(const int* pair);
 
 // --- deferred effects ("operation deferrable" class) -----------------------
@@ -68,7 +81,9 @@ Compensation close_fd_pair(const int* pair);
 DeferredOp deferred_close(int fd);
 /// mem_free(ptr), performed at commit.
 DeferredOp deferred_free(void* ptr);
-/// unlink(path), performed at commit. `path` must stay valid until then.
+/// unlink(path), performed at commit. The op owns a copy of the name: the
+/// caller's buffer may be reused or freed long before the transaction
+/// commits.
 DeferredOp deferred_unlink(const char* path);
 /// shutdown_wr(fd), performed at commit.
 DeferredOp deferred_shutdown(int fd);

@@ -25,6 +25,7 @@
 // expression ends in a plain variable so discarding the result stays quiet.
 #pragma once
 
+#include <atomic>
 #include <cerrno>
 #include <csetjmp>
 #include <cstdint>
@@ -37,19 +38,25 @@
 namespace fir::detail {
 
 /// Per-expansion SiteId cache, invalidated when a new TxManager generation
-/// takes over (experiments create one manager per run).
+/// takes over (experiments create one manager per run). The function-local
+/// static behind each gate is shared by every thread expanding that gate,
+/// so the fields are atomics: sid is published before gen (release), and a
+/// reader that observes the current generation (acquire) therefore reads
+/// the matching sid. Racing first-callers both intern — the registry
+/// dedupes — and store the same id.
 struct SiteCache {
-  std::uint64_t gen = 0;
-  SiteId sid = kInvalidSite;
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<SiteId> sid{kInvalidSite};
 };
 
 inline SiteId site(SiteCache& cache, TxManager& mgr, const char* function,
                    const char* location) {
-  if (cache.gen != mgr.generation()) {
-    cache.sid = mgr.register_site(function, location);
-    cache.gen = mgr.generation();
+  if (cache.gen.load(std::memory_order_acquire) != mgr.generation()) {
+    cache.sid.store(mgr.register_site(function, location),
+                    std::memory_order_relaxed);
+    cache.gen.store(mgr.generation(), std::memory_order_release);
   }
-  return cache.sid;
+  return cache.sid.load(std::memory_order_relaxed);
 }
 
 /// ftruncate bookkeeping: stashes the tail bytes a shrink would destroy and
@@ -296,7 +303,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
                    ::fir::comp::none())
 
 /// unlink: deferrable — the name disappears when the transaction commits.
-/// `path` must stay valid until then (store it in stable memory).
+/// The DeferredOp owns a copy of the path, so any caller buffer works.
 #define FIR_UNLINK(fx, path)                                              \
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
@@ -322,9 +329,35 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
     fir_out;                                                              \
   })
 
-#define FIR_RENAME(fx, from, to)                                        \
-  FIR_DETAIL_GATED(fx, "rename", (fx).env().rename((from), (to)),       \
-                   ::fir::comp::rename_back((from), (to)))
+/// rename: both path strings are stashed in the transaction arena before
+/// the call ("from\0to\0"), so the rename-back compensation never touches
+/// the caller's (possibly freed or rolled-back) buffers.
+#define FIR_RENAME(fx, from, to)                                          \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "rename");       \
+    fir_m.pre_call();                                                     \
+    const char* fir_from = (from);                                        \
+    const char* fir_to = (to);                                            \
+    const std::uint32_t fir_from_n =                                      \
+        static_cast<std::uint32_t>(::std::strlen(fir_from)) + 1;          \
+    const std::uint32_t fir_to_n =                                        \
+        static_cast<std::uint32_t>(::std::strlen(fir_to)) + 1;            \
+    const std::uint32_t fir_off =                                         \
+        fir_m.stash_comp_data(fir_from, fir_from_n);                      \
+    fir_m.stash_comp_data(fir_to, fir_to_n);                              \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().rename(fir_from, fir_to);                       \
+      fir_m.begin(fir_sid, fir_rv,                                        \
+                  ::fir::comp::rename_back(                               \
+                      fir_off, fir_from_n + fir_to_n, fir_from_n));       \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
 
 #define FIR_FTRUNCATE(fx, fd, len)                                        \
   ({                                                                      \

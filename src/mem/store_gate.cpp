@@ -5,14 +5,14 @@
 
 namespace fir {
 
-StoreGate::Mode StoreGate::mode_ = StoreGate::Mode::kOff;
-StoreRecorder* StoreGate::recorder_ = nullptr;
-WriteFilter* StoreGate::stm_filter_ = nullptr;
-UndoLog* StoreGate::stm_log_ = nullptr;
-std::uintptr_t* StoreGate::htm_last_line_ = nullptr;
-std::uint64_t* StoreGate::htm_store_tally_ = nullptr;
-StoreGate::AbortHook StoreGate::abort_hook_ = nullptr;
-void* StoreGate::abort_ctx_ = nullptr;
+thread_local StoreGate::Mode StoreGate::mode_ = StoreGate::Mode::kOff;
+thread_local StoreRecorder* StoreGate::recorder_ = nullptr;
+thread_local WriteFilter* StoreGate::stm_filter_ = nullptr;
+thread_local UndoLog* StoreGate::stm_log_ = nullptr;
+thread_local std::uintptr_t* StoreGate::htm_last_line_ = nullptr;
+thread_local std::uint64_t* StoreGate::htm_store_tally_ = nullptr;
+std::atomic<StoreGate::AbortHook> StoreGate::abort_hook_{nullptr};
+std::atomic<void*> StoreGate::abort_ctx_{nullptr};
 
 StoreRecorder* StoreGate::set_recorder(StoreRecorder* recorder) {
   StoreRecorder* prev = recorder_;
@@ -28,8 +28,8 @@ StoreRecorder* StoreGate::set_recorder(StoreRecorder* recorder) {
 void StoreGate::bind_stm(WriteFilter* filter, UndoLog* log,
                          StoreRecorder* cold) {
   // The HTM pointers stay as-is: they are only read in kHtm mode, which is
-  // unreachable without a fresh bind_htm(). Binds run per transaction, so
-  // they stay minimal.
+  // unreachable without a fresh bind_htm(). Binds run per transaction on
+  // the transaction's own thread, so they stay minimal.
   recorder_ = cold;
   stm_filter_ = filter;
   stm_log_ = log;
@@ -45,8 +45,8 @@ void StoreGate::bind_htm(std::uintptr_t* last_line, std::uint64_t* store_tally,
 }
 
 void StoreGate::set_abort_hook(AbortHook hook, void* ctx) {
-  abort_hook_ = hook;
-  abort_ctx_ = ctx;
+  abort_hook_.store(hook, std::memory_order_relaxed);
+  abort_ctx_.store(ctx, std::memory_order_relaxed);
 }
 
 void StoreGate::record_slow(void* addr, std::size_t size) {
@@ -54,8 +54,9 @@ void StoreGate::record_slow(void* addr, std::size_t size) {
 }
 
 void StoreGate::fire_abort() {
-  if (abort_hook_ != nullptr) {
-    abort_hook_(abort_ctx_);
+  const AbortHook hook = abort_hook_.load(std::memory_order_relaxed);
+  if (hook != nullptr) {
+    hook(abort_ctx_.load(std::memory_order_relaxed));
     // The hook normally longjmps away; falling through means no transaction
     // was active to absorb the abort.
   }

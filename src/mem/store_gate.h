@@ -20,6 +20,7 @@
 // recorders.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -42,7 +43,12 @@ class StoreRecorder {
   virtual bool record_store(void* addr, std::size_t size) = 0;
 };
 
-/// Process-global store routing. Single-threaded by design (paper §VII).
+/// Per-thread store routing. The routing state (mode tag, engine
+/// pointers) is thread_local: each worker thread binds its own transaction's
+/// filter/log/write-set, so concurrent STM transactions never share an undo
+/// log and a store on thread A can never land in thread B's pre-image set.
+/// Only the abort hook is process-global (one TxManager claims it), and it
+/// always fires on the thread whose store was rejected.
 class StoreGate {
  public:
   using AbortHook = void (*)(void* ctx);
@@ -121,14 +127,18 @@ class StoreGate {
   static void record_slow(void* addr, std::size_t size);
   static void fire_abort();
 
-  static Mode mode_;
-  static StoreRecorder* recorder_;
-  static WriteFilter* stm_filter_;
-  static UndoLog* stm_log_;
-  static std::uintptr_t* htm_last_line_;
-  static std::uint64_t* htm_store_tally_;
-  static AbortHook abort_hook_;
-  static void* abort_ctx_;
+  static thread_local Mode mode_;
+  static thread_local StoreRecorder* recorder_;
+  static thread_local WriteFilter* stm_filter_;
+  static thread_local UndoLog* stm_log_;
+  static thread_local std::uintptr_t* htm_last_line_;
+  static thread_local std::uint64_t* htm_store_tally_;
+  // Shared across threads: claimed once per TxManager (before its workers
+  // start), read on the (cold) abort path of whichever thread's store was
+  // rejected. Atomic so a late-constructed second manager re-claiming the
+  // hook does not race with a sibling's abort.
+  static std::atomic<AbortHook> abort_hook_;
+  static std::atomic<void*> abort_ctx_;
 };
 
 }  // namespace fir

@@ -5,18 +5,21 @@
 namespace fir::obs {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
@@ -24,14 +27,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::add_collector(
     std::function<void(MetricsRegistry&)> collector) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   collectors_.push_back(std::move(collector));
 }
 
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 std::vector<MetricSample> MetricsRegistry::snapshot() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& collector : collectors_) collector(*this);
 
   std::vector<MetricSample> out;
-  out.reserve(size());
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSample s;
     s.name = name;
@@ -67,6 +77,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, hist] : histograms_) hist->clear();

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,7 +81,9 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Returns the metric registered under `name`, creating it on first use.
-  /// References stay valid until the registry is destroyed.
+  /// References stay valid until the registry is destroyed, and lookup is
+  /// mutex-guarded so concurrent first-use registration from worker threads
+  /// is safe (hot paths hold the returned reference and never re-look-up).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
@@ -95,11 +98,12 @@ class MetricsRegistry {
   /// boundaries). Registered names and collectors survive.
   void reset();
 
-  std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  std::size_t size() const;
 
  private:
+  // Recursive: collectors run under the lock and call back into
+  // counter()/gauge() to publish.
+  mutable std::recursive_mutex mu_;
   // node-based maps: stable addresses across later registrations.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -1,0 +1,119 @@
+#include "workload/concurrent.h"
+
+#include <thread>
+
+#include "workload/http_client.h"
+
+namespace fir {
+namespace {
+
+// Generous spin budgets: the virtual network never blocks, so clients
+// yield between polls and rely on the scheduler to run the workers. On a
+// loaded single-core machine a round trip can take many quanta.
+constexpr int kConnectRetries = 1000;
+constexpr int kResponseSpins = 200000;
+
+void run_client(Env& env, const ThreadedClientSpec& spec,
+                ThreadedClientResult& out) {
+  out.port = spec.port;
+  HttpClient client(env, spec.port);
+  for (int i = 0; i < spec.requests; ++i) {
+    if (!client.connected()) {
+      bool connected = false;
+      for (int tries = 0; tries < kConnectRetries && !connected; ++tries) {
+        connected = client.connect();
+        if (!connected) std::this_thread::yield();
+      }
+      if (!connected) {
+        ++out.transport_failures;
+        continue;
+      }
+    }
+    if (!client.send_request("GET", spec.target)) {
+      ++out.transport_failures;
+      client.close();
+      continue;
+    }
+    ++out.sent;
+    HttpClient::Response response;
+    bool settled = false;
+    for (int spins = 0; spins < kResponseSpins; ++spins) {
+      const int got = client.try_read_response(response);
+      if (got == 1) {
+        if (response.status >= 200 && response.status < 400) {
+          ++out.responses_2xx;
+        } else if (response.status < 500) {
+          ++out.responses_4xx;
+        } else {
+          ++out.responses_5xx;
+        }
+        settled = true;
+        break;
+      }
+      if (got == -1) {  // reset / closed without a response
+        ++out.transport_failures;
+        client.close();
+        settled = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (!settled) {  // no response within the spin budget
+      ++out.transport_failures;
+      client.close();
+    }
+  }
+  client.close();
+}
+
+}  // namespace
+
+std::uint64_t ThreadedLoadResult::total_sent() const {
+  std::uint64_t n = 0;
+  for (const ThreadedClientResult& c : clients) n += c.sent;
+  return n;
+}
+
+std::uint64_t ThreadedLoadResult::total_2xx() const {
+  std::uint64_t n = 0;
+  for (const ThreadedClientResult& c : clients) n += c.responses_2xx;
+  return n;
+}
+
+std::uint64_t ThreadedLoadResult::total_5xx() const {
+  std::uint64_t n = 0;
+  for (const ThreadedClientResult& c : clients) n += c.responses_5xx;
+  return n;
+}
+
+std::uint64_t ThreadedLoadResult::total_responses() const {
+  std::uint64_t n = 0;
+  for (const ThreadedClientResult& c : clients)
+    n += c.responses_2xx + c.responses_4xx + c.responses_5xx;
+  return n;
+}
+
+std::uint64_t ThreadedLoadResult::total_transport_failures() const {
+  std::uint64_t n = 0;
+  for (const ThreadedClientResult& c : clients) n += c.transport_failures;
+  return n;
+}
+
+ThreadedLoadResult run_threaded_http_load(
+    Server& server, const std::vector<ThreadedClientSpec>& specs) {
+  ThreadedLoadResult result;
+  result.clients.resize(specs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(specs.size());
+  Env& env = server.fx().env();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    threads.emplace_back(
+        [&env, &spec = specs[i], &out = result.clients[i]] {
+          run_client(env, spec, out);
+        });
+  }
+  for (std::thread& t : threads) t.join();
+  return result;
+}
+
+}  // namespace fir

@@ -1,0 +1,57 @@
+// Threaded workload driver: real client threads against a worker-pool
+// server.
+//
+// The cooperative drivers (drivers.h) step the server themselves; this
+// driver does not — it targets servers whose event loops already run on
+// their own threads (Miniginx::start_workers). One client thread is
+// spawned per spec, each hammering one listener port with keep-alive GETs
+// over the shared Env (whose public surface is serialized by its big
+// lock). The per-client tallies let tests assert crash containment: a
+// client aimed at a crashing worker records diverted 5xx responses while
+// clients on sibling workers record zero transport failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/server.h"
+
+namespace fir {
+
+/// One client thread's assignment.
+struct ThreadedClientSpec {
+  std::uint16_t port = 0;  // which listener this client drives
+  std::string target = "/index.html";
+  int requests = 50;
+};
+
+/// One client thread's outcome. A request is counted in exactly one
+/// bucket: a 2xx/4xx/5xx response, or a transport failure (connect
+/// failure, broken connection, or response timeout).
+struct ThreadedClientResult {
+  std::uint16_t port = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t transport_failures = 0;
+};
+
+struct ThreadedLoadResult {
+  std::vector<ThreadedClientResult> clients;
+
+  std::uint64_t total_sent() const;
+  std::uint64_t total_2xx() const;
+  std::uint64_t total_5xx() const;
+  std::uint64_t total_responses() const;
+  std::uint64_t total_transport_failures() const;
+};
+
+/// Runs one client thread per spec concurrently; returns when every client
+/// finished its request budget. The server's workers must already be
+/// running (this function never steps the server).
+ThreadedLoadResult run_threaded_http_load(
+    Server& server, const std::vector<ThreadedClientSpec>& specs);
+
+}  // namespace fir

@@ -6,9 +6,11 @@
 // forked child), so a channel bug cannot take the whole suite down with it.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
+#include <thread>
 
 #include "interpose/fir.h"
 
@@ -156,6 +158,58 @@ TEST(CrashSignalDeathTest, CrashInCompensationEscalatesToDoubleFault) {
         (void)rv;
         // First episode retries; the second runs the compensation, which
         // faults while recovery is in flight — double fault, clean exit.
+        real_segv();
+        std::_Exit(3);  // unreachable
+      },
+      ExitedWithCode(kDoubleFaultExitCode), "double fault");
+}
+
+TEST(CrashSignalDeathTest, ConcurrentCompensationCrashEscalates) {
+  EXPECT_EXIT(
+      {
+        Fx fx(signal_config());
+        TxManager& mgr = fx.mgr();
+
+        // A sibling thread parks inside an open, recoverable transaction.
+        // Recovery scope is the faulting thread: the kernel fault below
+        // must escalate to a double fault even though another thread's
+        // transaction could, in principle, absorb a crash.
+        std::atomic<bool> holder_open{false};
+        std::thread holder([&mgr, &holder_open] {
+          mgr.set_anchor(__builtin_frame_address(0));
+          const SiteId site =
+              mgr.register_site("socket", "crash_signal_test:holder");
+          mgr.pre_call();
+          volatile std::intptr_t rv = 0;
+          if (setjmp(*mgr.gate_buf()) == 0) {
+            rv = 3;
+            mgr.begin(site, rv, Compensation{});
+          } else {
+            rv = mgr.resume();
+          }
+          (void)rv;
+          holder_open.store(true);
+          for (;;) asm volatile("" ::: "memory");  // parked mid-transaction
+        });
+        while (!holder_open.load()) std::this_thread::yield();
+
+        mgr.set_anchor(__builtin_frame_address(0));
+        const SiteId site =
+            mgr.register_site("socket", "crash_signal_test:main");
+        Compensation comp;
+        comp.fn = [](Env&, std::intptr_t, std::intptr_t, std::intptr_t,
+                     const std::uint8_t*, std::size_t) { real_segv(); };
+        mgr.pre_call();
+        volatile std::intptr_t rv = 0;
+        if (setjmp(*mgr.gate_buf()) == 0) {
+          rv = 3;
+          mgr.begin(site, rv, comp);
+        } else {
+          rv = mgr.resume();
+        }
+        (void)rv;
+        // First episode retries; the second runs the compensation, which
+        // takes a real SIGSEGV while recovery is in flight on this thread.
         real_segv();
         std::_Exit(3);  // unreachable
       },

@@ -1,0 +1,215 @@
+// Per-thread crash transactions: concurrent worker threads over ONE
+// TxManager. Each thread gets its own TxContext (gate buffer, stack
+// snapshot, undo log, engines), so a crash on one thread rolls back and
+// diverts only that thread while siblings' gated calls proceed untouched;
+// the shared site table interns once per static site no matter how many
+// threads race the first expansion; and the single-writer per-thread
+// tallies aggregate into coherent process-wide totals. The death test
+// pins down the double-fault rule under concurrency: a compensation
+// crashing on one thread escalates even while another thread holds an
+// open (perfectly recoverable) transaction — recovery scope is the
+// faulting thread, never "any open transaction in the process".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csetjmp>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "interpose/fir.h"
+
+namespace fir {
+namespace {
+
+using ::testing::ExitedWithCode;
+
+TxManagerConfig stm_config() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;  // no HTM hop: one episode per crash
+  return c;
+}
+
+TEST(TxThreadTest, ConcurrentCrashIsolation) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 150;
+  Fx fx(stm_config());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fx, &failures, t] {
+      // Even threads crash persistently on every iteration; odd threads run
+      // the same gate crash-free. A recovery that leaked across threads
+      // (shared jmp_buf, shared active-transaction slot, shared undo log)
+      // would corrupt the clean threads' calls.
+      const bool crashing = (t % 2) == 0;
+      FIR_ANCHOR(fx);
+      for (int i = 0; i < kIterations; ++i) {
+        const int fd = static_cast<int>(FIR_SOCKET(fx));
+        if (crashing) {
+          if (fd >= 0) raise_crash(CrashKind::kSegv);  // persistent
+          // Diverted: injected error return + errno, socket compensated away.
+          if (fd != -1 || fx.err() != EMFILE) failures.fetch_add(1);
+        } else {
+          if (fd < 0) {
+            failures.fetch_add(1);
+          } else {
+            FIR_CLOSE(fx, fd);  // deferred close flushes at the quiesce
+          }
+        }
+        FIR_QUIESCE(fx);
+      }
+      fx.mgr().clear_anchor();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Each crashing iteration is crash -> rollback -> retry -> crash again ->
+  // divert: exactly one retry and one diversion, on the faulting thread.
+  const std::uint64_t crash_iterations =
+      static_cast<std::uint64_t>(kThreads / 2) * kIterations;
+  obs::MetricsRegistry& reg = fx.mgr().metrics();
+  EXPECT_EQ(reg.counter("recovery.retries").value(), crash_iterations);
+  EXPECT_EQ(reg.counter("recovery.diversions").value(), crash_iterations);
+  EXPECT_EQ(reg.counter("recovery.double_faults").value(), 0u);
+  EXPECT_EQ(reg.counter("recovery.fatal").value(), 0u);
+  EXPECT_GE(fx.mgr().thread_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(TxThreadTest, RacingGatesInternOneSite) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50;
+  Fx fx;  // default adaptive policy: shared GateState takes the updates
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fx, &failures] {
+      FIR_ANCHOR(fx);
+      for (int i = 0; i < kIterations; ++i) {
+        // Every thread expands the SAME macro: one static SiteCache, one
+        // (function, location) key racing through register_site.
+        const int fd = static_cast<int>(FIR_SOCKET(fx));
+        if (fd < 0) {
+          failures.fetch_add(1);
+        } else {
+          FIR_CLOSE(fx, fd);
+        }
+        FIR_QUIESCE(fx);
+      }
+      fx.mgr().clear_anchor();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Racing first-callers may all have called register_site, but the
+  // registry dedupes: exactly one "socket" site exists, and the shared
+  // gate accounting absorbed every thread's executions.
+  int socket_sites = 0;
+  std::uint64_t socket_executions = 0;
+  for (const Site& site : fx.mgr().sites().all()) {
+    if (site.function == "socket") {
+      ++socket_sites;
+      socket_executions = site.gate.executions.load(std::memory_order_relaxed);
+    }
+  }
+  EXPECT_EQ(socket_sites, 1);
+  EXPECT_EQ(socket_executions,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST(TxThreadTest, TalliesAggregateAcrossThreadContexts) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 100;
+  Fx fx(stm_config());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fx, &failures] {
+      FIR_ANCHOR(fx);
+      for (int i = 0; i < kIterations; ++i) {
+        const int fd = static_cast<int>(FIR_SOCKET(fx));
+        if (fd < 0) {
+          failures.fetch_add(1);
+        } else {
+          FIR_CLOSE(fx, fd);
+        }
+        FIR_QUIESCE(fx);
+      }
+      fx.mgr().clear_anchor();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Two transactions per iteration (socket + close), all STM under the
+  // kStmOnly policy, spread over kThreads per-thread tallies; the
+  // aggregation getters must see the exact total once the threads joined.
+  const std::uint64_t expected_tx =
+      static_cast<std::uint64_t>(kThreads) * kIterations * 2;
+  EXPECT_EQ(fx.mgr().transactions_stm(), expected_tx);
+  EXPECT_EQ(fx.mgr().transactions_htm(), 0u);
+  EXPECT_EQ(fx.mgr().transactions_unprotected(), 0u);
+  EXPECT_EQ(fx.mgr().thread_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(TxThreadDeathTest, CompensationCrashWithSiblingTransactionEscalates) {
+  EXPECT_EXIT(
+      {
+        Fx fx(stm_config());
+        TxManager& mgr = fx.mgr();
+
+        // Holder thread: opens a transaction through the raw gate protocol
+        // and parks inside it. Its transaction is recoverable — but it is
+        // not the faulting thread, so it must never be recovered INTO.
+        std::atomic<bool> holder_open{false};
+        std::thread holder([&mgr, &holder_open] {
+          mgr.set_anchor(__builtin_frame_address(0));
+          const SiteId site =
+              mgr.register_site("socket", "tx_thread_test:holder");
+          mgr.pre_call();
+          volatile std::intptr_t rv = 0;
+          if (setjmp(*mgr.gate_buf()) == 0) {
+            rv = 3;
+            mgr.begin(site, rv, Compensation{});
+          } else {
+            rv = mgr.resume();
+          }
+          (void)rv;
+          holder_open.store(true);
+          for (;;) asm volatile("" ::: "memory");  // parked mid-transaction
+        });
+        while (!holder_open.load()) std::this_thread::yield();
+
+        // Main thread: a transaction whose compensation itself crashes.
+        // First raise retries; the second runs the compensation, which
+        // faults while recovery is in flight on THIS thread — double fault.
+        // A process-global recovery scope would instead see the holder's
+        // open transaction and try to absorb the crash.
+        mgr.set_anchor(__builtin_frame_address(0));
+        const SiteId site = mgr.register_site("socket", "tx_thread_test:main");
+        Compensation comp;
+        comp.fn = [](Env&, std::intptr_t, std::intptr_t, std::intptr_t,
+                     const std::uint8_t*, std::size_t) {
+          raise_crash(CrashKind::kSegv);
+        };
+        mgr.pre_call();
+        volatile std::intptr_t rv = 0;
+        if (setjmp(*mgr.gate_buf()) == 0) {
+          rv = 3;
+          mgr.begin(site, rv, comp);
+        } else {
+          rv = mgr.resume();
+        }
+        (void)rv;
+        raise_crash(CrashKind::kSegv);
+      },
+      ExitedWithCode(kDoubleFaultExitCode), "double fault");
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,0 +1,140 @@
+// Concurrent crash containment: a miniginx worker pool under real client
+// threads. One worker is steered into the §VI-F SSI NULL-dereference on
+// every request while its siblings serve clean traffic; the recovery
+// runtime must confine every crash/recovery episode to the faulting
+// worker's thread — the crash client sees diverted 500s, the sibling
+// clients lose NOTHING (no transport failures, no dropped requests, no
+// dead workers). The death-test variant runs the same scenario with the
+// unpatched bug (a genuine kernel SIGSEGV) under FIR_SIGNALS semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/miniginx.h"
+#include "workload/concurrent.h"
+
+namespace fir {
+namespace {
+
+using ::testing::ExitedWithCode;
+
+TEST(ThreadedRecoveryTest, CrashingWorkerDoesNotDropSiblingRequests) {
+  Miniginx server;
+  server.enable_ssi_null_bug(true);
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(4).is_ok());
+  ASSERT_EQ(server.worker_count(), 4);
+
+  // Client 0 hammers worker 0 with the crashing SSI page (100 recovery
+  // episodes, each a rollback -> retry -> divert sequence on that worker's
+  // thread); clients 1-3 run clean traffic on the sibling workers.
+  std::vector<ThreadedClientSpec> specs;
+  specs.push_back({server.worker_port(0), "/broken.shtml", 100});
+  for (int i = 1; i < 4; ++i)
+    specs.push_back({server.worker_port(i), "/index.html", 100});
+  const ThreadedLoadResult result = run_threaded_http_load(server, specs);
+
+  // Every crashing request was answered (with the diverted 500), every
+  // sibling request succeeded, and no request anywhere was dropped.
+  EXPECT_EQ(result.clients[0].responses_5xx, 100u);
+  EXPECT_EQ(result.clients[0].transport_failures, 0u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.clients[i].responses_2xx, 100u) << "sibling " << i;
+    EXPECT_EQ(result.clients[i].transport_failures, 0u) << "sibling " << i;
+  }
+  EXPECT_EQ(result.total_responses(), result.total_sent());
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(server.worker_alive(i)) << "worker " << i;
+
+  // 100 episodes, each: one retry of the transient hypothesis, then the
+  // diversion that injects the pread error.
+  obs::MetricsRegistry& reg = server.fx().mgr().metrics();
+  EXPECT_GE(reg.counter("recovery.diversions").value(), 100u);
+  EXPECT_EQ(reg.counter("recovery.double_faults").value(), 0u);
+  EXPECT_EQ(reg.counter("recovery.fatal").value(), 0u);
+
+  server.stop();
+  const ServerCounters totals = server.aggregated_counters();
+  EXPECT_GE(totals.requests_ok.get(), 300u);
+  EXPECT_GE(totals.responses_5xx.get(), 100u);
+}
+
+TEST(ThreadedRecoveryTest, SimultaneousCrashesOnEveryWorkerAreContained) {
+  Miniginx server;
+  server.enable_ssi_null_bug(true);
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(4).is_ok());
+
+  // All four workers crash concurrently on every request: recoveries run
+  // in parallel on four threads against the shared site table, policy and
+  // recovery log. Every request must still come back as a diverted 500.
+  std::vector<ThreadedClientSpec> specs;
+  for (int i = 0; i < 4; ++i)
+    specs.push_back({server.worker_port(i), "/broken.shtml", 50});
+  const ThreadedLoadResult result = run_threaded_http_load(server, specs);
+
+  EXPECT_EQ(result.total_5xx(), 200u);
+  EXPECT_EQ(result.total_transport_failures(), 0u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(server.worker_alive(i)) << "worker " << i;
+  EXPECT_EQ(
+      server.fx().mgr().metrics().counter("recovery.double_faults").value(),
+      0u);
+  server.stop();
+}
+
+TEST(ThreadedRecoveryTest, WorkerPoolLifecycleIsGuarded) {
+  Miniginx server;
+  EXPECT_FALSE(server.start_workers(2).is_ok());  // start() first
+  ASSERT_TRUE(server.start(8080).is_ok());
+  EXPECT_FALSE(server.start_workers(0).is_ok());  // n must be positive
+  ASSERT_TRUE(server.start_workers(2).is_ok());
+  EXPECT_FALSE(server.start_workers(2).is_ok());  // already running
+  EXPECT_EQ(server.worker_count(), 2);
+  server.stop_workers();
+  EXPECT_EQ(server.worker_count(), 0);
+  // Restartable after a clean stop.
+  ASSERT_TRUE(server.start_workers(3).is_ok());
+  EXPECT_EQ(server.worker_count(), 3);
+  server.stop();
+  EXPECT_EQ(server.worker_count(), 0);
+}
+
+// The unpatched nginx 1.11.0 ticket #1263 shape: the SSI NULL result is
+// dereferenced by an actual load, so each crash arrives as a kernel
+// SIGSEGV on the faulting worker's thread and recovery runs through the
+// signal channel (per-thread sigaltstack, per-thread dispatch). The suite
+// name carries both "CrashSignal" and "DeathTest" so the UBSan and TSan CI
+// jobs exclude it (deliberate UB; fork + signal-longjmp recovery).
+TEST(ThreadedCrashSignalDeathTest, HardNullBugIsContainedToItsWorker) {
+  EXPECT_EXIT(
+      {
+        TxManagerConfig c;
+        c.policy.kind = PolicyKind::kStmOnly;
+        c.real_signals = true;
+        Miniginx server(c);
+        server.enable_hard_ssi_null_bug(true);
+        if (!server.start(8080).is_ok()) std::_Exit(2);
+        if (!server.start_workers(4).is_ok()) std::_Exit(3);
+
+        std::vector<ThreadedClientSpec> specs;
+        specs.push_back({server.worker_port(0), "/broken.shtml", 20});
+        for (int i = 1; i < 4; ++i)
+          specs.push_back({server.worker_port(i), "/index.html", 20});
+        const ThreadedLoadResult result = run_threaded_http_load(server, specs);
+
+        bool ok = result.clients[0].responses_5xx == 20 &&
+                  result.total_transport_failures() == 0;
+        for (int i = 1; i < 4; ++i)
+          ok = ok && result.clients[i].responses_2xx == 20;
+        for (int i = 0; i < 4; ++i) ok = ok && server.worker_alive(i);
+        server.stop();
+        std::_Exit(ok ? 0 : 1);
+      },
+      ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace fir

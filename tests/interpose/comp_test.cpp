@@ -103,7 +103,9 @@ TEST(CompTest, RenameBackRestoresName) {
   Env env;
   env.vfs().put_file("/a", "x");
   ASSERT_EQ(env.rename("/a", "/b"), 0);
-  run(comp::rename_back("/a", "/b"), env, 0);
+  // Stash layout the FIR_RENAME wrapper produces: "from\0to\0".
+  const std::uint8_t stash[6] = {'/', 'a', '\0', '/', 'b', '\0'};
+  run(comp::rename_back(0, 6, 3), env, 0, stash, 6);
   EXPECT_TRUE(env.vfs().exists("/a"));
   EXPECT_FALSE(env.vfs().exists("/b"));
 }
@@ -126,18 +128,32 @@ TEST(CompTest, RestoreTruncateRewritesTail) {
 TEST(CompTest, DeferredOpsApplyEffects) {
   Env env;
   const int fd = env.socket();
-  comp::deferred_close(fd).fn(env, fd, 0);
+  const DeferredOp close_op = comp::deferred_close(fd);
+  close_op.fn(env, close_op);
   EXPECT_FALSE(env.fd_valid(fd));
 
   void* p = env.mem_alloc(16);
-  comp::deferred_free(p).fn(env, reinterpret_cast<std::intptr_t>(p), 0);
+  const DeferredOp free_op = comp::deferred_free(p);
+  free_op.fn(env, free_op);
   EXPECT_EQ(env.stats().heap_bytes, 0u);
 
   env.vfs().put_file("/gone", "x");
-  const char* path = "/gone";
-  comp::deferred_unlink(path).fn(
-      env, reinterpret_cast<std::intptr_t>(path), 0);
+  const DeferredOp unlink_op = comp::deferred_unlink("/gone");
+  unlink_op.fn(env, unlink_op);
   EXPECT_FALSE(env.vfs().exists("/gone"));
+}
+
+TEST(CompTest, DeferredUnlinkOwnsThePath) {
+  // The op must survive the caller's buffer being reused before commit
+  // (the deferred_unlink lifetime footgun).
+  Env env;
+  env.vfs().put_file("/victim", "x");
+  char pathbuf[16];
+  std::strcpy(pathbuf, "/victim");
+  const DeferredOp op = comp::deferred_unlink(pathbuf);
+  std::strcpy(pathbuf, "/clobbered");  // caller reuses the buffer
+  op.fn(env, op);
+  EXPECT_FALSE(env.vfs().exists("/victim"));
 }
 
 }  // namespace
