@@ -21,6 +21,12 @@ const char* policy_kind_name(PolicyKind kind) {
 AdaptivePolicy::AdaptivePolicy(PolicyConfig config)
     : config_(std::move(config)) {}
 
+void AdaptivePolicy::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  decoalesced_ =
+      obs != nullptr ? &obs->metrics().counter("policy.decoalesced") : nullptr;
+}
+
 bool AdaptivePolicy::manual_stm(const Site& site) const {
   return std::find(config_.manual_stm_functions.begin(),
                    config_.manual_stm_functions.end(),
@@ -82,6 +88,17 @@ void AdaptivePolicy::publish_demotion(const Site& site) {
              static_cast<std::int64_t>(site.gate.htm_aborts),
              static_cast<std::int64_t>(site.gate.executions));
   obs_->metrics().counter("policy.demotions").inc();
+}
+
+void AdaptivePolicy::on_run_abort(Site& site) {
+  // CAS so exactly one thread per site publishes the de-coalescing; the
+  // flag itself is what the gate fast path (allow_coalesce) reads.
+  bool expected = false;
+  if (site.gate.no_coalesce.compare_exchange_strong(
+          expected, true, std::memory_order_relaxed) &&
+      decoalesced_ != nullptr) {
+    decoalesced_->inc();
+  }
 }
 
 TxMode AdaptivePolicy::on_htm_abort(Site& site) {

@@ -14,6 +14,7 @@ namespace fir {
 
 namespace obs {
 class Observability;
+class Counter;
 }  // namespace obs
 
 /// The policy variants evaluated in the paper.
@@ -69,7 +70,9 @@ class AdaptivePolicy {
   /// Publishes demotion decisions (kSiteDemotion events, the
   /// "policy.demotions" counter) into `obs`; nullptr disables publishing.
   /// The TxManager owning this policy wires its own Observability here.
-  void set_observability(obs::Observability* obs) { obs_ = obs; }
+  /// Pre-binds the "policy.decoalesced" counter: on_run_abort runs on the
+  /// recovery path, where a registry name lookup (allocates) is off-limits.
+  void set_observability(obs::Observability* obs);
 
   /// Mode for a transaction about to begin at `site`. Updates execution
   /// accounting and (kAdaptive) runs the periodic threshold check.
@@ -90,12 +93,40 @@ class AdaptivePolicy {
   /// Records a diversion at `site` (feeds the storm backstop's memory).
   void on_diversion(Site& site) { ++site.gate.diversions; }
 
+  /// Checkpoint fast path: may a call at `site` EXTEND the open transaction
+  /// instead of committing it and re-checkpointing? Yes only when the site
+  /// is quiescent (it has never crashed, HTM-aborted, been diverted, or
+  /// been de-coalesced) and its library function is replay-safe — reverting
+  /// it and re-executing it inside a rolled-back run is semantically sound,
+  /// which excludes the irrecoverable class (send/write: externally visible
+  /// effects cannot be replayed). Gate fast path: relaxed atomic loads only.
+  bool allow_coalesce(const Site& site) const {
+    const GateState& gate = site.gate;
+    if (gate.no_coalesce.load(std::memory_order_relaxed)) return false;
+    if (gate.htm_aborts.load(std::memory_order_relaxed) != 0) return false;
+    if (gate.diversions.load(std::memory_order_relaxed) != 0) return false;
+    if (site.stats.crashes.load(std::memory_order_relaxed) != 0) return false;
+    // An extension is rolled back (compensated) and RE-EXECUTED when the
+    // run aborts, so the call's effects must be exactly revert-then-replay
+    // equivalent: irrecoverable calls (send, write) have no revert at all,
+    // and replay_unsafe calls (accept) have a revert the peer can see.
+    return site.spec != nullptr &&
+           site.spec->recoverability != Recoverability::kIrrecoverable &&
+           !site.spec->replay_unsafe;
+  }
+
+  /// De-coalesces `site`: a crash or HTM abort struck inside a coalesced
+  /// run it belonged to. Sticky — the site pays for its own checkpoint from
+  /// now on. Publishes "policy.decoalesced" once per site.
+  void on_run_abort(Site& site);
+
  private:
   bool manual_stm(const Site& site) const;
   void publish_demotion(const Site& site);
 
   PolicyConfig config_;
   obs::Observability* obs_ = nullptr;
+  obs::Counter* decoalesced_ = nullptr;
 };
 
 }  // namespace fir

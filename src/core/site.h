@@ -53,6 +53,12 @@ struct GateState {
   /// keeps proving its faults persistent should not pay a wasted
   /// re-execution per request.
   std::atomic<std::uint32_t> diversions{0};
+  /// Sticky coalescing opt-out: set by AdaptivePolicy::on_run_abort when
+  /// any crash or HTM abort strikes inside a coalesced run this site was
+  /// part of. A de-coalesced site always gets its own checkpoint again —
+  /// the amortization gamble is only taken at sites that have never lost
+  /// it (docs/ARCHITECTURE.md "Checkpoint fast path").
+  std::atomic<bool> no_coalesce{false};
 
   GateState() = default;
   GateState(const GateState& o) { *this = o; }
@@ -68,6 +74,8 @@ struct GateState {
         std::memory_order_relaxed);
     diversions.store(o.diversions.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    no_coalesce.store(o.no_coalesce.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     return *this;
   }
 };

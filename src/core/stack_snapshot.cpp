@@ -10,19 +10,60 @@ bool StackSnapshot::capture(const void* sp, const void* anchor) {
   const auto lo = reinterpret_cast<std::uintptr_t>(sp);
   const auto hi = reinterpret_cast<std::uintptr_t>(anchor);
   if (lo >= hi || hi - lo > kMaxBytes) {
-    base_ = 0;
+    valid_ = false;
     return false;
   }
   const std::size_t size = hi - lo;
-  buffer_.resize(size);
-  std::memcpy(buffer_.data(), reinterpret_cast<const void*>(lo), size);
+  const auto* live = reinterpret_cast<const std::uint8_t*>(lo);
+
+  if (base_ == lo && size_ == size && buffer_ != nullptr) {
+    // Same extent as the previous capture: the retained buffer is a
+    // byte-accurate image of this region at the previous capture time.
+    // Verify, top-down in blocks, how deep that image still matches the
+    // live stack; everything below the first mismatch (toward sp) is the
+    // dirty prefix — the high-watermark of the deepest extent touched
+    // since the last capture — and only it is re-copied. The verified
+    // suffix is left in place: buffer == live there.
+    std::size_t clean = 0;
+    while (clean + kBlockBytes <= size &&
+           std::memcmp(buffer_.get() + (size - clean - kBlockBytes),
+                       live + (size - clean - kBlockBytes),
+                       kBlockBytes) == 0) {
+      clean += kBlockBytes;
+    }
+    const std::size_t dirty = size - clean;
+    std::memcpy(buffer_.get(), live, dirty);
+    bump(bytes_copied_, dirty);
+    bump(bytes_elided_, clean);
+    bump(captures_incremental_, 1);
+    valid_ = true;
+    return true;
+  }
+
+  if (size > capacity_) {
+    // Grow-only storage: double until the extent fits, never shrink.
+    // Steady-state captures (extent within the retained capacity) are
+    // allocation-free; every growth is counted so regressions are visible
+    // ("snapshot.realloc").
+    std::size_t cap = capacity_ == 0 ? 4096 : capacity_;
+    while (cap < size) cap *= 2;
+    // new[] without value-init: the bytes are overwritten by the memcpy
+    // below, and zeroing a fresh megabyte would double the growth cost.
+    buffer_.reset(new std::uint8_t[cap]);
+    capacity_ = cap;
+    bump(reallocs_, 1);
+  }
+  std::memcpy(buffer_.get(), live, size);
   base_ = lo;
+  size_ = size;
+  bump(bytes_copied_, size);
+  valid_ = true;
   return true;
 }
 
 void StackSnapshot::restore() const {
   if (!valid()) return;
-  std::memcpy(reinterpret_cast<void*>(base_), buffer_.data(), buffer_.size());
+  std::memcpy(reinterpret_cast<void*>(base_), buffer_.get(), size_);
 }
 
 namespace {

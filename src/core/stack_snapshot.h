@@ -9,6 +9,16 @@
 // back and longjmp into the entry gate. setjmp/longjmp covers the registers,
 // the wholesale copy covers the stack stores.
 //
+// Checkpoint fast path (docs/ARCHITECTURE.md "Checkpoint fast path"): the
+// side buffer is grow-only and survives across transactions, so steady-state
+// captures never allocate, and a capture whose [sp, anchor) extent matches
+// the previous one runs INCREMENTALLY — it verifies, top-down in cache-line
+// blocks, how deep the previously captured image still matches the live
+// stack (the high-watermark of the deepest extent touched since the last
+// capture) and re-copies only the dirty prefix below that watermark. The
+// elided suffix is sound by construction: every elided byte was just
+// compared equal, so buffer contents == live contents there.
+//
 // The restore MUST NOT run on the stack it is about to overwrite: a crash can
 // occur in a frame shallower than the checkpointed gate frame (the function
 // holding the gate returned before the crash), in which case the restoring
@@ -19,8 +29,10 @@
 
 #include <ucontext.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace fir {
@@ -33,24 +45,68 @@ class StackSnapshot {
   /// few KiB below their loop anchor; exceeding this indicates a misplaced
   /// anchor.
   static constexpr std::size_t kMaxBytes = 1 << 20;
+  /// Comparison granule of the incremental capture: the dirty watermark is
+  /// tracked in cache-line-sized blocks.
+  static constexpr std::size_t kBlockBytes = 64;
 
   /// Captures [sp, anchor). Requires sp < anchor and size within kMaxBytes.
-  /// Returns false (leaving the snapshot empty) when bounds are implausible.
+  /// Returns false (leaving the snapshot invalid) when bounds are
+  /// implausible. When the extent matches the previous capture the copy is
+  /// incremental (see file comment); the buffer never shrinks and a capture
+  /// that fits the retained capacity performs no allocation.
   bool capture(const void* sp, const void* anchor);
 
   /// Copies the captured bytes back to their original location. Caller must
   /// be executing on a different stack (see RecoveryStack).
   void restore() const;
 
-  bool valid() const { return base_ != 0; }
-  void invalidate() { base_ = 0; }
-  std::size_t size_bytes() const { return buffer_.size(); }
+  bool valid() const { return valid_; }
+  /// Marks the snapshot unusable for restore. The buffer, its capacity and
+  /// the captured image are retained so the next capture of the same extent
+  /// stays incremental and allocation-free.
+  void invalidate() { valid_ = false; }
+  std::size_t size_bytes() const { return size_; }
   /// Capacity of the side buffer (memory-overhead accounting, Fig. 9).
-  std::size_t footprint_bytes() const { return buffer_.capacity(); }
+  std::size_t footprint_bytes() const { return capacity_; }
+
+  // Observability tallies ("snapshot.*" counters, docs/OBSERVABILITY.md).
+  // Single-writer: the owning thread updates with relaxed load+store pairs;
+  // metrics collectors read relaxed from other threads.
+  std::uint64_t bytes_copied() const {
+    return bytes_copied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_elided() const {
+    return bytes_elided_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reallocs() const {
+    return reallocs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t captures_incremental() const {
+    return captures_incremental_.load(std::memory_order_relaxed);
+  }
+  void reset_tallies() {
+    bytes_copied_.store(0, std::memory_order_relaxed);
+    bytes_elided_.store(0, std::memory_order_relaxed);
+    reallocs_.store(0, std::memory_order_relaxed);
+    captures_incremental_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::uintptr_t base_ = 0;  // original address of buffer_[0]
-  std::vector<std::uint8_t> buffer_;
+  static void bump(std::atomic<std::uint64_t>& tally, std::uint64_t n) {
+    tally.store(tally.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+  }
+
+  bool valid_ = false;
+  std::uintptr_t base_ = 0;   // original address of buffer_[0]
+  std::size_t size_ = 0;      // bytes captured by the last capture()
+  std::size_t capacity_ = 0;  // grow-only buffer capacity
+  std::unique_ptr<std::uint8_t[]> buffer_;
+
+  std::atomic<std::uint64_t> bytes_copied_{0};
+  std::atomic<std::uint64_t> bytes_elided_{0};
+  std::atomic<std::uint64_t> reallocs_{0};
+  std::atomic<std::uint64_t> captures_incremental_{0};
 };
 
 /// A detached execution stack for the recovery step.

@@ -51,6 +51,17 @@ TxManagerConfig apply_runtime_env(TxManagerConfig config) {
     config.recovery_log_cap = static_cast<std::size_t>(v);
   if (env_u64(kEnvStormThreshold, &v))
     config.policy.storm_divert_threshold = static_cast<std::uint32_t>(v);
+  if (env_u64(kEnvCoalesceMax, &v))
+    config.coalesce_max = static_cast<std::uint32_t>(v);
+  if (const char* s = std::getenv(kEnvCoalesce)) {
+    // Kill-switch wins over FIR_COALESCE_MAX: "0" restores the seed's
+    // one-transaction-per-call semantics bit-for-bit.
+    if (s[0] == '0' && s[1] == '\0') config.coalesce_max = 1;
+  }
+  // A run must contain at least the opening call; cap the span so the run
+  // buffer reservation stays bounded.
+  if (config.coalesce_max < 1) config.coalesce_max = 1;
+  if (config.coalesce_max > 4096) config.coalesce_max = 4096;
   return config;
 }
 
@@ -75,29 +86,16 @@ HtmConfig split_htm_config(HtmConfig config, std::size_t index) {
   return config;
 }
 
-/// Single-writer tally update: per-variable coherence without an atomic RMW
-/// on the gate fast path (the owning thread is the only writer; aggregators
-/// read relaxed from other threads).
+/// Single-writer tally update (see detail::tally_bump, which the inline
+/// gate fast path in the header uses directly).
 inline void bump(std::atomic<std::uint64_t>& tally, std::uint64_t n = 1) {
-  tally.store(tally.load(std::memory_order_relaxed) + n,
-              std::memory_order_relaxed);
+  detail::tally_bump(tally, n);
 }
 
 inline void stat_inc(std::atomic<std::uint64_t>& stat) {
   stat.fetch_add(1, std::memory_order_relaxed);
 }
 
-/// Thread-local context cache: one (manager, generation) → context slot per
-/// thread. The generation tag keeps a reincarnated manager at a recycled
-/// address from hitting a stale pointer; the slot is refreshed by every
-/// slow-path lookup, so the thread's most recently used manager always
-/// answers async-signal-safe queries without locks.
-struct TlsCache {
-  const void* mgr = nullptr;
-  std::uint64_t gen = 0;
-  void* ctx = nullptr;
-};
-thread_local TlsCache t_ctx_cache;
 }  // namespace
 
 TxManager::RecoveryCounters::RecoveryCounters(obs::MetricsRegistry& reg)
@@ -125,6 +123,8 @@ TxManager::TxContext::TxContext(const TxManagerConfig& config,
   embedded_reverts.reserve(16);
   embedded_deferred.reserve(16);
   comp_arena.reserve(4096);
+  // One slot per possible extension: extend_run never allocates.
+  run.reserve(config.coalesce_max > 1 ? config.coalesce_max - 1 : 0);
 }
 
 TxManager::TxManager(Env& env, TxManagerConfig config)
@@ -155,6 +155,9 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
     // runtime takes them in the opposite order.
     std::uint64_t gate_calls = 0, tx_htm = 0, tx_stm = 0, tx_none = 0;
     std::uint64_t tx_commits = 0, tx_deferred = 0;
+    std::uint64_t tx_coalesced = 0, tx_runs = 0, tx_oversize = 0;
+    std::uint64_t snap_copied = 0, snap_elided = 0, snap_realloc = 0;
+    std::uint64_t snap_incremental = 0;
     std::size_t threads = 0;
     {
       std::lock_guard<std::mutex> lock(contexts_mu_);
@@ -166,6 +169,13 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
         tx_none += ctx.tx_none.load(std::memory_order_relaxed);
         tx_commits += ctx.tx_commits.load(std::memory_order_relaxed);
         tx_deferred += ctx.tx_deferred.load(std::memory_order_relaxed);
+        tx_coalesced += ctx.tx_coalesced.load(std::memory_order_relaxed);
+        tx_runs += ctx.tx_runs.load(std::memory_order_relaxed);
+        tx_oversize += ctx.tx_oversize.load(std::memory_order_relaxed);
+        snap_copied += ctx.snapshot.bytes_copied();
+        snap_elided += ctx.snapshot.bytes_elided();
+        snap_realloc += ctx.snapshot.reallocs();
+        snap_incremental += ctx.snapshot.captures_incremental();
       }
     }
     reg.counter("gate.calls").set(gate_calls);
@@ -174,6 +184,13 @@ TxManager::TxManager(Env& env, TxManagerConfig config)
     reg.counter("tx.unprotected").set(tx_none);
     reg.counter("tx.commits").set(tx_commits);
     reg.counter("tx.deferred_flushed").set(tx_deferred);
+    reg.counter("tx.coalesced").set(tx_coalesced);
+    reg.counter("tx.runs").set(tx_runs);
+    reg.counter("tx.unprotected_oversize").set(tx_oversize);
+    reg.counter("snapshot.bytes_copied").set(snap_copied);
+    reg.counter("snapshot.bytes_elided").set(snap_elided);
+    reg.counter("snapshot.realloc").set(snap_realloc);
+    reg.counter("snapshot.captures_incremental").set(snap_incremental);
     reg.gauge("tx.threads").set(static_cast<double>(threads));
     // Engine stats, summed across the per-thread engines under the same
     // names the engines published when they were process-global.
@@ -248,8 +265,8 @@ TxManager::~TxManager() {
 // --- thread contexts --------------------------------------------------------
 
 TxManager::TxContext& TxManager::context() {
-  if (t_ctx_cache.mgr == this && t_ctx_cache.gen == generation_)
-    return *static_cast<TxContext*>(t_ctx_cache.ctx);
+  if (detail::t_tx_tls.mgr == this && detail::t_tx_tls.gen == generation_)
+    return *static_cast<TxContext*>(detail::t_tx_tls.ctx);
   return context_slow();
 }
 
@@ -277,15 +294,15 @@ TxManager::TxContext& TxManager::context_slow() {
   // own sigaltstack: SIGSEGV from a blown stack is delivered on the faulting
   // thread, and only an alternate stack makes the handler runnable there.
   if (signals_installed_) ensure_thread_signal_stack();
-  t_ctx_cache.mgr = this;
-  t_ctx_cache.gen = generation_;
-  t_ctx_cache.ctx = ctx;
+  detail::t_tx_tls.mgr = this;
+  detail::t_tx_tls.gen = generation_;
+  detail::t_tx_tls.ctx = ctx;
   return *ctx;
 }
 
 TxManager::TxContext* TxManager::try_context() const {
-  if (t_ctx_cache.mgr == this && t_ctx_cache.gen == generation_)
-    return static_cast<TxContext*>(t_ctx_cache.ctx);
+  if (detail::t_tx_tls.mgr == this && detail::t_tx_tls.gen == generation_)
+    return static_cast<TxContext*>(detail::t_tx_tls.ctx);
   return nullptr;
 }
 
@@ -296,9 +313,9 @@ TxManager::TxContext* TxManager::find_context() const {
   for (const TxContext& ctx : contexts_) {
     if (ctx.owner == self) {
       auto* found = const_cast<TxContext*>(&ctx);
-      t_ctx_cache.mgr = this;
-      t_ctx_cache.gen = generation_;
-      t_ctx_cache.ctx = found;
+      detail::t_tx_tls.mgr = this;
+      detail::t_tx_tls.gen = generation_;
+      detail::t_tx_tls.ctx = found;
       return found;
     }
   }
@@ -315,7 +332,13 @@ void TxManager::clear_anchor() {
   if (TxContext* ctx = find_context()) ctx->anchor = nullptr;
 }
 
-std::jmp_buf* TxManager::gate_buf() { return &context().gate_buf; }
+std::jmp_buf* TxManager::gate_buf() {
+  TxContext& ctx = context();
+  // An armed coalesced extension must not clobber the run-opening gate's
+  // jmp_buf — rollback lands there. Its setjmp goes to a scratch buffer
+  // that is never longjmp'd to.
+  return ctx.coalesce_armed ? &ctx.coalesce_buf : &ctx.gate_buf;
+}
 
 bool TxManager::in_transaction() const {
   const TxContext* ctx = find_context();
@@ -393,6 +416,9 @@ void TxManager::reset_active(TxContext& ctx) {
   ctx.embedded_reverts.clear();
   ctx.embedded_deferred.clear();
   ctx.comp_arena.clear();
+  ctx.run.clear();
+  ctx.coalesce_armed = false;
+  ctx.last_begin_coalesced = false;
   ctx.snapshot.invalidate();
   ctx.resume_action = ResumeAction::kNone;
 }
@@ -423,21 +449,34 @@ void TxManager::commit_open_tx(TxContext& ctx) {
 
   if (ctx.active.site != kInvalidSite)
     stat_inc(sites_[ctx.active.site].stats.commits);
+  // Every coalesced call in the run commits with this one transaction.
+  for (const RunEntry& entry : ctx.run)
+    stat_inc(sites_[entry.site].stats.commits);
+  if (!ctx.run.empty()) bump(ctx.tx_runs);
   obs_.emit(obs::EventKind::kTxCommit, ctx.active.site,
-            tx_mode_name(ctx.active.mode));
+            tx_mode_name(ctx.active.mode),
+            static_cast<std::int64_t>(1 + ctx.run.size()));
   bump(ctx.tx_commits);
   reset_active(ctx);
 }
 
-void TxManager::pre_call() {
-  TxContext& ctx = context();
-  bump(ctx.gate_calls);
-  if (ctx.active.open) commit_open_tx(ctx);
-  ctx.comp_arena.clear();
+void TxManager::pre_call_slow(SiteId next_site) {
+  // First gate on this (manager, thread) pair since the cache last moved:
+  // create/refresh the context, then re-enter the inline fast path (which
+  // now hits).
+  context();
+  pre_call(next_site);
 }
 
 void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
   TxContext& ctx = context();
+  if (ctx.coalesce_armed) {
+    // pre_call() kept the transaction open for this call: absorb it into the
+    // run instead of paying commit + checkpoint.
+    extend_run(ctx, site_id, rv, comp);
+    return;
+  }
+  ctx.last_begin_coalesced = false;
   assert(!ctx.active.open && "pre_call() must commit before begin()");
   // Multiple protected instances can coexist in one process (prefork
   // deployments, SVII): the crash channel and the store-gate abort hook
@@ -455,6 +494,8 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
   ctx.active.comp = comp;
   ctx.active.crash_count = 0;
   ctx.active.diverted = false;
+  ctx.active.extendable = false;
+  ctx.active.open_gate_sp = ctx.last_gate_sp;
 
   if (!config_.enabled || ctx.anchor == nullptr) {
     ctx.active.mode = TxMode::kNone;
@@ -471,6 +512,18 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
   // longjmp resume, so [frame base, anchor) covers exactly the caller
   // frames that must be restored.
   if (!ctx.snapshot.capture(__builtin_frame_address(0), ctx.anchor)) {
+    const auto lo =
+        reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+    const auto hi = reinterpret_cast<std::uintptr_t>(ctx.anchor);
+    const std::uintptr_t span = hi > lo ? hi - lo : 0;
+    if (span > StackSnapshot::kMaxBytes) {
+      // The call runs unprotected because the stack region exceeds the
+      // snapshot cap — almost always a misplaced anchor. Surface it: a
+      // silently shrinking recovery surface is the worst failure mode.
+      bump(ctx.tx_oversize);
+      obs_.emit(obs::EventKind::kSnapshotOversize, site_id, nullptr,
+                static_cast<std::int64_t>(span));
+    }
     FIR_LOG(kWarn) << "stack snapshot failed at " << site.function << " ("
                    << site.location << "); running unprotected";
     ctx.active.mode = TxMode::kNone;
@@ -478,6 +531,10 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
     return;
   }
   ctx.active.mode = mode;
+  // Only a run whose OPENING call can be diverted may coalesce follow-on
+  // calls: a crash anywhere in the run diverts the opening site, so an
+  // unrecoverable opener would turn a divertible crash into a fatal one.
+  ctx.active.extendable = site.recoverable();
   if (mode == TxMode::kHtm) {
     bump(ctx.tx_htm);
   } else {
@@ -488,11 +545,39 @@ void TxManager::begin(SiteId site_id, std::intptr_t rv, Compensation comp) {
   arm_watchdog(ctx);
 }
 
+void TxManager::extend_run(TxContext& ctx, SiteId site_id, std::intptr_t rv,
+                           const Compensation& comp) {
+  // Checkpoint fast path: the open transaction absorbs this call. No commit,
+  // no policy consult, no snapshot — rollback replays from the run's FIRST
+  // call on the already-captured checkpoint. Per-call state is one RunEntry
+  // (retry/commit bookkeeping) plus, when the call has a compensation, one
+  // RevertRecord carrying the call's own return value.
+  ctx.coalesce_armed = false;
+  ctx.last_begin_coalesced = true;
+  Site& site = sites_[site_id];
+  stat_inc(site.stats.transactions);
+  ctx.run.push_back(RunEntry{site_id, rv});
+  if (comp.fn != nullptr)
+    ctx.embedded_reverts.push_back(RevertRecord{comp, rv});
+  // Mode tallies keep their per-call meaning (a coalesced call still ran
+  // under that engine); tx_coalesced counts how many of them skipped a
+  // checkpoint.
+  if (ctx.active.mode == TxMode::kHtm) {
+    detail::tally_bump(ctx.tx_htm);
+  } else {
+    detail::tally_bump(ctx.tx_stm);
+  }
+  detail::tally_bump(ctx.tx_coalesced);
+  obs_.emit(obs::EventKind::kTxCoalesce, site_id,
+            tx_mode_name(ctx.active.mode),
+            static_cast<std::int64_t>(1 + ctx.run.size()));
+}
+
 void TxManager::embed_revert(SiteId embedded_site, Compensation revert) {
   stat_inc(sites_[embedded_site].stats.embedded_calls);
   TxContext& ctx = context();
   if (ctx.active.open && ctx.active.mode != TxMode::kNone)
-    ctx.embedded_reverts.push_back(revert);
+    ctx.embedded_reverts.push_back(RevertRecord{revert, ctx.active.rv});
 }
 
 void TxManager::embed_idempotent(SiteId embedded_site) {
@@ -502,6 +587,13 @@ void TxManager::embed_idempotent(SiteId embedded_site) {
 void TxManager::set_opening_deferred(DeferredOp op) {
   TxContext& ctx = context();
   assert(ctx.active.open);
+  if (ctx.last_begin_coalesced) {
+    // The "opening" call was coalesced into an existing run: its deferrable
+    // effect rides in the embedded list — dropped on rollback (the replay
+    // re-issues it), applied at the run's single commit.
+    ctx.embedded_deferred.push_back(std::move(op));
+    return;
+  }
   ctx.active.opening_deferred = std::move(op);
   ctx.active.has_opening_deferred = true;
 }
@@ -525,9 +617,10 @@ std::uint32_t TxManager::stash_comp_data(const void* data, std::size_t len) {
   return off;
 }
 
-void TxManager::run_compensation(TxContext& ctx, const Compensation& comp) {
+void TxManager::run_compensation(TxContext& ctx, const Compensation& comp,
+                                 std::intptr_t rv) {
   if (comp.fn == nullptr) return;
-  comp.fn(env_, comp.a, comp.b, ctx.active.rv,
+  comp.fn(env_, comp.a, comp.b, rv,
           ctx.comp_arena.data() + comp.data_off, comp.data_len);
 }
 
@@ -669,6 +762,10 @@ void TxManager::recovery_trampoline(void* arg) {
 
 void TxManager::recovery_step(TxContext& ctx) {
   Site& site = sites_[ctx.active.site];
+  // A crash in the window between an armed pre_call() and the next begin()
+  // is absorbed by the open run: rollback replays from the run's first call
+  // either way, and the would-be extension re-executes after resume.
+  ctx.coalesce_armed = false;
 
   // 1. Roll back memory operations performed after the library call: the
   //    tracked-store log (HTM write-set discard / STM undo walk) and the
@@ -695,10 +792,21 @@ void TxManager::recovery_step(TxContext& ctx) {
   //    effects (re-execution will re-issue them).
   for (auto it = ctx.embedded_reverts.rbegin();
        it != ctx.embedded_reverts.rend(); ++it) {
-    run_compensation(ctx, *it);
+    run_compensation(ctx, it->comp, it->rv);
   }
   ctx.embedded_reverts.clear();
   ctx.embedded_deferred.clear();
+
+  // De-coalesce: every site in an aborted run loses coalescing eligibility
+  // for good (policy flag is sticky). The replay after resume re-executes
+  // each coalesced call under its OWN transaction, restoring per-call
+  // isolation exactly where coalescing proved unsafe.
+  if (!ctx.run.empty()) {
+    policy_.on_run_abort(site);
+    for (const RunEntry& entry : ctx.run)
+      policy_.on_run_abort(sites_[entry.site]);
+    ctx.run.clear();
+  }
 
   // 3. Decide how to resume.
   if (ctx.crash_is_htm_abort) {
@@ -740,7 +848,7 @@ void TxManager::recovery_step(TxContext& ctx) {
       obs_.emit(obs::EventKind::kCompensation, ctx.active.site,
                 ctx.active.comp.fn != nullptr ? "revert" : "none");
       rc_.compensations.inc();
-      run_compensation(ctx, ctx.active.comp);
+      run_compensation(ctx, ctx.active.comp, ctx.active.rv);
       ctx.active.has_opening_deferred = false;
       stat_inc(site.stats.diversions);
       policy_.on_diversion(site);
@@ -962,6 +1070,22 @@ std::uint64_t TxManager::transactions_stm() const {
   return total;
 }
 
+std::uint64_t TxManager::transactions_coalesced() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_)
+    total += ctx.tx_coalesced.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t TxManager::coalesced_runs() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  for (const TxContext& ctx : contexts_)
+    total += ctx.tx_runs.load(std::memory_order_relaxed);
+  return total;
+}
+
 std::uint64_t TxManager::transactions_unprotected() const {
   std::uint64_t total = 0;
   std::lock_guard<std::mutex> lock(contexts_mu_);
@@ -985,8 +1109,9 @@ std::size_t TxManager::instrumentation_bytes() const {
       // across transactions by config_.undo_retain_bytes).
       total += ctx.stm.footprint_bytes();
       total += ctx.comp_arena.capacity();
-      total += ctx.embedded_reverts.capacity() * sizeof(Compensation);
+      total += ctx.embedded_reverts.capacity() * sizeof(RevertRecord);
       total += ctx.embedded_deferred.capacity() * sizeof(DeferredOp);
+      total += ctx.run.capacity() * sizeof(RunEntry);
       // HTM write-set bookkeeping: line filter + saved images + occupancy.
       total += ctx.htm.footprint_bytes();
     }
@@ -1010,6 +1135,10 @@ void TxManager::reset_stats() {
       ctx.tx_none.store(0, std::memory_order_relaxed);
       ctx.tx_commits.store(0, std::memory_order_relaxed);
       ctx.tx_deferred.store(0, std::memory_order_relaxed);
+      ctx.tx_coalesced.store(0, std::memory_order_relaxed);
+      ctx.tx_runs.store(0, std::memory_order_relaxed);
+      ctx.tx_oversize.store(0, std::memory_order_relaxed);
+      ctx.snapshot.reset_tallies();
     }
   }
   while (recovery_log_lock_.test_and_set(std::memory_order_acquire)) {

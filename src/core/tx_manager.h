@@ -14,13 +14,27 @@
 //
 // The gate protocol (driven by the FIR_* macros in src/interpose/fir.h):
 //
-//   mgr.pre_call();                       // commit the open transaction
+//   mgr.pre_call(site);                   // commit the open transaction —
+//                                         // or arm a coalesced extension
 //   if (setjmp(*mgr.gate_buf()) == 0) {   // the checkpoint's register save
 //     rv = <perform environment call>;
 //     mgr.begin(site, rv, compensation);  // snapshot stack, start HTM/STM
 //   } else {
 //     rv = mgr.resume();                  // retry value or injected error
 //   }
+//
+// Checkpoint fast path (docs/ARCHITECTURE.md "Checkpoint fast path"): when
+// the open transaction is quiescent and the next site is policy-approved
+// (AdaptivePolicy::allow_coalesce), pre_call() EXTENDS the open transaction
+// instead of committing it: the next call's (site, rv, compensation) tuple
+// is recorded in a per-thread run buffer, its setjmp is routed into a
+// scratch buffer that is never longjmp'd to, and the run keeps the opening
+// call's checkpoint — one stack snapshot and one engine begin amortized
+// over up to `coalesce_max` consecutive library calls. On a crash anywhere
+// in the run, rollback replays to the run's FIRST call (coalesced entries
+// are reverted newest-first along with embedded calls) and diversion
+// targets the opening site; any abort inside a run de-coalesces every site
+// it spanned. FIR_COALESCE=0 restores one-transaction-per-call semantics.
 //
 // Threading model (docs/ARCHITECTURE.md "Threading model"): crash
 // transactions are inherently per-thread — a transaction lives on the
@@ -59,6 +73,31 @@
 #include "stm/stm.h"
 
 namespace fir {
+
+namespace detail {
+/// Thread-local context cache: one (manager, generation) → context slot per
+/// thread. The generation tag keeps a reincarnated manager at a recycled
+/// address from hitting a stale pointer; the slot is refreshed by every
+/// slow-path lookup, so the thread's most recently used manager always
+/// answers async-signal-safe queries without locks. Lives in the header so
+/// the gate fast path (TxManager::pre_call's coalesce check) inlines the
+/// lookup into the call site.
+struct TxTlsCache {
+  const void* mgr = nullptr;
+  std::uint64_t gen = 0;
+  void* ctx = nullptr;
+};
+inline thread_local TxTlsCache t_tx_tls;
+
+/// Single-writer tally update: per-variable coherence without an atomic RMW
+/// on the gate fast path (the owning thread is the only writer; aggregators
+/// read relaxed from other threads).
+inline void tally_bump(std::atomic<std::uint64_t>& tally,
+                       std::uint64_t n = 1) {
+  tally.store(tally.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+}
+}  // namespace detail
 
 /// Reverts the effect of a library call during recovery. Plain function
 /// pointer + two scalar args + optional stashed bytes: no allocation on the
@@ -105,6 +144,8 @@ inline constexpr const char* kEnvSignals = "FIR_SIGNALS";
 inline constexpr const char* kEnvTxDeadlineMs = "FIR_TX_DEADLINE_MS";
 inline constexpr const char* kEnvRecoveryLogCap = "FIR_RECOVERY_LOG_CAP";
 inline constexpr const char* kEnvStormThreshold = "FIR_STORM_THRESHOLD";
+inline constexpr const char* kEnvCoalesce = "FIR_COALESCE";
+inline constexpr const char* kEnvCoalesceMax = "FIR_COALESCE_MAX";
 
 struct TxManagerConfig {
   PolicyConfig policy;
@@ -147,6 +188,12 @@ struct TxManagerConfig {
   /// step can run in signal context); episodes beyond the cap are dropped
   /// and counted in "recovery.log_dropped". FIR_RECOVERY_LOG_CAP overrides.
   std::size_t recovery_log_cap = 65536;
+  /// Checkpoint fast path: maximum consecutive library calls one crash
+  /// transaction may span through coalescing (the opening call plus up to
+  /// coalesce_max-1 quiescent extensions). 1 disables coalescing — every
+  /// call gets its own checkpoint, the seed behaviour. FIR_COALESCE=0
+  /// forces 1; FIR_COALESCE_MAX overrides the span.
+  std::uint32_t coalesce_max = 8;
   /// Master switch: false turns every gate into a plain call (vanilla).
   bool enabled = true;
 };
@@ -178,12 +225,22 @@ class TxManager final : public CrashHandler {
   void set_anchor(const void* anchor_sp);
   void clear_anchor();
 
-  /// The calling thread's entry-gate jump buffer.
+  /// The calling thread's entry-gate jump buffer. When pre_call() armed a
+  /// coalesced extension, this is a scratch buffer instead: the run keeps
+  /// the OPENING gate's jmp_buf as its rollback target, and the extension's
+  /// setjmp must not clobber it (the scratch is never longjmp'd to).
   std::jmp_buf* gate_buf();
 
-  /// Commits the calling thread's open transaction (runs deferred effects).
-  /// Called before every library call, and by quiesce().
-  void pre_call();
+  /// Commits the calling thread's open transaction (runs deferred effects)
+  /// — unless the transaction can be COALESCED over the next call at
+  /// `next_site` (checkpoint fast path), in which case the transaction
+  /// stays open and the following begin() records a run entry instead of
+  /// re-checkpointing. Called before every library call. Defined inline
+  /// below the class: the coalesce check is the gate fast path.
+  void pre_call(SiteId next_site);
+
+  /// Site-less variant (quiesce, shutdown): always commits.
+  void pre_call() { pre_call(kInvalidSite); }
 
   /// Opens a transaction at `site` on the calling thread; `rv` is the
   /// opening call's return value, `comp` reverts its effect if the
@@ -256,6 +313,10 @@ class TxManager final : public CrashHandler {
   std::uint64_t transactions_htm() const;
   std::uint64_t transactions_stm() const;
   std::uint64_t transactions_unprotected() const;
+  /// Calls that rode an open transaction through coalescing ("tx.coalesced")
+  /// and committed transactions that spanned >1 call ("tx.runs").
+  std::uint64_t transactions_coalesced() const;
+  std::uint64_t coalesced_runs() const;
   /// Number of threads that have entered this manager's gates.
   std::size_t thread_count() const;
 
@@ -289,6 +350,11 @@ class TxManager final : public CrashHandler {
   struct ActiveTx {
     bool open = false;
     bool diverted = false;
+    /// The opening call can absorb a persistent crash (recoverable()): only
+    /// such transactions may be extended by coalescing — a crash anywhere
+    /// in a run must remain divertible at the run's opening site, so
+    /// coalescing never shrinks the recovery surface.
+    bool extendable = false;
     SiteId site = kInvalidSite;
     TxMode mode = TxMode::kNone;
     std::intptr_t rv = 0;
@@ -296,6 +362,33 @@ class TxManager final : public CrashHandler {
     Compensation comp;
     bool has_opening_deferred = false;
     DeferredOp opening_deferred;
+    /// Stack frame of the gate that opened this transaction (recorded by
+    /// pre_call, measured identically at every gate). Extension requires
+    /// the candidate gate to sit at the same depth or DEEPER: a shallower
+    /// gate means the opening frame may already have returned, and a
+    /// setjmp there would let longjmp-frame bookkeeping (TSan's jmp_buf
+    /// GC, glibc's fortified longjmp) discard the opening gate_buf that
+    /// rollback must land on. The seed never jumps to a discarded buffer
+    /// — an open transaction always commits at the next gate's setjmp —
+    /// and this check keeps that invariant under coalescing.
+    std::uintptr_t open_gate_sp = 0;
+  };
+
+  /// One coalesced extension of the open transaction: which site ran and
+  /// what it returned (per-site stats, de-coalescing, commit accounting).
+  struct RunEntry {
+    SiteId site = kInvalidSite;
+    std::intptr_t rv = 0;
+  };
+
+  /// A revert queued for rollback: embedded calls and coalesced extensions
+  /// share one chronologically ordered list, so recovery unwinds them
+  /// newest-first regardless of which mechanism folded them in. `rv` is the
+  /// value run_compensation hands the Compensation::Fn — captured at push
+  /// time (a coalesced close must revert ITS fd, not the opening call's).
+  struct RevertRecord {
+    Compensation comp;
+    std::intptr_t rv = 0;
   };
 
   /// Everything one thread's transactions touch, owned by the manager and
@@ -323,9 +416,27 @@ class TxManager final : public CrashHandler {
     StmContext stm;
 
     ActiveTx active;
-    std::vector<Compensation> embedded_reverts;
+    std::vector<RevertRecord> embedded_reverts;
     std::vector<DeferredOp> embedded_deferred;
     std::vector<std::uint8_t> comp_arena;
+
+    // Checkpoint fast path (coalescing) state, all owned by this thread.
+    /// Coalesced extensions of the open transaction, oldest first.
+    std::vector<RunEntry> run;
+    /// setjmp target for an armed extension's gate; never longjmp'd to —
+    /// rollback always lands on the run-opening gate_buf.
+    std::jmp_buf coalesce_buf;
+    /// pre_call approved extending the open transaction over the next call;
+    /// consumed by the next begin() (or cleared by crash entry).
+    bool coalesce_armed = false;
+    /// Frame of the most recent gate's pre_call; begin() copies it into
+    /// ActiveTx::open_gate_sp when it opens a transaction.
+    std::uintptr_t last_gate_sp = 0;
+    /// The most recent begin() was a coalesced extension: routes the
+    /// opening-deferred effect of a coalesced deferrable call (close,
+    /// unlink) into embedded_deferred, where rollback drops it and replay
+    /// re-issues it.
+    bool last_begin_coalesced = false;
 
     // Crash-in-flight state (set by handle_crash, consumed by
     // recovery_step, all on the faulting thread).
@@ -356,6 +467,15 @@ class TxManager final : public CrashHandler {
     std::atomic<std::uint64_t> tx_none{0};
     std::atomic<std::uint64_t> tx_commits{0};
     std::atomic<std::uint64_t> tx_deferred{0};
+    /// Calls that extended an open transaction instead of opening their own
+    /// (each also counts under the run's mode tally above, so tx.htm/tx.stm
+    /// keep their per-call meaning).
+    std::atomic<std::uint64_t> tx_coalesced{0};
+    /// Committed transactions that spanned more than one call.
+    std::atomic<std::uint64_t> tx_runs{0};
+    /// Transactions left unprotected because the stack span exceeded
+    /// StackSnapshot::kMaxBytes (distinct from tx_none's other causes).
+    std::atomic<std::uint64_t> tx_oversize{0};
   };
 
   static void htm_store_abort_hook(void* self);
@@ -375,8 +495,21 @@ class TxManager final : public CrashHandler {
 
   /// Runs on the detached recovery stack; ends in longjmp into the gate.
   [[noreturn]] void recovery_step(TxContext& ctx);
-  void run_compensation(TxContext& ctx, const Compensation& comp);
+  /// `rv` is the reverted call's own return value (RevertRecord::rv for
+  /// embedded/coalesced entries, active.rv for the opening call).
+  void run_compensation(TxContext& ctx, const Compensation& comp,
+                        std::intptr_t rv);
   void commit_open_tx(TxContext& ctx);
+  /// Cold half of pre_call(): locked context lookup, then the inline logic.
+  void pre_call_slow(SiteId next_site);
+  /// Coalesce eligibility for extending ctx's open transaction over a call
+  /// at `next_site` (defined inline below the class — gate fast path).
+  bool can_extend(TxContext& ctx, SiteId next_site,
+                  std::uintptr_t gate_sp) const;
+  /// begin() tail for an armed extension: records the run entry, queues the
+  /// revert, bumps per-site and per-mode tallies.
+  void extend_run(TxContext& ctx, SiteId site_id, std::intptr_t rv,
+                  const Compensation& comp);
   void start_recording(TxContext& ctx, TxMode mode);
   void stop_recording();
   void reset_active(TxContext& ctx);
@@ -442,5 +575,56 @@ class TxManager final : public CrashHandler {
   CrashHandler* previous_handler_ = nullptr;
   std::uint64_t generation_ = 0;
 };
+
+// --- gate fast path (inline) ------------------------------------------------
+
+inline bool TxManager::can_extend(TxContext& ctx, SiteId next_site,
+                                  std::uintptr_t gate_sp) const {
+  const ActiveTx& a = ctx.active;
+  // Quiescent open transaction only: protected, never crashed or diverted
+  // in this run, and opened at a site that can absorb a persistent crash.
+  if (!a.extendable || a.diverted || a.mode == TxMode::kNone ||
+      a.crash_count != 0 || next_site == kInvalidSite) {
+    return false;
+  }
+  // Same-or-deeper frames only (see ActiveTx::open_gate_sp): a gate above
+  // the opening gate means the opening frame may have returned, and a
+  // setjmp up there invalidates the run's rollback target.
+  if (gate_sp > a.open_gate_sp) return false;
+  // A pending deferred effect bars extension: deferrable calls (close,
+  // unlink) flush their real effect at commit, and commit has always meant
+  // "the next gate". Coalescing past one would delay an externally visible
+  // effect (an fd release a peer is watching for) by up to a whole run.
+  if (a.has_opening_deferred || !ctx.embedded_deferred.empty()) return false;
+  // Run budget: opening call + extensions so far + this candidate.
+  if (ctx.run.size() + 2 > config_.coalesce_max) return false;
+  return policy_.allow_coalesce(sites_[next_site]);
+}
+
+inline void TxManager::pre_call(SiteId next_site) {
+  detail::TxTlsCache& tls = detail::t_tx_tls;
+  if (tls.mgr != this || tls.gen != generation_) {
+    pre_call_slow(next_site);
+    return;
+  }
+  TxContext& ctx = *static_cast<TxContext*>(tls.ctx);
+  detail::tally_bump(ctx.gate_calls);
+  // Frame of this gate, measured the same way at every gate (recording and
+  // comparison both live in this function, so inlining depth cancels).
+  const auto gate_sp =
+      reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+  ctx.last_gate_sp = gate_sp;
+  if (ctx.active.open) {
+    if (can_extend(ctx, next_site, gate_sp)) {
+      // Checkpoint fast path: keep the transaction (and its snapshot, undo
+      // log, filter epoch and watchdog deadline) open; the next begin()
+      // records a run entry instead of re-checkpointing.
+      ctx.coalesce_armed = true;
+      return;
+    }
+    commit_open_tx(ctx);
+  }
+  ctx.comp_arena.clear();
+}
 
 }  // namespace fir

@@ -77,7 +77,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                  \
     ::fir::TxManager& fir_m = (fx).mgr();                             \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, fname);      \
-    fir_m.pre_call();                                                 \
+    fir_m.pre_call(fir_sid);                                          \
     volatile std::intptr_t fir_rv = 0;                                \
     if (setjmp(*fir_m.gate_buf()) == 0) {                             \
       fir_rv = static_cast<std::intptr_t>(CALL_EXPR);                 \
@@ -140,7 +140,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "recv");         \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const std::uint32_t fir_off = fir_m.stash_comp_data((buf), (n));      \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -160,7 +160,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "read");         \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const std::uint32_t fir_off = fir_m.stash_comp_data((buf), (n));      \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -182,7 +182,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "close");        \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const int fir_fd = (fd);                                              \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -206,7 +206,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "shutdown");     \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const int fir_fd = (fd);                                              \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -257,7 +257,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "pread");        \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const std::uint32_t fir_off = fir_m.stash_comp_data((buf), (n));      \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -276,7 +276,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "lseek");        \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const std::int64_t fir_old = (fx).env().file_offset((fd));            \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -308,7 +308,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "unlink");       \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const char* fir_path = (path);                                        \
     volatile std::intptr_t fir_rv = 0;                                    \
     if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
@@ -336,7 +336,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "rename");       \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const char* fir_from = (from);                                        \
     const char* fir_to = (to);                                            \
     const std::uint32_t fir_from_n =                                      \
@@ -363,7 +363,7 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   ({                                                                      \
     ::fir::TxManager& fir_m = (fx).mgr();                                 \
     const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "ftruncate");    \
-    fir_m.pre_call();                                                     \
+    fir_m.pre_call(fir_sid);                                              \
     const ::fir::Compensation fir_comp =                                  \
         ::fir::detail::prepare_truncate((fx), (fd), (len));               \
     volatile std::intptr_t fir_rv = 0;                                    \

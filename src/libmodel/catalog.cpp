@@ -20,8 +20,10 @@ constexpr LibFunctionSpec kCatalog[] = {
     {"listen", R::kReversible, true, {-1, EADDRINUSE},
      "revert: stop listening / close"},
     {"socket", R::kReversible, true, {-1, EMFILE}, "revert: close"},
-    {"accept", R::kReversible, true, {-1, ECONNABORTED}, "revert: close"},
-    {"accept4", R::kReversible, true, {-1, ECONNABORTED}, "revert: close"},
+    {"accept", R::kReversible, true, {-1, ECONNABORTED},
+     "revert: close (peer-visible: not replay-safe)", /*replay_unsafe=*/true},
+    {"accept4", R::kReversible, true, {-1, ECONNABORTED},
+     "revert: close (peer-visible: not replay-safe)", /*replay_unsafe=*/true},
     {"epoll_create", R::kReversible, true, {-1, EMFILE}, "revert: close"},
     {"epoll_create1", R::kReversible, true, {-1, EMFILE}, "revert: close"},
     {"dup", R::kReversible, true, {-1, EMFILE}, "revert: close"},

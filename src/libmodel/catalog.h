@@ -52,6 +52,14 @@ struct LibFunctionSpec {
   bool divertible;
   InjectedError error;
   std::string_view note;  // compensation / semantics summary
+  /// True when revert-then-re-execute is NOT equivalent to the original
+  /// execution because the revert is visible outside the process (accept's
+  /// revert closes a connection the peer established; re-executing accept
+  /// cannot get it back). Such calls may OPEN a crash transaction — the
+  /// opening call is never re-executed on rollback — but must not be
+  /// coalesced INTO one, where rollback replays them (checkpoint fast path,
+  /// core/tx_manager.h).
+  bool replay_unsafe = false;
 };
 
 /// Immutable process-wide catalog (the Library Interface Analyzer's output).

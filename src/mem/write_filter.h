@@ -49,7 +49,11 @@ class WriteFilter {
   explicit WriteFilter(std::size_t min_lines = 64);
 
   /// Starts a new transaction: amortized O(1) — an epoch bump, with one
-  /// table wipe per 65535 resets when the 16-bit epoch wraps.
+  /// table wipe per 65535 resets when the 16-bit epoch wraps. A coalesced
+  /// run (core/tx_manager.h checkpoint fast path) deliberately spans many
+  /// library calls with ONE epoch: stores made by consecutive calls dedupe
+  /// against each other, because rollback always replays to the start of
+  /// the run — the oldest pre-image is the right one for the whole run.
   void reset() {
     if (++epoch_ > kEpochMask) {
       epoch_ = 1;
@@ -57,6 +61,11 @@ class WriteFilter {
     }
     lines_ = 0;
   }
+
+  /// Current transaction epoch (1..65535). Observable so tests can prove
+  /// epoch REUSE: consecutive calls coalesced into one run see the same
+  /// epoch, while un-coalesced calls bump it once per transaction.
+  std::uint16_t epoch() const { return static_cast<std::uint16_t>(epoch_); }
 
   /// Byte mask of [addr, addr+size) within its cache line.
   /// Precondition: the span does not cross a line boundary.

@@ -26,6 +26,10 @@ inline constexpr std::uint32_t kNoSite = static_cast<std::uint32_t>(-1);
 enum class EventKind : std::uint8_t {
   kTxBegin = 0,     // crash transaction opened at a gate
   kTxCommit,        // transaction committed (next gate / quiesce)
+  kTxCoalesce,      // quiescent call extended the open transaction instead
+                    // of commit+re-checkpoint (a0 = run length so far)
+  kSnapshotOversize,  // stack span exceeded StackSnapshot::kMaxBytes; the
+                      // transaction runs unprotected (a0 = span bytes)
   kDeferredFlush,   // deferred library-call effects ran at commit
   kHtmAbort,        // simulated TSX abort (code = abort reason)
   kStmFallback,     // re-execution switched from HTM to STM
@@ -48,7 +52,8 @@ const char* event_kind_name(EventKind kind);
 
 /// Event classes group kinds for the FIR_TRACE_FILTER env var.
 enum class EventClass : std::uint8_t {
-  kTx = 0,    // kTxBegin, kTxCommit, kDeferredFlush
+  kTx = 0,    // kTxBegin, kTxCommit, kTxCoalesce, kSnapshotOversize,
+              // kDeferredFlush
   kHtm,       // kHtmAbort, kStmFallback, kSiteDemotion
   kRecovery,  // kCrash, kRollback, kRetry, kCompensation, kFaultInjection,
               // kSignalCaught, kDoubleFault, kWatchdogFire

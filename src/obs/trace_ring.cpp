@@ -8,6 +8,8 @@ const char* event_kind_name(EventKind kind) {
   switch (kind) {
     case EventKind::kTxBegin: return "tx-begin";
     case EventKind::kTxCommit: return "tx-commit";
+    case EventKind::kTxCoalesce: return "tx-coalesce";
+    case EventKind::kSnapshotOversize: return "snapshot-oversize";
     case EventKind::kDeferredFlush: return "deferred-flush";
     case EventKind::kHtmAbort: return "htm-abort";
     case EventKind::kStmFallback: return "stm-fallback";
@@ -38,6 +40,8 @@ EventClass event_class(EventKind kind) {
   switch (kind) {
     case EventKind::kTxBegin:
     case EventKind::kTxCommit:
+    case EventKind::kTxCoalesce:
+    case EventKind::kSnapshotOversize:
     case EventKind::kDeferredFlush:
       return EventClass::kTx;
     case EventKind::kHtmAbort:

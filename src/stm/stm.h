@@ -80,6 +80,11 @@ class StmContext final : public StoreRecorder {
   std::size_t retention() const { return retain_bytes_; }
 
   bool active() const { return active_; }
+  /// First-write-filter epoch of the open (or last) transaction. A coalesced
+  /// run keeps one transaction — and therefore one epoch and one undo log —
+  /// open across every call it spans, so repeated stores from different
+  /// calls in the run still elide against the run's first write.
+  std::uint16_t filter_epoch() const { return filter_.epoch(); }
   std::size_t log_entries() const { return log_.entry_count(); }
   std::size_t log_bytes() const { return log_.logged_bytes(); }
   /// Bytes currently reserved by the log's and filter's buffers (capacity,

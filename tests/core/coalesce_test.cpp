@@ -1,0 +1,331 @@
+// Checkpoint fast path: crash-transaction coalescing. Covers run formation
+// and accounting, the FIR_COALESCE/FIR_COALESCE_MAX knobs, crash-at-every-
+// position rollback/replay semantics, divert identity after de-coalescing,
+// deferred-effect flush timing, engine-level checkpoint reuse, and the
+// oversize-span observability satellite. The whole file runs under both
+// crash channels: `raise_crash` goes through the synchronous path by
+// default and through the POSIX signal path when FIR_SIGNALS=1 (the CI
+// signals job re-runs this binary with it set).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/stack_snapshot.h"
+#include "core/tx_manager.h"
+#include "interpose/fir.h"
+#include "stm/stm.h"
+
+namespace fir {
+namespace {
+
+constexpr std::uint32_t kOptReuseAddr = 0x1;
+
+TxManagerConfig stm_config(std::uint32_t coalesce_max = 8) {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;  // no HTM hop: deterministic episodes
+  c.coalesce_max = coalesce_max;
+  c.obs.trace_enabled = true;
+  return c;
+}
+
+std::uint64_t count_events(const Fx& fx, obs::EventKind kind) {
+  std::uint64_t n = 0;
+  for (const obs::TraceEvent& e : fx.mgr().obs().trace().snapshot())
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+// Transient-fault model (see tx_manager_test.cpp): the budget lives outside
+// the rollback domain, so a rolled-back crash stays consumed.
+int g_crash_budget = 0;
+void maybe_crash_transient() {
+  if (g_crash_budget > 0) {
+    --g_crash_budget;
+    raise_crash(CrashKind::kSegv);
+  }
+}
+
+TEST(CoalesceTest, QuiescentCallsShareOneTransaction) {
+  Fx fx(stm_config());
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(FIR_SETSOCKOPT(fx, fd, kOptReuseAddr), 0);
+  FIR_QUIESCE(fx);
+
+  // One run: socket opened the checkpoint, three setsockopts rode it.
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 3u);
+  EXPECT_EQ(fx.mgr().coalesced_runs(), 1u);
+  EXPECT_EQ(fx.mgr().transactions_stm(), 4u);  // per-call meaning kept
+  EXPECT_EQ(count_events(fx, obs::EventKind::kTxCoalesce), 3u);
+
+  // The engine checkpointed ONCE: one stm begin/commit, one filter epoch,
+  // one undo log spanned the whole run.
+  const StmStats s = fx.mgr().stm_stats();
+  EXPECT_EQ(s.begun, 1u);
+  EXPECT_EQ(s.committed, 1u);
+
+  // Every call in the run still committed, site-wise.
+  std::uint64_t commits = 0;
+  for (const Site& site : fx.mgr().sites().all())
+    commits += site.stats.commits;
+  EXPECT_EQ(commits, 4u);
+}
+
+TEST(CoalesceTest, RunBudgetCapsExtensions) {
+  Fx fx(stm_config(/*coalesce_max=*/2));
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(FIR_SETSOCKOPT(fx, fd, kOptReuseAddr), 0);
+  FIR_QUIESCE(fx);
+
+  // Runs of at most 2 calls: [socket, ss1] and [ss2, ss3].
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 2u);
+  EXPECT_EQ(fx.mgr().coalesced_runs(), 2u);
+  const StmStats s = fx.mgr().stm_stats();
+  EXPECT_EQ(s.begun, 2u);
+}
+
+TEST(CoalesceTest, KillSwitchRestoresPerCallTransactions) {
+  ::setenv(kEnvCoalesce, "0", 1);
+  ::setenv(kEnvCoalesceMax, "64", 1);  // kill-switch must win over this
+  Fx fx(stm_config());
+  ::unsetenv(kEnvCoalesce);
+  ::unsetenv(kEnvCoalesceMax);
+
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(FIR_SETSOCKOPT(fx, fd, kOptReuseAddr), 0);
+  FIR_QUIESCE(fx);
+
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 0u);
+  EXPECT_EQ(fx.mgr().coalesced_runs(), 0u);
+  EXPECT_EQ(fx.mgr().stm_stats().begun, 4u);  // seed: one checkpoint per call
+  EXPECT_EQ(count_events(fx, obs::EventKind::kTxCoalesce), 0u);
+}
+
+TEST(CoalesceTest, EnvMaxBoundsTheRun) {
+  ::setenv(kEnvCoalesceMax, "2", 1);
+  Fx fx(stm_config());
+  ::unsetenv(kEnvCoalesceMax);
+
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(FIR_SETSOCKOPT(fx, fd, kOptReuseAddr), 0);
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.mgr().coalesced_runs(), 2u);
+}
+
+// Crash after the run's first extension: rollback replays to the run's
+// FIRST call. The segment counters live outside the rollback domain, so
+// they record true execution counts: everything from the opening call to
+// the crash point runs twice, everything after it once.
+TEST(CoalesceTest, CrashMidRunReplaysFromRunStart) {
+  Fx fx(stm_config());
+  FIR_ANCHOR(fx);
+  // Statics: locals would sit inside the snapshot region and be rolled
+  // back with the stack, hiding the replay we are counting.
+  static int seg_after_open, seg_after_ext, seg_tail;
+  seg_after_open = seg_after_ext = seg_tail = 0;
+  g_crash_budget = 1;
+
+  // One expansion = one site: both setsockopt calls must share identity so
+  // the de-coalesce verdict from the first covers the second.
+  const auto do_setsockopt = [&fx](int sock) {
+    return static_cast<int>(FIR_SETSOCKOPT(fx, sock, kOptReuseAddr));
+  };
+
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  ++seg_after_open;
+  const int rs1 = do_setsockopt(fd);  // coalesced
+  ASSERT_EQ(rs1, 0);
+  ++seg_after_ext;
+  maybe_crash_transient();  // aborts the 2-call run
+  const int rs2 = do_setsockopt(fd);
+  ASSERT_EQ(rs2, 0);
+  ++seg_tail;
+  FIR_QUIESCE(fx);
+
+  // Replay depth: rollback landed at the socket gate (run start), so both
+  // pre-crash segments re-executed; the tail ran once.
+  EXPECT_EQ(seg_after_open, 2);
+  EXPECT_EQ(seg_after_ext, 2);
+  EXPECT_EQ(seg_tail, 1);
+  EXPECT_TRUE(fx.env().fd_valid(fd));  // retry preserved the opening effect
+  EXPECT_EQ(fx.mgr().metrics().counter("recovery.retries").value(), 1u);
+
+  // The abort de-coalesced every site in the run: the replayed setsockopt
+  // (and the later one) ran under their own transactions.
+  const auto samples = fx.mgr().metrics().snapshot();
+  EXPECT_EQ(fx.mgr().metrics().counter("policy.decoalesced").value(), 2u);
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 1u);  // only the first run
+  for (const Site& site : fx.mgr().sites().all())
+    EXPECT_TRUE(site.gate.no_coalesce.load(std::memory_order_relaxed))
+        << site.function;
+}
+
+// Crash before any extension: a one-call transaction, exactly the seed
+// path — no run, no de-coalescing, and later calls may still coalesce.
+TEST(CoalesceTest, CrashBeforeExtensionLeavesCoalescingEnabled) {
+  Fx fx(stm_config());
+  FIR_ANCHOR(fx);
+  g_crash_budget = 1;
+
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  maybe_crash_transient();  // crash in the opening call's own window
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.mgr().metrics().counter("policy.decoalesced").value(), 0u);
+
+  // socket crashed once, so IT no longer qualifies for coalescing
+  // (allow_coalesce checks site crashes), but setsockopt never aborted and
+  // still extends a fresh run.
+  const int fd2 = FIR_SOCKET(fx);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(FIR_SETSOCKOPT(fx, fd2, kOptReuseAddr), 0);
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 1u);
+}
+
+// Persistent crash inside a run. Round 1: the run aborts, retries from the
+// run start and de-coalesces. Round 2: the replayed setsockopt runs in its
+// OWN transaction, crashes through its retry budget, and the divert
+// therefore targets setsockopt — the same site the seed would divert, with
+// its catalog error — while the opening socket's effect survives.
+TEST(CoalesceTest, PersistentCrashDivertsTheFaultingCallAfterDecoalesce) {
+  Fx fx(stm_config());
+  FIR_ANCHOR(fx);
+  g_crash_budget = 100;  // persistent
+
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  const int rs = FIR_SETSOCKOPT(fx, fd, kOptReuseAddr);
+  if (rs == 0) maybe_crash_transient();  // stop once the error is injected
+  g_crash_budget = 0;
+
+  EXPECT_EQ(rs, -1);          // setsockopt's injected error...
+  EXPECT_EQ(fx.err(), EINVAL);  // ...and errno, per the catalog
+  EXPECT_TRUE(fx.env().fd_valid(fd));  // the opener was NOT compensated away
+  FIR_QUIESCE(fx);
+
+  std::uint64_t socket_div = 0, ss_div = 0;
+  for (const Site& site : fx.mgr().sites().all()) {
+    if (site.function == "socket") socket_div = site.stats.diversions;
+    if (site.function == "setsockopt") ss_div = site.stats.diversions;
+  }
+  EXPECT_EQ(socket_div, 0u);
+  EXPECT_EQ(ss_div, 1u);
+}
+
+// Deferred effects must flush when they always did: at the next gate. A
+// coalesced close parks its real close in the run's deferred list, and the
+// pending deferred op bars further extension, so the following call commits
+// the run and applies it.
+TEST(CoalesceTest, DeferredCloseStillFlushesAtTheNextGate) {
+  Fx fx(stm_config());
+  FIR_ANCHOR(fx);
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);
+  const int keeper = FIR_SOCKET(fx);  // coalesced: run = [socket, socket]
+  ASSERT_GE(keeper, 0);
+  ASSERT_EQ(FIR_CLOSE(fx, fd), 0);     // coalesced; the real close is parked
+  EXPECT_TRUE(fx.env().fd_valid(fd));  // deferred: not yet real
+  // The pending deferred op bars extension, so the next gate commits the run
+  // and applies the close. Probe with setsockopt on the surviving socket —
+  // a FIR_SOCKET here would re-allocate the freed descriptor (alloc_fd is
+  // lowest-free, POSIX-style) and mask the flush.
+  ASSERT_EQ(FIR_SETSOCKOPT(fx, keeper, kOptReuseAddr), 0);
+  EXPECT_FALSE(fx.env().fd_valid(fd));
+  FIR_QUIESCE(fx);
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 2u);
+  EXPECT_EQ(fx.mgr().coalesced_runs(), 1u);
+}
+
+// Replay-unsafe calls (accept: its revert closes a connection the peer can
+// see) must never be coalesced INTO a run, though they may open one.
+TEST(CoalesceTest, ReplayUnsafeCallsDoNotExtendRuns) {
+  const LibFunctionSpec* accept_spec = LibraryCatalog::instance().find("accept");
+  ASSERT_NE(accept_spec, nullptr);
+  EXPECT_TRUE(accept_spec->replay_unsafe);
+  const LibFunctionSpec* send_spec = LibraryCatalog::instance().find("send");
+  ASSERT_NE(send_spec, nullptr);
+  EXPECT_EQ(send_spec->recoverability, Recoverability::kIrrecoverable);
+}
+
+// Engine-level view of the fast path: one filter epoch per transaction, so
+// an un-coalesced pair of calls bumps the epoch twice while a coalesced run
+// holds it (QuiescentCallsShareOneTransaction proves the run does exactly
+// one stm begin).
+TEST(CoalesceTest, FilterEpochAdvancesOncePerTransaction) {
+  StmContext stm;
+  stm.begin();
+  const std::uint16_t e1 = stm.filter_epoch();
+  int x = 0;
+  stm.record_store(&x, sizeof(x));
+  stm.commit();
+  stm.begin();
+  EXPECT_EQ(stm.filter_epoch(), static_cast<std::uint16_t>(e1 + 1));
+  stm.commit();
+}
+
+// Oversize satellite: a [sp, anchor) span beyond StackSnapshot::kMaxBytes
+// runs the call unprotected — that shrinking of the recovery surface must
+// be observable, not a silent log line.
+TEST(CoalesceTest, OversizeSpanEmitsEventAndCounter) {
+  Fx fx(stm_config());
+  const char* frame =
+      static_cast<const char*>(__builtin_frame_address(0));
+  fx.mgr().set_anchor(frame + StackSnapshot::kMaxBytes + 16384);
+
+  const int fd = FIR_SOCKET(fx);
+  ASSERT_GE(fd, 0);  // the call itself still executes
+  EXPECT_EQ(fx.mgr().current_mode(), TxMode::kNone);
+  FIR_QUIESCE(fx);
+
+  const auto samples = fx.mgr().metrics().snapshot();
+  (void)samples;
+  EXPECT_EQ(fx.mgr().metrics().counter("tx.unprotected_oversize").value(),
+            1u);
+  bool saw_event = false;
+  for (const obs::TraceEvent& e : fx.mgr().obs().trace().snapshot()) {
+    if (e.kind == obs::EventKind::kSnapshotOversize) {
+      saw_event = true;
+      EXPECT_GT(e.a0, static_cast<std::int64_t>(StackSnapshot::kMaxBytes));
+    }
+  }
+  EXPECT_TRUE(saw_event);
+  fx.mgr().clear_anchor();
+}
+
+// FIR_COALESCE=0 bit-for-bit seed parity on a full recovery episode:
+// transient crash then persistent divert, with the exact seed counters.
+TEST(CoalesceTest, KillSwitchSeedParityOnRecovery) {
+  ::setenv(kEnvCoalesce, "0", 1);
+  Fx fx(stm_config());
+  ::unsetenv(kEnvCoalesce);
+  FIR_ANCHOR(fx);
+
+  const int fd = FIR_SOCKET(fx);
+  if (fd >= 0) raise_crash(CrashKind::kSegv);  // persistent: retry, divert
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(fx.err(), EMFILE);
+  FIR_QUIESCE(fx);
+
+  obs::MetricsRegistry& reg = fx.mgr().metrics();
+  EXPECT_EQ(reg.counter("recovery.retries").value(), 1u);
+  EXPECT_EQ(reg.counter("recovery.diversions").value(), 1u);
+  EXPECT_EQ(reg.counter("policy.decoalesced").value(), 0u);
+  EXPECT_EQ(fx.mgr().transactions_coalesced(), 0u);
+}
+
+}  // namespace
+}  // namespace fir

@@ -56,6 +56,77 @@ TEST(StackSnapshotTest, RecaptureReplacesImage) {
   EXPECT_EQ(region[0], '2');
 }
 
+// --- incremental capture (checkpoint fast path) -----------------------------
+
+TEST(StackSnapshotTest, SameExtentRecaptureCopiesOnlyTheDirtyPrefix) {
+  // 8 blocks. Dirty only the lowest block (the "deep end" of a stack
+  // region); the verified-clean suffix above it must be elided.
+  constexpr std::size_t kSize = 8 * StackSnapshot::kBlockBytes;
+  std::vector<char> region(kSize, 'a');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + kSize));
+  EXPECT_EQ(snapshot.bytes_copied(), kSize);
+  EXPECT_EQ(snapshot.bytes_elided(), 0u);
+  EXPECT_EQ(snapshot.captures_incremental(), 0u);
+
+  std::memset(region.data(), 'b', StackSnapshot::kBlockBytes);
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + kSize));
+  EXPECT_EQ(snapshot.captures_incremental(), 1u);
+  EXPECT_EQ(snapshot.bytes_copied(), kSize + StackSnapshot::kBlockBytes);
+  EXPECT_EQ(snapshot.bytes_elided(), kSize - StackSnapshot::kBlockBytes);
+
+  // The incremental image is complete: restore reproduces the live bytes
+  // of the SECOND capture everywhere, elided suffix included.
+  std::memset(region.data(), 'z', kSize);
+  snapshot.restore();
+  EXPECT_EQ(region[0], 'b');
+  EXPECT_EQ(region[StackSnapshot::kBlockBytes - 1], 'b');
+  EXPECT_EQ(region[StackSnapshot::kBlockBytes], 'a');
+  EXPECT_EQ(region[kSize - 1], 'a');
+}
+
+TEST(StackSnapshotTest, IncrementalSurvivesInvalidate) {
+  // invalidate() (transaction commit) keeps the image, so the next capture
+  // of the same extent is still incremental.
+  constexpr std::size_t kSize = 4 * StackSnapshot::kBlockBytes;
+  std::vector<char> region(kSize, 'a');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + kSize));
+  snapshot.invalidate();
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + kSize));
+  EXPECT_EQ(snapshot.captures_incremental(), 1u);
+  EXPECT_EQ(snapshot.bytes_elided(), kSize);  // nothing changed: all elided
+}
+
+TEST(StackSnapshotTest, MovedExtentFallsBackToFullCopy) {
+  constexpr std::size_t kSize = 4 * StackSnapshot::kBlockBytes;
+  std::vector<char> region(2 * kSize, 'a');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + kSize));
+  ASSERT_TRUE(snapshot.capture(region.data() + kSize,
+                               region.data() + 2 * kSize));  // frame moved
+  EXPECT_EQ(snapshot.captures_incremental(), 0u);
+  EXPECT_EQ(snapshot.bytes_copied(), 2 * kSize);
+}
+
+TEST(StackSnapshotTest, BufferGrowsOnceAndIsReused) {
+  std::vector<char> region(64 * 1024, 'a');
+  StackSnapshot snapshot;
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + 256));
+  const std::uint64_t first_reallocs = snapshot.reallocs();
+  EXPECT_GE(first_reallocs, 1u);
+  // Growing to a larger extent reallocates once more...
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + 32 * 1024));
+  EXPECT_GT(snapshot.reallocs(), first_reallocs);
+  const std::uint64_t grown_reallocs = snapshot.reallocs();
+  const std::size_t grown_capacity = snapshot.footprint_bytes();
+  // ...but smaller and repeated captures never allocate again (grow-only).
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + 128));
+  ASSERT_TRUE(snapshot.capture(region.data(), region.data() + 32 * 1024));
+  EXPECT_EQ(snapshot.reallocs(), grown_reallocs);
+  EXPECT_EQ(snapshot.footprint_bytes(), grown_capacity);
+}
+
 TEST(RecoveryStackTest, RunsFunctionOnDetachedStack) {
   static jmp_buf back;
   static char* observed_sp = nullptr;

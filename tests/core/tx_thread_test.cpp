@@ -30,6 +30,59 @@ TxManagerConfig stm_config() {
   return c;
 }
 
+TEST(TxThreadTest, ConcurrentCoalescedRunsStayIsolated) {
+  // Checkpoint fast path under concurrency: every thread forms multi-call
+  // runs against ONE manager while half of them crash mid-run. Run state
+  // (run buffer, embedded reverts, coalesce_armed) is per-TxContext; the
+  // only cross-thread write is the sticky GateState::no_coalesce CAS, which
+  // this test hammers from every crashing thread at once. Run under the CI
+  // TSan job, this is the data-race check for the coalescing path.
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 100;
+  constexpr std::uint32_t kOptReuseAddr = 0x1;
+  Fx fx(stm_config());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fx, &failures, t] {
+      const bool crashing = (t % 2) == 0;
+      FIR_ANCHOR(fx);
+      for (int i = 0; i < kIterations; ++i) {
+        const int fd = static_cast<int>(FIR_SOCKET(fx));
+        if (fd < 0) {
+          failures.fetch_add(1);
+          FIR_QUIESCE(fx);
+          continue;
+        }
+        // Coalescible tail: setsockopt extends socket's transaction while
+        // the sites stay quiescent; after the first mid-run crash the
+        // crashing threads' sites are de-coalesced and run per-call.
+        const int rs = static_cast<int>(FIR_SETSOCKOPT(fx, fd, kOptReuseAddr));
+        if (crashing && rs == 0 && i % 2 == 0)
+          raise_crash(CrashKind::kSegv);  // persistent: retry then divert
+        if (static_cast<int>(FIR_SETSOCKOPT(fx, fd, kOptReuseAddr)) != 0 &&
+            !crashing) {
+          failures.fetch_add(1);
+        }
+        FIR_QUIESCE(fx);
+      }
+      fx.mgr().clear_anchor();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  obs::MetricsRegistry& reg = fx.mgr().metrics();
+  EXPECT_EQ(reg.counter("recovery.double_faults").value(), 0u);
+  EXPECT_EQ(reg.counter("recovery.fatal").value(), 0u);
+  const auto samples = fx.mgr().metrics().snapshot();
+  (void)samples;
+  // The clean threads coalesced at least their first runs, and the sticky
+  // de-coalesce was published exactly once per aborted site.
+  EXPECT_GT(fx.mgr().transactions_coalesced(), 0u);
+  EXPECT_LE(reg.counter("policy.decoalesced").value(), 2u);
+}
+
 TEST(TxThreadTest, ConcurrentCrashIsolation) {
   constexpr int kThreads = 4;
   constexpr int kIterations = 150;

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate the checkpoint fast-path benchmarks against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py RESULTS_JSON [--baseline BENCH_tx_begin.json]
+                              [--tolerance 0.25] [--absolute]
+
+RESULTS_JSON is a google-benchmark --benchmark_format=json run of
+bench/micro_checkpoint covering the BM_TxBeginQuiescent* benchmarks.
+
+The primary check is machine-independent: for each frame variant, the
+amortization ratio
+
+    cpu_time(coalesced arm) / cpu_time(per-call arm)
+
+is compared against the same ratio computed from `baseline_cpu_ns` in the
+baseline file. Both arms come from the same run on the same machine, so
+absolute hardware speed cancels; what the gate protects is the *relative win*
+of coalescing. A fresh ratio more than `tolerance` above the baseline ratio
+(the coalesced arm got slower relative to the per-call arm) fails the gate.
+
+--absolute additionally compares each benchmark's absolute cpu_time against
+baseline_cpu_ns with the same tolerance. Only meaningful when the run machine
+matches the machine that produced the baseline, so it is off by default and
+not used in CI.
+"""
+
+import argparse
+import json
+import sys
+
+# (per-call arm, coalesced arm) pairs gated on their ratio.
+RATIO_PAIRS = [
+    ("BM_TxBeginQuiescent/1", "BM_TxBeginQuiescent/8"),
+    ("BM_TxBeginQuiescent/1", "BM_TxBeginQuiescent/64"),
+    ("BM_TxBeginQuiescentDeep/1", "BM_TxBeginQuiescentDeep/8"),
+    ("BM_TxBeginQuiescentDeep/1", "BM_TxBeginQuiescentDeep/64"),
+]
+
+
+def load_results(path):
+    """name -> median (or single-run) cpu_time in ns."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        # Prefer the _median aggregate when repetitions are on.
+        if b.get("aggregate_name") == "median":
+            times[b["run_name"]] = float(b["cpu_time"])
+        elif b.get("run_type", "iteration") == "iteration":
+            times.setdefault(name, float(b["cpu_time"]))
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("results")
+    ap.add_argument("--baseline", default="BENCH_tx_begin.json")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--absolute", action="store_true")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["baseline_cpu_ns"]
+    fresh = load_results(args.results)
+
+    failures = []
+
+    for per_call, coalesced in RATIO_PAIRS:
+        missing = [n for n in (per_call, coalesced) if n not in fresh]
+        if missing:
+            failures.append("missing benchmark(s) in results: %s" % missing)
+            continue
+        base_ratio = baseline[coalesced] / baseline[per_call]
+        new_ratio = fresh[coalesced] / fresh[per_call]
+        limit = base_ratio * (1.0 + args.tolerance)
+        verdict = "FAIL" if new_ratio > limit else "ok"
+        print(
+            "%-52s ratio %.3f (baseline %.3f, limit %.3f)  %s"
+            % (coalesced + " / " + per_call, new_ratio, base_ratio, limit,
+               verdict)
+        )
+        if new_ratio > limit:
+            failures.append(
+                "%s amortization regressed: %.3f > %.3f"
+                % (coalesced, new_ratio, limit)
+            )
+
+    if args.absolute:
+        for name, base_ns in sorted(baseline.items()):
+            if name not in fresh:
+                failures.append("missing benchmark in results: %s" % name)
+                continue
+            limit = base_ns * (1.0 + args.tolerance)
+            verdict = "FAIL" if fresh[name] > limit else "ok"
+            print(
+                "%-52s %8.1f ns (baseline %8.1f, limit %8.1f)  %s"
+                % (name, fresh[name], base_ns, limit, verdict)
+            )
+            if fresh[name] > limit:
+                failures.append(
+                    "%s regressed: %.1f ns > %.1f ns"
+                    % (name, fresh[name], limit)
+                )
+
+    if failures:
+        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print("\nregression gate passed (tolerance %.0f%%)" % (args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
