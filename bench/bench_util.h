@@ -2,16 +2,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "apps/apachette.h"
-#include "apps/littlehttpd.h"
-#include "apps/minikv.h"
-#include "apps/minipg.h"
-#include "apps/miniginx.h"
+#include "apps/registry.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "workload/campaign.h"
@@ -19,11 +16,9 @@
 
 namespace fir::bench {
 
-/// The evaluated server fleet, paper order.
+/// The evaluated server fleet, paper order (apps::server_names).
 inline const std::vector<std::string>& server_names() {
-  static const std::vector<std::string> names = {
-      "miniginx", "apachette", "littlehttpd", "minikv", "minipg"};
-  return names;
+  return apps::server_names();
 }
 
 inline const std::vector<std::string>& web_server_names() {
@@ -34,32 +29,13 @@ inline const std::vector<std::string>& web_server_names() {
 
 /// Paper-name for each mini server (table headers).
 inline std::string paper_name(const std::string& server) {
-  if (server == "miniginx") return "Nginx";
-  if (server == "apachette") return "Apache";
-  if (server == "littlehttpd") return "Lighttpd";
-  if (server == "minikv") return "Redis";
-  if (server == "minipg") return "PostgreSQL";
-  return server;
+  return apps::paper_server_name(server);
 }
 
 /// Builds a started server by name.
 inline std::unique_ptr<Server> make_server(const std::string& name,
                                            const TxManagerConfig& config) {
-  std::unique_ptr<Server> server;
-  if (name == "miniginx") server = std::make_unique<Miniginx>(config);
-  if (name == "apachette") server = std::make_unique<Apachette>(config);
-  if (name == "littlehttpd") server = std::make_unique<Littlehttpd>(config);
-  if (name == "minikv") server = std::make_unique<Minikv>(config);
-  if (name == "minipg") server = std::make_unique<Minipg>(config);
-  if (server != nullptr) {
-    const Status status = server->start(0);
-    if (!status.is_ok()) {
-      std::fprintf(stderr, "bench: cannot start %s: %s\n", name.c_str(),
-                   status.to_string().c_str());
-      server.reset();
-    }
-  }
-  return server;
+  return apps::make_started_server(name, config);
 }
 
 inline ServerFactory factory_for(const std::string& name,
@@ -67,44 +43,28 @@ inline ServerFactory factory_for(const std::string& name,
   return [name, config] { return make_server(name, config); };
 }
 
-/// Named policy configurations of the evaluation.
+/// Named policy configurations of the evaluation (apps registry; campaign
+/// configs address the same presets by the same names).
 inline TxManagerConfig vanilla_config() {
-  TxManagerConfig c;
-  c.policy.kind = PolicyKind::kUnprotected;
-  return c;
+  return apps::named_policy_config("vanilla");
 }
 inline TxManagerConfig htm_only_config() {
-  TxManagerConfig c;
-  c.policy.kind = PolicyKind::kHtmOnly;
-  c.htm.interrupt_abort_per_store = 1e-4;
-  return c;
+  return apps::named_policy_config("htm-only");
 }
 inline TxManagerConfig stm_only_config() {
-  TxManagerConfig c;
-  c.policy.kind = PolicyKind::kStmOnly;
-  return c;
+  return apps::named_policy_config("stm-only");
 }
 inline TxManagerConfig naive_htm_config() {
-  TxManagerConfig c;
-  c.policy.kind = PolicyKind::kNaiveHtm;
-  c.htm.interrupt_abort_per_store = 1e-4;
-  return c;
+  return apps::named_policy_config("naive-htm");
 }
 inline TxManagerConfig manual_config() {
-  TxManagerConfig c;
-  c.policy.kind = PolicyKind::kManual;
-  c.policy.manual_stm_functions = {"malloc", "calloc", "posix_memalign",
-                                   "fcntl64", "pread"};
-  c.htm.interrupt_abort_per_store = 1e-4;
-  return c;
+  return apps::named_policy_config("manual");
 }
 inline TxManagerConfig firestarter_config(double threshold = 0.01,
                                           std::uint32_t sample = 4) {
-  TxManagerConfig c;
-  c.policy.kind = PolicyKind::kAdaptive;
+  TxManagerConfig c = apps::named_policy_config("firestarter");
   c.policy.abort_threshold = threshold;
   c.policy.sample_size = sample;
-  c.htm.interrupt_abort_per_store = 1e-4;
   return c;
 }
 

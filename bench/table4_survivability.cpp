@@ -1,13 +1,15 @@
 // Table IV: crash-recovery effectiveness against injected faults.
 //
-// Fail-stop campaign: one persistent fatal fault per experiment, one
-// experiment per workload-executed non-critical feature block (§VI-B).
-// Fail-silent campaign: latent faults (bit flips / corrupted bytes), one
-// per experiment, observing whether they ever crash and whether crashes
-// are recovered.
+// Thin consumer of the campaign engine: this binary runs the checked-in
+// bench/campaigns/table4.json spec (embedded at build time — the same
+// spec `fir_campaign --spec table4` runs) and prints the paper-shaped
+// table. All sweep mechanics — site profiling, per-run seeds, forked
+// worker isolation, aggregation — live in src/campaign.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "campaign/builtin_specs.h"
+#include "campaign/orchestrator.h"
 #include "obs/cli.h"
 
 using namespace fir;
@@ -20,49 +22,56 @@ int main(int argc, char** argv) {
       "Table IV: FIRestarter's crash recovery effectiveness against\n"
       "injected faults (paper fail-stop recovered: Nginx 10/10,\n"
       "Apache 4/4, Lighttpd 29/41, Redis 9/10, PostgreSQL 22/27;\n"
-      "fail-silent: 79 injected, 2 crashes, both recovered).\n\n");
+      "fail-silent: 79 injected, 2 crashes, both recovered).\n"
+      "Spec: bench/campaigns/table4.json (fir_campaign --spec table4).\n\n");
+
+  campaign::CampaignSpec spec;
+  std::string error;
+  if (!campaign::parse_campaign_spec(campaign::builtin_spec("table4"), &spec,
+                                     &error)) {
+    std::fprintf(stderr, "table4 spec invalid: %s\n", error.c_str());
+    return 1;
+  }
+
+  campaign::OrchestratorOptions options;  // in-memory, forked workers
+  const campaign::CampaignOutcome outcome =
+      campaign::run_campaign_spec(spec, options);
 
   TextTable table;
   table.set_header({"Server", "FS inj", "FS recovered", "FS rate",
                     "FSil inj", "FSil crashes", "FSil recovered"});
-  bool pass = true;
-  int silent_crashes_total = 0;
+  std::uint64_t silent_crashes_total = 0;
   for (const std::string& name : server_names()) {
-    const ServerFactory factory = factory_for(name, firestarter_config());
-    const CampaignResult fail_stop =
-        run_campaign(factory, FaultType::kPersistentCrash);
-    const CampaignResult fail_silent =
-        run_campaign(factory, FaultType::kLatentCorruption);
-
-    int silent_crashes = 0, silent_recovered = 0;
-    for (const ExperimentRecord& e : fail_silent.experiments) {
-      if (e.crashed) {
-        ++silent_crashes;
-        if (e.recovered) ++silent_recovered;
-      }
+    const campaign::MatrixCell* fail_stop = nullptr;
+    const campaign::MatrixCell* fail_silent = nullptr;
+    for (const campaign::MatrixCell& cell : outcome.aggregate.cells) {
+      if (cell.server != name) continue;
+      if (cell.fault == "persistent-crash") fail_stop = &cell;
+      if (cell.fault == "latent-corruption") fail_silent = &cell;
     }
-    silent_crashes_total += silent_crashes;
-
-    const double rate =
-        fail_stop.crashes() > 0
-            ? static_cast<double>(fail_stop.recovered()) /
-                  static_cast<double>(fail_stop.crashes())
-            : 0.0;
-    table.add_row({paper_name(name), std::to_string(fail_stop.injected()),
-                   std::to_string(fail_stop.recovered()),
-                   format_percent(rate, 0),
-                   std::to_string(fail_silent.injected()),
-                   std::to_string(silent_crashes),
-                   silent_crashes > 0 ? std::to_string(silent_recovered)
-                                      : std::string("-")});
-    // Shape: recovery rate at least 70% everywhere (paper: 70-100%).
-    pass &= rate >= 0.70;
+    if (fail_stop == nullptr || fail_silent == nullptr) {
+      std::fprintf(stderr, "table4: no campaign cells for %s\n",
+                   name.c_str());
+      return 1;
+    }
+    silent_crashes_total += fail_silent->crashed;
+    table.add_row(
+        {paper_name(name), std::to_string(fail_stop->injected),
+         std::to_string(fail_stop->recovered),
+         format_percent(fail_stop->survivability(), 0),
+         std::to_string(fail_silent->injected),
+         std::to_string(fail_silent->crashed),
+         fail_silent->crashed > 0 ? std::to_string(fail_silent->recovered)
+                                  : std::string("-")});
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("Fail-silent crashes across all servers: %d "
+  std::printf("Fail-silent crashes across all servers: %llu "
               "(paper: 2 of 79 — rare)\n",
-              silent_crashes_total);
+              static_cast<unsigned long long>(silent_crashes_total));
   std::printf("Shape check (fail-stop recovery >= 70%% per server): %s\n",
-              pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+              outcome.passed ? "PASS" : "FAIL");
+  if (!outcome.passed) {
+    std::printf("  %s\n", outcome.failure.c_str());
+  }
+  return outcome.passed ? 0 : 1;
 }

@@ -1,0 +1,104 @@
+#include "apps/registry.h"
+
+#include <cstdio>
+
+#include "apps/apachette.h"
+#include "apps/littlehttpd.h"
+#include "apps/miniginx.h"
+#include "apps/minikv.h"
+#include "apps/minipg.h"
+
+namespace fir::apps {
+
+const std::vector<std::string>& server_names() {
+  static const std::vector<std::string> names = {
+      "miniginx", "apachette", "littlehttpd", "minikv", "minipg"};
+  return names;
+}
+
+bool is_server_name(const std::string& name) {
+  for (const std::string& n : server_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::string paper_server_name(const std::string& name) {
+  if (name == "miniginx") return "Nginx";
+  if (name == "apachette") return "Apache";
+  if (name == "littlehttpd") return "Lighttpd";
+  if (name == "minikv") return "Redis";
+  if (name == "minipg") return "PostgreSQL";
+  return name;
+}
+
+std::unique_ptr<Server> make_server(const std::string& name,
+                                    const TxManagerConfig& config) {
+  if (name == "miniginx") return std::make_unique<Miniginx>(config);
+  if (name == "apachette") return std::make_unique<Apachette>(config);
+  if (name == "littlehttpd") return std::make_unique<Littlehttpd>(config);
+  if (name == "minikv") return std::make_unique<Minikv>(config);
+  if (name == "minipg") return std::make_unique<Minipg>(config);
+  return nullptr;
+}
+
+std::unique_ptr<Server> make_started_server(const std::string& name,
+                                            const TxManagerConfig& config) {
+  std::unique_ptr<Server> server = make_server(name, config);
+  if (server == nullptr) {
+    std::fprintf(stderr, "apps: unknown server '%s'\n", name.c_str());
+    return nullptr;
+  }
+  const Status status = server->start(0);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "apps: cannot start %s: %s\n", name.c_str(),
+                 status.to_string().c_str());
+    server.reset();
+  }
+  return server;
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {
+      "vanilla", "htm-only", "stm-only", "naive-htm", "manual", "firestarter"};
+  return names;
+}
+
+TxManagerConfig named_policy_config(const std::string& name, bool* ok) {
+  if (ok != nullptr) *ok = true;
+  TxManagerConfig c;
+  if (name == "vanilla") {
+    c.policy.kind = PolicyKind::kUnprotected;
+    return c;
+  }
+  if (name == "htm-only") {
+    c.policy.kind = PolicyKind::kHtmOnly;
+    c.htm.interrupt_abort_per_store = 1e-4;
+    return c;
+  }
+  if (name == "stm-only") {
+    c.policy.kind = PolicyKind::kStmOnly;
+    return c;
+  }
+  if (name == "naive-htm") {
+    c.policy.kind = PolicyKind::kNaiveHtm;
+    c.htm.interrupt_abort_per_store = 1e-4;
+    return c;
+  }
+  if (name == "manual") {
+    c.policy.kind = PolicyKind::kManual;
+    c.policy.manual_stm_functions = {"malloc", "calloc", "posix_memalign",
+                                     "fcntl64", "pread"};
+    c.htm.interrupt_abort_per_store = 1e-4;
+    return c;
+  }
+  // The full system (adaptive hybrid) is the default.
+  if (ok != nullptr) *ok = name == "firestarter";
+  c.policy.kind = PolicyKind::kAdaptive;
+  c.policy.abort_threshold = 0.01;
+  c.policy.sample_size = 4;
+  c.htm.interrupt_abort_per_store = 1e-4;
+  return c;
+}
+
+}  // namespace fir::apps

@@ -1,0 +1,48 @@
+// Campaign-addressable server registry.
+//
+// The fault-injection campaign engine (src/campaign) and the bench
+// harnesses address the evaluated server fleet by name: a campaign config
+// says `"server": "minikv"` and a worker process must be able to build and
+// start exactly that server under exactly the configured policy. This
+// registry is the one name → factory mapping both layers share; the bench
+// helpers in bench/bench_util.h delegate here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/server.h"
+
+namespace fir::apps {
+
+/// The evaluated server fleet, paper order.
+const std::vector<std::string>& server_names();
+
+/// True when `name` is a registered server.
+bool is_server_name(const std::string& name);
+
+/// Paper-system name for a mini server ("miniginx" → "Nginx"); returns
+/// `name` unchanged when unknown.
+std::string paper_server_name(const std::string& name);
+
+/// Constructs the named server (not started). Null for unknown names.
+std::unique_ptr<Server> make_server(const std::string& name,
+                                    const TxManagerConfig& config);
+
+/// Constructs AND starts the named server on its default port. Null (with
+/// a stderr diagnostic) when the name is unknown or start() fails.
+std::unique_ptr<Server> make_started_server(const std::string& name,
+                                            const TxManagerConfig& config);
+
+/// The evaluation's named policy configurations (DESIGN.md §4 / Fig. 7
+/// columns): "vanilla", "htm-only", "stm-only", "naive-htm", "manual",
+/// "firestarter". Campaign configs select them by name; `ok` (optional)
+/// reports whether the name was recognized — on failure the returned
+/// config is the firestarter default.
+TxManagerConfig named_policy_config(const std::string& name,
+                                    bool* ok = nullptr);
+
+const std::vector<std::string>& policy_names();
+
+}  // namespace fir::apps

@@ -1,0 +1,219 @@
+#include "campaign/aggregate.h"
+
+#include <sstream>
+
+#include "apps/registry.h"
+#include "common/table.h"
+#include "obs/export.h"
+
+namespace fir::campaign {
+
+namespace {
+
+MatrixCell& cell_for(std::vector<MatrixCell>& cells, const std::string& server,
+                     const std::string& policy, const std::string& fault) {
+  for (MatrixCell& cell : cells) {
+    if (cell.server == server && cell.policy == policy &&
+        cell.fault == fault) {
+      return cell;
+    }
+  }
+  MatrixCell cell;
+  cell.server = server;
+  cell.policy = policy;
+  cell.fault = fault;
+  cells.push_back(std::move(cell));
+  return cells.back();
+}
+
+BaselineCell& baseline_for(std::vector<BaselineCell>& cells,
+                           const std::string& server,
+                           const std::string& policy) {
+  for (BaselineCell& cell : cells) {
+    if (cell.server == server && cell.policy == policy) return cell;
+  }
+  BaselineCell cell;
+  cell.server = server;
+  cell.policy = policy;
+  cells.push_back(std::move(cell));
+  return cells.back();
+}
+
+void add_cell(MatrixCell& into, const MatrixCell& cell) {
+  into.injected += cell.injected;
+  into.triggered += cell.triggered;
+  into.crashed += cell.crashed;
+  into.recovered += cell.recovered;
+  into.fatal += cell.fatal;
+  into.double_faults += cell.double_faults;
+  into.worker_deaths += cell.worker_deaths;
+  into.diversions += cell.diversions;
+  into.retries += cell.retries;
+}
+
+void cell_json(const MatrixCell& cell, std::ostringstream& os) {
+  os << "{\"server\":\"" << obs::json_escape(cell.server) << "\",\"policy\":\""
+     << obs::json_escape(cell.policy) << "\",\"fault\":\""
+     << obs::json_escape(cell.fault) << "\",\"injected\":" << cell.injected
+     << ",\"triggered\":" << cell.triggered << ",\"crashed\":" << cell.crashed
+     << ",\"recovered\":" << cell.recovered << ",\"fatal\":" << cell.fatal
+     << ",\"double_faults\":" << cell.double_faults
+     << ",\"worker_deaths\":" << cell.worker_deaths
+     << ",\"diversions\":" << cell.diversions
+     << ",\"retries\":" << cell.retries << ",\"survivability\":"
+     << format_double(cell.survivability(), 4) << '}';
+}
+
+}  // namespace
+
+std::vector<MatrixCell> Aggregate::fail_stop_rows() const {
+  std::vector<MatrixCell> rows;
+  for (const MatrixCell& cell : cells) {
+    FaultType type;
+    if (!fault_type_from_name(cell.fault, &type) || !is_fail_stop(type)) {
+      continue;
+    }
+    MatrixCell& row = cell_for(rows, cell.server, cell.policy, "fail-stop");
+    add_cell(row, cell);
+  }
+  return rows;
+}
+
+Aggregate aggregate_records(const std::vector<RunRecord>& records) {
+  Aggregate agg;
+  agg.runs = records.size();
+  for (const RunRecord& record : records) {
+    if (record.spec.baseline) {
+      BaselineCell& cell = baseline_for(agg.baselines, record.spec.server,
+                                        record.spec.policy_label);
+      ++cell.runs;
+      if (record.outcome == "baseline-ok") ++cell.ok;
+      continue;
+    }
+    MatrixCell& cell =
+        cell_for(agg.cells, record.spec.server, record.spec.policy_label,
+                 std::string(fault_type_name(record.spec.fault)));
+    ++cell.injected;
+    if (record.triggered) ++cell.triggered;
+    if (record.crashed) ++cell.crashed;
+    if (record.recovered) ++cell.recovered;
+    if (record.fatal) ++cell.fatal;
+    if (record.double_fault) ++cell.double_faults;
+    if (record.outcome == "worker-died" || record.outcome == "lost-record") {
+      ++cell.worker_deaths;
+    }
+    cell.diversions += record.diversions;
+    cell.retries += record.retries;
+  }
+  return agg;
+}
+
+std::string render_table4(const Aggregate& agg) {
+  TextTable table;
+  table.set_header({"Server", "Policy", "Injected", "Triggered", "Crashed",
+                    "Recovered", "Fatal", "Survivability"});
+  for (const MatrixCell& row : agg.fail_stop_rows()) {
+    table.add_row({std::string(apps::paper_server_name(row.server)),
+                   row.policy, std::to_string(row.injected),
+                   std::to_string(row.triggered), std::to_string(row.crashed),
+                   std::to_string(row.recovered), std::to_string(row.fatal),
+                   format_percent(row.survivability())});
+  }
+  return table.render();
+}
+
+std::string render_matrices(const Aggregate& agg) {
+  std::ostringstream os;
+  os << "Per-fault matrix (server x policy x fault)\n";
+  TextTable matrix;
+  matrix.set_header({"Server", "Policy", "Fault", "Inj", "Trig", "Crash",
+                     "Recov", "Fatal", "DblF", "Divert", "Retry", "Surv"});
+  for (const MatrixCell& cell : agg.cells) {
+    matrix.add_row(
+        {cell.server, cell.policy, cell.fault, std::to_string(cell.injected),
+         std::to_string(cell.triggered), std::to_string(cell.crashed),
+         std::to_string(cell.recovered), std::to_string(cell.fatal),
+         std::to_string(cell.double_faults), std::to_string(cell.diversions),
+         std::to_string(cell.retries), format_percent(cell.survivability())});
+  }
+  os << matrix.render();
+  if (!agg.baselines.empty()) {
+    os << "\nBaselines (fault-free harness validation)\n";
+    TextTable base;
+    base.set_header({"Server", "Policy", "Runs", "OK"});
+    for (const BaselineCell& cell : agg.baselines) {
+      base.add_row({cell.server, cell.policy, std::to_string(cell.runs),
+                    std::to_string(cell.ok)});
+    }
+    os << base.render();
+  }
+  return os.str();
+}
+
+std::string matrix_json(const Aggregate& agg) {
+  std::ostringstream os;
+  os << "{\"runs\":" << agg.runs << ",\"cells\":[";
+  bool first = true;
+  for (const MatrixCell& cell : agg.cells) {
+    if (!first) os << ',';
+    first = false;
+    cell_json(cell, os);
+  }
+  os << "],\"fail_stop\":[";
+  first = true;
+  for (const MatrixCell& row : agg.fail_stop_rows()) {
+    if (!first) os << ',';
+    first = false;
+    cell_json(row, os);
+  }
+  os << "],\"baselines\":[";
+  first = true;
+  for (const BaselineCell& cell : agg.baselines) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"server\":\"" << obs::json_escape(cell.server)
+       << "\",\"policy\":\"" << obs::json_escape(cell.policy)
+       << "\",\"runs\":" << cell.runs << ",\"ok\":" << cell.ok << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool campaign_passed(const Aggregate& agg, double min_survivability,
+                     std::string* why) {
+  bool passed = true;
+  auto fail = [&](const std::string& message) {
+    passed = false;
+    if (why != nullptr) {
+      if (!why->empty()) *why += "; ";
+      *why += message;
+    }
+  };
+  for (const BaselineCell& cell : agg.baselines) {
+    if (cell.ok != cell.runs) {
+      fail(cell.server + "/" + cell.policy + ": " +
+           std::to_string(cell.runs - cell.ok) + " baseline run(s) failed");
+    }
+  }
+  for (const MatrixCell& cell : agg.cells) {
+    if (cell.worker_deaths > 0) {
+      fail(cell.server + "/" + cell.policy + "/" + cell.fault + ": " +
+           std::to_string(cell.worker_deaths) + " worker death(s)");
+    }
+  }
+  if (min_survivability > 0) {
+    for (const MatrixCell& row : agg.fail_stop_rows()) {
+      if (row.crashed == 0) {
+        fail(row.server + "/" + row.policy +
+             ": no fail-stop fault ever crashed (nothing measured)");
+      } else if (row.survivability() < min_survivability) {
+        fail(row.server + "/" + row.policy + ": survivability " +
+             format_percent(row.survivability()) + " below gate " +
+             format_percent(min_survivability));
+      }
+    }
+  }
+  return passed;
+}
+
+}  // namespace fir::campaign

@@ -1,0 +1,80 @@
+// Campaign aggregation: run records → survivability / divert /
+// double-fault matrices and the regenerated Table IV.
+//
+// Aggregation is pure over the record list and ordered by run index, so
+// the same results.jsonl renders the same matrices no matter how many
+// workers produced it or in what order their slot files landed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace fir::campaign {
+
+/// One (server × policy × fault) cell of the campaign matrices.
+struct MatrixCell {
+  std::string server;
+  std::string policy;
+  std::string fault;  // fault_type_name
+  std::uint64_t injected = 0;   // experiment runs in the cell
+  std::uint64_t triggered = 0;  // armed fault fired
+  std::uint64_t crashed = 0;    // crash reached the recovery runtime
+  std::uint64_t recovered = 0;  // server survived and kept serving
+  std::uint64_t fatal = 0;      // FatalCrashError ended the run
+  std::uint64_t double_faults = 0;
+  std::uint64_t worker_deaths = 0;  // worker-died / lost-record outcomes
+  std::uint64_t diversions = 0;
+  std::uint64_t retries = 0;
+
+  /// Table IV survivability: recovered / crashed (1.0 when nothing
+  /// crashed — no opportunity to fail).
+  double survivability() const {
+    return crashed > 0 ? static_cast<double>(recovered) /
+                             static_cast<double>(crashed)
+                       : 1.0;
+  }
+};
+
+/// Baseline accounting per (server × policy).
+struct BaselineCell {
+  std::string server;
+  std::string policy;
+  std::uint64_t runs = 0;
+  std::uint64_t ok = 0;
+};
+
+struct Aggregate {
+  /// Cells in first-appearance (plan) order.
+  std::vector<MatrixCell> cells;
+  std::vector<BaselineCell> baselines;
+  std::uint64_t runs = 0;
+
+  /// Rows collapsed over fail-stop faults only (persistent/transient/real
+  /// crashes) for one (server × policy) — the Table IV pass gate input.
+  std::vector<MatrixCell> fail_stop_rows() const;
+};
+
+/// Folds records (any order) into the matrices.
+Aggregate aggregate_records(const std::vector<RunRecord>& records);
+
+/// The paper-shaped Table IV: one row per (server × policy), fail-stop
+/// faults collapsed, with injected/crashed/recovered/survivability
+/// columns. Server names are rendered via apps::paper_server_name.
+std::string render_table4(const Aggregate& agg);
+
+/// Full per-fault matrix plus baseline table (the campaign report body).
+std::string render_matrices(const Aggregate& agg);
+
+/// Machine-readable aggregate (matrix.json): cells, baselines, totals.
+std::string matrix_json(const Aggregate& agg);
+
+/// Pass gate: every baseline ok, no worker deaths, and every fail-stop
+/// (server × policy) row at or above `min_survivability` (0 disables the
+/// survivability check). Appends human-readable failures to `why`.
+bool campaign_passed(const Aggregate& agg, double min_survivability,
+                     std::string* why);
+
+}  // namespace fir::campaign

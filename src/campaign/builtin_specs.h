@@ -1,0 +1,18 @@
+// Built-in campaign specs: bench/campaigns/*.json embedded at configure
+// time so the CLI and the table4 bench binary share ONE source of truth
+// with the checked-in spec files (no runtime path resolution needed).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fir::campaign {
+
+/// Returns the embedded JSON text of a named built-in spec ("table4",
+/// "smoke"), or nullptr when unknown.
+const char* builtin_spec(std::string_view name);
+
+std::vector<std::string> builtin_spec_names();
+
+}  // namespace fir::campaign

@@ -1,0 +1,363 @@
+#include "campaign/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace fir::campaign {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  Json run() {
+    Json value = parse_value();
+    if (failed_) return Json();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the document");
+      return Json();
+    }
+    return value;
+  }
+
+ private:
+  Json parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return Json();
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+      case 'f': return parse_literal();
+      case 'n': expect_word("null"); return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (!failed_) {
+      skip_ws();
+      if (peek() != '"') {
+        fail("expected object key string");
+        break;
+      }
+      std::string key = parse_string();
+      if (failed_) break;
+      if (out.find(key) != nullptr) {
+        fail("duplicate key \"" + key + "\"");
+        break;
+      }
+      skip_ws();
+      if (!consume(':')) break;
+      Json value = parse_value();
+      if (failed_) break;
+      out.object_items().emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      consume('}');
+      break;
+    }
+    return out;
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (!failed_) {
+      Json value = parse_value();
+      if (failed_) break;
+      out.array_items().push_back(std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      consume(']');
+      break;
+    }
+    return out;
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') break;  // unterminated on this line
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return out;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape digit");
+              return out;
+            }
+          }
+          // UTF-8 encode the BMP code point (configs are ASCII in
+          // practice; surrogate pairs are out of scope and kept verbatim).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape"); return out;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        !std::isfinite(value)) {
+      fail("malformed number '" + token + "'");
+      return Json();
+    }
+    return Json::number(value);
+  }
+
+  Json parse_literal() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json::boolean(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json::boolean(false);
+    }
+    fail("unknown literal");
+    return Json();
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return;
+    }
+    fail("unknown literal");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+        continue;
+      }
+      // // and /* */ comments: campaign configs are hand-edited; the FIJ
+      // exemplar's config.json uses comments too.
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = pos_ + 2 <= text_.size() ? pos_ + 2 : text_.size();
+        continue;
+      }
+      break;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char expected) {
+    if (peek() == expected) {
+      ++pos_;
+      return true;
+    }
+    fail(std::string("expected '") + expected + "'");
+    return false;
+  }
+
+  void fail(const std::string& message) {
+    if (failed_) return;
+    failed_ = true;
+    if (error_ != nullptr) {
+      *error_ = "line " + std::to_string(line_) + ": " + message;
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool failed_ = false;
+};
+
+void dump_to(const Json& v, std::ostringstream& os) {
+  switch (v.type()) {
+    case Json::Type::kNull: os << "null"; break;
+    case Json::Type::kBool: os << (v.bool_value() ? "true" : "false"); break;
+    case Json::Type::kNumber: {
+      const double d = v.number_value();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        os << static_cast<std::int64_t>(d);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        os << buf;
+      }
+      break;
+    }
+    case Json::Type::kString:
+      os << '"' << obs::json_escape(v.string_value()) << '"';
+      break;
+    case Json::Type::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Json& item : v.array_items()) {
+        if (!first) os << ',';
+        first = false;
+        dump_to(item, os);
+      }
+      os << ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object_items()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << obs::json_escape(key) << "\":";
+        dump_to(value, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json Json::parse(std::string_view text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  dump_to(*this, os);
+  return os.str();
+}
+
+}  // namespace fir::campaign

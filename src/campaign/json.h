@@ -1,0 +1,81 @@
+// Minimal JSON document model for the campaign engine.
+//
+// The repo's obs layer WRITES JSON (exporters); campaign configs and the
+// aggregation of per-run JSONL records additionally need to READ it. This
+// is a small recursive-descent parser over an ordered value tree — no
+// external dependency, keys keep file order (campaign plans are rendered
+// back deterministically), duplicate keys are a parse error (config typos
+// must not silently lose a knob).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fir::campaign {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; lookup is linear (configs are tens of keys).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  /// Parses one JSON document (trailing garbage is an error). On failure
+  /// returns a kNull value and sets `error` to "line L: message".
+  static Json parse(std::string_view text, std::string* error);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  std::int64_t int_value() const { return static_cast<std::int64_t>(number_); }
+  std::uint64_t uint_value() const {
+    return static_cast<std::uint64_t>(number_);
+  }
+  const std::string& string_value() const { return string_; }
+  const Array& array_items() const { return array_; }
+  Array& array_items() { return array_; }
+  const Object& object_items() const { return object_; }
+  Object& object_items() { return object_; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Compact single-line rendering (stable: preserves object key order,
+  /// integral numbers print without a decimal point).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace fir::campaign

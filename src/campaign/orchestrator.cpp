@@ -1,0 +1,262 @@
+#include "campaign/orchestrator.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "apps/registry.h"
+#include "core/crash.h"
+#include "workload/campaign.h"
+
+namespace fir::campaign {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slot_path(const std::string& slot_dir, std::uint64_t run) {
+  return slot_dir + "/run_" + std::to_string(run) + ".json";
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+/// Synthesizes the record for a run whose worker died before writing its
+/// slot file. Exit kDoubleFaultExitCode is the recovery runtime's own
+/// backstop — a real experiment outcome; anything else is harness failure.
+RunRecord death_record(const RunSpec& spec, int wait_status) {
+  RunRecord record;
+  record.spec = spec;
+  if (WIFEXITED(wait_status) &&
+      WEXITSTATUS(wait_status) == kDoubleFaultExitCode) {
+    record.outcome = "double-fault";
+    record.triggered = true;
+    record.crashed = true;
+    record.double_fault = true;
+    record.death_reason = "worker _exit(70): fault during recovery";
+  } else {
+    record.outcome = "worker-died";
+    std::ostringstream os;
+    if (WIFSIGNALED(wait_status)) {
+      os << "worker killed by signal " << WTERMSIG(wait_status);
+    } else if (WIFEXITED(wait_status)) {
+      os << "worker exited " << WEXITSTATUS(wait_status);
+    } else {
+      os << "worker wait status " << wait_status;
+    }
+    record.death_reason = os.str();
+  }
+  return record;
+}
+
+/// Reads one slot file back; falls back to lost-record on any failure.
+RunRecord read_slot(const std::string& slot_dir, const RunSpec& spec) {
+  std::ifstream in(slot_path(slot_dir, spec.run));
+  std::string line;
+  if (in && std::getline(in, line) && !line.empty()) {
+    std::string parse_error;
+    const Json json = Json::parse(line, &parse_error);
+    RunRecord record;
+    std::string record_error;
+    if (parse_error.empty() &&
+        record_from_json(json, &record, &record_error)) {
+      // Trust the plan for identity fields; the slot file only reports.
+      record.spec = spec;
+      return record;
+    }
+  }
+  RunRecord record;
+  record.spec = spec;
+  record.outcome = "lost-record";
+  record.death_reason = "worker exited 0 but its record is missing/corrupt";
+  return record;
+}
+
+void run_forked(const std::vector<RunSpec>& plan, int workers,
+                const std::string& slot_dir, bool verbose,
+                std::vector<RunRecord>* records) {
+  std::size_t next = 0;
+  std::map<pid_t, std::size_t> live;  // pid -> plan index
+  const auto spawn = [&]() -> bool {
+    if (next >= plan.size()) return false;
+    const std::size_t index = next++;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Fork pressure: degrade to running this one in-process.
+      (*records)[index] = execute_run(plan[index]);
+      return true;
+    }
+    if (pid == 0) {
+      const RunRecord record = execute_run(plan[index]);
+      write_file(slot_path(slot_dir, plan[index].run), record_jsonl(record));
+      ::_exit(0);
+    }
+    live.emplace(pid, index);
+    return true;
+  };
+  for (int i = 0; i < workers && spawn(); ++i) {
+  }
+  while (!live.empty()) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) break;
+    const auto it = live.find(pid);
+    if (it == live.end()) continue;
+    const std::size_t index = it->second;
+    live.erase(it);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      (*records)[index] = read_slot(slot_dir, plan[index]);
+    } else {
+      (*records)[index] = death_record(plan[index], status);
+    }
+    if (verbose) {
+      std::fprintf(stderr, "[campaign] run %zu/%zu %s\n", index + 1,
+                   plan.size(), (*records)[index].outcome.c_str());
+    }
+    spawn();
+  }
+}
+
+}  // namespace
+
+std::vector<Marker> profile_target(const TargetSpec& target,
+                                   const PolicySpec& policy) {
+  // Profiling ignores the policy's env knobs: the marker set a workload
+  // executes is a property of the server + suite, not of the recovery
+  // configuration, and keeping it env-free keeps the plan deterministic.
+  const TxManagerConfig config = apps::named_policy_config(policy.name);
+  return profile_markers(
+      [&] { return apps::make_started_server(target.server, config); },
+      target.suite_iterations, target.sites);
+}
+
+CampaignOutcome run_campaign_spec(const CampaignSpec& spec,
+                                  const OrchestratorOptions& options,
+                                  bool verbose) {
+  CampaignSpec effective = spec;
+  if (options.seed != 0) effective.seed = options.seed;
+  if (options.workers > 0) effective.workers = options.workers;
+
+  // Profile ONCE in the parent, before any fork: every worker count sees
+  // the identical plan, which is what makes --workers 1 == --workers 8.
+  const std::vector<RunSpec> plan =
+      expand_plan(effective, profile_target);
+  if (verbose) {
+    std::fprintf(stderr, "[campaign] %s: %zu runs, %d workers\n",
+                 effective.name.c_str(), plan.size(), effective.workers);
+  }
+
+  const bool persist = !options.out_dir.empty();
+  std::string slot_dir;
+  if (persist) {
+    slot_dir = options.out_dir + "/runs";
+    fs::create_directories(slot_dir);
+    std::ostringstream plan_text;
+    for (const RunSpec& run : plan) plan_text << run_spec_jsonl(run) << '\n';
+    write_file(options.out_dir + "/plan.jsonl", plan_text.str());
+  } else if (!options.in_process) {
+    // Forked workers need slot files even for in-memory campaigns.
+    char tmpl[] = "/tmp/fir_campaign_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    slot_dir = dir != nullptr ? dir : ".";
+  }
+
+  CampaignOutcome outcome;
+  outcome.records.resize(plan.size());
+  if (options.in_process || effective.workers <= 1) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (options.in_process) {
+        outcome.records[i] = execute_run(plan[i]);
+      } else {
+        // Single worker still forks: a double fault must not kill the
+        // campaign even at --workers 1.
+        std::vector<RunSpec> one(plan.begin() + static_cast<long>(i),
+                                 plan.begin() + static_cast<long>(i) + 1);
+        std::vector<RunRecord> slot(1);
+        run_forked(one, 1, slot_dir, false, &slot);
+        outcome.records[i] = std::move(slot[0]);
+      }
+      if (verbose) {
+        std::fprintf(stderr, "[campaign] run %zu/%zu %s\n", i + 1,
+                     plan.size(), outcome.records[i].outcome.c_str());
+      }
+    }
+  } else {
+    run_forked(plan, effective.workers, slot_dir, verbose, &outcome.records);
+  }
+  if (!persist && !slot_dir.empty() && slot_dir != ".") {
+    std::error_code ec;
+    fs::remove_all(slot_dir, ec);
+  }
+
+  outcome.aggregate = aggregate_records(outcome.records);
+  outcome.passed =
+      campaign_passed(outcome.aggregate,
+                      effective.min_fail_stop_survivability,
+                      &outcome.failure);
+
+  if (persist) {
+    std::ostringstream results;
+    for (const RunRecord& record : outcome.records) {
+      results << record_jsonl(record) << '\n';
+    }
+    write_file(options.out_dir + "/results.jsonl", results.str());
+    write_file(options.out_dir + "/matrix.json",
+               matrix_json(outcome.aggregate) + "\n");
+    std::ostringstream report;
+    report << "# Campaign report: " << effective.name << "\n\n"
+           << "- runs: " << outcome.records.size()
+           << "\n- seed: " << effective.seed
+           << "\n- workers: " << effective.workers
+           << "\n- result: " << (outcome.passed ? "PASS" : "FAIL");
+    if (!outcome.passed) report << " (" << outcome.failure << ")";
+    report << "\n\n## Table IV (fail-stop survivability)\n\n```\n"
+           << render_table4(outcome.aggregate) << "```\n\n## Matrices\n\n```\n"
+           << render_matrices(outcome.aggregate) << "```\n";
+    write_file(options.out_dir + "/report.md", report.str());
+  }
+  return outcome;
+}
+
+bool load_results_jsonl(const std::string& text,
+                        std::vector<RunRecord>* out, std::string* error) {
+  out->clear();
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const Json json = Json::parse(line, &parse_error);
+    if (!parse_error.empty()) {
+      if (error != nullptr) {
+        *error = "results line " + std::to_string(line_number) + ": " +
+                 parse_error;
+      }
+      return false;
+    }
+    RunRecord record;
+    std::string record_error;
+    if (!record_from_json(json, &record, &record_error)) {
+      if (error != nullptr) {
+        *error = "results line " + std::to_string(line_number) + ": " +
+                 record_error;
+      }
+      return false;
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace fir::campaign

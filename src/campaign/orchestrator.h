@@ -1,0 +1,68 @@
+// Campaign orchestrator: plan expansion, the forked worker pool, and
+// result persistence.
+//
+// Process model (the reason campaigns survive their own experiments):
+// the parent profiles every (target, policy) pair ONCE, expands the full
+// plan, then fans run indices out to N forked worker children. Each child
+// executes exactly one run in-process, writes its record to a private slot
+// file (runs/run_<index>.json) and _exit(0)s. A double fault — the
+// recovery runtime's _exit(70) backstop — therefore kills one run, not the
+// campaign: the parent reaps the child via waitpid, classifies the exit
+// status (0 = record on disk, kDoubleFaultExitCode = double-fault record,
+// anything else = worker-died) and keeps scheduling.
+//
+// Determinism: run identity is plan position and every run's seed is
+// split_seed(campaign_seed, index), so aggregate results are identical for
+// --workers 1 and --workers 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+
+namespace fir::campaign {
+
+struct OrchestratorOptions {
+  /// Result directory. Layout (docs/CAMPAIGNS.md):
+  ///   plan.jsonl      one line per planned run (pre-execution)
+  ///   runs/run_N.json worker slot files (one record each)
+  ///   results.jsonl   all records, ordered by run index
+  ///   matrix.json     machine-readable aggregate
+  ///   report.md       rendered Table IV + per-fault matrices
+  /// Empty = keep everything in memory, write nothing.
+  std::string out_dir;
+  /// Worker process count; <= 0 uses the spec's `workers`.
+  int workers = 0;
+  /// Runs every run in the calling process instead of forking. For tests
+  /// and --run-index debugging; a double fault then kills the campaign.
+  bool in_process = false;
+  /// Campaign seed override; 0 keeps the spec's seed.
+  std::uint64_t seed = 0;
+};
+
+struct CampaignOutcome {
+  std::vector<RunRecord> records;  // ordered by run index
+  Aggregate aggregate;
+  bool passed = false;
+  std::string failure;  // human-readable gate failures when !passed
+};
+
+/// Profiles targets with live servers (the production ProfileFn).
+std::vector<Marker> profile_target(const TargetSpec& target,
+                                   const PolicySpec& policy);
+
+/// Expands `spec` and executes the whole plan. Workloads print nothing;
+/// progress goes to stderr when `verbose`.
+CampaignOutcome run_campaign_spec(const CampaignSpec& spec,
+                                  const OrchestratorOptions& options,
+                                  bool verbose = false);
+
+/// Loads results.jsonl text (one record per line) back into records —
+/// the aggregation half of the pipeline, reusable over saved runs.
+bool load_results_jsonl(const std::string& text,
+                        std::vector<RunRecord>* out, std::string* error);
+
+}  // namespace fir::campaign

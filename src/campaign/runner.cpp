@@ -1,0 +1,224 @@
+#include "campaign/runner.h"
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+#include "apps/registry.h"
+#include "obs/export.h"
+#include "workload/campaign.h"
+#include "workload/drivers.h"
+
+namespace fir::campaign {
+
+namespace {
+
+/// setenv with restore: policy env knobs apply to exactly one run even in
+/// in-process mode (forked workers would not need the restore, but tests
+/// and --run-index share this path).
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const std::map<std::string, std::string>& vars) {
+    for (const auto& [key, value] : vars) {
+      const char* old = std::getenv(key.c_str());
+      saved_.emplace_back(key, old != nullptr
+                                   ? std::optional<std::string>(old)
+                                   : std::nullopt);
+      ::setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+  }
+  ~ScopedEnv() {
+    for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+      if (it->second.has_value()) {
+        ::setenv(it->first.c_str(), it->second->c_str(), 1);
+      } else {
+        ::unsetenv(it->first.c_str());
+      }
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+TxManagerConfig run_config(const RunSpec& spec) {
+  TxManagerConfig config = apps::named_policy_config(spec.policy.name);
+  if (spec.policy.abort_threshold > 0) {
+    config.policy.abort_threshold = spec.policy.abort_threshold;
+  }
+  if (spec.policy.sample_size > 0) {
+    config.policy.sample_size = spec.policy.sample_size;
+  }
+  if (spec.policy.max_crash_retries >= 0) {
+    config.max_crash_retries = spec.policy.max_crash_retries;
+  }
+  return config;
+}
+
+RunRecord execute_baseline(const RunSpec& spec) {
+  RunRecord record;
+  record.spec = spec;
+  std::unique_ptr<Server> server =
+      apps::make_started_server(spec.server, run_config(spec));
+  if (server == nullptr) {
+    record.outcome = "baseline-failed";
+    record.death_reason = "server construction failed";
+    record.fatal = true;
+    return record;
+  }
+  const WorkloadResult wl = run_suite_for(*server, spec.suite_iterations);
+  record.responses_2xx = wl.responses_2xx;
+  record.responses_5xx = wl.responses_5xx;
+  record.fatal = wl.server_died;
+  record.death_reason = wl.death_reason;
+  // A healthy baseline serves successes with ZERO recovery activity: any
+  // crash here is harness breakage, not an experiment result.
+  const std::uint64_t baseline_crashes =
+      server->fx().mgr().metrics().counter("recovery.crashes").value();
+  record.crashed = baseline_crashes > 0;
+  record.metrics_json =
+      obs::metrics_json_object(server->fx().mgr().metrics(), "recovery.");
+  const bool ok =
+      !wl.server_died && wl.responses_2xx > 0 && baseline_crashes == 0;
+  record.outcome = ok ? "baseline-ok" : "baseline-failed";
+  server->stop();
+  return record;
+}
+
+}  // namespace
+
+RunRecord execute_run(const RunSpec& spec) {
+  ScopedEnv env(spec.policy.env);
+  if (spec.baseline) return execute_baseline(spec);
+
+  Marker target;
+  target.name = spec.marker_name;
+  target.location = spec.marker_location;
+  const TxManagerConfig config = run_config(spec);
+  const ExperimentRecord experiment = run_experiment(
+      [&] { return apps::make_started_server(spec.server, config); }, target,
+      spec.fault, spec.suite_iterations, spec.seed);
+
+  RunRecord record;
+  record.spec = spec;
+  record.triggered = experiment.triggered;
+  record.crashed = experiment.crashed;
+  record.recovered = experiment.recovered;
+  record.fatal = experiment.fatal;
+  record.diversions = experiment.diversions;
+  record.retries = experiment.retries;
+  record.responses_2xx = experiment.responses_2xx;
+  record.responses_5xx = experiment.responses_5xx;
+  record.death_reason = experiment.death_reason;
+  if (!experiment.recovery_metrics_json.empty()) {
+    record.metrics_json = experiment.recovery_metrics_json;
+  }
+  if (experiment.fatal) {
+    record.outcome = "fatal";
+  } else if (experiment.recovered) {
+    record.outcome = "recovered";
+  } else if (experiment.crashed) {
+    record.outcome = "not-recovered";
+  } else if (experiment.triggered) {
+    record.outcome = "no-crash";
+  } else {
+    record.outcome = "not-triggered";
+  }
+  return record;
+}
+
+std::string record_jsonl(const RunRecord& record) {
+  std::ostringstream os;
+  // Prefix: the run's plan line minus its closing brace, so plan.jsonl and
+  // results.jsonl agree field-for-field on what was injected where.
+  const std::string spec_json = run_spec_jsonl(record.spec);
+  os << spec_json.substr(0, spec_json.size() - 1);
+  os << ",\"outcome\":\"" << obs::json_escape(record.outcome) << '"'
+     << ",\"triggered\":" << (record.triggered ? "true" : "false")
+     << ",\"crashed\":" << (record.crashed ? "true" : "false")
+     << ",\"recovered\":" << (record.recovered ? "true" : "false")
+     << ",\"fatal\":" << (record.fatal ? "true" : "false")
+     << ",\"double_fault\":" << (record.double_fault ? "true" : "false")
+     << ",\"diversions\":" << record.diversions
+     << ",\"retries\":" << record.retries
+     << ",\"responses_2xx\":" << record.responses_2xx
+     << ",\"responses_5xx\":" << record.responses_5xx;
+  if (!record.death_reason.empty()) {
+    os << ",\"death_reason\":\"" << obs::json_escape(record.death_reason)
+       << '"';
+  }
+  os << ",\"metrics\":" << record.metrics_json << '}';
+  return os.str();
+}
+
+bool record_from_json(const Json& json, RunRecord* out, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (!json.is_object()) return fail("record must be an object");
+  const Json* run = json.find("run");
+  const Json* kind = json.find("kind");
+  const Json* server = json.find("server");
+  const Json* outcome = json.find("outcome");
+  if (run == nullptr || !run->is_number()) return fail("missing run index");
+  if (kind == nullptr || !kind->is_string()) return fail("missing kind");
+  if (server == nullptr || !server->is_string()) {
+    return fail("missing server");
+  }
+  if (outcome == nullptr || !outcome->is_string()) {
+    return fail("missing outcome");
+  }
+  RunRecord record;
+  record.spec.run = run->uint_value();
+  record.spec.baseline = kind->string_value() == "baseline";
+  record.spec.server = server->string_value();
+  if (const Json* v = json.find("policy")) {
+    record.spec.policy_label = v->string_value();
+  }
+  if (const Json* v = json.find("fault")) {
+    if (!fault_type_from_name(v->string_value(), &record.spec.fault)) {
+      return fail("unknown fault \"" + v->string_value() + "\"");
+    }
+  }
+  if (const Json* v = json.find("marker")) {
+    record.spec.marker_name = v->string_value();
+  }
+  if (const Json* v = json.find("location")) {
+    record.spec.marker_location = v->string_value();
+  }
+  if (const Json* v = json.find("suite_iterations")) {
+    record.spec.suite_iterations = static_cast<int>(v->number_value());
+  }
+  if (const Json* v = json.find("seed")) record.spec.seed = v->uint_value();
+  record.outcome = outcome->string_value();
+  auto read_flag = [&](const char* key, bool* flag) {
+    if (const Json* v = json.find(key); v != nullptr && v->is_bool()) {
+      *flag = v->bool_value();
+    }
+  };
+  read_flag("triggered", &record.triggered);
+  read_flag("crashed", &record.crashed);
+  read_flag("recovered", &record.recovered);
+  read_flag("fatal", &record.fatal);
+  read_flag("double_fault", &record.double_fault);
+  auto read_count = [&](const char* key, std::uint64_t* count) {
+    if (const Json* v = json.find(key); v != nullptr && v->is_number()) {
+      *count = v->uint_value();
+    }
+  };
+  read_count("diversions", &record.diversions);
+  read_count("retries", &record.retries);
+  read_count("responses_2xx", &record.responses_2xx);
+  read_count("responses_5xx", &record.responses_5xx);
+  if (const Json* v = json.find("death_reason")) {
+    record.death_reason = v->string_value();
+  }
+  if (const Json* v = json.find("metrics"); v != nullptr && v->is_object()) {
+    record.metrics_json = v->dump();
+  }
+  *out = std::move(record);
+  return true;
+}
+
+}  // namespace fir::campaign

@@ -1,0 +1,62 @@
+// Single-run execution and the per-run JSONL record.
+//
+// One RunSpec = one process-isolated experiment. The worker child calls
+// execute_run(), writes record_jsonl() to its slot file and _exits; the
+// orchestrator parses the files back with record_from_json() and
+// aggregates. Records contain ONLY deterministic fields (virtual-clock
+// world, seeded workloads, no wall times), so a fixed (spec, seed) plan
+// produces byte-identical results.jsonl under any worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/json.h"
+#include "campaign/spec.h"
+
+namespace fir::campaign {
+
+/// Classified outcome of one run (the `outcome` record field).
+///   recovered        fault crashed; server survived and still serves
+///   not-recovered    fault crashed; server survived but the health probe
+///                    failed (availability lost without dying)
+///   fatal            FatalCrashError ended the faulty workload
+///   double-fault     worker exited with kDoubleFaultExitCode (70)
+///   no-crash         fault fired but never crashed (latent faults mostly)
+///   not-triggered    armed marker never executed under the workload
+///   worker-died      worker killed by a signal / unexpected exit code
+///   lost-record      worker exited 0 but its record is missing/corrupt
+///   baseline-ok / baseline-failed
+struct RunRecord {
+  RunSpec spec;
+  std::string outcome;
+  bool triggered = false;
+  bool crashed = false;
+  bool recovered = false;
+  bool fatal = false;
+  bool double_fault = false;
+  std::uint64_t diversions = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::string death_reason;
+  /// Flat {"recovery.*":n} object (obs::metrics_json_object) — the run's
+  /// recovery-counter snapshot; "{}" when the run never started a server.
+  std::string metrics_json = "{}";
+};
+
+/// Executes one run in the calling process: exports the policy's FIR_* env
+/// knobs (restoring them afterwards), builds the named server under the
+/// named policy preset, and runs the baseline suite or the single-fault
+/// experiment. May terminate the process through the double-fault path —
+/// callers that must survive that fork first (the orchestrator does).
+RunRecord execute_run(const RunSpec& spec);
+
+/// One-line JSON rendering of a record (results.jsonl / slot files).
+std::string record_jsonl(const RunRecord& record);
+
+/// Parses a record written by record_jsonl. Returns false on malformed
+/// input and sets `error`.
+bool record_from_json(const Json& json, RunRecord* out, std::string* error);
+
+}  // namespace fir::campaign

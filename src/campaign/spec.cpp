@@ -1,0 +1,391 @@
+#include "campaign/spec.h"
+
+#include <sstream>
+
+#include "apps/registry.h"
+#include "campaign/json.h"
+#include "common/rng.h"
+#include "obs/export.h"
+
+namespace fir::campaign {
+
+namespace {
+
+/// Collects the first schema error; later checks are skipped.
+struct Errors {
+  std::string* out;
+  bool failed = false;
+
+  void fail(const std::string& where, const std::string& message) {
+    if (failed) return;
+    failed = true;
+    if (out != nullptr) *out = where + ": " + message;
+  }
+};
+
+bool known_keys(const Json& object, std::initializer_list<const char*> keys,
+                const std::string& where, Errors& err) {
+  for (const auto& [key, value] : object.object_items()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : keys) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      err.fail(where, "unknown key \"" + key + "\"");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_string(const Json& parent, const char* key, std::string* out,
+                 const std::string& where, Errors& err) {
+  const Json* v = parent.find(key);
+  if (v == nullptr) return false;
+  if (!v->is_string()) {
+    err.fail(where, std::string(key) + " must be a string");
+    return false;
+  }
+  *out = v->string_value();
+  return true;
+}
+
+bool read_int(const Json& parent, const char* key, int min_value, int* out,
+              const std::string& where, Errors& err) {
+  const Json* v = parent.find(key);
+  if (v == nullptr) return false;
+  if (!v->is_number() || v->number_value() < min_value) {
+    err.fail(where, std::string(key) + " must be a number >= " +
+                        std::to_string(min_value));
+    return false;
+  }
+  *out = static_cast<int>(v->number_value());
+  return true;
+}
+
+bool read_u64(const Json& parent, const char* key, std::uint64_t* out,
+              const std::string& where, Errors& err) {
+  const Json* v = parent.find(key);
+  if (v == nullptr) return false;
+  if (!v->is_number() || v->number_value() < 0) {
+    err.fail(where, std::string(key) + " must be a non-negative number");
+    return false;
+  }
+  *out = v->uint_value();
+  return true;
+}
+
+bool read_bool(const Json& parent, const char* key, bool* out,
+               const std::string& where, Errors& err) {
+  const Json* v = parent.find(key);
+  if (v == nullptr) return false;
+  if (!v->is_bool()) {
+    err.fail(where, std::string(key) + " must be true or false");
+    return false;
+  }
+  *out = v->bool_value();
+  return true;
+}
+
+bool read_string_list(const Json& parent, const char* key,
+                      std::vector<std::string>* out, const std::string& where,
+                      Errors& err) {
+  const Json* v = parent.find(key);
+  if (v == nullptr) return false;
+  if (!v->is_array()) {
+    err.fail(where, std::string(key) + " must be an array of strings");
+    return false;
+  }
+  out->clear();
+  for (const Json& item : v->array_items()) {
+    if (!item.is_string()) {
+      err.fail(where, std::string(key) + " must be an array of strings");
+      return false;
+    }
+    out->push_back(item.string_value());
+  }
+  return true;
+}
+
+void parse_faults(const Json& parent, std::vector<FaultType>* out,
+                  const std::string& where, Errors& err) {
+  std::vector<std::string> names;
+  if (!read_string_list(parent, "faults", &names, where, err)) return;
+  out->clear();
+  for (const std::string& name : names) {
+    FaultType type;
+    if (!fault_type_from_name(name, &type)) {
+      err.fail(where, "unknown fault type \"" + name + "\" (expected one of "
+                      "persistent-crash, transient-crash, latent-corruption, "
+                      "real-crash)");
+      return;
+    }
+    out->push_back(type);
+  }
+  if (out->empty()) err.fail(where, "faults must not be empty");
+}
+
+void parse_sites(const Json& parent, TargetSelection* out,
+                 const std::string& where, Errors& err) {
+  const Json* v = parent.find("sites");
+  if (v == nullptr) return;
+  if (!v->is_object()) {
+    err.fail(where, "sites must be an object");
+    return;
+  }
+  const std::string w = where + ".sites";
+  if (!known_keys(*v,
+                  {"non_critical_only", "exclude_error_handlers", "include",
+                   "exclude", "max_sites", "sample_seed"},
+                  w, err)) {
+    return;
+  }
+  read_bool(*v, "non_critical_only", &out->non_critical_only, w, err);
+  read_bool(*v, "exclude_error_handlers", &out->exclude_error_handlers, w,
+            err);
+  read_string_list(*v, "include", &out->include, w, err);
+  read_string_list(*v, "exclude", &out->exclude, w, err);
+  std::uint64_t max_sites = 0;
+  if (read_u64(*v, "max_sites", &max_sites, w, err)) {
+    out->max_sites = static_cast<std::size_t>(max_sites);
+  }
+  read_u64(*v, "sample_seed", &out->sample_seed, w, err);
+}
+
+void parse_policy(const Json& v, PolicySpec* out, const std::string& where,
+                  Errors& err) {
+  if (v.is_string()) {
+    out->name = v.string_value();
+  } else if (v.is_object()) {
+    if (!known_keys(v,
+                    {"name", "abort_threshold", "sample_size",
+                     "max_crash_retries", "env"},
+                    where, err)) {
+      return;
+    }
+    read_string(v, "name", &out->name, where, err);
+    if (const Json* t = v.find("abort_threshold")) {
+      if (!t->is_number() || t->number_value() <= 0) {
+        err.fail(where, "abort_threshold must be a positive number");
+        return;
+      }
+      out->abort_threshold = t->number_value();
+    }
+    int sample = 0;
+    if (read_int(v, "sample_size", 1, &sample, where, err)) {
+      out->sample_size = static_cast<std::uint32_t>(sample);
+    }
+    read_int(v, "max_crash_retries", 0, &out->max_crash_retries, where, err);
+    if (const Json* env = v.find("env")) {
+      if (!env->is_object()) {
+        err.fail(where, "env must be an object of string values");
+        return;
+      }
+      for (const auto& [key, value] : env->object_items()) {
+        if (!value.is_string()) {
+          err.fail(where, "env." + key + " must be a string");
+          return;
+        }
+        out->env[key] = value.string_value();
+      }
+    }
+  } else {
+    err.fail(where, "policy entries must be names or objects");
+    return;
+  }
+  bool known = false;
+  apps::named_policy_config(out->name, &known);
+  if (!known) {
+    err.fail(where, "unknown policy \"" + out->name + "\"");
+  }
+}
+
+void parse_policies(const Json& parent, std::vector<PolicySpec>* out,
+                    const std::string& where, Errors& err) {
+  const Json* v = parent.find("policies");
+  if (v == nullptr) return;
+  if (!v->is_array() || v->array_items().empty()) {
+    err.fail(where, "policies must be a non-empty array");
+    return;
+  }
+  out->clear();
+  for (std::size_t i = 0; i < v->array_items().size(); ++i) {
+    PolicySpec policy;
+    parse_policy(v->array_items()[i],  &policy,
+                 where + ".policies[" + std::to_string(i) + "]", err);
+    if (err.failed) return;
+    out->push_back(std::move(policy));
+  }
+}
+
+/// Reads the per-target axes shared between `defaults` and target entries
+/// into `out` (which already carries the values being overridden).
+void parse_target_axes(const Json& object, TargetSpec* out,
+                       const std::string& where, Errors& err) {
+  parse_faults(object, &out->faults, where, err);
+  parse_policies(object, &out->policies, where, err);
+  read_int(object, "suite_iterations", 1, &out->suite_iterations, where, err);
+  read_int(object, "repeats", 1, &out->repeats, where, err);
+  read_int(object, "baseline_runs", 0, &out->baseline_runs, where, err);
+  parse_sites(object, &out->sites, where, err);
+}
+
+constexpr std::initializer_list<const char*> kTargetKeys = {
+    "server",  "faults",        "policies", "suite_iterations",
+    "repeats", "baseline_runs", "sites"};
+
+}  // namespace
+
+std::string PolicySpec::label() const {
+  std::ostringstream os;
+  os << name;
+  if (abort_threshold > 0) os << "@t=" << abort_threshold;
+  if (sample_size > 0) os << "@s=" << sample_size;
+  if (max_crash_retries >= 0) os << "@r=" << max_crash_retries;
+  for (const auto& [key, value] : env) os << '@' << key << '=' << value;
+  return os.str();
+}
+
+bool parse_campaign_spec(const std::string& text, CampaignSpec* out,
+                         std::string* error) {
+  Errors err{error};
+  std::string parse_error;
+  const Json doc = Json::parse(text, &parse_error);
+  if (!parse_error.empty()) {
+    err.fail("spec", parse_error);
+    return false;
+  }
+  if (!doc.is_object()) {
+    err.fail("spec", "top level must be an object");
+    return false;
+  }
+  if (!known_keys(doc,
+                  {"name", "seed", "workers", "min_fail_stop_survivability",
+                   "defaults", "targets"},
+                  "spec", err)) {
+    return false;
+  }
+
+  CampaignSpec spec;
+  read_string(doc, "name", &spec.name, "spec", err);
+  read_u64(doc, "seed", &spec.seed, "spec", err);
+  read_int(doc, "workers", 1, &spec.workers, "spec", err);
+  if (const Json* v = doc.find("min_fail_stop_survivability")) {
+    if (!v->is_number() || v->number_value() < 0 || v->number_value() > 1) {
+      err.fail("spec", "min_fail_stop_survivability must be in [0, 1]");
+      return false;
+    }
+    spec.min_fail_stop_survivability = v->number_value();
+  }
+
+  // The schema defaults, overridden by the spec's `defaults` block,
+  // overridden per target.
+  TargetSpec defaults;
+  defaults.faults = {FaultType::kPersistentCrash};
+  defaults.policies = {PolicySpec{}};
+  if (const Json* d = doc.find("defaults")) {
+    if (!d->is_object()) {
+      err.fail("spec", "defaults must be an object");
+      return false;
+    }
+    if (!known_keys(*d, kTargetKeys, "defaults", err)) return false;
+    if (d->find("server") != nullptr) {
+      err.fail("defaults", "server belongs in targets, not defaults");
+      return false;
+    }
+    parse_target_axes(*d, &defaults, "defaults", err);
+  }
+
+  const Json* targets = doc.find("targets");
+  if (targets == nullptr || !targets->is_array() ||
+      targets->array_items().empty()) {
+    err.fail("spec", "targets must be a non-empty array");
+    return false;
+  }
+  for (std::size_t i = 0; i < targets->array_items().size(); ++i) {
+    const Json& t = targets->array_items()[i];
+    const std::string where = "targets[" + std::to_string(i) + "]";
+    TargetSpec target = defaults;  // merge: defaults first, overrides after
+    if (t.is_string()) {
+      target.server = t.string_value();
+    } else if (t.is_object()) {
+      if (!known_keys(t, kTargetKeys, where, err)) return false;
+      if (!read_string(t, "server", &target.server, where, err)) {
+        err.fail(where, "server is required");
+        return false;
+      }
+      parse_target_axes(t, &target, where, err);
+    } else {
+      err.fail(where, "targets entries must be names or objects");
+      return false;
+    }
+    if (!apps::is_server_name(target.server)) {
+      err.fail(where, "unknown server \"" + target.server + "\"");
+      return false;
+    }
+    if (err.failed) return false;
+    spec.targets.push_back(std::move(target));
+  }
+  if (err.failed) return false;
+  *out = std::move(spec);
+  return true;
+}
+
+std::vector<RunSpec> expand_plan(const CampaignSpec& spec,
+                                 const ProfileFn& profile) {
+  std::vector<RunSpec> plan;
+  auto next_run = [&](const TargetSpec& target, const PolicySpec& policy) {
+    RunSpec run;
+    run.run = plan.size();
+    run.server = target.server;
+    run.policy_label = policy.label();
+    run.policy = policy;
+    run.suite_iterations = target.suite_iterations;
+    run.seed = split_seed(spec.seed, run.run);
+    return run;
+  };
+  for (const TargetSpec& target : spec.targets) {
+    for (const PolicySpec& policy : target.policies) {
+      for (int b = 0; b < target.baseline_runs; ++b) {
+        RunSpec run = next_run(target, policy);
+        run.baseline = true;
+        plan.push_back(std::move(run));
+      }
+      const std::vector<Marker> markers = profile(target, policy);
+      for (const FaultType fault : target.faults) {
+        for (const Marker& marker : markers) {
+          for (int r = 0; r < target.repeats; ++r) {
+            RunSpec run = next_run(target, policy);
+            run.fault = fault;
+            run.marker_name = marker.name;
+            run.marker_location = marker.location;
+            plan.push_back(std::move(run));
+          }
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+std::string run_spec_jsonl(const RunSpec& spec) {
+  std::ostringstream os;
+  os << "{\"run\":" << spec.run << ",\"kind\":\""
+     << (spec.baseline ? "baseline" : "experiment") << "\",\"server\":\""
+     << obs::json_escape(spec.server) << "\",\"policy\":\""
+     << obs::json_escape(spec.policy_label) << '"';
+  if (!spec.baseline) {
+    os << ",\"fault\":\"" << fault_type_name(spec.fault) << "\",\"marker\":\""
+       << obs::json_escape(spec.marker_name) << "\",\"location\":\""
+       << obs::json_escape(spec.marker_location) << '"';
+  }
+  os << ",\"suite_iterations\":" << spec.suite_iterations
+     << ",\"seed\":" << spec.seed << '}';
+  return os.str();
+}
+
+}  // namespace fir::campaign

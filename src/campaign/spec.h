@@ -1,0 +1,103 @@
+// Campaign specification: the config schema of the fault-injection
+// campaign engine (docs/CAMPAIGNS.md).
+//
+// A campaign spec is a JSON document — FIJ-shaped (SNIPPETS.md §1):
+// campaign-wide settings, a `defaults` block, and a `targets` list whose
+// entries override the defaults per server. The sweep axes are
+//   fault type × injection site × server × policy (+knobs) × seed repeat,
+// and expansion turns them into a flat, totally ordered PLAN of runs. Run
+// index in the plan is the run's identity: its seed is
+// split_seed(campaign_seed, index), so results are bit-reproducible for a
+// fixed spec regardless of worker count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hsfi/hsfi.h"
+
+namespace fir::campaign {
+
+/// One policy column of the sweep: a named TxManagerConfig preset
+/// (apps::named_policy_config) plus optional knob overrides.
+struct PolicySpec {
+  std::string name = "firestarter";
+  /// Adaptive-policy knobs; negative / zero = keep the preset's value.
+  double abort_threshold = -1.0;
+  std::uint32_t sample_size = 0;
+  int max_crash_retries = -1;
+  /// FIR_* environment knobs exported into the run's worker process before
+  /// the server is constructed (docs/KNOBS.md) — e.g. {"FIR_SIGNALS":"1"}.
+  std::map<std::string, std::string> env;
+
+  /// Display label: the preset name, plus a knob suffix when overridden
+  /// (distinct sweep columns must aggregate separately).
+  std::string label() const;
+};
+
+/// One server's slice of the campaign (defaults already merged in).
+struct TargetSpec {
+  std::string server;
+  std::vector<FaultType> faults;
+  std::vector<PolicySpec> policies;
+  /// Workload length: suite iterations per experiment run.
+  int suite_iterations = 1;
+  /// Seed repeats: experiments per (site × fault × policy) cell.
+  int repeats = 1;
+  /// Fault-free runs per (server × policy) validating the harness: the
+  /// server must survive the suite with successes and zero recovery
+  /// activity, or the campaign fails regardless of the matrices.
+  int baseline_runs = 1;
+  /// Injection-site selection (config-driven; see hsfi::TargetSelection).
+  TargetSelection sites;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::uint64_t seed = 1;
+  /// Worker processes the orchestrator fans runs out to.
+  int workers = 1;
+  /// Pass gate: minimum fail-stop survivability (recovered/crashed) per
+  /// (server × policy) row. 0 disables the gate.
+  double min_fail_stop_survivability = 0.0;
+  std::vector<TargetSpec> targets;
+};
+
+/// Parses and validates a campaign spec. Strict: unknown keys, unknown
+/// server/policy/fault names and type mismatches are errors (a typo must
+/// not silently drop a sweep axis). Returns false and sets `error`.
+bool parse_campaign_spec(const std::string& text, CampaignSpec* out,
+                         std::string* error);
+
+/// One run of the expanded plan.
+struct RunSpec {
+  std::uint64_t run = 0;  // plan position == identity
+  bool baseline = false;
+  std::string server;
+  std::string policy_label;
+  PolicySpec policy;
+  FaultType fault = FaultType::kPersistentCrash;  // unused for baselines
+  std::string marker_name;      // empty for baselines
+  std::string marker_location;  // empty for baselines
+  int suite_iterations = 1;
+  std::uint64_t seed = 1;  // split_seed(campaign seed, run)
+};
+
+/// Supplies the profiled target markers for one (target, policy) pair.
+/// The orchestrator profiles live servers; tests stub this.
+using ProfileFn = std::function<std::vector<Marker>(const TargetSpec&,
+                                                    const PolicySpec&)>;
+
+/// Expands the sweep into the plan: for each target, for each policy —
+/// baselines first, then for each fault × profiled site × repeat one
+/// experiment run. Deterministic given the spec and the profiles.
+std::vector<RunSpec> expand_plan(const CampaignSpec& spec,
+                                 const ProfileFn& profile);
+
+/// One plan line (JSONL) for plan.jsonl / the worker handoff.
+std::string run_spec_jsonl(const RunSpec& spec);
+
+}  // namespace fir::campaign

@@ -10,6 +10,19 @@
 
 namespace fir {
 
+/// Derives the seed of independent stream `stream` from `base`. The
+/// increment is the SplitMix64 golden-gamma, and Rng's constructor runs
+/// SplitMix64 over its seed, so consecutive streams are exactly the
+/// SplitMix64 sequence of `base` — uncorrelated by construction. One
+/// helper, used everywhere a campaign-level seed fans out (per-run seeds in
+/// the campaign planner, hsfi per-thread corruption streams, per-context
+/// HTM abort streams), so "seed 1, run 7" means the same thing in every
+/// layer.
+inline constexpr std::uint64_t split_seed(std::uint64_t base,
+                                          std::uint64_t stream) {
+  return base + stream * 0x9E3779B97F4A7C15ull;
+}
+
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
 /// Not cryptographic; fine for simulation.
 class Rng {

@@ -81,8 +81,7 @@ pid_t current_tid() { return static_cast<pid_t>(::syscall(SYS_gettid)); }
 /// split an independent stream so concurrent workers stay reproducible
 /// per-worker instead of racing for one rng.
 HtmConfig split_htm_config(HtmConfig config, std::size_t index) {
-  if (index > 0)
-    config.seed += static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ULL;
+  config.seed = split_seed(config.seed, static_cast<std::uint64_t>(index));
   return config;
 }
 

@@ -1,5 +1,6 @@
 #include "hsfi/hsfi.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdlib>
 
@@ -32,6 +33,53 @@ const char* fault_type_name(FaultType type) {
     case FaultType::kRealCrash: return "real-crash";
   }
   return "?";
+}
+
+bool fault_type_from_name(std::string_view name, FaultType* out) {
+  for (const FaultType type :
+       {FaultType::kPersistentCrash, FaultType::kTransientCrash,
+        FaultType::kLatentCorruption, FaultType::kRealCrash}) {
+    if (name == fault_type_name(type)) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Marker> select_targets(const std::vector<Marker>& markers,
+                                   const TargetSelection& sel) {
+  auto contains_any = [](const std::string& name,
+                         const std::vector<std::string>& needles) {
+    for (const std::string& needle : needles) {
+      if (name.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  std::vector<Marker> selected;
+  for (const Marker& m : markers) {
+    if (sel.non_critical_only && m.critical_path) continue;
+    if (sel.exclude_error_handlers && m.error_handler) continue;
+    if (!sel.include.empty() && !contains_any(m.name, sel.include)) continue;
+    if (contains_any(m.name, sel.exclude)) continue;
+    selected.push_back(m);
+  }
+  if (sel.max_sites == 0 || selected.size() <= sel.max_sites) return selected;
+  // Partial Fisher-Yates: pick max_sites positions, then restore input
+  // order so the sampled plan reads like the full one.
+  Rng rng(split_seed(sel.sample_seed, 0));
+  std::vector<std::size_t> order(selected.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = 0; i < sel.max_sites; ++i) {
+    const std::size_t j = i + rng.index(order.size() - i);
+    std::swap(order[i], order[j]);
+  }
+  order.resize(sel.max_sites);
+  std::sort(order.begin(), order.end());
+  std::vector<Marker> sampled;
+  sampled.reserve(order.size());
+  for (const std::size_t i : order) sampled.push_back(selected[i]);
+  return sampled;
 }
 
 Hsfi::Hsfi()
@@ -81,10 +129,13 @@ Rng& Hsfi::corruption_stream() {
         next_stream_.fetch_add(1, std::memory_order_relaxed);
     // Stream 0 is seeded with the plan seed itself so a single-threaded
     // campaign replays the exact historical corruption sequence; later
-    // streams are split off with the SplitMix64 increment.
-    t.rng = stream == 0
-                ? Rng(plan_.seed)
-                : Rng(plan_.seed + stream * 0x9E3779B97F4A7C15ull);
+    // streams split off via split_seed. Campaign-level reproducibility
+    // rests on this chain: the orchestrator derives each run's plan seed
+    // as split_seed(campaign_seed, run_index) — a function of the plan
+    // position only, never of worker count or scheduling — and a
+    // single-threaded run consumes only stream 0, so the corruption
+    // sequence is bit-identical under --workers 1 and --workers 8.
+    t.rng = stream == 0 ? Rng(plan_.seed) : Rng(split_seed(plan_.seed, stream));
   }
   return t.rng;
 }

@@ -29,6 +29,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,6 +51,16 @@ enum class FaultType : std::uint8_t {
 };
 
 const char* fault_type_name(FaultType type);
+
+/// Inverse of fault_type_name (campaign configs name faults as strings).
+/// Returns false for unknown names.
+bool fault_type_from_name(std::string_view name, FaultType* out);
+
+/// True when `type` models a fail-stop fault (the run is expected to crash);
+/// latent corruption is the fail-silent class.
+inline bool is_fail_stop(FaultType type) {
+  return type != FaultType::kLatentCorruption;
+}
 
 using MarkerId = std::uint32_t;
 inline constexpr MarkerId kInvalidMarker = static_cast<MarkerId>(-1);
@@ -91,6 +102,35 @@ struct Marker {
     return *this;
   }
 };
+
+/// Config-driven selection of campaign target markers. Historically the
+/// target set was baked into each bench loop (executed non-critical feature
+/// blocks); campaign configs (src/campaign, docs/CAMPAIGNS.md) express the
+/// same choice — and narrowings of it — as data.
+struct TargetSelection {
+  /// Exclude critical-path blocks (Table IV's protocol). See Marker.
+  bool non_critical_only = true;
+  /// Exclude error-handler blocks (§VII: no error handler for the error
+  /// handler).
+  bool exclude_error_handlers = true;
+  /// When non-empty, keep only markers whose name contains one of these
+  /// substrings.
+  std::vector<std::string> include;
+  /// Drop markers whose name contains one of these substrings. Applied
+  /// after `include`.
+  std::vector<std::string> exclude;
+  /// 0 = every selected marker; otherwise a deterministic sample of this
+  /// size, drawn with Rng(split_seed(sample_seed, 0)) and re-sorted into
+  /// registration order so the plan stays stable.
+  std::size_t max_sites = 0;
+  std::uint64_t sample_seed = 1;
+};
+
+/// Applies `sel` to an executed-marker list (campaign planning is
+/// quiescent; no locking concerns). Order of the result follows the input
+/// (marker registration order) even when sampling.
+std::vector<Marker> select_targets(const std::vector<Marker>& markers,
+                                   const TargetSelection& sel);
 
 /// What to inject in one experiment run.
 struct FaultPlan {

@@ -29,6 +29,10 @@ constexpr FlagSpec kFlags[] = {
     {"--tx-deadline-ms", "FIR_TX_DEADLINE_MS", true},
     {"--recovery-log-cap", "FIR_RECOVERY_LOG_CAP", true},
     {"--storm-threshold", "FIR_STORM_THRESHOLD", true},
+    {"--stm-filter", "FIR_STM_FILTER", true},
+    {"--undo-retain-bytes", "FIR_UNDO_RETAIN_BYTES", true},
+    {"--coalesce", "FIR_COALESCE", true},
+    {"--coalesce-max", "FIR_COALESCE_MAX", true},
 };
 
 }  // namespace
@@ -75,7 +79,11 @@ const char* cli_flags_help() {
          "(FIR_SIGNALS=1)\n"
          "  --tx-deadline-ms=N    hang watchdog: per-transaction deadline\n"
          "  --recovery-log-cap=N  bound on recorded recovery episodes\n"
-         "  --storm-threshold=N   diversions before retries are skipped\n";
+         "  --storm-threshold=N   diversions before retries are skipped\n"
+         "  --stm-filter=0|1      STM first-write filter (FIR_STM_FILTER)\n"
+         "  --undo-retain-bytes=N undo-log retention cap across transactions\n"
+         "  --coalesce=0|1        checkpoint-coalescing kill switch\n"
+         "  --coalesce-max=N      max quiescent calls per checkpoint\n";
 }
 
 }  // namespace fir::obs

@@ -14,6 +14,13 @@
 //   --tx-deadline-ms=N      FIR_TX_DEADLINE_MS=N (hang watchdog)
 //   --recovery-log-cap=N    FIR_RECOVERY_LOG_CAP=N
 //   --storm-threshold=N     FIR_STORM_THRESHOLD=N (crash-storm backstop)
+//   --stm-filter=0|1        FIR_STM_FILTER=N     (first-write filter)
+//   --undo-retain-bytes=N   FIR_UNDO_RETAIN_BYTES=N
+//   --coalesce=0|1          FIR_COALESCE=N       (checkpoint fast path)
+//   --coalesce-max=N        FIR_COALESCE_MAX=N
+//
+// The full knob reference (defaults, semantics, introducing PRs) is
+// docs/KNOBS.md.
 //
 // Both `--flag=value` and `--flag value` spellings are accepted.
 #pragma once

@@ -129,6 +129,22 @@ std::string metrics_json(MetricsRegistry& registry) {
   return os.str();
 }
 
+std::string metrics_json_object(MetricsRegistry& registry,
+                                std::string_view prefix) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const MetricSample& s : registry.snapshot()) {
+    if (s.kind == MetricSample::Kind::kHistogram) continue;  // timing-laden
+    if (s.name.compare(0, prefix.size(), prefix) != 0) continue;
+    os << (first ? "" : ",") << '"' << json_escape(s.name)
+       << "\":" << format_number(s.value);
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
 std::string metrics_csv(MetricsRegistry& registry) {
   std::ostringstream os;
   os << "name,kind,value,mean,p50,p95,max\n";

@@ -16,6 +16,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace_ring.h"
@@ -40,6 +41,14 @@ std::string metrics_json(MetricsRegistry& registry);
 /// Metrics snapshot as CSV: `name,kind,value,mean,p50,p95,max` (summary
 /// columns empty for counters/gauges).
 std::string metrics_csv(MetricsRegistry& registry);
+
+/// Flat `{"name":value,...}` object of the counters and gauges whose names
+/// start with `prefix` (empty prefix = all). Histograms are omitted: their
+/// summaries carry wall-clock timing, and this form exists for DETERMINISTIC
+/// run records — the campaign engine embeds it in per-run JSONL so two runs
+/// of the same plan position diff byte-identical (docs/CAMPAIGNS.md).
+std::string metrics_json_object(MetricsRegistry& registry,
+                                std::string_view prefix = {});
 
 /// JSON string escaping (exposed for tests and other emitters).
 std::string json_escape(const std::string& raw);

@@ -1,5 +1,7 @@
 #include "workload/campaign.h"
 
+#include "obs/export.h"
+
 namespace fir {
 
 int CampaignResult::triggered() const {
@@ -30,16 +32,26 @@ int CampaignResult::fatal() const {
 std::vector<Marker> profile_markers(const ServerFactory& factory,
                                     int suite_iterations,
                                     bool non_critical_only) {
+  TargetSelection selection;
+  selection.non_critical_only = non_critical_only;
+  selection.exclude_error_handlers = non_critical_only;
+  return profile_markers(factory, suite_iterations, selection);
+}
+
+std::vector<Marker> profile_markers(const ServerFactory& factory,
+                                    int suite_iterations,
+                                    const TargetSelection& selection) {
   std::unique_ptr<Server> server = factory();
   server->fx().hsfi().set_profiling(true);
   run_suite_for(*server, suite_iterations);
-  std::vector<Marker> out;
-  for (const MarkerId id :
-       server->fx().hsfi().executed_markers(non_critical_only)) {
-    out.push_back(server->fx().hsfi().markers()[id]);
+  // executed_markers(false) applies no filtering at all; select_targets
+  // owns the whole policy (criticality, handlers, include/exclude, sample).
+  std::vector<Marker> executed;
+  for (const MarkerId id : server->fx().hsfi().executed_markers(false)) {
+    executed.push_back(server->fx().hsfi().markers()[id]);
   }
   server->stop();
-  return out;
+  return select_targets(executed, selection);
 }
 
 namespace {
@@ -55,54 +67,69 @@ MarkerId resolve_marker(Hsfi& hsfi, const Marker& wanted) {
 
 }  // namespace
 
+ExperimentRecord run_experiment(const ServerFactory& factory,
+                                const Marker& target, FaultType type,
+                                int suite_iterations, std::uint64_t seed) {
+  ExperimentRecord record;
+  record.marker_name = target.name;
+  record.marker_location = target.location;
+  record.fault = type;
+
+  std::unique_ptr<Server> server = factory();
+  if (server == nullptr) {
+    record.fatal = true;
+    record.death_reason = "server construction failed";
+    return record;
+  }
+  // Warm-up pass registers the markers in this instance (the paper
+  // instruments statically; our markers intern lazily).
+  run_suite_for(*server, 1);
+  const MarkerId id = resolve_marker(server->fx().hsfi(), target);
+  if (id == kInvalidMarker) {
+    // Marker did not re-register (path not taken this run): skip.
+    server->stop();
+    return record;
+  }
+  server->fx().mgr().reset_stats();
+  server->fx().hsfi().arm(FaultPlan{id, type, CrashKind::kSegv, seed});
+
+  const WorkloadResult wl = run_suite_for(*server, suite_iterations);
+
+  record.triggered = server->fx().hsfi().fired();
+  record.fatal = wl.server_died;
+  record.death_reason = wl.death_reason;
+  record.responses_2xx = wl.responses_2xx;
+  record.responses_5xx = wl.responses_5xx;
+  for (const RecoveryEvent& event : server->fx().mgr().recovery_log()) {
+    record.crashed = true;
+    if (event.action == RecoveryEvent::Action::kDivert) ++record.diversions;
+    if (event.action == RecoveryEvent::Action::kRetry) ++record.retries;
+  }
+  if (wl.server_died) record.crashed = true;
+  // Recovered (paper §VI-B: "retaining both the runtime state and
+  // availability"): the fault crashed, the server survived the faulty
+  // workload, and — with the fault gone — it still serves successes.
+  server->fx().hsfi().disarm();
+  bool healthy = false;
+  if (!wl.server_died) {
+    const WorkloadResult health = run_suite_for(*server, 1);
+    healthy = !health.server_died && health.responses_2xx > 0;
+  }
+  record.recovered = record.crashed && !wl.server_died && healthy;
+  record.recovery_metrics_json =
+      obs::metrics_json_object(server->fx().mgr().metrics(), "recovery.");
+  server->stop();
+  return record;
+}
+
 CampaignResult run_campaign(const ServerFactory& factory, FaultType type,
                             int suite_iterations, std::uint64_t seed) {
   CampaignResult result;
-  const std::vector<Marker> targets = profile_markers(factory,
-                                                      suite_iterations);
+  const std::vector<Marker> targets =
+      profile_markers(factory, suite_iterations);
   for (const Marker& target : targets) {
-    ExperimentRecord record;
-    record.marker_name = target.name;
-    record.marker_location = target.location;
-    record.fault = type;
-
-    std::unique_ptr<Server> server = factory();
-    // Warm-up pass registers the markers in this instance (the paper
-    // instruments statically; our markers intern lazily).
-    run_suite_for(*server, 1);
-    const MarkerId id = resolve_marker(server->fx().hsfi(), target);
-    if (id == kInvalidMarker) {
-      // Marker did not re-register (path not taken this run): skip.
-      result.experiments.push_back(record);
-      server->stop();
-      continue;
-    }
-    server->fx().mgr().reset_stats();
-    server->fx().hsfi().arm(FaultPlan{id, type, CrashKind::kSegv, seed});
-
-    const WorkloadResult wl = run_suite_for(*server, suite_iterations);
-
-    record.triggered = server->fx().hsfi().fired();
-    record.fatal = wl.server_died;
-    for (const RecoveryEvent& event : server->fx().mgr().recovery_log()) {
-      record.crashed = true;
-      if (event.action == RecoveryEvent::Action::kDivert)
-        ++record.diversions;
-      if (event.action == RecoveryEvent::Action::kRetry) ++record.retries;
-    }
-    if (wl.server_died) record.crashed = true;
-    // Recovered (paper §VI-B: "retaining both the runtime state and
-    // availability"): the fault crashed, the server survived the faulty
-    // workload, and — with the fault gone — it still serves successes.
-    server->fx().hsfi().disarm();
-    bool healthy = false;
-    if (!wl.server_died) {
-      const WorkloadResult health = run_suite_for(*server, 1);
-      healthy = !health.server_died && health.responses_2xx > 0;
-    }
-    record.recovered = record.crashed && !wl.server_died && healthy;
-    server->stop();
-    result.experiments.push_back(std::move(record));
+    result.experiments.push_back(
+        run_experiment(factory, target, type, suite_iterations, seed));
   }
   return result;
 }

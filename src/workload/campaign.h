@@ -33,6 +33,15 @@ struct ExperimentRecord {
   bool fatal = false;      // FatalCrashError ended the run
   std::uint64_t diversions = 0;
   std::uint64_t retries = 0;
+  /// Workload accounting of the faulty pass (deterministic under the
+  /// virtual OS; campaign run records embed it).
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::string death_reason;  // FatalCrashError text when fatal
+  /// Final `recovery.*` counter snapshot of the run, rendered by
+  /// obs::metrics_json_object — the per-run metrics emission reused as the
+  /// campaign run record.
+  std::string recovery_metrics_json;
 };
 
 /// Aggregate Table IV cell values.
@@ -54,6 +63,22 @@ using ServerFactory = std::function<std::unique_ptr<Server>()>;
 std::vector<Marker> profile_markers(const ServerFactory& factory,
                                     int suite_iterations = 1,
                                     bool non_critical_only = true);
+
+/// Config-driven variant: the executed markers that pass `selection`
+/// (filters + deterministic sampling; see hsfi::TargetSelection).
+std::vector<Marker> profile_markers(const ServerFactory& factory,
+                                    int suite_iterations,
+                                    const TargetSelection& selection);
+
+/// Runs ONE experiment: fresh server, one warm-up suite pass to re-intern
+/// markers, exactly one fault of `type` armed at `target`, the suite under
+/// fault, then the post-fault health probe. This is the unit the campaign
+/// engine (src/campaign) fans out across worker processes; run_campaign is
+/// a loop over it.
+ExperimentRecord run_experiment(const ServerFactory& factory,
+                                const Marker& target, FaultType type,
+                                int suite_iterations = 1,
+                                std::uint64_t seed = 1);
 
 /// Runs one experiment per target marker with faults of `type`.
 /// `suite_iterations` controls workload length per run.

@@ -1,0 +1,169 @@
+#include "campaign/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace fir::campaign {
+namespace {
+
+RunRecord experiment(const std::string& server, const std::string& policy,
+                     FaultType fault, const std::string& outcome) {
+  RunRecord r;
+  r.spec.server = server;
+  r.spec.policy_label = policy;
+  r.spec.fault = fault;
+  r.outcome = outcome;
+  r.triggered = outcome != "not-triggered";
+  r.crashed = outcome == "recovered" || outcome == "not-recovered" ||
+              outcome == "fatal" || outcome == "double-fault";
+  r.recovered = outcome == "recovered";
+  r.fatal = outcome == "fatal";
+  r.double_fault = outcome == "double-fault";
+  return r;
+}
+
+RunRecord baseline(const std::string& server, bool ok) {
+  RunRecord r;
+  r.spec.server = server;
+  r.spec.policy_label = "firestarter";
+  r.spec.baseline = true;
+  r.outcome = ok ? "baseline-ok" : "baseline-failed";
+  return r;
+}
+
+TEST(AggregateTest, FoldsRecordsIntoCells) {
+  std::vector<RunRecord> records;
+  records.push_back(baseline("minikv", true));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "recovered"));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "fatal"));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kLatentCorruption,
+                               "not-triggered"));
+  records.back().diversions = 4;
+  const Aggregate agg = aggregate_records(records);
+  EXPECT_EQ(agg.runs, 4u);
+  ASSERT_EQ(agg.cells.size(), 2u);
+  const MatrixCell& fs = agg.cells[0];
+  EXPECT_EQ(fs.fault, "persistent-crash");
+  EXPECT_EQ(fs.injected, 2u);
+  EXPECT_EQ(fs.crashed, 2u);
+  EXPECT_EQ(fs.recovered, 1u);
+  EXPECT_EQ(fs.fatal, 1u);
+  EXPECT_DOUBLE_EQ(fs.survivability(), 0.5);
+  const MatrixCell& latent = agg.cells[1];
+  EXPECT_EQ(latent.triggered, 0u);
+  EXPECT_EQ(latent.diversions, 4u);
+  EXPECT_DOUBLE_EQ(latent.survivability(), 1.0);  // nothing crashed
+  ASSERT_EQ(agg.baselines.size(), 1u);
+  EXPECT_EQ(agg.baselines[0].ok, 1u);
+}
+
+TEST(AggregateTest, FailStopRowsCollapseCrashFaultsOnly) {
+  std::vector<RunRecord> records;
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "recovered"));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kTransientCrash, "recovered"));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kRealCrash, "not-recovered"));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kLatentCorruption, "fatal"));
+  const Aggregate agg = aggregate_records(records);
+  const std::vector<MatrixCell> rows = agg.fail_stop_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].injected, 3u);  // latent-corruption excluded
+  EXPECT_EQ(rows[0].recovered, 2u);
+  EXPECT_EQ(rows[0].crashed, 3u);
+}
+
+TEST(AggregateTest, OrderIndependence) {
+  std::vector<RunRecord> records;
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "recovered"));
+  records.push_back(experiment("miniginx", "firestarter",
+                               FaultType::kPersistentCrash, "fatal"));
+  records.push_back(baseline("minikv", true));
+  std::vector<RunRecord> shuffled = {records[2], records[0], records[1]};
+  // Cell ordering differs with record order, but contents do not.
+  const Aggregate a = aggregate_records(records);
+  const Aggregate b = aggregate_records(shuffled);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (const MatrixCell& cell : a.cells) {
+    bool found = false;
+    for (const MatrixCell& other : b.cells) {
+      if (other.server == cell.server && other.fault == cell.fault) {
+        EXPECT_EQ(other.recovered, cell.recovered);
+        EXPECT_EQ(other.fatal, cell.fatal);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << cell.server;
+  }
+}
+
+TEST(AggregateTest, PassGate) {
+  std::vector<RunRecord> records;
+  records.push_back(baseline("minikv", true));
+  for (int i = 0; i < 4; ++i) {
+    records.push_back(experiment("minikv", "firestarter",
+                                 FaultType::kPersistentCrash, "recovered"));
+  }
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "fatal"));
+  Aggregate agg = aggregate_records(records);  // survivability 4/5 = 0.8
+  std::string why;
+  EXPECT_TRUE(campaign_passed(agg, 0.70, &why)) << why;
+  why.clear();
+  EXPECT_FALSE(campaign_passed(agg, 0.90, &why));
+  EXPECT_NE(why.find("below gate"), std::string::npos) << why;
+
+  // A failed baseline fails the campaign regardless of survivability.
+  records.push_back(baseline("minikv", false));
+  agg = aggregate_records(records);
+  why.clear();
+  EXPECT_FALSE(campaign_passed(agg, 0.0, &why));
+  EXPECT_NE(why.find("baseline"), std::string::npos) << why;
+
+  // So does a dead worker.
+  records.pop_back();
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "worker-died"));
+  agg = aggregate_records(records);
+  why.clear();
+  EXPECT_FALSE(campaign_passed(agg, 0.0, &why));
+  EXPECT_NE(why.find("worker death"), std::string::npos) << why;
+}
+
+TEST(AggregateTest, GateRequiresMeasuredCrashes) {
+  std::vector<RunRecord> records;
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "not-triggered"));
+  const Aggregate agg = aggregate_records(records);
+  std::string why;
+  // Survivability is vacuously 1.0 — the gate must not pass on nothing.
+  EXPECT_FALSE(campaign_passed(agg, 0.70, &why));
+  EXPECT_NE(why.find("nothing measured"), std::string::npos) << why;
+}
+
+TEST(AggregateTest, MatrixJsonShape) {
+  std::vector<RunRecord> records;
+  records.push_back(baseline("minikv", true));
+  records.push_back(experiment("minikv", "firestarter",
+                               FaultType::kPersistentCrash, "recovered"));
+  const std::string json = matrix_json(aggregate_records(records));
+  std::string error;
+  const Json parsed = Json::parse(json, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(parsed.find("runs")->uint_value(), 2u);
+  ASSERT_EQ(parsed.find("cells")->array_items().size(), 1u);
+  const Json& cell = parsed.find("cells")->array_items()[0];
+  EXPECT_EQ(cell.find("server")->string_value(), "minikv");
+  EXPECT_EQ(cell.find("recovered")->uint_value(), 1u);
+  EXPECT_DOUBLE_EQ(cell.find("survivability")->number_value(), 1.0);
+  ASSERT_EQ(parsed.find("fail_stop")->array_items().size(), 1u);
+  ASSERT_EQ(parsed.find("baselines")->array_items().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fir::campaign

@@ -1,0 +1,101 @@
+#include "campaign/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fir::campaign {
+namespace {
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  std::string error;
+  const Json doc = Json::parse(
+      R"({"name":"x","n":3,"f":1.5,"neg":-2,"yes":true,"no":false,)"
+      R"("nothing":null,"list":[1,2,3],"nested":{"k":"v"}})",
+      &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->string_value(), "x");
+  EXPECT_EQ(doc.find("n")->uint_value(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("f")->number_value(), 1.5);
+  EXPECT_DOUBLE_EQ(doc.find("neg")->number_value(), -2.0);
+  EXPECT_TRUE(doc.find("yes")->bool_value());
+  EXPECT_FALSE(doc.find("no")->bool_value());
+  EXPECT_TRUE(doc.find("nothing")->is_null());
+  ASSERT_EQ(doc.find("list")->array_items().size(), 3u);
+  EXPECT_EQ(doc.find("nested")->find("k")->string_value(), "v");
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonTest, SkipsLineAndBlockComments) {
+  std::string error;
+  const Json doc = Json::parse(
+      "// campaign configs carry comments (FIJ-style)\n"
+      "{ /* block */ \"a\": 1, // trailing\n  \"b\": 2 }",
+      &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("a")->uint_value(), 1u);
+  EXPECT_EQ(doc.find("b")->uint_value(), 2u);
+}
+
+TEST(JsonTest, RejectsDuplicateKeys) {
+  std::string error;
+  Json::parse(R"({"a":1,"a":2})", &error);
+  EXPECT_NE(error.find("duplicate key"), std::string::npos) << error;
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  std::string error;
+  Json::parse(R"({"a":1} extra)", &error);
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "{",           "[1,",          R"({"a")",   R"({"a":})",
+      "{'a':1}",     R"("unterm)",   "truthy",    "1.2.3",
+      R"({"a":1,})",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    Json::parse(text, &error);
+    EXPECT_FALSE(error.empty()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, ErrorsCarryLineNumbers) {
+  std::string error;
+  Json::parse("{\n  \"a\": 1,\n  bad\n}", &error);
+  EXPECT_EQ(error.rfind("line 3", 0), 0u) << error;
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  std::string error;
+  const Json doc = Json::parse(R"({"s":"a\"b\\c\n\tA"})", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(doc.find("s")->string_value(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const char* text =
+      R"({"a":1,"b":-2.5,"c":"x","d":[true,false,null],"e":{"k":9}})";
+  std::string error;
+  const Json doc = Json::parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(doc.dump(), text);
+  // Integral doubles render as integers (seeds are uint64 in records).
+  EXPECT_EQ(Json::number(42.0).dump(), "42");
+  EXPECT_EQ(Json::number(2.5).dump(), "2.5");
+}
+
+TEST(JsonTest, PreservesObjectOrder) {
+  std::string error;
+  const Json doc = Json::parse(R"({"z":1,"a":2,"m":3})", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(doc.object_items().size(), 3u);
+  EXPECT_EQ(doc.object_items()[0].first, "z");
+  EXPECT_EQ(doc.object_items()[1].first, "a");
+  EXPECT_EQ(doc.object_items()[2].first, "m");
+}
+
+}  // namespace
+}  // namespace fir::campaign

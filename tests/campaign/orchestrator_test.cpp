@@ -1,0 +1,181 @@
+#include "campaign/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "campaign/builtin_specs.h"
+
+namespace fir::campaign {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(FIR_SOURCE_DIR) + "/tests/campaign/golden/" + name;
+}
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  std::string error;
+  const bool ok = parse_campaign_spec(R"({
+    "name": "tiny", "seed": 42,
+    "defaults": {
+      "faults": ["persistent-crash"],
+      "policies": ["firestarter"],
+      "baseline_runs": 1,
+      "sites": {"max_sites": 2, "sample_seed": 5}
+    },
+    "targets": ["minikv"]})",
+                                      &spec, &error);
+  EXPECT_TRUE(ok) << error;
+  return spec;
+}
+
+std::string records_jsonl(const std::vector<RunRecord>& records) {
+  std::ostringstream os;
+  for (const RunRecord& r : records) os << record_jsonl(r) << '\n';
+  return os.str();
+}
+
+// Golden-file pipeline test: saved results.jsonl -> aggregation -> rendered
+// matrices must stay byte-stable (tools/campaign_report.py renders the same
+// records; CI diffs its output against golden/report.md).
+TEST(OrchestratorTest, GoldenAggregationAndRendering) {
+  std::vector<RunRecord> records;
+  std::string error;
+  ASSERT_TRUE(load_results_jsonl(read_file(golden_path("results.jsonl")),
+                                 &records, &error))
+      << error;
+  ASSERT_EQ(records.size(), 7u);
+  const Aggregate agg = aggregate_records(records);
+  EXPECT_EQ(render_table4(agg), read_file(golden_path("table4.txt")));
+  EXPECT_EQ(render_matrices(agg), read_file(golden_path("matrices.txt")));
+}
+
+TEST(OrchestratorTest, RecordJsonlRoundTrips) {
+  std::vector<RunRecord> records;
+  std::string error;
+  ASSERT_TRUE(load_results_jsonl(read_file(golden_path("results.jsonl")),
+                                 &records, &error))
+      << error;
+  for (const RunRecord& record : records) {
+    const std::string line = record_jsonl(record);
+    const Json json = Json::parse(line, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    RunRecord reparsed;
+    ASSERT_TRUE(record_from_json(json, &reparsed, &error)) << error;
+    EXPECT_EQ(reparsed.outcome, record.outcome);
+    EXPECT_EQ(reparsed.recovered, record.recovered);
+    EXPECT_EQ(reparsed.diversions, record.diversions);
+    EXPECT_EQ(reparsed.metrics_json, record.metrics_json);
+    EXPECT_EQ(reparsed.spec.server, record.spec.server);
+    EXPECT_EQ(reparsed.spec.marker_name, record.spec.marker_name);
+  }
+}
+
+TEST(OrchestratorTest, LoadRejectsCorruptResults) {
+  std::vector<RunRecord> records;
+  std::string error;
+  EXPECT_FALSE(load_results_jsonl("{\"run\":0}\nnot json\n", &records,
+                                  &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(load_results_jsonl(
+      "{\"run\":0,\"kind\":\"baseline\",\"server\":\"minikv\"}\n", &records,
+      &error));
+  EXPECT_NE(error.find("outcome"), std::string::npos) << error;
+}
+
+// The acceptance property of the engine: aggregate results are identical
+// across worker counts for a fixed spec + seed. in_process runs everything
+// serially in this process; the forked path fans out across workers.
+TEST(OrchestratorTest, WorkerCountDoesNotChangeResults) {
+  const CampaignSpec spec = tiny_spec();
+  OrchestratorOptions serial;
+  serial.in_process = true;
+  const CampaignOutcome in_process = run_campaign_spec(spec, serial);
+  ASSERT_EQ(in_process.records.size(), 3u);  // 1 baseline + 2 sites
+  EXPECT_TRUE(in_process.passed) << in_process.failure;
+
+  OrchestratorOptions forked;
+  forked.workers = 2;
+  const CampaignOutcome parallel = run_campaign_spec(spec, forked);
+  EXPECT_EQ(records_jsonl(parallel.records),
+            records_jsonl(in_process.records));
+  EXPECT_EQ(matrix_json(parallel.aggregate),
+            matrix_json(in_process.aggregate));
+}
+
+TEST(OrchestratorTest, SeedOverrideChangesRunSeedsOnly) {
+  const CampaignSpec spec = tiny_spec();
+  OrchestratorOptions options;
+  options.in_process = true;
+  options.seed = 99;
+  const CampaignOutcome outcome = run_campaign_spec(spec, options);
+  ASSERT_EQ(outcome.records.size(), 3u);
+  EXPECT_EQ(outcome.records[0].spec.seed, 99u);
+  // Same plan shape: the seed does not change which sites are swept.
+  const CampaignOutcome base =
+      run_campaign_spec(spec, [] {
+        OrchestratorOptions o;
+        o.in_process = true;
+        return o;
+      }());
+  ASSERT_EQ(base.records.size(), outcome.records.size());
+  for (std::size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_EQ(base.records[i].spec.marker_name,
+              outcome.records[i].spec.marker_name);
+  }
+}
+
+TEST(OrchestratorTest, PersistsResultDirectoryLayout) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string dir =
+      testing::TempDir() + "/fir_campaign_orchestrator_test";
+  OrchestratorOptions options;
+  options.in_process = true;
+  options.out_dir = dir;
+  const CampaignOutcome outcome = run_campaign_spec(spec, options);
+  EXPECT_TRUE(outcome.passed) << outcome.failure;
+
+  const std::string plan = read_file(dir + "/plan.jsonl");
+  const std::string results = read_file(dir + "/results.jsonl");
+  EXPECT_NE(plan.find("\"kind\":\"baseline\""), std::string::npos);
+  EXPECT_NE(results.find("\"outcome\":"), std::string::npos);
+  EXPECT_NE(read_file(dir + "/matrix.json").find("\"cells\""),
+            std::string::npos);
+  EXPECT_NE(read_file(dir + "/report.md").find("## Table IV"),
+            std::string::npos);
+
+  // results.jsonl reloads into the same aggregate (the pipeline's
+  // regenerability contract).
+  std::vector<RunRecord> reloaded;
+  std::string error;
+  ASSERT_TRUE(load_results_jsonl(results, &reloaded, &error)) << error;
+  EXPECT_EQ(matrix_json(aggregate_records(reloaded)),
+            matrix_json(outcome.aggregate));
+}
+
+TEST(OrchestratorTest, BuiltinSpecsParse) {
+  for (const std::string& name : builtin_spec_names()) {
+    const char* text = builtin_spec(name);
+    ASSERT_NE(text, nullptr) << name;
+    CampaignSpec spec;
+    std::string error;
+    EXPECT_TRUE(parse_campaign_spec(text, &spec, &error))
+        << name << ": " << error;
+    EXPECT_EQ(spec.name, name);
+  }
+  EXPECT_EQ(builtin_spec("no-such-spec"), nullptr);
+}
+
+}  // namespace
+}  // namespace fir::campaign

@@ -1,0 +1,185 @@
+#include "campaign/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fir::campaign {
+namespace {
+
+/// Stubbed profiling: plans must be testable without live servers.
+ProfileFn fixed_markers(int count) {
+  return [count](const TargetSpec&, const PolicySpec&) {
+    std::vector<Marker> markers;
+    for (int i = 0; i < count; ++i) {
+      Marker m;
+      m.name = "site" + std::to_string(i);
+      m.location = "file.cpp:" + std::to_string(10 + i);
+      markers.push_back(std::move(m));
+    }
+    return markers;
+  };
+}
+
+TEST(CampaignSpecTest, ParsesFullSpec) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_campaign_spec(R"({
+    "name": "t", "seed": 7, "workers": 4,
+    "min_fail_stop_survivability": 0.7,
+    "defaults": {
+      "faults": ["persistent-crash", "latent-corruption"],
+      "policies": ["firestarter", {"name": "vanilla"}],
+      "suite_iterations": 2, "repeats": 3, "baseline_runs": 2,
+      "sites": {"max_sites": 5, "sample_seed": 9, "include": ["cmd_"]}
+    },
+    "targets": [
+      "minikv",
+      {"server": "miniginx", "faults": ["transient-crash"], "repeats": 1}
+    ]})",
+                                  &spec, &error))
+      << error;
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.workers, 4);
+  EXPECT_DOUBLE_EQ(spec.min_fail_stop_survivability, 0.7);
+  ASSERT_EQ(spec.targets.size(), 2u);
+
+  // Plain-name target: pure defaults.
+  const TargetSpec& kv = spec.targets[0];
+  EXPECT_EQ(kv.server, "minikv");
+  ASSERT_EQ(kv.faults.size(), 2u);
+  EXPECT_EQ(kv.faults[0], FaultType::kPersistentCrash);
+  ASSERT_EQ(kv.policies.size(), 2u);
+  EXPECT_EQ(kv.policies[1].name, "vanilla");
+  EXPECT_EQ(kv.suite_iterations, 2);
+  EXPECT_EQ(kv.repeats, 3);
+  EXPECT_EQ(kv.baseline_runs, 2);
+  EXPECT_EQ(kv.sites.max_sites, 5u);
+  EXPECT_EQ(kv.sites.sample_seed, 9u);
+  ASSERT_EQ(kv.sites.include.size(), 1u);
+
+  // Object target: overrides apply on top of the merged defaults.
+  const TargetSpec& web = spec.targets[1];
+  EXPECT_EQ(web.server, "miniginx");
+  ASSERT_EQ(web.faults.size(), 1u);
+  EXPECT_EQ(web.faults[0], FaultType::kTransientCrash);
+  EXPECT_EQ(web.repeats, 1);
+  EXPECT_EQ(web.suite_iterations, 2);      // inherited
+  ASSERT_EQ(web.policies.size(), 2u);      // inherited
+}
+
+TEST(CampaignSpecTest, PolicyKnobOverridesAndLabels) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_campaign_spec(R"({
+    "targets": [{"server": "minikv", "policies": [
+      {"name": "firestarter", "abort_threshold": 0.05, "sample_size": 8,
+       "env": {"FIR_SIGNALS": "1"}}
+    ]}]})",
+                                  &spec, &error))
+      << error;
+  const PolicySpec& policy = spec.targets[0].policies[0];
+  EXPECT_DOUBLE_EQ(policy.abort_threshold, 0.05);
+  EXPECT_EQ(policy.sample_size, 8u);
+  EXPECT_EQ(policy.env.at("FIR_SIGNALS"), "1");
+  // Overridden knobs show up in the label: distinct sweep columns must
+  // aggregate separately.
+  EXPECT_EQ(policy.label(), "firestarter@t=0.05@s=8@FIR_SIGNALS=1");
+  EXPECT_EQ(PolicySpec{}.label(), "firestarter");
+}
+
+TEST(CampaignSpecTest, RejectsBadSpecs) {
+  const struct {
+    const char* text;
+    const char* expect;  // substring of the error
+  } cases[] = {
+      {"[]", "top level"},
+      {R"({"targets": []})", "non-empty"},
+      {R"({"tragets": [{"server": "minikv"}]})", "unknown key"},
+      {R"({"targets": ["minikx"]})", "unknown server"},
+      {R"({"targets": [{"server": "minikv", "faults": ["meteor"]}]})",
+       "unknown fault"},
+      {R"({"targets": [{"server": "minikv", "policies": ["warmstart"]}]})",
+       "unknown policy"},
+      {R"({"targets": [{"server": "minikv", "faults": []}]})", "empty"},
+      {R"({"targets": [{"server": "minikv", "repeats": 0}]})", ">= 1"},
+      {R"({"workers": 0, "targets": ["minikv"]})", ">= 1"},
+      {R"({"min_fail_stop_survivability": 1.5, "targets": ["minikv"]})",
+       "[0, 1]"},
+      {R"({"defaults": {"server": "minikv"}, "targets": ["minikv"]})",
+       "defaults"},
+      {R"({"targets": [{"server": "minikv",
+           "sites": {"max_site": 3}}]})",
+       "unknown key"},
+      {R"({"targets": [{"server": "minikv", "policies":
+           [{"name": "firestarter", "env": {"FIR_SIGNALS": 1}}]}]})",
+       "must be a string"},
+      {R"({"targets": [{"server": "minikv"}], )", "line"},  // parse error
+  };
+  for (const auto& c : cases) {
+    CampaignSpec spec;
+    std::string error;
+    EXPECT_FALSE(parse_campaign_spec(c.text, &spec, &error))
+        << "accepted: " << c.text;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "for " << c.text << " got: " << error;
+  }
+}
+
+TEST(CampaignSpecTest, ExpansionCountsAndOrdering) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_campaign_spec(R"({
+    "seed": 5,
+    "defaults": {
+      "faults": ["persistent-crash", "latent-corruption"],
+      "policies": ["firestarter", "vanilla"],
+      "repeats": 2, "baseline_runs": 1
+    },
+    "targets": ["minikv", "miniginx"]})",
+                                  &spec, &error))
+      << error;
+  const std::vector<RunSpec> plan = expand_plan(spec, fixed_markers(3));
+  // Per (target x policy): 1 baseline + 2 faults x 3 sites x 2 repeats.
+  const std::size_t per_policy = 1 + 2 * 3 * 2;
+  ASSERT_EQ(plan.size(), 2 * 2 * per_policy);
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].run, i);  // run index == plan position
+    EXPECT_EQ(plan[i].seed, split_seed(5, i));
+  }
+  // Baselines come first within each (target, policy) block.
+  EXPECT_TRUE(plan[0].baseline);
+  EXPECT_EQ(plan[0].server, "minikv");
+  EXPECT_EQ(plan[0].policy_label, "firestarter");
+  EXPECT_FALSE(plan[1].baseline);
+  EXPECT_EQ(plan[1].marker_name, "site0");
+  EXPECT_TRUE(plan[per_policy].baseline);
+  EXPECT_EQ(plan[per_policy].policy_label, "vanilla");
+  EXPECT_EQ(plan[2 * per_policy].server, "miniginx");
+  // Repeats of one site differ only by run index (and thus seed).
+  EXPECT_EQ(plan[1].marker_name, plan[2].marker_name);
+  EXPECT_NE(plan[1].seed, plan[2].seed);
+}
+
+TEST(CampaignSpecTest, PlanJsonlShape) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_campaign_spec(R"({"targets": ["minikv"]})", &spec,
+                                  &error))
+      << error;
+  const std::vector<RunSpec> plan = expand_plan(spec, fixed_markers(1));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(run_spec_jsonl(plan[0]),
+            R"({"run":0,"kind":"baseline","server":"minikv",)"
+            R"("policy":"firestarter","suite_iterations":1,"seed":1})");
+  EXPECT_NE(run_spec_jsonl(plan[1]).find(
+                R"("kind":"experiment","server":"minikv")"),
+            std::string::npos);
+  EXPECT_NE(run_spec_jsonl(plan[1]).find(R"("fault":"persistent-crash")"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fir::campaign

@@ -102,6 +102,67 @@ TEST(HsfiTest, MarkerMacroRegistersWithLocation) {
             std::string::npos);
 }
 
+TEST(HsfiTest, FaultTypeNamesRoundTrip) {
+  for (const FaultType type :
+       {FaultType::kPersistentCrash, FaultType::kTransientCrash,
+        FaultType::kLatentCorruption, FaultType::kRealCrash}) {
+    FaultType parsed;
+    ASSERT_TRUE(fault_type_from_name(fault_type_name(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  FaultType parsed;
+  EXPECT_FALSE(fault_type_from_name("meteor-strike", &parsed));
+  EXPECT_TRUE(is_fail_stop(FaultType::kPersistentCrash));
+  EXPECT_TRUE(is_fail_stop(FaultType::kRealCrash));
+  EXPECT_FALSE(is_fail_stop(FaultType::kLatentCorruption));
+}
+
+TEST(HsfiTest, SelectTargetsFiltersAndSamples) {
+  std::vector<Marker> markers;
+  const auto add = [&](const char* name, bool critical, bool handler) {
+    Marker m;
+    m.id = static_cast<MarkerId>(markers.size() + 1);
+    m.name = name;
+    m.location = std::string("f:") + std::to_string(markers.size());
+    m.critical_path = critical;
+    m.error_handler = handler;
+    markers.push_back(std::move(m));
+  };
+  add("parse_header", false, false);
+  add("event_loop", true, false);       // critical: excluded by default
+  add("on_parse_error", false, true);   // handler: excluded by default
+  add("write_body", false, false);
+  add("log_request", false, false);
+
+  TargetSelection sel;
+  std::vector<Marker> out = select_targets(markers, sel);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].name, "parse_header");
+  EXPECT_EQ(out[1].name, "write_body");
+
+  sel.include = {"parse"};
+  out = select_targets(markers, sel);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].name, "parse_header");
+
+  sel.include.clear();
+  sel.exclude = {"log_"};
+  out = select_targets(markers, sel);
+  ASSERT_EQ(out.size(), 2u);
+
+  // Sampling is deterministic in sample_seed and keeps registration order.
+  sel.exclude.clear();
+  sel.max_sites = 2;
+  sel.sample_seed = 7;
+  const std::vector<Marker> a = select_targets(markers, sel);
+  const std::vector<Marker> b = select_targets(markers, sel);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(a[0].name, b[0].name);
+  EXPECT_EQ(a[1].name, b[1].name);
+  EXPECT_LT(a[0].id, a[1].id);
+}
+
 TEST(HsfiTest, FaultInsideTransactionIsRecovered) {
   TxManagerConfig config;
   config.policy.kind = PolicyKind::kStmOnly;

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Render a fir_campaign results.jsonl into Markdown matrices.
+
+The aggregation stage of the campaign pipeline (docs/CAMPAIGNS.md),
+reimplemented over the saved run records so reports are regenerable
+without re-running a single experiment:
+
+    tools/campaign_report.py /tmp/table4/results.jsonl --out report.md
+
+Matches the C++ aggregator (src/campaign/aggregate.cpp) cell for cell;
+the golden-file test pins the two together. --require asserts a summed
+counter is nonzero (CI smoke gate):
+
+    tools/campaign_report.py results.jsonl --require recovered \
+        --require diversions
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+FAIL_STOP_FAULTS = {"persistent-crash", "transient-crash", "real-crash"}
+
+PAPER_NAMES = {
+    "miniginx": "Nginx",
+    "apachette": "Apache",
+    "littlehttpd": "Lighttpd",
+    "minikv": "Redis",
+    "minipg": "PostgreSQL",
+}
+
+CELL_COUNTERS = (
+    "injected",
+    "triggered",
+    "crashed",
+    "recovered",
+    "fatal",
+    "double_faults",
+    "worker_deaths",
+    "diversions",
+    "retries",
+)
+
+
+def load_records(path):
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{number}: bad record: {err}")
+    return records
+
+
+def new_cell():
+    return {name: 0 for name in CELL_COUNTERS}
+
+
+def aggregate(records):
+    """Folds records into ((server, policy, fault) -> cell, baselines)."""
+    cells = {}
+    baselines = {}
+    for record in records:
+        server = record.get("server", "?")
+        policy = record.get("policy", "?")
+        if record.get("kind") == "baseline":
+            cell = baselines.setdefault((server, policy), {"runs": 0, "ok": 0})
+            cell["runs"] += 1
+            if record.get("outcome") == "baseline-ok":
+                cell["ok"] += 1
+            continue
+        key = (server, policy, record.get("fault", "?"))
+        cell = cells.setdefault(key, new_cell())
+        cell["injected"] += 1
+        for flag, counter in (
+            ("triggered", "triggered"),
+            ("crashed", "crashed"),
+            ("recovered", "recovered"),
+            ("fatal", "fatal"),
+            ("double_fault", "double_faults"),
+        ):
+            if record.get(flag):
+                cell[counter] += 1
+        if record.get("outcome") in ("worker-died", "lost-record"):
+            cell["worker_deaths"] += 1
+        cell["diversions"] += int(record.get("diversions", 0))
+        cell["retries"] += int(record.get("retries", 0))
+    return cells, baselines
+
+
+def fail_stop_rows(cells):
+    rows = {}
+    for (server, policy, fault), cell in cells.items():
+        if fault not in FAIL_STOP_FAULTS:
+            continue
+        row = rows.setdefault((server, policy), new_cell())
+        for name in CELL_COUNTERS:
+            row[name] += cell[name]
+    return rows
+
+
+def survivability(cell):
+    return cell["recovered"] / cell["crashed"] if cell["crashed"] else 1.0
+
+
+def markdown_table(header, rows):
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    lines += ["| " + " | ".join(str(v) for v in row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def render(records):
+    cells, baselines = aggregate(records)
+    out = ["## Table IV (fail-stop survivability)", ""]
+    rows = []
+    for (server, policy), row in fail_stop_rows(cells).items():
+        rows.append([
+            PAPER_NAMES.get(server, server), policy, row["injected"],
+            row["triggered"], row["crashed"], row["recovered"], row["fatal"],
+            f"{survivability(row):.1%}",
+        ])
+    out.append(markdown_table(
+        ["Server", "Policy", "Injected", "Triggered", "Crashed", "Recovered",
+         "Fatal", "Survivability"], rows))
+    out += ["", "## Per-fault matrix", ""]
+    rows = []
+    for (server, policy, fault), cell in cells.items():
+        rows.append([
+            server, policy, fault, cell["injected"], cell["triggered"],
+            cell["crashed"], cell["recovered"], cell["fatal"],
+            cell["double_faults"], cell["diversions"], cell["retries"],
+            f"{survivability(cell):.1%}",
+        ])
+    out.append(markdown_table(
+        ["Server", "Policy", "Fault", "Inj", "Trig", "Crash", "Recov",
+         "Fatal", "DblF", "Divert", "Retry", "Surv"], rows))
+    if baselines:
+        out += ["", "## Baselines", ""]
+        rows = [[server, policy, cell["runs"], cell["ok"]]
+                for (server, policy), cell in baselines.items()]
+        out.append(markdown_table(["Server", "Policy", "Runs", "OK"], rows))
+    out.append("")
+    return "\n".join(out), cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="results.jsonl from fir_campaign")
+    parser.add_argument("--out", help="write Markdown here (default stdout)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="COUNTER",
+        choices=sorted(CELL_COUNTERS),
+        help="fail unless this counter is nonzero summed over all cells")
+    args = parser.parse_args()
+
+    records = load_records(args.results)
+    if not records:
+        raise SystemExit(f"{args.results}: no records")
+    markdown, cells = render(records)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+    else:
+        sys.stdout.write(markdown)
+
+    failed = False
+    for counter in args.require:
+        total = sum(cell[counter] for cell in cells.values())
+        if total == 0:
+            print(f"REQUIRE FAILED: {counter} is zero across all cells",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"require {counter}: {total}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

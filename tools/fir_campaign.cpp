@@ -1,0 +1,203 @@
+// fir_campaign: the config-driven parallel fault-injection campaign CLI
+// (docs/CAMPAIGNS.md).
+//
+//   fir_campaign --config bench/campaigns/table4.json --workers 8 \
+//       --out /tmp/table4
+//
+// reads the campaign spec, profiles injection sites, fans the expanded
+// run plan across N forked worker processes, and writes plan.jsonl,
+// results.jsonl, matrix.json and report.md under --out. Prints the
+// regenerated Table IV plus the per-fault matrices and exits 0 iff the
+// campaign's pass gate holds. --aggregate re-renders the matrices from a
+// saved results.jsonl without re-running anything (the pipeline's
+// aggregation stage is pure over the records).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/builtin_specs.h"
+#include "campaign/orchestrator.h"
+#include "common/log.h"
+#include "obs/cli.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: fir_campaign [--config PATH | --spec NAME] [options]\n"
+    "\n"
+    "spec source (exactly one):\n"
+    "  --config PATH        campaign spec JSON file\n"
+    "  --spec NAME          built-in spec: table4, smoke\n"
+    "\n"
+    "options:\n"
+    "  --workers N          worker process count (overrides the spec)\n"
+    "  --seed N             campaign seed (overrides the spec)\n"
+    "  --out DIR            write plan.jsonl, runs/, results.jsonl,\n"
+    "                       matrix.json, report.md under DIR\n"
+    "  --dry-run            print the expanded plan (JSONL) and exit\n"
+    "  --run-index N        execute ONE plan run in-process and print its\n"
+    "                       record (debug/repro; no fork isolation)\n"
+    "  --in-process         run everything in this process (no fork; a\n"
+    "                       double fault then kills the campaign)\n"
+    "  --aggregate PATH     re-render matrices from a results.jsonl\n"
+    "  --quiet              suppress per-run progress on stderr\n";
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+int fail_usage(const char* message) {
+  std::fprintf(stderr, "fir_campaign: %s\n\n%s", message, kUsage);
+  return 2;
+}
+
+void print_outcome(const fir::campaign::Aggregate& agg, bool passed,
+                   const std::string& failure) {
+  std::printf("Table IV (fail-stop survivability)\n%s\n",
+              fir::campaign::render_table4(agg).c_str());
+  std::printf("%s\n", fir::campaign::render_matrices(agg).c_str());
+  if (passed) {
+    std::printf("Campaign gate: PASS\n");
+  } else {
+    std::printf("Campaign gate: FAIL (%s)\n", failure.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
+  fir::Logger::instance().set_level(fir::LogLevel::kOff);
+
+  std::string config_path;
+  std::string builtin_name;
+  std::string aggregate_path;
+  fir::campaign::OrchestratorOptions options;
+  bool dry_run = false;
+  bool quiet = false;
+  long run_index = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fir_campaign: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = value("--config");
+    } else if (arg == "--spec") {
+      builtin_name = value("--spec");
+    } else if (arg == "--workers") {
+      options.workers = std::atoi(value("--workers"));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value("--seed"), nullptr, 10);
+    } else if (arg == "--out") {
+      options.out_dir = value("--out");
+    } else if (arg == "--aggregate") {
+      aggregate_path = value("--aggregate");
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg == "--run-index") {
+      run_index = std::atol(value("--run-index"));
+    } else if (arg == "--in-process") {
+      options.in_process = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n%s", kUsage, fir::obs::cli_flags_help());
+      return 0;
+    } else {
+      return fail_usage(("unknown argument " + arg).c_str());
+    }
+  }
+
+  if (!aggregate_path.empty()) {
+    std::string text;
+    if (!read_file(aggregate_path, &text)) {
+      std::fprintf(stderr, "fir_campaign: cannot read %s\n",
+                   aggregate_path.c_str());
+      return 1;
+    }
+    std::vector<fir::campaign::RunRecord> records;
+    std::string error;
+    if (!fir::campaign::load_results_jsonl(text, &records, &error)) {
+      std::fprintf(stderr, "fir_campaign: %s\n", error.c_str());
+      return 1;
+    }
+    const fir::campaign::Aggregate agg =
+        fir::campaign::aggregate_records(records);
+    std::string why;
+    const bool passed = fir::campaign::campaign_passed(agg, 0.0, &why);
+    print_outcome(agg, passed, why);
+    return passed ? 0 : 1;
+  }
+
+  if (config_path.empty() == builtin_name.empty()) {
+    return fail_usage("pass exactly one of --config or --spec");
+  }
+  std::string text;
+  if (!config_path.empty()) {
+    if (!read_file(config_path, &text)) {
+      std::fprintf(stderr, "fir_campaign: cannot read %s\n",
+                   config_path.c_str());
+      return 1;
+    }
+  } else {
+    const char* builtin = fir::campaign::builtin_spec(builtin_name);
+    if (builtin == nullptr) {
+      return fail_usage(("unknown built-in spec " + builtin_name).c_str());
+    }
+    text = builtin;
+  }
+
+  fir::campaign::CampaignSpec spec;
+  std::string error;
+  if (!fir::campaign::parse_campaign_spec(text, &spec, &error)) {
+    std::fprintf(stderr, "fir_campaign: invalid spec: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (dry_run || run_index >= 0) {
+    fir::campaign::CampaignSpec effective = spec;
+    if (options.seed != 0) effective.seed = options.seed;
+    const std::vector<fir::campaign::RunSpec> plan =
+        fir::campaign::expand_plan(effective, fir::campaign::profile_target);
+    if (dry_run) {
+      for (const fir::campaign::RunSpec& run : plan) {
+        std::printf("%s\n", fir::campaign::run_spec_jsonl(run).c_str());
+      }
+      return 0;
+    }
+    if (run_index >= static_cast<long>(plan.size())) {
+      std::fprintf(stderr, "fir_campaign: --run-index %ld out of range "
+                           "(plan has %zu runs)\n",
+                   run_index, plan.size());
+      return 1;
+    }
+    const fir::campaign::RunRecord record =
+        fir::campaign::execute_run(plan[static_cast<std::size_t>(run_index)]);
+    std::printf("%s\n", fir::campaign::record_jsonl(record).c_str());
+    return 0;
+  }
+
+  const fir::campaign::CampaignOutcome outcome =
+      fir::campaign::run_campaign_spec(spec, options, !quiet);
+  print_outcome(outcome.aggregate, outcome.passed, outcome.failure);
+  if (!options.out_dir.empty()) {
+    std::printf("Results written under %s (plan.jsonl, runs/, "
+                "results.jsonl, matrix.json, report.md)\n",
+                options.out_dir.c_str());
+  }
+  return outcome.passed ? 0 : 1;
+}
