@@ -1,0 +1,197 @@
+// End-to-end serving throughput: miniginx worker pool under the timed
+// wrk-shaped load generator (workload/concurrent.h).
+//
+// One arm per (policy x serving-knob) combination the evaluation compares:
+// the recovery-mode arms (unprotected / htm-only / stm-only / adaptive,
+// plus adaptive with checkpoint coalescing off) quantify gated-call
+// overhead at saturation on the full network path, and the
+// close-per-request arm quantifies what the keepalive + pipelining +
+// vectored-write fast path buys. Emits a JSON report consumed by
+// tools/check_bench_regression.py --serving (baseline: BENCH_serving.json).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/miniginx.h"
+#include "apps/registry.h"
+#include "workload/concurrent.h"
+
+namespace fir {
+namespace {
+
+struct Options {
+  double warmup_seconds = 0.2;
+  double duration_seconds = 1.0;
+  int threads = 2;
+  int workers = 2;
+  int depth = 8;  // client pipeline depth (server default FIR_PIPELINE_MAX=8)
+  std::string target = "/index.html";
+  std::string out = "BENCH_serving_results.json";
+};
+
+struct EnvOverride {
+  const char* name;
+  const char* value;  // nullptr: unset
+};
+
+struct ArmSpec {
+  const char* name;
+  const char* policy;  // apps::named_policy_config name
+  bool client_keep_alive;
+  std::vector<EnvOverride> env;
+};
+
+struct ArmResult {
+  std::string name;
+  TimedLoadResult load;
+};
+
+ArmResult run_arm(const Options& opt, const ArmSpec& arm) {
+  for (const EnvOverride& e : arm.env) {
+    if (e.value != nullptr) {
+      ::setenv(e.name, e.value, 1);
+    } else {
+      ::unsetenv(e.name);
+    }
+  }
+  ArmResult result;
+  result.name = arm.name;
+  {
+    Miniginx server(apps::named_policy_config(arm.policy));
+    if (!server.start(Miniginx::kDefaultPort).is_ok() ||
+        !server.start_workers(opt.workers).is_ok()) {
+      std::fprintf(stderr, "serving_throughput: failed to start arm %s\n",
+                   arm.name);
+      std::exit(1);
+    }
+    TimedLoadSpec spec;
+    for (int i = 0; i < server.worker_count(); ++i)
+      spec.ports.push_back(server.worker_port(i));
+    spec.target = opt.target;
+    spec.threads = opt.threads;
+    spec.pipeline_depth = opt.depth;
+    spec.keep_alive = arm.client_keep_alive;
+    spec.warmup_seconds = opt.warmup_seconds;
+    spec.duration_seconds = opt.duration_seconds;
+    result.load = run_timed_http_load(server, spec);
+    server.stop();
+  }
+  // Leave no knob behind for the next arm.
+  for (const EnvOverride& e : arm.env) ::unsetenv(e.name);
+  return result;
+}
+
+double parse_double_arg(const char* arg, const char* prefix, double fallback) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return fallback;
+  return std::atof(arg + n);
+}
+
+int main_impl(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--warmup=", 9) == 0) {
+      opt.warmup_seconds = parse_double_arg(a, "--warmup=", opt.warmup_seconds);
+    } else if (std::strncmp(a, "--duration=", 11) == 0) {
+      opt.duration_seconds =
+          parse_double_arg(a, "--duration=", opt.duration_seconds);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      opt.threads = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      opt.workers = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--depth=", 8) == 0) {
+      opt.depth = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--target=", 9) == 0) {
+      opt.target = a + 9;
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      opt.out = a + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: serving_throughput [--warmup=S] [--duration=S] "
+                   "[--threads=N] [--workers=N] [--depth=N] [--target=PATH] "
+                   "[--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  // The knob arms rely on the defaults being in force unless overridden.
+  for (const char* knob :
+       {"FIR_KEEPALIVE", "FIR_PIPELINE_MAX", "FIR_WRITEV", "FIR_COALESCE"})
+    ::unsetenv(knob);
+
+  const std::vector<ArmSpec> arms = {
+      // The fast-path ablation arm: no keepalive, so no pipelining and no
+      // batched writes either — the seed's close-per-request behaviour.
+      {"close-per-request", "vanilla", false,
+       {{"FIR_KEEPALIVE", "0"}}},
+      {"unprotected", "vanilla", true, {}},
+      {"unprotected-no-writev", "vanilla", true, {{"FIR_WRITEV", "0"}}},
+      {"htm-only", "htm-only", true, {}},
+      {"stm-only", "stm-only", true, {}},
+      {"adaptive", "firestarter", true, {}},
+      {"adaptive-no-coalesce", "firestarter", true,
+       {{"FIR_COALESCE", "0"}}},
+  };
+
+  std::vector<ArmResult> results;
+  std::printf("%-22s %12s %9s %9s %9s %9s %6s\n", "arm", "req/s", "p50_us",
+              "p90_us", "p99_us", "p999_us", "xfail");
+  for (const ArmSpec& arm : arms) {
+    ArmResult r = run_arm(opt, arm);
+    std::printf("%-22s %12.0f %9llu %9llu %9llu %9llu %6llu\n",
+                r.name.c_str(), r.load.requests_per_second,
+                static_cast<unsigned long long>(r.load.p50_us()),
+                static_cast<unsigned long long>(r.load.p90_us()),
+                static_cast<unsigned long long>(r.load.p99_us()),
+                static_cast<unsigned long long>(r.load.p999_us()),
+                static_cast<unsigned long long>(r.load.transport_failures));
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  }
+
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "serving_throughput: cannot write %s\n",
+                 opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"warmup_seconds\": %g, \"duration_seconds\": "
+               "%g, \"threads\": %d, \"workers\": %d, \"pipeline_depth\": %d, "
+               "\"target\": \"%s\"},\n",
+               opt.warmup_seconds, opt.duration_seconds, opt.threads,
+               opt.workers, opt.depth, opt.target.c_str());
+  std::fprintf(f, "  \"arms\": {\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ArmResult& r = results[i];
+    std::fprintf(
+        f,
+        "    \"%s\": {\"requests_per_second\": %.1f, \"completed\": %llu, "
+        "\"responses_2xx\": %llu, \"responses_5xx\": %llu, "
+        "\"transport_failures\": %llu, \"p50_us\": %llu, \"p90_us\": %llu, "
+        "\"p99_us\": %llu, \"p999_us\": %llu}%s\n",
+        r.name.c_str(), r.load.requests_per_second,
+        static_cast<unsigned long long>(r.load.completed),
+        static_cast<unsigned long long>(r.load.responses_2xx),
+        static_cast<unsigned long long>(r.load.responses_5xx),
+        static_cast<unsigned long long>(r.load.transport_failures),
+        static_cast<unsigned long long>(r.load.p50_us()),
+        static_cast<unsigned long long>(r.load.p90_us()),
+        static_cast<unsigned long long>(r.load.p99_us()),
+        static_cast<unsigned long long>(r.load.p999_us()),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", opt.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fir
+
+int main(int argc, char** argv) { return fir::main_impl(argc, argv); }

@@ -144,10 +144,11 @@ std::string_view reason_phrase(int status) {
   return "Unknown";
 }
 
-std::size_t format_response(char* buf, std::size_t cap, int status,
-                            std::string_view reason,
-                            std::string_view content_type,
-                            std::string_view body, bool keep_alive) {
+std::size_t format_response_head(char* buf, std::size_t cap, int status,
+                                 std::string_view reason,
+                                 std::string_view content_type,
+                                 std::size_t content_length,
+                                 bool keep_alive) {
   const int head = std::snprintf(
       buf, cap,
       "HTTP/1.1 %d %.*s\r\n"
@@ -156,12 +157,22 @@ std::size_t format_response(char* buf, std::size_t cap, int status,
       "Connection: %s\r\n"
       "\r\n",
       status, static_cast<int>(reason.size()), reason.data(),
-      static_cast<int>(content_type.size()), content_type.data(), body.size(),
-      keep_alive ? "keep-alive" : "close");
+      static_cast<int>(content_type.size()), content_type.data(),
+      content_length, keep_alive ? "keep-alive" : "close");
   if (head < 0 || static_cast<std::size_t>(head) >= cap) return 0;
-  if (static_cast<std::size_t>(head) + body.size() > cap) return 0;
+  return static_cast<std::size_t>(head);
+}
+
+std::size_t format_response(char* buf, std::size_t cap, int status,
+                            std::string_view reason,
+                            std::string_view content_type,
+                            std::string_view body, bool keep_alive) {
+  const std::size_t head = format_response_head(
+      buf, cap, status, reason, content_type, body.size(), keep_alive);
+  if (head == 0) return 0;
+  if (head + body.size() > cap) return 0;
   std::memcpy(buf + head, body.data(), body.size());
-  return static_cast<std::size_t>(head) + body.size();
+  return head + body.size();
 }
 
 std::string_view mime_type(std::string_view path) {

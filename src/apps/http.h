@@ -52,6 +52,15 @@ std::size_t format_response(char* buf, std::size_t cap, int status,
                             std::string_view content_type,
                             std::string_view body, bool keep_alive);
 
+/// Formats just the head (status line through the blank line) announcing a
+/// `content_length`-byte body; returns bytes written, or 0 when it does not
+/// fit. The gather-write serving path sends the body from its own buffer,
+/// so head and body never share a copy.
+std::size_t format_response_head(char* buf, std::size_t cap, int status,
+                                 std::string_view reason,
+                                 std::string_view content_type,
+                                 std::size_t content_length, bool keep_alive);
+
 /// Reason phrase for the status codes the servers emit.
 std::string_view reason_phrase(int status);
 

@@ -1,11 +1,14 @@
 #include "apps/miniginx.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "apps/http.h"
 #include "common/log.h"
 #include "core/crash.h"
+#include "env/env.h"
 
 namespace fir {
 namespace {
@@ -13,7 +16,24 @@ constexpr std::uint32_t kOptReuseAddr = 0x1;
 constexpr std::uint32_t kOptNodelay = 0x2;
 constexpr int kMaxEvents = 64;
 constexpr std::int32_t kNoConn = -1;
+/// Idle workers park in the env's epoll for at most this long per pass, so
+/// stop_workers() stays responsive while idle loops burn no CPU.
+constexpr int kWorkerEpollTimeoutMs = 2;
 }  // namespace
+
+ServingConfig ServingConfig::from_env() {
+  ServingConfig c;
+  if (const char* v = std::getenv("FIR_KEEPALIVE")) {
+    c.keep_alive = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("FIR_PIPELINE_MAX")) {
+    c.pipeline_max = std::clamp(std::atoi(v), 1, kMaxPipeline);
+  }
+  if (const char* v = std::getenv("FIR_WRITEV")) {
+    c.use_writev = std::atoi(v) != 0;
+  }
+  return c;
+}
 
 Miniginx::Miniginx(TxManagerConfig config) : Server(config) {
   loop_.counters = &counters_;
@@ -185,6 +205,16 @@ ServerCounters Miniginx::aggregated_counters() const {
 void Miniginx::release_loop_resources(WorkerState& ws) {
   for (std::size_t fd = 0; fd < ws.fd_conn.size(); ++fd) {
     if (ws.fd_conn[fd] != kNoConn) {
+      // Shutdown path, no transaction open: untracked teardown, including
+      // any arena chunks the connection still holds.
+      if (Conn* conn = conn_of(ws, static_cast<int>(fd))) {
+        for (int i = 0; i < kArenaChunkSlots; ++i) {
+          if (conn->arena_chunks[i] != nullptr) {
+            fx_.env().mem_free(conn->arena_chunks[i]);
+            conn->arena_chunks[i] = nullptr;
+          }
+        }
+      }
       fx_.env().close(static_cast<int>(fd));
       ws.fd_conn[fd] = kNoConn;
     }
@@ -223,10 +253,13 @@ void Miniginx::run_once() {
 
 void Miniginx::worker_main(WorkerState& ws) {
   while (workers_running_.load(std::memory_order_relaxed)) {
-    bool did_work = false;
     try {
       FIR_ANCHOR(fx_);
-      did_work = event_pass(ws);
+      // A real epoll timeout: an idle worker parks inside the env (the
+      // wait releases the env lock, and any readiness change wakes it)
+      // instead of spin-yielding through empty passes — idle workers no
+      // longer steal cycles from the loaded ones during throughput runs.
+      event_pass(ws, kWorkerEpollTimeoutMs);
       FIR_QUIESCE(fx_);
       fx_.mgr().clear_anchor();
     } catch (const FatalCrashError&) {
@@ -236,16 +269,15 @@ void Miniginx::worker_main(WorkerState& ws) {
       ws.alive.store(false, std::memory_order_relaxed);
       return;
     }
-    // The virtual epoll never blocks; be polite to siblings when idle.
-    if (!did_work) std::this_thread::yield();
   }
   FIR_QUIESCE(fx_);
   fx_.mgr().clear_anchor();
 }
 
-bool Miniginx::event_pass(WorkerState& ws) {
+bool Miniginx::event_pass(WorkerState& ws, int timeout_ms) {
   PollEvent events[kMaxEvents];
-  const int n = FIR_EPOLL_WAIT(fx_, ws.epfd, events, kMaxEvents);
+  const int n =
+      FIR_EPOLL_WAIT_TIMED(fx_, ws.epfd, events, kMaxEvents, timeout_ms);
   if (n < 0) {
     // Critical path: nothing to do but try again next iteration — the
     // paper's epoll_wait example of a retrying error handler (§V-B).
@@ -322,6 +354,14 @@ void Miniginx::accept_new_connections(WorkerState& ws) {
 void Miniginx::close_conn(WorkerState& ws, int fd, Conn* conn) {
   FIR_EPOLL_CTL(fx_, ws.epfd, kEpollDel, fd, 0);
   FIR_CLOSE(fx_, fd);
+  // Release the connection's arena chunks (deferred frees: dropped and
+  // re-issued by re-execution if the enclosing transaction rolls back).
+  for (int i = 0; i < kArenaChunkSlots; ++i) {
+    if (conn->arena_chunks[i] != nullptr) {
+      FIR_FREE(fx_, conn->arena_chunks[i]);
+      tx_store(conn->arena_chunks[i], static_cast<char*>(nullptr));
+    }
+  }
   tx_store(ws.fd_conn[fd], kNoConn);
   ws.conns.release(conn);
   ws.counters->connections_closed += 1;
@@ -355,85 +395,104 @@ void Miniginx::handle_readable(WorkerState& ws, int fd, Conn* conn) {
 }
 
 void Miniginx::process_request(WorkerState& ws, int fd, Conn* conn) {
-  http::Request req;
-  const auto result =
-      http::parse_request({conn->rx, conn->rx_len}, req);
-  HSFI_POINT(fx_.hsfi(), "parse_request", /*critical=*/false);
-  if (result == http::ParseResult::kIncomplete) return;
-  if (result == http::ParseResult::kBad) {
-    ws.counters->responses_4xx += 1;
-    ws.counters->protocol_errors += 1;
-    queue_response(ws, conn, 400, "text/html", "<h1>400 Bad Request</h1>",
-                   24, false);
-    tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
-    FIR_EPOLL_CTL(fx_, ws.epfd, kEpollMod, fd, kPollOut);
-    handle_writable(ws, fd, conn);
-    return;
+  // Batched HTTP/1.1 pipelining: parse back-to-back requests straight out
+  // of the buffered bytes — no epoll round-trip between them — queue every
+  // response on the slice table, compact the leftovers once, then flush
+  // the whole batch through one vectored write. A crash while handling
+  // request k rolls back to its transaction's checkpoint and retries or
+  // diverts there; the requests before and after it in the batch are
+  // untouched (the crash-at-pipeline-position tests).
+  std::uint32_t used = 0;
+  int handled = 0;
+  while (handled < serving_.pipeline_max && batch_has_room(conn)) {
+    http::Request req;
+    const auto result =
+        http::parse_request({conn->rx + used, conn->rx_len - used}, req);
+    HSFI_POINT(fx_.hsfi(), "parse_request", /*critical=*/false);
+    if (result == http::ParseResult::kIncomplete) break;
+    if (result == http::ParseResult::kBad) {
+      ws.counters->responses_4xx += 1;
+      ws.counters->protocol_errors += 1;
+      queue_response(ws, conn, 400, "text/html", "<h1>400 Bad Request</h1>",
+                     24, false);
+      // The byte stream is poisoned: drop whatever else is buffered and
+      // close once the 400 has flushed.
+      used = conn->rx_len;
+      ++handled;
+      tx_store(conn->keep_alive, static_cast<std::uint8_t>(0));
+      break;
+    }
+
+    // Method dispatch index: the kind of small table index HSFI's latent
+    // faults corrupt. The bounds check converts a corrupted index into a
+    // fail-stop crash (defensive coding, paper SSII) that the enclosing
+    // transaction absorbs.
+    static constexpr const char* kMethodTag[6] = {"GET",  "HEAD", "POST",
+                                                  "PUT",  "DEL",  "PFND"};
+    std::uint8_t method_idx = static_cast<std::uint8_t>(req.method);
+    if (method_idx > 5) method_idx = 0;
+    HSFI_POINT_DATA(fx_.hsfi(), "method_dispatch_index", /*critical=*/false,
+                    &method_idx, sizeof(method_idx));
+    check_bounds(method_idx, 6);
+    (void)kMethodTag[method_idx];
+
+    // Decode the URL (non-critical feature path).
+    char decoded[1024];
+    const std::size_t dlen =
+        http::url_decode(req.path, decoded, sizeof(decoded));
+    HSFI_POINT_DATA(fx_.hsfi(), "url_decode", /*critical=*/false, decoded,
+                    dlen < 16 ? dlen : 16);
+    if (dlen == 0) {
+      ws.counters->responses_4xx += 1;
+      queue_response(ws, conn, 400, "text/html", "<h1>400 Bad Request</h1>",
+                     24, req.keep_alive);
+    } else if (http::path_is_unsafe({decoded, dlen})) {
+      HSFI_POINT(fx_.hsfi(), "reject_unsafe_path", /*critical=*/false);
+      ws.counters->responses_4xx += 1;
+      queue_response(ws, conn, 403, "text/html", "<h1>403 Forbidden</h1>", 22,
+                     req.keep_alive);
+    } else if (req.method != http::Method::kGet &&
+               req.method != http::Method::kHead) {
+      ws.counters->responses_4xx += 1;
+      queue_response(ws, conn, 405, "text/html",
+                     "<h1>405 Method Not Allowed</h1>", 31, req.keep_alive);
+    } else {
+      char full_path[1100];
+      const int len = std::snprintf(full_path, sizeof(full_path), "/www%.*s%s",
+                                    static_cast<int>(dlen), decoded,
+                                    (dlen > 0 && decoded[dlen - 1] == '/')
+                                        ? "index.html"
+                                        : "");
+      (void)len;
+      serve_file(ws, conn, full_path, req.keep_alive,
+                 req.method == http::Method::kHead, req.range);
+    }
+
+    // nginx-style buffered access log: one write() per request (its own —
+    // irrecoverable — transaction, part of Table III's irrecoverable
+    // share).
+    access_log(req, ws.last_status);
+
+    const std::uint32_t consumed = static_cast<std::uint32_t>(
+        req.header_bytes + req.content_length);
+    used += std::min(consumed, conn->rx_len - used);
+    ++handled;
+    tx_store(conn->served, conn->served + 1);
+    const bool ka = req.keep_alive && serving_.keep_alive;
+    tx_store(conn->keep_alive, static_cast<std::uint8_t>(ka));
+    // No further requests follow a close response; stop parsing.
+    if (!ka || conn->close_after_flush != 0) break;
   }
+  if (handled == 0) return;  // incomplete head: keep reading
 
-  // Method dispatch index: the kind of small table index HSFI's latent
-  // faults corrupt. The bounds check converts a corrupted index into a
-  // fail-stop crash (defensive coding, paper SSII) that the enclosing
-  // transaction absorbs.
-  static constexpr const char* kMethodTag[6] = {"GET",  "HEAD", "POST",
-                                                "PUT",  "DEL",  "PFND"};
-  std::uint8_t method_idx = static_cast<std::uint8_t>(req.method);
-  if (method_idx > 5) method_idx = 0;
-  HSFI_POINT_DATA(fx_.hsfi(), "method_dispatch_index", /*critical=*/false,
-                  &method_idx, sizeof(method_idx));
-  check_bounds(method_idx, 6);
-  (void)kMethodTag[method_idx];
-
-  // Decode the URL (non-critical feature path).
-  char decoded[1024];
-  const std::size_t dlen = http::url_decode(req.path, decoded, sizeof(decoded));
-  HSFI_POINT_DATA(fx_.hsfi(), "url_decode", /*critical=*/false, decoded,
-                  dlen < 16 ? dlen : 16);
-  if (dlen == 0) {
-    ws.counters->responses_4xx += 1;
-    queue_response(ws, conn, 400, "text/html", "<h1>400 Bad Request</h1>",
-                   24, req.keep_alive);
-  } else if (http::path_is_unsafe({decoded, dlen})) {
-    HSFI_POINT(fx_.hsfi(), "reject_unsafe_path", /*critical=*/false);
-    ws.counters->responses_4xx += 1;
-    queue_response(ws, conn, 403, "text/html", "<h1>403 Forbidden</h1>", 22,
-                   req.keep_alive);
-  } else if (req.method != http::Method::kGet &&
-             req.method != http::Method::kHead) {
-    ws.counters->responses_4xx += 1;
-    queue_response(ws, conn, 405, "text/html",
-                   "<h1>405 Method Not Allowed</h1>", 31, req.keep_alive);
-  } else {
-    char full_path[1100];
-    const int len = std::snprintf(full_path, sizeof(full_path), "/www%.*s%s",
-                                  static_cast<int>(dlen), decoded,
-                                  (dlen > 0 && decoded[dlen - 1] == '/')
-                                      ? "index.html"
-                                      : "");
-    (void)len;
-    serve_file(ws, conn, full_path, req.keep_alive,
-               req.method == http::Method::kHead, req.range);
-  }
-
-  // nginx-style buffered access log: one write() per request (its own —
-  // irrecoverable — transaction, part of Table III's irrecoverable share).
-  access_log(req, ws.last_status);
-
-  // Consume the request bytes; pipeline leftovers stay buffered.
-  const std::uint32_t consumed = static_cast<std::uint32_t>(
-      req.header_bytes + req.content_length);
-  const std::uint32_t used =
-      result == http::ParseResult::kComplete && consumed <= conn->rx_len
-          ? consumed
-          : conn->rx_len;
+  // Consume the batch's bytes with ONE compaction (the old per-request
+  // path paid a tracked memmove per pipelined request).
   const std::uint32_t rest = conn->rx_len - used;
-  if (rest > 0) {
+  if (rest > 0 && used > 0) {
     StoreGate::record(conn->rx, rest);
     std::memmove(conn->rx, conn->rx + used, rest);
   }
   tx_store(conn->rx_len, rest);
-  tx_store(conn->served, conn->served + 1);
-  tx_store(conn->keep_alive, static_cast<std::uint8_t>(req.keep_alive));
   tx_store(conn->state, static_cast<std::uint8_t>(kWriting));
   FIR_EPOLL_CTL(fx_, ws.epfd, kEpollMod, fd, kPollOut);
   handle_writable(ws, fd, conn);
@@ -519,9 +578,11 @@ void Miniginx::serve_file(WorkerState& ws, Conn* conn, const char* full_path,
     return;
   }
   // Per-request scratch: the paper's malloc -> OOM -> internal-server-error
-  // example (§V-B). Sized for the file plus SSI expansion headroom.
+  // example (§V-B), now bump-allocated from the per-connection arena. The
+  // body must survive until the batched flush, so nothing is freed here —
+  // arena_rewind() reclaims everything once the batch is on the wire.
   const std::size_t scratch_size = fsize + 512;
-  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, scratch_size));
+  char* scratch = arena_alloc(conn, scratch_size);
   if (scratch == nullptr) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "oom_abort_request");
     FIR_LOG(kInfo) << "miniginx: out of memory serving request";
@@ -538,12 +599,11 @@ void Miniginx::serve_file(WorkerState& ws, Conn* conn, const char* full_path,
   const bool is_ssi = path_view.ends_with(".shtml");
   char* expanded = nullptr;
   if (is_ssi) {
-    expanded = static_cast<char*>(FIR_MALLOC(fx_, scratch_size + 512));
+    expanded = arena_alloc(conn, scratch_size + 512);
     if (expanded == nullptr) {
       ws.counters->responses_5xx += 1;
       queue_response(ws, conn, 500, "text/html", "<h1>500</h1>", 12,
                      keep_alive);
-      FIR_FREE(fx_, scratch);
       FIR_CLOSE(fx_, ffd);
       return;
     }
@@ -557,8 +617,6 @@ void Miniginx::serve_file(WorkerState& ws, Conn* conn, const char* full_path,
     FIR_LOG(kInfo) << "miniginx: pread failed errno=" << fx_.err();
     ws.counters->responses_5xx += 1;
     queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
-    if (expanded != nullptr) FIR_FREE(fx_, expanded);
-    FIR_FREE(fx_, scratch);
     FIR_CLOSE(fx_, ffd);
     return;
   }
@@ -582,8 +640,6 @@ void Miniginx::serve_file(WorkerState& ws, Conn* conn, const char* full_path,
   mime_buf[mlen] = '\0';
   queue_response(ws, conn, 200, mime_buf, body, head_only ? 0 : body_len,
                  keep_alive);
-  if (expanded != nullptr) FIR_FREE(fx_, expanded);
-  FIR_FREE(fx_, scratch);
   FIR_CLOSE(fx_, ffd);
 }
 
@@ -596,7 +652,7 @@ void Miniginx::serve_big_file(WorkerState& ws, Conn* conn,
     queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     return;
   }
-  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, fsize));
+  char* scratch = arena_alloc(conn, fsize);
   if (scratch == nullptr) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "bigfile_oom");
     ws.counters->responses_5xx += 1;
@@ -610,7 +666,6 @@ void Miniginx::serve_big_file(WorkerState& ws, Conn* conn,
     HSFI_HANDLER_POINT(fx_.hsfi(), "bigfile_read_error");
     ws.counters->responses_5xx += 1;
     queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
-    FIR_FREE(fx_, scratch);
     FIR_CLOSE(fx_, ffd);
     return;
   }
@@ -622,7 +677,6 @@ void Miniginx::serve_big_file(WorkerState& ws, Conn* conn,
   ws.counters->requests_ok += 1;
   queue_response(ws, conn, 200, mime_buf, scratch,
                  head_only ? 0 : static_cast<std::size_t>(got), keep_alive);
-  FIR_FREE(fx_, scratch);
   FIR_CLOSE(fx_, ffd);
 }
 
@@ -630,6 +684,7 @@ void Miniginx::serve_range(WorkerState& ws, Conn* conn,
                            const char* full_path, std::size_t fsize,
                            http::ByteRange range, bool keep_alive) {
   HSFI_POINT(fx_.hsfi(), "range_request", /*critical=*/false);
+  const bool ka = keep_alive && serving_.keep_alive;
   if (!http::resolve_range(range, fsize)) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "range_unsatisfiable");
     ws.counters->responses_4xx += 1;
@@ -640,10 +695,10 @@ void Miniginx::serve_range(WorkerState& ws, Conn* conn,
         "HTTP/1.1 416 Range Not Satisfiable\r\n"
         "Content-Range: bytes */%zu\r\nContent-Length: 0\r\n"
         "Connection: %s\r\n\r\n",
-        fsize, keep_alive ? "keep-alive" : "close");
-    tx_memcpy(conn->tx, head, static_cast<std::size_t>(hlen));
-    tx_store(conn->tx_len, static_cast<std::uint32_t>(hlen));
-    tx_store(conn->tx_off, 0u);
+        fsize, ka ? "keep-alive" : "close");
+    push_head(conn, head, static_cast<std::size_t>(hlen));
+    if (!ka)
+      tx_store(conn->close_after_flush, static_cast<std::uint8_t>(1));
     return;
   }
   const std::size_t span = range.last - range.first + 1;
@@ -653,7 +708,7 @@ void Miniginx::serve_range(WorkerState& ws, Conn* conn,
     queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
     return;
   }
-  char* scratch = static_cast<char*>(FIR_MALLOC(fx_, span));
+  char* scratch = arena_alloc(conn, span);
   if (scratch == nullptr) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "range_oom");
     ws.counters->responses_5xx += 1;
@@ -668,7 +723,6 @@ void Miniginx::serve_range(WorkerState& ws, Conn* conn,
     HSFI_HANDLER_POINT(fx_.hsfi(), "range_read_error");
     ws.counters->responses_5xx += 1;
     queue_response(ws, conn, 500, "text/html", "", 0, keep_alive);
-    FIR_FREE(fx_, scratch);
     FIR_CLOSE(fx_, ffd);
     return;
   }
@@ -683,13 +737,11 @@ void Miniginx::serve_range(WorkerState& ws, Conn* conn,
       "Content-Range: bytes %zu-%zu/%zu\r\nContent-Length: %zd\r\n"
       "Connection: %s\r\n\r\n",
       static_cast<int>(mime.size()), mime.data(), range.first, range.last,
-      fsize, got, keep_alive ? "keep-alive" : "close");
-  tx_memcpy(conn->tx, head, static_cast<std::size_t>(hlen));
-  tx_memcpy(conn->tx + hlen, scratch, static_cast<std::size_t>(got));
-  tx_store(conn->tx_len,
-           static_cast<std::uint32_t>(hlen + got));
-  tx_store(conn->tx_off, 0u);
-  FIR_FREE(fx_, scratch);
+      fsize, got, ka ? "keep-alive" : "close");
+  push_head(conn, head, static_cast<std::size_t>(hlen));
+  push_slice(conn, scratch, static_cast<std::uint32_t>(got));
+  if (!ka)
+    tx_store(conn->close_after_flush, static_cast<std::uint8_t>(1));
   FIR_CLOSE(fx_, ffd);
 }
 
@@ -709,24 +761,108 @@ void Miniginx::access_log(const http::Request& req, int status) {
   }
 }
 
+// --- per-connection arena + response slice table ----------------------------
+
+char* Miniginx::arena_alloc(Conn* conn, std::size_t n) {
+  if (n == 0) n = 1;
+  if (n > kArenaChunkBytes) return nullptr;  // oversized: the OOM path
+  std::uint32_t chunk = conn->arena_chunk;
+  std::uint32_t used = conn->arena_used;
+  if (kArenaChunkBytes - used < n) {
+    if (static_cast<int>(chunk) + 1 >= kArenaChunkSlots) return nullptr;
+    ++chunk;
+    used = 0;
+  }
+  if (conn->arena_chunks[chunk] == nullptr) {
+    // The gated allocation: the paper's malloc -> OOM -> 500 example keeps
+    // its injection site here. On rollback the compensation frees the
+    // chunk and the tracked pointer reverts with it.
+    char* fresh = static_cast<char*>(FIR_MALLOC(fx_, kArenaChunkBytes));
+    if (fresh == nullptr) return nullptr;
+    tx_store(conn->arena_chunks[chunk], fresh);
+  }
+  char* out = conn->arena_chunks[chunk] + used;
+  tx_store(conn->arena_chunk, chunk);
+  tx_store(conn->arena_used, used + static_cast<std::uint32_t>(n));
+  return out;
+}
+
+void Miniginx::arena_rewind(Conn* conn) {
+  tx_store(conn->arena_chunk, 0u);
+  tx_store(conn->arena_used, 0u);
+}
+
+void Miniginx::push_slice(Conn* conn, const char* data, std::uint32_t len) {
+  if (len == 0 || conn->n_slices >= kMaxSlices) return;
+  Slice& s = conn->slices[conn->n_slices];
+  tx_store(s.data, data);
+  tx_store(s.len, len);
+  tx_store(conn->n_slices, conn->n_slices + 1);
+  tx_store(conn->tx_len, conn->tx_len + len);
+}
+
+void Miniginx::push_head(Conn* conn, const char* head, std::size_t len) {
+  if (len == 0 || conn->hdr_used + len > sizeof(conn->tx)) return;
+  tx_memcpy(conn->tx + conn->hdr_used, head, len);
+  push_slice(conn, conn->tx + conn->hdr_used,
+             static_cast<std::uint32_t>(len));
+  tx_store(conn->hdr_used,
+           conn->hdr_used + static_cast<std::uint32_t>(len));
+}
+
+bool Miniginx::batch_has_room(const Conn* conn) const {
+  if (conn->n_slices + 2 > kMaxSlices) return false;
+  if (conn->hdr_used + kMaxHeadBytes > sizeof(conn->tx)) return false;
+  // Another worst-case response body must be bump-allocatable: a fresh
+  // chunk slot remains, or the current chunk is still whole.
+  if (static_cast<int>(conn->arena_chunk) + 1 < kArenaChunkSlots) return true;
+  return kArenaChunkBytes - conn->arena_used >= kMaxBodyScratch;
+}
+
 void Miniginx::queue_response(WorkerState& ws, Conn* conn, int status,
                               const char* content_type, const char* body,
                               std::size_t body_len, bool keep_alive) {
-  char buf[sizeof(Conn::tx)];
-  const std::size_t n = http::format_response(
-      buf, sizeof(buf), status, http::reason_phrase(status), content_type,
-      {body, body_len}, keep_alive);
+  const bool ka = keep_alive && serving_.keep_alive;
+  char head[kMaxHeadBytes];
+  const std::size_t n = http::format_response_head(
+      head, sizeof(head), status, http::reason_phrase(status), content_type,
+      body_len, ka);
   HSFI_HANDLER_POINT(fx_.hsfi(), "queue_response");
   ws.last_status = status;
-  tx_memcpy(conn->tx, buf, n);
-  tx_store(conn->tx_len, static_cast<std::uint32_t>(n));
-  tx_store(conn->tx_off, 0u);
+  push_head(conn, head, n);
+  if (body_len > 0)
+    push_slice(conn, body, static_cast<std::uint32_t>(body_len));
+  if (!ka)
+    tx_store(conn->close_after_flush, static_cast<std::uint8_t>(1));
 }
 
 void Miniginx::handle_writable(WorkerState& ws, int fd, Conn* conn) {
   while (conn->tx_off < conn->tx_len) {
-    const ssize_t w = FIR_SEND(fx_, fd, conn->tx + conn->tx_off,
-                               conn->tx_len - conn->tx_off);
+    // Gather the unsent tails of the batch's slices.
+    Env::IoSlice iov[kMaxSlices];
+    int niov = 0;
+    std::uint32_t skip = conn->tx_off;
+    for (std::uint32_t i = 0;
+         i < conn->n_slices && niov < static_cast<int>(kMaxSlices); ++i) {
+      const Slice& s = conn->slices[i];
+      if (skip >= s.len) {
+        skip -= s.len;
+        continue;
+      }
+      iov[niov].data = s.data + skip;
+      iov[niov].len = s.len - skip;
+      skip = 0;
+      ++niov;
+    }
+    if (niov == 0) break;  // defensive: lengths out of sync with slices
+    // One gated vectored write per pass flushes the whole batch (writev is
+    // catalogued irrecoverable — bytes may already be on the wire — so an
+    // injected fault diverts into the close path, like send). FIR_WRITEV=0
+    // falls back to one gated send per slice.
+    const ssize_t w =
+        serving_.use_writev
+            ? FIR_WRITEV(fx_, fd, iov, niov)
+            : FIR_SEND(fx_, fd, iov[0].data, iov[0].len);
     if (w < 0) {
       if (fx_.err() == EAGAIN) return;  // wait for EPOLLOUT
       HSFI_HANDLER_POINT(fx_.hsfi(), "send_error_path");
@@ -736,14 +872,17 @@ void Miniginx::handle_writable(WorkerState& ws, int fd, Conn* conn) {
     }
     tx_store(conn->tx_off, conn->tx_off + static_cast<std::uint32_t>(w));
   }
-  // Response complete.
+  // Batch fully flushed.
   HSFI_POINT(fx_.hsfi(), "response_complete", /*critical=*/false);
   tx_store(conn->tx_len, 0u);
   tx_store(conn->tx_off, 0u);
-  if (conn->keep_alive != 0) {
+  tx_store(conn->n_slices, 0u);
+  tx_store(conn->hdr_used, 0u);
+  arena_rewind(conn);  // bodies are on the wire; reuse the chunks
+  if (conn->close_after_flush == 0 && conn->keep_alive != 0) {
     tx_store(conn->state, static_cast<std::uint8_t>(kReading));
     FIR_EPOLL_CTL(fx_, ws.epfd, kEpollMod, fd, kPollIn);
-    // Pipelined request already buffered? Serve it now.
+    // Pipelined requests already buffered? Serve the next batch now.
     if (conn->rx_len > 0) process_request(ws, fd, conn);
   } else {
     close_conn(ws, fd, conn);

@@ -31,6 +31,27 @@
 
 namespace fir {
 
+/// Serving fast-path knobs, read once at server construction (rows in
+/// docs/KNOBS.md; CLI flags in obs/cli.cpp).
+struct ServingConfig {
+  /// Hard ceiling for FIR_PIPELINE_MAX (sizes the per-connection slice
+  /// table).
+  static constexpr int kMaxPipeline = 16;
+
+  /// FIR_KEEPALIVE. false: every response carries `Connection: close` and
+  /// the connection drops after the flush — the legacy close-per-request
+  /// arm the serving benchmark compares against.
+  bool keep_alive = true;
+  /// FIR_PIPELINE_MAX: back-to-back requests parsed per readiness event
+  /// before the batched flush (clamped to [1, kMaxPipeline]).
+  int pipeline_max = 8;
+  /// FIR_WRITEV. false: one gated send() per response slice instead of a
+  /// single gated writev() per flush pass.
+  bool use_writev = true;
+
+  static ServingConfig from_env();
+};
+
 class Miniginx final : public Server {
  public:
   static constexpr std::uint16_t kDefaultPort = 8080;
@@ -84,18 +105,51 @@ class Miniginx final : public Server {
   /// exact totals).
   ServerCounters aggregated_counters() const;
 
+  /// The knob values this server was constructed with (benchmark arms
+  /// report them alongside their numbers).
+  const ServingConfig& serving() const { return serving_; }
+
  private:
+  /// One queued stretch of response bytes. Heads point into Conn::tx,
+  /// bodies into the per-connection arena or static storage — all stable
+  /// until the batch flushes, so the flush gathers them without copying.
+  struct Slice {
+    const char* data;
+    std::uint32_t len;
+    std::uint32_t reserved;
+  };
+  static constexpr std::uint32_t kMaxSlices =
+      2 * static_cast<std::uint32_t>(ServingConfig::kMaxPipeline);
+  /// Per-connection bump arena geometry. A chunk must fit the small-file
+  /// path's worst pair of allocations (8 KiB file + SSI headroom twice,
+  /// ~17.5 KiB) — see batch_has_room().
+  static constexpr std::uint32_t kArenaChunkBytes = 20 * 1024;
+  static constexpr int kArenaChunkSlots = 6;
+  /// batch_has_room() reserves a full chunk per pending response, so a
+  /// mid-chunk remainder can never strand a batch in a spurious OOM.
+  static constexpr std::uint32_t kMaxBodyScratch = kArenaChunkBytes;
+  static constexpr std::uint32_t kMaxHeadBytes = 256;
+
   struct Conn {
     std::int32_t fd;
     std::uint8_t state;  // ConnState
     std::uint8_t keep_alive;
-    std::uint16_t padding;
+    std::uint8_t close_after_flush;
+    std::uint8_t padding;
     std::uint32_t rx_len;
-    std::uint32_t tx_len;
-    std::uint32_t tx_off;
+    std::uint32_t tx_len;   // total queued response bytes (sum of slices)
+    std::uint32_t tx_off;   // of which already sent
+    std::uint32_t hdr_used; // bytes of tx[] holding this batch's heads
+    std::uint32_t n_slices;
     std::uint64_t served;
+    // Bump arena: chunks are FIR_MALLOC'd on demand, rewound (kept) when a
+    // batch flushes, FIR_FREE'd when the connection closes.
+    char* arena_chunks[kArenaChunkSlots];
+    std::uint32_t arena_chunk;  // current chunk index
+    std::uint32_t arena_used;   // bump offset within the current chunk
+    Slice slices[kMaxSlices];
     char rx[4096];
-    char tx[16384];
+    char tx[16384];  // response heads (bodies live in the arena)
   };
   enum ConnState : std::uint8_t { kReading = 1, kWriting = 2 };
 
@@ -125,14 +179,30 @@ class Miniginx final : public Server {
   Status open_listener(WorkerState& ws);
   void release_loop_resources(WorkerState& ws);
   void worker_main(WorkerState& ws);
-  /// One epoll pass; returns true when any event was handled.
-  bool event_pass(WorkerState& ws);
+  /// One epoll pass; returns true when any event was handled. timeout_ms
+  /// > 0 blocks the pass in the env's epoll when nothing is ready
+  /// (worker-pool mode); the cooperative run_once() loop passes 0.
+  bool event_pass(WorkerState& ws, int timeout_ms = 0);
 
   void accept_new_connections(WorkerState& ws);
   void handle_readable(WorkerState& ws, int fd, Conn* conn);
   void handle_writable(WorkerState& ws, int fd, Conn* conn);
-  /// Processes one complete request in conn->rx; fills conn->tx.
+  /// Parses up to serving_.pipeline_max complete requests out of conn->rx,
+  /// queues their responses on the slice table, then flushes the batch.
   void process_request(WorkerState& ws, int fd, Conn* conn);
+
+  // --- per-connection arena + response slice table ------------------------
+  /// Bump-allocates `n` body bytes; FIR_MALLOCs a chunk when needed.
+  /// Returns nullptr on allocation failure (the callers' OOM paths).
+  char* arena_alloc(Conn* conn, std::size_t n);
+  /// Resets the bump cursor after a flush; chunks are kept for reuse.
+  void arena_rewind(Conn* conn);
+  /// Appends one response slice (stable storage) to the batch.
+  void push_slice(Conn* conn, const char* data, std::uint32_t len);
+  /// Copies a formatted head into Conn::tx and slices it.
+  void push_head(Conn* conn, const char* head, std::size_t len);
+  /// True while the batch can absorb another worst-case response.
+  bool batch_has_room(const Conn* conn) const;
   /// Serves a static file (with optional SSI pass) into conn->tx.
   void serve_file(WorkerState& ws, Conn* conn, const char* full_path,
                   bool keep_alive, bool head_only, std::string_view range);
@@ -156,6 +226,7 @@ class Miniginx final : public Server {
   void close_conn(WorkerState& ws, int fd, Conn* conn);
   Conn* conn_of(WorkerState& ws, int fd);
 
+  ServingConfig serving_ = ServingConfig::from_env();
   std::uint16_t port_ = kDefaultPort;
   int access_log_fd_ = -1;
   bool running_ = false;

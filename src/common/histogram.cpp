@@ -68,4 +68,85 @@ double Histogram::percentile(double p) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+  // Keep the top kSubBucketBits+1 significant bits: bucket width is
+  // 2^(msb - kSubBucketBits) <= value / 2^kSubBucketBits.
+  const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(value));
+  const unsigned shift = msb - kSubBucketBits;
+  const std::uint64_t top = value >> shift;  // in [kSubBucketCount, 2*kSubBucketCount)
+  const std::size_t octave = msb - kSubBucketBits + 1;  // octave 0 = exact range
+  return (octave << kSubBucketBits) +
+         static_cast<std::size_t>(top & (kSubBucketCount - 1));
+}
+
+std::uint64_t LogHistogram::bucket_low(std::size_t index) {
+  const std::size_t octave = index >> kSubBucketBits;
+  const std::uint64_t sub = index & (kSubBucketCount - 1);
+  if (octave == 0) return sub;
+  const unsigned shift = static_cast<unsigned>(octave - 1);
+  return (kSubBucketCount + sub) << shift;
+}
+
+std::uint64_t LogHistogram::bucket_high(std::size_t index) {
+  const std::size_t octave = index >> kSubBucketBits;
+  const std::uint64_t sub = index & (kSubBucketCount - 1);
+  if (octave == 0) return sub;
+  const unsigned shift = static_cast<unsigned>(octave - 1);
+  // Written as low + (2^shift - 1); ((top+1) << shift) - 1 would overflow
+  // for the last bucket of the top octave.
+  return ((kSubBucketCount + sub) << shift) + ((1ull << shift) - 1);
+}
+
+void LogHistogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  counts_[bucket_index(value)] += count;
+  total_ += count;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  if (other.total_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+}
+
+void LogHistogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::uint64_t LogHistogram::value_at_percentile(double p) const {
+  if (empty()) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest recorded value with cumulative count
+  // >= p% of the total.
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  target = std::clamp<std::uint64_t>(target, 1, total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    if (cum >= target) {
+      const std::uint64_t lo = bucket_low(i);
+      const std::uint64_t hi = bucket_high(i);
+      return std::clamp(lo + (hi - lo) / 2, min_, max_);
+    }
+  }
+  return max_;
+}
+
 }  // namespace fir

@@ -1,9 +1,19 @@
-// Latency / size histogram with percentile queries.
+// Latency / size histograms with percentile queries.
 //
-// Used by the benchmark harness (recovery-latency distribution of Fig. 5,
-// throughput summaries) and by the runtime's self-metrics.
+// Two recorders share this header:
+//   * Histogram     — exact (stores every sample); the benchmark harness's
+//                     reference recorder (Fig. 5 scatter data, throughput
+//                     summaries) and the accuracy oracle in tests.
+//   * LogHistogram  — HDR-style log-bucketed fixed-footprint recorder for
+//                     high-rate recording (the serving load generator): each
+//                     record() is a couple of bit operations and one array
+//                     increment, merge() is element-wise addition, and any
+//                     percentile query carries a guaranteed relative-error
+//                     bound, so millions of per-request latencies cost
+//                     neither allocation nor a sort.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +50,68 @@ class Histogram {
   mutable bool sorted_valid_ = false;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+};
+
+/// Log-bucketed histogram of non-negative integer samples (HdrHistogram's
+/// bucketing scheme, fixed precision): values below 2^kSubBucketBits are
+/// exact; above that, each power-of-two octave is split into
+/// 2^kSubBucketBits linear sub-buckets, so a bucket's width is at most
+/// value / 2^kSubBucketBits and any reported percentile is within
+/// kMaxRelativeError of the exact order statistic. The full uint64 range is
+/// covered by a flat ~2 k-entry counter array; record() never allocates.
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^6 = 64 linear sub-buckets per octave.
+  static constexpr unsigned kSubBucketBits = 6;
+  static constexpr std::uint64_t kSubBucketCount = 1ull << kSubBucketBits;
+  /// Guaranteed bound on |reported - exact| / exact for percentile queries
+  /// (half a bucket width either way after midpoint reconstruction).
+  static constexpr double kMaxRelativeError = 1.0 / (1 << kSubBucketBits);
+
+  LogHistogram() : counts_(kBucketCount, 0) {}
+
+  void record(std::uint64_t value) { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t count);
+  void merge(const LogHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  std::uint64_t min() const { return empty() ? 0 : min_; }
+  std::uint64_t max() const { return empty() ? 0 : max_; }
+  double mean() const {
+    return empty() ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+  /// p in [0, 100]. Returns the midpoint of the bucket holding the p-th
+  /// order statistic (clamped to the recorded min/max), so the result is
+  /// within kMaxRelativeError of the exact percentile. Returns 0 when
+  /// empty.
+  std::uint64_t value_at_percentile(double p) const;
+
+  /// Bytes of counter storage (footprint accounting).
+  std::size_t footprint_bytes() const {
+    return counts_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  // Octaves above the exact range: values with a highest set bit at
+  // position >= kSubBucketBits each contribute kSubBucketCount/2 distinct
+  // buckets... laid out flat, the standard HDR index formula below maps the
+  // 64-bit range onto (64 - kSubBucketBits + 1) * kSubBucketCount slots.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(64 - kSubBucketBits + 1) * kSubBucketCount;
+
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Smallest and largest value mapping to bucket `index` (midpoint query).
+  static std::uint64_t bucket_low(std::size_t index);
+  static std::uint64_t bucket_high(std::size_t index);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace fir

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -282,6 +283,7 @@ int Env::connect_to(std::uint16_t port) {
   e.kind = FdKind::kSocket;
   e.socket = std::move(client_end);
   listener->pending.push_back(std::move(server_end));
+  wake_pollers();  // listener became readable
   return fd;
 }
 
@@ -301,6 +303,7 @@ ssize_t Env::send(int fd, const void* buf, std::size_t n) {
   const char* bytes = static_cast<const char*>(buf);
   peer->rx.insert(peer->rx.end(), bytes, bytes + take);
   stats_.bytes_sent += take;
+  wake_pollers();  // peer became readable
   return static_cast<ssize_t>(take);
 }
 
@@ -322,6 +325,7 @@ ssize_t Env::recv(int fd, void* buf, std::size_t n) {
     s.rx.pop_front();
   }
   stats_.bytes_received += take;
+  wake_pollers();  // drained rx: the peer may be writable again
   return static_cast<ssize_t>(take);
 }
 
@@ -334,6 +338,7 @@ int Env::sock_unread(int fd, const void* data, std::size_t n) {
   auto& rx = e->socket->rx;
   rx.insert(rx.begin(), bytes, bytes + n);
   stats_.bytes_received -= std::min<std::uint64_t>(stats_.bytes_received, n);
+  wake_pollers();  // fd became readable again
   return 0;
 }
 
@@ -362,6 +367,7 @@ int Env::shutdown_wr(int fd) {
   if (e == nullptr || e->kind != FdKind::kSocket) return err(ENOTCONN);
   e->socket->shutdown_wr = true;
   if (auto peer = e->socket->peer.lock()) peer->peer_closed = true;
+  wake_pollers();  // peer sees EOF/HUP
   return 0;
 }
 
@@ -386,6 +392,7 @@ int Env::unlisten(int fd) {
   e->listener.reset();
   e->socket = std::make_shared<SocketEndpoint>();
   e->bound_port = port;
+  wake_pollers();  // reset pending peers see kPollErr
   return 0;
 }
 
@@ -406,6 +413,7 @@ int Env::close(int fd) {
   }
   drop_epoll_interest(fd);
   *e = FdEntry{};
+  wake_pollers();  // peers see EOF/HUP; sleepers re-check their interest sets
   return 0;
 }
 
@@ -531,14 +539,10 @@ int Env::epoll_ctl(int epfd, int op, int fd, std::uint32_t events) {
   }
 }
 
-int Env::epoll_wait(int epfd, PollEvent* events, int max_events) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  tick();
-  FdEntry* ep = entry(epfd);
-  if (ep == nullptr || ep->kind != FdKind::kEpoll) return err(EBADF);
-  if (max_events <= 0) return err(EINVAL);
+int Env::epoll_scan(const EpollInstance& ep, PollEvent* events,
+                    int max_events) {
   int count = 0;
-  for (const PollInterest& interest : ep->epoll->interests) {
+  for (const PollInterest& interest : ep.interests) {
     if (count >= max_events) break;
     const FdEntry* t = entry(interest.fd);
     if (t == nullptr) continue;
@@ -559,6 +563,33 @@ int Env::epoll_wait(int epfd, PollEvent* events, int max_events) {
       events[count].events = ready;
       ++count;
     }
+  }
+  return count;
+}
+
+int Env::epoll_wait(int epfd, PollEvent* events, int max_events,
+                    int timeout_ms) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  tick();
+  FdEntry* ep = entry(epfd);
+  if (ep == nullptr || ep->kind != FdKind::kEpoll) return err(EBADF);
+  if (max_events <= 0) return err(EINVAL);
+  // Hold a reference to the instance rather than the FdEntry: a concurrent
+  // close(epfd) while we sleep must not leave us scanning freed state.
+  std::shared_ptr<EpollInstance> inst = ep->epoll;
+  int count = epoll_scan(*inst, events, max_events);
+  if (count > 0 || timeout_ms <= 0) return count;
+  // Nothing ready: park until a peer changes readiness or the (real-time)
+  // deadline passes. The wait releases the big lock, so client threads make
+  // progress while this event loop sleeps. Spurious wakeups just re-scan.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (count == 0) {
+    if (poll_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      count = epoll_scan(*inst, events, max_events);
+      break;
+    }
+    count = epoll_scan(*inst, events, max_events);
   }
   return count;
 }

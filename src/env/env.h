@@ -12,6 +12,7 @@
 // diverted worker's injected errno must not leak into a sibling's.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -132,9 +133,15 @@ class Env {
   // --- epoll ------------------------------------------------------------
   int epoll_create1();
   int epoll_ctl(int epfd, int op, int fd, std::uint32_t events);
-  /// Level-triggered scan of the interest set; never blocks (returns 0 when
-  /// nothing is ready — the cooperative harness then drives the clients).
-  int epoll_wait(int epfd, PollEvent* events, int max_events);
+  /// Level-triggered scan of the interest set. With timeout_ms == 0 it
+  /// never blocks (returns 0 when nothing is ready — the cooperative
+  /// harness then drives the clients). With timeout_ms > 0 and nothing
+  /// ready it parks the calling thread on a condition variable until
+  /// another thread's send/connect/close/shutdown makes a descriptor
+  /// ready or the (real-time) timeout expires — worker-pool event loops
+  /// idle here instead of spin-yielding.
+  int epoll_wait(int epfd, PollEvent* events, int max_events,
+                 int timeout_ms = 0);
 
   // --- accounted heap ---------------------------------------------------
   /// malloc with per-Env accounting (drives Fig. 9). Returns nullptr only
@@ -199,6 +206,11 @@ class Env {
   const FdEntry* entry(int fd) const;
   Listener* listener_for_port(std::uint16_t port);
   void drop_epoll_interest(int fd);
+  /// Readiness scan over one epoll instance (caller holds mu_).
+  int epoll_scan(const EpollInstance& ep, PollEvent* events, int max_events);
+  /// Wake any epoll_wait(timeout>0) sleepers; called (with mu_ held) by
+  /// every operation that can change descriptor readiness.
+  void wake_pollers() { poll_cv_.notify_all(); }
   void tick() {
     ++stats_.syscalls;
     clock_.advance_ns(kSyscallCostNs);
@@ -210,6 +222,9 @@ class Env {
   /// and a compensation running during recovery may re-enter from a frame
   /// that conceptually sits inside an interrupted call on the same thread.
   mutable std::recursive_mutex mu_;
+  /// Blocked epoll_wait(timeout>0) callers park here (condition_variable_any
+  /// because the big lock is recursive).
+  std::condition_variable_any poll_cv_;
   std::vector<FdEntry> fds_;
   Vfs vfs_;
   VirtualClock clock_;

@@ -243,6 +243,14 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
                    (fx).env().epoll_wait((epfd), (events), (max)),        \
                    ::fir::comp::none())
 
+// Blocking variant (same catalog entry): worker-pool event loops pass a
+// real timeout so idle workers park in the env instead of spin-yielding.
+#define FIR_EPOLL_WAIT_TIMED(fx, epfd, events, max, timeout_ms)           \
+  FIR_DETAIL_GATED(                                                       \
+      fx, "epoll_wait",                                                   \
+      (fx).env().epoll_wait((epfd), (events), (max), (timeout_ms)),       \
+      ::fir::comp::none())
+
 // --- files ------------------------------------------------------------------
 
 #define FIR_OPEN(fx, path, flags)                                       \

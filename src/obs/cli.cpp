@@ -33,6 +33,10 @@ constexpr FlagSpec kFlags[] = {
     {"--undo-retain-bytes", "FIR_UNDO_RETAIN_BYTES", true},
     {"--coalesce", "FIR_COALESCE", true},
     {"--coalesce-max", "FIR_COALESCE_MAX", true},
+    // Serving fast-path knobs (apps/miniginx.h ServingConfig).
+    {"--keepalive", "FIR_KEEPALIVE", true},
+    {"--pipeline-max", "FIR_PIPELINE_MAX", true},
+    {"--writev", "FIR_WRITEV", true},
 };
 
 }  // namespace
@@ -83,7 +87,11 @@ const char* cli_flags_help() {
          "  --stm-filter=0|1      STM first-write filter (FIR_STM_FILTER)\n"
          "  --undo-retain-bytes=N undo-log retention cap across transactions\n"
          "  --coalesce=0|1        checkpoint-coalescing kill switch\n"
-         "  --coalesce-max=N      max quiescent calls per checkpoint\n";
+         "  --coalesce-max=N      max quiescent calls per checkpoint\n"
+         "  --keepalive=0|1       HTTP keep-alive (0: close per request)\n"
+         "  --pipeline-max=N      requests parsed per readiness event\n"
+         "  --writev=0|1          vectored response flush (0: per-slice "
+         "send)\n";
 }
 
 }  // namespace fir::obs

@@ -1,5 +1,8 @@
 #include "workload/concurrent.h"
 
+#include <algorithm>
+#include <chrono>
+#include <deque>
 #include <thread>
 
 #include "workload/http_client.h"
@@ -97,6 +100,155 @@ std::uint64_t ThreadedLoadResult::total_transport_failures() const {
   std::uint64_t n = 0;
   for (const ThreadedClientResult& c : clients) n += c.transport_failures;
   return n;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's slice of a timed run; merged into TimedLoadResult at join.
+struct TimedThreadTally {
+  std::uint64_t completed = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t transport_failures = 0;
+  std::uint64_t sent = 0;
+  LogHistogram latency_us;
+};
+
+void run_timed_client(Env& env, const TimedLoadSpec& spec, std::uint16_t port,
+                      Clock::time_point start, Clock::time_point warmup_end,
+                      Clock::time_point end, TimedThreadTally& out) {
+  HttpClient client(env, port);
+  // Send timestamps of in-flight requests; HTTP/1.1 answers in order on a
+  // connection, so the completions pair up FIFO.
+  std::deque<Clock::time_point> in_flight;
+  const int depth =
+      spec.keep_alive ? std::max(1, spec.pipeline_depth) : 1;
+  std::uint64_t scheduled = 0;  // open-loop send counter
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    if (now >= end) break;
+    const bool measuring = now >= warmup_end;
+    if (!client.connected()) {
+      in_flight.clear();
+      bool connected = false;
+      for (int tries = 0; tries < kConnectRetries && !connected; ++tries) {
+        connected = client.connect();
+        if (!connected) std::this_thread::yield();
+      }
+      if (!connected) {
+        // Listener gone (worker died / shutting down): give up rather than
+        // spin out the window.
+        if (measuring) ++out.transport_failures;
+        break;
+      }
+    }
+    // Top up the in-flight window. Closed loop: back to `depth`
+    // immediately. Open loop: only as many as the fixed schedule has made
+    // due, so a slow server inflates latency instead of shrinking load.
+    int want = depth - static_cast<int>(in_flight.size());
+    if (spec.open_loop_rate_per_thread > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(now - start).count();
+      const std::uint64_t due = static_cast<std::uint64_t>(
+          elapsed * static_cast<double>(spec.open_loop_rate_per_thread));
+      const std::uint64_t backlog = due > scheduled ? due - scheduled : 0;
+      want = std::min<std::int64_t>(want,
+                                    static_cast<std::int64_t>(backlog));
+    }
+    bool broke = false;
+    for (int i = 0; i < want; ++i) {
+      if (!client.send_request("GET", spec.target, {}, spec.keep_alive)) {
+        if (measuring) ++out.transport_failures;
+        client.close();
+        broke = true;
+        break;
+      }
+      in_flight.push_back(Clock::now());
+      ++scheduled;
+      if (measuring) ++out.sent;
+    }
+    if (broke) continue;
+    // Drain everything already buffered.
+    HttpClient::Response response;
+    int got;
+    while ((got = client.try_read_response(response)) == 1) {
+      const Clock::time_point done = Clock::now();
+      if (!in_flight.empty()) {
+        if (done >= warmup_end && done < end) {
+          const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+              done - in_flight.front());
+          out.latency_us.record(static_cast<std::uint64_t>(us.count()));
+          ++out.completed;
+          if (response.status >= 200 && response.status < 400) {
+            ++out.responses_2xx;
+          } else if (response.status < 500) {
+            ++out.responses_4xx;
+          } else {
+            ++out.responses_5xx;
+          }
+        }
+        in_flight.pop_front();
+      }
+      if (!response.keep_alive) {
+        client.close();
+        break;
+      }
+    }
+    if (got == -1) {
+      // Reset mid-flight (e.g. the worker it hit died): anything
+      // outstanding is lost.
+      if (measuring && !in_flight.empty()) ++out.transport_failures;
+      client.close();
+    }
+    std::this_thread::yield();
+  }
+  client.close();
+}
+
+}  // namespace
+
+TimedLoadResult run_timed_http_load(Server& server,
+                                    const TimedLoadSpec& spec) {
+  TimedLoadResult result;
+  if (spec.ports.empty() || spec.threads <= 0) return result;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point warmup_end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(spec.warmup_seconds));
+  const Clock::time_point end =
+      warmup_end + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(spec.duration_seconds));
+  std::vector<TimedThreadTally> tallies(
+      static_cast<std::size_t>(spec.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(tallies.size());
+  Env& env = server.fx().env();
+  for (std::size_t i = 0; i < tallies.size(); ++i) {
+    const std::uint16_t port = spec.ports[i % spec.ports.size()];
+    threads.emplace_back([&env, &spec, port, start, warmup_end, end,
+                          &out = tallies[i]] {
+      run_timed_client(env, spec, port, start, warmup_end, end, out);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const TimedThreadTally& t : tallies) {
+    result.completed += t.completed;
+    result.responses_2xx += t.responses_2xx;
+    result.responses_4xx += t.responses_4xx;
+    result.responses_5xx += t.responses_5xx;
+    result.transport_failures += t.transport_failures;
+    result.sent += t.sent;
+    result.latency_us.merge(t.latency_us);
+  }
+  result.elapsed_seconds = spec.duration_seconds;
+  result.requests_per_second =
+      spec.duration_seconds > 0.0
+          ? static_cast<double>(result.completed) / spec.duration_seconds
+          : 0.0;
+  return result;
 }
 
 ThreadedLoadResult run_threaded_http_load(

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/server.h"
+#include "common/histogram.h"
 
 namespace fir {
 
@@ -53,5 +54,63 @@ struct ThreadedLoadResult {
 /// running (this function never steps the server).
 ThreadedLoadResult run_threaded_http_load(
     Server& server, const std::vector<ThreadedClientSpec>& specs);
+
+// --- timed load generator ---------------------------------------------------
+// wrk-shaped driver for the serving throughput benchmark: a fixed warmup,
+// then a fixed-duration measurement window during which every completed
+// response is tallied and its latency recorded into a per-thread
+// LogHistogram (merged at the end). Closed-loop by default — each thread
+// keeps `pipeline_depth` requests in flight per connection and tops up as
+// responses land; setting `open_loop_rate_per_thread` paces sends on a
+// fixed schedule instead, so queueing delay shows up as latency rather
+// than reduced offered load.
+
+struct TimedLoadSpec {
+  /// Listener ports; client thread i drives ports[i % ports.size()].
+  std::vector<std::uint16_t> ports;
+  std::string target = "/index.html";
+  int threads = 4;
+  /// Requests kept in flight per connection (HTTP/1.1 pipelining depth).
+  /// Forced to 1 when keep_alive is false — a closing server never answers
+  /// the rest of a pipelined burst.
+  int pipeline_depth = 1;
+  /// `Connection:` header the clients send. false exercises the legacy
+  /// close-per-request arm (reconnect for every request).
+  bool keep_alive = true;
+  double warmup_seconds = 0.1;
+  double duration_seconds = 0.5;
+  /// 0: closed loop. Otherwise each thread sends on this fixed schedule
+  /// (requests/second), still bounded by pipeline_depth in flight.
+  std::uint64_t open_loop_rate_per_thread = 0;
+};
+
+struct TimedLoadResult {
+  /// Responses completed inside the measurement window, by status bucket.
+  std::uint64_t completed = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t transport_failures = 0;
+  /// Requests sent inside the window (offered load; differs from
+  /// `completed` when responses straddle the window edges).
+  std::uint64_t sent = 0;
+  double elapsed_seconds = 0.0;
+  double requests_per_second = 0.0;
+  /// Wall-clock request latency in microseconds (send to full response),
+  /// merged across threads.
+  LogHistogram latency_us;
+
+  std::uint64_t p50_us() const { return latency_us.value_at_percentile(50); }
+  std::uint64_t p90_us() const { return latency_us.value_at_percentile(90); }
+  std::uint64_t p99_us() const { return latency_us.value_at_percentile(99); }
+  std::uint64_t p999_us() const {
+    return latency_us.value_at_percentile(99.9);
+  }
+};
+
+/// Runs `spec.threads` client threads against an already-running worker
+/// pool for warmup + duration seconds, then returns the merged window
+/// tallies. Never steps the server.
+TimedLoadResult run_timed_http_load(Server& server, const TimedLoadSpec& spec);
 
 }  // namespace fir

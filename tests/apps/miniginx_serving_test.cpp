@@ -1,0 +1,262 @@
+// Serving fast-path tests: HTTP/1.1 pipelining out of buffered leftovers,
+// keepalive boundaries, the FIR_KEEPALIVE / FIR_PIPELINE_MAX / FIR_WRITEV
+// knobs, and crash recovery at every position of a pipelined batch.
+//
+// These drive the cooperative run_once() loop directly over raw sockets so
+// the tests control exactly how request bytes are split across reads.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "apps/miniginx.h"
+#include "workload/http_client.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+/// Pumps the server and drains everything the connection has to offer.
+std::string pump_and_drain(Miniginx& server, int fd, int passes = 8) {
+  Env& env = server.fx().env();
+  std::string out;
+  char buf[65536];
+  for (int i = 0; i < passes; ++i) {
+    server.run_once();
+    for (;;) {
+      const ssize_t r = env.recv(fd, buf, sizeof(buf));
+      if (r <= 0) break;
+      out.append(buf, static_cast<std::size_t>(r));
+    }
+  }
+  return out;
+}
+
+std::size_t count_of(std::string_view haystack, std::string_view needle) {
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string_view::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(MiniginxServingTest, SplitReadMidRequestLineCompletesAcrossEvents) {
+  Miniginx server(stm_cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  Env& env = server.fx().env();
+  const int fd = env.connect_to(server.port());
+  ASSERT_GE(fd, 0);
+
+  // First fragment ends in the middle of the request line; the server must
+  // buffer it and keep the connection in the reading state.
+  const char* full = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
+  env.send(fd, full, 9);  // "GET /inde"
+  std::string out = pump_and_drain(server, fd, 3);
+  EXPECT_TRUE(out.empty()) << "responded to a half request: " << out;
+
+  env.send(fd, full + 9, std::strlen(full) - 9);
+  out = pump_and_drain(server, fd);
+  EXPECT_NE(out.find("200 OK"), std::string::npos);
+  env.close(fd);
+  server.stop();
+}
+
+TEST(MiniginxServingTest, EightPipelinedRequestsInOneReadAllAnswerInOrder) {
+  Miniginx server(stm_cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  Env& env = server.fx().env();
+  const int fd = env.connect_to(server.port());
+  ASSERT_GE(fd, 0);
+
+  std::string reqs;
+  for (int i = 0; i < 8; ++i)
+    reqs += "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n";
+  env.send(fd, reqs.data(), reqs.size());
+  const std::string out = pump_and_drain(server, fd);
+  EXPECT_EQ(count_of(out, "200 OK"), 8u);
+  // One readiness event parsed the whole batch (default FIR_PIPELINE_MAX=8).
+  EXPECT_EQ(server.counters().requests_ok.get(), 8u);
+  EXPECT_EQ(server.counters().connections_accepted.get(), 1u);
+  env.close(fd);
+  server.stop();
+}
+
+TEST(MiniginxServingTest, LeftoverBytesCarryAcrossKeepaliveBoundary) {
+  Miniginx server(stm_cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  Env& env = server.fx().env();
+  const int fd = env.connect_to(server.port());
+  ASSERT_GE(fd, 0);
+
+  // One full request plus the head of a second: the second's bytes must
+  // survive the first's response flush and complete on the next send.
+  const char* first = "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n";
+  const char* second = "GET /api.json HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::string batch(first);
+  batch.append(second, 20);  // "GET /api.json HTTP/1"
+  env.send(fd, batch.data(), batch.size());
+  std::string out = pump_and_drain(server, fd);
+  EXPECT_EQ(count_of(out, "200 OK"), 1u);
+  EXPECT_NE(out.find("text/plain"), std::string::npos);
+
+  env.send(fd, second + 20, std::strlen(second) - 20);
+  out = pump_and_drain(server, fd);
+  EXPECT_EQ(count_of(out, "200 OK"), 1u);
+  EXPECT_NE(out.find("application/json"), std::string::npos);
+  env.close(fd);
+  server.stop();
+}
+
+TEST(MiniginxServingTest, PipelineMaxOneStillAnswersEverythingEventually) {
+  ::setenv("FIR_PIPELINE_MAX", "1", 1);
+  Miniginx server(stm_cfg());
+  ::unsetenv("FIR_PIPELINE_MAX");
+  ASSERT_EQ(server.serving().pipeline_max, 1);
+  ASSERT_TRUE(server.start(0).is_ok());
+  Env& env = server.fx().env();
+  const int fd = env.connect_to(server.port());
+  ASSERT_GE(fd, 0);
+
+  std::string reqs;
+  for (int i = 0; i < 4; ++i)
+    reqs += "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n";
+  env.send(fd, reqs.data(), reqs.size());
+  const std::string out = pump_and_drain(server, fd, 16);
+  EXPECT_EQ(count_of(out, "200 OK"), 4u);
+  env.close(fd);
+  server.stop();
+}
+
+TEST(MiniginxServingTest, KeepaliveOffClosesAfterEachResponse) {
+  ::setenv("FIR_KEEPALIVE", "0", 1);
+  Miniginx server(stm_cfg());
+  ::unsetenv("FIR_KEEPALIVE");
+  ASSERT_FALSE(server.serving().keep_alive);
+  ASSERT_TRUE(server.start(0).is_ok());
+  Env& env = server.fx().env();
+
+  for (int i = 0; i < 3; ++i) {
+    const int fd = env.connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    const char* req = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
+    env.send(fd, req, std::strlen(req));
+    const std::string out = pump_and_drain(server, fd);
+    EXPECT_NE(out.find("200 OK"), std::string::npos);
+    EXPECT_NE(out.find("Connection: close"), std::string::npos);
+    // The server closed its side: a further read reports EOF (0), not
+    // EAGAIN.
+    char buf[64];
+    EXPECT_EQ(env.recv(fd, buf, sizeof(buf)), 0);
+    env.close(fd);
+  }
+  EXPECT_EQ(server.counters().connections_accepted.get(), 3u);
+  server.stop();
+}
+
+TEST(MiniginxServingTest, WritevOffProducesIdenticalBytes) {
+  const char* reqs =
+      "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /page.shtml HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /missing.html HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::string outputs[2];
+  for (int writev_on = 0; writev_on < 2; ++writev_on) {
+    ::setenv("FIR_WRITEV", writev_on ? "1" : "0", 1);
+    Miniginx server(stm_cfg());
+    ::unsetenv("FIR_WRITEV");
+    ASSERT_EQ(server.serving().use_writev, writev_on == 1);
+    ASSERT_TRUE(server.start(0).is_ok());
+    Env& env = server.fx().env();
+    const int fd = env.connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    env.send(fd, reqs, std::strlen(reqs));
+    outputs[writev_on] = pump_and_drain(server, fd, 16);
+    env.close(fd);
+    server.stop();
+  }
+  EXPECT_FALSE(outputs[0].empty());
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+// Crash recovery inside a pipelined batch: the §VI-F SSI NULL-dereference
+// fires at each position of a 4-deep pipeline in turn. The crashing
+// request must divert to its 500 while every sibling request in the SAME
+// batch is answered normally — the recovery scope is one request, not the
+// connection.
+TEST(MiniginxServingTest, CrashAtEachPipelinePositionSparesSiblings) {
+  for (int crash_at = 0; crash_at < 4; ++crash_at) {
+    Miniginx server(stm_cfg());
+    server.enable_ssi_null_bug(true);
+    ASSERT_TRUE(server.start(0).is_ok());
+    Env& env = server.fx().env();
+    const int fd = env.connect_to(server.port());
+    ASSERT_GE(fd, 0);
+
+    std::string reqs;
+    for (int i = 0; i < 4; ++i) {
+      reqs += i == crash_at
+                  ? "GET /broken.shtml HTTP/1.1\r\nHost: x\r\n\r\n"
+                  : "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n";
+    }
+    env.send(fd, reqs.data(), reqs.size());
+    const std::string out = pump_and_drain(server, fd, 16);
+    EXPECT_EQ(count_of(out, "200 OK"), 3u) << "crash_at=" << crash_at;
+    EXPECT_EQ(count_of(out, "500 Internal Server Error"), 1u)
+        << "crash_at=" << crash_at;
+    // The diverted 500 arrives in pipeline order, not first or last.
+    std::size_t pos = 0;
+    int index_of_500 = -1;
+    for (int i = 0; i < 4; ++i) {
+      pos = out.find("HTTP/1.1 ", pos);
+      ASSERT_NE(pos, std::string::npos) << "crash_at=" << crash_at;
+      if (out.compare(pos + 9, 3, "500") == 0) index_of_500 = i;
+      pos += 9;
+    }
+    EXPECT_EQ(index_of_500, crash_at);
+    // Exactly one recovery episode, confined to the crashing request.
+    EXPECT_GE(server.fx().mgr().metrics().counter("recovery.diversions")
+                  .value(), 1u);
+    env.close(fd);
+    server.stop();
+  }
+}
+
+// FIR_COALESCE=0 must not change what the client observes: same pipelined
+// batch, same crash, same responses — the kill switch only changes how
+// checkpoints amortize, never divert behaviour.
+TEST(MiniginxServingTest, CoalesceOffKeepsDivertBehaviourIdentical) {
+  std::string outputs[2];
+  for (int coalesce_on = 0; coalesce_on < 2; ++coalesce_on) {
+    ::setenv("FIR_COALESCE", coalesce_on ? "1" : "0", 1);
+    Miniginx server(stm_cfg());
+    server.enable_ssi_null_bug(true);
+    ::unsetenv("FIR_COALESCE");
+    ASSERT_TRUE(server.start(0).is_ok());
+    Env& env = server.fx().env();
+    const int fd = env.connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    const char* reqs =
+        "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n"
+        "GET /broken.shtml HTTP/1.1\r\nHost: x\r\n\r\n"
+        "GET /about.txt HTTP/1.1\r\nHost: x\r\n\r\n";
+    env.send(fd, reqs, std::strlen(reqs));
+    outputs[coalesce_on] = pump_and_drain(server, fd, 16);
+    env.close(fd);
+    server.stop();
+  }
+  EXPECT_FALSE(outputs[0].empty());
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(count_of(outputs[0], "200 OK"), 2u);
+  EXPECT_EQ(count_of(outputs[0], "500 Internal Server Error"), 1u);
+}
+
+}  // namespace
+}  // namespace fir

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
 #include "common/histogram.h"
 
 namespace fir {
@@ -57,6 +63,159 @@ TEST(HistogramTest, AddAfterPercentileQueryStaysSorted) {
   EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
   h.add(1.0);
   EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+// --- LogHistogram -----------------------------------------------------------
+
+TEST(LogHistogramTest, EmptyBasics) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.value_at_percentile(50), 0u);
+}
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  // Values below kSubBucketCount get their own bucket: percentiles are exact.
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBucketCount; ++v) h.record(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LogHistogram::kSubBucketCount - 1);
+  EXPECT_EQ(h.value_at_percentile(0), 0u);
+  EXPECT_EQ(h.value_at_percentile(100), LogHistogram::kSubBucketCount - 1);
+  // Nearest-rank: the 50th percentile of 0..63 is value 31.
+  EXPECT_EQ(h.value_at_percentile(50), 31u);
+}
+
+TEST(LogHistogramTest, CountMinMaxMean) {
+  LogHistogram h;
+  h.record(100);
+  h.record(1000, 3);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), (100.0 + 3 * 1000.0) / 4.0);
+}
+
+TEST(LogHistogramTest, MergeMatchesCombinedRecording) {
+  LogHistogram a, b, both;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng() % 1000000;
+    ((i % 2) ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.value_at_percentile(p), both.value_at_percentile(p)) << p;
+  }
+}
+
+TEST(LogHistogramTest, MergeIntoEmptyAndClear) {
+  LogHistogram a, b;
+  b.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.value_at_percentile(99), 0u);
+  a.record(7);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 7u);
+}
+
+// Oracle helper: assert every queried percentile of the log-bucketed
+// recorder lands within kMaxRelativeError of the exact order statistics.
+// The exact percentile convention (interpolated) and the log recorder's
+// (nearest-rank bucket midpoint) straddle at most one sample, so compare
+// against the closed interval [floor-rank sample, ceil-rank sample].
+void ExpectPercentilesWithinBound(const std::vector<std::uint64_t>& samples) {
+  LogHistogram log_h;
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t v : samples) log_h.record(v);
+
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::uint64_t lo_exact = sorted[static_cast<std::size_t>(rank)];
+    const std::uint64_t hi_exact =
+        sorted[std::min(static_cast<std::size_t>(std::ceil(rank)),
+                        sorted.size() - 1)];
+    const double reported =
+        static_cast<double>(log_h.value_at_percentile(p));
+    const double lo_bound =
+        static_cast<double>(lo_exact) * (1.0 - LogHistogram::kMaxRelativeError);
+    const double hi_bound =
+        static_cast<double>(hi_exact) * (1.0 + LogHistogram::kMaxRelativeError);
+    EXPECT_GE(reported, lo_bound) << "p" << p;
+    EXPECT_LE(reported, hi_bound) << "p" << p;
+  }
+}
+
+TEST(LogHistogramTest, AccuracyUniform) {
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 2000000);  // ~ns latencies
+  std::vector<std::uint64_t> samples(20000);
+  for (auto& s : samples) s = dist(rng);
+  ExpectPercentilesWithinBound(samples);
+}
+
+TEST(LogHistogramTest, AccuracyExponential) {
+  // Long-tailed, like service latency: most samples small, rare huge ones.
+  std::mt19937_64 rng(2);
+  std::exponential_distribution<double> dist(1.0 / 50000.0);
+  std::vector<std::uint64_t> samples(20000);
+  for (auto& s : samples) s = static_cast<std::uint64_t>(dist(rng)) + 1;
+  ExpectPercentilesWithinBound(samples);
+}
+
+TEST(LogHistogramTest, AccuracyBimodal) {
+  // Fast path + slow path mixture (e.g. cache hit vs disk read).
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> fast(2000.0, 100.0);
+  std::normal_distribution<double> slow(900000.0, 30000.0);
+  std::vector<std::uint64_t> samples(20000);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double v = (rng() % 10 < 8) ? fast(rng) : slow(rng);
+    samples[i] = static_cast<std::uint64_t>(std::max(v, 1.0));
+  }
+  ExpectPercentilesWithinBound(samples);
+}
+
+TEST(LogHistogramTest, AccuracyAcrossOctavesIncludingHuge) {
+  // Spot-check the bucket midpoint math across the whole 64-bit range: two
+  // copies of v plus one max-value sentinel make p50 land in v's bucket
+  // without the min/max clamp collapsing the answer to v itself.
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = std::max<std::uint64_t>((rng() | 1) >> (rng() % 64), 1);
+    LogHistogram h;
+    h.record(v, 2);
+    h.record(~0ull);
+    const double reported = static_cast<double>(h.value_at_percentile(50));
+    const double exact = static_cast<double>(v);
+    EXPECT_NEAR(reported, exact, exact * LogHistogram::kMaxRelativeError + 0.5)
+        << "value=" << v;
+    EXPECT_EQ(h.min(), v);
+    EXPECT_EQ(h.max(), ~0ull);
+  }
+}
+
+TEST(LogHistogramTest, FixedFootprint) {
+  LogHistogram h;
+  const std::size_t before = h.footprint_bytes();
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100000; ++i) h.record(rng());
+  EXPECT_EQ(h.footprint_bytes(), before);  // record() never allocates
+  EXPECT_LT(before, 64u * 1024u);          // stays comfortably small
 }
 
 }  // namespace

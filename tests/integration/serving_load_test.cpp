@@ -1,0 +1,124 @@
+// Timed load generator against a live worker pool: the serving
+// benchmark's measurement machinery, smoke-tested end to end. Covers the
+// closed-loop and open-loop drivers, the latency histogram plumbing, and
+// crash recovery under pipelined load (no sibling request may be lost
+// while a worker recovers).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/miniginx.h"
+#include "workload/concurrent.h"
+
+namespace fir {
+namespace {
+
+TxManagerConfig stm_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;
+  return c;
+}
+
+TEST(ServingLoadTest, ClosedLoopWindowTalliesAndHistogramAgree) {
+  Miniginx server(stm_cfg());
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(2).is_ok());
+
+  TimedLoadSpec spec;
+  for (int i = 0; i < server.worker_count(); ++i)
+    spec.ports.push_back(server.worker_port(i));
+  spec.threads = 2;
+  spec.pipeline_depth = 4;
+  spec.warmup_seconds = 0.05;
+  spec.duration_seconds = 0.25;
+  const TimedLoadResult result = run_timed_http_load(server, spec);
+  server.stop();
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.transport_failures, 0u);
+  EXPECT_EQ(result.completed,
+            result.responses_2xx + result.responses_4xx +
+                result.responses_5xx);
+  EXPECT_EQ(result.responses_5xx, 0u);
+  // Every completed response recorded exactly one latency sample.
+  EXPECT_EQ(result.latency_us.count(), result.completed);
+  EXPECT_GT(result.requests_per_second, 0.0);
+  // Percentiles are ordered and bounded by the recorded extremes.
+  EXPECT_LE(result.latency_us.min(), result.p50_us());
+  EXPECT_LE(result.p50_us(), result.p90_us());
+  EXPECT_LE(result.p90_us(), result.p99_us());
+  EXPECT_LE(result.p99_us(), result.p999_us());
+  EXPECT_LE(result.p999_us(), result.latency_us.max());
+}
+
+TEST(ServingLoadTest, OpenLoopPacesOfferedLoad) {
+  Miniginx server(stm_cfg());
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(1).is_ok());
+
+  TimedLoadSpec spec;
+  spec.ports.push_back(server.worker_port(0));
+  spec.threads = 1;
+  spec.pipeline_depth = 4;
+  spec.warmup_seconds = 0.05;
+  spec.duration_seconds = 0.25;
+  spec.open_loop_rate_per_thread = 400;  // far below saturation
+  const TimedLoadResult result = run_timed_http_load(server, spec);
+  server.stop();
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.transport_failures, 0u);
+  // The schedule bounds offered load: 400/s over a 0.25 s window plus
+  // boundary slop can never approach the closed-loop thousands.
+  EXPECT_LE(result.sent, 400u);
+}
+
+TEST(ServingLoadTest, ClosePerRequestArmCompletesWithoutFailures) {
+  ::setenv("FIR_KEEPALIVE", "0", 1);
+  Miniginx server(stm_cfg());
+  ::unsetenv("FIR_KEEPALIVE");
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(2).is_ok());
+
+  TimedLoadSpec spec;
+  for (int i = 0; i < server.worker_count(); ++i)
+    spec.ports.push_back(server.worker_port(i));
+  spec.threads = 2;
+  spec.pipeline_depth = 4;  // forced to 1 internally with keep_alive=false
+  spec.keep_alive = false;
+  spec.warmup_seconds = 0.05;
+  spec.duration_seconds = 0.25;
+  const TimedLoadResult result = run_timed_http_load(server, spec);
+  server.stop();
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.transport_failures, 0u);
+  EXPECT_EQ(result.responses_2xx, result.completed);
+}
+
+// Saturation + fault injection: one worker crashes (§VI-F SSI NULL deref)
+// on every request of one client while other clients run clean pipelined
+// load. Zero transport failures anywhere: crashing requests divert to
+// 500s, sibling requests and sibling workers lose nothing.
+TEST(ServingLoadTest, RecoveryUnderPipelinedLoadLosesNothing) {
+  Miniginx server(stm_cfg());
+  server.enable_ssi_null_bug(true);
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(2).is_ok());
+
+  std::vector<ThreadedClientSpec> specs;
+  specs.push_back({server.worker_port(0), "/broken.shtml", 40});
+  specs.push_back({server.worker_port(1), "/index.html", 40});
+  const ThreadedLoadResult result = run_threaded_http_load(server, specs);
+
+  EXPECT_EQ(result.clients[0].responses_5xx, 40u);
+  EXPECT_EQ(result.clients[1].responses_2xx, 40u);
+  EXPECT_EQ(result.total_transport_failures(), 0u);
+  EXPECT_EQ(result.total_responses(), result.total_sent());
+  for (int i = 0; i < 2; ++i)
+    EXPECT_TRUE(server.worker_alive(i)) << "worker " << i;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace fir

@@ -4,9 +4,26 @@
 Usage:
     check_bench_regression.py RESULTS_JSON [--baseline BENCH_tx_begin.json]
                               [--tolerance 0.25] [--absolute]
+    check_bench_regression.py RESULTS_JSON --serving
+                              [--baseline BENCH_serving.json]
+                              [--tolerance 0.25]
 
-RESULTS_JSON is a google-benchmark --benchmark_format=json run of
-bench/micro_checkpoint covering the BM_TxBeginQuiescent* benchmarks.
+Default mode: RESULTS_JSON is a google-benchmark --benchmark_format=json run
+of bench/micro_checkpoint covering the BM_TxBeginQuiescent* benchmarks.
+
+--serving mode: RESULTS_JSON is a bench/serving_throughput report. The gates
+are again machine-independent ratios from within one run:
+
+  * gated-arm overhead — for each recovery-mode arm (htm-only, stm-only,
+    adaptive, adaptive-no-coalesce), requests_per_second relative to the
+    unprotected arm must not fall more than `tolerance` below the same
+    ratio in the baseline file;
+  * keepalive win — unprotected vs close-per-request throughput must stay
+    at or above the baseline's `min_keepalive_win` floor (the fast path's
+    reason to exist);
+  * correctness backstop — every arm must finish with zero transport
+    failures (a lost or unanswered request under clean load is a serving
+    bug, not noise).
 
 The primary check is machine-independent: for each frame variant, the
 amortization ratio
@@ -53,13 +70,93 @@ def load_results(path):
     return times
 
 
+# Arms whose throughput-vs-unprotected ratio is gated in --serving mode.
+SERVING_GATED_ARMS = [
+    "htm-only",
+    "stm-only",
+    "adaptive",
+    "adaptive-no-coalesce",
+]
+
+
+def check_serving(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.results) as f:
+        fresh = json.load(f)
+    base_arms = baseline["arms"]
+    arms = fresh["arms"]
+
+    failures = []
+
+    missing = [a for a in ["unprotected", "close-per-request"] +
+               SERVING_GATED_ARMS if a not in arms]
+    if missing:
+        for m in missing:
+            failures.append("missing arm in results: %s" % m)
+        arms = {}
+
+    if arms:
+        unprotected = float(arms["unprotected"]["requests_per_second"])
+        base_unprotected = float(
+            base_arms["unprotected"]["requests_per_second"])
+
+        for name in SERVING_GATED_ARMS:
+            ratio = float(arms[name]["requests_per_second"]) / unprotected
+            base_ratio = (float(base_arms[name]["requests_per_second"]) /
+                          base_unprotected)
+            limit = base_ratio * (1.0 - args.tolerance)
+            verdict = "FAIL" if ratio < limit else "ok"
+            print("%-36s ratio %.3f (baseline %.3f, limit %.3f)  %s"
+                  % (name + " / unprotected", ratio, base_ratio, limit,
+                     verdict))
+            if ratio < limit:
+                failures.append(
+                    "%s overhead regressed: %.3f < %.3f"
+                    % (name, ratio, limit))
+
+        win = unprotected / float(
+            arms["close-per-request"]["requests_per_second"])
+        floor = float(baseline.get("min_keepalive_win", 2.0))
+        verdict = "FAIL" if win < floor else "ok"
+        print("%-36s ratio %.3f (floor %.3f)                  %s"
+              % ("unprotected / close-per-request", win, floor, verdict))
+        if win < floor:
+            failures.append(
+                "keepalive+pipelining win collapsed: %.3fx < %.3fx"
+                % (win, floor))
+
+        for name, arm in sorted(arms.items()):
+            xfail = int(arm.get("transport_failures", 0))
+            if xfail != 0:
+                failures.append(
+                    "%s lost %d request(s) under clean load" % (name, xfail))
+
+    if failures:
+        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print("\nserving regression gate passed (tolerance %.0f%%)"
+          % (args.tolerance * 100))
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("results")
-    ap.add_argument("--baseline", default="BENCH_tx_begin.json")
+    ap.add_argument("--baseline", default=None)
     ap.add_argument("--tolerance", type=float, default=0.25)
     ap.add_argument("--absolute", action="store_true")
+    ap.add_argument("--serving", action="store_true")
     args = ap.parse_args()
+
+    if args.serving:
+        if args.baseline is None:
+            args.baseline = "BENCH_serving.json"
+        return check_serving(args)
+    if args.baseline is None:
+        args.baseline = "BENCH_tx_begin.json"
 
     with open(args.baseline) as f:
         baseline = json.load(f)["baseline_cpu_ns"]
