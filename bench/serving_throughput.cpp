@@ -29,6 +29,9 @@ struct Options {
   int depth = 8;  // client pipeline depth (server default FIR_PIPELINE_MAX=8)
   std::string target = "/index.html";
   std::string out = "BENCH_serving_results.json";
+  /// Offered rates (requests/s per client thread) for the open-loop
+  /// latency-vs-rate sweep; empty disables the sweep (--sweep=none).
+  std::vector<unsigned> sweep_rates = {500, 1000, 2000, 4000, 8000};
 };
 
 struct EnvOverride {
@@ -45,6 +48,14 @@ struct ArmSpec {
 
 struct ArmResult {
   std::string name;
+  TimedLoadResult load;
+};
+
+/// One point of the open-loop latency-vs-offered-rate sweep: requests are
+/// paced at `rate_per_thread` instead of closed-loop saturation, tracing
+/// the latency trajectory as offered load climbs toward the knee.
+struct SweepPoint {
+  unsigned rate_per_thread;
   TimedLoadResult load;
 };
 
@@ -83,6 +94,30 @@ ArmResult run_arm(const Options& opt, const ArmSpec& arm) {
   return result;
 }
 
+std::vector<SweepPoint> run_open_loop_sweep(const Options& opt) {
+  std::vector<SweepPoint> points;
+  Miniginx server(apps::named_policy_config("firestarter"));
+  if (!server.start(Miniginx::kDefaultPort).is_ok() ||
+      !server.start_workers(opt.workers).is_ok()) {
+    std::fprintf(stderr, "serving_throughput: failed to start sweep server\n");
+    std::exit(1);
+  }
+  for (const unsigned rate : opt.sweep_rates) {
+    TimedLoadSpec spec;
+    for (int i = 0; i < server.worker_count(); ++i)
+      spec.ports.push_back(server.worker_port(i));
+    spec.target = opt.target;
+    spec.threads = opt.threads;
+    spec.pipeline_depth = opt.depth;
+    spec.warmup_seconds = opt.warmup_seconds;
+    spec.duration_seconds = opt.duration_seconds;
+    spec.open_loop_rate_per_thread = rate;
+    points.push_back({rate, run_timed_http_load(server, spec)});
+  }
+  server.stop();
+  return points;
+}
+
 double parse_double_arg(const char* arg, const char* prefix, double fallback) {
   const std::size_t n = std::strlen(prefix);
   if (std::strncmp(arg, prefix, n) != 0) return fallback;
@@ -108,11 +143,21 @@ int main_impl(int argc, char** argv) {
       opt.target = a + 9;
     } else if (std::strncmp(a, "--out=", 6) == 0) {
       opt.out = a + 6;
+    } else if (std::strncmp(a, "--sweep=", 8) == 0) {
+      // Comma-separated per-thread rates, or "none" to skip the sweep.
+      opt.sweep_rates.clear();
+      for (const char* p = a + 8; *p != '\0' && std::strcmp(p, "none") != 0;) {
+        opt.sweep_rates.push_back(
+            static_cast<unsigned>(std::strtoul(p, nullptr, 10)));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: serving_throughput [--warmup=S] [--duration=S] "
                    "[--threads=N] [--workers=N] [--depth=N] [--target=PATH] "
-                   "[--out=FILE]\n");
+                   "[--sweep=R1,R2,...|none] [--out=FILE]\n");
       return 2;
     }
   }
@@ -152,6 +197,24 @@ int main_impl(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  // Open-loop sweep: offered rate vs latency on the adaptive policy.
+  // Reported, not gated — the trajectory is machine-dependent; the gated
+  // numbers above are the ratios.
+  std::vector<SweepPoint> sweep;
+  if (!opt.sweep_rates.empty()) {
+    sweep = run_open_loop_sweep(opt);
+    std::printf("\n%-22s %12s %12s %9s %9s\n", "open-loop rate/thread",
+                "offered", "achieved", "p50_us", "p99_us");
+    for (const SweepPoint& p : sweep) {
+      std::printf("%-22u %12u %12.0f %9llu %9llu\n", p.rate_per_thread,
+                  p.rate_per_thread * static_cast<unsigned>(opt.threads),
+                  p.load.requests_per_second,
+                  static_cast<unsigned long long>(p.load.p50_us()),
+                  static_cast<unsigned long long>(p.load.p99_us()));
+    }
+    std::fflush(stdout);
+  }
+
   std::FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "serving_throughput: cannot write %s\n",
@@ -185,7 +248,29 @@ int main_impl(int argc, char** argv) {
         static_cast<unsigned long long>(r.load.p999_us()),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  }%s\n", sweep.empty() ? "" : ",");
+  if (!sweep.empty()) {
+    std::fprintf(f, "  \"open_loop_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      std::fprintf(
+          f,
+          "    {\"rate_per_thread\": %u, \"offered_rps\": %u, "
+          "\"achieved_rps\": %.1f, \"completed\": %llu, "
+          "\"transport_failures\": %llu, \"p50_us\": %llu, \"p99_us\": "
+          "%llu}%s\n",
+          p.rate_per_thread,
+          p.rate_per_thread * static_cast<unsigned>(opt.threads),
+          p.load.requests_per_second,
+          static_cast<unsigned long long>(p.load.completed),
+          static_cast<unsigned long long>(p.load.transport_failures),
+          static_cast<unsigned long long>(p.load.p50_us()),
+          static_cast<unsigned long long>(p.load.p99_us()),
+          i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", opt.out.c_str());
   return 0;

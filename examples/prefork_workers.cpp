@@ -1,95 +1,98 @@
-// Multi-process prefork demo (paper SVII, "many servers also provide
+// Multi-process prefork demo (paper §VII, "many servers also provide
 // multi-process configurations ... where this limitation would not apply").
 //
-// FIRestarter's single-threaded scope fits prefork deployments naturally:
-// each worker process is an independent protected instance (own virtual OS,
-// own recovery runtime, own crash domain). A load balancer spreads requests
-// over the workers; a persistent bug in one worker is recovered inside that
-// worker without the siblings ever noticing — and even if a fault is
-// unrecoverable, the blast radius is one worker.
+// This is the real thing, not a sketch: FleetSupervisor forks four worker
+// PROCESSES, each hosting its own miniginx (own virtual OS, own recovery
+// runtime, own crash domain), and routes request batches to them over real
+// socketpairs. Mid-load we murder workers three different ways — the
+// double-fault _exit(70) path, a hard SIGKILL, and a simulated hang — and
+// the supervisor restarts each one after backoff while the in-flight
+// batches requeue. The demo asserts what the paper's §VII argument
+// promises: the fleet ends at full strength and not one request is lost.
+#include <chrono>
 #include <cstdio>
-#include <memory>
-#include <vector>
+#include <thread>
 
-#include "apps/miniginx.h"
-#include "workload/http_client.h"
+#include "apps/supervisor.h"
+#include "workload/fleet.h"
 
 using namespace fir;
 
-namespace {
-
-struct Worker {
-  std::unique_ptr<Miniginx> server;
-  std::unique_ptr<HttpClient> client;
-  std::uint64_t served = 0;
-  std::uint64_t errors = 0;
-  bool dead = false;
-};
-
-int fetch_status(Worker& worker, const char* target) {
-  if (!worker.client->connected() && !worker.client->connect()) return -1;
-  if (!worker.client->send_request("GET", target)) return -1;
-  HttpClient::Response response;
-  for (int i = 0; i < 16; ++i) {
-    try {
-      worker.server->run_once();
-    } catch (const FatalCrashError& e) {
-      worker.dead = true;  // this worker's crash domain ends here
-      return -1;
-    }
-    if (worker.client->try_read_response(response) == 1)
-      return response.status;
-  }
-  return -1;
-}
-
-}  // namespace
-
 int main() {
-  constexpr int kWorkers = 4;
-  std::vector<Worker> pool(kWorkers);
-  for (Worker& worker : pool) {
-    worker.server = std::make_unique<Miniginx>();
-    if (!worker.server->start(0).is_ok()) return 1;
-    worker.server->enable_ssi_null_bug(true);  // the production bug SVI-F
-    worker.client = std::make_unique<HttpClient>(
-        worker.server->fx().env(), worker.server->port());
+  fleet::FleetConfig config;
+  config.workers = 4;
+  config.backoff_base_ms = 10;
+  config.heartbeat_deadline_ms = 250;  // hangs detected quickly
+  fleet::FleetSupervisor fleet(config);
+  if (!fleet.start()) {
+    std::puts("prefork: failed to fork the fleet");
+    return 1;
   }
-  std::printf("prefork: %d miniginx workers, each its own crash domain\n\n",
-              kWorkers);
+  std::printf("prefork: %d miniginx worker processes, each its own crash "
+              "domain\n\n",
+              fleet.worker_count());
 
-  // Round-robin load: most requests are healthy; every 7th hits the SSI
-  // page whose NULL-deref bug crashes the handling worker.
-  int rr = 0;
-  for (int i = 0; i < 56; ++i) {
-    Worker& worker = pool[static_cast<std::size_t>(rr++ % kWorkers)];
-    if (worker.dead) continue;
-    const char* target = (i % 7 == 6) ? "/broken.shtml" : "/index.html";
-    const int status = fetch_status(worker, target);
-    if (status == 200) {
-      ++worker.served;
-    } else {
-      ++worker.errors;  // 500s from recovered crashes land here
+  // Chaos alongside the load: one murder per 150 ms, cycling through the
+  // three unplanned-death shapes the supervisor classifies.
+  bool stop_chaos = false;
+  std::thread chaos([&] {
+    const fleet::KillMode cycle[] = {fleet::KillMode::kExit70,
+                                     fleet::KillMode::kSigkill,
+                                     fleet::KillMode::kHang};
+    int i = 0;
+    while (!stop_chaos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      fleet.kill_worker(i % fleet.worker_count(), cycle[i % 3]);
+      ++i;
     }
-  }
+  });
 
-  std::puts("worker  served-200  recovered-errors  diversions  alive");
-  bool all_alive = true;
-  std::uint64_t total_diversions = 0;
-  for (std::size_t w = 0; w < pool.size(); ++w) {
-    std::uint64_t diversions = 0;
-    for (const Site& site : pool[w].server->fx().mgr().sites().all())
-      diversions += site.stats.diversions;
-    total_diversions += diversions;
-    std::printf("  %zu        %llu           %llu                %llu        %s\n",
-                w, static_cast<unsigned long long>(pool[w].served),
-                static_cast<unsigned long long>(pool[w].errors),
-                static_cast<unsigned long long>(diversions),
-                pool[w].dead ? "NO" : "yes");
-    all_alive &= !pool[w].dead;
+  FleetLoadSpec spec;
+  spec.threads = 4;
+  spec.duration_ms = 1500;
+  spec.batch_size = 8;
+  const FleetLoadResult result = run_fleet_http_load(fleet, spec);
+  stop_chaos = true;
+  chaos.join();
+
+  // Give the last victim time to restart, then audit the fleet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const fleet::FleetCounters counters = fleet.counters();
+  std::puts("worker  alive  shard");
+  bool full_strength = true;
+  for (int w = 0; w < fleet.worker_count(); ++w) {
+    std::printf("  %d     %-5s  %d\n", w, fleet.worker_up(w) ? "yes" : "NO",
+                fleet.shard_owner(w));
+    full_strength &= fleet.worker_up(w);
   }
-  std::printf("\nall %d workers survived %llu crash recoveries; the fleet "
-              "never lost capacity\n",
-              kWorkers, static_cast<unsigned long long>(total_diversions));
-  return all_alive && total_diversions >= 8 ? 0 : 1;
+  std::printf("\ndeaths=%llu (exit70=%llu sigkill=%llu hang=%llu) "
+              "restarts=%llu requeued-batches=%llu\n",
+              static_cast<unsigned long long>(counters.deaths),
+              static_cast<unsigned long long>(counters.exit70_deaths),
+              static_cast<unsigned long long>(counters.signal_deaths),
+              static_cast<unsigned long long>(counters.hang_deaths),
+              static_cast<unsigned long long>(counters.restarts),
+              static_cast<unsigned long long>(counters.requeues));
+  std::printf("requests=%llu answered=%llu lost=%llu\n",
+              static_cast<unsigned long long>(result.requests),
+              static_cast<unsigned long long>(result.answered()),
+              static_cast<unsigned long long>(result.lost));
+  fleet.stop();
+
+  if (!full_strength) {
+    std::puts("\nFAILED: fleet did not return to full strength");
+    return 1;
+  }
+  if (result.lost != 0 || result.answered() != result.requests) {
+    std::puts("\nFAILED: requests were lost");
+    return 1;
+  }
+  if (counters.deaths == 0 || counters.restarts < counters.deaths) {
+    std::puts("\nFAILED: chaos never landed (or restarts missing)");
+    return 1;
+  }
+  std::printf("\nall %d workers restarted after every death; the fleet lost "
+              "zero requests\n",
+              fleet.worker_count());
+  return 0;
 }

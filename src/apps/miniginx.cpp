@@ -32,6 +32,9 @@ ServingConfig ServingConfig::from_env() {
   if (const char* v = std::getenv("FIR_WRITEV")) {
     c.use_writev = std::atoi(v) != 0;
   }
+  if (const char* v = std::getenv("FIR_REUSEPORT")) {
+    c.reuse_port = std::atoi(v) != 0;
+  }
   return c;
 }
 
@@ -68,6 +71,15 @@ Status Miniginx::open_listener(WorkerState& ws) {
   const int ret_s = FIR_SETSOCKOPT(fx_, s, kOptReuseAddr);
   if (ret_s == -1) {
     FIR_LOG(kError) << "miniginx: setsockopt() failed";
+    if (FIR_CLOSE(fx_, s) == -1)
+      FIR_LOG(kError) << "miniginx: close_socket failed";
+    return Status(ErrorCode::kInternal, "setsockopt");
+  }
+  // FIR_REUSEPORT: join the port's listener group before bind (the option
+  // must be set pre-bind, like the kernel's).
+  if (serving_.reuse_port &&
+      FIR_SETSOCKOPT(fx_, s, kSockOptReusePort) == -1) {
+    FIR_LOG(kError) << "miniginx: setsockopt(SO_REUSEPORT) failed";
     if (FIR_CLOSE(fx_, s) == -1)
       FIR_LOG(kError) << "miniginx: close_socket failed";
     return Status(ErrorCode::kInternal, "setsockopt");
@@ -139,7 +151,9 @@ Status Miniginx::start_workers(int n) {
     workers_.emplace_back();
     WorkerState& ws = workers_.back();
     ws.index = i;
-    ws.port = static_cast<std::uint16_t>(port_ + 1 + i);
+    ws.port = serving_.reuse_port
+                  ? port_
+                  : static_cast<std::uint16_t>(port_ + 1 + i);
     ws.counters = &ws.own_counters;
     const Status st = open_listener(ws);
     if (!st.is_ok()) {
@@ -222,6 +236,16 @@ void Miniginx::release_loop_resources(WorkerState& ws) {
   if (ws.epfd >= 0) fx_.env().close(ws.epfd);
   if (ws.listen_fd >= 0) fx_.env().close(ws.listen_fd);
   ws.epfd = ws.listen_fd = -1;
+}
+
+void Miniginx::stop_accepting() {
+  if (!running_ || loop_.listen_fd < 0) return;
+  // Untracked teardown (drain is a planned shutdown step, not a protected
+  // handler): deregister from epoll, then close the listener. Connections
+  // already accepted stay in the fd map and keep being served.
+  fx_.env().epoll_ctl(loop_.epfd, kEpollDel, loop_.listen_fd, 0);
+  fx_.env().close(loop_.listen_fd);
+  loop_.listen_fd = -1;
 }
 
 void Miniginx::stop() {

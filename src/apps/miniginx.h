@@ -48,6 +48,11 @@ struct ServingConfig {
   /// FIR_WRITEV. false: one gated send() per response slice instead of a
   /// single gated writev() per flush pass.
   bool use_writev = true;
+  /// FIR_REUSEPORT. true: every listener (cooperative loop and workers)
+  /// sets SO_REUSEPORT and binds the SAME port; the env deals connections
+  /// round-robin across the group — nginx's one-port-per-fleet shape.
+  /// false (default): worker i listens on port()+1+i as before.
+  bool reuse_port = false;
 
   static ServingConfig from_env();
 };
@@ -82,6 +87,12 @@ class Miniginx final : public Server {
 
   /// Populates the document root with the default test-suite content.
   void install_default_docroot();
+
+  /// Drain hook: closes the cooperative loop's listener so no new
+  /// connections are accepted; established connections keep being served
+  /// by run_once() until their batches flush. Idempotent.
+  void stop_accepting();
+  bool accepting() const { return running_ && loop_.listen_fd >= 0; }
 
   // --- worker pool --------------------------------------------------------
   /// Spawns `n` worker event-loop threads. Worker i listens on

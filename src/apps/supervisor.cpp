@@ -1,0 +1,935 @@
+#include "apps/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/miniginx.h"
+#include "core/crash.h"
+
+namespace fir::fleet {
+
+namespace {
+
+// --- frame protocol ---------------------------------------------------------
+// Everything on the control socketpair is a 12-byte header followed by
+// `payload_len` bytes. The channel is a stream, so control frames (drain,
+// kill) are totally ordered with batch frames — a drain sent while a batch
+// is in flight takes effect after the batch's statuses, which is exactly
+// the zero-loss drain semantics.
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint16_t type = 0;
+  std::uint16_t n = 0;  // requests in a kBatch / statuses in a kStatuses
+  std::uint32_t batch_id = 0;
+};
+
+enum FrameType : std::uint16_t {
+  // supervisor -> worker
+  kFrBatch = 1,
+  kFrDrain = 2,
+  kFrKillExit70 = 3,  // test/chaos: run the real double-fault death path
+  kFrKillHang = 4,    // test/chaos: go silent (stop reading/heartbeating)
+  // worker -> supervisor
+  kFrReady = 10,
+  kFrStatuses = 11,
+  kFrHeartbeat = 12,
+  kFrDrained = 13,
+};
+
+/// Blocking write of the whole buffer (the fds are O_NONBLOCK on the
+/// supervisor side; control frames are tiny, so EAGAIN means a dead or
+/// wedged peer — bounded retries, then give up and let reaping handle it).
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  int stalls = 0;
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (++stalls > 500) return false;
+      struct pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 2);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool send_frame(int fd, std::uint16_t type, std::uint16_t n = 0,
+                std::uint32_t batch_id = 0, const std::string& payload = {}) {
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.type = type;
+  h.n = n;
+  h.batch_id = batch_id;
+  char buf[sizeof(FrameHeader)];
+  std::memcpy(buf, &h, sizeof(h));
+  if (!write_all(fd, buf, sizeof(buf))) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+/// Extracts one complete frame from the front of `buf`. Returns false when
+/// more bytes are needed.
+bool take_frame(std::string& buf, FrameHeader* h, std::string* payload) {
+  if (buf.size() < sizeof(FrameHeader)) return false;
+  std::memcpy(h, buf.data(), sizeof(FrameHeader));
+  const std::size_t total = sizeof(FrameHeader) + h->payload_len;
+  if (buf.size() < total) return false;
+  payload->assign(buf, sizeof(FrameHeader), h->payload_len);
+  buf.erase(0, total);
+  return true;
+}
+
+std::string encode_targets(const std::vector<std::string>& targets) {
+  std::string out;
+  for (const std::string& t : targets) {
+    const std::uint32_t len = static_cast<std::uint32_t>(t.size());
+    out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.append(t);
+  }
+  return out;
+}
+
+std::vector<std::string> decode_targets(const std::string& payload, int n) {
+  std::vector<std::string> targets;
+  std::size_t pos = 0;
+  for (int i = 0; i < n && pos + sizeof(std::uint32_t) <= payload.size();
+       ++i) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, payload.data() + pos, sizeof(len));
+    pos += sizeof(len);
+    if (pos + len > payload.size()) break;
+    targets.emplace_back(payload, pos, len);
+    pos += len;
+  }
+  return targets;
+}
+
+// --- worker-side HTTP bridge ------------------------------------------------
+
+/// Scans `rx` for one complete HTTP response. Returns the total byte length
+/// consumed (0 when incomplete); fills status and whether the server asked
+/// to close. Mirrors HttpClient::try_read_response, which the supervisor
+/// layer cannot link (workload depends on apps, not vice versa).
+std::size_t scan_response(const std::string& rx, int* status,
+                          bool* close_after) {
+  const std::size_t head_end = rx.find("\r\n\r\n");
+  if (head_end == std::string::npos) return 0;
+  *status = rx.size() >= 12 && rx.compare(0, 5, "HTTP/") == 0
+                ? std::atoi(rx.c_str() + 9)
+                : 0;
+  std::size_t content_length = 0;
+  std::size_t pos = 0;
+  while (pos < head_end) {
+    std::size_t eol = rx.find("\r\n", pos);
+    if (eol == std::string::npos || eol > head_end) eol = head_end;
+    static constexpr std::string_view kKey = "content-length:";
+    if (eol - pos > kKey.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kKey.size(); ++i) {
+        const char c = rx[pos + i];
+        const char a = c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c;
+        if (a != kKey[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        content_length = static_cast<std::size_t>(
+            std::atoll(rx.c_str() + pos + kKey.size()));
+      }
+    }
+    pos = eol + 2;
+  }
+  const std::size_t total = head_end + 4 + content_length;
+  if (rx.size() < total) return 0;
+  *close_after = rx.find("Connection: close") < head_end;
+  return total;
+}
+
+/// Replays one batch of GET targets against the worker's in-process
+/// miniginx through the virtual network: send the request, pump run_once()
+/// until the response is complete, keep the virtual connection alive
+/// across requests. Returns per-request HTTP statuses (0 only if the
+/// server could not produce a response at all, which a healthy worker
+/// never does).
+std::vector<int> serve_batch(Miniginx& mg,
+                             const std::vector<std::string>& targets) {
+  Env& env = mg.fx().env();
+  std::vector<int> statuses(targets.size(), 0);
+  int fd = -1;
+  std::string rx;
+  char buf[4096];
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (int attempt = 0; attempt < 3 && statuses[i] == 0; ++attempt) {
+      if (fd < 0) {
+        fd = env.connect_to(mg.port());
+        rx.clear();
+        if (fd < 0) break;  // listener gone (draining): leave status 0
+      }
+      std::string req = "GET " + targets[i] +
+                        " HTTP/1.1\r\nHost: fleet\r\n"
+                        "Connection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+      std::size_t off = 0;
+      bool dead = false;
+      int stalls = 0;
+      while (off < req.size()) {
+        const ssize_t w = env.send(fd, req.data() + off, req.size() - off);
+        if (w > 0) {
+          off += static_cast<std::size_t>(w);
+          stalls = 0;
+          continue;
+        }
+        mg.run_once();  // make room / progress the server
+        if (++stalls > 1000) {
+          dead = true;
+          break;
+        }
+      }
+      // Pump the server until the response for this request is complete.
+      while (!dead) {
+        mg.run_once();
+        for (;;) {
+          const ssize_t r = env.recv(fd, buf, sizeof(buf));
+          if (r > 0) {
+            rx.append(buf, static_cast<std::size_t>(r));
+            continue;
+          }
+          if (r == 0 || env.last_errno() != EAGAIN) dead = true;
+          break;
+        }
+        int status = 0;
+        bool close_after = false;
+        const std::size_t used = scan_response(rx, &status, &close_after);
+        if (used > 0) {
+          statuses[i] = status;
+          rx.erase(0, used);
+          if (close_after) dead = true;
+          break;
+        }
+        if (dead) break;  // EOF without a full response: retry fresh
+        if (++stalls > 10000) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        env.close(fd);
+        fd = -1;
+      }
+    }
+  }
+  if (fd >= 0) env.close(fd);
+  return statuses;
+}
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const char* death_cause_name(DeathCause cause) {
+  switch (cause) {
+    case DeathCause::kDoubleFault: return "double-fault";
+    case DeathCause::kSignal: return "signal";
+    case DeathCause::kHang: return "hang";
+    case DeathCause::kExit: return "exit";
+    case DeathCause::kDrained: return "drained";
+  }
+  return "?";
+}
+
+// --- worker process ---------------------------------------------------------
+
+void fleet_worker_main(int ctrl_fd, const FleetConfig& config, int shard) {
+  ::signal(SIGPIPE, SIG_IGN);
+  // The worker owns a fresh Miniginx and therefore a fresh Env: the fork
+  // boundary is the fault boundary. FIR_SIGNALS is honored by the
+  // TxManager's own config-from-env hook.
+  Miniginx mg;
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(config.base_port + shard);
+  if (!mg.start(port).is_ok()) _exit(64);  // EX_USAGE-ish: cannot serve
+  if (config.ssi_null_bug) mg.enable_ssi_null_bug(true);
+  for (const int s : config.crash_on_spawn_shards) {
+    if (s == shard) {
+      // TEST HOOK: die the way a worker whose shard input is poisonous
+      // would — through the real double-fault termination path.
+      DoubleFaultDiag diag;
+      diag.site_function = "spawn";
+      diag.site_location = "fleet-crash-on-spawn";
+      die_double_fault(CrashKind::kSegv, "sync", &diag);
+    }
+  }
+  send_frame(ctrl_fd, kFrReady);
+
+  const int hb_interval_ms = std::max(
+      1, std::min<int>(250, static_cast<int>(config.heartbeat_deadline_ms) / 4));
+  std::uint64_t last_hb = steady_ms();
+  std::string rxbuf;
+  char buf[4096];
+  for (;;) {
+    struct pollfd pfd{ctrl_fd, POLLIN, 0};
+    ::poll(&pfd, 1, hb_interval_ms);
+    const std::uint64_t now = steady_ms();
+    if (now - last_hb >= static_cast<std::uint64_t>(hb_interval_ms)) {
+      if (!send_frame(ctrl_fd, kFrHeartbeat)) _exit(0);  // supervisor gone
+      last_hb = now;
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) continue;
+    const ssize_t r = ::read(ctrl_fd, buf, sizeof(buf));
+    if (r == 0) _exit(0);  // supervisor closed the channel: orderly exit
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EINTR) continue;
+      _exit(0);
+    }
+    rxbuf.append(buf, static_cast<std::size_t>(r));
+    FrameHeader h;
+    std::string payload;
+    while (take_frame(rxbuf, &h, &payload)) {
+      switch (h.type) {
+        case kFrBatch: {
+          const std::vector<std::string> targets =
+              decode_targets(payload, h.n);
+          std::vector<int> statuses;
+          try {
+            statuses = serve_batch(mg, targets);
+          } catch (const FatalCrashError& e) {
+            // Unrecoverable fault while serving: in a real deployment the
+            // process dies here. Leave a line for the supervisor's stderr
+            // capture, then die (distinct from the double-fault code).
+            const char* msg = "fir: worker fatal crash\n";
+            const ssize_t ignored = ::write(2, msg, std::strlen(msg));
+            (void)ignored;
+            _exit(65);
+          }
+          std::string out;
+          for (const int s : statuses) {
+            const std::uint16_t v = static_cast<std::uint16_t>(s);
+            out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          }
+          if (!send_frame(ctrl_fd, kFrStatuses,
+                          static_cast<std::uint16_t>(statuses.size()),
+                          h.batch_id, out))
+            _exit(0);
+          last_hb = steady_ms();
+          break;
+        }
+        case kFrDrain:
+          // Planned drain: stop accepting, finish anything buffered (the
+          // frame stream already serialized us after any in-flight batch),
+          // acknowledge, exit clean.
+          mg.stop_accepting();
+          send_frame(ctrl_fd, kFrDrained);
+          mg.stop();
+          _exit(0);
+        case kFrKillExit70: {
+          // Chaos interface: the REAL double-fault termination path, so
+          // integration tests exercise exactly what production does.
+          DoubleFaultDiag diag;
+          diag.site_function = "fleet-kill";
+          diag.site_location = "supervisor-chaos-hook";
+          die_double_fault(CrashKind::kSegv, "sync", &diag);
+        }
+        case kFrKillHang:
+          // Chaos interface: go silent. No reads, no heartbeats — the
+          // supervisor's deadline detector must SIGKILL us.
+          for (;;) ::poll(nullptr, 0, 1000);
+        default:
+          break;  // unknown frame: ignore (forward compatibility)
+      }
+    }
+  }
+}
+
+// --- supervisor -------------------------------------------------------------
+
+FleetConfig FleetConfig::from_env() { return from_env(FleetConfig{}); }
+
+FleetConfig FleetConfig::from_env(FleetConfig base) {
+  FleetConfig c = std::move(base);
+  if (const char* v = std::getenv("FIR_FLEET_WORKERS")) {
+    const int n = std::atoi(v);
+    if (n > 0 && n <= 64) c.workers = n;
+  }
+  if (const char* v = std::getenv("FIR_RESTART_BACKOFF_MS")) {
+    const long ms = std::strtol(v, nullptr, 10);
+    if (ms > 0) c.backoff_base_ms = static_cast<std::uint32_t>(ms);
+  }
+  if (const char* v = std::getenv("FIR_FLAP_THRESHOLD")) {
+    const long k = std::strtol(v, nullptr, 10);
+    if (k >= 0) c.flap_threshold = static_cast<std::uint32_t>(k);
+  }
+  if (const char* v = std::getenv("FIR_HEARTBEAT_DEADLINE_MS")) {
+    const long ms = std::strtol(v, nullptr, 10);
+    if (ms > 0) c.heartbeat_deadline_ms = static_cast<std::uint32_t>(ms);
+  }
+  return c;
+}
+
+namespace {
+
+// Fleet lifecycle events are rare (spawns and deaths, not per-request), so
+// the supervisor keeps its trace ring on by default; FIR_TRACE=0 still
+// silences it.
+obs::ObsConfig supervisor_obs_config() {
+  obs::ObsConfig base;
+  base.trace_enabled = true;
+  return obs::ObsConfig::from_env(std::move(base));
+}
+
+}  // namespace
+
+FleetSupervisor::FleetSupervisor(FleetConfig config)
+    : config_(std::move(config)),
+      obs_(supervisor_obs_config()) {
+  backoff_.base_ms = config_.backoff_base_ms;
+  backoff_.max_ms = config_.backoff_max_ms;
+  backoff_.jitter_frac = config_.backoff_jitter;
+  if (config_.workers < 1) config_.workers = 1;
+}
+
+FleetSupervisor::~FleetSupervisor() { stop(); }
+
+std::uint64_t FleetSupervisor::now_ms() const { return steady_ms(); }
+
+void FleetSupervisor::emit(obs::EventKind kind, const Slot& slot,
+                           std::int64_t a1, std::uint64_t now,
+                           const char* extra_key,
+                           const std::string& extra_value) {
+  obs_.emit(kind, static_cast<std::uint32_t>(-1), nullptr, slot.shard, a1);
+  obs_.metrics()
+      .counter(std::string("fleet.") + obs::event_kind_name(kind))
+      .inc();
+  if (event_log_ == nullptr) return;
+  std::string line = "{\"t_ms\":" + std::to_string(now) +
+                     ",\"event\":\"" + obs::event_kind_name(kind) +
+                     "\",\"worker\":" + std::to_string(slot.index) +
+                     ",\"shard\":" + std::to_string(slot.shard) +
+                     ",\"pid\":" + std::to_string(slot.pid);
+  if (extra_key != nullptr) {
+    line += std::string(",\"") + extra_key + "\":\"";
+    json_escape_into(line, extra_value);
+    line += "\"";
+  }
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), event_log_);
+  std::fflush(event_log_);
+}
+
+bool FleetSupervisor::spawn_worker(Slot& slot) {
+  int ctrl[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, ctrl) != 0) return false;
+  int errp[2];
+  if (::pipe(errp) != 0) {
+    ::close(ctrl[0]);
+    ::close(ctrl[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(ctrl[0]);
+    ::close(ctrl[1]);
+    ::close(errp[0]);
+    ::close(errp[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: capture stderr (the double-fault diagnostic arrives there via
+    // async-signal-safe write(2)), drop every supervisor-owned fd, serve.
+    ::dup2(errp[1], 2);
+    ::close(errp[0]);
+    ::close(errp[1]);
+    ::close(ctrl[0]);
+    for (const Slot& other : slots_) {
+      if (other.ctrl_fd >= 0 && other.ctrl_fd != ctrl[1])
+        ::close(other.ctrl_fd);
+      if (other.err_fd >= 0) ::close(other.err_fd);
+    }
+    fleet_worker_main(ctrl[1], config_, slot.shard);  // never returns
+  }
+  ::close(ctrl[1]);
+  ::close(errp[1]);
+  ::fcntl(ctrl[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(errp[0], F_SETFL, O_NONBLOCK);
+  slot.pid = pid;
+  slot.ctrl_fd = ctrl[0];
+  slot.err_fd = errp[0];
+  slot.state = SlotState::kStarting;
+  slot.busy = false;
+  slot.inflight.reset();
+  slot.rxbuf.clear();
+  slot.errbuf.clear();
+  slot.diagnostic.clear();  // dying words belong to the previous incarnation
+  slot.hang_suspected = false;
+  slot.last_heard_ms = now_ms();
+  ++counters_.spawns;
+  emit(obs::EventKind::kWorkerSpawn, slot, pid, slot.last_heard_ms);
+  return true;
+}
+
+bool FleetSupervisor::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return true;
+  if (!config_.event_log_path.empty()) {
+    event_log_ = std::fopen(config_.event_log_path.c_str(), "w");
+  }
+  slots_.assign(static_cast<std::size_t>(config_.workers), Slot{});
+  shard_owner_.assign(static_cast<std::size_t>(config_.workers), -1);
+  shard_queues_.assign(static_cast<std::size_t>(config_.workers), {});
+  for (int i = 0; i < config_.workers; ++i) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    slot.index = i;
+    slot.shard = i;
+    slot.flap = FlapWindow(config_.flap_threshold, config_.flap_window_ms);
+    slot.jitter_rng = Rng(split_seed(config_.seed,
+                                     static_cast<std::uint64_t>(i)));
+    shard_owner_[static_cast<std::size_t>(i)] = i;
+    if (!spawn_worker(slot)) {
+      for (Slot& s : slots_) {
+        if (s.pid > 0) {
+          ::kill(s.pid, SIGKILL);
+          ::waitpid(s.pid, nullptr, 0);
+        }
+        close_slot_fds(s);
+      }
+      slots_.clear();
+      return false;
+    }
+  }
+  running_ = true;
+  supervise_thread_ = std::thread([this] { supervise(); });
+  return true;
+}
+
+void FleetSupervisor::close_slot_fds(Slot& slot) {
+  if (slot.ctrl_fd >= 0) ::close(slot.ctrl_fd);
+  if (slot.err_fd >= 0) ::close(slot.err_fd);
+  slot.ctrl_fd = slot.err_fd = -1;
+}
+
+void FleetSupervisor::drain_err_pipe(Slot& slot) {
+  if (slot.err_fd < 0) return;
+  char buf[1024];
+  for (;;) {
+    const ssize_t r = ::read(slot.err_fd, buf, sizeof(buf));
+    if (r <= 0) break;
+    slot.errbuf.append(buf, static_cast<std::size_t>(r));
+  }
+  // Keep the last complete diagnostic-looking line (the double-fault line
+  // is the worker's dying words; FIR_LOG noise may precede it).
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t eol = slot.errbuf.find('\n', pos);
+    if (eol == std::string::npos) break;
+    const std::string line = slot.errbuf.substr(pos, eol - pos);
+    if (line.find("double fault") != std::string::npos ||
+        line.find("fatal crash") != std::string::npos) {
+      slot.diagnostic = line;
+    }
+    pos = eol + 1;
+  }
+  slot.errbuf.erase(0, pos);
+}
+
+void FleetSupervisor::handle_frames(Slot& slot, std::uint64_t now) {
+  if (slot.ctrl_fd < 0) return;
+  char buf[4096];
+  bool heard = false;
+  for (;;) {
+    const ssize_t r = ::read(slot.ctrl_fd, buf, sizeof(buf));
+    if (r <= 0) break;
+    slot.rxbuf.append(buf, static_cast<std::size_t>(r));
+    heard = true;
+  }
+  if (heard) slot.last_heard_ms = now;
+  FrameHeader h;
+  std::string payload;
+  while (take_frame(slot.rxbuf, &h, &payload)) {
+    switch (h.type) {
+      case kFrReady:
+        if (slot.state == SlotState::kStarting) slot.state = SlotState::kUp;
+        slot.attempt = 0;  // a successful spawn resets the backoff ladder
+        break;
+      case kFrStatuses:
+        if (slot.busy && slot.inflight != nullptr) {
+          PendingBatch& b = *slot.inflight;
+          b.result.statuses.clear();
+          for (std::size_t i = 0;
+               i + sizeof(std::uint16_t) <= payload.size() &&
+               b.result.statuses.size() < b.targets.size();
+               i += sizeof(std::uint16_t)) {
+            std::uint16_t v = 0;
+            std::memcpy(&v, payload.data() + i, sizeof(v));
+            b.result.statuses.push_back(v);
+          }
+          b.done = true;
+          slot.busy = false;
+          slot.inflight.reset();
+          ++counters_.batches_served;
+          cv_.notify_all();
+        }
+        break;
+      case kFrHeartbeat:
+      case kFrDrained:
+        break;  // last_heard_ms already updated; exit status finishes drain
+      default:
+        break;
+    }
+  }
+}
+
+void FleetSupervisor::fail_queue(int shard) {
+  auto& q = shard_queues_[static_cast<std::size_t>(shard)];
+  while (!q.empty()) {
+    std::shared_ptr<PendingBatch> b = q.front();
+    q.pop_front();
+    b->result.lost = static_cast<int>(b->targets.size());
+    b->done = true;
+  }
+  cv_.notify_all();
+}
+
+void FleetSupervisor::quarantine(Slot& slot, std::uint64_t now) {
+  slot.state = SlotState::kQuarantined;
+  if (slot.shard >= 0)
+    shard_owner_[static_cast<std::size_t>(slot.shard)] = -1;
+  ++counters_.quarantines;
+  emit(obs::EventKind::kWorkerQuarantine, slot,
+       static_cast<std::int64_t>(slot.flap.events_in_window()), now, "cause",
+       "flap-breaker");
+  if (slot.shard >= 0) fail_queue(slot.shard);
+}
+
+void FleetSupervisor::handle_death(Slot& slot, int wait_status,
+                                   std::uint64_t now) {
+  // Classify the wait status the same way the campaign engine's
+  // death_record does, plus the supervisor-only hang case.
+  DeathCause cause;
+  if (WIFEXITED(wait_status)) {
+    const int code = WEXITSTATUS(wait_status);
+    if (code == kDoubleFaultExitCode) {
+      cause = DeathCause::kDoubleFault;
+    } else if (code == 0 && slot.state == SlotState::kDraining) {
+      cause = DeathCause::kDrained;
+    } else {
+      cause = DeathCause::kExit;
+    }
+  } else {
+    cause = slot.hang_suspected ? DeathCause::kHang : DeathCause::kSignal;
+  }
+  drain_err_pipe(slot);
+  close_slot_fds(slot);
+  if (!slot.diagnostic.empty()) slot.death_diagnostic = slot.diagnostic;
+
+  if (cause == DeathCause::kDrained) {
+    slot.pid = -1;
+    slot.state = SlotState::kRetired;
+    return;  // drain already emitted; shard already handed away
+  }
+
+  ++counters_.deaths;
+  switch (cause) {
+    case DeathCause::kDoubleFault: ++counters_.exit70_deaths; break;
+    case DeathCause::kSignal: ++counters_.signal_deaths; break;
+    case DeathCause::kHang: ++counters_.hang_deaths; break;
+    default: break;
+  }
+  emit(obs::EventKind::kWorkerDeath, slot, wait_status, now, "cause",
+       slot.diagnostic.empty()
+           ? std::string(death_cause_name(cause))
+           : std::string(death_cause_name(cause)) + ": " + slot.diagnostic);
+  slot.pid = -1;
+
+  // Zero-loss core: the batch the dead worker held goes back to the FRONT
+  // of its shard queue and will be replayed after the restart.
+  if (slot.busy && slot.inflight != nullptr && !slot.inflight->done) {
+    if (slot.shard >= 0) {
+      shard_queues_[static_cast<std::size_t>(slot.shard)].push_front(
+          slot.inflight);
+      ++counters_.requeues;
+    } else {
+      slot.inflight->result.lost =
+          static_cast<int>(slot.inflight->targets.size());
+      slot.inflight->done = true;
+      cv_.notify_all();
+    }
+  }
+  slot.busy = false;
+  slot.inflight.reset();
+
+  if (!running_ || slot.shard < 0) {
+    slot.state = SlotState::kRetired;
+    return;
+  }
+  if (slot.flap.record(now)) {
+    quarantine(slot, now);
+    return;
+  }
+  slot.state = SlotState::kDown;
+  ++slot.attempt;
+  const std::uint32_t delay = backoff_.delay_ms(slot.attempt, slot.jitter_rng);
+  slot.restart_due_ms = now + delay;
+}
+
+void FleetSupervisor::reap_and_restart(std::uint64_t now) {
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) {
+      int status = 0;
+      const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+      if (r == slot.pid) {
+        handle_death(slot, status, now);
+        continue;
+      }
+      // Hang detection: silence past the heartbeat deadline.
+      if ((slot.state == SlotState::kUp ||
+           slot.state == SlotState::kStarting ||
+           slot.state == SlotState::kDraining) &&
+          now - slot.last_heard_ms > config_.heartbeat_deadline_ms) {
+        slot.hang_suspected = true;
+        ::kill(slot.pid, SIGKILL);
+      }
+    }
+    if (slot.state == SlotState::kDown && running_ &&
+        now >= slot.restart_due_ms) {
+      ++counters_.restarts;
+      emit(obs::EventKind::kWorkerRestart, slot,
+           static_cast<std::int64_t>(slot.attempt), now);
+      if (!spawn_worker(slot)) {
+        // fork/socketpair failure: retry after another backoff step.
+        ++slot.attempt;
+        slot.restart_due_ms =
+            now + backoff_.delay_ms(slot.attempt, slot.jitter_rng);
+      }
+    }
+  }
+}
+
+void FleetSupervisor::dispatch(std::uint64_t) {
+  for (std::size_t shard = 0; shard < shard_queues_.size(); ++shard) {
+    auto& q = shard_queues_[shard];
+    if (q.empty()) continue;
+    const int owner = shard_owner_[shard];
+    if (owner < 0) {
+      fail_queue(static_cast<int>(shard));
+      continue;
+    }
+    Slot& slot = slots_[static_cast<std::size_t>(owner)];
+    if (slot.state != SlotState::kUp || slot.busy) continue;
+    std::shared_ptr<PendingBatch> b = q.front();
+    q.pop_front();
+    slot.busy = true;
+    slot.inflight = b;
+    const std::uint32_t id = slot.next_batch_id++;
+    if (!send_frame(slot.ctrl_fd, kFrBatch,
+                    static_cast<std::uint16_t>(b->targets.size()), id,
+                    encode_targets(b->targets))) {
+      // Channel already broken: put it back; the reaper restarts the
+      // worker and the batch replays then.
+      q.push_front(b);
+      slot.busy = false;
+      slot.inflight.reset();
+    }
+  }
+}
+
+void FleetSupervisor::supervise() {
+  for (;;) {
+    std::vector<struct pollfd> pfds;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Slot& slot : slots_) {
+        if (slot.ctrl_fd >= 0) pfds.push_back({slot.ctrl_fd, POLLIN, 0});
+        if (slot.err_fd >= 0) pfds.push_back({slot.err_fd, POLLIN, 0});
+      }
+    }
+    if (!pfds.empty())
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 2);
+    else
+      ::poll(nullptr, 0, 2);
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t now = now_ms();
+    for (Slot& slot : slots_) {
+      handle_frames(slot, now);
+      drain_err_pipe(slot);
+    }
+    reap_and_restart(now);
+    dispatch(now);
+    if (!running_) {
+      bool any_alive = false;
+      for (const Slot& slot : slots_) any_alive |= slot.pid > 0;
+      if (!any_alive) return;
+    }
+  }
+}
+
+BatchResult FleetSupervisor::submit(int shard,
+                                    const std::vector<std::string>& targets) {
+  auto b = std::make_shared<PendingBatch>();
+  b->targets = targets;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!running_ || shard < 0 ||
+      shard >= static_cast<int>(shard_queues_.size()) ||
+      shard_owner_[static_cast<std::size_t>(shard)] < 0) {
+    b->result.lost = static_cast<int>(targets.size());
+    return b->result;
+  }
+  shard_queues_[static_cast<std::size_t>(shard)].push_back(b);
+  // The deadline is a liveness backstop for broken tests, not a drop
+  // policy: ordinary restarts finish orders of magnitude sooner.
+  if (!cv_.wait_for(lock, std::chrono::seconds(120),
+                    [&] { return b->done; })) {
+    auto& q = shard_queues_[static_cast<std::size_t>(shard)];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (*it == b) {
+        q.erase(it);
+        break;
+      }
+    }
+    b->result.lost = static_cast<int>(targets.size());
+    b->done = true;
+  }
+  return b->result;
+}
+
+bool FleetSupervisor::kill_worker(int worker, KillMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return false;
+  Slot& slot = slots_[static_cast<std::size_t>(worker)];
+  if (slot.state != SlotState::kUp || slot.pid <= 0) return false;
+  switch (mode) {
+    case KillMode::kSigkill:
+      ::kill(slot.pid, SIGKILL);
+      return true;
+    case KillMode::kExit70:
+      return send_frame(slot.ctrl_fd, kFrKillExit70);
+    case KillMode::kHang:
+      return send_frame(slot.ctrl_fd, kFrKillHang);
+  }
+  return false;
+}
+
+bool FleetSupervisor::drain_worker(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return false;
+  Slot& slot = slots_[static_cast<std::size_t>(worker)];
+  if (slot.state != SlotState::kUp || slot.shard < 0) return false;
+  // Hand the shard to a live sibling BEFORE draining, so not a single
+  // batch waits on the departing worker.
+  int sibling = -1;
+  for (const Slot& other : slots_) {
+    if (other.index == worker) continue;
+    if (other.shard < 0) continue;
+    if (other.state == SlotState::kUp || other.state == SlotState::kStarting ||
+        other.state == SlotState::kDown) {
+      sibling = other.index;
+      break;
+    }
+  }
+  if (sibling < 0) return false;  // nobody to take over: refuse the drain
+  shard_owner_[static_cast<std::size_t>(slot.shard)] = sibling;
+  ++counters_.drains;
+  emit(obs::EventKind::kWorkerDrain, slot, sibling, now_ms(), "cause",
+       "planned-drain");
+  slot.state = SlotState::kDraining;
+  slot.shard = -1;
+  send_frame(slot.ctrl_fd, kFrDrain);
+  return true;
+}
+
+void FleetSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ && supervise_thread_.joinable() == false) return;
+    running_ = false;
+    for (Slot& slot : slots_) {
+      if (slot.state == SlotState::kUp || slot.state == SlotState::kStarting) {
+        slot.state = SlotState::kDraining;
+        if (slot.ctrl_fd >= 0) send_frame(slot.ctrl_fd, kFrDrain);
+      }
+    }
+  }
+  if (supervise_thread_.joinable()) supervise_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) {
+      ::kill(slot.pid, SIGKILL);
+      ::waitpid(slot.pid, nullptr, 0);
+      slot.pid = -1;
+    }
+    close_slot_fds(slot);
+  }
+  for (std::size_t shard = 0; shard < shard_queues_.size(); ++shard)
+    fail_queue(static_cast<int>(shard));
+  if (event_log_ != nullptr) {
+    std::fclose(event_log_);
+    event_log_ = nullptr;
+  }
+}
+
+bool FleetSupervisor::worker_up(int worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return false;
+  return slots_[static_cast<std::size_t>(worker)].state == SlotState::kUp;
+}
+
+int FleetSupervisor::shard_owner(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || shard >= static_cast<int>(shard_owner_.size())) return -1;
+  return shard_owner_[static_cast<std::size_t>(shard)];
+}
+
+bool FleetSupervisor::quarantined(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || shard >= static_cast<int>(shard_owner_.size()))
+    return false;
+  return shard_owner_[static_cast<std::size_t>(shard)] < 0;
+}
+
+std::string FleetSupervisor::last_diagnostic(int worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return {};
+  return slots_[static_cast<std::size_t>(worker)].death_diagnostic;
+}
+
+FleetCounters FleetSupervisor::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace fir::fleet

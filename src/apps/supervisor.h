@@ -1,0 +1,240 @@
+// FleetSupervisor: a reincarnation-style prefork supervisor for miniginx.
+//
+// The outermost of the containment rings (docs/ARCHITECTURE.md §Process
+// supervision): crash transactions absorb faults inside one request,
+// worker THREADS contain unrecoverable faults inside one event loop, and
+// this layer contains whole-PROCESS deaths — the double-fault _exit(70)
+// path, hard kills (SIGKILL/SIGSEGV) and hangs — behind fork boundaries.
+//
+// Topology: the supervisor process forks one worker process per shard.
+// Each worker hosts its own Miniginx (and therefore its own Env — the
+// virtual OS is per-process state, so the fork boundary is also the fault
+// boundary). Supervisor and worker speak a small length-prefixed frame
+// protocol over a REAL socketpair: the supervisor routes request batches
+// by shard to the owning worker; the worker replays them against its
+// in-process server through the virtual network and returns per-request
+// status codes, heartbeating between batches.
+//
+// Recovery policy, in escalation order:
+//   * unplanned death (exit 70, signal, hang): the in-flight batch is
+//     requeued at the FRONT of its shard queue (at-least-once ⇒ the fleet
+//     loses zero requests) and the worker is restarted after exponential
+//     backoff with jitter;
+//   * flapping (>= flap_threshold deaths inside flap_window_ms): the shard
+//     is quarantined — no more restarts, queued batches fail fast with
+//     `lost` accounting, siblings keep serving their shards;
+//   * planned drain: the worker stops accepting, finishes its in-flight
+//     batch, hands its shard to a live sibling, and exits 0 — zero loss.
+//
+// Hangs are detected by heartbeat deadline: a worker that stops reading
+// its control channel stops heartbeating; the supervisor SIGKILLs it after
+// heartbeat_deadline_ms and classifies the death as a hang.
+#pragma once
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+
+namespace fir::fleet {
+
+/// How kill_worker() murders a worker — the three unplanned-death shapes
+/// the integration tests cycle through.
+enum class KillMode {
+  kExit70,   // worker runs the real die_double_fault() path (_exit(70))
+  kSigkill,  // supervisor sends a real SIGKILL
+  kHang,     // worker goes silent; supervisor's heartbeat deadline fires
+};
+
+/// Why a reaped worker died, as classified from its wait status (mirrors
+/// the campaign engine's death_record taxonomy).
+enum class DeathCause {
+  kDoubleFault,  // WIFEXITED with kDoubleFaultExitCode
+  kSignal,       // WIFSIGNALED (and the supervisor did not SIGKILL it)
+  kHang,         // WIFSIGNALED by the supervisor's own deadline SIGKILL
+  kExit,         // any other nonzero exit
+  kDrained,      // exit 0 after a planned drain
+};
+
+const char* death_cause_name(DeathCause cause);
+
+/// Fleet-level configuration. from_env() applies the FIR_FLEET_* knobs
+/// (rows in docs/KNOBS.md; CLI flags in obs/cli.cpp).
+struct FleetConfig {
+  /// FIR_FLEET_WORKERS: fleet width = shard count (one worker per shard
+  /// at full strength).
+  int workers = 4;
+  /// Worker i's miniginx listens (inside its own Env) on base_port + i.
+  std::uint16_t base_port = 8080;
+  /// FIR_RESTART_BACKOFF_MS: base of the exponential restart backoff.
+  std::uint32_t backoff_base_ms = 20;
+  std::uint32_t backoff_max_ms = 1000;
+  double backoff_jitter = 0.2;
+  /// FIR_FLAP_THRESHOLD: deaths inside flap_window_ms that quarantine the
+  /// shard (0 disables the breaker).
+  std::uint32_t flap_threshold = 5;
+  std::uint32_t flap_window_ms = 2000;
+  /// FIR_HEARTBEAT_DEADLINE_MS: silence longer than this is a hang.
+  std::uint32_t heartbeat_deadline_ms = 1000;
+  /// Jitter stream seed (split per worker slot).
+  std::uint64_t seed = 42;
+  /// Workers enable the §VI-F SSI NULL bug (fault-injection demos).
+  bool ssi_null_bug = false;
+  /// When non-empty, the supervisor appends one JSON object per fleet
+  /// event to this file (the CI artifact).
+  std::string event_log_path;
+  /// TEST HOOK: shards whose worker dies via the double-fault path
+  /// immediately on spawn — drives the flap breaker deterministically.
+  std::vector<int> crash_on_spawn_shards;
+
+  static FleetConfig from_env();
+  static FleetConfig from_env(FleetConfig base);
+};
+
+/// Outcome of one submitted batch. `statuses[i]` is the HTTP status the
+/// worker saw for request i (e.g. 200/404); `lost` counts requests the
+/// fleet gave up on (only ever nonzero for quarantined shards).
+struct BatchResult {
+  std::vector<int> statuses;
+  int lost = 0;
+};
+
+/// Monotonic fleet tallies (also published as fleet.* metrics).
+struct FleetCounters {
+  std::uint64_t spawns = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t requeues = 0;       // batches put back after a death
+  std::uint64_t batches_served = 0;
+  std::uint64_t exit70_deaths = 0;
+  std::uint64_t signal_deaths = 0;
+  std::uint64_t hang_deaths = 0;
+};
+
+class FleetSupervisor {
+ public:
+  explicit FleetSupervisor(FleetConfig config = {});
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Forks the fleet and starts the supervision thread. False when any
+  /// initial spawn fails outright (fork/socketpair error).
+  bool start();
+  /// Drains every live worker (planned, zero-loss), reaps them, joins the
+  /// supervision thread. Idempotent.
+  void stop();
+
+  /// Routes a batch of HTTP GET targets (e.g. "/index.html") to shard's
+  /// owning worker and blocks until it is answered. Batches submitted
+  /// while the owner is restarting wait; batches for a quarantined shard
+  /// return immediately with lost == targets.size(). Thread-safe.
+  BatchResult submit(int shard, const std::vector<std::string>& targets);
+
+  /// Kills worker `worker` in the requested mode (test/chaos interface).
+  /// False when the worker is not currently up.
+  bool kill_worker(int worker, KillMode mode);
+  /// Planned removal: drain, hand the shard to a live sibling, retire the
+  /// slot. False when the worker is not up or no sibling could take over.
+  bool drain_worker(int worker);
+
+  int worker_count() const { return static_cast<int>(slots_.size()); }
+  bool worker_up(int worker) const;
+  /// Slot currently owning `shard`; -1 when quarantined/unassigned.
+  int shard_owner(int shard) const;
+  bool quarantined(int shard) const;
+  /// The last structured double-fault diagnostic captured from worker
+  /// `worker`'s stderr pipe ("" when it never double-faulted).
+  std::string last_diagnostic(int worker) const;
+  FleetCounters counters() const;
+
+  obs::Observability& observability() { return obs_; }
+
+ private:
+  struct PendingBatch {
+    std::vector<std::string> targets;
+    BatchResult result;
+    bool done = false;
+  };
+
+  enum class SlotState : std::uint8_t {
+    kDown,         // dead, restart pending (or start() not yet run)
+    kStarting,     // forked, kReady not yet seen
+    kUp,           // serving
+    kDraining,     // kDrain sent, waiting for kDrained + exit 0
+    kRetired,      // drained cleanly; never restarted
+    kQuarantined,  // flap breaker tripped; never restarted
+  };
+
+  struct Slot {
+    int index = -1;
+    int shard = -1;  // shard this slot serves; -1 once handed away
+    pid_t pid = -1;
+    int ctrl_fd = -1;  // supervisor end of the control socketpair
+    int err_fd = -1;   // read end of the worker's stderr pipe
+    SlotState state = SlotState::kDown;
+    bool busy = false;  // a batch frame is in flight
+    std::shared_ptr<PendingBatch> inflight;
+    std::uint32_t next_batch_id = 1;
+    std::string rxbuf;    // partial frames from ctrl_fd
+    std::string errbuf;   // partial lines from err_fd
+    std::string diagnostic;        // current incarnation's stderr capture
+    std::string death_diagnostic;  // preserved across respawns
+    std::uint64_t last_heard_ms = 0;
+    bool hang_suspected = false;  // we SIGKILLed on deadline
+    std::uint32_t attempt = 0;    // consecutive failed-restart count
+    std::uint64_t restart_due_ms = 0;
+    FlapWindow flap{0, 0};
+    Rng jitter_rng{0};
+  };
+
+  bool spawn_worker(Slot& slot);  // mu_ held
+  void reap_and_restart(std::uint64_t now_ms);
+  void handle_frames(Slot& slot, std::uint64_t now_ms);
+  void handle_death(Slot& slot, int wait_status, std::uint64_t now_ms);
+  void quarantine(Slot& slot, std::uint64_t now_ms);
+  void dispatch(std::uint64_t now_ms);
+  void drain_err_pipe(Slot& slot);
+  void close_slot_fds(Slot& slot);
+  void fail_queue(int shard);  // mu_ held; completes batches as lost
+  void supervise();            // supervision thread body
+  std::uint64_t now_ms() const;
+  void emit(obs::EventKind kind, const Slot& slot, std::int64_t a1,
+            std::uint64_t now_ms, const char* extra_key = nullptr,
+            const std::string& extra_value = std::string());
+
+  FleetConfig config_;
+  ExponentialBackoff backoff_;
+  obs::Observability obs_;
+  std::FILE* event_log_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // batch completion + queue activity
+  std::vector<Slot> slots_;
+  std::vector<int> shard_owner_;     // shard -> slot index (-1: none)
+  std::vector<std::deque<std::shared_ptr<PendingBatch>>> shard_queues_;
+  FleetCounters counters_;
+  bool running_ = false;
+  std::thread supervise_thread_;
+};
+
+/// Worker-process entry point, exec'd in the forked child by start().
+/// Public so tools can reuse the loop; never returns (ends in _exit).
+[[noreturn]] void fleet_worker_main(int ctrl_fd, const FleetConfig& config,
+                                    int shard);
+
+}  // namespace fir::fleet

@@ -30,9 +30,8 @@ void write_file(const std::string& path, const std::string& text) {
   out << text;
 }
 
-/// Synthesizes the record for a run whose worker died before writing its
-/// slot file. Exit kDoubleFaultExitCode is the recovery runtime's own
-/// backstop — a real experiment outcome; anything else is harness failure.
+}  // namespace
+
 RunRecord death_record(const RunSpec& spec, int wait_status) {
   RunRecord record;
   record.spec = spec;
@@ -57,6 +56,8 @@ RunRecord death_record(const RunSpec& spec, int wait_status) {
   }
   return record;
 }
+
+namespace {
 
 /// Reads one slot file back; falls back to lost-record on any failure.
 RunRecord read_slot(const std::string& slot_dir, const RunSpec& spec) {

@@ -54,6 +54,15 @@ struct CampaignOutcome {
 std::vector<Marker> profile_target(const TargetSpec& target,
                                    const PolicySpec& policy);
 
+/// Synthesizes the record for a run whose worker process died before
+/// writing its slot file, classifying the wait status: exit with
+/// kDoubleFaultExitCode is the recovery runtime's own backstop (outcome
+/// "double-fault" — a real experiment result); any other exit or a signal
+/// is outcome "worker-died" with the reason spelled out. Public because
+/// the fleet supervisor mirrors this taxonomy and the reap tests pin both
+/// to one golden file.
+RunRecord death_record(const RunSpec& spec, int wait_status);
+
 /// Expands `spec` and executes the whole plan. Workloads print nothing;
 /// progress goes to stderr when `verbose`.
 CampaignOutcome run_campaign_spec(const CampaignSpec& spec,

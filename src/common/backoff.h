@@ -1,0 +1,71 @@
+// Restart pacing for supervisors: exponential backoff with jitter, and a
+// flap detector (K failures inside a sliding window).
+//
+// Both are deliberately tiny value types with explicit time inputs — the
+// caller owns the clock (the fleet supervisor feeds steady-clock
+// milliseconds, tests feed literals), so every schedule is unit-testable
+// without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace fir {
+
+/// Exponential backoff: attempt n (1-based) waits base * 2^(n-1), capped,
+/// plus up to `jitter_frac` of that delay drawn from `rng` — the jitter
+/// de-synchronizes a fleet of restarting workers so they do not stampede
+/// the supervisor (or, in a real deployment, a shared dependency).
+struct ExponentialBackoff {
+  std::uint32_t base_ms = 20;
+  std::uint32_t max_ms = 1000;
+  double jitter_frac = 0.2;
+
+  /// Deterministic part of attempt `attempt`'s delay (attempt >= 1).
+  std::uint32_t base_delay_ms(std::uint32_t attempt) const {
+    if (attempt == 0) return 0;
+    std::uint64_t d = base_ms;
+    // Shift saturating at the cap: attempt counts are small but unbounded.
+    for (std::uint32_t i = 1; i < attempt && d < max_ms; ++i) d <<= 1;
+    return static_cast<std::uint32_t>(d < max_ms ? d : max_ms);
+  }
+
+  /// Full delay for attempt `attempt`, jittered from `rng`.
+  std::uint32_t delay_ms(std::uint32_t attempt, Rng& rng) const {
+    const std::uint32_t base = base_delay_ms(attempt);
+    if (jitter_frac <= 0.0 || base == 0) return base;
+    const double jitter = static_cast<double>(base) * jitter_frac;
+    return base + static_cast<std::uint32_t>(jitter * rng.next_double());
+  }
+};
+
+/// Sliding-window flap detector: record() returns true when `threshold`
+/// events landed within the trailing `window_ms` — the supervisor's signal
+/// to stop restarting a worker whose shard crashes on (or right after)
+/// every spawn, and quarantine it instead.
+class FlapWindow {
+ public:
+  FlapWindow(std::uint32_t threshold, std::uint32_t window_ms)
+      : threshold_(threshold), window_ms_(window_ms) {}
+
+  /// Records one event at `now_ms`; true when the window now holds
+  /// `threshold` or more events (threshold 0 never trips).
+  bool record(std::uint64_t now_ms) {
+    events_.push_back(now_ms);
+    while (!events_.empty() && events_.front() + window_ms_ < now_ms)
+      events_.pop_front();
+    return threshold_ > 0 && events_.size() >= threshold_;
+  }
+
+  std::size_t events_in_window() const { return events_.size(); }
+  void reset() { events_.clear(); }
+
+ private:
+  std::uint32_t threshold_;
+  std::uint32_t window_ms_;
+  std::deque<std::uint64_t> events_;
+};
+
+}  // namespace fir

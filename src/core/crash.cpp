@@ -143,19 +143,50 @@ int crash_kind_signo(CrashKind kind) {
   return SIGSEGV;
 }
 
-void die_double_fault(CrashKind kind, const char* channel) {
+void die_double_fault(CrashKind kind, const char* channel,
+                      const DoubleFaultDiag* diag) {
   // write(2) only: the fault may have interrupted code holding stdio or
   // allocator locks, so compose the line into a stack buffer.
-  char line[128];
+  char line[320];
   std::size_t n = 0;
   auto append = [&line, &n](const char* s) {
-    while (*s != '\0' && n < sizeof(line) - 1) line[n++] = *s++;
+    while (s != nullptr && *s != '\0' && n < sizeof(line) - 1)
+      line[n++] = *s++;
+  };
+  auto append_u32 = [&append](std::uint32_t v) {
+    char digits[12];
+    int i = 0;
+    do {
+      digits[i++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    char out[12];
+    int o = 0;
+    while (i > 0) out[o++] = digits[--i];
+    out[o] = '\0';
+    append(out);
   };
   append("fir: double fault (");
   append(crash_kind_name(kind));
   append(") during recovery via ");
   append(channel);
-  append(" channel; terminating\n");
+  append(" channel; site=");
+  if (diag == nullptr || diag->site == static_cast<std::uint32_t>(-1)) {
+    append("none");
+  } else {
+    append_u32(diag->site);
+    if (diag->site_function != nullptr) {
+      append(":");
+      append(diag->site_function);
+    }
+    if (diag->site_location != nullptr) {
+      append("@");
+      append(diag->site_location);
+    }
+  }
+  append(" depth=");
+  append_u32(diag != nullptr ? diag->tx_depth : 0);
+  append("; terminating\n");
   ssize_t ignored = ::write(STDERR_FILENO, line, n);
   (void)ignored;
   ::_exit(kDoubleFaultExitCode);

@@ -146,11 +146,33 @@ const SignalCrashInfo& last_signal_crash();
 bool in_signal_dispatch();
 void clear_signal_dispatch();
 
-/// Async-signal-safe double-fault termination: writes one diagnostic line
-/// to stderr with write(2) — no allocation, no stdio — then
-/// _exit(kDoubleFaultExitCode). `channel` names the entry path ("signal",
-/// "sync") for the diagnostic.
-[[noreturn]] void die_double_fault(CrashKind kind, const char* channel);
+/// Forensic payload for the double-fault diagnostic line: which site's
+/// transaction recovery was running and how deep the coalesced run was
+/// when the second fault struck. Every field is plain data the TxManager
+/// already holds — filling it allocates nothing, so it is safe to build
+/// inside the signal handler.
+struct DoubleFaultDiag {
+  std::uint32_t site = static_cast<std::uint32_t>(-1);  // kInvalidSite
+  const char* site_function = nullptr;  // library function ("open")
+  const char* site_location = nullptr;  // app location ("miniginx.cpp:42")
+  std::uint32_t tx_depth = 0;  // opening call + coalesced extensions
+};
+
+/// Async-signal-safe double-fault termination: writes one structured
+/// diagnostic line to stderr with write(2) — no allocation, no stdio —
+/// then _exit(kDoubleFaultExitCode). `channel` names the entry path
+/// ("signal", "sync"); `diag`, when non-null, appends the crash site and
+/// transaction depth so a supervising process reaping exit code 70 can log
+/// WHERE recovery was when it died, not just that it died:
+///
+///   fir: double fault (SIGSEGV) during recovery via signal channel;
+///   site=3:open@miniginx.cpp:117 depth=2; terminating
+///
+/// (one line; shown wrapped). Supervisors parse the `site=`/`depth=`
+/// fields; `site=none` means no transaction was open on the faulting
+/// thread.
+[[noreturn]] void die_double_fault(CrashKind kind, const char* channel,
+                                   const DoubleFaultDiag* diag = nullptr);
 
 /// The signal number a CrashKind maps to (SIGSEGV for kSegv, ...).
 int crash_kind_signo(CrashKind kind);

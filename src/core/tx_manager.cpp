@@ -751,7 +751,19 @@ void TxManager::handle_double_fault(CrashKind kind) {
                                                : obs::kNoSite,
             crash_kind_name(kind));
   rc_.double_faults.inc();
-  die_double_fault(kind, in_signal_dispatch() ? "signal" : "sync");
+  // Structured diagnostic for whoever reaps the _exit(70): the site whose
+  // recovery was in flight and the transaction depth (opening call +
+  // coalesced extensions). All plain reads — site strings live in the
+  // registry's stable storage, so c_str() allocates nothing.
+  DoubleFaultDiag diag;
+  if (ctx != nullptr && ctx->active.open) {
+    diag.site = ctx->active.site;
+    const Site& site = sites_[ctx->active.site];
+    diag.site_function = site.function.c_str();
+    diag.site_location = site.location.c_str();
+    diag.tx_depth = 1 + static_cast<std::uint32_t>(ctx->run.size());
+  }
+  die_double_fault(kind, in_signal_dispatch() ? "signal" : "sync", &diag);
 }
 
 void TxManager::recovery_trampoline(void* arg) {

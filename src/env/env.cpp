@@ -226,11 +226,20 @@ int Env::bind(int fd, std::uint16_t port) {
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kSocket) return err(EBADF);
   if (port == 0) return err(EINVAL);
-  // EADDRINUSE against bound-but-not-listening and listening sockets alike.
-  if (listener_for_port(port) != nullptr) return err(EADDRINUSE);
-  for (const auto& other : fds_)
-    if (other.kind == FdKind::kSocket && other.bound_port == port)
+  // SO_REUSEPORT sharding: a port may be shared when EVERY holder — this
+  // socket and all already-bound/listening ones — opted in before binding
+  // (the kernel's rule). Otherwise EADDRINUSE against bound-but-not-
+  // listening and listening sockets alike.
+  const bool reuse = (e->socket->options & kSockOptReusePort) != 0;
+  for (const auto& other : fds_) {
+    if (other.kind == FdKind::kListener && other.listener->port == port &&
+        !(reuse && other.listener->reuse_port))
       return err(EADDRINUSE);
+    if (other.kind == FdKind::kSocket && other.socket != e->socket &&
+        other.bound_port == port &&
+        !(reuse && (other.socket->options & kSockOptReusePort) != 0))
+      return err(EADDRINUSE);
+  }
   e->bound_port = port;
   return 0;
 }
@@ -244,6 +253,8 @@ int Env::listen(int fd, int backlog) {
   auto listener = std::make_shared<Listener>();
   listener->port = e->bound_port;
   listener->backlog = backlog > 0 ? backlog : 16;
+  listener->reuse_port = (e->socket->options & kSockOptReusePort) != 0;
+  listener->socket_options = e->socket->options;
   e->kind = FdKind::kListener;
   e->listener = std::move(listener);
   e->socket.reset();
@@ -268,11 +279,25 @@ int Env::accept(int fd) {
 int Env::connect_to(std::uint16_t port) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
-  Listener* listener = listener_for_port(port);
+  // Gather the port's listener group (size 1 without SO_REUSEPORT) and
+  // shard the connection round-robin, skipping members with a full backlog
+  // — a deterministic model of the kernel's reuseport flow hash.
+  Listener* group[kMaxFds];
+  std::size_t group_size = 0;
+  for (auto& e : fds_)
+    if (e.kind == FdKind::kListener && e.listener->port == port)
+      group[group_size++] = e.listener.get();
+  Listener* listener = nullptr;
+  for (std::size_t i = 0; i < group_size; ++i) {
+    Listener* candidate = group[(reuseport_next_ + i) % group_size];
+    if (candidate->pending.size() <
+        static_cast<std::size_t>(candidate->backlog)) {
+      listener = candidate;
+      reuseport_next_ = (reuseport_next_ + i + 1) % group_size;
+      break;
+    }
+  }
   if (listener == nullptr) return err(ECONNREFUSED);
-  if (listener->pending.size() >=
-      static_cast<std::size_t>(listener->backlog))
-    return err(ECONNREFUSED);
   const int fd = alloc_fd();
   if (fd < 0) return err(EMFILE);
   auto client_end = std::make_shared<SocketEndpoint>();
@@ -388,9 +413,11 @@ int Env::unlisten(int fd) {
     if (auto peer = pending->peer.lock()) peer->reset = true;
   }
   const std::uint16_t port = e->listener->port;
+  const std::uint32_t options = e->listener->socket_options;
   e->kind = FdKind::kSocket;
   e->listener.reset();
   e->socket = std::make_shared<SocketEndpoint>();
+  e->socket->options = options;  // keep the reuseport group membership
   e->bound_port = port;
   wake_pollers();  // reset pending peers see kPollErr
   return 0;

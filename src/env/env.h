@@ -42,6 +42,14 @@ enum SeekWhence : int { kSeekSet = 0, kSeekCur = 1, kSeekEnd = 2 };
 /// epoll_ctl() ops.
 enum EpollOp : int { kEpollAdd = 1, kEpollDel = 2, kEpollMod = 3 };
 
+/// setsockopt() option bit with modeled semantics: sockets that set it
+/// before bind() may share one port (SO_REUSEPORT). connect_to() deals new
+/// connections round-robin across the port's listener group — the
+/// deterministic stand-in for the kernel's reuseport flow hash. All other
+/// option bits (the servers' REUSEADDR/NODELAY flags) remain semantics-free
+/// per-socket state.
+inline constexpr std::uint32_t kSockOptReusePort = 0x8;
+
 /// Aggregate environment statistics (syscall counts, heap accounting).
 struct EnvStats {
   std::uint64_t syscalls = 0;
@@ -226,6 +234,8 @@ class Env {
   /// because the big lock is recursive).
   std::condition_variable_any poll_cv_;
   std::vector<FdEntry> fds_;
+  /// Round-robin cursor for SO_REUSEPORT listener groups (connect_to).
+  std::uint64_t reuseport_next_ = 0;
   Vfs vfs_;
   VirtualClock clock_;
   EnvStats stats_;

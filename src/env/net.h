@@ -50,6 +50,12 @@ struct Listener {
   std::uint16_t port = 0;
   int backlog = 0;
   std::deque<std::shared_ptr<SocketEndpoint>> pending;
+  /// Member of a SO_REUSEPORT group: siblings may listen on the same port
+  /// and connect_to() shards connections across the group.
+  bool reuse_port = false;
+  /// Socket option bits at listen() time, restored by unlisten() (the
+  /// compensation must reproduce the pre-listen socket exactly).
+  std::uint32_t socket_options = 0;
 
   bool readable() const { return !pending.empty(); }
 };

@@ -37,6 +37,12 @@ constexpr FlagSpec kFlags[] = {
     {"--keepalive", "FIR_KEEPALIVE", true},
     {"--pipeline-max", "FIR_PIPELINE_MAX", true},
     {"--writev", "FIR_WRITEV", true},
+    {"--reuseport", "FIR_REUSEPORT", true},
+    // Fleet supervisor knobs (apps/supervisor.h FleetConfig).
+    {"--fleet-workers", "FIR_FLEET_WORKERS", true},
+    {"--restart-backoff-ms", "FIR_RESTART_BACKOFF_MS", true},
+    {"--flap-threshold", "FIR_FLAP_THRESHOLD", true},
+    {"--heartbeat-deadline-ms", "FIR_HEARTBEAT_DEADLINE_MS", true},
 };
 
 }  // namespace
@@ -91,7 +97,13 @@ const char* cli_flags_help() {
          "  --keepalive=0|1       HTTP keep-alive (0: close per request)\n"
          "  --pipeline-max=N      requests parsed per readiness event\n"
          "  --writev=0|1          vectored response flush (0: per-slice "
-         "send)\n";
+         "send)\n"
+         "  --reuseport=0|1       SO_REUSEPORT worker listeners on one port\n"
+         "  --fleet-workers=N     prefork fleet width (FIR_FLEET_WORKERS)\n"
+         "  --restart-backoff-ms=N  restart backoff base "
+         "(FIR_RESTART_BACKOFF_MS)\n"
+         "  --flap-threshold=K    deaths in-window before quarantine\n"
+         "  --heartbeat-deadline-ms=N  silence treated as a hang\n";
 }
 
 }  // namespace fir::obs

@@ -25,7 +25,8 @@ std::uint32_t parse_event_filter(const std::string& spec) {
     if (token == "all") return kAllEventsMask;
     bool matched = false;
     for (const EventClass cls :
-         {EventClass::kTx, EventClass::kHtm, EventClass::kRecovery}) {
+         {EventClass::kTx, EventClass::kHtm, EventClass::kRecovery,
+          EventClass::kFleet}) {
       if (token == event_class_name(cls)) {
         mask |= event_class_mask(cls);
         matched = true;

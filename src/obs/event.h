@@ -42,6 +42,16 @@ enum class EventKind : std::uint8_t {
   kSignalCaught,    // real POSIX signal entered the crash channel
   kDoubleFault,     // crash during recovery itself; process terminating
   kWatchdogFire,    // transaction exceeded its deadline (hang model)
+  kWorkerSpawn,     // fleet supervisor forked a worker (a0 = shard,
+                    // a1 = pid)
+  kWorkerDeath,     // worker process died (code = cause, a0 = shard,
+                    // a1 = pid)
+  kWorkerRestart,   // worker respawned after backoff (a0 = shard,
+                    // a1 = backoff ms)
+  kWorkerQuarantine,  // flap breaker tripped; shard handed to a sibling
+                      // (a0 = shard, a1 = deaths in window)
+  kWorkerDrain,     // planned drain completed; worker exited cleanly
+                    // (a0 = shard, a1 = pid)
   kKindCount,       // sentinel — keep last
 };
 
@@ -57,6 +67,8 @@ enum class EventClass : std::uint8_t {
   kHtm,       // kHtmAbort, kStmFallback, kSiteDemotion
   kRecovery,  // kCrash, kRollback, kRetry, kCompensation, kFaultInjection,
               // kSignalCaught, kDoubleFault, kWatchdogFire
+  kFleet,     // kWorkerSpawn, kWorkerDeath, kWorkerRestart,
+              // kWorkerQuarantine, kWorkerDrain (process supervision)
 };
 
 const char* event_class_name(EventClass cls);

@@ -22,6 +22,11 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kSignalCaught: return "signal-caught";
     case EventKind::kDoubleFault: return "double-fault";
     case EventKind::kWatchdogFire: return "watchdog-fire";
+    case EventKind::kWorkerSpawn: return "worker-spawn";
+    case EventKind::kWorkerDeath: return "worker-death";
+    case EventKind::kWorkerRestart: return "worker-restart";
+    case EventKind::kWorkerQuarantine: return "quarantine";
+    case EventKind::kWorkerDrain: return "worker-drain";
     case EventKind::kKindCount: break;
   }
   return "?";
@@ -32,6 +37,7 @@ const char* event_class_name(EventClass cls) {
     case EventClass::kTx: return "tx";
     case EventClass::kHtm: return "htm";
     case EventClass::kRecovery: return "recovery";
+    case EventClass::kFleet: return "fleet";
   }
   return "?";
 }
@@ -48,6 +54,12 @@ EventClass event_class(EventKind kind) {
     case EventKind::kStmFallback:
     case EventKind::kSiteDemotion:
       return EventClass::kHtm;
+    case EventKind::kWorkerSpawn:
+    case EventKind::kWorkerDeath:
+    case EventKind::kWorkerRestart:
+    case EventKind::kWorkerQuarantine:
+    case EventKind::kWorkerDrain:
+      return EventClass::kFleet;
     default:
       return EventClass::kRecovery;
   }

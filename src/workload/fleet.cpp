@@ -1,0 +1,67 @@
+#include "workload/fleet.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fir {
+
+FleetLoadResult run_fleet_http_load(fleet::FleetSupervisor& fleet,
+                                    const FleetLoadSpec& spec) {
+  const std::vector<std::string> targets =
+      !spec.targets.empty()
+          ? spec.targets
+          : std::vector<std::string>{"/index.html", "/about.txt",
+                                     "/api.json", "/style.css"};
+  FleetLoadResult total;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  const int n_threads = spec.threads > 0 ? spec.threads : 1;
+  const int shards = fleet.worker_count();
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      FleetLoadResult local;
+      std::size_t cursor = static_cast<std::size_t>(t);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(spec.duration_ms);
+      for (int b = 0;; ++b) {
+        if (spec.duration_ms > 0) {
+          if (std::chrono::steady_clock::now() >= deadline) break;
+        } else if (b >= spec.batches_per_thread) {
+          break;
+        }
+        const int shard = (t + b) % (shards > 0 ? shards : 1);
+        std::vector<std::string> batch;
+        batch.reserve(static_cast<std::size_t>(spec.batch_size));
+        for (int i = 0; i < spec.batch_size; ++i)
+          batch.push_back(targets[cursor++ % targets.size()]);
+        const fleet::BatchResult r = fleet.submit(shard, batch);
+        local.requests += batch.size();
+        ++local.batches;
+        local.lost += static_cast<std::uint64_t>(r.lost);
+        for (const int status : r.statuses) {
+          if (status >= 200 && status < 300)
+            ++local.responses_2xx;
+          else if (status >= 400 && status < 500)
+            ++local.responses_4xx;
+          else if (status >= 500 && status < 600)
+            ++local.responses_5xx;
+          else
+            ++local.responses_other;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      total.requests += local.requests;
+      total.responses_2xx += local.responses_2xx;
+      total.responses_4xx += local.responses_4xx;
+      total.responses_5xx += local.responses_5xx;
+      total.responses_other += local.responses_other;
+      total.lost += local.lost;
+      total.batches += local.batches;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return total;
+}
+
+}  // namespace fir

@@ -1,0 +1,56 @@
+// Fleet-aware load generator: drives a FleetSupervisor from N client
+// threads while chaos (kill_worker / drain_worker) runs concurrently, and
+// accounts for every single request — the zero-loss ledger the
+// kill-a-worker-per-second integration test audits.
+//
+// Each thread walks the shards round-robin and submits fixed-size batches
+// of GET targets. Because FleetSupervisor::submit blocks until the batch
+// is answered (requeueing across worker deaths), the only way a request
+// ends up in `lost` is a quarantined shard — exactly the one case where
+// giving up is the designed behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/supervisor.h"
+
+namespace fir {
+
+struct FleetLoadSpec {
+  int threads = 4;
+  /// Batches each thread submits (spread round-robin over all shards).
+  /// Ignored when duration_ms > 0.
+  int batches_per_thread = 32;
+  /// When > 0, threads submit until this much wall-clock time has passed
+  /// instead of counting batches (the fir_fleet CLI's mode).
+  int duration_ms = 0;
+  /// Requests per batch (the supervisor pipelines them to the worker).
+  int batch_size = 8;
+  /// GET targets, cycled; defaults to the standard docroot mix when empty.
+  std::vector<std::string> targets;
+};
+
+struct FleetLoadResult {
+  std::uint64_t requests = 0;       // submitted in total
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t responses_other = 0;  // answered, but outside 2xx-5xx
+  std::uint64_t lost = 0;             // fleet gave up (quarantine only)
+  std::uint64_t batches = 0;
+
+  /// The zero-loss audit: every submitted request either got an HTTP
+  /// status back or was explicitly accounted as lost.
+  std::uint64_t answered() const {
+    return responses_2xx + responses_4xx + responses_5xx + responses_other;
+  }
+};
+
+/// Runs the load to completion (all threads joined). Thread-safe against
+/// concurrent kill_worker/drain_worker on the same supervisor.
+FleetLoadResult run_fleet_http_load(fleet::FleetSupervisor& fleet,
+                                    const FleetLoadSpec& spec);
+
+}  // namespace fir

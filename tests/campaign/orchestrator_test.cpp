@@ -1,11 +1,15 @@
 #include "campaign/orchestrator.h"
 
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <fstream>
 #include <sstream>
 
 #include "campaign/builtin_specs.h"
+#include "common/rng.h"
 
 namespace fir::campaign {
 namespace {
@@ -175,6 +179,97 @@ TEST(OrchestratorTest, BuiltinSpecsParse) {
     EXPECT_EQ(spec.name, name);
   }
   EXPECT_EQ(builtin_spec("no-such-spec"), nullptr);
+}
+
+// --- worker-death classification (death_record) -----------------------------
+// The wait statuses come from REAL forked children, not hand-built ints, so
+// the classification is pinned against what waitpid actually reports for
+// the three death shapes the fleet supervisor and the campaign engine both
+// reap: the double-fault _exit(70) backstop, signal kills, and hung workers
+// (which a supervisor converts into SIGKILL after its heartbeat deadline).
+
+int wait_status_of(void (*child)()) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    child();
+    _exit(99);  // not reached
+  }
+  EXPECT_GT(pid, 0);
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+RunSpec reap_spec(std::uint64_t run) {
+  RunSpec spec;
+  spec.run = run;
+  spec.server = "miniginx";
+  spec.policy_label = "firestarter";
+  spec.marker_name = "recv";
+  spec.marker_location = "miniginx.cpp:1";
+  spec.seed = split_seed(42, run);
+  return spec;
+}
+
+TEST(OrchestratorTest, DeathRecordClassifiesRealWaitStatuses) {
+  const int exit70 = wait_status_of(+[] { _exit(70); });
+  const int exit3 = wait_status_of(+[] { _exit(3); });
+  const int killed = wait_status_of(+[] { raise(SIGKILL); });
+  const int segv = wait_status_of(+[] {
+    signal(SIGSEGV, SIG_DFL);
+    raise(SIGSEGV);
+  });
+  // A hung worker never exits by itself; its supervisor SIGKILLs it after
+  // the heartbeat deadline. Reproduce that shape: child blocks forever,
+  // parent murders it.
+  const pid_t hung = fork();
+  if (hung == 0) {
+    for (;;) pause();
+  }
+  ASSERT_GT(hung, 0);
+  ASSERT_EQ(kill(hung, SIGKILL), 0);
+  int hung_status = 0;
+  ASSERT_EQ(waitpid(hung, &hung_status, 0), hung);
+
+  const RunRecord r70 = death_record(reap_spec(0), exit70);
+  EXPECT_EQ(r70.outcome, "double-fault");
+  EXPECT_TRUE(r70.double_fault);
+  EXPECT_TRUE(r70.crashed);
+
+  const RunRecord r3 = death_record(reap_spec(1), exit3);
+  EXPECT_EQ(r3.outcome, "worker-died");
+  EXPECT_EQ(r3.death_reason, "worker exited 3");
+
+  const RunRecord rk = death_record(reap_spec(2), killed);
+  EXPECT_EQ(rk.outcome, "worker-died");
+  EXPECT_EQ(rk.death_reason, "worker killed by signal 9");
+
+  const RunRecord rs = death_record(reap_spec(3), segv);
+  EXPECT_EQ(rs.outcome, "worker-died");
+  EXPECT_EQ(rs.death_reason, "worker killed by signal 11");
+
+  const RunRecord rh = death_record(reap_spec(4), hung_status);
+  EXPECT_EQ(rh.outcome, "worker-died");
+  EXPECT_EQ(rh.death_reason, "worker killed by signal 9");
+
+  // The serialized records are pinned to a golden file so the outcome
+  // strings and the record schema cannot drift silently.
+  EXPECT_EQ(records_jsonl({r70, r3, rk, rs, rh}),
+            read_file(golden_path("reap.jsonl")));
+}
+
+TEST(OrchestratorTest, DeathRecordRoundTripsThroughJson) {
+  const RunRecord record =
+      death_record(reap_spec(7), wait_status_of(+[] { _exit(70); }));
+  std::vector<RunRecord> reloaded;
+  std::string error;
+  ASSERT_TRUE(
+      load_results_jsonl(record_jsonl(record) + "\n", &reloaded, &error))
+      << error;
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded[0].outcome, "double-fault");
+  EXPECT_EQ(reloaded[0].spec.run, 7u);
+  EXPECT_TRUE(reloaded[0].double_fault);
 }
 
 }  // namespace

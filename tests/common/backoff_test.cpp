@@ -1,0 +1,79 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace fir {
+namespace {
+
+TEST(ExponentialBackoffTest, DoublesUpToCap) {
+  ExponentialBackoff b;
+  b.base_ms = 20;
+  b.max_ms = 1000;
+  b.jitter_frac = 0.0;
+  EXPECT_EQ(b.base_delay_ms(0), 0u);
+  EXPECT_EQ(b.base_delay_ms(1), 20u);
+  EXPECT_EQ(b.base_delay_ms(2), 40u);
+  EXPECT_EQ(b.base_delay_ms(3), 80u);
+  EXPECT_EQ(b.base_delay_ms(6), 640u);
+  EXPECT_EQ(b.base_delay_ms(7), 1000u);   // capped
+  EXPECT_EQ(b.base_delay_ms(100), 1000u); // stays capped, no overflow
+}
+
+TEST(ExponentialBackoffTest, JitterIsBoundedAndDeterministic) {
+  ExponentialBackoff b;
+  b.base_ms = 100;
+  b.max_ms = 10000;
+  b.jitter_frac = 0.25;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (std::uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    const std::uint32_t base = b.base_delay_ms(attempt);
+    const std::uint32_t d1 = b.delay_ms(attempt, rng_a);
+    const std::uint32_t d2 = b.delay_ms(attempt, rng_b);
+    EXPECT_EQ(d1, d2) << "same seed, same schedule";
+    EXPECT_GE(d1, base);
+    EXPECT_LE(d1, base + base / 4);
+  }
+}
+
+TEST(ExponentialBackoffTest, ZeroJitterIsExact) {
+  ExponentialBackoff b;
+  b.jitter_frac = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(b.delay_ms(1, rng), b.base_delay_ms(1));
+}
+
+TEST(FlapWindowTest, TripsAtThresholdWithinWindow) {
+  FlapWindow flap(3, 1000);
+  EXPECT_FALSE(flap.record(0));
+  EXPECT_FALSE(flap.record(100));
+  EXPECT_TRUE(flap.record(200));  // 3 events in 200ms < 1000ms window
+  EXPECT_EQ(flap.events_in_window(), 3u);
+}
+
+TEST(FlapWindowTest, OldEventsSlideOut) {
+  FlapWindow flap(3, 1000);
+  EXPECT_FALSE(flap.record(0));
+  EXPECT_FALSE(flap.record(100));
+  // The first two events fall out of the trailing window.
+  EXPECT_FALSE(flap.record(1500));
+  EXPECT_FALSE(flap.record(1600));
+  EXPECT_TRUE(flap.record(1700));
+}
+
+TEST(FlapWindowTest, ZeroThresholdNeverTrips) {
+  FlapWindow flap(0, 1000);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(flap.record(static_cast<std::uint64_t>(i)));
+}
+
+TEST(FlapWindowTest, ResetForgets) {
+  FlapWindow flap(2, 1000);
+  EXPECT_FALSE(flap.record(10));
+  flap.reset();
+  EXPECT_FALSE(flap.record(20));  // would have tripped without the reset
+  EXPECT_TRUE(flap.record(30));
+}
+
+}  // namespace
+}  // namespace fir

@@ -123,7 +123,8 @@ TEST(CrashSignalDeathTest, SyncDoubleFaultExitsWithDiagnostic) {
         set_crash_handler(&handler);
         raise_crash(CrashKind::kSegv);
       },
-      ExitedWithCode(kDoubleFaultExitCode), "double fault.*sync channel");
+      ExitedWithCode(kDoubleFaultExitCode),
+      "double fault \\(SIGSEGV\\).*sync channel; site=.*depth=");
 }
 
 TEST(CrashSignalDeathTest, SignalDoubleFaultExitsWithDiagnostic) {
@@ -134,7 +135,8 @@ TEST(CrashSignalDeathTest, SignalDoubleFaultExitsWithDiagnostic) {
         if (!install_signal_channel()) std::_Exit(2);
         real_segv();
       },
-      ExitedWithCode(kDoubleFaultExitCode), "double fault.*signal channel");
+      ExitedWithCode(kDoubleFaultExitCode),
+      "double fault \\(SIGSEGV\\).*signal channel; site=.*depth=");
 }
 
 TEST(CrashSignalDeathTest, CrashInCompensationEscalatesToDoubleFault) {

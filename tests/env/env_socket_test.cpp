@@ -165,5 +165,93 @@ TEST(EnvSocketTest, BacklogLimitRefusesConnections) {
   EXPECT_EQ(env.last_errno(), ECONNREFUSED);
 }
 
+// --- SO_REUSEPORT model ------------------------------------------------------
+
+TEST(EnvSocketTest, ReusePortAllowsSharedBindOnlyWhenAllOptIn) {
+  Env env;
+  const int a = env.socket();
+  const int b = env.socket();
+  EXPECT_EQ(env.setsockopt(a, kSockOptReusePort), 0);
+  EXPECT_EQ(env.setsockopt(b, kSockOptReusePort), 0);
+  EXPECT_EQ(env.bind(a, 6000), 0);
+  EXPECT_EQ(env.bind(b, 6000), 0);  // shared: both opted in
+
+  // A third socket WITHOUT the option cannot join the group...
+  const int c = env.socket();
+  EXPECT_EQ(env.bind(c, 6000), -1);
+  EXPECT_EQ(env.last_errno(), EADDRINUSE);
+  // ...and an opted-in socket cannot join a port held without the option.
+  const int plain = env.socket();
+  EXPECT_EQ(env.bind(plain, 6001), 0);
+  const int d = env.socket();
+  EXPECT_EQ(env.setsockopt(d, kSockOptReusePort), 0);
+  EXPECT_EQ(env.bind(d, 6001), -1);
+  EXPECT_EQ(env.last_errno(), EADDRINUSE);
+}
+
+TEST(EnvSocketTest, ReusePortDealsConnectionsRoundRobin) {
+  Env env;
+  const int listeners[3] = {env.socket(), env.socket(), env.socket()};
+  for (const int s : listeners) {
+    ASSERT_EQ(env.setsockopt(s, kSockOptReusePort), 0);
+    ASSERT_EQ(env.bind(s, 6002), 0);
+    ASSERT_EQ(env.listen(s, 8), 0);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (const int s : listeners) {
+      const int c = env.connect_to(6002);
+      ASSERT_GE(c, 0);
+      // The cursor advances one listener per connection, in fd order.
+      const int srv = env.accept(s);
+      EXPECT_GE(srv, 0) << "round " << round << " listener " << s;
+      env.close(c);
+      env.close(srv);
+    }
+  }
+}
+
+TEST(EnvSocketTest, ReusePortSkipsFullBacklogs) {
+  Env env;
+  const int a = env.socket();
+  const int b = env.socket();
+  for (const int s : {a, b}) {
+    ASSERT_EQ(env.setsockopt(s, kSockOptReusePort), 0);
+    ASSERT_EQ(env.bind(s, 6003), 0);
+  }
+  ASSERT_EQ(env.listen(a, 1), 0);
+  ASSERT_EQ(env.listen(b, 8), 0);
+  // Fill a's backlog; subsequent connections must all land on b.
+  ASSERT_GE(env.connect_to(6003), 0);  // dealt to a
+  for (int i = 0; i < 3; ++i) {
+    const int c = env.connect_to(6003);
+    ASSERT_GE(c, 0);
+  }
+  EXPECT_GE(env.accept(a), 0);
+  EXPECT_EQ(env.accept(a), -1) << "a should hold exactly one connection";
+  for (int i = 0; i < 3; ++i) EXPECT_GE(env.accept(b), 0);
+
+  // With every backlog full the group refuses, like a single listener.
+  ASSERT_GE(env.connect_to(6003), 0);  // refills a (backlog 1)
+  for (int i = 0; i < 8; ++i) ASSERT_GE(env.connect_to(6003), 0);  // fills b
+  EXPECT_EQ(env.connect_to(6003), -1);
+  EXPECT_EQ(env.last_errno(), ECONNREFUSED);
+}
+
+TEST(EnvSocketTest, UnlistenRestoresReusePortOption) {
+  Env env;
+  const int s = env.socket();
+  ASSERT_EQ(env.setsockopt(s, kSockOptReusePort), 0);
+  ASSERT_EQ(env.bind(s, 6004), 0);
+  ASSERT_EQ(env.listen(s, 4), 0);
+  ASSERT_EQ(env.unlisten(s), 0);
+  // The option survives the compensation: a sibling can still share.
+  const int sibling = env.socket();
+  ASSERT_EQ(env.setsockopt(sibling, kSockOptReusePort), 0);
+  EXPECT_EQ(env.bind(sibling, 6004), 0);
+  EXPECT_EQ(env.listen(s, 4), 0);
+  EXPECT_EQ(env.listen(sibling, 4), 0);
+  EXPECT_GE(env.connect_to(6004), 0);
+}
+
 }  // namespace
 }  // namespace fir

@@ -5,7 +5,10 @@
 // while a worker recovers).
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
+#include <string>
 
 #include "apps/miniginx.h"
 #include "workload/concurrent.h"
@@ -117,6 +120,69 @@ TEST(ServingLoadTest, RecoveryUnderPipelinedLoadLosesNothing) {
   EXPECT_EQ(result.total_responses(), result.total_sent());
   for (int i = 0; i < 2; ++i)
     EXPECT_TRUE(server.worker_alive(i)) << "worker " << i;
+  server.stop();
+}
+
+// SO_REUSEPORT serving: with FIR_REUSEPORT=1 every worker listens on the
+// SAME port and the env deals connections across the listener group, so
+// clients need no port map — the prefork fleet's sharding model.
+TEST(ServingLoadTest, ReuseportWorkersShareOnePort) {
+  ::setenv("FIR_REUSEPORT", "1", 1);
+  Miniginx server(stm_cfg());
+  ::unsetenv("FIR_REUSEPORT");
+  ASSERT_TRUE(server.serving().reuse_port);
+  ASSERT_TRUE(server.start(8080).is_ok());
+  ASSERT_TRUE(server.start_workers(2).is_ok());
+  EXPECT_EQ(server.worker_port(0), server.port());
+  EXPECT_EQ(server.worker_port(1), server.port());
+
+  TimedLoadSpec spec;
+  spec.ports = {server.port(), server.port()};
+  spec.threads = 2;
+  spec.pipeline_depth = 4;
+  spec.warmup_seconds = 0.05;
+  spec.duration_seconds = 0.25;
+  const TimedLoadResult result = run_timed_http_load(server, spec);
+  server.stop();
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.transport_failures, 0u);
+  EXPECT_EQ(result.responses_5xx, 0u);
+}
+
+// Drain hook: stop_accepting() removes the listener (new connections are
+// refused) while an established connection keeps being served — the
+// worker half of the fleet's zero-loss drain.
+TEST(ServingLoadTest, StopAcceptingKeepsServingEstablishedConnections) {
+  Miniginx server(stm_cfg());
+  ASSERT_TRUE(server.start(8080).is_ok());
+  Env& env = server.fx().env();
+  const int fd = env.connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(server.accepting());
+  // Let the event loop accept before the listener disappears.
+  server.run_once();
+
+  server.stop_accepting();
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(env.connect_to(server.port()), -1);
+  EXPECT_EQ(env.last_errno(), ECONNREFUSED);
+
+  const char* req = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(env.send(fd, req, std::strlen(req)),
+            static_cast<ssize_t>(std::strlen(req)));
+  std::string out;
+  char buf[65536];
+  for (int i = 0; i < 8; ++i) {
+    server.run_once();
+    for (;;) {
+      const ssize_t r = env.recv(fd, buf, sizeof(buf));
+      if (r <= 0) break;
+      out.append(buf, static_cast<std::size_t>(r));
+    }
+  }
+  EXPECT_NE(out.find("200 OK"), std::string::npos) << out;
+  env.close(fd);
   server.stop();
 }
 

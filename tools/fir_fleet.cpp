@@ -1,0 +1,158 @@
+// fir_fleet: run a prefork miniginx fleet under load and chaos.
+//
+//   fir_fleet [--fleet-workers=N] [--restart-backoff-ms=N]
+//             [--flap-threshold=K] [--heartbeat-deadline-ms=N]
+//             [--duration-ms=N] [--kill-every-ms=N]
+//             [--kill-mode=cycle|exit70|sigkill|hang|none]
+//             [--threads=N] [--batch-size=N] [--out=events.jsonl]
+//
+// Starts the fleet, drives it with the fleet load generator, and — when
+// --kill-every-ms is set — murders one worker per interval in the chosen
+// mode (cycle alternates exit70 -> sigkill -> hang). At the end it prints
+// the per-worker table plus the zero-loss ledger, and exits nonzero when
+// any request was lost (quarantine aside, that must never happen).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "apps/supervisor.h"
+#include "obs/cli.h"
+#include "workload/fleet.h"
+
+namespace {
+
+long long flag_value(int* argc, char** argv, const char* flag,
+                     long long fallback) {
+  const std::size_t len = std::strlen(flag);
+  long long value = fallback;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      value = std::atoll(argv[i] + len + 1);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return value;
+}
+
+std::string flag_string(int* argc, char** argv, const char* flag,
+                        std::string fallback) {
+  const std::size_t len = std::strlen(flag);
+  std::string value = std::move(fallback);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      value = argv[i] + len + 1;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fir::obs::apply_cli_flags(&argc, argv);
+  const long long duration_ms = flag_value(&argc, argv, "--duration-ms", 3000);
+  const long long kill_every_ms =
+      flag_value(&argc, argv, "--kill-every-ms", 0);
+  const long long threads = flag_value(&argc, argv, "--threads", 4);
+  const long long batch_size = flag_value(&argc, argv, "--batch-size", 8);
+  const std::string kill_mode =
+      flag_string(&argc, argv, "--kill-mode", "cycle");
+  const std::string out_path = flag_string(&argc, argv, "--out", "");
+  if (argc > 1) {
+    std::fprintf(stderr, "fir_fleet: unknown argument %s\n%s", argv[1],
+                 fir::obs::cli_flags_help());
+    return 2;
+  }
+
+  fir::fleet::FleetConfig config = fir::fleet::FleetConfig::from_env();
+  config.event_log_path = out_path;
+  fir::fleet::FleetSupervisor fleet(config);
+  if (!fleet.start()) {
+    std::fprintf(stderr, "fir_fleet: failed to start fleet\n");
+    return 1;
+  }
+
+  bool chaos_stop = false;
+  std::thread chaos;
+  if (kill_every_ms > 0 && kill_mode != "none") {
+    chaos = std::thread([&] {
+      int victim = 0;
+      int mode_cursor = 0;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(duration_ms);
+      while (!chaos_stop && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(kill_every_ms));
+        fir::fleet::KillMode mode = fir::fleet::KillMode::kExit70;
+        if (kill_mode == "sigkill") {
+          mode = fir::fleet::KillMode::kSigkill;
+        } else if (kill_mode == "hang") {
+          mode = fir::fleet::KillMode::kHang;
+        } else if (kill_mode == "cycle") {
+          const fir::fleet::KillMode cycle[] = {
+              fir::fleet::KillMode::kExit70, fir::fleet::KillMode::kSigkill,
+              fir::fleet::KillMode::kHang};
+          mode = cycle[mode_cursor++ % 3];
+        }
+        fleet.kill_worker(victim++ % fleet.worker_count(), mode);
+      }
+    });
+  }
+
+  fir::FleetLoadSpec spec;
+  spec.threads = static_cast<int>(threads);
+  spec.batch_size = static_cast<int>(batch_size);
+  spec.duration_ms = static_cast<int>(duration_ms);
+  const fir::FleetLoadResult result = fir::run_fleet_http_load(fleet, spec);
+
+  chaos_stop = true;
+  if (chaos.joinable()) chaos.join();
+
+  // Let stragglers restart so the final table shows the recovered fleet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  const fir::fleet::FleetCounters c = fleet.counters();
+  std::printf("fleet: %d workers\n", fleet.worker_count());
+  std::printf("%-8s %-6s %-6s\n", "worker", "up", "shard");
+  for (int i = 0; i < fleet.worker_count(); ++i) {
+    std::printf("%-8d %-6s %-6d\n", i, fleet.worker_up(i) ? "yes" : "no",
+                fleet.shard_owner(i));
+  }
+  std::printf(
+      "events: spawns=%llu deaths=%llu (exit70=%llu signal=%llu hang=%llu) "
+      "restarts=%llu quarantines=%llu drains=%llu requeues=%llu\n",
+      static_cast<unsigned long long>(c.spawns),
+      static_cast<unsigned long long>(c.deaths),
+      static_cast<unsigned long long>(c.exit70_deaths),
+      static_cast<unsigned long long>(c.signal_deaths),
+      static_cast<unsigned long long>(c.hang_deaths),
+      static_cast<unsigned long long>(c.restarts),
+      static_cast<unsigned long long>(c.quarantines),
+      static_cast<unsigned long long>(c.drains),
+      static_cast<unsigned long long>(c.requeues));
+  std::printf(
+      "load: requests=%llu answered=%llu (2xx=%llu 4xx=%llu 5xx=%llu) "
+      "lost=%llu\n",
+      static_cast<unsigned long long>(result.requests),
+      static_cast<unsigned long long>(result.answered()),
+      static_cast<unsigned long long>(result.responses_2xx),
+      static_cast<unsigned long long>(result.responses_4xx),
+      static_cast<unsigned long long>(result.responses_5xx),
+      static_cast<unsigned long long>(result.lost));
+  fleet.stop();
+  if (result.lost != 0) {
+    std::fprintf(stderr, "fir_fleet: FAILED — %llu requests lost\n",
+                 static_cast<unsigned long long>(result.lost));
+    return 1;
+  }
+  return 0;
+}
