@@ -1,0 +1,39 @@
+// Fsync policy knob shared by the durable servers (FIR_FSYNC_POLICY).
+//
+// Controls when a server places a durability barrier after appending to its
+// WAL/AOF. "always" gives acked-implies-durable (every acknowledged mutation
+// survives any crash image); "batch" barriers at natural batch points
+// (minipg: COMMIT, minikv: every few records); "no" leaves the log in the
+// page cache, so a crash can lose the whole unsynced tail.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fir {
+
+enum class FsyncPolicy {
+  kAlways,  // barrier after every log append
+  kBatch,   // barrier at batch points (COMMIT / every N records)
+  kNo,      // never barrier: page cache only
+};
+
+inline FsyncPolicy fsync_policy_from_env(FsyncPolicy fallback) {
+  const char* v = std::getenv("FIR_FSYNC_POLICY");
+  if (v == nullptr) return fallback;
+  if (std::strcmp(v, "always") == 0) return FsyncPolicy::kAlways;
+  if (std::strcmp(v, "batch") == 0) return FsyncPolicy::kBatch;
+  if (std::strcmp(v, "no") == 0) return FsyncPolicy::kNo;
+  return fallback;
+}
+
+inline const char* fsync_policy_name(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kNo: return "no";
+  }
+  return "?";
+}
+
+}  // namespace fir

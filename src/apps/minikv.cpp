@@ -4,12 +4,15 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "common/walrec.h"
 
 namespace fir {
 namespace {
 constexpr std::uint32_t kOptReuseAddr = 0x1;
 constexpr int kMaxEvents = 32;
 constexpr std::int32_t kNone = -1;
+// Batch fsync policy: barrier after this many AOF appends.
+constexpr std::uint32_t kAofBatchRecords = 8;
 }  // namespace
 
 Minikv::Minikv(TxManagerConfig config)
@@ -276,30 +279,38 @@ bool Minikv::apply_set(std::string_view key, std::string_view value) {
 bool Minikv::aof_append(std::string_view line) {
   if (!aof_enabled_ || aof_fd_ < 0) return true;
   HSFI_POINT(fx_.hsfi(), "aof_write", /*critical=*/false);
-  char record[256];
-  const int n = std::snprintf(record, sizeof(record), "%.*s\n",
-                              static_cast<int>(line.size()), line.data());
-  if (n <= 0) return false;
-  // AOF durability write: write() — irrecoverable transaction, like the
-  // real Redis appendfsync path.
-  if (FIR_WRITE(fx_, aof_fd_, record, static_cast<std::size_t>(n)) < 0) {
+  char record[256 + kWalrecHeaderBytes];
+  const std::size_t n = walrec_encode(record, sizeof(record), line);
+  if (n == 0) return false;
+  // AOF durability write: compensable while the appended bytes sit past the
+  // sync barrier, irrecoverable once a barrier covers them — like the real
+  // Redis appendfsync path.
+  if (FIR_WRITE(fx_, aof_fd_, record, n) < 0) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "aof_write_failed");
     FIR_LOG(kWarn) << "minikv: AOF append failed";
     return false;
+  }
+  if (fsync_policy_ == FsyncPolicy::kAlways ||
+      (fsync_policy_ == FsyncPolicy::kBatch &&
+       ++aof_unsynced_ >= kAofBatchRecords)) {
+    if (FIR_FSYNC(fx_, aof_fd_) == -1) {
+      HSFI_HANDLER_POINT(fx_.hsfi(), "aof_fsync_failed");
+      FIR_LOG(kWarn) << "minikv: AOF fsync failed";
+      return false;
+    }
+    aof_unsynced_ = 0;
   }
   return true;
 }
 
 void Minikv::replay_aof() {
   aof_replayed_ = 0;
+  aof_torn_bytes_ = 0;
   auto aof = fx_.env().vfs().lookup("/data/appendonly.aof");
   if (aof == nullptr || aof->data.empty()) return;
-  std::string_view rest(aof->data.data(), aof->data.size());
-  while (!rest.empty()) {
-    const std::size_t eol = rest.find('\n');
-    std::string_view line =
-        eol == std::string_view::npos ? rest : rest.substr(0, eol);
-    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
+  WalrecScanner scan({aof->data.data(), aof->data.size()});
+  std::string_view line;
+  while (scan.next(line)) {
     const std::size_t sp = line.find(' ');
     if (sp == std::string_view::npos) continue;
     const std::string_view verb = line.substr(0, sp);
@@ -312,6 +323,18 @@ void Minikv::replay_aof() {
     } else if (verb == "DEL") {
       if (db_.erase(line)) ++aof_replayed_;
     }
+  }
+  // Torn tail (partial final append or bit rot): truncate back to the last
+  // record whose checksum verified, like redis-check-aof --fix.
+  if (scan.valid_bytes() < aof->data.size()) {
+    aof_torn_bytes_ = aof->data.size() - scan.valid_bytes();
+    const int fd = fx_.env().open("/data/appendonly.aof", kWrOnly);
+    if (fd >= 0) {
+      fx_.env().ftruncate(fd, static_cast<std::int64_t>(scan.valid_bytes()));
+      fx_.env().close(fd);
+    }
+    FIR_LOG(kWarn) << "minikv: dropped " << aof_torn_bytes_
+                   << " torn AOF tail bytes";
   }
   FIR_LOG(kInfo) << "minikv: replayed " << aof_replayed_
                  << " AOF records on startup";
@@ -628,6 +651,14 @@ void Minikv::cmd_save(int fd) {
   FIR_CLOSE(fx_, rdb);
   if (FIR_RENAME(fx_, "/data/dump.rdb.tmp", "/data/dump.rdb") == -1) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "rdb_rename_failed");
+    reply(fd, "-ERR save failed\r\n", 18);
+    counters_.responses_5xx += 1;
+    return;
+  }
+  // Publish the rename with a directory barrier: without it a crash image
+  // may still hold the pre-rename namespace (old dump + tmp file).
+  if (FIR_FSYNC_DIR(fx_, "/data") == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "rdb_dir_sync_failed");
     reply(fd, "-ERR save failed\r\n", 18);
     counters_.responses_5xx += 1;
     return;

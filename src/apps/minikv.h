@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/fsync_policy.h"
 #include "apps/server.h"
 #include "mem/tracked_map.h"
 #include "mem/tracked_pool.h"
@@ -43,6 +44,15 @@ class Minikv final : public Server {
   /// an existing AOF is replayed at start(). Call before start().
   void enable_aof(bool on) { aof_enabled_ = on; }
   std::size_t aof_records_replayed() const { return aof_replayed_; }
+
+  /// Torn/corrupt tail bytes dropped from the AOF by the last start()'s
+  /// recovery scan (0 when the log ended on a whole, valid record).
+  std::size_t aof_torn_bytes() const { return aof_torn_bytes_; }
+
+  /// Durability-barrier policy for AOF appends. Defaults to "always"
+  /// (overridable with FIR_FSYNC_POLICY); call before start().
+  void set_fsync_policy(FsyncPolicy p) { fsync_policy_ = p; }
+  FsyncPolicy fsync_policy() const { return fsync_policy_; }
 
  private:
   struct Conn {
@@ -100,6 +110,9 @@ class Minikv final : public Server {
   bool aof_enabled_ = false;
   int aof_fd_ = -1;
   std::size_t aof_replayed_ = 0;
+  std::size_t aof_torn_bytes_ = 0;
+  FsyncPolicy fsync_policy_ = fsync_policy_from_env(FsyncPolicy::kAlways);
+  std::uint32_t aof_unsynced_ = 0;  // records since the last batch barrier
 };
 
 }  // namespace fir

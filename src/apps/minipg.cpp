@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/walrec.h"
 
 namespace fir {
 namespace {
@@ -239,16 +240,13 @@ Minipg::Table* Minipg::create_table_slot(std::string_view name) {
 
 void Minipg::replay_wal() {
   wal_replayed_ = 0;
+  wal_torn_bytes_ = 0;
   auto wal = fx_.env().vfs().lookup("/pg/pg_wal/000000010000000000000001");
   if (wal == nullptr || wal->data.empty()) return;
-  // Records: "xid=N op=<op> rel=<t> key=<k> val=<v>\n".
-  std::string_view rest(wal->data.data(), wal->data.size());
-  while (!rest.empty()) {
-    const std::size_t eol = rest.find('\n');
-    const std::string_view line =
-        eol == std::string_view::npos ? rest : rest.substr(0, eol);
-    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
-
+  // Framed records; each payload is "xid=N op=<op> rel=<t> key=<k> val=<v>".
+  WalrecScanner scan({wal->data.data(), wal->data.size()});
+  std::string_view line;
+  while (scan.next(line)) {
     auto field = [&line](std::string_view tag) -> std::string_view {
       const std::size_t at = line.find(tag);
       if (at == std::string_view::npos) return {};
@@ -292,6 +290,19 @@ void Minipg::replay_wal() {
     }
     ++wal_replayed_;
   }
+  // Torn tail (partial final append or bit rot): truncate back to the last
+  // record whose checksum verified — pg_resetwal-style tail repair.
+  if (scan.valid_bytes() < wal->data.size()) {
+    wal_torn_bytes_ = wal->data.size() - scan.valid_bytes();
+    const int fd =
+        fx_.env().open("/pg/pg_wal/000000010000000000000001", kWrOnly);
+    if (fd >= 0) {
+      fx_.env().ftruncate(fd, static_cast<std::int64_t>(scan.valid_bytes()));
+      fx_.env().close(fd);
+    }
+    FIR_LOG(kWarn) << "minipg: dropped " << wal_torn_bytes_
+                   << " torn WAL tail bytes";
+  }
   FIR_LOG(kInfo) << "minipg: replayed " << wal_replayed_
                  << " WAL records on startup";
 }
@@ -308,22 +319,30 @@ Minipg::Table* Minipg::find_table(std::string_view name) {
 
 bool Minipg::wal_append(const char* op, std::string_view table,
                         std::string_view key, std::string_view value) {
-  char record[320];
+  char payload[320];
   const int n = std::snprintf(
-      record, sizeof(record), "xid=%llu op=%s rel=%.*s key=%.*s val=%.*s\n",
+      payload, sizeof(payload), "xid=%llu op=%s rel=%.*s key=%.*s val=%.*s",
       static_cast<unsigned long long>(xid_.get()), op,
       static_cast<int>(table.size()), table.data(),
       static_cast<int>(key.size()), key.data(),
       static_cast<int>(value.size()), value.data());
-  // WAL append: write() — irrecoverable transaction (data may be on disk).
-  const ssize_t w =
-      FIR_WRITE(fx_, wal_fd_, record, static_cast<std::size_t>(n));
+  char record[320 + kWalrecHeaderBytes];
+  const std::size_t total = walrec_encode(
+      record, sizeof(record), {payload, static_cast<std::size_t>(n)});
+  if (total == 0) return false;
+  // WAL append: write() — compensable while the bytes sit past the sync
+  // barrier, irrecoverable once flushed.
+  const ssize_t w = FIR_WRITE(fx_, wal_fd_, record, total);
   if (w < 0) {
     HSFI_HANDLER_POINT(fx_.hsfi(), "wal_write_failed");
     FIR_LOG(kWarn) << "minipg: WAL write failed errno=" << fx_.err();
     return false;
   }
-  wal_offset_ += static_cast<std::uint64_t>(w);
+  if (fsync_policy_ == FsyncPolicy::kAlways &&
+      FIR_FSYNC(fx_, wal_fd_) == -1) {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "wal_fsync_failed");
+    return false;
+  }
   return true;
 }
 
@@ -383,8 +402,10 @@ void Minipg::execute_sql(int fd, Conn* conn, const char* line,
   }
   if (verb == "COMMIT") {
     HSFI_POINT(fx_.hsfi(), "commit_fsync", /*critical=*/false);
-    // Commit durability: fsync the WAL (irrecoverable transaction).
-    if (FIR_FSYNC(fx_, wal_fd_) == -1) {
+    // Commit durability: fsync the WAL (irrecoverable transaction). Under
+    // policy "no" the flush is skipped and the commit rides the page cache.
+    if (fsync_policy_ != FsyncPolicy::kNo &&
+        FIR_FSYNC(fx_, wal_fd_) == -1) {
       reply(fd, "ERROR: fsync failed\n", 20);
       counters_.responses_5xx += 1;
       return;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/fsync_policy.h"
 #include "apps/server.h"
 #include "mem/tracked_map.h"
 #include "mem/tracked_pool.h"
@@ -48,6 +49,16 @@ class Minipg final : public Server {
   /// Rows recovered from the WAL during the last start() (0 on a fresh
   /// data directory).
   std::size_t wal_records_replayed() const { return wal_replayed_; }
+
+  /// Torn/corrupt tail bytes dropped from the WAL by the last start()'s
+  /// recovery scan (0 when the log ended on a whole, valid record).
+  std::size_t wal_torn_bytes() const { return wal_torn_bytes_; }
+
+  /// Durability-barrier policy for the WAL. Defaults to "batch" (fsync at
+  /// COMMIT, like synchronous_commit=on with grouped flushes); overridable
+  /// with FIR_FSYNC_POLICY. Call before start().
+  void set_fsync_policy(FsyncPolicy p) { fsync_policy_ = p; }
+  FsyncPolicy fsync_policy() const { return fsync_policy_; }
 
  private:
   struct Conn {
@@ -92,9 +103,10 @@ class Minipg final : public Server {
   std::vector<TableSlot> table_names_;
   TrackedPool<Conn> conns_{32};
   std::vector<std::int32_t> fd_conn_;
-  tracked<std::uint64_t> wal_offset_;
   tracked<std::uint64_t> xid_;
   std::size_t wal_replayed_ = 0;
+  std::size_t wal_torn_bytes_ = 0;
+  FsyncPolicy fsync_policy_ = fsync_policy_from_env(FsyncPolicy::kBatch);
 };
 
 }  // namespace fir

@@ -14,6 +14,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
+
+#include "apps/minikv.h"
 #include "apps/miniginx.h"
 #include "core/crash.h"
 
@@ -241,6 +244,101 @@ std::vector<int> serve_batch(Miniginx& mg,
   return statuses;
 }
 
+/// Scans `rx` for one complete minikv reply and maps it to an HTTP-shaped
+/// status so BatchResult stays uniform across fleet modes: "+OK"/":N"/
+/// bulk values → 200, the "$-1" miss → 404, "-ERR..." → 500. Returns the
+/// bytes consumed (0 when incomplete). Mirrors KvClient::try_read_reply,
+/// which the supervisor layer cannot link (workload depends on apps).
+std::size_t scan_kv_reply(const std::string& rx, int* status) {
+  const std::size_t eol = rx.find("\r\n");
+  if (eol == std::string::npos) return 0;
+  std::size_t total = eol + 2;
+  long bulk_len = -1;
+  if (!rx.empty() && rx[0] == '$') {
+    bulk_len = std::atol(rx.c_str() + 1);
+    if (bulk_len >= 0) {
+      total = eol + 2 + static_cast<std::size_t>(bulk_len) + 2;
+      if (rx.size() < total) return 0;
+    }
+  }
+  if (!rx.empty() && rx[0] == '-') {
+    *status = 500;
+  } else if (!rx.empty() && rx[0] == '$' && bulk_len < 0) {
+    *status = 404;
+  } else {
+    *status = 200;
+  }
+  return total;
+}
+
+/// Replays one batch of KV command lines against the worker's in-process
+/// minikv through the virtual network (the durable-fleet analogue of
+/// serve_batch). One persistent connection, one reply per command.
+std::vector<int> serve_kv_batch(Minikv& kv,
+                                const std::vector<std::string>& targets) {
+  Env& env = kv.fx().env();
+  std::vector<int> statuses(targets.size(), 0);
+  int fd = -1;
+  std::string rx;
+  char buf[4096];
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (int attempt = 0; attempt < 3 && statuses[i] == 0; ++attempt) {
+      if (fd < 0) {
+        fd = env.connect_to(kv.port());
+        rx.clear();
+        if (fd < 0) break;  // listener gone (stopping): leave status 0
+      }
+      const std::string req = targets[i] + "\r\n";
+      std::size_t off = 0;
+      bool dead = false;
+      int stalls = 0;
+      while (off < req.size()) {
+        const ssize_t w = env.send(fd, req.data() + off, req.size() - off);
+        if (w > 0) {
+          off += static_cast<std::size_t>(w);
+          stalls = 0;
+          continue;
+        }
+        kv.run_once();
+        if (++stalls > 1000) {
+          dead = true;
+          break;
+        }
+      }
+      while (!dead) {
+        kv.run_once();
+        for (;;) {
+          const ssize_t r = env.recv(fd, buf, sizeof(buf));
+          if (r > 0) {
+            rx.append(buf, static_cast<std::size_t>(r));
+            continue;
+          }
+          if (r == 0 || env.last_errno() != EAGAIN) dead = true;
+          break;
+        }
+        int status = 0;
+        const std::size_t used = scan_kv_reply(rx, &status);
+        if (used > 0) {
+          statuses[i] = status;
+          rx.erase(0, used);
+          break;
+        }
+        if (dead) break;  // EOF without a full reply: retry fresh
+        if (++stalls > 10000) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        env.close(fd);
+        fd = -1;
+      }
+    }
+  }
+  if (fd >= 0) env.close(fd);
+  return statuses;
+}
+
 std::uint64_t steady_ms() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -278,14 +376,31 @@ const char* death_cause_name(DeathCause cause) {
 
 void fleet_worker_main(int ctrl_fd, const FleetConfig& config, int shard) {
   ::signal(SIGPIPE, SIG_IGN);
-  // The worker owns a fresh Miniginx and therefore a fresh Env: the fork
+  // The worker owns a fresh server and therefore a fresh Env: the fork
   // boundary is the fault boundary. FIR_SIGNALS is honored by the
   // TxManager's own config-from-env hook.
-  Miniginx mg;
+  std::unique_ptr<Miniginx> mg;
+  std::unique_ptr<Minikv> kv;
   const std::uint16_t port =
       static_cast<std::uint16_t>(config.base_port + shard);
-  if (!mg.start(port).is_ok()) _exit(64);  // EX_USAGE-ish: cannot serve
-  if (config.ssi_null_bug) mg.enable_ssi_null_bug(true);
+  if (config.durable) {
+    // Durable shard: bind the virtual durable image to the shard's host
+    // directory BEFORE start(), so start()'s AOF replay recovers whatever
+    // the previous incarnation pushed past an fsync barrier. Policy
+    // "always" makes every acked mutation durable before its reply.
+    kv = std::make_unique<Minikv>();
+    if (!config.durable_dir.empty() &&
+        !kv->fx().env().vfs().attach_backing(config.durable_dir + "/shard-" +
+                                             std::to_string(shard)))
+      _exit(64);
+    kv->enable_aof(true);
+    kv->set_fsync_policy(FsyncPolicy::kAlways);
+    if (!kv->start(port).is_ok()) _exit(64);
+  } else {
+    mg = std::make_unique<Miniginx>();
+    if (!mg->start(port).is_ok()) _exit(64);  // EX_USAGE-ish: cannot serve
+    if (config.ssi_null_bug) mg->enable_ssi_null_bug(true);
+  }
   for (const int s : config.crash_on_spawn_shards) {
     if (s == shard) {
       // TEST HOOK: die the way a worker whose shard input is poisonous
@@ -328,7 +443,8 @@ void fleet_worker_main(int ctrl_fd, const FleetConfig& config, int shard) {
               decode_targets(payload, h.n);
           std::vector<int> statuses;
           try {
-            statuses = serve_batch(mg, targets);
+            statuses = kv != nullptr ? serve_kv_batch(*kv, targets)
+                                     : serve_batch(*mg, targets);
           } catch (const FatalCrashError& e) {
             // Unrecoverable fault while serving: in a real deployment the
             // process dies here. Leave a line for the supervisor's stderr
@@ -353,10 +469,12 @@ void fleet_worker_main(int ctrl_fd, const FleetConfig& config, int shard) {
         case kFrDrain:
           // Planned drain: stop accepting, finish anything buffered (the
           // frame stream already serialized us after any in-flight batch),
-          // acknowledge, exit clean.
-          mg.stop_accepting();
+          // acknowledge, exit clean. A durable shard needs no handoff
+          // step: everything acked is already on host media.
+          if (mg != nullptr) mg->stop_accepting();
           send_frame(ctrl_fd, kFrDrained);
-          mg.stop();
+          if (mg != nullptr) mg->stop();
+          if (kv != nullptr) kv->stop();
           _exit(0);
         case kFrKillExit70: {
           // Chaos interface: the REAL double-fault termination path, so
@@ -398,6 +516,12 @@ FleetConfig FleetConfig::from_env(FleetConfig base) {
   if (const char* v = std::getenv("FIR_HEARTBEAT_DEADLINE_MS")) {
     const long ms = std::strtol(v, nullptr, 10);
     if (ms > 0) c.heartbeat_deadline_ms = static_cast<std::uint32_t>(ms);
+  }
+  if (const char* v = std::getenv("FIR_FLEET_DURABLE")) {
+    c.durable = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("FIR_FLEET_DURABLE_DIR")) {
+    c.durable_dir = v;
   }
   return c;
 }
@@ -508,6 +632,13 @@ bool FleetSupervisor::start() {
   if (running_) return true;
   if (!config_.event_log_path.empty()) {
     event_log_ = std::fopen(config_.event_log_path.c_str(), "w");
+  }
+  if (config_.durable && config_.durable_dir.empty()) {
+    // Resolve the default BEFORE the first spawn: workers read the path
+    // out of config_, so it must be fixed for the fleet's whole lifetime.
+    char tmpl[] = "/tmp/fir_fleet_durable_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) return false;
+    config_.durable_dir = tmpl;
   }
   slots_.assign(static_cast<std::size_t>(config_.workers), Slot{});
   shard_owner_.assign(static_cast<std::size_t>(config_.workers), -1);
@@ -847,6 +978,10 @@ bool FleetSupervisor::kill_worker(int worker, KillMode mode) {
 bool FleetSupervisor::drain_worker(int worker) {
   std::lock_guard<std::mutex> lock(mu_);
   if (worker < 0 || worker >= static_cast<int>(slots_.size())) return false;
+  // Durable shards are pinned to their host directory: a sibling serving
+  // its own backing dir would silently split the shard's keyspace. Scale
+  // down a durable fleet by stop() (every ack is already on media).
+  if (config_.durable) return false;
   Slot& slot = slots_[static_cast<std::size_t>(worker)];
   if (slot.state != SlotState::kUp || slot.shard < 0) return false;
   // Hand the shard to a live sibling BEFORE draining, so not a single
@@ -925,6 +1060,11 @@ std::string FleetSupervisor::last_diagnostic(int worker) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (worker < 0 || worker >= static_cast<int>(slots_.size())) return {};
   return slots_[static_cast<std::size_t>(worker)].death_diagnostic;
+}
+
+std::string FleetSupervisor::durable_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.durable ? config_.durable_dir : std::string();
 }
 
 FleetCounters FleetSupervisor::counters() const {

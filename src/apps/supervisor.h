@@ -1,4 +1,6 @@
-// FleetSupervisor: a reincarnation-style prefork supervisor for miniginx.
+// FleetSupervisor: a reincarnation-style prefork supervisor for miniginx
+// (stateless HTTP shards) or, in durable mode, minikv (host-backed AOF
+// shards whose acked writes survive worker death).
 //
 // The outermost of the containment rings (docs/ARCHITECTURE.md §Process
 // supervision): crash transactions absorb faults inside one request,
@@ -91,6 +93,18 @@ struct FleetConfig {
   std::uint64_t seed = 42;
   /// Workers enable the §VI-F SSI NULL bug (fault-injection demos).
   bool ssi_null_bug = false;
+  /// FIR_FLEET_DURABLE: each worker hosts a durable minikv shard (AOF on,
+  /// fsync policy "always", durable VFS host-backed under durable_dir)
+  /// instead of a miniginx docroot. Batch targets are KV command lines
+  /// ("SET k v"); statuses map +/:/$ replies to 200, "$-1" to 404 and
+  /// -ERR to 500. Because every acked mutation crossed an fsync barrier
+  /// into the host-backed durable image, a worker death loses nothing:
+  /// the restarted incarnation re-attaches shard-N and replays its AOF.
+  bool durable = false;
+  /// FIR_FLEET_DURABLE_DIR: host directory holding one shard-N
+  /// subdirectory per shard. Empty = a fresh mkdtemp under /tmp at
+  /// start() (the resolved path is visible via config passed to workers).
+  std::string durable_dir;
   /// When non-empty, the supervisor appends one JSON object per fleet
   /// event to this file (the CI artifact).
   std::string event_log_path;
@@ -160,6 +174,10 @@ class FleetSupervisor {
   /// The last structured double-fault diagnostic captured from worker
   /// `worker`'s stderr pipe ("" when it never double-faulted).
   std::string last_diagnostic(int worker) const;
+  /// Host directory backing the durable shards (resolved at start() when
+  /// the config left it empty); "" for a stateless fleet. The durability
+  /// audit re-opens shard-N subdirectories of this path after stop().
+  std::string durable_dir() const;
   FleetCounters counters() const;
 
   obs::Observability& observability() { return obs_; }

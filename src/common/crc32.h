@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), bitwise.
+// Durable-log records are small (a command line each), so a lookup table
+// buys nothing; the bitwise form keeps this header dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fir {
+
+inline std::uint32_t crc32(std::string_view data,
+                           std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const char ch : data) {
+    crc ^= static_cast<unsigned char>(ch);
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+  }
+  return ~crc;
+}
+
+}  // namespace fir

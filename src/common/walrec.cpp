@@ -1,0 +1,50 @@
+#include "common/walrec.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace fir {
+namespace {
+
+void store_le32(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t load_le32(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+}  // namespace
+
+std::size_t walrec_encode(char* out, std::size_t cap,
+                          std::string_view payload) {
+  if (payload.size() > kWalrecMaxPayload) return 0;
+  const std::size_t total = kWalrecHeaderBytes + payload.size();
+  if (cap < total) return 0;
+  store_le32(out, static_cast<std::uint32_t>(payload.size()));
+  store_le32(out + 4, crc32(payload));
+  std::memcpy(out + kWalrecHeaderBytes, payload.data(), payload.size());
+  return total;
+}
+
+bool WalrecScanner::next(std::string_view& payload) {
+  if (rest_.size() < kWalrecHeaderBytes) return false;  // torn header or end
+  const std::uint32_t len = load_le32(rest_.data());
+  if (len > kWalrecMaxPayload) return false;  // corrupt length field
+  if (rest_.size() < kWalrecHeaderBytes + len) return false;  // torn payload
+  const std::string_view body = rest_.substr(kWalrecHeaderBytes, len);
+  if (crc32(body) != load_le32(rest_.data() + 4)) return false;  // bit rot
+  payload = body;
+  rest_.remove_prefix(kWalrecHeaderBytes + len);
+  valid_bytes_ += kWalrecHeaderBytes + len;
+  return true;
+}
+
+}  // namespace fir

@@ -1,0 +1,48 @@
+// Framed durable-log records, shared by the minipg WAL and minikv AOF.
+//
+// Wire format per record (little-endian):
+//
+//   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// The frame makes recovery self-validating: a replay scans records from the
+// start and stops at the first frame that is truncated (torn append) or
+// whose checksum mismatches (bit rot), then truncates the log back to the
+// last record that verified — the standard WAL/redis-check-aof recovery
+// contract. Payloads stay plain text so logs remain grep-able.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fir {
+
+constexpr std::size_t kWalrecHeaderBytes = 8;
+constexpr std::size_t kWalrecMaxPayload = 4096;
+
+/// Encodes one framed record into `out` (capacity `cap`). Returns the total
+/// bytes written (header + payload), or 0 when the payload exceeds
+/// kWalrecMaxPayload or the buffer is too small.
+std::size_t walrec_encode(char* out, std::size_t cap,
+                          std::string_view payload);
+
+/// Forward scanner over a possibly torn log image.
+class WalrecScanner {
+ public:
+  explicit WalrecScanner(std::string_view log) : rest_(log) {}
+
+  /// Advances past the next valid record, pointing `payload` into the log
+  /// buffer. Returns false at end of log OR at the first torn/corrupt
+  /// frame — scanning never resumes past damage.
+  bool next(std::string_view& payload);
+
+  /// Bytes occupied by the records that verified so far. Once next() has
+  /// returned false this is the recovery truncation point.
+  std::size_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  std::string_view rest_;
+  std::size_t valid_bytes_ = 0;
+};
+
+}  // namespace fir

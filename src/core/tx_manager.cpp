@@ -852,8 +852,15 @@ void TxManager::recovery_step(TxContext& ctx) {
       log_recovery_event(RecoveryEvent{ctx.active.site, ctx.crash_kind,
                                        RecoveryEvent::Action::kRetry,
                                        latency});
-    } else if (site.recoverable()) {
+    } else if (site.recoverable() ||
+               (site.divertible() && ctx.active.comp.fn != nullptr)) {
       // Persistent fault: compensate the opening call and inject its error.
+      // The second disjunct is the dynamic durability refinement
+      // (docs/DURABILITY.md): a statically irrecoverable opener (write,
+      // pwrite) whose wrapper proved THIS call touched only unsynced page
+      // cache — and supplied the truncate-back compensation — can divert
+      // after all. Writes that reached durable media arrive with a null
+      // compensation and still fall through to fatal.
       const bool storm_divert =
           storm_skip && ctx.active.crash_count <= config_.max_crash_retries;
       obs_.emit(obs::EventKind::kCompensation, ctx.active.site,

@@ -1,0 +1,583 @@
+#include "crashtest/harness.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "apps/minikv.h"
+#include "apps/minipg.h"
+#include "campaign/json.h"
+#include "env/vfs.h"
+#include "workload/kv_client.h"
+#include "workload/pg_client.h"
+
+namespace fir::crashtest {
+namespace {
+
+/// Observable durable state: a flat key -> value map. minipg entries are
+/// "table/key"; a bare "table/" entry marks the relation's existence so a
+/// lost CREATE is distinguishable from an empty table.
+using State = std::map<std::string, std::string>;
+
+TxManagerConfig harness_cfg() {
+  TxManagerConfig c;
+  c.policy.kind = PolicyKind::kStmOnly;  // no faults injected; keep it lean
+  return c;
+}
+
+/// Server-kind adapter: scripted workload, pure state simulation, and
+/// client-side observation of a recovered instance.
+class Adapter {
+ public:
+  virtual ~Adapter() = default;
+  virtual std::unique_ptr<Server> make() const = 0;
+  virtual const std::vector<std::string>& commands() const = 0;
+  /// True when the command changes replayable durable state.
+  virtual bool is_mutation(const std::string& cmd) const = 0;
+  /// Applies the command's semantics to the simulated state.
+  virtual void apply(const std::string& cmd, State* state) const = 0;
+  /// Queries the (recovered) server for the full observable state.
+  virtual State observe(Server& server) const = 0;
+  virtual std::size_t replayed(const Server& server) const = 0;
+  virtual std::size_t torn_bytes(const Server& server) const = 0;
+};
+
+std::string first_token(std::string_view& input) {
+  while (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+  const std::size_t sp = input.find(' ');
+  std::string token(sp == std::string_view::npos ? input : input.substr(0, sp));
+  input.remove_prefix(token.size());
+  return token;
+}
+
+// ---------------------------------------------------------------- minikv
+
+class MinikvAdapter final : public Adapter {
+ public:
+  std::unique_ptr<Server> make() const override {
+    auto server = std::make_unique<Minikv>(harness_cfg());
+    server->enable_aof(true);
+    server->set_fsync_policy(FsyncPolicy::kAlways);
+    return server;
+  }
+
+  const std::vector<std::string>& commands() const override {
+    static const std::vector<std::string> kScript = {
+        "SET user:1 alice", "SET user:2 bob",  "SET user:1 alice-v2",
+        "DEL user:2",       "SET user:3 carol", "SAVE",
+        "SET counter 1",    "DEL user:3",       "SET user:4 dave",
+    };
+    return kScript;
+  }
+
+  bool is_mutation(const std::string& cmd) const override {
+    // SAVE snapshots but does not change what an AOF replay reconstructs.
+    return cmd.rfind("SET ", 0) == 0 || cmd.rfind("DEL ", 0) == 0;
+  }
+
+  void apply(const std::string& cmd, State* state) const override {
+    std::string_view input(cmd);
+    const std::string verb = first_token(input);
+    const std::string key = first_token(input);
+    if (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+    if (verb == "SET") (*state)[key] = std::string(input);
+    if (verb == "DEL") state->erase(key);
+  }
+
+  State observe(Server& server) const override {
+    static const char* kKeys[] = {"user:1", "user:2", "user:3", "user:4",
+                                  "counter"};
+    State state;
+    KvClient client(server.fx().env(), server.port());
+    for (const char* key : kKeys) {
+      const std::string reply =
+          roundtrip(server, client, std::string("GET ") + key);
+      if (reply != "$-1") state[key] = reply;
+    }
+    return state;
+  }
+
+  std::size_t replayed(const Server& server) const override {
+    return static_cast<const Minikv&>(server).aof_records_replayed();
+  }
+  std::size_t torn_bytes(const Server& server) const override {
+    return static_cast<const Minikv&>(server).aof_torn_bytes();
+  }
+
+  static std::string roundtrip(Server& server, KvClient& client,
+                               const std::string& line) {
+    if (!client.connected() && !client.connect()) return "<no-connect>";
+    if (!client.send_command(line)) return "<no-send>";
+    std::string reply;
+    for (int i = 0; i < 8; ++i) {
+      server.run_once();
+      if (client.try_read_reply(reply) == 1) return reply;
+    }
+    return "<no-reply>";
+  }
+};
+
+// ---------------------------------------------------------------- minipg
+
+class MinipgAdapter final : public Adapter {
+ public:
+  std::unique_ptr<Server> make() const override {
+    auto server = std::make_unique<Minipg>(harness_cfg());
+    server->set_fsync_policy(FsyncPolicy::kAlways);
+    return server;
+  }
+
+  const std::vector<std::string>& commands() const override {
+    static const std::vector<std::string> kScript = {
+        "CREATE TABLE users",
+        "INSERT users alice admin",
+        "INSERT users bob guest",
+        "UPDATE users bob member",
+        "INSERT users carol temp",
+        "DELETE users carol",
+        "BEGIN",
+        "INSERT users dave new",
+        "COMMIT",
+        "CHECKPOINT",
+        "CREATE TABLE items",
+        "INSERT items sword legendary",
+        "DROP TABLE items",
+    };
+    return kScript;
+  }
+
+  bool is_mutation(const std::string& cmd) const override {
+    // BEGIN/COMMIT/CHECKPOINT add persistence points but no replayable
+    // state of their own.
+    return cmd.rfind("CREATE ", 0) == 0 || cmd.rfind("INSERT ", 0) == 0 ||
+           cmd.rfind("UPDATE ", 0) == 0 || cmd.rfind("DELETE ", 0) == 0 ||
+           cmd.rfind("DROP ", 0) == 0;
+  }
+
+  void apply(const std::string& cmd, State* state) const override {
+    std::string_view input(cmd);
+    const std::string verb = first_token(input);
+    if (verb == "CREATE" || verb == "DROP") {
+      first_token(input);  // TABLE
+      const std::string table = first_token(input);
+      if (verb == "CREATE") {
+        (*state)[table + "/"] = "1";
+        return;
+      }
+      const std::string prefix = table + "/";
+      for (auto it = state->begin(); it != state->end();) {
+        it = it->first.rfind(prefix, 0) == 0 ? state->erase(it)
+                                             : std::next(it);
+      }
+      return;
+    }
+    const std::string table = first_token(input);
+    const std::string key = first_token(input);
+    if (!input.empty() && input.front() == ' ') input.remove_prefix(1);
+    if (verb == "INSERT" || verb == "UPDATE")
+      (*state)[table + "/" + key] = std::string(input);
+    if (verb == "DELETE") state->erase(table + "/" + key);
+  }
+
+  State observe(Server& server) const override {
+    static const char* kTables[] = {"users", "items"};
+    static const char* kUserKeys[] = {"alice", "bob", "carol", "dave"};
+    static const char* kItemKeys[] = {"sword"};
+    State state;
+    PgClient client(server.fx().env(), server.port());
+    for (const char* table : kTables) {
+      // Relation existence probe: a missing table errors, an empty one
+      // returns zero rows.
+      const std::string probe = roundtrip(
+          server, client, std::string("SELECT ") + table + " __probe__");
+      if (probe == "ERROR: relation does not exist") continue;
+      state[std::string(table) + "/"] = "1";
+      const bool users = std::string_view(table) == "users";
+      const auto keys = users ? std::vector<const char*>(std::begin(kUserKeys),
+                                                         std::end(kUserKeys))
+                              : std::vector<const char*>(std::begin(kItemKeys),
+                                                         std::end(kItemKeys));
+      for (const char* key : keys) {
+        const std::string reply = roundtrip(
+            server, client, std::string("SELECT ") + table + " " + key);
+        const std::size_t eol = reply.find('\n');
+        if (eol != std::string::npos &&
+            reply.substr(eol) == "\n(1 row)") {
+          state[std::string(table) + "/" + key] = reply.substr(0, eol);
+        }
+      }
+    }
+    return state;
+  }
+
+  std::size_t replayed(const Server& server) const override {
+    return static_cast<const Minipg&>(server).wal_records_replayed();
+  }
+  std::size_t torn_bytes(const Server& server) const override {
+    return static_cast<const Minipg&>(server).wal_torn_bytes();
+  }
+
+  static std::string roundtrip(Server& server, PgClient& client,
+                               const std::string& sql) {
+    if (!client.connected() && !client.connect()) return "<no-connect>";
+    if (!client.send_query(sql)) return "<no-send>";
+    std::string reply;
+    for (int i = 0; i < 8; ++i) {
+      server.run_once();
+      if (client.try_read_result(reply) == 1) return reply;
+    }
+    return "<no-reply>";
+  }
+};
+
+const Adapter* adapter_for(const std::string& server) {
+  static const MinikvAdapter kv;
+  static const MinipgAdapter pg;
+  if (server == "minikv") return &kv;
+  if (server == "minipg") return &pg;
+  return nullptr;
+}
+
+std::string run_script(const Adapter& a, Server& server) {
+  // Drives every scripted command; returns "" or a failure description.
+  if (a.commands().empty()) return "empty script";
+  std::unique_ptr<KvClient> kv;
+  std::unique_ptr<PgClient> pg;
+  for (const std::string& cmd : a.commands()) {
+    std::string reply;
+    if (dynamic_cast<const MinipgAdapter*>(&a) != nullptr) {
+      if (!pg) pg = std::make_unique<PgClient>(server.fx().env(),
+                                               server.port());
+      reply = MinipgAdapter::roundtrip(server, *pg, cmd);
+    } else {
+      if (!kv) kv = std::make_unique<KvClient>(server.fx().env(),
+                                               server.port());
+      reply = MinikvAdapter::roundtrip(server, *kv, cmd);
+    }
+    if (reply.rfind("<no-", 0) == 0)
+      return "command '" + cmd + "' got " + reply;
+  }
+  return "";
+}
+
+/// The record phase: one fault-free run of the script, noting the
+/// persistence-op count at each mutation's ack and the expected state
+/// after each acknowledged prefix.
+struct Recording {
+  std::vector<State> prefix_states;       // [0..mutations]
+  std::vector<std::uint64_t> acked_ops;   // per mutation, count at ack
+  std::uint64_t total_ops = 0;
+  std::string error;
+};
+
+Recording record_phase(const Adapter& a) {
+  Recording rec;
+  rec.prefix_states.push_back({});
+  auto server = a.make();
+  if (!server->start(0).is_ok()) {
+    rec.error = "record-phase start failed";
+    return rec;
+  }
+  State running;
+  std::unique_ptr<KvClient> kv;
+  std::unique_ptr<PgClient> pg;
+  for (const std::string& cmd : a.commands()) {
+    std::string reply;
+    if (dynamic_cast<const MinipgAdapter*>(&a) != nullptr) {
+      if (!pg) pg = std::make_unique<PgClient>(server->fx().env(),
+                                               server->port());
+      reply = MinipgAdapter::roundtrip(*server, *pg, cmd);
+    } else {
+      if (!kv) kv = std::make_unique<KvClient>(server->fx().env(),
+                                               server->port());
+      reply = MinikvAdapter::roundtrip(*server, *kv, cmd);
+    }
+    if (reply.rfind("<no-", 0) == 0) {
+      rec.error = "record-phase command '" + cmd + "' got " + reply;
+      return rec;
+    }
+    if (a.is_mutation(cmd)) {
+      a.apply(cmd, &running);
+      rec.prefix_states.push_back(running);
+      rec.acked_ops.push_back(server->fx().env().persist_op_count());
+    }
+  }
+  rec.total_ops = server->fx().env().persist_op_count();
+  return rec;
+}
+
+std::string state_diff(const State& expected, const State& observed) {
+  std::ostringstream os;
+  for (const auto& [k, v] : expected) {
+    const auto it = observed.find(k);
+    if (it == observed.end())
+      os << " missing " << k << "=" << v;
+    else if (it->second != v)
+      os << " " << k << "=" << it->second << " want " << v;
+  }
+  for (const auto& [k, v] : observed) {
+    if (expected.find(k) == expected.end()) os << " extra " << k << "=" << v;
+  }
+  return os.str();
+}
+
+CrashPointResult run_point(const Adapter& a, const Recording& rec,
+                           const CrashTestOptions& options,
+                           std::uint64_t k) {
+  CrashPointResult r;
+  r.crash_op = k;
+  while (r.acked_prefix < rec.acked_ops.size() &&
+         rec.acked_ops[r.acked_prefix] <= k) {
+    ++r.acked_prefix;
+  }
+
+  // Re-run the identical script with a crash image armed at op k. The
+  // virtual world is deterministic, so op k lands at the exact same
+  // instant as in the record phase.
+  CrashImageOptions image_opts;
+  image_opts.torn_tail_bytes = options.torn_tail_bytes;
+  image_opts.torn_bit_flip = options.torn_bit_flip;
+  auto victim = a.make();
+  victim->fx().env().arm_crash_capture(k, image_opts);
+  if (!victim->start(0).is_ok()) {
+    r.detail = "victim start failed";
+    return r;
+  }
+  const std::string script_error = run_script(a, *victim);
+  if (!script_error.empty()) {
+    r.detail = script_error;
+    return r;
+  }
+  if (!victim->fx().env().crash_capture_fired()) {
+    r.detail = "crash capture never fired";
+    return r;
+  }
+
+  // "Reboot": a fresh instance inherits only the crash image.
+  auto recovered = a.make();
+  recovered->fx().env().vfs().import_from(
+      victim->fx().env().captured_crash_image());
+  victim->stop();
+  if (!recovered->start(0).is_ok()) {
+    r.detail = "recovery start failed";
+    return r;
+  }
+  const State observed = a.observe(*recovered);
+  r.replayed = a.replayed(*recovered);
+  r.torn_bytes = a.torn_bytes(*recovered);
+
+  for (std::int64_t j =
+           static_cast<std::int64_t>(rec.prefix_states.size()) - 1;
+       j >= 0; --j) {
+    if (rec.prefix_states[static_cast<std::size_t>(j)] == observed) {
+      r.recovered_prefix = j;
+      break;
+    }
+  }
+  r.prefix_consistent = r.recovered_prefix >= 0;
+  r.acked_durable =
+      r.prefix_consistent &&
+      r.recovered_prefix >= static_cast<std::int64_t>(r.acked_prefix);
+
+  // Recover the recovered state once more: must be a fixed point.
+  Vfs handoff;
+  handoff.import_from(recovered->fx().env().vfs());
+  auto again = a.make();
+  again->fx().env().vfs().import_from(handoff);
+  if (again->start(0).is_ok()) {
+    r.replay_idempotent =
+        a.observe(*again) == observed && a.torn_bytes(*again) == 0;
+  }
+
+  r.ok = r.acked_durable && r.prefix_consistent && r.replay_idempotent;
+  if (!r.ok && r.detail.empty()) {
+    std::ostringstream os;
+    if (!r.prefix_consistent) {
+      os << "state matches no command prefix; vs acked prefix:"
+         << state_diff(rec.prefix_states[r.acked_prefix], observed);
+    } else if (!r.acked_durable) {
+      os << "acked prefix " << r.acked_prefix << " but recovered only "
+         << r.recovered_prefix << ":"
+         << state_diff(rec.prefix_states[r.acked_prefix], observed);
+    } else {
+      os << "second recovery diverged from the first";
+    }
+    r.detail = os.str();
+  }
+  return r;
+}
+
+std::string slot_path(const std::string& dir, std::uint64_t k) {
+  return dir + "/point_" + std::to_string(k) + ".json";
+}
+
+void run_points_forked(const Adapter& a, const Recording& rec,
+                       const CrashTestOptions& options,
+                       std::vector<CrashPointResult>* points) {
+  char tmpl[] = "/tmp/fir_crashtest_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  const std::string slot_dir = dir != nullptr ? dir : ".";
+  std::uint64_t next = 1;
+  std::map<pid_t, std::uint64_t> live;  // pid -> crash op
+  const auto spawn = [&]() -> bool {
+    if (next > rec.total_ops) return false;
+    const std::uint64_t k = next++;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      (*points)[k - 1] = run_point(a, rec, options, k);
+      return true;
+    }
+    if (pid == 0) {
+      const CrashPointResult result = run_point(a, rec, options, k);
+      std::ofstream out(slot_path(slot_dir, k), std::ios::trunc);
+      out << result_jsonl(options, result) << '\n';
+      out.close();
+      ::_exit(0);
+    }
+    live.emplace(pid, k);
+    return true;
+  };
+  const int workers = options.workers > 0 ? options.workers : 1;
+  for (int i = 0; i < workers && spawn(); ++i) {
+  }
+  while (!live.empty()) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) break;
+    const auto it = live.find(pid);
+    if (it == live.end()) continue;
+    const std::uint64_t k = it->second;
+    live.erase(it);
+    CrashPointResult result;
+    result.crash_op = k;
+    std::ifstream in(slot_path(slot_dir, k));
+    std::string line;
+    std::string error;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0 && in &&
+        std::getline(in, line) && result_from_jsonl(line, &result, &error)) {
+      // parsed
+    } else {
+      result.ok = false;
+      result.detail = WIFSIGNALED(status)
+                          ? "worker killed by signal " +
+                                std::to_string(WTERMSIG(status))
+                          : "worker record missing/corrupt";
+    }
+    (*points)[k - 1] = result;
+    if (options.verbose) {
+      std::fprintf(stderr, "[crashtest] %s op %llu/%llu %s\n",
+                   options.server.c_str(),
+                   static_cast<unsigned long long>(k),
+                   static_cast<unsigned long long>(rec.total_ops),
+                   result.ok ? "ok" : "FAIL");
+    }
+    spawn();
+  }
+  for (std::uint64_t k = 1; k <= rec.total_ops; ++k)
+    std::remove(slot_path(slot_dir, k).c_str());
+  if (dir != nullptr) ::rmdir(dir);
+}
+
+}  // namespace
+
+CrashTestReport run_crash_test(const CrashTestOptions& options) {
+  CrashTestReport report;
+  report.server = options.server;
+  const Adapter* adapter = adapter_for(options.server);
+  if (adapter == nullptr) {
+    CrashPointResult bad;
+    bad.detail = "unknown server '" + options.server + "'";
+    report.points.push_back(bad);
+    return report;
+  }
+  const Recording rec = record_phase(*adapter);
+  if (!rec.error.empty()) {
+    CrashPointResult bad;
+    bad.detail = rec.error;
+    report.points.push_back(bad);
+    return report;
+  }
+  report.persist_ops = rec.total_ops;
+  report.mutations = rec.acked_ops.size();
+  report.points.resize(rec.total_ops);
+  if (options.workers <= 0) {
+    for (std::uint64_t k = 1; k <= rec.total_ops; ++k) {
+      report.points[k - 1] = run_point(*adapter, rec, options, k);
+      if (options.verbose) {
+        std::fprintf(stderr, "[crashtest] %s op %llu/%llu %s\n",
+                     options.server.c_str(),
+                     static_cast<unsigned long long>(k),
+                     static_cast<unsigned long long>(rec.total_ops),
+                     report.points[k - 1].ok ? "ok" : "FAIL");
+      }
+    }
+  } else {
+    run_points_forked(*adapter, rec, options, &report.points);
+  }
+  report.passed = !report.points.empty();
+  for (const CrashPointResult& p : report.points)
+    report.passed = report.passed && p.ok;
+  return report;
+}
+
+std::string result_jsonl(const CrashTestOptions& options,
+                         const CrashPointResult& r) {
+  std::ostringstream os;
+  os << "{\"server\":" << campaign::Json::string(options.server).dump()
+     << ",\"crash_op\":" << r.crash_op
+     << ",\"torn\":" << options.torn_tail_bytes
+     << ",\"flip\":" << (options.torn_bit_flip ? "true" : "false")
+     << ",\"acked_prefix\":" << r.acked_prefix
+     << ",\"recovered_prefix\":" << r.recovered_prefix
+     << ",\"replayed\":" << r.replayed
+     << ",\"torn_bytes\":" << r.torn_bytes
+     << ",\"acked_durable\":" << (r.acked_durable ? "true" : "false")
+     << ",\"prefix_consistent\":" << (r.prefix_consistent ? "true" : "false")
+     << ",\"replay_idempotent\":" << (r.replay_idempotent ? "true" : "false")
+     << ",\"ok\":" << (r.ok ? "true" : "false")
+     << ",\"detail\":" << campaign::Json::string(r.detail).dump() << "}";
+  return os.str();
+}
+
+bool result_from_jsonl(const std::string& line, CrashPointResult* out,
+                       std::string* error) {
+  const campaign::Json json = campaign::Json::parse(line, error);
+  if (error != nullptr && !error->empty()) return false;
+  if (!json.is_object()) {
+    if (error != nullptr) *error = "result line is not an object";
+    return false;
+  }
+  const auto u64 = [&json](std::string_view key) -> std::uint64_t {
+    const campaign::Json* v = json.find(key);
+    return v != nullptr && v->is_number() ? v->uint_value() : 0;
+  };
+  const auto flag = [&json](std::string_view key) -> bool {
+    const campaign::Json* v = json.find(key);
+    return v != nullptr && v->is_bool() && v->bool_value();
+  };
+  out->crash_op = u64("crash_op");
+  out->acked_prefix = u64("acked_prefix");
+  const campaign::Json* rp = json.find("recovered_prefix");
+  out->recovered_prefix =
+      rp != nullptr && rp->is_number() ? rp->int_value() : -1;
+  out->replayed = u64("replayed");
+  out->torn_bytes = u64("torn_bytes");
+  out->acked_durable = flag("acked_durable");
+  out->prefix_consistent = flag("prefix_consistent");
+  out->replay_idempotent = flag("replay_idempotent");
+  out->ok = flag("ok");
+  const campaign::Json* detail = json.find("detail");
+  out->detail = detail != nullptr && detail->is_string()
+                    ? detail->string_value()
+                    : "";
+  return true;
+}
+
+}  // namespace fir::crashtest

@@ -1,0 +1,78 @@
+// Exhaustive crash-point harness for the durable servers.
+//
+// The harness answers the question the durability layer exists for: is
+// there ANY instant, at write-back granularity, where losing power corrupts
+// a server's recovered state? It runs a fixed mutation script against a
+// server once to record every persistence point (Env::persist_op_count) and
+// the expected keyspace after each acknowledged mutation, then re-runs the
+// identical script once per crash point k with a crash image captured at
+// exactly k persistence ops (optionally with a torn final write). Each
+// image is handed to a fresh server instance, which recovers, and three
+// invariants are checked:
+//
+//   acked-durable      every mutation acknowledged at or before the crash
+//                      point is present (FIR_FSYNC_POLICY=always: the ack
+//                      implies a completed barrier);
+//   prefix-consistent  the recovered state equals the state after SOME
+//                      prefix of the script — never a partial command,
+//                      never a mix of old and new;
+//   replay-idempotent  recovering the recovered state again reproduces it
+//                      exactly, with no further tail repair.
+//
+// Crash points run in forked workers (campaign-style slot files), so an
+// unexpected fatal path in one point cannot take down the matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fir::crashtest {
+
+struct CrashTestOptions {
+  std::string server = "minikv";  // "minikv" or "minipg"
+  /// Torn-write knob: keep this many unsynced tail bytes in every crash
+  /// image (0 = clean write-back boundary).
+  std::size_t torn_tail_bytes = 0;
+  /// Additionally flip one bit in the torn tail (media corruption).
+  bool torn_bit_flip = false;
+  /// Forked crash-point runs in flight; 0 runs every point in-process
+  /// (tests), >= 1 forks one worker per point like the campaign engine.
+  int workers = 1;
+  bool verbose = false;
+};
+
+struct CrashPointResult {
+  std::uint64_t crash_op = 0;  // persistence-op index of the image
+  std::size_t acked_prefix = 0;     // mutations acked at or before crash_op
+  std::int64_t recovered_prefix = -1;  // prefix the state equals; -1 = none
+  std::size_t replayed = 0;         // log records the recovery applied
+  std::size_t torn_bytes = 0;       // tail bytes recovery truncated
+  bool acked_durable = false;
+  bool prefix_consistent = false;
+  bool replay_idempotent = false;
+  bool ok = false;
+  std::string detail;  // empty when ok; diagnostics otherwise
+};
+
+struct CrashTestReport {
+  std::string server;
+  std::uint64_t persist_ops = 0;  // crash points exercised (1..persist_ops)
+  std::size_t mutations = 0;      // acknowledged mutations in the script
+  std::vector<CrashPointResult> points;
+  bool passed = false;
+};
+
+/// Runs the full crash-point matrix for options.server.
+CrashTestReport run_crash_test(const CrashTestOptions& options);
+
+/// One-line JSON rendering of a point result (slot files / results.jsonl).
+std::string result_jsonl(const CrashTestOptions& options,
+                         const CrashPointResult& result);
+
+/// Parses a line written by result_jsonl. False (with `error`) on malformed
+/// input.
+bool result_from_jsonl(const std::string& line, CrashPointResult* out,
+                       std::string* error);
+
+}  // namespace fir::crashtest

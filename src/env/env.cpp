@@ -58,11 +58,14 @@ void Env::reset_stats() {
 int Env::open(std::string_view path, int flags) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
+  bool mutated = false;
   std::shared_ptr<Inode> inode = vfs_.lookup(path);
   if (inode == nullptr) {
     if ((flags & kCreat) == 0) return err(ENOENT);
     inode = vfs_.create(path, false);
+    mutated = true;
   } else if (flags & kTrunc) {
+    mutated = !inode->data.empty();
     inode->data.clear();
   }
   const int fd = alloc_fd();
@@ -75,6 +78,7 @@ int Env::open(std::string_view path, int flags) {
   e.file->offset =
       (flags & kAppend) ? static_cast<std::int64_t>(e.file->inode->data.size())
                         : 0;
+  if (mutated) persist_op();
   return fd;
 }
 
@@ -111,6 +115,11 @@ ssize_t Env::write(int fd, const void* buf, std::size_t n) {
   if (e == nullptr) return errs(EBADF);
   if (e->kind == FdKind::kSocket) return send(fd, buf, n);
   if (e->kind != FdKind::kFile) return errs(EBADF);
+  // O_APPEND: every write goes to end-of-file regardless of the tracked
+  // offset, exactly like the real flag — appenders (AOF/WAL) rely on it
+  // instead of manual offset bookkeeping.
+  if (e->file->flags & kAppend)
+    e->file->offset = static_cast<std::int64_t>(e->file->inode->data.size());
   const ssize_t wrote = pwrite(fd, buf, n, e->file->offset);
   if (wrote > 0) e->file->offset += wrote;
   return wrote;
@@ -127,6 +136,7 @@ ssize_t Env::pwrite(int fd, const void* buf, std::size_t n,
   const std::size_t end = static_cast<std::size_t>(offset) + n;
   if (end > data.size()) data.resize(end, '\0');
   std::memcpy(data.data() + offset, buf, n);
+  if (n > 0) persist_op();
   return static_cast<ssize_t>(n);
 }
 
@@ -172,13 +182,17 @@ int Env::fstat_size(int fd, std::size_t* size_out) {
 int Env::unlink(std::string_view path) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
-  return vfs_.unlink(path) ? 0 : err(ENOENT);
+  if (!vfs_.unlink(path)) return err(ENOENT);
+  persist_op();
+  return 0;
 }
 
 int Env::rename(std::string_view from, std::string_view to) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   tick();
-  return vfs_.rename(from, to) ? 0 : err(ENOENT);
+  if (!vfs_.rename(from, to)) return err(ENOENT);
+  persist_op();
+  return 0;
 }
 
 int Env::ftruncate(int fd, std::size_t length) {
@@ -187,6 +201,7 @@ int Env::ftruncate(int fd, std::size_t length) {
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
   e->file->inode->data.resize(length, '\0');
+  persist_op();
   return 0;
 }
 
@@ -195,8 +210,30 @@ int Env::fsync(int fd) {
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
-  // In-memory store: durability barrier is a no-op with syscall cost.
+  // Flush the inode to stable media and persist its current link(s).
+  vfs_.sync_inode(e->file->inode);
   clock_.advance_ns(5000);
+  persist_op();
+  return 0;
+}
+
+int Env::fdatasync(int fd) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  tick();
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
+  vfs_.sync_inode_data(e->file->inode);
+  clock_.advance_ns(5000);
+  persist_op();
+  return 0;
+}
+
+int Env::fsync_dir(std::string_view dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  tick();
+  vfs_.sync_dir(dir);
+  clock_.advance_ns(5000);
+  persist_op();
   return 0;
 }
 
@@ -428,6 +465,73 @@ std::int64_t Env::file_offset(int fd) const {
   const FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return -1;
   return e->file->offset;
+}
+
+bool Env::fd_is_file(int fd) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const FdEntry* e = entry(fd);
+  return e != nullptr && e->kind == FdKind::kFile;
+}
+
+std::int64_t Env::file_size(int fd) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return -1;
+  return static_cast<std::int64_t>(e->file->inode->data.size());
+}
+
+std::int64_t Env::file_durable_size(int fd) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return -1;
+  return static_cast<std::int64_t>(e->file->inode->durable.size());
+}
+
+int Env::file_flags(int fd) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) return -1;
+  return e->file->flags;
+}
+
+void Env::set_file_offset(int fd, std::int64_t offset) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FdEntry* e = entry(fd);
+  if (e == nullptr || e->kind != FdKind::kFile || offset < 0) return;
+  e->file->offset = offset;
+}
+
+// --- persistence points & crash capture -------------------------------------
+
+void Env::persist_op() {
+  ++persist_ops_;
+  if (capture_at_ != 0 && !capture_fired_ && persist_ops_ >= capture_at_) {
+    captured_image_ = vfs_.crash_image(capture_opts_);
+    capture_fired_ = true;
+  }
+}
+
+std::uint64_t Env::persist_op_count() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return persist_ops_;
+}
+
+void Env::arm_crash_capture(std::uint64_t k, const CrashImageOptions& opts) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  capture_at_ = k;
+  capture_opts_ = opts;
+  capture_fired_ = false;
+  captured_image_ = Vfs{};
+}
+
+bool Env::crash_capture_fired() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return capture_fired_;
+}
+
+const Vfs& Env::captured_crash_image() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return captured_image_;
 }
 
 int Env::close(int fd) {

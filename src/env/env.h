@@ -90,7 +90,14 @@ class Env {
   int unlink(std::string_view path);
   int rename(std::string_view from, std::string_view to);
   int ftruncate(int fd, std::size_t length);
+  /// Durability barrier: flushes the inode's volatile image to the durable
+  /// image and durably links its current names (see Vfs::sync_inode).
   int fsync(int fd);
+  /// Data-only barrier: flushes content, leaves name linkage volatile.
+  int fdatasync(int fd);
+  /// Directory barrier (stands in for open(dir) + fsync + close): makes
+  /// renames/creates/unlinks directly inside `dir` crash-durable.
+  int fsync_dir(std::string_view dir);
 
   // --- sockets ----------------------------------------------------------
   int socket();
@@ -116,6 +123,18 @@ class Env {
   int unlisten(int fd);
   /// Current file offset without syscall accounting (compensation support).
   std::int64_t file_offset(int fd) const;
+  /// Compensation support, no syscall accounting: true when fd is an open
+  /// regular file.
+  bool fd_is_file(int fd) const;
+  /// Volatile / durable sizes and open flags of a file fd, no syscall
+  /// accounting; -1 when fd is not a file. The write-compensation layer
+  /// uses these to decide whether a write touches only unsynced bytes.
+  std::int64_t file_size(int fd) const;
+  std::int64_t file_durable_size(int fd) const;
+  int file_flags(int fd) const;
+  /// Compensation primitive: restores fd's offset without the lseek
+  /// syscall accounting.
+  void set_file_offset(int fd, std::int64_t offset);
 
   // --- descriptor & vector ops -------------------------------------------
   /// Duplicates fd onto the lowest free descriptor (shares the open file
@@ -166,6 +185,21 @@ class Env {
   Vfs& vfs() { return vfs_; }
   const EnvStats& stats() const { return stats_; }
   void reset_stats();
+
+  // --- persistence points & crash capture --------------------------------
+  /// Monotone count of persistence-relevant operations (file writes,
+  /// truncates, namespace ops, barriers). The crash-consistency harness
+  /// enumerates these as its crash points: between any two counts the
+  /// post-crash image is constant.
+  std::uint64_t persist_op_count() const;
+  /// Arms an in-run crash capture: when the k-th persistence op (1-based)
+  /// completes, the post-crash image (Vfs::crash_image with `opts`) is
+  /// snapshotted atomically under the env lock. k = 0 disarms.
+  void arm_crash_capture(std::uint64_t k, const CrashImageOptions& opts = {});
+  /// True once the armed capture fired.
+  bool crash_capture_fired() const;
+  /// The captured image; empty Vfs when nothing fired.
+  const Vfs& captured_crash_image() const;
 
   /// Number of currently open descriptors (leak checks in tests).
   std::size_t open_fd_count() const;
@@ -223,6 +257,9 @@ class Env {
     ++stats_.syscalls;
     clock_.advance_ns(kSyscallCostNs);
   }
+  /// Called (with mu_ held) after every persistence-relevant operation;
+  /// fires the armed crash capture when the counter hits the target.
+  void persist_op();
 
   /// One coarse lock over all public entry points (see file comment).
   /// Recursive: several methods are composed from other public methods
@@ -239,6 +276,12 @@ class Env {
   Vfs vfs_;
   VirtualClock clock_;
   EnvStats stats_;
+  /// Persistence-point bookkeeping (guarded by mu_).
+  std::uint64_t persist_ops_ = 0;
+  std::uint64_t capture_at_ = 0;
+  bool capture_fired_ = false;
+  CrashImageOptions capture_opts_;
+  Vfs captured_image_;
   static thread_local int t_errno_;
 };
 

@@ -1,6 +1,47 @@
 #include "env/vfs.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
 namespace fir {
+namespace {
+
+// Host-backing name mangling: virtual "/data/appendonly.aof" lives in the
+// backing directory as "data__appendonly.aof". '/' never appears in host
+// names, so the mapping round-trips.
+std::string mangle(std::string_view vpath) {
+  std::string out;
+  out.reserve(vpath.size() + 4);
+  std::size_t i = 0;
+  while (i < vpath.size() && vpath[i] == '/') ++i;  // drop leading slashes
+  for (; i < vpath.size(); ++i)
+    if (vpath[i] == '/')
+      out += "__";
+    else
+      out += vpath[i];
+  return out;
+}
+
+std::string demangle(std::string_view host_name) {
+  std::string out = "/";
+  for (std::size_t i = 0; i < host_name.size(); ++i) {
+    if (host_name[i] == '_' && i + 1 < host_name.size() &&
+        host_name[i + 1] == '_') {
+      out += '/';
+      ++i;
+    } else {
+      out += host_name[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::shared_ptr<Inode> Vfs::lookup(std::string_view path) const {
   auto it = files_.find(path);
@@ -44,13 +85,171 @@ void Vfs::import_from(const Vfs& other) {
   for (const auto& [name, inode] : other.files_) {
     auto copy = std::make_shared<Inode>();
     copy->data = inode->data;
-    files_.insert_or_assign(name, std::move(copy));
+    copy->durable = inode->data;
+    files_.insert_or_assign(name, copy);
+    durable_links_.insert_or_assign(name, copy);
+    if (backed()) backing_write(name, copy->durable);
   }
 }
 
 void Vfs::put_file(std::string_view path, std::string_view contents) {
   auto inode = create(path, /*truncate=*/true);
   inode->data.assign(contents.begin(), contents.end());
+  inode->durable = inode->data;
+  durable_links_.insert_or_assign(std::string(path), inode);
+  if (backed()) backing_write(path, inode->durable);
+}
+
+// --- durability -------------------------------------------------------------
+
+void Vfs::sync_inode(const std::shared_ptr<Inode>& inode) {
+  if (inode == nullptr) return;
+  inode->durable = inode->data;
+  // Persist the inode's current link(s): a journaled filesystem commits the
+  // creation with the data, so create + write + fsync is a durable file
+  // without a separate directory barrier. Stale durable names (a renamed-
+  // away source, a replaced target's old inode) are NOT touched — only
+  // sync_dir reorders the durable namespace.
+  for (const auto& [name, node] : files_)
+    if (node == inode) {
+      durable_links_.insert_or_assign(name, inode);
+      if (backed()) backing_write(name, inode->durable);
+    }
+}
+
+void Vfs::sync_inode_data(const std::shared_ptr<Inode>& inode) {
+  if (inode == nullptr) return;
+  inode->durable = inode->data;
+  if (!backed()) return;
+  for (const auto& [name, node] : durable_links_)
+    if (node == inode) backing_write(name, inode->durable);
+}
+
+void Vfs::sync_dir(std::string_view dir) {
+  // Reconcile the durable name table with the volatile one for every path
+  // whose parent directory is `dir`. Contents are NOT flushed: a rename
+  // made durable before its data was synced exposes the target name bound
+  // to whatever the inode's durable image holds (possibly nothing) — the
+  // rename-before-fsync bug, reproduced faithfully.
+  for (auto it = durable_links_.begin(); it != durable_links_.end();) {
+    if (parent_dir(it->first) == dir && files_.find(it->first) == files_.end()) {
+      if (backed()) backing_remove(it->first);
+      it = durable_links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, inode] : files_) {
+    if (parent_dir(name) != dir) continue;
+    auto it = durable_links_.find(name);
+    if (it != durable_links_.end() && it->second == inode) continue;
+    durable_links_.insert_or_assign(name, inode);
+    if (backed()) backing_write(name, inode->durable);
+  }
+}
+
+bool Vfs::durably_linked(std::string_view path) const {
+  auto vol = files_.find(path);
+  auto dur = durable_links_.find(path);
+  return vol != files_.end() && dur != durable_links_.end() &&
+         vol->second == dur->second;
+}
+
+std::size_t Vfs::durable_size(std::string_view path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->durable.size();
+}
+
+Vfs Vfs::crash_image(const CrashImageOptions& opts) const {
+  Vfs image;
+  for (const auto& [name, inode] : durable_links_) {
+    auto copy = std::make_shared<Inode>();
+    copy->data = inode->durable;
+    if (opts.torn_tail_bytes > 0 &&
+        inode->data.size() > inode->durable.size()) {
+      // A tail was in flight: keep a partial-sector prefix of it.
+      const std::size_t unsynced = inode->data.size() - inode->durable.size();
+      const std::size_t keep = std::min(opts.torn_tail_bytes, unsynced);
+      copy->data.insert(copy->data.end(),
+                        inode->data.begin() +
+                            static_cast<std::ptrdiff_t>(inode->durable.size()),
+                        inode->data.begin() +
+                            static_cast<std::ptrdiff_t>(inode->durable.size() +
+                                                        keep));
+      if (opts.torn_bit_flip && !copy->data.empty())
+        copy->data.back() = static_cast<char>(copy->data.back() ^ 0x40);
+    }
+    copy->durable = copy->data;  // the image IS the media: fully synced
+    image.files_.insert_or_assign(name, copy);
+    image.durable_links_.insert_or_assign(name, copy);
+  }
+  return image;
+}
+
+// --- host backing -----------------------------------------------------------
+
+std::string Vfs::parent_dir(std::string_view path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string_view::npos) return "";
+  if (slash == 0) return "/";
+  return std::string(path.substr(0, slash));
+}
+
+std::string Vfs::backing_path(std::string_view vpath) const {
+  return backing_dir_ + "/" + mangle(vpath);
+}
+
+bool Vfs::attach_backing(const std::string& host_dir) {
+  if (::mkdir(host_dir.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  DIR* d = ::opendir(host_dir.c_str());
+  if (d == nullptr) return false;
+  backing_dir_ = host_dir;
+  while (dirent* ent = ::readdir(d)) {
+    const std::string host_name = ent->d_name;
+    if (host_name == "." || host_name == "..") continue;
+    // Skip a temp file left by a crash mid write-through: the rename never
+    // happened, so the previous image under the real name is the truth.
+    if (host_name.size() > 4 &&
+        host_name.compare(host_name.size() - 4, 4, ".tmp") == 0) {
+      ::unlink((host_dir + "/" + host_name).c_str());
+      continue;
+    }
+    const std::string host_path = host_dir + "/" + host_name;
+    struct stat st{};
+    if (::stat(host_path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    std::FILE* f = std::fopen(host_path.c_str(), "rb");
+    if (f == nullptr) continue;
+    auto inode = std::make_shared<Inode>();
+    inode->data.resize(static_cast<std::size_t>(st.st_size));
+    if (st.st_size > 0 &&
+        std::fread(inode->data.data(), 1, inode->data.size(), f) !=
+            inode->data.size()) {
+      std::fclose(f);
+      continue;
+    }
+    std::fclose(f);
+    inode->durable = inode->data;
+    const std::string vpath = demangle(host_name);
+    files_.insert_or_assign(vpath, inode);
+    durable_links_.insert_or_assign(vpath, inode);
+  }
+  ::closedir(d);
+  return true;
+}
+
+void Vfs::backing_write(std::string_view vpath,
+                        const std::vector<char>& bytes) {
+  const std::string path = backing_path(vpath);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  ::rename(tmp.c_str(), path.c_str());
+}
+
+void Vfs::backing_remove(std::string_view vpath) {
+  ::unlink(backing_path(vpath).c_str());
 }
 
 }  // namespace fir

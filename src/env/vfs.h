@@ -5,6 +5,17 @@
 // interposition wrappers rely on (including the compensation operations:
 // restoring offsets, renaming back, re-creating unlinked files is never
 // needed because unlink is deferred until commit).
+//
+// Durability model (docs/DURABILITY.md): every inode carries two images —
+// `data` is the volatile (page-cache) image that write/pwrite mutate, and
+// `durable` is what has reached simulated stable media. fsync copies
+// data → durable and durably links the file's current names; fdatasync
+// flushes data only. Namespace operations (create/rename/unlink) are
+// volatile until a directory barrier (`sync_dir`) reconciles the durable
+// name table for that directory. `crash_image()` materializes the
+// filesystem a fresh process would see after a crash: durable names only,
+// durable bytes only, with an optional torn tail of in-flight unsynced
+// bytes (partial-sector last write).
 #pragma once
 
 #include <cstdint>
@@ -19,7 +30,22 @@ namespace fir {
 /// One regular file's contents. Shared between the name table and open file
 /// descriptions so an unlinked-but-open file stays readable (POSIX).
 struct Inode {
+  /// Volatile (page-cache) image: what read/write/pread/pwrite see.
   std::vector<char> data;
+  /// Durable (stable-media) image: what survives a crash. Updated only by
+  /// fsync/fdatasync.
+  std::vector<char> durable;
+};
+
+/// How crash_image() treats bytes that were written but never synced.
+struct CrashImageOptions {
+  /// Keep up to this many bytes of each file's unsynced volatile tail in
+  /// the image (a torn, partial-sector last write). 0 = drop the whole
+  /// unsynced tail (clean power-off of the durable state).
+  std::size_t torn_tail_bytes = 0;
+  /// Corrupt the last included torn byte (media writing garbage mid-sector).
+  /// Only meaningful with torn_tail_bytes > 0.
+  bool torn_bit_flip = false;
 };
 
 /// Name-to-inode mapping plus path-level operations.
@@ -29,17 +55,19 @@ class Vfs {
   std::shared_ptr<Inode> lookup(std::string_view path) const;
 
   /// Creates (or truncates, when `truncate` is set) a file and returns its
-  /// inode.
+  /// inode. The new name is volatile until fsync/sync_dir.
   std::shared_ptr<Inode> create(std::string_view path, bool truncate);
 
   bool exists(std::string_view path) const { return lookup(path) != nullptr; }
 
   /// Removes the name; the inode lives on while referenced. Returns false
-  /// when the path does not exist.
+  /// when the path does not exist. The removal is volatile until sync_dir.
   bool unlink(std::string_view path);
 
   /// Atomically renames; replaces any existing target. Returns false when
-  /// the source does not exist.
+  /// the source does not exist. The rename is volatile until sync_dir —
+  /// a crash before the directory barrier leaves the durable namespace
+  /// with the old binding (rename-before-barrier reordering).
   bool rename(std::string_view from, std::string_view to);
 
   std::size_t file_count() const { return files_.size(); }
@@ -47,16 +75,70 @@ class Vfs {
   /// Total bytes held by all named files (memory accounting).
   std::size_t total_bytes() const;
 
-  /// Convenience for tests and workload setup: writes a whole file.
+  /// Convenience for tests and workload setup: writes a whole file. The
+  /// file is fully durable (both images + durable link), modeling a file
+  /// that already existed on media before the run.
   void put_file(std::string_view path, std::string_view contents);
 
   /// Deep-copies every file from `other` into this VFS (restart semantics:
-  /// a "new process" inheriting the previous instance's durable storage).
-  /// Existing same-named files are replaced.
+  /// a "new process" inheriting the previous instance's storage after a
+  /// graceful handoff — everything the old process had in its page cache
+  /// made it down). Existing same-named files are replaced; imported files
+  /// are fully durable.
   void import_from(const Vfs& other);
 
+  // --- durability ---------------------------------------------------------
+  /// fsync(fd): flushes the inode's volatile image to the durable image and
+  /// durably links every current volatile name of this inode (journaled
+  /// filesystems persist the inode's link with its data).
+  void sync_inode(const std::shared_ptr<Inode>& inode);
+
+  /// fdatasync(fd): flushes data only; name linkage stays volatile.
+  void sync_inode_data(const std::shared_ptr<Inode>& inode);
+
+  /// Directory barrier: makes the durable name table match the volatile one
+  /// for every path directly inside `dir` (rename/unlink/create become
+  /// crash-safe). Does NOT flush file contents.
+  void sync_dir(std::string_view dir);
+
+  /// True when `path`'s current binding is durably linked to its current
+  /// inode (diagnostics / tests).
+  bool durably_linked(std::string_view path) const;
+
+  /// Durable image size of a path's inode; 0 when absent.
+  std::size_t durable_size(std::string_view path) const;
+
+  /// The filesystem a fresh process would observe after a crash right now:
+  /// durable names bound to durable bytes, plus an optional torn tail (see
+  /// CrashImageOptions). The image is fully synced and never host-backed.
+  Vfs crash_image(const CrashImageOptions& opts = {}) const;
+
+  // --- host backing -------------------------------------------------------
+  /// Binds this VFS's durable state to a real host directory: existing
+  /// host files are loaded as fully durable files, and from then on every
+  /// barrier (sync_inode/sync_dir/put_file/import_from) writes the durable
+  /// image through to the host (temp file + rename, so a SIGKILL between
+  /// barriers leaves the previous image intact). This is how a fleet
+  /// worker's durable state survives its own death: the restarted
+  /// incarnation attaches the same directory. Returns false when the
+  /// directory cannot be created/read.
+  bool attach_backing(const std::string& host_dir);
+  bool backed() const { return !backing_dir_.empty(); }
+  const std::string& backing_dir() const { return backing_dir_; }
+
  private:
-  std::map<std::string, std::shared_ptr<Inode>, std::less<>> files_;
+  /// Durable link table entry: name → inode + the durable bytes are the
+  /// inode's `durable` image.
+  using Table = std::map<std::string, std::shared_ptr<Inode>, std::less<>>;
+
+  static std::string parent_dir(std::string_view path);
+  std::string backing_path(std::string_view vpath) const;
+  void backing_write(std::string_view vpath, const std::vector<char>& bytes);
+  void backing_remove(std::string_view vpath);
+
+  Table files_;          // volatile namespace
+  Table durable_links_;  // durable namespace
+  std::string backing_dir_;
 };
 
 }  // namespace fir

@@ -75,6 +75,25 @@ void fn_restore_truncate(Env& env, std::intptr_t fd, std::intptr_t old_size,
   }
 }
 
+void fn_restore_file_write(Env& env, std::intptr_t fd, std::intptr_t old_size,
+                           std::intptr_t rv, const std::uint8_t* data,
+                           std::size_t len) {
+  if (rv < 0) return;  // the call itself failed: nothing to revert
+  std::int64_t start = 0;
+  std::int64_t old_offset = -1;
+  std::memcpy(&start, data, sizeof start);
+  std::memcpy(&old_offset, data + sizeof start, sizeof old_offset);
+  // Shrink away anything the call appended past the old length, then
+  // rewrite the unsynced bytes it overwrote in place.
+  env.ftruncate(static_cast<int>(fd), static_cast<std::size_t>(old_size));
+  const std::size_t overlap = len - 2 * sizeof(std::int64_t);
+  if (overlap > 0)
+    env.pwrite(static_cast<int>(fd), data + 2 * sizeof(std::int64_t), overlap,
+               start);
+  if (old_offset >= 0)
+    env.set_file_offset(static_cast<int>(fd), old_offset);
+}
+
 void fn_free_memalign(Env& env, std::intptr_t slot_ptr, std::intptr_t,
                       std::intptr_t rv, const std::uint8_t*, std::size_t) {
   if (rv != 0) return;  // the call itself failed: nothing was allocated
@@ -179,6 +198,18 @@ Compensation restore_truncate(int fd, std::int64_t old_size,
                               std::uint32_t data_len) {
   Compensation c;
   c.fn = &fn_restore_truncate;
+  c.a = fd;
+  c.b = static_cast<std::intptr_t>(old_size);
+  c.data_off = data_off;
+  c.data_len = data_len;
+  return c;
+}
+
+Compensation restore_file_write(int fd, std::int64_t old_size,
+                                std::uint32_t data_off,
+                                std::uint32_t data_len) {
+  Compensation c;
+  c.fn = &fn_restore_file_write;
   c.a = fd;
   c.b = static_cast<std::intptr_t>(old_size);
   c.data_off = data_off;

@@ -63,6 +63,17 @@ Compensation restore_truncate(int fd, std::int64_t old_size,
                               std::uint32_t data_off,
                               std::uint32_t data_len);
 
+/// Reverts a write/pwrite whose byte range lay entirely in unsynced
+/// (page-cache-only) territory: truncates the file back to its pre-call
+/// length, rewrites any unsynced-but-existing bytes the call overwrote
+/// (stashed before the call as [i64 start][i64 old_offset][overlap bytes]),
+/// and — when old_offset >= 0 (the write() form) — restores the file
+/// offset. Writes that touched durable media get comp::none() instead and
+/// stay irrecoverable (docs/DURABILITY.md).
+Compensation restore_file_write(int fd, std::int64_t old_size,
+                                std::uint32_t data_off,
+                                std::uint32_t data_len);
+
 /// Reverts posix_memalign(): frees the block stored through the caller's
 /// out-pointer and nulls it (the call wrote it before the transaction
 /// began, so the rollback's stack/heap restore re-exposes the same slot —

@@ -1,5 +1,6 @@
 #include "interpose/fir.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace fir::detail {
@@ -21,6 +22,54 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len) {
   const std::uint32_t off = fx.mgr().stash_comp_data(bytes.data(), tail);
   return comp::restore_truncate(fd, old_signed, off,
                                 static_cast<std::uint32_t>(tail));
+}
+
+namespace {
+
+// Shared tail of prepare_file_write/prepare_file_pwrite: the region
+// [start, start+n) is entirely at-or-past the durable boundary, so the
+// write only touches page cache. Build the compensation that reverts it.
+Compensation prepare_write_comp(Fx& fx, int fd, std::size_t n,
+                                std::int64_t start, std::int64_t old_offset) {
+  const std::int64_t old_size = fx.env().file_size(fd);
+  std::int64_t header[2] = {start, old_offset};
+  const std::uint32_t off =
+      fx.mgr().stash_comp_data(header, sizeof header);
+  std::uint32_t stash_len = sizeof header;
+  if (start < old_size) {
+    // Overwriting unsynced-but-existing bytes: stash them for the revert.
+    const auto overlap = static_cast<std::size_t>(
+        std::min<std::int64_t>(old_size - start, static_cast<std::int64_t>(n)));
+    std::vector<std::uint8_t> bytes(overlap);
+    fx.env().pread(fd, bytes.data(), overlap, start);
+    fx.mgr().stash_comp_data(bytes.data(), overlap);
+    stash_len += static_cast<std::uint32_t>(overlap);
+  }
+  return comp::restore_file_write(fd, old_size, off, stash_len);
+}
+
+}  // namespace
+
+Compensation prepare_file_write(Fx& fx, int fd, std::size_t n) {
+  Env& env = fx.env();
+  if (n == 0 || !env.fd_is_file(fd)) return comp::none();  // sockets etc.
+  const int flags = env.file_flags(fd);
+  const std::int64_t size = env.file_size(fd);
+  const std::int64_t start =
+      (flags & kAppend) ? size : env.file_offset(fd);
+  // Compensable only when the whole region sits past the durable boundary:
+  // reverting bytes that reached stable media is impossible ("wrote to page
+  // cache" vs "hit durable media").
+  if (start < env.file_durable_size(fd)) return comp::none();
+  return prepare_write_comp(fx, fd, n, start, env.file_offset(fd));
+}
+
+Compensation prepare_file_pwrite(Fx& fx, int fd, std::size_t n,
+                                 std::int64_t offset) {
+  Env& env = fx.env();
+  if (n == 0 || offset < 0 || !env.fd_is_file(fd)) return comp::none();
+  if (offset < env.file_durable_size(fd)) return comp::none();
+  return prepare_write_comp(fx, fd, n, offset, /*old_offset=*/-1);
 }
 
 }  // namespace fir::detail

@@ -63,6 +63,16 @@ inline SiteId site(SiteCache& cache, TxManager& mgr, const char* function,
 /// builds the compensation. Returns the compensation to pass to begin().
 Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
 
+/// write/pwrite bookkeeping: when the write's byte range lies entirely past
+/// the fd's durable boundary (an append-shaped write into unsynced page
+/// cache), builds a compensation that truncates back to the pre-call length
+/// and restores any overwritten unsynced bytes — the write becomes a
+/// divertible transaction opener. A write touching durable media returns
+/// comp::none() and stays irrecoverable; fsync remains a gate boundary.
+Compensation prepare_file_write(Fx& fx, int fd, std::size_t n);
+Compensation prepare_file_pwrite(Fx& fx, int fd, std::size_t n,
+                                 std::int64_t offset);
+
 }  // namespace fir::detail
 
 #define FIR_DETAIL_SITE(mgr, fname)                                   \
@@ -129,9 +139,23 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
   FIR_DETAIL_GATED(fx, "send", (fx).env().send((fd), (buf), (n)),       \
                    ::fir::comp::none())
 
-#define FIR_WRITE(fx, fd, buf, n)                                       \
-  FIR_DETAIL_GATED(fx, "write", (fx).env().write((fd), (buf), (n)),     \
-                   ::fir::comp::none())
+#define FIR_WRITE(fx, fd, buf, n)                                         \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "write");        \
+    fir_m.pre_call(fir_sid);                                              \
+    const ::fir::Compensation fir_comp =                                  \
+        ::fir::detail::prepare_file_write((fx), (fd), (n));               \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().write((fd), (buf), (n));                        \
+      fir_m.begin(fir_sid, fir_rv, fir_comp);                             \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
 
 /// recv: "state restoration needed" — the destination buffer is stashed
 /// before the call; the compensation un-consumes the stream bytes and
@@ -385,13 +409,37 @@ Compensation prepare_truncate(Fx& fx, int fd, std::size_t new_len);
     fir_out;                                                              \
   })
 
-#define FIR_PWRITE(fx, fd, buf, n, off)                                     \
-  FIR_DETAIL_GATED(fx, "pwrite",                                            \
-                   (fx).env().pwrite((fd), (buf), (n), (off)),              \
-                   ::fir::comp::none())
+#define FIR_PWRITE(fx, fd, buf, n, off)                                   \
+  ({                                                                      \
+    ::fir::TxManager& fir_m = (fx).mgr();                                 \
+    const ::fir::SiteId fir_sid = FIR_DETAIL_SITE(fir_m, "pwrite");       \
+    fir_m.pre_call(fir_sid);                                              \
+    const ::fir::Compensation fir_comp =                                  \
+        ::fir::detail::prepare_file_pwrite((fx), (fd), (n), (off));       \
+    volatile std::intptr_t fir_rv = 0;                                    \
+    if (setjmp(*fir_m.gate_buf()) == 0) {                                 \
+      fir_rv = (fx).env().pwrite((fd), (buf), (n), (off));                \
+      fir_m.begin(fir_sid, fir_rv, fir_comp);                             \
+    } else {                                                              \
+      fir_rv = fir_m.resume();                                            \
+    }                                                                     \
+    const std::intptr_t fir_out = fir_rv;                                 \
+    fir_out;                                                              \
+  })
 
 #define FIR_FSYNC(fx, fd)                                              \
   FIR_DETAIL_GATED(fx, "fsync", (fx).env().fsync((fd)),                \
+                   ::fir::comp::none())
+
+#define FIR_FDATASYNC(fx, fd)                                          \
+  FIR_DETAIL_GATED(fx, "fdatasync", (fx).env().fdatasync((fd)),        \
+                   ::fir::comp::none())
+
+// Directory barrier. Registers under the "fsync" catalog entry: it IS an
+// fsync (of the directory), and the catalog's 101 modeled functions stay
+// pinned to the paper's Table II.
+#define FIR_FSYNC_DIR(fx, dir)                                         \
+  FIR_DETAIL_GATED(fx, "fsync", (fx).env().fsync_dir((dir)),           \
                    ::fir::comp::none())
 
 // --- descriptor & vector ops --------------------------------------------------

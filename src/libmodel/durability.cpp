@@ -1,0 +1,31 @@
+#include "libmodel/durability.h"
+
+namespace fir {
+
+DurabilityClass durability_class(std::string_view function) {
+  // Page-cache mutators: content changes that a crash can lose (and a
+  // compensation can revert while they remain unsynced).
+  if (function == "write" || function == "pwrite" || function == "writev" ||
+      function == "ftruncate")
+    return DurabilityClass::kPageCacheWrite;
+  // Stable-media barriers.
+  if (function == "fsync" || function == "fdatasync")
+    return DurabilityClass::kDurabilityBarrier;
+  // Namespace mutators: durable only after a directory barrier.
+  if (function == "open" || function == "creat" || function == "rename" ||
+      function == "unlink")
+    return DurabilityClass::kNamespaceOp;
+  return DurabilityClass::kNone;
+}
+
+const char* durability_class_name(DurabilityClass c) {
+  switch (c) {
+    case DurabilityClass::kNone: return "none";
+    case DurabilityClass::kPageCacheWrite: return "page-cache-write";
+    case DurabilityClass::kDurabilityBarrier: return "durability-barrier";
+    case DurabilityClass::kNamespaceOp: return "namespace-op";
+  }
+  return "none";
+}
+
+}  // namespace fir

@@ -1,0 +1,44 @@
+// Durability refinement of the library-call catalog.
+//
+// The catalog (catalog.h) pins the paper's Table II: 101 functions in five
+// recoverability classes, where `write` is flatly irrecoverable because its
+// effect is externally visible. That static judgment conflates two very
+// different calls: a write that only dirtied the page cache is perfectly
+// revertible (truncate back, nothing reached media), while a write that hit
+// durable media is not. This SEPARATE table — it does not add entries to or
+// change totals of the Table II catalog — names which modeled calls sit on
+// which side of the sync barrier, and is what the interposition layer's
+// prepare_file_write logic implements dynamically per call
+// (docs/DURABILITY.md).
+#pragma once
+
+#include <string_view>
+
+namespace fir {
+
+/// Where a modeled library call sits relative to the durability barrier.
+enum class DurabilityClass {
+  /// Not a storage-durability-relevant call (sockets, memory, ...).
+  kNone,
+  /// Mutates the volatile (page-cache) image only; the effect becomes
+  /// durable at the next barrier. Revertible while unsynced: the dynamic
+  /// refinement upgrades these calls to divertible when the touched range
+  /// is entirely past the fd's durable boundary.
+  kPageCacheWrite,
+  /// Pushes volatile state to stable media (fsync/fdatasync). Never
+  /// compensable — you cannot un-write a disk — so always a transaction
+  /// gate boundary, exactly as in the static catalog.
+  kDurabilityBarrier,
+  /// Mutates the directory namespace (create/rename/unlink); volatile
+  /// until a directory barrier makes it crash-durable.
+  kNamespaceOp,
+};
+
+/// Classification by catalog function name; kNone for everything the
+/// durability model does not refine.
+DurabilityClass durability_class(std::string_view function);
+
+/// Human-readable class name (reports, docs, tests).
+const char* durability_class_name(DurabilityClass c);
+
+}  // namespace fir

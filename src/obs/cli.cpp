@@ -43,6 +43,10 @@ constexpr FlagSpec kFlags[] = {
     {"--restart-backoff-ms", "FIR_RESTART_BACKOFF_MS", true},
     {"--flap-threshold", "FIR_FLAP_THRESHOLD", true},
     {"--heartbeat-deadline-ms", "FIR_HEARTBEAT_DEADLINE_MS", true},
+    {"--fleet-durable", "FIR_FLEET_DURABLE", false},
+    {"--fleet-durable-dir", "FIR_FLEET_DURABLE_DIR", true},
+    // Durable-storage knob (apps/fsync_policy.h; minikv AOF / minipg WAL).
+    {"--fsync-policy", "FIR_FSYNC_POLICY", true},
 };
 
 }  // namespace
@@ -103,7 +107,10 @@ const char* cli_flags_help() {
          "  --restart-backoff-ms=N  restart backoff base "
          "(FIR_RESTART_BACKOFF_MS)\n"
          "  --flap-threshold=K    deaths in-window before quarantine\n"
-         "  --heartbeat-deadline-ms=N  silence treated as a hang\n";
+         "  --heartbeat-deadline-ms=N  silence treated as a hang\n"
+         "  --fleet-durable       durable minikv shards (FIR_FLEET_DURABLE)\n"
+         "  --fleet-durable-dir=PATH  host dir backing the shards' state\n"
+         "  --fsync-policy=P      always|batch|no (FIR_FSYNC_POLICY)\n";
 }
 
 }  // namespace fir::obs

@@ -4,6 +4,9 @@
 #include <mutex>
 #include <thread>
 
+#include "apps/minikv.h"
+#include "workload/kv_client.h"
+
 namespace fir {
 
 FleetLoadResult run_fleet_http_load(fleet::FleetSupervisor& fleet,
@@ -62,6 +65,105 @@ FleetLoadResult run_fleet_http_load(fleet::FleetSupervisor& fleet,
   }
   for (std::thread& th : threads) th.join();
   return total;
+}
+
+FleetKvLoadResult run_fleet_kv_load(fleet::FleetSupervisor& fleet,
+                                    const FleetLoadSpec& spec) {
+  FleetKvLoadResult total;
+  const int shards = fleet.worker_count() > 0 ? fleet.worker_count() : 1;
+  total.acked_sets.resize(static_cast<std::size_t>(shards));
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  const int n_threads = spec.threads > 0 ? spec.threads : 1;
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(spec.duration_ms);
+      for (int b = 0;; ++b) {
+        if (spec.duration_ms > 0) {
+          if (std::chrono::steady_clock::now() >= deadline) break;
+        } else if (b >= spec.batches_per_thread) {
+          break;
+        }
+        const int shard = (t + b) % shards;
+        // Globally-unique keys: requeue-and-replay after a worker death
+        // makes delivery at-least-once, and unique SETs keep the replays
+        // idempotent — exactly what the ledger needs.
+        std::vector<std::string> batch;
+        std::vector<std::pair<std::string, std::string>> kvs;
+        batch.reserve(static_cast<std::size_t>(spec.batch_size));
+        for (int i = 0; i < spec.batch_size; ++i) {
+          std::string key = "t" + std::to_string(t) + "-b" +
+                            std::to_string(b) + "-i" + std::to_string(i);
+          std::string value = "v" + key;
+          batch.push_back("SET " + key + " " + value);
+          kvs.emplace_back(std::move(key), std::move(value));
+        }
+        const fleet::BatchResult r = fleet.submit(shard, batch);
+        std::lock_guard<std::mutex> lock(mu);
+        total.requests += batch.size();
+        ++total.batches;
+        total.lost += static_cast<std::uint64_t>(r.lost);
+        for (std::size_t i = 0; i < r.statuses.size(); ++i) {
+          if (r.statuses[i] == 200) {
+            ++total.acked;
+            total.acked_sets[static_cast<std::size_t>(shard)].insert(kvs[i]);
+          } else if (r.statuses[i] == 0) {
+            ++total.unanswered;
+          } else {
+            ++total.errors;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return total;
+}
+
+FleetDurabilityAudit audit_fleet_durability(
+    const std::string& durable_dir,
+    const std::vector<std::map<std::string, std::string>>& acked_sets) {
+  FleetDurabilityAudit audit;
+  for (std::size_t shard = 0; shard < acked_sets.size(); ++shard) {
+    if (acked_sets[shard].empty()) continue;
+    // Recover exactly the way a restarted worker does: fresh instance,
+    // same host directory, AOF replay at start().
+    Minikv kv;
+    kv.fx().env().vfs().attach_backing(durable_dir + "/shard-" +
+                                       std::to_string(shard));
+    kv.enable_aof(true);
+    if (!kv.start(0).is_ok()) {
+      audit.checked += acked_sets[shard].size();
+      audit.missing += acked_sets[shard].size();
+      audit.examples.push_back("shard-" + std::to_string(shard) +
+                               "/<failed to recover>");
+      continue;
+    }
+    KvClient client(kv.fx().env(), kv.port());
+    for (const auto& [key, value] : acked_sets[shard]) {
+      ++audit.checked;
+      std::string reply = "<no-reply>";
+      if (client.connected() || client.connect()) {
+        if (client.send_command("GET " + key)) {
+          for (int i = 0; i < 8; ++i) {
+            kv.run_once();
+            if (client.try_read_reply(reply) == 1) break;
+          }
+        }
+      }
+      if (reply != value) {
+        ++audit.missing;
+        if (audit.examples.size() < 8) {
+          audit.examples.push_back("shard-" + std::to_string(shard) + "/" +
+                                   key + " = \"" + reply + "\"");
+        }
+      }
+    }
+    client.close();
+    kv.stop();
+  }
+  return audit;
 }
 
 }  // namespace fir

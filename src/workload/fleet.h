@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,5 +53,38 @@ struct FleetLoadResult {
 /// concurrent kill_worker/drain_worker on the same supervisor.
 FleetLoadResult run_fleet_http_load(fleet::FleetSupervisor& fleet,
                                     const FleetLoadSpec& spec);
+
+/// Load + ledger for a durable (minikv) fleet. Every thread submits
+/// batches of globally-unique "SET key value" lines; a 200 status is an
+/// ack, and — because durable workers fsync before replying — an acked
+/// set is a durability promise the post-run audit holds the fleet to.
+struct FleetKvLoadResult {
+  std::uint64_t requests = 0;
+  std::uint64_t acked = 0;    // +OK answers (durable by contract)
+  std::uint64_t errors = 0;   // -ERR answers
+  std::uint64_t unanswered = 0;  // status 0: worker stopped mid-batch
+  std::uint64_t lost = 0;     // fleet gave up (quarantine only)
+  std::uint64_t batches = 0;
+  /// acked_sets[shard] maps every acked key to the value it was set to.
+  std::vector<std::map<std::string, std::string>> acked_sets;
+};
+
+FleetKvLoadResult run_fleet_kv_load(fleet::FleetSupervisor& fleet,
+                                    const FleetLoadSpec& spec);
+
+/// Post-mortem durability audit: recovers every shard from its host
+/// backing directory (`durable_dir`/shard-N) with a fresh minikv — the
+/// same path a restarted worker takes — and GETs every acked key. Run
+/// after FleetSupervisor::stop(); any missing or mismatched key is an
+/// acked-write loss.
+struct FleetDurabilityAudit {
+  std::uint64_t checked = 0;
+  std::uint64_t missing = 0;
+  std::vector<std::string> examples;  // first few "shard/key" losses
+};
+
+FleetDurabilityAudit audit_fleet_durability(
+    const std::string& durable_dir,
+    const std::vector<std::map<std::string, std::string>>& acked_sets);
 
 }  // namespace fir

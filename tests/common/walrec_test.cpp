@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/crc32.h"
+#include "common/walrec.h"
+
+namespace fir {
+namespace {
+
+std::string encode(std::string_view payload) {
+  char buf[kWalrecMaxPayload + kWalrecHeaderBytes];
+  const std::size_t n = walrec_encode(buf, sizeof(buf), payload);
+  EXPECT_GT(n, 0u);
+  return std::string(buf, n);
+}
+
+TEST(WalrecTest, RoundTripsRecords) {
+  const std::string log = encode("SET a 1") + encode("DEL a") + encode("");
+  WalrecScanner scan(log);
+  std::string_view payload;
+  ASSERT_TRUE(scan.next(payload));
+  EXPECT_EQ(payload, "SET a 1");
+  ASSERT_TRUE(scan.next(payload));
+  EXPECT_EQ(payload, "DEL a");
+  ASSERT_TRUE(scan.next(payload));
+  EXPECT_EQ(payload, "");
+  EXPECT_FALSE(scan.next(payload));
+  EXPECT_EQ(scan.valid_bytes(), log.size());
+}
+
+TEST(WalrecTest, CrcKnownAnswer) {
+  // CRC-32("123456789") is the standard check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(WalrecTest, TornTailStopsScanAtLastValidRecord) {
+  const std::string good = encode("SET a 1");
+  std::string log = good + encode("SET b 2");
+  log.resize(log.size() - 3);  // torn payload in the final record
+  WalrecScanner scan(log);
+  std::string_view payload;
+  ASSERT_TRUE(scan.next(payload));
+  EXPECT_FALSE(scan.next(payload));
+  EXPECT_EQ(scan.valid_bytes(), good.size());
+}
+
+TEST(WalrecTest, TornHeaderStopsScan) {
+  const std::string good = encode("SET a 1");
+  const std::string log = good + "\x05\x00";  // half a length field
+  WalrecScanner scan(log);
+  std::string_view payload;
+  ASSERT_TRUE(scan.next(payload));
+  EXPECT_FALSE(scan.next(payload));
+  EXPECT_EQ(scan.valid_bytes(), good.size());
+}
+
+TEST(WalrecTest, BitRotFailsChecksum) {
+  std::string log = encode("SET key value");
+  log[log.size() - 1] ^= 0x40;  // flip a payload bit
+  WalrecScanner scan(log);
+  std::string_view payload;
+  EXPECT_FALSE(scan.next(payload));
+  EXPECT_EQ(scan.valid_bytes(), 0u);
+}
+
+TEST(WalrecTest, GarbageLengthFieldRejected) {
+  std::string log(kWalrecHeaderBytes + 16, '\xff');  // absurd length
+  WalrecScanner scan(log);
+  std::string_view payload;
+  EXPECT_FALSE(scan.next(payload));
+}
+
+TEST(WalrecTest, EncodeRejectsOversizeAndTinyBuffers) {
+  char buf[64];
+  const std::string huge(kWalrecMaxPayload + 1, 'x');
+  EXPECT_EQ(walrec_encode(buf, sizeof(buf), huge), 0u);
+  EXPECT_EQ(walrec_encode(buf, 4, "hello"), 0u);
+}
+
+}  // namespace
+}  // namespace fir

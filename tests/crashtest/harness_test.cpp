@@ -1,0 +1,105 @@
+// The crash-point harness on itself: the durable servers must hold all
+// three invariants at every persistence point, clean and torn.
+#include <gtest/gtest.h>
+
+#include "crashtest/harness.h"
+
+namespace fir::crashtest {
+namespace {
+
+void expect_all_points_ok(const CrashTestReport& report) {
+  EXPECT_TRUE(report.passed);
+  EXPECT_GT(report.points.size(), 10u);  // real matrix, not a stub
+  EXPECT_GT(report.mutations, 4u);
+  for (const CrashPointResult& p : report.points) {
+    EXPECT_TRUE(p.ok) << report.server << " crash op " << p.crash_op << ": "
+                      << p.detail;
+  }
+}
+
+CrashTestOptions in_process(const std::string& server) {
+  CrashTestOptions options;
+  options.server = server;
+  options.workers = 0;  // in-process: keep ctest runs fork-free and fast
+  return options;
+}
+
+TEST(CrashHarnessTest, MinikvHoldsInvariantsAtEveryPoint) {
+  expect_all_points_ok(run_crash_test(in_process("minikv")));
+}
+
+TEST(CrashHarnessTest, MinipgHoldsInvariantsAtEveryPoint) {
+  expect_all_points_ok(run_crash_test(in_process("minipg")));
+}
+
+TEST(CrashHarnessTest, MinikvSurvivesTornWrites) {
+  CrashTestOptions options = in_process("minikv");
+  options.torn_tail_bytes = 5;
+  expect_all_points_ok(run_crash_test(options));
+  options.torn_bit_flip = true;
+  expect_all_points_ok(run_crash_test(options));
+}
+
+TEST(CrashHarnessTest, MinipgSurvivesTornWrites) {
+  CrashTestOptions options = in_process("minipg");
+  options.torn_tail_bytes = 5;
+  options.torn_bit_flip = true;
+  expect_all_points_ok(run_crash_test(options));
+}
+
+TEST(CrashHarnessTest, ForkedWorkersMatchInProcess) {
+  CrashTestOptions options;
+  options.server = "minikv";
+  options.workers = 4;
+  const CrashTestReport forked = run_crash_test(options);
+  options.workers = 0;
+  const CrashTestReport inproc = run_crash_test(options);
+  ASSERT_EQ(forked.points.size(), inproc.points.size());
+  for (std::size_t i = 0; i < forked.points.size(); ++i) {
+    EXPECT_EQ(forked.points[i].ok, inproc.points[i].ok);
+    EXPECT_EQ(forked.points[i].acked_prefix, inproc.points[i].acked_prefix);
+    EXPECT_EQ(forked.points[i].recovered_prefix,
+              inproc.points[i].recovered_prefix);
+  }
+}
+
+TEST(CrashHarnessTest, ResultJsonlRoundTrips) {
+  CrashTestOptions options;
+  options.server = "minipg";
+  options.torn_tail_bytes = 3;
+  CrashPointResult r;
+  r.crash_op = 17;
+  r.acked_prefix = 4;
+  r.recovered_prefix = 5;
+  r.replayed = 5;
+  r.torn_bytes = 2;
+  r.acked_durable = true;
+  r.prefix_consistent = true;
+  r.replay_idempotent = true;
+  r.ok = true;
+  r.detail = "quote \" and backslash \\";
+  const std::string line = result_jsonl(options, r);
+  CrashPointResult back;
+  std::string error;
+  ASSERT_TRUE(result_from_jsonl(line, &back, &error)) << error;
+  EXPECT_EQ(back.crash_op, 17u);
+  EXPECT_EQ(back.acked_prefix, 4u);
+  EXPECT_EQ(back.recovered_prefix, 5);
+  EXPECT_EQ(back.replayed, 5u);
+  EXPECT_EQ(back.torn_bytes, 2u);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.detail, r.detail);
+}
+
+TEST(CrashHarnessTest, UnknownServerReportsFailure) {
+  CrashTestOptions options;
+  options.server = "minichaos";
+  const CrashTestReport report = run_crash_test(options);
+  EXPECT_FALSE(report.passed);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_NE(report.points[0].detail.find("unknown server"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fir::crashtest

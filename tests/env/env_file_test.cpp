@@ -62,6 +62,79 @@ TEST(EnvFileTest, AppendFlagStartsAtEnd) {
   EXPECT_EQ(size, 5u);
 }
 
+TEST(EnvFileTest, AppendWritesIgnoreSeeks) {
+  // O_APPEND semantics: every write targets end-of-file even after lseek,
+  // so appenders never need manual offset bookkeeping.
+  Env env;
+  env.vfs().put_file("/log", "abc");
+  const int fd = env.open("/log", kWrOnly | kAppend);
+  EXPECT_EQ(env.lseek(fd, 0, kSeekSet), 0);
+  EXPECT_EQ(env.write(fd, "de", 2), 2);
+  auto inode = env.vfs().lookup("/log");
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()), "abcde");
+}
+
+TEST(EnvFileTest, FsyncMakesBytesAndNameDurable) {
+  Env env;
+  const int fd = env.open("/d/f", kCreat | kWrOnly);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env.write(fd, "abc", 3), 3);
+  EXPECT_FALSE(env.vfs().crash_image().exists("/d/f"));
+  EXPECT_EQ(env.fsync(fd), 0);
+  auto image = env.vfs().crash_image();
+  auto inode = image.lookup("/d/f");
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()), "abc");
+}
+
+TEST(EnvFileTest, FdatasyncFlushesDataNotLinks) {
+  Env env;
+  const int fd = env.open("/d/f", kCreat | kWrOnly);
+  EXPECT_EQ(env.write(fd, "abc", 3), 3);
+  EXPECT_EQ(env.fdatasync(fd), 0);
+  // Content flushed, but the brand-new name is not durably linked until an
+  // fsync or a directory barrier.
+  EXPECT_FALSE(env.vfs().crash_image().exists("/d/f"));
+  EXPECT_EQ(env.fsync_dir("/d"), 0);
+  EXPECT_TRUE(env.vfs().crash_image().exists("/d/f"));
+  EXPECT_EQ(env.vfs().durable_size("/d/f"), 3u);
+}
+
+TEST(EnvFileTest, PersistOpsCountAndCrashCapture) {
+  Env env;
+  const std::uint64_t before = env.persist_op_count();
+  const int fd = env.open("/d/f", kCreat | kWrOnly);  // create: +1
+  EXPECT_EQ(env.write(fd, "a", 1), 1);                // +1
+  EXPECT_EQ(env.fsync(fd), 0);                        // +1
+  EXPECT_EQ(env.write(fd, "b", 1), 1);                // +1
+  EXPECT_EQ(env.persist_op_count(), before + 4);
+
+  // Re-run the same sequence in a fresh env with a capture armed right
+  // after the fsync: the image holds "a" and drops the unsynced "b".
+  Env env2;
+  env2.arm_crash_capture(before + 3);
+  const int fd2 = env2.open("/d/f", kCreat | kWrOnly);
+  EXPECT_EQ(env2.write(fd2, "a", 1), 1);
+  EXPECT_EQ(env2.fsync(fd2), 0);
+  EXPECT_TRUE(env2.crash_capture_fired());
+  EXPECT_EQ(env2.write(fd2, "b", 1), 1);
+  auto inode = env2.captured_crash_image().lookup("/d/f");
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()), "a");
+}
+
+TEST(EnvFileTest, DurableSizeTracksSyncBarrier) {
+  Env env;
+  const int fd = env.open("/f", kCreat | kWrOnly);
+  EXPECT_EQ(env.write(fd, "abcd", 4), 4);
+  EXPECT_EQ(env.file_durable_size(fd), 0);
+  EXPECT_EQ(env.fsync(fd), 0);
+  EXPECT_EQ(env.file_durable_size(fd), 4);
+  EXPECT_EQ(env.write(fd, "ef", 2), 2);
+  EXPECT_EQ(env.file_durable_size(fd), 4);
+  EXPECT_EQ(env.file_size(fd), 6);
+}
+
 TEST(EnvFileTest, TruncFlagClears) {
   Env env;
   env.vfs().put_file("/f", "abc");

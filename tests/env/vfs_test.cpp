@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "env/vfs.h"
 
 namespace fir {
@@ -57,6 +61,135 @@ TEST(VfsTest, TotalBytesAndCount) {
   vfs.put_file("/b", "123");
   EXPECT_EQ(vfs.file_count(), 2u);
   EXPECT_EQ(vfs.total_bytes(), 8u);
+}
+
+std::string contents(const Vfs& vfs, std::string_view path) {
+  auto inode = vfs.lookup(path);
+  return inode == nullptr ? std::string("<missing>")
+                          : std::string(inode->data.begin(),
+                                        inode->data.end());
+}
+
+TEST(VfsTest, UnsyncedWritesDropFromCrashImage) {
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  inode->data = {'a', 'b', 'c'};
+  // Never synced: the crash image has neither the name nor the bytes.
+  EXPECT_FALSE(vfs.crash_image().exists("/d/log"));
+
+  vfs.sync_inode(inode);
+  inode->data.push_back('d');  // unsynced tail
+  const Vfs image = vfs.crash_image();
+  EXPECT_EQ(contents(image, "/d/log"), "abc");
+  // The image itself is fully durable media.
+  EXPECT_TRUE(image.durably_linked("/d/log"));
+  EXPECT_EQ(image.durable_size("/d/log"), 3u);
+}
+
+TEST(VfsTest, TornTailKeepsPartialLastWrite) {
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  inode->data = {'a', 'b'};
+  vfs.sync_inode(inode);
+  inode->data.insert(inode->data.end(), {'c', 'd', 'e', 'f'});
+
+  CrashImageOptions torn;
+  torn.torn_tail_bytes = 3;
+  EXPECT_EQ(contents(vfs.crash_image(torn), "/d/log"), "abcde");
+
+  torn.torn_bit_flip = true;
+  const std::string flipped = contents(vfs.crash_image(torn), "/d/log");
+  ASSERT_EQ(flipped.size(), 5u);
+  EXPECT_EQ(flipped.substr(0, 4), "abcd");
+  EXPECT_NE(flipped[4], 'e');
+}
+
+TEST(VfsTest, RenameIsVolatileUntilDirBarrier) {
+  Vfs vfs;
+  vfs.put_file("/d/dump", "old");  // put_file: durable from the start
+  auto tmp = vfs.create("/d/dump.tmp", false);
+  tmp->data = {'n', 'e', 'w'};
+  vfs.sync_inode(tmp);
+  ASSERT_TRUE(vfs.rename("/d/dump.tmp", "/d/dump"));
+
+  // Crash before the directory barrier: the durable namespace still holds
+  // the OLD binding for /d/dump and the tmp name — the pre-rename snapshot
+  // is intact, never half-replaced.
+  Vfs before = vfs.crash_image();
+  EXPECT_EQ(contents(before, "/d/dump"), "old");
+  EXPECT_EQ(contents(before, "/d/dump.tmp"), "new");
+
+  vfs.sync_dir("/d");
+  Vfs after = vfs.crash_image();
+  EXPECT_EQ(contents(after, "/d/dump"), "new");
+  EXPECT_FALSE(after.exists("/d/dump.tmp"));
+}
+
+TEST(VfsTest, SyncDirWithoutFsyncExposesRenameBeforeFsyncBug) {
+  Vfs vfs;
+  vfs.put_file("/d/dump", "old");
+  auto tmp = vfs.create("/d/dump.tmp", false);
+  tmp->data = {'n', 'e', 'w'};
+  // BUG ORDER: rename + dir barrier without ever fsyncing the temp file.
+  ASSERT_TRUE(vfs.rename("/d/dump.tmp", "/d/dump"));
+  vfs.sync_dir("/d");
+  // The durable name now points at an inode whose durable image is empty:
+  // exactly the half-replaced snapshot the fsync-before-rename order
+  // prevents.
+  EXPECT_EQ(contents(vfs.crash_image(), "/d/dump"), "");
+}
+
+TEST(VfsTest, UnlinkDurableOnlyAfterDirBarrier) {
+  Vfs vfs;
+  vfs.put_file("/d/a", "x");
+  ASSERT_TRUE(vfs.unlink("/d/a"));
+  EXPECT_TRUE(vfs.crash_image().exists("/d/a"));
+  vfs.sync_dir("/d");
+  EXPECT_FALSE(vfs.crash_image().exists("/d/a"));
+}
+
+TEST(VfsTest, SyncDirTouchesOnlyThatDirectory) {
+  Vfs vfs;
+  auto a = vfs.create("/d/a", false);
+  auto b = vfs.create("/e/b", false);
+  a->data = {'1'};
+  b->data = {'2'};
+  vfs.sync_dir("/d");
+  const Vfs image = vfs.crash_image();
+  EXPECT_TRUE(image.exists("/d/a"));
+  EXPECT_FALSE(image.exists("/e/b"));
+}
+
+TEST(VfsTest, HostBackingRoundTripsDurableState) {
+  char tmpl[] = "/tmp/fir_vfs_back_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  {
+    Vfs vfs;
+    ASSERT_TRUE(vfs.attach_backing(dir));
+    auto inode = vfs.create("/data/appendonly.aof", false);
+    inode->data = {'S', 'E', 'T'};
+    vfs.sync_inode(inode);          // write-through happens at the barrier
+    inode->data.push_back('X');     // unsynced: must NOT reach the host
+  }
+  // A fresh VFS (a restarted worker) attaches the same directory and sees
+  // exactly the durable image.
+  Vfs fresh;
+  ASSERT_TRUE(fresh.attach_backing(dir));
+  EXPECT_EQ(contents(fresh, "/data/appendonly.aof"), "SET");
+  EXPECT_TRUE(fresh.durably_linked("/data/appendonly.aof"));
+  std::remove((dir + "/data__appendonly.aof").c_str());
+  std::remove(dir.c_str());
+}
+
+TEST(VfsTest, ImportFromIsFullyDurable) {
+  Vfs src;
+  auto inode = src.create("/d/f", false);
+  inode->data = {'h', 'i'};  // never synced in the source
+  Vfs dst;
+  dst.import_from(src);
+  // Graceful handoff: the inherited file is durable in the new instance.
+  EXPECT_EQ(contents(dst.crash_image(), "/d/f"), "hi");
 }
 
 }  // namespace

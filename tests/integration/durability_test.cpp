@@ -8,6 +8,7 @@
 
 #include "apps/minikv.h"
 #include "apps/minipg.h"
+#include "common/walrec.h"
 #include "workload/kv_client.h"
 #include "workload/pg_client.h"
 
@@ -110,6 +111,130 @@ TEST(DurabilityTest, MinikvAofReplayRestoresKeyspace) {
   ASSERT_NE(aof, nullptr);
   const std::string content(aof->data.begin(), aof->data.end());
   EXPECT_NE(content.find("SET user:3 carol"), std::string::npos);
+}
+
+TEST(DurabilityTest, MinikvTruncatesTornAofTailOnRecovery) {
+  Vfs durable;
+  {
+    Minikv old_instance(cfg());
+    old_instance.enable_aof(true);
+    ASSERT_TRUE(old_instance.start(0).is_ok());
+    KvClient client(old_instance.fx().env(), old_instance.port());
+    EXPECT_EQ(kv(old_instance, client, "SET a 1"), "+OK");
+    EXPECT_EQ(kv(old_instance, client, "SET b 2"), "+OK");
+    // Torn final append: only half of the next record reaches the media.
+    auto aof = old_instance.fx().env().vfs().lookup("/data/appendonly.aof");
+    ASSERT_NE(aof, nullptr);
+    char rec[64];
+    const std::size_t n = walrec_encode(rec, sizeof(rec), "SET c 3");
+    ASSERT_GT(n, 0u);
+    aof->data.insert(aof->data.end(), rec, rec + n / 2);
+    durable.import_from(old_instance.fx().env().vfs());
+    old_instance.stop();
+  }
+
+  Minikv fresh(cfg());
+  fresh.enable_aof(true);
+  fresh.fx().env().vfs().import_from(durable);
+  ASSERT_TRUE(fresh.start(0).is_ok());
+  EXPECT_EQ(fresh.aof_records_replayed(), 2u);
+  EXPECT_GT(fresh.aof_torn_bytes(), 0u);
+  KvClient client(fresh.fx().env(), fresh.port());
+  EXPECT_EQ(kv(fresh, client, "GET a"), "1");
+  EXPECT_EQ(kv(fresh, client, "GET b"), "2");
+  EXPECT_EQ(kv(fresh, client, "GET c"), "$-1");
+  // The repaired log accepts new appends and replays cleanly again.
+  EXPECT_EQ(kv(fresh, client, "SET c 3"), "+OK");
+  Vfs durable2;
+  durable2.import_from(fresh.fx().env().vfs());
+  Minikv again(cfg());
+  again.enable_aof(true);
+  again.fx().env().vfs().import_from(durable2);
+  ASSERT_TRUE(again.start(0).is_ok());
+  EXPECT_EQ(again.aof_torn_bytes(), 0u);
+  EXPECT_EQ(again.aof_records_replayed(), 3u);
+}
+
+TEST(DurabilityTest, MinipgDropsCorruptWalTail) {
+  Vfs durable;
+  {
+    Minipg old_instance(cfg());
+    ASSERT_TRUE(old_instance.start(0).is_ok());
+    PgClient client(old_instance.fx().env(), old_instance.port());
+    pg(old_instance, client, "CREATE TABLE t");
+    pg(old_instance, client, "INSERT t k1 v1");
+    pg(old_instance, client, "INSERT t k2 v2");
+    // Bit rot in the final record's payload: its checksum no longer
+    // verifies, so recovery must stop before it.
+    auto wal = old_instance.fx().env().vfs().lookup(
+        "/pg/pg_wal/000000010000000000000001");
+    ASSERT_NE(wal, nullptr);
+    wal->data.back() = static_cast<char>(wal->data.back() ^ 0x40);
+    durable.import_from(old_instance.fx().env().vfs());
+    old_instance.stop();
+  }
+
+  Minipg fresh(cfg());
+  fresh.fx().env().vfs().import_from(durable);
+  ASSERT_TRUE(fresh.start(0).is_ok());
+  EXPECT_EQ(fresh.wal_records_replayed(), 2u);
+  EXPECT_GT(fresh.wal_torn_bytes(), 0u);
+  PgClient client(fresh.fx().env(), fresh.port());
+  EXPECT_EQ(pg(fresh, client, "SELECT t k1"), "v1\n(1 row)");
+  EXPECT_EQ(pg(fresh, client, "SELECT t k2"), "(0 rows)");
+  // The repaired WAL keeps logging.
+  EXPECT_EQ(pg(fresh, client, "INSERT t k3 v3"), "INSERT 0 1");
+}
+
+TEST(DurabilityTest, FsyncPolicyAlwaysMakesAckedSetsCrashDurable) {
+  Minikv server(cfg());
+  server.enable_aof(true);  // policy defaults to always
+  ASSERT_TRUE(server.start(0).is_ok());
+  KvClient client(server.fx().env(), server.port());
+  EXPECT_EQ(kv(server, client, "SET k v"), "+OK");
+  // The ack implies the record is already on stable media: it appears in a
+  // crash image taken with no further barriers.
+  const Vfs image = server.fx().env().vfs().crash_image();
+  auto aof = image.lookup("/data/appendonly.aof");
+  ASSERT_NE(aof, nullptr);
+  const std::string content(aof->data.begin(), aof->data.end());
+  EXPECT_NE(content.find("SET k v"), std::string::npos);
+}
+
+TEST(DurabilityTest, FsyncPolicyNoLeavesTailVolatile) {
+  Minikv server(cfg());
+  server.enable_aof(true);
+  server.set_fsync_policy(FsyncPolicy::kNo);
+  ASSERT_TRUE(server.start(0).is_ok());
+  KvClient client(server.fx().env(), server.port());
+  EXPECT_EQ(kv(server, client, "SET k v"), "+OK");
+  // No barrier ever ran: a crash at this point loses the appended record.
+  const Vfs image = server.fx().env().vfs().crash_image();
+  auto aof = image.lookup("/data/appendonly.aof");
+  if (aof != nullptr) {
+    const std::string content(aof->data.begin(), aof->data.end());
+    EXPECT_EQ(content.find("SET k v"), std::string::npos);
+  }
+}
+
+TEST(DurabilityTest, RdbSaveIsNeverHalfReplacedInCrashImage) {
+  Minikv server(cfg());
+  ASSERT_TRUE(server.start(0).is_ok());
+  KvClient client(server.fx().env(), server.port());
+  EXPECT_EQ(kv(server, client, "SET k old"), "+OK");
+  EXPECT_EQ(kv(server, client, "SAVE"), "+OK");
+  EXPECT_EQ(kv(server, client, "SET k new"), "+OK");
+  EXPECT_EQ(kv(server, client, "SAVE"), "+OK");
+  // The SAVE sequence ends with a directory barrier, so any crash image
+  // holds exactly one complete dump — old or new, never a half-replaced
+  // mix and never a lingering tmp file alongside a clobbered dump.
+  const Vfs image = server.fx().env().vfs().crash_image();
+  auto dump = image.lookup("/data/dump.rdb");
+  ASSERT_NE(dump, nullptr);
+  const std::string content(dump->data.begin(), dump->data.end());
+  EXPECT_TRUE(content == "k=old\n" || content == "k=new\n") << content;
+  EXPECT_EQ(content, "k=new\n");  // both barriers completed: newest wins
+  EXPECT_FALSE(image.exists("/data/dump.rdb.tmp"));
 }
 
 TEST(DurabilityTest, AofOffByDefaultWritesNoFile) {

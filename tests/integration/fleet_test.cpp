@@ -6,12 +6,17 @@
 // excludes them — same treatment as the DeathTest suites).
 #include "apps/supervisor.h"
 
+#include <ftw.h>
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "workload/fleet.h"
 
@@ -47,6 +52,21 @@ bool fleet_at_full_strength(FleetSupervisor& fleet) {
   for (int i = 0; i < fleet.worker_count(); ++i)
     if (!fleet.worker_up(i)) return false;
   return true;
+}
+
+// Host-dir scaffolding for the durable-fleet tests.
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/fir_fleet_test_XXXXXX";
+  return ::mkdtemp(tmpl) != nullptr ? std::string(tmpl) : std::string();
+}
+
+int remove_tree_cb(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+void remove_tree(const std::string& dir) {
+  if (!dir.empty())
+    ::nftw(dir.c_str(), remove_tree_cb, 8, FTW_DEPTH | FTW_PHYS);
 }
 
 TEST(FleetSupervisorTest, StartsServesStops) {
@@ -213,6 +233,109 @@ TEST(FleetDiagnosticTest, DoubleFaultDiagnosticIsCaptured) {
   // The worker restarts after the capture.
   ASSERT_TRUE(wait_for([&] { return fleet.worker_up(0); }, 5000));
   fleet.stop();
+}
+
+// Durable mode, serving continuity: a worker's acked SETs are readable
+// again from the restarted incarnation (host-backed AOF replay), the
+// "$-1" miss maps to 404, and shard handoff is refused because durable
+// shards are pinned to their backing directory.
+TEST(FleetDurableTest, AckedSetsServeAcrossWorkerRestart) {
+  const std::string dir = make_temp_dir();
+  ASSERT_FALSE(dir.empty());
+  FleetConfig config = fast_config();
+  config.workers = 2;
+  config.durable = true;
+  config.durable_dir = dir;
+  {
+    FleetSupervisor fleet(config);
+    ASSERT_TRUE(fleet.start());
+    ASSERT_TRUE(wait_for([&] { return fleet_at_full_strength(fleet); }, 5000));
+
+    fleet::BatchResult r = fleet.submit(0, {"SET alpha one", "SET beta two"});
+    EXPECT_EQ(r.lost, 0);
+    ASSERT_EQ(r.statuses.size(), 2u);
+    EXPECT_EQ(r.statuses[0], 200);
+    EXPECT_EQ(r.statuses[1], 200);
+
+    ASSERT_TRUE(fleet.kill_worker(0, KillMode::kSigkill));
+    ASSERT_TRUE(wait_for([&] { return !fleet.worker_up(0); }, 5000));
+    ASSERT_TRUE(wait_for([&] { return fleet.worker_up(0); }, 5000));
+
+    r = fleet.submit(0, {"GET alpha", "GET nothere"});
+    EXPECT_EQ(r.lost, 0);
+    ASSERT_EQ(r.statuses.size(), 2u);
+    EXPECT_EQ(r.statuses[0], 200) << "acked SET lost across a SIGKILL";
+    EXPECT_EQ(r.statuses[1], 404);
+
+    EXPECT_FALSE(fleet.drain_worker(1)) << "durable shards must not hand off";
+    fleet.stop();
+  }
+  // Post-mortem: the same keys recover from the host directory alone.
+  std::vector<std::map<std::string, std::string>> acked(2);
+  acked[0] = {{"alpha", "one"}, {"beta", "two"}};
+  const FleetDurabilityAudit audit = audit_fleet_durability(dir, acked);
+  EXPECT_EQ(audit.checked, 2u);
+  EXPECT_EQ(audit.missing, 0u)
+      << (audit.examples.empty() ? "" : audit.examples[0]);
+  remove_tree(dir);
+}
+
+// The durable acceptance-criteria test: a 4-shard durable fleet under
+// multi-threaded unique-SET load while one worker is murdered per
+// interval for >= 12 cycles, alternating the three unplanned-death
+// shapes. Afterwards every shard is recovered from host media by a fresh
+// instance and every single acked SET must read back — zero acked-write
+// loss.
+TEST(FleetDurableKillCycleTest, NoAckedWriteLostAcrossTwelveKills) {
+  const std::string dir = make_temp_dir();
+  ASSERT_FALSE(dir.empty());
+  FleetConfig config = fast_config();
+  config.durable = true;
+  config.durable_dir = dir;
+  FleetSupervisor fleet(config);
+  ASSERT_TRUE(fleet.start());
+  ASSERT_TRUE(wait_for([&] { return fleet_at_full_strength(fleet); }, 5000));
+
+  std::atomic<bool> stop_chaos{false};
+  std::atomic<int> kills{0};
+  std::thread chaos([&] {
+    const KillMode cycle[] = {KillMode::kExit70, KillMode::kSigkill,
+                              KillMode::kHang};
+    int i = 0;
+    while (!stop_chaos.load() && kills.load() < 12) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      if (fleet.kill_worker(i % fleet.worker_count(), cycle[i % 3]))
+        kills.fetch_add(1);
+      ++i;
+    }
+  });
+
+  FleetLoadSpec spec;
+  spec.threads = 4;
+  spec.batch_size = 8;
+  spec.duration_ms = 2500;
+  const FleetKvLoadResult result = run_fleet_kv_load(fleet, spec);
+  stop_chaos.store(true);
+  chaos.join();
+
+  EXPECT_GE(kills.load(), 10) << "chaos must land at least 10 kill cycles";
+  EXPECT_EQ(result.lost, 0u);
+  EXPECT_GT(result.acked, 100u) << "load barely ran";
+
+  ASSERT_TRUE(wait_for([&] { return fleet_at_full_strength(fleet); }, 5000))
+      << "fleet did not return to full strength";
+  const fleet::FleetCounters c = fleet.counters();
+  EXPECT_GE(c.deaths, 10u);
+  EXPECT_GE(c.restarts, c.deaths);
+  EXPECT_EQ(c.quarantines, 0u);
+  fleet.stop();
+
+  const FleetDurabilityAudit audit =
+      audit_fleet_durability(dir, result.acked_sets);
+  EXPECT_EQ(audit.checked, result.acked);
+  EXPECT_EQ(audit.missing, 0u)
+      << (audit.examples.empty() ? "" : audit.examples[0]);
+  remove_tree(dir);
 }
 
 }  // namespace

@@ -87,5 +87,74 @@ TEST(WrapperTest, WritevDivertIsImpossibleButRetryWorks) {
   EXPECT_EQ(inode->data.size(), 6u);  // written exactly once
 }
 
+TEST(WrapperTest, UnsyncedAppendWriteDivertsAndTruncatesBack) {
+  // The durability refinement: a write whose bytes sit entirely past the
+  // durable boundary is compensable (truncate to the pre-call length), so a
+  // persistent crash diverts with EIO instead of killing the process.
+  Fx fx(stm_cfg());
+  const int fd = fx.env().open("/wal", kCreat | kWrOnly | kAppend);
+  ASSERT_EQ(fx.env().write(fd, "rec1\n", 5), 5);
+  ASSERT_EQ(fx.env().fsync(fd), 0);
+  FIR_ANCHOR(fx);
+  const ssize_t n = FIR_WRITE(fx, fd, "rec2\n", 5);
+  if (n == 5) raise_crash(CrashKind::kSegv);  // persistent
+  EXPECT_EQ(n, -1);
+  EXPECT_EQ(fx.err(), EIO);
+  FIR_QUIESCE(fx);
+  auto inode = fx.env().vfs().lookup("/wal");
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()), "rec1\n");
+  EXPECT_EQ(fx.env().file_offset(fd), 5);
+}
+
+TEST(WrapperTest, DurableOverwriteStaysFatal) {
+  // A pwrite into already-synced bytes cannot be compensated — the catalog's
+  // irrecoverable judgment stands and the persistent crash is fatal.
+  Fx fx(stm_cfg());
+  const int fd = fx.env().open("/heap", kCreat | kWrOnly);
+  ASSERT_EQ(fx.env().write(fd, "old!", 4), 4);
+  ASSERT_EQ(fx.env().fsync(fd), 0);
+  FIR_ANCHOR(fx);
+  EXPECT_THROW(
+      {
+        const ssize_t n = FIR_PWRITE(fx, fd, "new!", 4, 0);
+        if (n == 4) raise_crash(CrashKind::kSegv);  // persistent
+      },
+      FatalCrashError);
+}
+
+TEST(WrapperTest, UnsyncedPwriteSurvivesTransientCrash) {
+  Fx fx(stm_cfg());
+  const int fd = fx.env().open("/log", kCreat | kWrOnly);
+  FIR_ANCHOR(fx);
+  static int budget;
+  budget = 1;
+  const ssize_t n = FIR_PWRITE(fx, fd, "abcd", 4, 0);
+  if (budget > 0) {
+    --budget;
+    raise_crash(CrashKind::kSegv);  // transient: retry succeeds
+  }
+  EXPECT_EQ(n, 4);
+  FIR_QUIESCE(fx);
+  auto inode = fx.env().vfs().lookup("/log");
+  EXPECT_EQ(inode->data.size(), 4u);
+}
+
+TEST(WrapperTest, FsyncDirBarrierMakesRenameDurable) {
+  Fx fx(stm_cfg());
+  Env& env = fx.env();
+  const int fd = env.open("/d/new.tmp", kCreat | kWrOnly);
+  ASSERT_EQ(env.write(fd, "v2", 2), 2);
+  ASSERT_EQ(env.fsync(fd), 0);
+  FIR_ANCHOR(fx);
+  EXPECT_EQ(FIR_RENAME(fx, "/d/new.tmp", "/d/cur"), 0);
+  EXPECT_EQ(FIR_FSYNC_DIR(fx, "/d"), 0);
+  FIR_QUIESCE(fx);
+  auto image = env.vfs().crash_image();
+  auto inode = image.lookup("/d/cur");
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(std::string(inode->data.begin(), inode->data.end()), "v2");
+  EXPECT_FALSE(image.exists("/d/new.tmp"));
+}
+
 }  // namespace
 }  // namespace fir

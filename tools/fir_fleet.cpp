@@ -5,12 +5,20 @@
 //             [--duration-ms=N] [--kill-every-ms=N]
 //             [--kill-mode=cycle|exit70|sigkill|hang|none]
 //             [--threads=N] [--batch-size=N] [--out=events.jsonl]
+//             [--durable] [--fleet-durable-dir=PATH]
 //
 // Starts the fleet, drives it with the fleet load generator, and — when
 // --kill-every-ms is set — murders one worker per interval in the chosen
 // mode (cycle alternates exit70 -> sigkill -> hang). At the end it prints
 // the per-worker table plus the zero-loss ledger, and exits nonzero when
 // any request was lost (quarantine aside, that must never happen).
+//
+// With --durable the workers host minikv shards (AOF + fsync=always,
+// durable state host-backed under --fleet-durable-dir) and the load is
+// unique SET commands. After the run every shard is recovered from its
+// host directory by a fresh instance — the same path a restarted worker
+// takes — and every acked SET is read back: an acked write missing after
+// recovery fails the run (docs/DURABILITY.md).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +76,18 @@ int main(int argc, char** argv) {
   const std::string kill_mode =
       flag_string(&argc, argv, "--kill-mode", "cycle");
   const std::string out_path = flag_string(&argc, argv, "--out", "");
+  bool durable = false;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--durable") == 0) {
+        durable = true;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+  }
   if (argc > 1) {
     std::fprintf(stderr, "fir_fleet: unknown argument %s\n%s", argv[1],
                  fir::obs::cli_flags_help());
@@ -76,6 +96,7 @@ int main(int argc, char** argv) {
 
   fir::fleet::FleetConfig config = fir::fleet::FleetConfig::from_env();
   config.event_log_path = out_path;
+  config.durable = config.durable || durable;
   fir::fleet::FleetSupervisor fleet(config);
   if (!fleet.start()) {
     std::fprintf(stderr, "fir_fleet: failed to start fleet\n");
@@ -112,7 +133,13 @@ int main(int argc, char** argv) {
   spec.threads = static_cast<int>(threads);
   spec.batch_size = static_cast<int>(batch_size);
   spec.duration_ms = static_cast<int>(duration_ms);
-  const fir::FleetLoadResult result = fir::run_fleet_http_load(fleet, spec);
+  fir::FleetLoadResult http_result;
+  fir::FleetKvLoadResult kv_result;
+  if (config.durable) {
+    kv_result = fir::run_fleet_kv_load(fleet, spec);
+  } else {
+    http_result = fir::run_fleet_http_load(fleet, spec);
+  }
 
   chaos_stop = true;
   if (chaos.joinable()) chaos.join();
@@ -121,7 +148,8 @@ int main(int argc, char** argv) {
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
 
   const fir::fleet::FleetCounters c = fleet.counters();
-  std::printf("fleet: %d workers\n", fleet.worker_count());
+  std::printf("fleet: %d workers%s\n", fleet.worker_count(),
+              config.durable ? " (durable minikv shards)" : "");
   std::printf("%-8s %-6s %-6s\n", "worker", "up", "shard");
   for (int i = 0; i < fleet.worker_count(); ++i) {
     std::printf("%-8d %-6s %-6d\n", i, fleet.worker_up(i) ? "yes" : "no",
@@ -139,19 +167,52 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(c.quarantines),
       static_cast<unsigned long long>(c.drains),
       static_cast<unsigned long long>(c.requeues));
+
+  if (config.durable) {
+    const std::string durable_dir = fleet.durable_dir();
+    std::printf(
+        "load: requests=%llu acked=%llu errors=%llu unanswered=%llu "
+        "lost=%llu\n",
+        static_cast<unsigned long long>(kv_result.requests),
+        static_cast<unsigned long long>(kv_result.acked),
+        static_cast<unsigned long long>(kv_result.errors),
+        static_cast<unsigned long long>(kv_result.unanswered),
+        static_cast<unsigned long long>(kv_result.lost));
+    fleet.stop();
+    // The durability audit: recover every shard from host media and hold
+    // the fleet to its acks.
+    const fir::FleetDurabilityAudit audit =
+        fir::audit_fleet_durability(durable_dir, kv_result.acked_sets);
+    std::printf("audit: dir=%s checked=%llu missing=%llu\n",
+                durable_dir.c_str(),
+                static_cast<unsigned long long>(audit.checked),
+                static_cast<unsigned long long>(audit.missing));
+    for (const std::string& example : audit.examples)
+      std::printf("audit: LOST %s\n", example.c_str());
+    if (kv_result.lost != 0 || audit.missing != 0) {
+      std::fprintf(stderr,
+                   "fir_fleet: FAILED — %llu requests lost, %llu acked "
+                   "writes missing after recovery\n",
+                   static_cast<unsigned long long>(kv_result.lost),
+                   static_cast<unsigned long long>(audit.missing));
+      return 1;
+    }
+    return 0;
+  }
+
   std::printf(
       "load: requests=%llu answered=%llu (2xx=%llu 4xx=%llu 5xx=%llu) "
       "lost=%llu\n",
-      static_cast<unsigned long long>(result.requests),
-      static_cast<unsigned long long>(result.answered()),
-      static_cast<unsigned long long>(result.responses_2xx),
-      static_cast<unsigned long long>(result.responses_4xx),
-      static_cast<unsigned long long>(result.responses_5xx),
-      static_cast<unsigned long long>(result.lost));
+      static_cast<unsigned long long>(http_result.requests),
+      static_cast<unsigned long long>(http_result.answered()),
+      static_cast<unsigned long long>(http_result.responses_2xx),
+      static_cast<unsigned long long>(http_result.responses_4xx),
+      static_cast<unsigned long long>(http_result.responses_5xx),
+      static_cast<unsigned long long>(http_result.lost));
   fleet.stop();
-  if (result.lost != 0) {
+  if (http_result.lost != 0) {
     std::fprintf(stderr, "fir_fleet: FAILED — %llu requests lost\n",
-                 static_cast<unsigned long long>(result.lost));
+                 static_cast<unsigned long long>(http_result.lost));
     return 1;
   }
   return 0;
