@@ -5,8 +5,17 @@
 // survives any crash image); "batch" barriers at natural batch points
 // (minipg: COMMIT, minikv: every few records); "no" leaves the log in the
 // page cache, so a crash can lose the whole unsynced tail.
+//
+// Group commit (FIR_GROUP_COMMIT_MAX / FIR_GROUP_COMMIT_US) upgrades the
+// "batch" policy: instead of acking before the barrier, the server defers
+// the acks of consecutive mutations, retires the whole group with ONE
+// barrier, and only then flushes the replies. Acked-implies-durable at a
+// fraction of always-policy's barrier count (docs/DURABILITY.md §"Group
+// commit").
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -18,15 +27,6 @@ enum class FsyncPolicy {
   kNo,      // never barrier: page cache only
 };
 
-inline FsyncPolicy fsync_policy_from_env(FsyncPolicy fallback) {
-  const char* v = std::getenv("FIR_FSYNC_POLICY");
-  if (v == nullptr) return fallback;
-  if (std::strcmp(v, "always") == 0) return FsyncPolicy::kAlways;
-  if (std::strcmp(v, "batch") == 0) return FsyncPolicy::kBatch;
-  if (std::strcmp(v, "no") == 0) return FsyncPolicy::kNo;
-  return fallback;
-}
-
 inline const char* fsync_policy_name(FsyncPolicy p) {
   switch (p) {
     case FsyncPolicy::kAlways: return "always";
@@ -34,6 +34,74 @@ inline const char* fsync_policy_name(FsyncPolicy p) {
     case FsyncPolicy::kNo: return "no";
   }
   return "?";
+}
+
+inline FsyncPolicy fsync_policy_from_env(FsyncPolicy fallback) {
+  const char* v = std::getenv("FIR_FSYNC_POLICY");
+  if (v == nullptr) return fallback;
+  if (std::strcmp(v, "always") == 0) return FsyncPolicy::kAlways;
+  if (std::strcmp(v, "batch") == 0) return FsyncPolicy::kBatch;
+  if (std::strcmp(v, "no") == 0) return FsyncPolicy::kNo;
+  std::fprintf(stderr,
+               "fir: unrecognized FIR_FSYNC_POLICY '%s' "
+               "(want always|batch|no), using '%s'\n",
+               v, fsync_policy_name(fallback));
+  return fallback;
+}
+
+/// Group-commit configuration (active only under FsyncPolicy::kBatch).
+struct GroupCommitConfig {
+  /// Deferred-ack budget: a barrier retires the group as soon as this many
+  /// acks are queued. 0 disables group commit (legacy batch semantics);
+  /// servers clamp to kMaxAcks.
+  std::uint32_t max_acks = 0;
+  /// Upper bound (virtual-clock microseconds) an ack may sit queued across
+  /// event-loop passes. 0 retires any pending group at the end of every
+  /// pass — the lowest-latency setting, and still one barrier per
+  /// pipelined batch.
+  std::uint32_t window_us = 0;
+
+  static constexpr std::uint32_t kMaxAcks = 64;
+
+  bool enabled() const { return max_acks > 0; }
+};
+
+/// Reads FIR_GROUP_COMMIT_MAX / FIR_GROUP_COMMIT_US over `fallback`,
+/// warning (one line each) about unparseable or out-of-range values the
+/// same way fsync_policy_from_env does.
+inline GroupCommitConfig group_commit_from_env(GroupCommitConfig fallback) {
+  GroupCommitConfig c = fallback;
+  if (const char* v = std::getenv("FIR_GROUP_COMMIT_MAX")) {
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 0) {
+      std::fprintf(stderr,
+                   "fir: unrecognized FIR_GROUP_COMMIT_MAX '%s' "
+                   "(want 0..%u), using %u\n",
+                   v, GroupCommitConfig::kMaxAcks, c.max_acks);
+    } else if (n > static_cast<long>(GroupCommitConfig::kMaxAcks)) {
+      std::fprintf(stderr,
+                   "fir: FIR_GROUP_COMMIT_MAX %ld exceeds the ack-queue "
+                   "capacity, clamping to %u\n",
+                   n, GroupCommitConfig::kMaxAcks);
+      c.max_acks = GroupCommitConfig::kMaxAcks;
+    } else {
+      c.max_acks = static_cast<std::uint32_t>(n);
+    }
+  }
+  if (const char* v = std::getenv("FIR_GROUP_COMMIT_US")) {
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 0) {
+      std::fprintf(stderr,
+                   "fir: unrecognized FIR_GROUP_COMMIT_US '%s' "
+                   "(want microseconds >= 0), using %u\n",
+                   v, c.window_us);
+    } else {
+      c.window_us = static_cast<std::uint32_t>(n);
+    }
+  }
+  return c;
 }
 
 }  // namespace fir

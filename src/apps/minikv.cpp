@@ -58,6 +58,9 @@ Status Minikv::start(std::uint16_t port) {
 
 void Minikv::stop() {
   if (!running_) return;
+  // Shutdown must not strand queued acks: retire any pending group so the
+  // last batch's mutations hit the log before the fds close.
+  if (gc_pending_ > 0) retire_group();
   FIR_QUIESCE(fx_);
   fx_.mgr().clear_anchor();
   for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
@@ -90,6 +93,7 @@ void Minikv::run_once() {
   const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
   if (n < 0) {
     HSFI_POINT(fx_.hsfi(), "ae_loop_retry", /*critical=*/true);
+    maybe_retire_group();
     FIR_QUIESCE(fx_);
     fx_.mgr().clear_anchor();
     return;
@@ -107,6 +111,7 @@ void Minikv::run_once() {
     }
     client_readable(events[i].fd, conn);
   }
+  maybe_retire_group();
   FIR_QUIESCE(fx_);
   fx_.mgr().clear_anchor();
 }
@@ -290,6 +295,9 @@ bool Minikv::aof_append(std::string_view line) {
     FIR_LOG(kWarn) << "minikv: AOF append failed";
     return false;
   }
+  // Group commit: the barrier moves to retire_group(), which covers every
+  // queued mutation at once before any of their acks flush.
+  if (gc_active()) return true;
   if (fsync_policy_ == FsyncPolicy::kAlways ||
       (fsync_policy_ == FsyncPolicy::kBatch &&
        ++aof_unsynced_ >= kAofBatchRecords)) {
@@ -368,7 +376,7 @@ void Minikv::cmd_set(int fd, std::string_view key, std::string_view value) {
   }
   dirty_ += 1;
   counters_.requests_ok += 1;
-  reply(fd, "+OK\r\n", 5);
+  defer_or_reply(fd, "+OK\r\n", 5);
 }
 
 bool Minikv::purge_if_expired(std::string_view key) {
@@ -549,8 +557,13 @@ void Minikv::cmd_del(int fd, std::string_view key) {
   const bool erased = db_.erase(key);
   expires_.erase(key);
   if (erased) dirty_ += 1;
-  reply(fd, erased ? ":1\r\n" : ":0\r\n", 4);
   counters_.requests_ok += 1;
+  // Only an erased key wrote an AOF record, so only that ack defers.
+  if (erased) {
+    defer_or_reply(fd, ":1\r\n", 4);
+  } else {
+    reply(fd, ":0\r\n", 4);
+  }
 }
 
 void Minikv::cmd_incr(int fd, std::string_view key) {
@@ -669,6 +682,14 @@ void Minikv::cmd_save(int fd) {
 }
 
 void Minikv::reply(int fd, const char* data, std::size_t len) {
+  // A direct reply must never overtake queued acks (a GET answered before
+  // the SET preceding it was acked would reorder the client's view), so any
+  // pending group retires first.
+  if (gc_pending_ > 0) retire_group();
+  send_all(fd, data, len);
+}
+
+void Minikv::send_all(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
     const ssize_t w = FIR_SEND(fx_, fd, data + off, len - off);
@@ -680,6 +701,60 @@ void Minikv::reply(int fd, const char* data, std::size_t len) {
       return;
     }
     off += static_cast<std::size_t>(w);
+  }
+}
+
+void Minikv::defer_or_reply(int fd, const char* data, std::size_t len) {
+  if (!gc_active() || len > sizeof(GcAck{}.buf)) {
+    reply(fd, data, len);
+    return;
+  }
+  // Slot bytes land before the tracked count bump: a rollback mid-command
+  // restores the count and the half-written slot is dead.
+  GcAck& slot = gc_acks_[gc_pending_];
+  slot.fd = fd;
+  slot.len = static_cast<std::uint32_t>(len);
+  std::memcpy(slot.buf, data, len);
+  if (gc_pending_ == 0) gc_since_ns_ = fx_.env().clock().now_ns();
+  tx_store(gc_pending_, gc_pending_ + 1);
+  acks_deferred_ += 1;
+  if (gc_pending_ >= group_commit_.max_acks) retire_group();
+}
+
+bool Minikv::retire_group() {
+  if (gc_pending_ == 0) return true;
+  HSFI_POINT(fx_.hsfi(), "group_commit", /*critical=*/false);
+  // One barrier covers the whole group; only then do the acks flush.
+  const bool ok = FIR_FSYNC(fx_, aof_fd_) != -1;
+  if (ok) {
+    group_commits_ += 1;
+    aof_unsynced_ = 0;
+  } else {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "group_fsync_failed");
+    FIR_LOG(kWarn) << "minikv: group-commit fsync failed";
+  }
+  const std::uint32_t n = gc_pending_;
+  tx_store(gc_pending_, 0u);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GcAck& ack = gc_acks_[i];
+    if (ok) {
+      send_all(ack.fd, ack.buf, ack.len);
+    } else {
+      // The mutations may not be durable: acked-implies-durable demands the
+      // queued positive acks become errors.
+      send_all(ack.fd, "-ERR persistence failure\r\n", 26);
+    }
+  }
+  return ok;
+}
+
+void Minikv::maybe_retire_group() {
+  if (gc_pending_ == 0) return;
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(group_commit_.window_us) * 1000;
+  if (window_ns == 0 ||
+      fx_.env().clock().now_ns() - gc_since_ns_ >= window_ns) {
+    retire_group();
   }
 }
 

@@ -54,6 +54,18 @@ class Minikv final : public Server {
   void set_fsync_policy(FsyncPolicy p) { fsync_policy_ = p; }
   FsyncPolicy fsync_policy() const { return fsync_policy_; }
 
+  /// Group commit (policy "batch" only): mutating commands queue their
+  /// replies and one barrier retires the whole group before any ack
+  /// flushes — acked-implies-durable at a fraction of always-policy's
+  /// barrier count. Defaults to the FIR_GROUP_COMMIT_* knobs (off unless
+  /// set); call before start().
+  void set_group_commit(GroupCommitConfig gc) {
+    if (gc.max_acks > GroupCommitConfig::kMaxAcks)
+      gc.max_acks = GroupCommitConfig::kMaxAcks;
+    group_commit_ = gc;
+  }
+  const GroupCommitConfig& group_commit() const { return group_commit_; }
+
  private:
   struct Conn {
     std::int32_t fd;
@@ -83,6 +95,22 @@ class Minikv final : public Server {
   /// when the key was expired (and is now gone).
   bool purge_if_expired(std::string_view key);
   void reply(int fd, const char* data, std::size_t len);
+  /// Raw reply transmission (no group-commit interaction).
+  void send_all(int fd, const char* data, std::size_t len);
+  /// Group commit: true when deferred acks are in force (AOF on, policy
+  /// "batch", nonzero ack budget).
+  bool gc_active() const {
+    return aof_enabled_ && aof_fd_ >= 0 &&
+           fsync_policy_ == FsyncPolicy::kBatch && group_commit_.enabled();
+  }
+  /// Queues a mutation's ack for the next group retirement (or replies
+  /// directly when group commit is off).
+  void defer_or_reply(int fd, const char* data, std::size_t len);
+  /// One barrier covers every queued mutation, then all acks flush (error
+  /// acks on barrier failure). Returns false when the fsync failed.
+  bool retire_group();
+  /// End-of-pass retirement honoring the FIR_GROUP_COMMIT_US window.
+  void maybe_retire_group();
   void close_conn(int fd, Conn* conn);
   /// Appends one mutation record to the AOF (no-op when AOF is off).
   /// Returns false when the append failed (callers reply -ERR).
@@ -113,6 +141,19 @@ class Minikv final : public Server {
   std::size_t aof_torn_bytes_ = 0;
   FsyncPolicy fsync_policy_ = fsync_policy_from_env(FsyncPolicy::kAlways);
   std::uint32_t aof_unsynced_ = 0;  // records since the last batch barrier
+
+  /// One deferred ack. Slots at or past gc_pending_ are dead, so a command
+  /// that queues an ack and then rolls back leaves no trace: the tracked
+  /// count snaps back and the slot bytes are never read.
+  struct GcAck {
+    std::int32_t fd;
+    std::uint32_t len;
+    char buf[40];
+  };
+  GroupCommitConfig group_commit_ = group_commit_from_env({});
+  GcAck gc_acks_[GroupCommitConfig::kMaxAcks];
+  std::uint32_t gc_pending_ = 0;   // mutated via tx_store (rollback-safe)
+  std::uint64_t gc_since_ns_ = 0;  // virtual time the oldest ack queued at
 };
 
 }  // namespace fir

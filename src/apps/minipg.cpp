@@ -93,6 +93,9 @@ Status Minipg::start(std::uint16_t port) {
 
 void Minipg::stop() {
   if (!running_) return;
+  // Shutdown must not strand queued acks: retire any pending group so the
+  // last batch's statements hit the WAL before the fds close.
+  if (gc_pending_ > 0) retire_group();
   FIR_QUIESCE(fx_);
   fx_.mgr().clear_anchor();
   for (std::size_t fd = 0; fd < fd_conn_.size(); ++fd) {
@@ -123,6 +126,7 @@ void Minipg::run_once() {
   const int n = FIR_EPOLL_WAIT(fx_, epfd_, events, kMaxEvents);
   if (n < 0) {
     HSFI_POINT(fx_.hsfi(), "postmaster_retry", /*critical=*/true);
+    maybe_retire_group();
     FIR_QUIESCE(fx_);
     fx_.mgr().clear_anchor();
     return;
@@ -140,6 +144,7 @@ void Minipg::run_once() {
     }
     client_readable(events[i].fd, conn);
   }
+  maybe_retire_group();
   FIR_QUIESCE(fx_);
   fx_.mgr().clear_anchor();
 }
@@ -389,7 +394,7 @@ void Minipg::execute_sql(int fd, Conn* conn, const char* line,
     }
     shm_stats_bump(0);
     counters_.requests_ok += 1;
-    reply(fd, "CREATE TABLE\n", 13);
+    defer_or_reply(fd, "CREATE TABLE\n", 13);
     return;
   }
 
@@ -404,8 +409,16 @@ void Minipg::execute_sql(int fd, Conn* conn, const char* line,
     HSFI_POINT(fx_.hsfi(), "commit_fsync", /*critical=*/false);
     // Commit durability: fsync the WAL (irrecoverable transaction). Under
     // policy "no" the flush is skipped and the commit rides the page cache.
-    if (fsync_policy_ != FsyncPolicy::kNo &&
-        FIR_FSYNC(fx_, wal_fd_) == -1) {
+    // Group commit retires the queued acks with the same barrier (and skips
+    // it entirely when nothing is pending — everything already retired).
+    if (gc_active()) {
+      if (!retire_group()) {
+        reply(fd, "ERROR: fsync failed\n", 20);
+        counters_.responses_5xx += 1;
+        return;
+      }
+    } else if (fsync_policy_ != FsyncPolicy::kNo &&
+               FIR_FSYNC(fx_, wal_fd_) == -1) {
       reply(fd, "ERROR: fsync failed\n", 20);
       counters_.responses_5xx += 1;
       return;
@@ -482,7 +495,7 @@ void Minipg::execute_sql(int fd, Conn* conn, const char* line,
       tx_store(table_names_[i].used, static_cast<std::uint8_t>(0));
       shm_stats_bump(4);
       counters_.requests_ok += 1;
-      reply(fd, "DROP TABLE\n", 11);
+      defer_or_reply(fd, "DROP TABLE\n", 11);
       return;
     }
     counters_.responses_4xx += 1;
@@ -606,7 +619,8 @@ void Minipg::execute_sql(int fd, Conn* conn, const char* line,
     HSFI_POINT(fx_.hsfi(), "heap_delete_apply", /*critical=*/false);
     const bool erased = table->erase(key);
     shm_stats_bump(2);
-    reply(fd, erased ? "DELETE 1\n" : "DELETE 0\n", 9);
+    // DELETE always wal-logs (even a miss), so both acks defer.
+    defer_or_reply(fd, erased ? "DELETE 1\n" : "DELETE 0\n", 9);
     counters_.requests_ok += 1;
     return;
   }
@@ -647,11 +661,19 @@ void Minipg::execute_sql(int fd, Conn* conn, const char* line,
   }
   shm_stats_bump(3);
   counters_.requests_ok += 1;
-  reply(fd, verb == "INSERT" ? "INSERT 0 1\n" : "UPDATE 1\n",
-        verb == "INSERT" ? 11 : 9);
+  defer_or_reply(fd, verb == "INSERT" ? "INSERT 0 1\n" : "UPDATE 1\n",
+                 verb == "INSERT" ? 11 : 9);
 }
 
 void Minipg::reply(int fd, const char* data, std::size_t len) {
+  // A direct reply must never overtake queued acks (a SELECT answered
+  // before the INSERT preceding it was acked would reorder the client's
+  // view), so any pending group retires first.
+  if (gc_pending_ > 0) retire_group();
+  send_all(fd, data, len);
+}
+
+void Minipg::send_all(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
     const ssize_t w = FIR_SEND(fx_, fd, data + off, len - off);
@@ -663,6 +685,59 @@ void Minipg::reply(int fd, const char* data, std::size_t len) {
       return;
     }
     off += static_cast<std::size_t>(w);
+  }
+}
+
+void Minipg::defer_or_reply(int fd, const char* data, std::size_t len) {
+  if (!gc_active() || len > sizeof(GcAck{}.buf)) {
+    reply(fd, data, len);
+    return;
+  }
+  // Slot bytes land before the tracked count bump: a rollback mid-statement
+  // restores the count and the half-written slot is dead.
+  GcAck& slot = gc_acks_[gc_pending_];
+  slot.fd = fd;
+  slot.len = static_cast<std::uint32_t>(len);
+  std::memcpy(slot.buf, data, len);
+  if (gc_pending_ == 0) gc_since_ns_ = fx_.env().clock().now_ns();
+  tx_store(gc_pending_, gc_pending_ + 1);
+  acks_deferred_ += 1;
+  if (gc_pending_ >= group_commit_.max_acks) retire_group();
+}
+
+bool Minipg::retire_group() {
+  if (gc_pending_ == 0) return true;
+  HSFI_POINT(fx_.hsfi(), "group_commit", /*critical=*/false);
+  // One barrier covers the whole group; only then do the acks flush.
+  const bool ok = FIR_FSYNC(fx_, wal_fd_) != -1;
+  if (ok) {
+    group_commits_ += 1;
+  } else {
+    HSFI_HANDLER_POINT(fx_.hsfi(), "group_fsync_failed");
+    FIR_LOG(kWarn) << "minipg: group-commit fsync failed";
+  }
+  const std::uint32_t n = gc_pending_;
+  tx_store(gc_pending_, 0u);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GcAck& ack = gc_acks_[i];
+    if (ok) {
+      send_all(ack.fd, ack.buf, ack.len);
+    } else {
+      // The statements may not be durable: acked-implies-durable demands
+      // the queued positive acks become errors.
+      send_all(ack.fd, "ERROR: fsync failed\n", 20);
+    }
+  }
+  return ok;
+}
+
+void Minipg::maybe_retire_group() {
+  if (gc_pending_ == 0) return;
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(group_commit_.window_us) * 1000;
+  if (window_ns == 0 ||
+      fx_.env().clock().now_ns() - gc_since_ns_ >= window_ns) {
+    retire_group();
   }
 }
 

@@ -60,6 +60,17 @@ class Minipg final : public Server {
   void set_fsync_policy(FsyncPolicy p) { fsync_policy_ = p; }
   FsyncPolicy fsync_policy() const { return fsync_policy_; }
 
+  /// Group commit (policy "batch" only): DML/DDL acks queue until one
+  /// barrier retires the group (at COMMIT, a full queue, or end of pass) —
+  /// acked-implies-durable without a barrier per statement. Defaults to the
+  /// FIR_GROUP_COMMIT_* knobs (off unless set); call before start().
+  void set_group_commit(GroupCommitConfig gc) {
+    if (gc.max_acks > GroupCommitConfig::kMaxAcks)
+      gc.max_acks = GroupCommitConfig::kMaxAcks;
+    group_commit_ = gc;
+  }
+  const GroupCommitConfig& group_commit() const { return group_commit_; }
+
  private:
   struct Conn {
     std::int32_t fd;
@@ -89,6 +100,19 @@ class Minipg final : public Server {
   /// Shared-memory stats bump (irrecoverable interaction).
   void shm_stats_bump(std::uint32_t counter_index);
   void reply(int fd, const char* data, std::size_t len);
+  /// Raw reply transmission (no group-commit interaction).
+  void send_all(int fd, const char* data, std::size_t len);
+  /// Group commit: true when deferred acks are in force.
+  bool gc_active() const {
+    return wal_fd_ >= 0 && fsync_policy_ == FsyncPolicy::kBatch &&
+           group_commit_.enabled();
+  }
+  void defer_or_reply(int fd, const char* data, std::size_t len);
+  /// One barrier covers every queued statement, then all acks flush (error
+  /// acks on barrier failure). Returns false when the fsync failed.
+  bool retire_group();
+  /// End-of-pass retirement honoring the FIR_GROUP_COMMIT_US window.
+  void maybe_retire_group();
   void close_conn(int fd, Conn* conn);
   Conn* conn_of(int fd);
 
@@ -107,6 +131,18 @@ class Minipg final : public Server {
   std::size_t wal_replayed_ = 0;
   std::size_t wal_torn_bytes_ = 0;
   FsyncPolicy fsync_policy_ = fsync_policy_from_env(FsyncPolicy::kBatch);
+
+  /// One deferred ack (see Minikv::GcAck: slots past gc_pending_ are dead,
+  /// so rollbacks leave no trace).
+  struct GcAck {
+    std::int32_t fd;
+    std::uint32_t len;
+    char buf[40];
+  };
+  GroupCommitConfig group_commit_ = group_commit_from_env({});
+  GcAck gc_acks_[GroupCommitConfig::kMaxAcks];
+  std::uint32_t gc_pending_ = 0;   // mutated via tx_store (rollback-safe)
+  std::uint64_t gc_since_ns_ = 0;  // virtual time the oldest ack queued at
 };
 
 }  // namespace fir

@@ -59,10 +59,25 @@ class Server {
   const ServerCounters& counters() const { return counters_; }
 
  protected:
-  explicit Server(TxManagerConfig config) : fx_(config) {}
+  explicit Server(TxManagerConfig config) : fx_(config) {
+    // Snapshot-time publication of the durable write path's cost profile
+    // (docs/OBSERVABILITY.md): the VFS keeps the tallies, a collector
+    // copies them out so barriers stay free of registry traffic.
+    fx_.mgr().obs().metrics().add_collector([this](obs::MetricsRegistry& m) {
+      const PersistStats& s = fx_.env().vfs().persist_stats();
+      m.counter("persist.barriers").set(s.barriers);
+      m.counter("persist.bytes_synced").set(s.bytes_synced);
+      m.counter("persist.bytes_elided").set(s.bytes_elided);
+      m.counter("persist.group_commits").set(group_commits_);
+      m.counter("persist.acks_deferred").set(acks_deferred_);
+    });
+  }
 
   Fx fx_;
   ServerCounters counters_;
+  /// Group-commit tallies (durable servers bump these; published above).
+  std::uint64_t group_commits_ = 0;
+  std::uint64_t acks_deferred_ = 0;
 };
 
 }  // namespace fir

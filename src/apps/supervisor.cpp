@@ -273,69 +273,69 @@ std::size_t scan_kv_reply(const std::string& rx, int* status) {
 
 /// Replays one batch of KV command lines against the worker's in-process
 /// minikv through the virtual network (the durable-fleet analogue of
-/// serve_batch). One persistent connection, one reply per command.
+/// serve_batch). Pipelined: every still-unanswered command goes out before
+/// any reply is read, so a group-commit server retires the whole batch
+/// with ONE barrier instead of one per command. Replies come back in
+/// order, so status i belongs to pipelined command i.
 std::vector<int> serve_kv_batch(Minikv& kv,
                                 const std::vector<std::string>& targets) {
   Env& env = kv.fx().env();
   std::vector<int> statuses(targets.size(), 0);
-  int fd = -1;
-  std::string rx;
   char buf[4096];
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    for (int attempt = 0; attempt < 3 && statuses[i] == 0; ++attempt) {
-      if (fd < 0) {
-        fd = env.connect_to(kv.port());
-        rx.clear();
-        if (fd < 0) break;  // listener gone (stopping): leave status 0
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (statuses[i] == 0) pending.push_back(i);
+    }
+    if (pending.empty()) break;
+    const int fd = env.connect_to(kv.port());
+    if (fd < 0) break;  // listener gone (stopping): leave statuses 0
+    std::string req;
+    for (const std::size_t i : pending) {
+      req += targets[i];
+      req += "\r\n";
+    }
+    std::string rx;
+    std::size_t off = 0;
+    std::size_t answered = 0;
+    int stalls = 0;
+    bool dead = false;
+    while (off < req.size() && !dead) {
+      const ssize_t w = env.send(fd, req.data() + off, req.size() - off);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        stalls = 0;
+        continue;
       }
-      const std::string req = targets[i] + "\r\n";
-      std::size_t off = 0;
-      bool dead = false;
-      int stalls = 0;
-      while (off < req.size()) {
-        const ssize_t w = env.send(fd, req.data() + off, req.size() - off);
-        if (w > 0) {
-          off += static_cast<std::size_t>(w);
-          stalls = 0;
+      kv.run_once();  // let the server drain its side of the pipe
+      if (++stalls > 1000) dead = true;
+    }
+    stalls = 0;
+    while (!dead && answered < pending.size()) {
+      kv.run_once();
+      for (;;) {
+        const ssize_t r = env.recv(fd, buf, sizeof(buf));
+        if (r > 0) {
+          rx.append(buf, static_cast<std::size_t>(r));
           continue;
         }
-        kv.run_once();
-        if (++stalls > 1000) {
-          dead = true;
-          break;
-        }
+        if (r == 0 || env.last_errno() != EAGAIN) dead = true;
+        break;
       }
-      while (!dead) {
-        kv.run_once();
-        for (;;) {
-          const ssize_t r = env.recv(fd, buf, sizeof(buf));
-          if (r > 0) {
-            rx.append(buf, static_cast<std::size_t>(r));
-            continue;
-          }
-          if (r == 0 || env.last_errno() != EAGAIN) dead = true;
-          break;
-        }
+      for (;;) {
         int status = 0;
         const std::size_t used = scan_kv_reply(rx, &status);
-        if (used > 0) {
-          statuses[i] = status;
-          rx.erase(0, used);
-          break;
-        }
-        if (dead) break;  // EOF without a full reply: retry fresh
-        if (++stalls > 10000) {
-          dead = true;
-          break;
-        }
+        if (used == 0) break;
+        statuses[pending[answered]] = status;
+        ++answered;
+        rx.erase(0, used);
+        stalls = 0;
+        if (answered == pending.size()) break;
       }
-      if (dead) {
-        env.close(fd);
-        fd = -1;
-      }
+      if (!dead && answered < pending.size() && ++stalls > 10000) dead = true;
     }
+    env.close(fd);
   }
-  if (fd >= 0) env.close(fd);
   return statuses;
 }
 
@@ -394,7 +394,15 @@ void fleet_worker_main(int ctrl_fd, const FleetConfig& config, int shard) {
                                              std::to_string(shard)))
       _exit(64);
     kv->enable_aof(true);
-    kv->set_fsync_policy(FsyncPolicy::kAlways);
+    if (config.group_commit_max > 0) {
+      // Group commit: acks defer until one barrier retires the batch —
+      // still acked-implies-durable, at a fraction of the barriers.
+      kv->set_fsync_policy(FsyncPolicy::kBatch);
+      kv->set_group_commit(
+          {config.group_commit_max, config.group_commit_window_us});
+    } else {
+      kv->set_fsync_policy(FsyncPolicy::kAlways);
+    }
     if (!kv->start(port).is_ok()) _exit(64);
   } else {
     mg = std::make_unique<Miniginx>();
@@ -522,6 +530,12 @@ FleetConfig FleetConfig::from_env(FleetConfig base) {
   }
   if (const char* v = std::getenv("FIR_FLEET_DURABLE_DIR")) {
     c.durable_dir = v;
+  }
+  {
+    GroupCommitConfig gc{c.group_commit_max, c.group_commit_window_us};
+    gc = group_commit_from_env(gc);
+    c.group_commit_max = gc.max_acks;
+    c.group_commit_window_us = gc.window_us;
   }
   return c;
 }

@@ -105,6 +105,15 @@ struct FleetConfig {
   /// subdirectory per shard. Empty = a fresh mkdtemp under /tmp at
   /// start() (the resolved path is visible via config passed to workers).
   std::string durable_dir;
+  /// FIR_GROUP_COMMIT_MAX: durable shards run policy "batch" with group
+  /// commit — up to this many acks defer behind one barrier, still
+  /// acked-implies-durable (docs/DURABILITY.md §Group commit). 0 falls
+  /// back to policy "always" (one barrier per mutation). Default on: a
+  /// pipelined batch retires with one barrier instead of one per command.
+  std::uint32_t group_commit_max = 8;
+  /// FIR_GROUP_COMMIT_US: how long (virtual µs) an ack may sit queued
+  /// across event-loop passes (0 = retire at the end of every pass).
+  std::uint32_t group_commit_window_us = 0;
   /// When non-empty, the supervisor appends one JSON object per fleet
   /// event to this file (the CI artifact).
   std::string event_log_path;

@@ -37,7 +37,8 @@ TxManagerConfig harness_cfg() {
 class Adapter {
  public:
   virtual ~Adapter() = default;
-  virtual std::unique_ptr<Server> make() const = 0;
+  virtual std::unique_ptr<Server> make(
+      const CrashTestOptions& options) const = 0;
   virtual const std::vector<std::string>& commands() const = 0;
   /// True when the command changes replayable durable state.
   virtual bool is_mutation(const std::string& cmd) const = 0;
@@ -61,10 +62,12 @@ std::string first_token(std::string_view& input) {
 
 class MinikvAdapter final : public Adapter {
  public:
-  std::unique_ptr<Server> make() const override {
+  std::unique_ptr<Server> make(
+      const CrashTestOptions& options) const override {
     auto server = std::make_unique<Minikv>(harness_cfg());
     server->enable_aof(true);
-    server->set_fsync_policy(FsyncPolicy::kAlways);
+    server->set_fsync_policy(options.policy);
+    server->set_group_commit({options.group_commit_max, 0});
     return server;
   }
 
@@ -128,9 +131,11 @@ class MinikvAdapter final : public Adapter {
 
 class MinipgAdapter final : public Adapter {
  public:
-  std::unique_ptr<Server> make() const override {
+  std::unique_ptr<Server> make(
+      const CrashTestOptions& options) const override {
     auto server = std::make_unique<Minipg>(harness_cfg());
-    server->set_fsync_policy(FsyncPolicy::kAlways);
+    server->set_fsync_policy(options.policy);
+    server->set_group_commit({options.group_commit_max, 0});
     return server;
   }
 
@@ -277,10 +282,11 @@ struct Recording {
   std::string error;
 };
 
-Recording record_phase(const Adapter& a) {
+Recording record_phase(const Adapter& a,
+                       const CrashTestOptions& options) {
   Recording rec;
   rec.prefix_states.push_back({});
-  auto server = a.make();
+  auto server = a.make(options);
   if (!server->start(0).is_ok()) {
     rec.error = "record-phase start failed";
     return rec;
@@ -344,7 +350,7 @@ CrashPointResult run_point(const Adapter& a, const Recording& rec,
   CrashImageOptions image_opts;
   image_opts.torn_tail_bytes = options.torn_tail_bytes;
   image_opts.torn_bit_flip = options.torn_bit_flip;
-  auto victim = a.make();
+  auto victim = a.make(options);
   victim->fx().env().arm_crash_capture(k, image_opts);
   if (!victim->start(0).is_ok()) {
     r.detail = "victim start failed";
@@ -361,7 +367,7 @@ CrashPointResult run_point(const Adapter& a, const Recording& rec,
   }
 
   // "Reboot": a fresh instance inherits only the crash image.
-  auto recovered = a.make();
+  auto recovered = a.make(options);
   recovered->fx().env().vfs().import_from(
       victim->fx().env().captured_crash_image());
   victim->stop();
@@ -389,7 +395,7 @@ CrashPointResult run_point(const Adapter& a, const Recording& rec,
   // Recover the recovered state once more: must be a fixed point.
   Vfs handoff;
   handoff.import_from(recovered->fx().env().vfs());
-  auto again = a.make();
+  auto again = a.make(options);
   again->fx().env().vfs().import_from(handoff);
   if (again->start(0).is_ok()) {
     r.replay_idempotent =
@@ -497,7 +503,7 @@ CrashTestReport run_crash_test(const CrashTestOptions& options) {
     report.points.push_back(bad);
     return report;
   }
-  const Recording rec = record_phase(*adapter);
+  const Recording rec = record_phase(*adapter, options);
   if (!rec.error.empty()) {
     CrashPointResult bad;
     bad.detail = rec.error;
@@ -532,6 +538,9 @@ std::string result_jsonl(const CrashTestOptions& options,
   std::ostringstream os;
   os << "{\"server\":" << campaign::Json::string(options.server).dump()
      << ",\"crash_op\":" << r.crash_op
+     << ",\"policy\":"
+     << campaign::Json::string(fsync_policy_name(options.policy)).dump()
+     << ",\"group_commit\":" << options.group_commit_max
      << ",\"torn\":" << options.torn_tail_bytes
      << ",\"flip\":" << (options.torn_bit_flip ? "true" : "false")
      << ",\"acked_prefix\":" << r.acked_prefix

@@ -27,10 +27,19 @@
 #include <string>
 #include <vector>
 
+#include "apps/fsync_policy.h"
+
 namespace fir::crashtest {
 
 struct CrashTestOptions {
   std::string server = "minikv";  // "minikv" or "minipg"
+  /// Durability policy the servers run under. "always" acks after its own
+  /// barrier; "batch" needs group_commit_max > 0 to keep the acked-durable
+  /// invariant (acks defer until one barrier retires the group).
+  FsyncPolicy policy = FsyncPolicy::kAlways;
+  /// Group-commit ack budget (0 = off). Pass with policy kBatch to exercise
+  /// the deferred-ack path under the full crash-point matrix.
+  std::uint32_t group_commit_max = 0;
   /// Torn-write knob: keep this many unsynced tail bytes in every crash
   /// image (0 = clean write-back boundary).
   std::size_t torn_tail_bytes = 0;

@@ -66,6 +66,7 @@ int Env::open(std::string_view path, int flags) {
     mutated = true;
   } else if (flags & kTrunc) {
     mutated = !inode->data.empty();
+    inode->note_truncate(0);
     inode->data.clear();
   }
   const int fd = alloc_fd();
@@ -134,6 +135,7 @@ ssize_t Env::pwrite(int fd, const void* buf, std::size_t n,
   if (offset < 0) return errs(EINVAL);
   auto& data = e->file->inode->data;
   const std::size_t end = static_cast<std::size_t>(offset) + n;
+  e->file->inode->note_write(static_cast<std::size_t>(offset), n);
   if (end > data.size()) data.resize(end, '\0');
   std::memcpy(data.data() + offset, buf, n);
   if (n > 0) persist_op();
@@ -200,6 +202,7 @@ int Env::ftruncate(int fd, std::size_t length) {
   tick();
   FdEntry* e = entry(fd);
   if (e == nullptr || e->kind != FdKind::kFile) return err(EBADF);
+  e->file->inode->note_truncate(length);
   e->file->inode->data.resize(length, '\0');
   persist_op();
   return 0;

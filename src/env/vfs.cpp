@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
@@ -51,7 +52,10 @@ std::shared_ptr<Inode> Vfs::lookup(std::string_view path) const {
 std::shared_ptr<Inode> Vfs::create(std::string_view path, bool truncate) {
   auto it = files_.find(path);
   if (it != files_.end()) {
-    if (truncate) it->second->data.clear();
+    if (truncate) {
+      it->second->note_truncate(0);
+      it->second->data.clear();
+    }
     return it->second;
   }
   auto inode = std::make_shared<Inode>();
@@ -96,15 +100,60 @@ void Vfs::put_file(std::string_view path, std::string_view contents) {
   auto inode = create(path, /*truncate=*/true);
   inode->data.assign(contents.begin(), contents.end());
   inode->durable = inode->data;
+  inode->dirty = inode->prefix_dirty = false;
   durable_links_.insert_or_assign(std::string(path), inode);
   if (backed()) backing_write(path, inode->durable);
 }
 
 // --- durability -------------------------------------------------------------
 
+Vfs::SyncKind Vfs::classify_sync(const Inode& inode) {
+  if (!inode.dirty) {
+    if (inode.data.size() == inode.durable.size()) return SyncKind::kNoop;
+    // The images disagree without a recorded mutation: something mutated
+    // inode->data directly (tests do) — distrust the flags, copy in full.
+    return SyncKind::kFull;
+  }
+  // An append run: nothing below the durable prefix was touched and the
+  // volatile image is at least as long, so durable is still a verbatim
+  // prefix of data and the barrier only has to copy the tail.
+  if (!inode.prefix_dirty && inode.data.size() >= inode.durable.size())
+    return SyncKind::kDelta;
+  return SyncKind::kFull;
+}
+
+std::size_t Vfs::flush_inode(const std::shared_ptr<Inode>& inode,
+                             SyncKind kind) {
+  const std::size_t prev = inode->durable.size();
+  switch (kind) {
+    case SyncKind::kNoop:
+      persist_stats_.noop_syncs += 1;
+      persist_stats_.bytes_elided += prev;
+      break;
+    case SyncKind::kDelta:
+      inode->durable.insert(inode->durable.end(),
+                            inode->data.begin() +
+                                static_cast<std::ptrdiff_t>(prev),
+                            inode->data.end());
+      persist_stats_.delta_syncs += 1;
+      persist_stats_.bytes_synced += inode->data.size() - prev;
+      persist_stats_.bytes_elided += prev;
+      break;
+    case SyncKind::kFull:
+      inode->durable = inode->data;
+      persist_stats_.full_syncs += 1;
+      persist_stats_.bytes_synced += inode->data.size();
+      break;
+  }
+  inode->dirty = inode->prefix_dirty = false;
+  return prev;
+}
+
 void Vfs::sync_inode(const std::shared_ptr<Inode>& inode) {
   if (inode == nullptr) return;
-  inode->durable = inode->data;
+  persist_stats_.barriers += 1;
+  const SyncKind kind = classify_sync(*inode);
+  const std::size_t prev = flush_inode(inode, kind);
   // Persist the inode's current link(s): a journaled filesystem commits the
   // creation with the data, so create + write + fsync is a durable file
   // without a separate directory barrier. Stale durable names (a renamed-
@@ -112,20 +161,39 @@ void Vfs::sync_inode(const std::shared_ptr<Inode>& inode) {
   // sync_dir reorders the durable namespace.
   for (const auto& [name, node] : files_)
     if (node == inode) {
-      durable_links_.insert_or_assign(name, inode);
-      if (backed()) backing_write(name, inode->durable);
+      const auto dur = durable_links_.find(name);
+      const bool newly_linked =
+          dur == durable_links_.end() || dur->second != inode;
+      if (newly_linked) durable_links_.insert_or_assign(name, inode);
+      if (!backed()) continue;
+      // A name first linked by this barrier has no backing file to append
+      // to; delta-append only an already-linked name, full-write the rest.
+      if (newly_linked || kind == SyncKind::kFull) {
+        backing_write(name, inode->durable);
+      } else if (kind == SyncKind::kDelta) {
+        backing_append(name, inode->durable, prev);
+      }
     }
 }
 
 void Vfs::sync_inode_data(const std::shared_ptr<Inode>& inode) {
   if (inode == nullptr) return;
-  inode->durable = inode->data;
-  if (!backed()) return;
+  persist_stats_.barriers += 1;
+  const SyncKind kind = classify_sync(*inode);
+  const std::size_t prev = flush_inode(inode, kind);
+  if (!backed() || kind == SyncKind::kNoop) return;
   for (const auto& [name, node] : durable_links_)
-    if (node == inode) backing_write(name, inode->durable);
+    if (node == inode) {
+      if (kind == SyncKind::kDelta) {
+        backing_append(name, inode->durable, prev);
+      } else {
+        backing_write(name, inode->durable);
+      }
+    }
 }
 
 void Vfs::sync_dir(std::string_view dir) {
+  persist_stats_.barriers += 1;
   // Reconcile the durable name table with the volatile one for every path
   // whose parent directory is `dir`. Contents are NOT flushed: a rename
   // made durable before its data was synced exposes the target name bound
@@ -246,6 +314,32 @@ void Vfs::backing_write(std::string_view vpath,
   if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
   ::rename(tmp.c_str(), path.c_str());
+}
+
+void Vfs::backing_append(std::string_view vpath,
+                         const std::vector<char>& bytes, std::size_t from) {
+  if (from > bytes.size()) from = bytes.size();
+  const std::string path = backing_path(vpath);
+  // "r+b": the file must already exist (it does — the name was durably
+  // linked by an earlier barrier, which wrote it in full). A missing or
+  // unopenable file falls back to the SIGKILL-atomic temp+rename path.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    backing_write(vpath, bytes);
+    return;
+  }
+  bool ok = std::fseek(f, static_cast<long>(from), SEEK_SET) == 0;
+  const std::size_t delta = bytes.size() - from;
+  if (ok && delta > 0)
+    ok = std::fwrite(bytes.data() + from, 1, delta, f) == delta;
+  if (ok) {
+    std::fflush(f);
+    ::fdatasync(::fileno(f));
+    std::fclose(f);
+    return;
+  }
+  std::fclose(f);
+  backing_write(vpath, bytes);  // positional append failed: full rewrite
 }
 
 void Vfs::backing_remove(std::string_view vpath) {

@@ -16,6 +16,13 @@
 // filesystem a fresh process would see after a crash: durable names only,
 // durable bytes only, with an optional torn tail of in-flight unsynced
 // bytes (partial-sector last write).
+//
+// Barriers are incremental: each inode tracks whether (and where) it was
+// mutated since the last barrier, so fsync on an append-only log copies
+// only the appended delta — and writes through to host backing with a
+// positional append — instead of re-copying the whole file. Rewrites
+// inside the durable prefix fall back to the full copy; barriers on clean
+// inodes are no-ops. PersistStats accounts for the saved bytes.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,28 @@ struct Inode {
   /// Durable (stable-media) image: what survives a crash. Updated only by
   /// fsync/fdatasync.
   std::vector<char> durable;
+  /// Any volatile mutation since the last barrier. A barrier on a clean
+  /// inode copies nothing (the every-barrier full copy was O(file)).
+  bool dirty = false;
+  /// A mutation touched bytes below durable.size() (an overwrite inside the
+  /// durable prefix, or a truncate beneath it). Forces the next barrier to
+  /// take the full-copy path; a false value means the volatile image still
+  /// extends the durable one unchanged, so the barrier copies only the
+  /// appended delta.
+  bool prefix_dirty = false;
+
+  /// Mutation bookkeeping, called by every volatile write path *before* the
+  /// bytes land (the flags classify the write against the current durable
+  /// prefix).
+  void note_write(std::size_t offset, std::size_t n) {
+    if (n == 0) return;
+    dirty = true;
+    if (offset < durable.size()) prefix_dirty = true;
+  }
+  void note_truncate(std::size_t new_size) {
+    if (new_size != data.size()) dirty = true;
+    if (new_size < durable.size()) prefix_dirty = true;
+  }
 };
 
 /// How crash_image() treats bytes that were written but never synced.
@@ -46,6 +75,19 @@ struct CrashImageOptions {
   /// Corrupt the last included torn byte (media writing garbage mid-sector).
   /// Only meaningful with torn_tail_bytes > 0.
   bool torn_bit_flip = false;
+};
+
+/// Barrier-cost accounting (docs/DURABILITY.md §"Incremental barriers").
+/// The servers publish these as the persist.* obs counters; the durable
+/// throughput benchmark gates bytes_synced-per-barrier staying flat as the
+/// log grows (O(delta), not O(file)).
+struct PersistStats {
+  std::uint64_t barriers = 0;      // sync_inode + sync_inode_data + sync_dir
+  std::uint64_t bytes_synced = 0;  // bytes actually copied to durable images
+  std::uint64_t bytes_elided = 0;  // bytes the pre-delta code would have copied
+  std::uint64_t full_syncs = 0;    // barriers that took the full-copy path
+  std::uint64_t delta_syncs = 0;   // barriers that copied only an append run
+  std::uint64_t noop_syncs = 0;    // barriers on a clean inode
 };
 
 /// Name-to-inode mapping plus path-level operations.
@@ -126,19 +168,38 @@ class Vfs {
   bool backed() const { return !backing_dir_.empty(); }
   const std::string& backing_dir() const { return backing_dir_; }
 
+  /// Cumulative barrier-cost accounting since construction (crash images
+  /// start fresh).
+  const PersistStats& persist_stats() const { return persist_stats_; }
+
  private:
   /// Durable link table entry: name → inode + the durable bytes are the
   /// inode's `durable` image.
   using Table = std::map<std::string, std::shared_ptr<Inode>, std::less<>>;
 
+  /// How a barrier reconciles an inode's durable image with its volatile
+  /// one (classified from the dirty flags before any copying).
+  enum class SyncKind { kNoop, kDelta, kFull };
+  static SyncKind classify_sync(const Inode& inode);
+  /// Copies data -> durable along the classified path, updates the stats,
+  /// and clears the dirty flags. Returns the durable size *before* the copy
+  /// (the append-run start for backing writes).
+  std::size_t flush_inode(const std::shared_ptr<Inode>& inode, SyncKind kind);
+
   static std::string parent_dir(std::string_view path);
   std::string backing_path(std::string_view vpath) const;
   void backing_write(std::string_view vpath, const std::vector<char>& bytes);
+  /// O(delta) write-through: positionally appends bytes[from..) to the
+  /// existing backing file and fdatasyncs it. Falls back to the full
+  /// temp+rename write when the backing file cannot be opened in place.
+  void backing_append(std::string_view vpath, const std::vector<char>& bytes,
+                      std::size_t from);
   void backing_remove(std::string_view vpath);
 
   Table files_;          // volatile namespace
   Table durable_links_;  // durable namespace
   std::string backing_dir_;
+  PersistStats persist_stats_;
 };
 
 }  // namespace fir

@@ -45,8 +45,10 @@ constexpr FlagSpec kFlags[] = {
     {"--heartbeat-deadline-ms", "FIR_HEARTBEAT_DEADLINE_MS", true},
     {"--fleet-durable", "FIR_FLEET_DURABLE", false},
     {"--fleet-durable-dir", "FIR_FLEET_DURABLE_DIR", true},
-    // Durable-storage knob (apps/fsync_policy.h; minikv AOF / minipg WAL).
+    // Durable-storage knobs (apps/fsync_policy.h; minikv AOF / minipg WAL).
     {"--fsync-policy", "FIR_FSYNC_POLICY", true},
+    {"--group-commit-max", "FIR_GROUP_COMMIT_MAX", true},
+    {"--group-commit-us", "FIR_GROUP_COMMIT_US", true},
 };
 
 }  // namespace
@@ -110,7 +112,11 @@ const char* cli_flags_help() {
          "  --heartbeat-deadline-ms=N  silence treated as a hang\n"
          "  --fleet-durable       durable minikv shards (FIR_FLEET_DURABLE)\n"
          "  --fleet-durable-dir=PATH  host dir backing the shards' state\n"
-         "  --fsync-policy=P      always|batch|no (FIR_FSYNC_POLICY)\n";
+         "  --fsync-policy=P      always|batch|no (FIR_FSYNC_POLICY)\n"
+         "  --group-commit-max=N  acks deferred behind one barrier "
+         "(FIR_GROUP_COMMIT_MAX; 0 = off)\n"
+         "  --group-commit-us=N   max queue age across loop passes "
+         "(FIR_GROUP_COMMIT_US)\n";
 }
 
 }  // namespace fir::obs

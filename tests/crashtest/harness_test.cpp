@@ -47,6 +47,21 @@ TEST(CrashHarnessTest, MinipgSurvivesTornWrites) {
   expect_all_points_ok(run_crash_test(options));
 }
 
+TEST(CrashHarnessTest, GroupCommitHoldsInvariantsAtEveryPoint) {
+  // Policy "batch" + group commit: acks defer behind a group barrier, so
+  // the acked-durable invariant now depends on the ack queue never letting
+  // a reply overtake its barrier — clean and torn alike.
+  for (const char* server : {"minikv", "minipg"}) {
+    CrashTestOptions options = in_process(server);
+    options.policy = FsyncPolicy::kBatch;
+    options.group_commit_max = 8;
+    expect_all_points_ok(run_crash_test(options));
+    options.torn_tail_bytes = 5;
+    options.torn_bit_flip = true;
+    expect_all_points_ok(run_crash_test(options));
+  }
+}
+
 TEST(CrashHarnessTest, ForkedWorkersMatchInProcess) {
   CrashTestOptions options;
   options.server = "minikv";

@@ -182,6 +182,129 @@ TEST(VfsTest, HostBackingRoundTripsDurableState) {
   std::remove(dir.c_str());
 }
 
+// --- incremental barriers (docs/DURABILITY.md §Incremental barriers) -------
+// These tests go through note_write/note_truncate the way env.cpp's write
+// paths do; the earlier tests that assign inode->data directly exercise the
+// distrust-the-flags full-copy fallback instead.
+
+void append_bytes(const std::shared_ptr<Inode>& inode, std::string_view s) {
+  inode->note_write(inode->data.size(), s.size());
+  inode->data.insert(inode->data.end(), s.begin(), s.end());
+}
+
+TEST(VfsTest, AppendRunSyncsOnlyTheDelta) {
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  append_bytes(inode, "0123456789");
+  vfs.sync_inode(inode);
+  const PersistStats after_first = vfs.persist_stats();
+  EXPECT_EQ(after_first.bytes_synced, 10u);
+
+  append_bytes(inode, "abc");
+  vfs.sync_inode(inode);
+  const PersistStats s = vfs.persist_stats();
+  // The second barrier copied the 3-byte tail, not the 13-byte file.
+  EXPECT_EQ(s.bytes_synced, 13u);
+  EXPECT_EQ(s.bytes_elided, 10u);
+  EXPECT_EQ(s.delta_syncs, 2u);  // the first sync is also an append run
+  EXPECT_EQ(s.full_syncs, 0u);
+  EXPECT_EQ(contents(vfs.crash_image(), "/d/log"), "0123456789abc");
+}
+
+TEST(VfsTest, BarrierOnCleanInodeIsNoop) {
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  append_bytes(inode, "abc");
+  vfs.sync_inode(inode);
+  vfs.sync_inode(inode);  // nothing changed since the last barrier
+  const PersistStats s = vfs.persist_stats();
+  EXPECT_EQ(s.barriers, 2u);
+  EXPECT_EQ(s.noop_syncs, 1u);
+  EXPECT_EQ(s.bytes_synced, 3u);  // the noop copied nothing
+}
+
+TEST(VfsTest, RewriteInsideDurablePrefixTakesFullCopy) {
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  append_bytes(inode, "abcdef");
+  vfs.sync_inode(inode);
+
+  // Overwrite inside the durable prefix: durable is no longer a verbatim
+  // prefix of data, so the delta path would persist a torn hybrid.
+  inode->note_write(1, 2);
+  inode->data[1] = 'X';
+  inode->data[2] = 'Y';
+  vfs.sync_inode(inode);
+  const PersistStats s = vfs.persist_stats();
+  EXPECT_EQ(s.full_syncs, 1u);
+  EXPECT_EQ(contents(vfs.crash_image(), "/d/log"), "aXYdef");
+}
+
+TEST(VfsTest, TruncateThenAppendTakesFullCopy) {
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  append_bytes(inode, "abcdef");
+  vfs.sync_inode(inode);
+
+  // Truncate below the durable size, then append fresh bytes. The volatile
+  // image is SHORTER-then-regrown: an append-only delta would leave the old
+  // "def" tail fused under the new bytes.
+  inode->note_truncate(3);
+  inode->data.resize(3);
+  append_bytes(inode, "Z");
+  vfs.sync_inode(inode);
+  const PersistStats s = vfs.persist_stats();
+  EXPECT_EQ(s.full_syncs, 1u);
+  EXPECT_EQ(contents(vfs.crash_image(), "/d/log"), "abcZ");
+}
+
+TEST(VfsTest, TornTailSemanticsUnchangedOverDeltaSyncedFile) {
+  // Same scenario as TornTailKeepsPartialLastWrite, but the durable prefix
+  // was built by a delta barrier: the torn-tail window must still start at
+  // the durable boundary, not at the last full sync.
+  Vfs vfs;
+  auto inode = vfs.create("/d/log", false);
+  append_bytes(inode, "a");
+  vfs.sync_inode(inode);
+  append_bytes(inode, "b");
+  vfs.sync_inode(inode);  // delta sync: durable == "ab"
+  append_bytes(inode, "cdef");
+
+  CrashImageOptions torn;
+  torn.torn_tail_bytes = 3;
+  EXPECT_EQ(contents(vfs.crash_image(torn), "/d/log"), "abcde");
+  torn.torn_bit_flip = true;
+  const std::string flipped = contents(vfs.crash_image(torn), "/d/log");
+  ASSERT_EQ(flipped.size(), 5u);
+  EXPECT_EQ(flipped.substr(0, 4), "abcd");
+  EXPECT_NE(flipped[4], 'e');
+}
+
+TEST(VfsTest, HostBackedRenameSurvivesDeltaAppends) {
+  char tmpl[] = "/tmp/fir_vfs_ren_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  {
+    Vfs vfs;
+    ASSERT_TRUE(vfs.attach_backing(dir));
+    auto inode = vfs.create("/data/log", false);
+    append_bytes(inode, "one");
+    vfs.sync_inode(inode);   // full write-through under the original name
+    append_bytes(inode, "two");
+    vfs.sync_inode(inode);   // delta append in place on the host file
+    ASSERT_TRUE(vfs.rename("/data/log", "/data/log2"));
+    vfs.sync_dir("/data");   // durable namespace + backing follow the rename
+    append_bytes(inode, "three");
+    vfs.sync_inode(inode);   // delta append must hit the NEW backing name
+  }
+  Vfs fresh;
+  ASSERT_TRUE(fresh.attach_backing(dir));
+  EXPECT_FALSE(fresh.exists("/data/log"));
+  EXPECT_EQ(contents(fresh, "/data/log2"), "onetwothree");
+  std::remove((dir + "/data__log2").c_str());
+  std::remove(dir.c_str());
+}
+
 TEST(VfsTest, ImportFromIsFullyDurable) {
   Vfs src;
   auto inode = src.create("/d/f", false);

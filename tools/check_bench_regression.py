@@ -7,6 +7,8 @@ Usage:
     check_bench_regression.py RESULTS_JSON --serving
                               [--baseline BENCH_serving.json]
                               [--tolerance 0.25]
+    check_bench_regression.py RESULTS_JSON --durable
+                              [--baseline BENCH_durable.json]
 
 Default mode: RESULTS_JSON is a google-benchmark --benchmark_format=json run
 of bench/micro_checkpoint covering the BM_TxBeginQuiescent* benchmarks.
@@ -24,6 +26,23 @@ are again machine-independent ratios from within one run:
   * correctness backstop — every arm must finish with zero transport
     failures (a lost or unanswered request under clean load is a serving
     bug, not noise).
+
+--durable mode: RESULTS_JSON is a bench/durable_throughput report. All
+gates are within-run ratios plus a correctness backstop:
+
+  * barrier scaling — bytes_synced per barrier in the LAST append stage
+    divided by the FIRST must stay at or below the baseline's
+    `max_bytes_per_barrier_growth` (incremental barriers make the per-
+    barrier cost the appended delta, independent of log size; a
+    regression to full-image copies makes the last stage pay for the
+    whole AOF and the ratio explode);
+  * group-commit win — ops_per_virtual_sec of the group-commit arm over
+    the always arm must stay at or above `min_group_commit_win` (the
+    virtual clock prices fsync at ~33x a plain syscall, so the ratio
+    isolates barrier count);
+  * correctness backstop — every arm must report lost_acked == 0: a SET
+    whose ack the client read must be present after recovery from a
+    clean crash image, group commit included.
 
 The primary check is machine-independent: for each frame variant, the
 amortization ratio
@@ -142,6 +161,64 @@ def check_serving(args):
     return 0
 
 
+def check_durable(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.results) as f:
+        fresh = json.load(f)
+
+    failures = []
+
+    stages = fresh.get("barrier_scaling", [])
+    if len(stages) < 2:
+        failures.append("need >= 2 barrier_scaling stages, got %d"
+                        % len(stages))
+    else:
+        first = float(stages[0]["bytes_per_barrier"])
+        last = float(stages[-1]["bytes_per_barrier"])
+        growth = last / first if first > 0 else float("inf")
+        ceiling = float(baseline.get("max_bytes_per_barrier_growth", 2.0))
+        verdict = "FAIL" if growth > ceiling else "ok"
+        print("%-36s ratio %.3f (ceiling %.3f)                %s"
+              % ("bytes/barrier last / first stage", growth, ceiling,
+                 verdict))
+        if growth > ceiling:
+            failures.append(
+                "per-barrier cost grows with the log: %.3fx > %.3fx "
+                "(fsync is copying the image, not the delta)"
+                % (growth, ceiling))
+
+    arms = fresh.get("arms", {})
+    missing = [a for a in ("always", "group-commit") if a not in arms]
+    for m in missing:
+        failures.append("missing arm in results: %s" % m)
+    if not missing:
+        always = float(arms["always"]["ops_per_virtual_sec"])
+        grouped = float(arms["group-commit"]["ops_per_virtual_sec"])
+        win = grouped / always if always > 0 else 0.0
+        floor = float(baseline.get("min_group_commit_win", 3.0))
+        verdict = "FAIL" if win < floor else "ok"
+        print("%-36s ratio %.3f (floor %.3f)                  %s"
+              % ("group-commit / always throughput", win, floor, verdict))
+        if win < floor:
+            failures.append(
+                "group-commit win collapsed: %.3fx < %.3fx" % (win, floor))
+
+    for name, arm in sorted(arms.items()):
+        lost = int(arm.get("lost_acked", 0))
+        if lost != 0:
+            failures.append(
+                "%s arm lost %d acked write(s) across recovery" % (name, lost))
+
+    if failures:
+        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print("\ndurable regression gate passed")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("results")
@@ -149,12 +226,17 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25)
     ap.add_argument("--absolute", action="store_true")
     ap.add_argument("--serving", action="store_true")
+    ap.add_argument("--durable", action="store_true")
     args = ap.parse_args()
 
     if args.serving:
         if args.baseline is None:
             args.baseline = "BENCH_serving.json"
         return check_serving(args)
+    if args.durable:
+        if args.baseline is None:
+            args.baseline = "BENCH_durable.json"
+        return check_durable(args)
     if args.baseline is None:
         args.baseline = "BENCH_tx_begin.json"
 

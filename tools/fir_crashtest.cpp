@@ -27,7 +27,10 @@ constexpr const char kUsage[] =
     "usage: fir_crashtest [options]\n"
     "\n"
     "options:\n"
-    "  --server NAME   minikv, minipg or all (default: all)\n"
+    "  --server NAME       minikv, minipg or all (default: all)\n"
+    "  --policy NAME       always, batch or no (default: always); batch\n"
+    "                      keeps acked-durable only with --group-commit\n"
+    "  --group-commit N    defer up to N acks per barrier (0 = off)\n"
     "  --torn N        keep N unsynced tail bytes in every crash image\n"
     "  --flip          flip one bit in the torn tail (with --torn)\n"
     "  --workers N     forked crash-point runs in flight (default 4;\n"
@@ -62,6 +65,20 @@ int main(int argc, char** argv) {
     };
     if (arg == "--server") {
       server = value("--server");
+    } else if (arg == "--policy") {
+      const std::string policy = value("--policy");
+      if (policy == "always") {
+        options.policy = fir::FsyncPolicy::kAlways;
+      } else if (policy == "batch") {
+        options.policy = fir::FsyncPolicy::kBatch;
+      } else if (policy == "no") {
+        options.policy = fir::FsyncPolicy::kNo;
+      } else {
+        return fail_usage(("unknown policy " + policy).c_str());
+      }
+    } else if (arg == "--group-commit") {
+      options.group_commit_max = static_cast<std::uint32_t>(
+          std::strtoul(value("--group-commit"), nullptr, 10));
     } else if (arg == "--torn") {
       options.torn_tail_bytes =
           static_cast<std::size_t>(std::strtoul(value("--torn"), nullptr, 10));
@@ -126,9 +143,10 @@ int main(int argc, char** argv) {
     all_passed = all_passed && report.passed;
     std::fprintf(stderr,
                  "fir_crashtest: %s: %zu crash points, %zu mutations, "
-                 "torn=%zu%s: %s\n",
+                 "policy=%s gc=%u torn=%zu%s: %s\n",
                  name.c_str(), report.points.size(), report.mutations,
-                 options.torn_tail_bytes,
+                 fir::fsync_policy_name(options.policy),
+                 options.group_commit_max, options.torn_tail_bytes,
                  options.torn_bit_flip ? "+flip" : "",
                  report.passed ? "PASS" : "FAIL");
   }

@@ -13,8 +13,10 @@
 // the per-worker table plus the zero-loss ledger, and exits nonzero when
 // any request was lost (quarantine aside, that must never happen).
 //
-// With --durable the workers host minikv shards (AOF + fsync=always,
-// durable state host-backed under --fleet-durable-dir) and the load is
+// With --durable the workers host minikv shards (AOF, group commit by
+// default — one barrier retires a whole batch of acks; --group-commit-max=0
+// falls back to fsync=always — durable state host-backed under
+// --fleet-durable-dir) and the load is
 // unique SET commands. After the run every shard is recovered from its
 // host directory by a fresh instance — the same path a restarted worker
 // takes — and every acked SET is read back: an acked write missing after
